@@ -1,0 +1,283 @@
+//! Banded and x-drop Smith–Waterman variants.
+//!
+//! PASTIS's overlap matrix carries seed positions (the shared k-mer
+//! locations), which makes seed-anchored, bounded-work alignment possible
+//! as a cheaper alternative to the full DP matrix. These kernels are
+//! offered as the crate's performance/sensitivity knobs:
+//!
+//! * [`sw_banded`] — restricts the DP to a diagonal band of half-width `w`
+//!   around the seed diagonal. Work drops from `m·n` to ≈ `(2w+1)·min(m,n)`
+//!   cells; scores are a lower bound on the full SW score, with equality
+//!   whenever the optimal path stays inside the band.
+//! * [`sw_xdrop`] — seed-and-extend with the classic x-drop cutoff (as in
+//!   BLAST/DIAMOND): extension stops once the running score falls more
+//!   than `x` below the best seen.
+
+use crate::matrices::Scoring;
+use crate::sw::GapPenalties;
+
+/// Result of a bounded-work alignment kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundedScore {
+    /// Best local score found within the explored region (≥ 0).
+    pub score: i32,
+    /// DP cells actually computed.
+    pub cells: u64,
+}
+
+/// Banded Smith–Waterman around the diagonal `d = seed_q − seed_r`,
+/// half-width `w` (the band covers diagonals `d−w ..= d+w`).
+///
+/// Returns a lower bound on the unbanded score; equality holds when the
+/// optimal path's diagonals all lie within the band (e.g. `w ≥ max(m, n)`
+/// always recovers the exact score — a property the tests rely on).
+pub fn sw_banded<S: Scoring>(
+    q: &[u8],
+    r: &[u8],
+    scoring: &S,
+    gaps: GapPenalties,
+    seed_q: usize,
+    seed_r: usize,
+    w: usize,
+) -> BoundedScore {
+    let (m, n) = (q.len(), r.len());
+    if m == 0 || n == 0 {
+        return BoundedScore { score: 0, cells: 0 };
+    }
+    let d0 = seed_q as i64 - seed_r as i64;
+    let wi = w as i64;
+    let neg = i32::MIN / 2;
+    let first = gaps.open + gaps.extend;
+
+    // Row-wise DP over j ∈ band(i) = [i - d0 - w, i - d0 + w] ∩ [1, n]
+    // (1-based i over q, j over r; diagonal of cell (i,j) is i - j).
+    let mut h_prev = vec![0i32; n + 1];
+    let mut h_cur = vec![neg; n + 1];
+    let mut f_prev = vec![neg; n + 1];
+    let mut f_cur = vec![neg; n + 1];
+    let mut best = 0i32;
+    let mut cells = 0u64;
+    // Boundaries are free local starts (H = 0 on row 0 and column 0); the
+    // band only constrains interior cells, and a diagonal predecessor of an
+    // in-band cell is itself in-band, so out-of-band poisoning (neg) is
+    // needed only for horizontal/vertical moves.
+    for i in 1..=m as i64 {
+        let lo = (i - d0 - wi).max(1);
+        let hi = (i - d0 + wi).min(n as i64);
+        for j in 1..=n {
+            h_cur[j] = neg;
+            f_cur[j] = neg;
+        }
+        h_cur[0] = 0;
+        // In-band left boundary behaves like H = 0 outside band (local
+        // alignment can start anywhere), but moves *into* the band from
+        // outside are forbidden: treat out-of-band neighbours as `neg`,
+        // and allow fresh starts via the max(0, ·).
+        let mut e = neg;
+        for j in lo..=hi {
+            cells += 1;
+            let ju = j as usize;
+            let h_left = if j - 1 >= lo { h_cur[ju - 1] } else { neg };
+            e = (h_left - first).max(e - gaps.extend);
+            let f = (h_prev[ju] - first).max(f_prev[ju] - gaps.extend);
+            f_cur[ju] = f;
+            let hp = h_prev[ju - 1];
+            let diag_val = if hp <= neg / 2 {
+                neg
+            } else {
+                hp.saturating_add(scoring.score(q[(i - 1) as usize], r[ju - 1]))
+            };
+            let h = 0.max(diag_val).max(e).max(f);
+            h_cur[ju] = h;
+            if h > best {
+                best = h;
+            }
+        }
+        std::mem::swap(&mut h_prev, &mut h_cur);
+        std::mem::swap(&mut f_prev, &mut f_cur);
+    }
+    BoundedScore { score: best, cells }
+}
+
+/// Seed-and-extend with an x-drop bound: gapless extension from the seed
+/// pair `(seed_q, seed_r)` in both directions, stopping a direction once
+/// the running score drops more than `x` below its best.
+///
+/// This is the prefilter-style kernel (BLAST's original two-hit extension);
+/// it under-reports relative to full SW but touches only O(extension
+/// length) cells.
+pub fn sw_xdrop<S: Scoring>(
+    q: &[u8],
+    r: &[u8],
+    scoring: &S,
+    seed_q: usize,
+    seed_r: usize,
+    x: i32,
+) -> BoundedScore {
+    assert!(seed_q <= q.len() && seed_r <= r.len(), "seed out of range");
+    let mut cells = 0u64;
+    // Forward extension (including the seed position itself).
+    let mut best_f = 0i32;
+    let mut run = 0i32;
+    let mut qi = seed_q;
+    let mut rj = seed_r;
+    while qi < q.len() && rj < r.len() {
+        run += scoring.score(q[qi], r[rj]);
+        cells += 1;
+        if run > best_f {
+            best_f = run;
+        }
+        if best_f - run > x {
+            break;
+        }
+        qi += 1;
+        rj += 1;
+    }
+    // Backward extension (cells before the seed).
+    let mut best_b = 0i32;
+    run = 0;
+    let mut qi = seed_q;
+    let mut rj = seed_r;
+    while qi > 0 && rj > 0 {
+        qi -= 1;
+        rj -= 1;
+        run += scoring.score(q[qi], r[rj]);
+        cells += 1;
+        if run > best_b {
+            best_b = run;
+        }
+        if best_b - run > x {
+            break;
+        }
+    }
+    BoundedScore {
+        score: (best_f + best_b).max(0),
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrices::{encode, Blosum62};
+    use crate::sw::sw_score_only;
+    use proptest::prelude::*;
+
+    fn full(q: &[u8], r: &[u8]) -> i32 {
+        sw_score_only(q, r, &Blosum62, GapPenalties::pastis_defaults()).0
+    }
+
+    #[test]
+    fn wide_band_recovers_exact_score() {
+        let q = encode("HEAGAWGHEE").unwrap();
+        let r = encode("PAWHEAE").unwrap();
+        let g = GapPenalties::pastis_defaults();
+        let b = sw_banded(&q, &r, &Blosum62, g, 0, 0, q.len() + r.len());
+        assert_eq!(b.score, full(&q, &r));
+    }
+
+    #[test]
+    fn banded_never_exceeds_full() {
+        let q = encode("MKVLAWYHEEGAWGHEE").unwrap();
+        let r = encode("MKVAWYHEPAWHEAE").unwrap();
+        let g = GapPenalties::pastis_defaults();
+        for w in [0usize, 1, 2, 4, 8, 32] {
+            let b = sw_banded(&q, &r, &Blosum62, g, 0, 0, w);
+            assert!(b.score <= full(&q, &r), "w={w}");
+        }
+    }
+
+    #[test]
+    fn banded_cells_shrink_with_band() {
+        let q = encode("MKVLAWYHEEGAWGHEEMKVLAWYHEE").unwrap();
+        let r = q.clone();
+        let g = GapPenalties::pastis_defaults();
+        let narrow = sw_banded(&q, &r, &Blosum62, g, 0, 0, 2);
+        let wide = sw_banded(&q, &r, &Blosum62, g, 0, 0, 100);
+        assert!(narrow.cells < wide.cells);
+        // Identical sequences: the optimal path is the main diagonal, so
+        // even the narrow band is exact.
+        assert_eq!(narrow.score, full(&q, &r));
+    }
+
+    #[test]
+    fn banded_empty_inputs() {
+        let e: Vec<u8> = Vec::new();
+        let s = encode("MKV").unwrap();
+        let g = GapPenalties::pastis_defaults();
+        assert_eq!(sw_banded(&e, &s, &Blosum62, g, 0, 0, 3).score, 0);
+        assert_eq!(sw_banded(&s, &e, &Blosum62, g, 0, 0, 3).score, 0);
+    }
+
+    #[test]
+    fn xdrop_extends_through_matches() {
+        let q = encode("PPPPAWGHEPPPP").unwrap();
+        let r = encode("KKKAWGHEKKK").unwrap();
+        // Seed at the start of the common core (q pos 4, r pos 3).
+        let b = sw_xdrop(&q, &r, &Blosum62, 4, 3, 15);
+        let core: i32 = encode("AWGHE")
+            .unwrap()
+            .iter()
+            .map(|&c| Blosum62.score(c, c))
+            .sum();
+        assert!(b.score >= core);
+    }
+
+    #[test]
+    fn xdrop_stops_on_drop() {
+        // Strong seed then garbage: tight x stops the extension early.
+        let q = encode("WWWWWPPPPPPPPPPPPPPP").unwrap();
+        let r = encode("WWWWWKKKKKKKKKKKKKKK").unwrap();
+        let tight = sw_xdrop(&q, &r, &Blosum62, 0, 0, 3);
+        let loose = sw_xdrop(&q, &r, &Blosum62, 0, 0, 1000);
+        assert!(tight.cells < loose.cells);
+        assert_eq!(tight.score, 55); // 5 × W/W = 55, garbage clipped
+    }
+
+    #[test]
+    fn xdrop_backward_extension_counts() {
+        let q = encode("AWGHE").unwrap();
+        let r = encode("AWGHE").unwrap();
+        // Seed at the end: everything is recovered backwards.
+        let b = sw_xdrop(&q, &r, &Blosum62, 5, 5, 20);
+        let want: i32 = q.iter().map(|&c| Blosum62.score(c, c)).sum();
+        assert_eq!(b.score, want);
+    }
+
+    #[test]
+    #[should_panic(expected = "seed out of range")]
+    fn xdrop_seed_bounds_checked() {
+        let q = encode("AW").unwrap();
+        let _ = sw_xdrop(&q, &q, &Blosum62, 5, 0, 10);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn banded_is_lower_bound_and_wide_band_exact(
+            a in proptest::collection::vec(0u8..21, 0..30),
+            b in proptest::collection::vec(0u8..21, 0..30),
+            w in 0usize..6,
+        ) {
+            let g = GapPenalties::pastis_defaults();
+            let fullscore = full(&a, &b);
+            let banded = sw_banded(&a, &b, &Blosum62, g, 0, 0, w);
+            prop_assert!(banded.score <= fullscore);
+            let exact = sw_banded(&a, &b, &Blosum62, g, 0, 0, a.len() + b.len() + 1);
+            prop_assert_eq!(exact.score, fullscore);
+        }
+
+        #[test]
+        fn xdrop_score_nonnegative_and_bounded(
+            a in proptest::collection::vec(0u8..21, 1..30),
+            b in proptest::collection::vec(0u8..21, 1..30),
+            x in 0i32..50,
+        ) {
+            let s = sw_xdrop(&a, &b, &Blosum62, 0, 0, x);
+            prop_assert!(s.score >= 0);
+            // Gapless extension can never beat the full SW optimum.
+            prop_assert!(s.score <= full(&a, &b));
+        }
+    }
+}

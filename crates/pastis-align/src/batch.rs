@@ -1,0 +1,216 @@
+//! Batch alignment driver with exact work accounting.
+//!
+//! PASTIS hands the aligner large batches of candidate pairs discovered by
+//! the SpGEMM; ADEPT's driver packs them, ships them to the node's GPUs and
+//! returns scores. [`BatchAligner`] is the equivalent driver: it executes
+//! the batch (on the CPU, exactly), and returns per-batch [`BatchStats`] —
+//! pair count, total DP cells, wall time — from which alignments/second and
+//! CUPs are computed, Section VII's reporting metrics.
+
+use std::time::Instant;
+
+use crate::matrices::Scoring;
+use crate::sw::{sw_align, AlignmentResult, GapPenalties};
+
+/// One alignment task: indices into the caller's sequence store plus the
+/// seed position recorded by the overlap semiring (used by the banded /
+/// x-drop kernels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlignTask {
+    /// Query sequence id (caller-side index).
+    pub query: u32,
+    /// Reference sequence id.
+    pub reference: u32,
+    /// Seed position in the query (first shared k-mer).
+    pub seed_q: u32,
+    /// Seed position in the reference.
+    pub seed_r: u32,
+}
+
+/// Aggregate counters for one executed batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BatchStats {
+    /// Pairs aligned.
+    pub pairs: u64,
+    /// Total DP cells updated (`Σ |q|·|r|`).
+    pub cells: u64,
+    /// Largest single DP matrix in the batch.
+    pub max_cells: u64,
+    /// Wall-clock seconds spent in the batch (measured).
+    pub seconds: f64,
+}
+
+impl BatchStats {
+    /// Alignments per second (0 if no time elapsed).
+    pub fn alignments_per_sec(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.pairs as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Cell updates per second (CUPs).
+    pub fn cups(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.cells as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Fold another batch's counters into this one.
+    pub fn merge(&mut self, other: &BatchStats) {
+        self.pairs += other.pairs;
+        self.cells += other.cells;
+        self.max_cells = self.max_cells.max(other.max_cells);
+        self.seconds += other.seconds;
+    }
+}
+
+/// Batch Smith–Waterman driver.
+pub struct BatchAligner<S: Scoring> {
+    scoring: S,
+    gaps: GapPenalties,
+}
+
+impl<S: Scoring> BatchAligner<S> {
+    /// Create a driver with the given scoring and gap model.
+    pub fn new(scoring: S, gaps: GapPenalties) -> BatchAligner<S> {
+        BatchAligner { scoring, gaps }
+    }
+
+    /// The gap model in use.
+    pub fn gaps(&self) -> GapPenalties {
+        self.gaps
+    }
+
+    /// Align one pair.
+    pub fn align_pair(&self, q: &[u8], r: &[u8]) -> AlignmentResult {
+        sw_align(q, r, &self.scoring, self.gaps)
+    }
+
+    /// Execute a batch of tasks against a sequence lookup.
+    ///
+    /// `lookup(id)` resolves a task's sequence id to its residues. Results
+    /// are returned in task order together with the batch counters.
+    pub fn run_batch<'a>(
+        &self,
+        tasks: &[AlignTask],
+        mut lookup: impl FnMut(u32) -> &'a [u8],
+    ) -> (Vec<AlignmentResult>, BatchStats) {
+        let start = Instant::now();
+        let mut stats = BatchStats::default();
+        let mut results = Vec::with_capacity(tasks.len());
+        for t in tasks {
+            let q = lookup(t.query);
+            let r = lookup(t.reference);
+            let res = sw_align(q, r, &self.scoring, self.gaps);
+            stats.pairs += 1;
+            stats.cells += res.cells;
+            stats.max_cells = stats.max_cells.max(res.cells);
+            results.push(res);
+        }
+        stats.seconds = start.elapsed().as_secs_f64();
+        (results, stats)
+    }
+
+    /// Work (DP cells) a batch *would* perform, without aligning — used by
+    /// the load-balancing analysis and the performance-model plane, since
+    /// the paper's Figure 7b metric is exactly this sum.
+    pub fn batch_cells(
+        tasks: &[AlignTask],
+        mut seq_len: impl FnMut(u32) -> usize,
+    ) -> u64 {
+        tasks
+            .iter()
+            .map(|t| seq_len(t.query) as u64 * seq_len(t.reference) as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrices::{encode, Blosum62};
+
+    fn store() -> Vec<Vec<u8>> {
+        ["MKVLAWYHEE", "MKVLAWYHEE", "PAWHEAE", "GGGGG"]
+            .iter()
+            .map(|s| encode(s).unwrap())
+            .collect()
+    }
+
+    fn task(q: u32, r: u32) -> AlignTask {
+        AlignTask {
+            query: q,
+            reference: r,
+            seed_q: 0,
+            seed_r: 0,
+        }
+    }
+
+    #[test]
+    fn batch_aligns_in_task_order() {
+        let seqs = store();
+        let aligner = BatchAligner::new(Blosum62, GapPenalties::pastis_defaults());
+        let tasks = vec![task(0, 1), task(0, 2), task(0, 3)];
+        let (results, stats) = aligner.run_batch(&tasks, |id| &seqs[id as usize]);
+        assert_eq!(results.len(), 3);
+        // 0 vs 1 are identical.
+        assert_eq!(results[0].identity(), 1.0);
+        // 0 vs 3 share nothing.
+        assert_eq!(results[2].score, 0);
+        assert_eq!(stats.pairs, 3);
+        assert_eq!(
+            stats.cells,
+            (10 * 10 + 10 * 7 + 10 * 5) as u64
+        );
+        assert_eq!(stats.max_cells, 100);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let seqs = store();
+        let aligner = BatchAligner::new(Blosum62, GapPenalties::pastis_defaults());
+        let (results, stats) = aligner.run_batch(&[], |id| &seqs[id as usize]);
+        assert!(results.is_empty());
+        assert_eq!(stats.pairs, 0);
+        assert_eq!(stats.cells, 0);
+    }
+
+    #[test]
+    fn batch_cells_predicts_run_batch() {
+        let seqs = store();
+        let tasks = vec![task(1, 2), task(2, 3), task(0, 0)];
+        let predicted =
+            BatchAligner::<Blosum62>::batch_cells(&tasks, |id| seqs[id as usize].len());
+        let aligner = BatchAligner::new(Blosum62, GapPenalties::pastis_defaults());
+        let (_, stats) = aligner.run_batch(&tasks, |id| &seqs[id as usize]);
+        assert_eq!(predicted, stats.cells);
+    }
+
+    #[test]
+    fn stats_merge_and_rates() {
+        let mut a = BatchStats {
+            pairs: 10,
+            cells: 1000,
+            max_cells: 400,
+            seconds: 2.0,
+        };
+        let b = BatchStats {
+            pairs: 5,
+            cells: 500,
+            max_cells: 450,
+            seconds: 1.0,
+        };
+        a.merge(&b);
+        assert_eq!(a.pairs, 15);
+        assert_eq!(a.max_cells, 450);
+        assert!((a.alignments_per_sec() - 5.0).abs() < 1e-12);
+        assert!((a.cups() - 500.0).abs() < 1e-12);
+        let z = BatchStats::default();
+        assert_eq!(z.alignments_per_sec(), 0.0);
+        assert_eq!(z.cups(), 0.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! ADEPT-style multi-GPU device model.
+//!
+//! ADEPT's driver "detects all the available GPUs on a node and distributes
+//! alignments across all the available GPUs", with one host thread per GPU
+//! handling packing and transfers. This module reproduces that dispatch
+//! policy and times it with a calibrated kernel rate, so the
+//! performance-model plane can attribute per-GPU kernel time, packing
+//! overheads and the intra-node imbalance between GPUs without actual
+//! accelerator hardware (the DP itself runs exactly on the CPU via
+//! [`crate::BatchAligner`]).
+
+/// A modeled multi-GPU alignment device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceModel {
+    /// Number of GPUs on the node (Summit: 6).
+    pub gpus: usize,
+    /// Sustained kernel rate per GPU in cell updates/second.
+    pub cups_per_gpu: f64,
+    /// Host-side packing + transfer overhead per alignment, seconds.
+    pub overhead_per_pair: f64,
+}
+
+impl DeviceModel {
+    /// Summit node: 6 × V100 at the paper's effective ≈ 8.7 GCUPS each.
+    pub fn summit_node() -> DeviceModel {
+        DeviceModel {
+            gpus: 6,
+            cups_per_gpu: 8.7e9,
+            overhead_per_pair: 2.0e-7,
+        }
+    }
+
+    /// Greedy longest-processing-time assignment of per-pair DP-cell loads
+    /// to GPUs (ADEPT balances by splitting the batch across devices).
+    /// Returns the per-GPU total cells.
+    pub fn assign(&self, pair_cells: &[u64]) -> Vec<u64> {
+        assert!(self.gpus > 0, "device must have at least one GPU");
+        let mut order: Vec<usize> = (0..pair_cells.len()).collect();
+        order.sort_unstable_by(|&a, &b| pair_cells[b].cmp(&pair_cells[a]));
+        let mut loads = vec![0u64; self.gpus];
+        for idx in order {
+            // Place on the least-loaded GPU.
+            let g = (0..self.gpus)
+                .min_by_key(|&g| loads[g])
+                .expect("at least one GPU");
+            loads[g] += pair_cells[idx];
+        }
+        loads
+    }
+
+    /// Modeled wall time for one batch: the slowest GPU's kernel time plus
+    /// amortized per-pair host overhead.
+    pub fn batch_time(&self, pair_cells: &[u64]) -> f64 {
+        if pair_cells.is_empty() {
+            return 0.0;
+        }
+        let loads = self.assign(pair_cells);
+        let kernel = loads
+            .iter()
+            .map(|&c| c as f64 / self.cups_per_gpu)
+            .fold(0.0, f64::max);
+        // One packing thread per GPU works concurrently.
+        let overhead =
+            pair_cells.len() as f64 * self.overhead_per_pair / self.gpus as f64;
+        kernel + overhead
+    }
+
+    /// Aggregate device throughput in cell updates/second.
+    pub fn peak_cups(&self) -> f64 {
+        self.gpus as f64 * self.cups_per_gpu
+    }
+
+    /// Intra-node GPU load imbalance for a batch: `max/avg − 1`, 0 for an
+    /// empty batch.
+    pub fn imbalance(&self, pair_cells: &[u64]) -> f64 {
+        let loads = self.assign(pair_cells);
+        let total: u64 = loads.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let avg = total as f64 / loads.len() as f64;
+        let max = *loads.iter().max().expect("nonempty") as f64;
+        max / avg - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summit_node_peak() {
+        let d = DeviceModel::summit_node();
+        assert_eq!(d.gpus, 6);
+        assert!((d.peak_cups() - 52.2e9).abs() < 1e3);
+    }
+
+    #[test]
+    fn assign_covers_all_work() {
+        let d = DeviceModel {
+            gpus: 3,
+            cups_per_gpu: 1e9,
+            overhead_per_pair: 0.0,
+        };
+        let cells = vec![5, 9, 2, 7, 7, 1];
+        let loads = d.assign(&cells);
+        assert_eq!(loads.iter().sum::<u64>(), 31);
+        assert_eq!(loads.len(), 3);
+    }
+
+    #[test]
+    fn lpt_balances_uniform_work_perfectly() {
+        let d = DeviceModel {
+            gpus: 4,
+            cups_per_gpu: 1e9,
+            overhead_per_pair: 0.0,
+        };
+        let cells = vec![10u64; 16];
+        let loads = d.assign(&cells);
+        assert!(loads.iter().all(|&l| l == 40));
+        assert_eq!(d.imbalance(&cells), 0.0);
+    }
+
+    #[test]
+    fn one_huge_pair_dominates() {
+        let d = DeviceModel {
+            gpus: 2,
+            cups_per_gpu: 1e6,
+            overhead_per_pair: 0.0,
+        };
+        let cells = vec![1_000_000u64, 10, 10];
+        // Slowest GPU holds the huge pair: ~1 second.
+        let t = d.batch_time(&cells);
+        assert!((t - 1.0).abs() < 1e-3);
+        assert!(d.imbalance(&cells) > 0.9);
+    }
+
+    #[test]
+    fn batch_time_includes_overhead_and_empty_is_zero() {
+        let d = DeviceModel {
+            gpus: 2,
+            cups_per_gpu: 1e9,
+            overhead_per_pair: 1e-3,
+        };
+        assert_eq!(d.batch_time(&[]), 0.0);
+        let t = d.batch_time(&[100, 100]);
+        // Kernel negligible; overhead = 2 pairs × 1ms / 2 gpus = 1ms.
+        assert!((t - 1e-3).abs() < 1e-5);
+    }
+
+    #[test]
+    fn more_gpus_never_slower() {
+        let mk = |g| DeviceModel {
+            gpus: g,
+            cups_per_gpu: 1e9,
+            overhead_per_pair: 1e-6,
+        };
+        let cells: Vec<u64> = (0..100).map(|i| 1000 + i * 37).collect();
+        let t1 = mk(1).batch_time(&cells);
+        let t3 = mk(3).batch_time(&cells);
+        let t6 = mk(6).batch_time(&cells);
+        assert!(t3 <= t1);
+        assert!(t6 <= t3);
+    }
+}

@@ -1,0 +1,55 @@
+//! Batch protein sequence alignment for PASTIS-RS.
+//!
+//! PASTIS performs its compute-bound phase — millions of pairwise
+//! Smith–Waterman alignments per node — on GPUs through ADEPT, with SeqAn
+//! as a CPU alternative. This crate is the substrate replacing both:
+//!
+//! * [`matrices`] — the canonical 20+1-letter amino-acid code, BLOSUM62,
+//!   and simple match/mismatch scoring.
+//! * [`sw`] — exact full-matrix affine-gap Smith–Waterman: a score-only
+//!   linear-memory kernel and a traceback kernel producing the alignment
+//!   statistics PASTIS filters on (identity/ANI, coverage).
+//! * [`banded`] — banded and x-drop variants (cheaper, bounded-error
+//!   kernels offered as sensitivity/performance options).
+//! * [`multilane`] — ADEPT-style inter-task batching: many alignments
+//!   advance in lock-step SIMD-friendly lanes (the SeqAn-class vectorized
+//!   CPU backend).
+//! * [`semiglobal`] — free-end-gap overlap alignment (containment /
+//!   suffix-prefix detection, PASTIS's global-alignment option).
+//! * [`batch`] — the batch driver with exact cell-update accounting: the
+//!   paper's load-balance metric (Figure 7b) is the *sum of DP-matrix
+//!   sizes*, and its headline kernel metric is cell updates per second
+//!   (CUPs), both of which come from these counters.
+//! * [`device`] — an ADEPT-style multi-GPU device model: batches are
+//!   packed, dispatched round-robin across the node's GPUs, and timed with
+//!   a calibrated GCUPS rate, reproducing ADEPT's driver behaviour for the
+//!   performance-model plane while the actual DP runs on the CPU.
+//!
+//! # Example
+//!
+//! ```
+//! use pastis_align::{matrices::{encode, Blosum62}, sw::{sw_align, GapPenalties}};
+//!
+//! let q = encode("HEAGAWGHEE").unwrap();
+//! let r = encode("PAWHEAE").unwrap();
+//! let res = sw_align(&q, &r, &Blosum62, GapPenalties::blast_defaults());
+//! assert!(res.score > 0);
+//! assert!(res.identity() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod banded;
+pub mod batch;
+pub mod device;
+pub mod matrices;
+pub mod multilane;
+pub mod semiglobal;
+pub mod sw;
+
+pub use batch::{AlignTask, BatchAligner, BatchStats};
+pub use device::DeviceModel;
+pub use multilane::{sw_score_batch, sw_score_multi};
+pub use semiglobal::{semiglobal_score, SemiGlobalResult};
+pub use matrices::{encode, Blosum62, MatchMismatch, Scoring, AA_ALPHABET};
+pub use sw::{sw_align, sw_score_only, AlignmentResult, GapPenalties};

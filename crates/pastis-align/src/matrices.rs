@@ -1,0 +1,276 @@
+//! Amino-acid codes and substitution scoring.
+//!
+//! The canonical residue order is the 20 standard amino acids in the
+//! conventional BLOSUM row order, plus `X` (unknown) as code 20:
+//! `A R N D C Q E G H I L K M F P S T W Y V X`. Every sequence in
+//! PASTIS-RS is encoded into these codes once at parse time; all inner
+//! loops work on `u8` codes.
+
+/// Canonical residue ordering; `AA_ALPHABET[code]` is the residue letter.
+pub const AA_ALPHABET: &[u8; 21] = b"ARNDCQEGHILKMFPSTWYVX";
+
+/// Number of residue codes (20 amino acids + X).
+pub const AA_COUNT: usize = 21;
+
+/// Code of the unknown residue `X`.
+pub const AA_X: u8 = 20;
+
+/// Map an ASCII residue letter (either case) to its code. Ambiguity codes
+/// `B`/`Z`/`J`/`U`/`O` and `*` map to `X`. Returns `None` for characters
+/// that are not residue letters at all.
+#[inline]
+pub fn aa_code(letter: u8) -> Option<u8> {
+    match letter.to_ascii_uppercase() {
+        b'A' => Some(0),
+        b'R' => Some(1),
+        b'N' => Some(2),
+        b'D' => Some(3),
+        b'C' => Some(4),
+        b'Q' => Some(5),
+        b'E' => Some(6),
+        b'G' => Some(7),
+        b'H' => Some(8),
+        b'I' => Some(9),
+        b'L' => Some(10),
+        b'K' => Some(11),
+        b'M' => Some(12),
+        b'F' => Some(13),
+        b'P' => Some(14),
+        b'S' => Some(15),
+        b'T' => Some(16),
+        b'W' => Some(17),
+        b'Y' => Some(18),
+        b'V' => Some(19),
+        b'X' | b'B' | b'Z' | b'J' | b'U' | b'O' | b'*' => Some(AA_X),
+        _ => None,
+    }
+}
+
+/// Encode an ASCII protein string into residue codes.
+///
+/// # Errors
+///
+/// Returns the offending byte on the first non-residue character.
+pub fn encode(seq: &str) -> Result<Vec<u8>, u8> {
+    seq.bytes()
+        .map(|b| aa_code(b).ok_or(b))
+        .collect()
+}
+
+/// Decode residue codes back into an ASCII string.
+pub fn decode(codes: &[u8]) -> String {
+    codes
+        .iter()
+        .map(|&c| AA_ALPHABET[c as usize] as char)
+        .collect()
+}
+
+/// A substitution scoring function over residue codes.
+pub trait Scoring {
+    /// Score of aligning residue codes `a` and `b`.
+    fn score(&self, a: u8, b: u8) -> i32;
+
+    /// The largest score on the diagonal (best possible per-column score),
+    /// used by x-drop bounds and score normalization.
+    fn max_match(&self) -> i32 {
+        (0..AA_COUNT as u8)
+            .map(|c| self.score(c, c))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// BLOSUM62, the paper's (and field's) default protein matrix, restricted
+/// to the 20 standard residues plus `X`. Values are the standard NCBI
+/// table.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Blosum62;
+
+/// NCBI BLOSUM62 over the canonical order `ARNDCQEGHILKMFPSTWYVX`.
+#[rustfmt::skip]
+pub const BLOSUM62: [[i8; AA_COUNT]; AA_COUNT] = [
+    //A   R   N   D   C   Q   E   G   H   I   L   K   M   F   P   S   T   W   Y   V   X
+    [ 4, -1, -2, -2,  0, -1, -1,  0, -2, -1, -1, -1, -1, -2, -1,  1,  0, -3, -2,  0,  0], // A
+    [-1,  5,  0, -2, -3,  1,  0, -2,  0, -3, -2,  2, -1, -3, -2, -1, -1, -3, -2, -3, -1], // R
+    [-2,  0,  6,  1, -3,  0,  0,  0,  1, -3, -3,  0, -2, -3, -2,  1,  0, -4, -2, -3, -1], // N
+    [-2, -2,  1,  6, -3,  0,  2, -1, -1, -3, -4, -1, -3, -3, -1,  0, -1, -4, -3, -3, -1], // D
+    [ 0, -3, -3, -3,  9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1, -2], // C
+    [-1,  1,  0,  0, -3,  5,  2, -2,  0, -3, -2,  1,  0, -3, -1,  0, -1, -2, -1, -2, -1], // Q
+    [-1,  0,  0,  2, -4,  2,  5, -2,  0, -3, -3,  1, -2, -3, -1,  0, -1, -3, -2, -2, -1], // E
+    [ 0, -2,  0, -1, -3, -2, -2,  6, -2, -4, -4, -2, -3, -3, -2,  0, -2, -2, -3, -3, -1], // G
+    [-2,  0,  1, -1, -3,  0,  0, -2,  8, -3, -3, -1, -2, -1, -2, -1, -2, -2,  2, -3, -1], // H
+    [-1, -3, -3, -3, -1, -3, -3, -4, -3,  4,  2, -3,  1,  0, -3, -2, -1, -3, -1,  3, -1], // I
+    [-1, -2, -3, -4, -1, -2, -3, -4, -3,  2,  4, -2,  2,  0, -3, -2, -1, -2, -1,  1, -1], // L
+    [-1,  2,  0, -1, -3,  1,  1, -2, -1, -3, -2,  5, -1, -3, -1,  0, -1, -3, -2, -2, -1], // K
+    [-1, -1, -2, -3, -1,  0, -2, -3, -2,  1,  2, -1,  5,  0, -2, -1, -1, -1, -1,  1, -1], // M
+    [-2, -3, -3, -3, -2, -3, -3, -3, -1,  0,  0, -3,  0,  6, -4, -2, -2,  1,  3, -1, -1], // F
+    [-1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4,  7, -1, -1, -4, -3, -2, -2], // P
+    [ 1, -1,  1,  0, -1,  0,  0,  0, -1, -2, -2,  0, -1, -2, -1,  4,  1, -3, -2, -2,  0], // S
+    [ 0, -1,  0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1,  1,  5, -2, -2,  0,  0], // T
+    [-3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1,  1, -4, -3, -2, 11,  2, -3, -2], // W
+    [-2, -2, -2, -3, -2, -1, -2, -3,  2, -1, -1, -2, -1,  3, -3, -2, -2,  2,  7, -1, -1], // Y
+    [ 0, -3, -3, -3, -1, -2, -2, -3, -3,  3,  1, -2,  1, -1, -2, -2,  0, -3, -1,  4, -1], // V
+    [ 0, -1, -1, -1, -2, -1, -1, -1, -1, -1, -1, -1, -1, -1, -2,  0,  0, -2, -1, -1, -1], // X
+];
+
+impl Scoring for Blosum62 {
+    #[inline]
+    fn score(&self, a: u8, b: u8) -> i32 {
+        BLOSUM62[a as usize][b as usize] as i32
+    }
+
+    fn max_match(&self) -> i32 {
+        11 // W/W
+    }
+}
+
+/// Uniform match/mismatch scoring (DNA-style; also useful in tests where
+/// hand-checkable scores are wanted).
+#[derive(Debug, Clone, Copy)]
+pub struct MatchMismatch {
+    /// Score for identical codes (> 0).
+    pub match_score: i32,
+    /// Score for differing codes (< 0).
+    pub mismatch_score: i32,
+}
+
+impl MatchMismatch {
+    /// The classic (+1, −1).
+    pub fn unit() -> MatchMismatch {
+        MatchMismatch {
+            match_score: 1,
+            mismatch_score: -1,
+        }
+    }
+}
+
+impl Scoring for MatchMismatch {
+    #[inline]
+    fn score(&self, a: u8, b: u8) -> i32 {
+        if a == b {
+            self.match_score
+        } else {
+            self.mismatch_score
+        }
+    }
+
+    fn max_match(&self) -> i32 {
+        self.match_score
+    }
+}
+
+/// An owned table-backed matrix, for custom or programmatically derived
+/// scorings (e.g. reduced-alphabet collapsed matrices).
+#[derive(Debug, Clone)]
+pub struct TableScoring {
+    table: [[i8; AA_COUNT]; AA_COUNT],
+}
+
+impl TableScoring {
+    /// Wrap an explicit table.
+    pub fn new(table: [[i8; AA_COUNT]; AA_COUNT]) -> TableScoring {
+        TableScoring { table }
+    }
+
+    /// The BLOSUM62 table as an owned value.
+    pub fn blosum62() -> TableScoring {
+        TableScoring { table: BLOSUM62 }
+    }
+}
+
+impl Scoring for TableScoring {
+    #[inline]
+    fn score(&self, a: u8, b: u8) -> i32 {
+        self.table[a as usize][b as usize] as i32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alphabet_roundtrip() {
+        for (code, &letter) in AA_ALPHABET.iter().enumerate() {
+            assert_eq!(aa_code(letter), Some(code as u8));
+            assert_eq!(aa_code(letter.to_ascii_lowercase()), Some(code as u8));
+        }
+    }
+
+    #[test]
+    fn ambiguity_codes_map_to_x() {
+        for b in [b'B', b'Z', b'J', b'U', b'O', b'*'] {
+            assert_eq!(aa_code(b), Some(AA_X));
+        }
+        assert_eq!(aa_code(b'1'), None);
+        assert_eq!(aa_code(b' '), None);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let s = "MKVLAWYHEE";
+        let codes = encode(s).unwrap();
+        assert_eq!(decode(&codes), s);
+        assert_eq!(encode("MK1"), Err(b'1'));
+    }
+
+    #[test]
+    fn blosum62_is_symmetric() {
+        for a in 0..AA_COUNT {
+            for b in 0..AA_COUNT {
+                assert_eq!(
+                    BLOSUM62[a][b], BLOSUM62[b][a],
+                    "asymmetry at ({a},{b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blosum62_diagonal_dominates_row() {
+        // Each residue scores itself at least as high as any substitution.
+        for a in 0..AA_COUNT - 1 {
+            for b in 0..AA_COUNT {
+                if a != b {
+                    assert!(
+                        BLOSUM62[a][a] > BLOSUM62[a][b],
+                        "diag not dominant at ({a},{b})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blosum62_spot_values() {
+        let s = Blosum62;
+        let code = |c: u8| aa_code(c).unwrap();
+        assert_eq!(s.score(code(b'W'), code(b'W')), 11);
+        assert_eq!(s.score(code(b'A'), code(b'A')), 4);
+        assert_eq!(s.score(code(b'C'), code(b'C')), 9);
+        assert_eq!(s.score(code(b'L'), code(b'I')), 2);
+        assert_eq!(s.score(code(b'W'), code(b'G')), -2);
+        assert_eq!(s.score(code(b'D'), code(b'E')), 2);
+        assert_eq!(s.max_match(), 11);
+    }
+
+    #[test]
+    fn match_mismatch_scoring() {
+        let s = MatchMismatch::unit();
+        assert_eq!(s.score(3, 3), 1);
+        assert_eq!(s.score(3, 4), -1);
+        assert_eq!(s.max_match(), 1);
+    }
+
+    #[test]
+    fn table_scoring_matches_blosum() {
+        let t = TableScoring::blosum62();
+        let b = Blosum62;
+        for a in 0..AA_COUNT as u8 {
+            for c in 0..AA_COUNT as u8 {
+                assert_eq!(t.score(a, c), b.score(a, c));
+            }
+        }
+        assert_eq!(t.max_match(), 11);
+    }
+}

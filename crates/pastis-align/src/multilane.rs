@@ -1,0 +1,210 @@
+//! Multi-lane (inter-task) batched Smith–Waterman.
+//!
+//! ADEPT's GPU kernel derives much of its throughput from *inter-task*
+//! parallelism — many independent alignments advance in lock-step. On the
+//! CPU the same structure maps onto SIMD lanes: `L` pairs share one DP
+//! sweep whose inner loop updates all lanes per cell, which the compiler
+//! auto-vectorizes. This is the SeqAn-class vectorized backend of the
+//! pipeline; results are bit-identical to the scalar kernel (tested).
+//!
+//! Lanes are padded to the batch's maximum dimensions with a PAD residue
+//! scoring −100 against everything: padded cells can never climb above the
+//! local-alignment floor of zero, so they cannot influence any lane's
+//! optimum.
+
+use crate::matrices::Scoring;
+use crate::sw::GapPenalties;
+
+/// Residue code used to pad ragged lanes.
+const PAD: u8 = u8::MAX;
+const PAD_SCORE: i32 = -100;
+
+#[inline]
+fn lane_score<S: Scoring>(scoring: &S, a: u8, b: u8) -> i32 {
+    if a == PAD || b == PAD {
+        PAD_SCORE
+    } else {
+        scoring.score(a, b)
+    }
+}
+
+/// Align `L` pairs in lock-step; returns each lane's optimal local score.
+///
+/// Lanes may have ragged lengths (they are padded internally). For empty
+/// batches of work in a lane (`q` or `r` empty), the lane's score is 0.
+pub fn sw_score_multi<const L: usize, S: Scoring>(
+    queries: &[&[u8]; L],
+    refs: &[&[u8]; L],
+    scoring: &S,
+    gaps: GapPenalties,
+) -> [i32; L] {
+    let m = queries.iter().map(|q| q.len()).max().unwrap_or(0);
+    let n = refs.iter().map(|r| r.len()).max().unwrap_or(0);
+    let mut best = [0i32; L];
+    if m == 0 || n == 0 {
+        return best;
+    }
+    let neg = i32::MIN / 2;
+    let first = gaps.open + gaps.extend;
+
+    // Row-major DP, all lanes advanced per cell. Layout: [cell][lane].
+    let mut h_prev = vec![[0i32; L]; n + 1];
+    let mut h_cur = vec![[0i32; L]; n + 1];
+    let mut f_prev = vec![[neg; L]; n + 1];
+    let mut f_cur = vec![[neg; L]; n + 1];
+
+    // Pre-padded query residues per row avoid per-cell bounds checks.
+    for i in 1..=m {
+        let mut qi = [PAD; L];
+        for l in 0..L {
+            if i - 1 < queries[l].len() {
+                qi[l] = queries[l][i - 1];
+            }
+        }
+        let mut e = [neg; L];
+        for j in 1..=n {
+            let mut rj = [PAD; L];
+            for l in 0..L {
+                if j - 1 < refs[l].len() {
+                    rj[l] = refs[l][j - 1];
+                }
+            }
+            let hl = &h_cur[j - 1];
+            let hp = &h_prev[j];
+            let hd = &h_prev[j - 1];
+            let fp = &f_prev[j];
+            let mut hout = [0i32; L];
+            let mut fout = [neg; L];
+            for l in 0..L {
+                let ev = (hl[l] - first).max(e[l] - gaps.extend);
+                e[l] = ev;
+                let fv = (hp[l] - first).max(fp[l] - gaps.extend);
+                fout[l] = fv;
+                let diag = hd[l] + lane_score(scoring, qi[l], rj[l]);
+                let h = 0.max(diag).max(ev).max(fv);
+                hout[l] = h;
+                if h > best[l] {
+                    best[l] = h;
+                }
+            }
+            h_cur[j] = hout;
+            f_cur[j] = fout;
+        }
+        std::mem::swap(&mut h_prev, &mut h_cur);
+        std::mem::swap(&mut f_prev, &mut f_cur);
+        h_cur[0] = [0; L];
+    }
+    best
+}
+
+/// Score a whole batch of pairs through the multi-lane kernel, processing
+/// `L` at a time (the tail batch is padded with empty lanes).
+pub fn sw_score_batch<const L: usize, S: Scoring>(
+    pairs: &[(&[u8], &[u8])],
+    scoring: &S,
+    gaps: GapPenalties,
+) -> Vec<i32> {
+    let mut out = Vec::with_capacity(pairs.len());
+    for chunk in pairs.chunks(L) {
+        let mut qs: [&[u8]; L] = [&[]; L];
+        let mut rs: [&[u8]; L] = [&[]; L];
+        for (l, (q, r)) in chunk.iter().enumerate() {
+            qs[l] = q;
+            rs[l] = r;
+        }
+        let scores = sw_score_multi::<L, S>(&qs, &rs, scoring, gaps);
+        out.extend_from_slice(&scores[..chunk.len()]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrices::{encode, Blosum62};
+    use crate::sw::sw_score_only;
+    use proptest::prelude::*;
+
+    fn scalar(q: &[u8], r: &[u8]) -> i32 {
+        sw_score_only(q, r, &Blosum62, GapPenalties::pastis_defaults()).0
+    }
+
+    #[test]
+    fn uniform_lanes_match_scalar() {
+        let q = encode("HEAGAWGHEE").unwrap();
+        let r = encode("PAWHEAE").unwrap();
+        let got = sw_score_multi::<4, _>(
+            &[&q, &q, &q, &q],
+            &[&r, &r, &r, &r],
+            &Blosum62,
+            GapPenalties::pastis_defaults(),
+        );
+        let want = scalar(&q, &r);
+        assert_eq!(got, [want; 4]);
+    }
+
+    #[test]
+    fn ragged_lanes_match_scalar() {
+        let seqs: Vec<Vec<u8>> = [
+            "MKVLAWYHEE",
+            "PAWHEAE",
+            "GGSTPNQRCDGGSTPNQRCD",
+            "MK",
+        ]
+        .iter()
+        .map(|s| encode(s).unwrap())
+        .collect();
+        let qs: [&[u8]; 4] = [&seqs[0], &seqs[1], &seqs[2], &seqs[3]];
+        let rs: [&[u8]; 4] = [&seqs[1], &seqs[2], &seqs[3], &seqs[0]];
+        let got = sw_score_multi::<4, _>(&qs, &rs, &Blosum62, GapPenalties::pastis_defaults());
+        for l in 0..4 {
+            assert_eq!(got[l], scalar(qs[l], rs[l]), "lane {l}");
+        }
+    }
+
+    #[test]
+    fn empty_lanes_are_zero() {
+        let q = encode("MKVLAW").unwrap();
+        let e: Vec<u8> = Vec::new();
+        let got = sw_score_multi::<2, _>(
+            &[&q, &e],
+            &[&q, &q],
+            &Blosum62,
+            GapPenalties::pastis_defaults(),
+        );
+        assert_eq!(got[0], scalar(&q, &q));
+        assert_eq!(got[1], 0);
+    }
+
+    #[test]
+    fn batch_wrapper_handles_tail() {
+        let seqs: Vec<Vec<u8>> = (0..7)
+            .map(|i| encode(&"MKVLAWYHEE"[..4 + i]).unwrap())
+            .collect();
+        let pairs: Vec<(&[u8], &[u8])> = (0..7)
+            .map(|i| (seqs[i].as_slice(), seqs[(i + 3) % 7].as_slice()))
+            .collect();
+        let got = sw_score_batch::<4, _>(&pairs, &Blosum62, GapPenalties::pastis_defaults());
+        assert_eq!(got.len(), 7);
+        for (idx, (q, r)) in pairs.iter().enumerate() {
+            assert_eq!(got[idx], scalar(q, r), "pair {idx}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn lanes_always_match_scalar(
+            a in proptest::collection::vec(0u8..21, 0..24),
+            b in proptest::collection::vec(0u8..21, 0..24),
+            c in proptest::collection::vec(0u8..21, 0..24),
+            d in proptest::collection::vec(0u8..21, 0..24),
+        ) {
+            let g = GapPenalties::pastis_defaults();
+            let got = sw_score_multi::<2, _>(&[&a, &c], &[&b, &d], &Blosum62, g);
+            prop_assert_eq!(got[0], scalar(&a, &b));
+            prop_assert_eq!(got[1], scalar(&c, &d));
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Semi-global (overlap / free-end-gap) alignment.
+//!
+//! The original PASTIS exposes both local (Smith–Waterman) and SeqAn's
+//! global alignment with free end gaps as alignment options; the coverage
+//! semantics differ — semi-global forces the alignment to span from one
+//! sequence boundary to another, which suits detecting sequence
+//! containment and overlap (the Metaclust non-redundancy criterion itself
+//! is "sub-fragments that can be aligned to a longer sequence with 99% of
+//! their residues").
+//!
+//! This kernel charges no penalty for leading/trailing gaps in *either*
+//! sequence: the optimum is the best suffix↔prefix / containment overlap.
+
+use crate::matrices::Scoring;
+use crate::sw::GapPenalties;
+
+/// Result of a semi-global alignment (score-only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SemiGlobalResult {
+    /// Best overlap score (can be negative for unrelated sequences —
+    /// unlike local alignment there is no zero floor).
+    pub score: i32,
+    /// Query end coordinate (exclusive) of the optimum.
+    pub q_end: usize,
+    /// Reference end coordinate (exclusive).
+    pub r_end: usize,
+    /// Cells computed.
+    pub cells: u64,
+}
+
+/// Overlap alignment with free end gaps on both sequences.
+///
+/// DP: first row/column initialized to zero (free leading gaps); the
+/// optimum is taken over the last row and last column (free trailing
+/// gaps). Interior gaps pay the affine penalty.
+pub fn semiglobal_score<S: Scoring>(
+    q: &[u8],
+    r: &[u8],
+    scoring: &S,
+    gaps: GapPenalties,
+) -> SemiGlobalResult {
+    let (m, n) = (q.len(), r.len());
+    let cells = (m as u64) * (n as u64);
+    if m == 0 || n == 0 {
+        return SemiGlobalResult {
+            score: 0,
+            q_end: 0,
+            r_end: 0,
+            cells,
+        };
+    }
+    let neg = i32::MIN / 2;
+    let first = gaps.open + gaps.extend;
+    let mut h_prev = vec![0i32; n + 1]; // free leading gaps in q
+    let mut h_cur = vec![0i32; n + 1];
+    let mut f_prev = vec![neg; n + 1];
+    let mut f_cur = vec![neg; n + 1];
+    let mut best = i32::MIN;
+    let (mut bi, mut bj) = (0usize, 0usize);
+    for i in 1..=m {
+        let qi = q[i - 1];
+        h_cur[0] = 0; // free leading gaps in r
+        let mut e = neg;
+        for j in 1..=n {
+            e = (h_cur[j - 1] - first).max(e - gaps.extend);
+            let f = (h_prev[j] - first).max(f_prev[j] - gaps.extend);
+            f_cur[j] = f;
+            let diag = h_prev[j - 1] + scoring.score(qi, r[j - 1]);
+            let h = diag.max(e).max(f);
+            h_cur[j] = h;
+            // Optimum over the last column (free trailing gap in r).
+            if j == n && h > best {
+                best = h;
+                bi = i;
+                bj = j;
+            }
+        }
+        // On the last row, every column is a legal end (free trailing gap
+        // in q).
+        if i == m {
+            for j in 1..=n {
+                if h_cur[j] > best {
+                    best = h_cur[j];
+                    bi = i;
+                    bj = j;
+                }
+            }
+        }
+        std::mem::swap(&mut h_prev, &mut h_cur);
+        std::mem::swap(&mut f_prev, &mut f_cur);
+    }
+    SemiGlobalResult {
+        score: best,
+        q_end: bi,
+        r_end: bj,
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrices::{encode, Blosum62, MatchMismatch};
+    use crate::sw::sw_score_only;
+    use proptest::prelude::*;
+
+    fn gp() -> GapPenalties {
+        GapPenalties::pastis_defaults()
+    }
+
+    #[test]
+    fn identical_sequences_score_self() {
+        let s = encode("MKVLAWYHEE").unwrap();
+        let res = semiglobal_score(&s, &s, &Blosum62, gp());
+        let want: i32 = s.iter().map(|&c| Blosum62.score(c, c)).sum();
+        assert_eq!(res.score, want);
+        assert_eq!((res.q_end, res.r_end), (10, 10));
+    }
+
+    #[test]
+    fn containment_scores_fragment_fully() {
+        // Fragment contained in a longer sequence: free end gaps mean the
+        // flanks cost nothing.
+        let long = encode("PPPPPMKVLAWYHEEPPPPP").unwrap();
+        let frag = encode("MKVLAWYHEE").unwrap();
+        let res = semiglobal_score(&frag, &long, &Blosum62, gp());
+        let want: i32 = frag.iter().map(|&c| Blosum62.score(c, c)).sum();
+        assert_eq!(res.score, want);
+    }
+
+    #[test]
+    fn suffix_prefix_overlap() {
+        // q's suffix matches r's prefix: the classic assembly overlap.
+        let q = encode("GGGGGMKVLAW").unwrap();
+        let r = encode("MKVLAWHHHHH").unwrap();
+        let res = semiglobal_score(&q, &r, &MatchMismatch::unit(), GapPenalties { open: 2, extend: 1 });
+        assert_eq!(res.score, 6); // MKVLAW
+        assert_eq!(res.q_end, q.len()); // consumes q to its end
+        assert_eq!(res.r_end, 6);
+    }
+
+    #[test]
+    fn unrelated_sequences_can_go_negative() {
+        let q = encode("WWWWW").unwrap();
+        let r = encode("PPPPP").unwrap();
+        let res = semiglobal_score(&q, &r, &Blosum62, gp());
+        assert!(res.score < 0, "overlap alignment has no zero floor");
+    }
+
+    #[test]
+    fn interior_gap_is_charged() {
+        let q = encode("MKVLAWMKVLAW").unwrap();
+        let r = encode("MKVLAWGGGMKVLAW").unwrap(); // 3-residue insert
+        let res = semiglobal_score(&q, &r, &MatchMismatch { match_score: 2, mismatch_score: -3 }, GapPenalties { open: 1, extend: 1 });
+        // 12 matches minus an interior gap of 3 (1 + 3x1): ends are free
+        // but the insert is interior.
+        assert_eq!(res.score, 12 * 2 - (1 + 3));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let e: Vec<u8> = Vec::new();
+        let s = encode("MKV").unwrap();
+        assert_eq!(semiglobal_score(&e, &s, &Blosum62, gp()).score, 0);
+        assert_eq!(semiglobal_score(&s, &e, &Blosum62, gp()).score, 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn local_dominates_semiglobal(
+            a in proptest::collection::vec(0u8..21, 1..30),
+            b in proptest::collection::vec(0u8..21, 1..30),
+        ) {
+            // Local alignment maximizes over all substring pairs, so it is
+            // an upper bound on any end-anchored alignment score.
+            let local = sw_score_only(&a, &b, &Blosum62, gp()).0;
+            let semi = semiglobal_score(&a, &b, &Blosum62, gp()).score;
+            prop_assert!(local >= semi, "local {local} < semiglobal {semi}");
+        }
+
+        #[test]
+        fn semiglobal_is_symmetric(
+            a in proptest::collection::vec(0u8..21, 1..25),
+            b in proptest::collection::vec(0u8..21, 1..25),
+        ) {
+            let ab = semiglobal_score(&a, &b, &Blosum62, gp()).score;
+            let ba = semiglobal_score(&b, &a, &Blosum62, gp()).score;
+            prop_assert_eq!(ab, ba);
+        }
+    }
+}

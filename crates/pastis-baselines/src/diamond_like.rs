@@ -1,0 +1,346 @@
+//! DIAMOND-style chunked work-package distributed search.
+//!
+//! Architecture (Section IV): both sequence sets are split into chunks;
+//! each element of the Cartesian product of chunk sets is a *work package*
+//! processed independently by a worker, with intermediate results written
+//! to the shared filesystem and joined per query chunk at the end. Memory
+//! is bounded per package, which the real DIAMOND achieves with per-block
+//! heuristics — and which is why its documentation warns that "results
+//! will not be completely identical for different values of the block
+//! size". This module reproduces that architecture, including:
+//!
+//! * per-package candidate *caps* (the memory-bounding heuristic) — so the
+//!   chunking-dependence of results is reproducible and testable, in
+//!   contrast to PASTIS's blocking-independent determinism;
+//! * intermediate-spill byte accounting (the filesystem pressure the paper
+//!   criticizes).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use pastis_align::batch::BatchAligner;
+use pastis_align::matrices::Blosum62;
+use pastis_align::sw::GapPenalties;
+use pastis_comm::grid::BlockDist1D;
+use pastis_core::filter::EdgeFilter;
+use pastis_core::kmer::distinct_kmers;
+use pastis_core::simgraph::{SimilarityEdge, SimilarityGraph};
+use pastis_seqio::{ReducedAlphabet, SeqStore};
+
+/// Configuration of the DIAMOND-style search.
+#[derive(Debug, Clone)]
+pub struct DiamondLikeConfig {
+    /// k-mer (seed) length.
+    pub k: usize,
+    /// Alphabet for seeding.
+    pub alphabet: ReducedAlphabet,
+    /// Minimum shared seeds to consider a pair.
+    pub min_shared_kmers: u32,
+    /// Number of query chunks.
+    pub query_chunks: usize,
+    /// Number of reference chunks (the "block size" knob).
+    pub ref_chunks: usize,
+    /// Per-package cap on candidates kept per query — the memory-bounding
+    /// heuristic that makes results chunking-dependent. `usize::MAX`
+    /// disables the cap (and restores determinism).
+    pub max_candidates_per_query: usize,
+    /// Gap model.
+    pub gaps: GapPenalties,
+    /// Identity threshold.
+    pub ani_threshold: f64,
+    /// Coverage threshold.
+    pub coverage_threshold: f64,
+}
+
+impl Default for DiamondLikeConfig {
+    fn default() -> DiamondLikeConfig {
+        DiamondLikeConfig {
+            k: 6,
+            alphabet: ReducedAlphabet::Full20,
+            min_shared_kmers: 2,
+            query_chunks: 2,
+            ref_chunks: 2,
+            max_candidates_per_query: 64,
+            gaps: GapPenalties::pastis_defaults(),
+            ani_threshold: 0.30,
+            coverage_threshold: 0.70,
+        }
+    }
+}
+
+/// Outcome of a DIAMOND-style run.
+#[derive(Debug, Clone)]
+pub struct DiamondLikeReport {
+    /// Similarity graph after the final join.
+    pub graph: SimilarityGraph,
+    /// Work packages processed (`query_chunks × ref_chunks`).
+    pub packages: usize,
+    /// Seed-join candidates before capping.
+    pub seed_candidates: u64,
+    /// Candidates dropped by the per-package cap (the source of
+    /// chunking-dependence).
+    pub capped_out: u64,
+    /// Pairs aligned.
+    pub aligned_pairs: u64,
+    /// Intermediate bytes written to (and re-read from) the shared
+    /// filesystem by the package/join protocol.
+    pub spilled_bytes: u64,
+    /// Measured wall seconds.
+    pub wall_seconds: f64,
+}
+
+/// One intermediate record a package writes for the join phase.
+#[derive(Debug, Clone, Copy)]
+struct Intermediate {
+    query: u32,
+    target: u32,
+    shared: u32,
+}
+
+const INTERMEDIATE_BYTES: u64 = 12;
+
+/// Run the many-against-many search with the work-package architecture.
+pub fn run_diamond_like(store: &SeqStore, cfg: &DiamondLikeConfig) -> DiamondLikeReport {
+    assert!(cfg.query_chunks > 0 && cfg.ref_chunks > 0, "chunk counts must be positive");
+    let start = Instant::now();
+    let n = store.len();
+    let qdist = BlockDist1D::new(n, cfg.query_chunks.min(n.max(1)));
+    let rdist = BlockDist1D::new(n, cfg.ref_chunks.min(n.max(1)));
+
+    let mut seed_candidates = 0u64;
+    let mut capped_out = 0u64;
+    let mut spilled_bytes = 0u64;
+    // Per query chunk: the spilled intermediates awaiting the final join.
+    let mut spill: Vec<Vec<Intermediate>> = (0..qdist.parts).map(|_| Vec::new()).collect();
+
+    // --- Package phase: every (query chunk, ref chunk) pair.
+    for qc in 0..qdist.parts {
+        let (q0, q1) = (qdist.part_offset(qc), qdist.part_offset(qc) + qdist.part_len(qc));
+        for rc in 0..rdist.parts {
+            let (r0, r1) =
+                (rdist.part_offset(rc), rdist.part_offset(rc) + rdist.part_len(rc));
+            // Index the reference chunk.
+            let mut index: HashMap<u32, Vec<u32>> = HashMap::new();
+            for t in r0..r1 {
+                for (kmer, _) in distinct_kmers(store.seq(t), cfg.k, cfg.alphabet) {
+                    index.entry(kmer).or_default().push(t as u32);
+                }
+            }
+            // Seed-join each query of the chunk against the index.
+            for q in q0..q1 {
+                let mut hits: HashMap<u32, u32> = HashMap::new();
+                for (kmer, _) in distinct_kmers(store.seq(q), cfg.k, cfg.alphabet) {
+                    if let Some(ts) = index.get(&kmer) {
+                        for &t in ts {
+                            if (t as usize) != q {
+                                *hits.entry(t).or_insert(0) += 1;
+                            }
+                        }
+                    }
+                }
+                let mut cands: Vec<(u32, u32)> = hits
+                    .into_iter()
+                    .filter(|&(_, s)| s >= cfg.min_shared_kmers)
+                    .collect();
+                seed_candidates += cands.len() as u64;
+                // The memory-bounding heuristic: keep the best
+                // `max_candidates_per_query` by shared-seed count within
+                // *this package*. A pair near the cap can survive one
+                // chunking and be evicted under another — the
+                // non-determinism the paper quotes DIAMOND's docs on.
+                cands.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                if cands.len() > cfg.max_candidates_per_query {
+                    capped_out += (cands.len() - cfg.max_candidates_per_query) as u64;
+                    cands.truncate(cfg.max_candidates_per_query);
+                }
+                for (t, shared) in cands {
+                    spill[qc].push(Intermediate {
+                        query: q as u32,
+                        target: t,
+                        shared,
+                    });
+                    spilled_bytes += INTERMEDIATE_BYTES;
+                }
+            }
+        }
+    }
+
+    // --- Join phase: per query chunk, read back intermediates, merge
+    // duplicates across packages, align, filter.
+    let aligner = BatchAligner::new(Blosum62, cfg.gaps);
+    let filter = EdgeFilter {
+        ani_threshold: cfg.ani_threshold,
+        coverage_threshold: cfg.coverage_threshold,
+    };
+    let mut graph = SimilarityGraph::new(n);
+    let mut aligned_pairs = 0u64;
+    for (chunk_idx, chunk) in spill.iter().enumerate() {
+        spilled_bytes += chunk.len() as u64 * INTERMEDIATE_BYTES; // re-read
+        let mut merged: HashMap<(u32, u32), u32> = HashMap::new();
+        for rec in chunk {
+            let key = if rec.query < rec.target {
+                (rec.query, rec.target)
+            } else {
+                (rec.target, rec.query)
+            };
+            let e = merged.entry(key).or_insert(0);
+            *e = (*e).max(rec.shared);
+        }
+        let mut pairs: Vec<((u32, u32), u32)> = merged.into_iter().collect();
+        pairs.sort_unstable();
+        for ((i, j), shared) in pairs {
+            // Each unordered pair may surface in up to two query chunks;
+            // the canonical owner (the chunk of the smaller id) aligns it.
+            if qdist.owner(i as usize) != chunk_idx {
+                continue;
+            }
+            let (qs, rs) = (store.seq(i as usize), store.seq(j as usize));
+            let res = aligner.align_pair(qs, rs);
+            aligned_pairs += 1;
+            if filter.passes(&res, qs.len(), rs.len()) {
+                graph.add(SimilarityEdge {
+                    i,
+                    j,
+                    score: res.score,
+                    ani: res.identity() as f32,
+                    coverage: res.coverage_min(qs.len(), rs.len()) as f32,
+                    common_kmers: shared,
+                });
+            }
+        }
+    }
+    graph.normalize();
+    DiamondLikeReport {
+        graph,
+        packages: qdist.parts * rdist.parts,
+        seed_candidates,
+        capped_out,
+        aligned_pairs,
+        spilled_bytes,
+        wall_seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pastis_align::matrices::encode;
+    use pastis_seqio::{SyntheticConfig, SyntheticDataset};
+
+    fn cfg() -> DiamondLikeConfig {
+        DiamondLikeConfig {
+            k: 4,
+            min_shared_kmers: 1,
+            ani_threshold: 0.3,
+            coverage_threshold: 0.3,
+            max_candidates_per_query: usize::MAX,
+            ..DiamondLikeConfig::default()
+        }
+    }
+
+    fn tiny_store() -> SeqStore {
+        let mut s = SeqStore::new();
+        for (i, q) in [
+            "MKVLAWYHEEMKVLAWYHEE",
+            "MKVLAWYHEEMKVLAWYHEA",
+            "GGSTPNQRCDGGSTPNQRCD",
+            "GGSTPNQRCDGGSTPNQRCE",
+            "WPWPWPWPWPWPWPWPWPWP",
+        ]
+        .iter()
+        .enumerate()
+        {
+            s.push(format!("s{i}"), encode(q).unwrap());
+        }
+        s
+    }
+
+    #[test]
+    fn finds_planted_families() {
+        let r = run_diamond_like(&tiny_store(), &cfg());
+        let keys: Vec<_> = r.graph.edges().iter().map(|e| e.key()).collect();
+        assert!(keys.contains(&(0, 1)));
+        assert!(keys.contains(&(2, 3)));
+        assert_eq!(r.packages, 4);
+    }
+
+    #[test]
+    fn uncapped_results_are_chunking_independent() {
+        let store = tiny_store();
+        let base = run_diamond_like(&store, &cfg());
+        for (qc, rc) in [(1usize, 1usize), (3, 2), (5, 5)] {
+            let r = run_diamond_like(
+                &store,
+                &DiamondLikeConfig {
+                    query_chunks: qc,
+                    ref_chunks: rc,
+                    ..cfg()
+                },
+            );
+            assert_eq!(r.graph.edges(), base.graph.edges(), "{qc}x{rc}");
+        }
+    }
+
+    #[test]
+    fn capped_results_depend_on_chunking() {
+        // The headline architectural contrast with PASTIS: with the
+        // memory-bounding cap active, changing the block size changes
+        // which candidates survive.
+        let ds = SyntheticDataset::generate(&SyntheticConfig {
+            n_sequences: 120,
+            mean_len: 60.0,
+            mean_family_size: 20.0,
+            singleton_fraction: 0.0,
+            divergence: 0.08,
+            seed: 42,
+            ..SyntheticConfig::small(120, 42)
+        });
+        let capped = |rc: usize| {
+            run_diamond_like(
+                &ds.store,
+                &DiamondLikeConfig {
+                    ref_chunks: rc,
+                    max_candidates_per_query: 3,
+                    ..cfg()
+                },
+            )
+        };
+        let one = capped(1);
+        let four = capped(4);
+        assert!(one.capped_out > 0, "cap never engaged; test is vacuous");
+        // More packages -> more survivors slip past the per-package cap.
+        assert_ne!(
+            one.graph.n_edges(),
+            four.graph.n_edges(),
+            "expected chunking-dependent results under capping"
+        );
+    }
+
+    #[test]
+    fn spill_grows_with_ref_chunks() {
+        let store = tiny_store();
+        let few = run_diamond_like(&store, &DiamondLikeConfig { ref_chunks: 1, query_chunks: 1, ..cfg() });
+        let many = run_diamond_like(&store, &DiamondLikeConfig { ref_chunks: 5, query_chunks: 5, ..cfg() });
+        // Same candidates, same spill per candidate — but the join sees
+        // duplicates across packages only when pairs straddle chunks, so
+        // spill is at least as large.
+        assert!(many.spilled_bytes >= few.spilled_bytes);
+        assert!(many.packages > few.packages);
+    }
+
+    #[test]
+    fn counters_coherent() {
+        let r = run_diamond_like(&tiny_store(), &cfg());
+        assert!(r.seed_candidates >= r.aligned_pairs);
+        assert!(r.aligned_pairs >= r.graph.n_edges() as u64);
+        assert_eq!(r.capped_out, 0);
+    }
+
+    #[test]
+    fn empty_store() {
+        let r = run_diamond_like(&SeqStore::new(), &cfg());
+        assert_eq!(r.graph.n_edges(), 0);
+        assert_eq!(r.aligned_pairs, 0);
+    }
+}

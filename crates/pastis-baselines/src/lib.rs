@@ -1,0 +1,27 @@
+//! Comparator search architectures (Section IV of the paper).
+//!
+//! The paper positions PASTIS against the two state-of-the-art distributed
+//! protein search tools and criticizes their *architectures*:
+//!
+//! * **MMseqs2** replicates the index of one sequence set on every node
+//!   ("the index data structures for at least one set of the sequences are
+//!   replicated on each compute node, which limits the largest problems
+//!   that can be solved") — rebuilt here as [`mmseqs_like`].
+//! * **DIAMOND** splits both sets into chunks and processes the Cartesian
+//!   product as work packages mediated by the shared filesystem, with
+//!   per-chunk heuristics ("this [block size] parameter affects the
+//!   algorithm and results will not be completely identical for different
+//!   values of the block size") — rebuilt here as [`diamond_like`].
+//!
+//! The baselines run the same planted-family datasets as PASTIS-RS at
+//! reduced scale, so the architectural comparisons of Section VIII-C —
+//! replication memory blow-up, filesystem pressure, chunking-dependent
+//! results vs. PASTIS's determinism — can be demonstrated directly.
+
+#![warn(missing_docs)]
+
+pub mod diamond_like;
+pub mod mmseqs_like;
+
+pub use diamond_like::{DiamondLikeConfig, DiamondLikeReport};
+pub use mmseqs_like::{MmseqsLikeConfig, MmseqsLikeReport, SplitMode};

@@ -1,0 +1,66 @@
+//! Criterion benches for the alignment kernels: full Smith–Waterman
+//! throughput (CUPS) by sequence length, traceback overhead, and the
+//! banded/x-drop variants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pastis_align::banded::{sw_banded, sw_xdrop};
+use pastis_align::matrices::Blosum62;
+use pastis_align::sw::{sw_align, sw_score_only, GapPenalties};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_protein(len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(0..20u8)).collect()
+}
+
+fn bench_sw_by_length(c: &mut Criterion) {
+    let mut group = c.benchmark_group("smith_waterman");
+    group.sample_size(20);
+    let gaps = GapPenalties::pastis_defaults();
+    for &len in &[64usize, 256, 512] {
+        let q = random_protein(len, 1);
+        let r = random_protein(len, 2);
+        group.throughput(Throughput::Elements((len * len) as u64)); // cells
+        group.bench_with_input(BenchmarkId::new("score_only", len), &len, |b, _| {
+            b.iter(|| sw_score_only(&q, &r, &Blosum62, gaps))
+        });
+        group.bench_with_input(BenchmarkId::new("with_traceback", len), &len, |b, _| {
+            b.iter(|| sw_align(&q, &r, &Blosum62, gaps))
+        });
+    }
+    group.finish();
+}
+
+fn bench_bounded_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bounded_kernels");
+    group.sample_size(20);
+    let gaps = GapPenalties::pastis_defaults();
+    let q = random_protein(512, 3);
+    let r = {
+        // Homologous pair: copy with scattered substitutions.
+        let mut r = q.clone();
+        let mut rng = StdRng::seed_from_u64(4);
+        for x in r.iter_mut() {
+            if rng.gen_bool(0.15) {
+                *x = rng.gen_range(0..20);
+            }
+        }
+        r
+    };
+    for &w in &[8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::new("banded", w), &w, |b, &w| {
+            b.iter(|| sw_banded(&q, &r, &Blosum62, gaps, 0, 0, w))
+        });
+    }
+    group.bench_function("xdrop_20", |b| {
+        b.iter(|| sw_xdrop(&q, &r, &Blosum62, 0, 0, 20))
+    });
+    group.bench_function("full_reference", |b| {
+        b.iter(|| sw_score_only(&q, &r, &Blosum62, gaps))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sw_by_length, bench_bounded_kernels);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion benches for the end-to-end pipeline: serial vs threaded SPMD,
+//! blocked vs unblocked, and the two load-balancing schemes — ablations of
+//! the design choices DESIGN.md calls out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pastis_bench::{bench_dataset, bench_params};
+use pastis_comm::{run_threaded, Communicator, ProcessGrid};
+use pastis_core::pipeline::{run_search, run_search_serial};
+use pastis_core::LoadBalance;
+
+fn bench_blocking_ablation(c: &mut Criterion) {
+    let ds = bench_dataset(300);
+    let mut group = c.benchmark_group("pipeline_blocking");
+    group.sample_size(10);
+    for &(br, bc) in &[(1usize, 1usize), (2, 2), (4, 4)] {
+        let params = bench_params().with_blocking(br, bc);
+        group.bench_with_input(
+            BenchmarkId::new("serial", format!("{br}x{bc}")),
+            &params,
+            |b, p| b.iter(|| run_search_serial(&ds.store, p).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_scheme_ablation(c: &mut Criterion) {
+    let ds = bench_dataset(300);
+    let mut group = c.benchmark_group("pipeline_scheme");
+    group.sample_size(10);
+    for (label, lb) in [
+        ("index", LoadBalance::IndexBased),
+        ("triangular", LoadBalance::Triangular),
+    ] {
+        let params = bench_params().with_blocking(3, 3).with_load_balance(lb);
+        group.bench_function(BenchmarkId::new("serial_3x3", label), |b| {
+            b.iter(|| run_search_serial(&ds.store, &params).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_preblocking_ablation(c: &mut Criterion) {
+    let ds = bench_dataset(300);
+    let mut group = c.benchmark_group("pipeline_preblocking");
+    group.sample_size(10);
+    for (label, pb) in [("off", false), ("on", true)] {
+        let params = bench_params().with_blocking(4, 4).with_pre_blocking(pb);
+        group.bench_function(BenchmarkId::new("serial_4x4", label), |b| {
+            b.iter(|| run_search_serial(&ds.store, &params).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_threaded_spmd(c: &mut Criterion) {
+    let ds = bench_dataset(200);
+    let mut group = c.benchmark_group("pipeline_spmd");
+    group.sample_size(10);
+    for &p in &[1usize, 4] {
+        let store = ds.store.clone();
+        group.bench_with_input(BenchmarkId::new("ranks", p), &p, |b, &p| {
+            b.iter(|| {
+                let store = store.clone();
+                run_threaded(p, move |comm| {
+                    let grid = ProcessGrid::square(comm.split(0, comm.rank()));
+                    run_search(&grid, &store, &bench_params()).unwrap().stats
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_blocking_ablation,
+    bench_scheme_ablation,
+    bench_preblocking_ablation,
+    bench_threaded_spmd
+);
+criterion_main!(benches);

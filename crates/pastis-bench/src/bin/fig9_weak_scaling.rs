@@ -1,0 +1,93 @@
+//! Figure 9 + Table III — weak scaling.
+//!
+//! Paper setup: node counts {25, 49, 100, 196, 400, 784} with sequence
+//! counts {20M, 28M, 40M, 56M, 80M, 112M} — sequences grow as √x when
+//! nodes grow as x, because alignments (and SpGEMM flops) grow
+//! quadratically with the sequence count. Index-based balancing.
+//! Published results: alignment counts 13.5B → 452.4B (Table III);
+//! alignment scales best; every component except IO scales well; overall
+//! weak-scaling efficiency stays above 80%.
+//!
+//! Reproduction: 10⁴× scale-down of the sequence counts, same node
+//! counts, same √x rule.
+
+use pastis_bench::*;
+use pastis_core::{simulate, LoadBalance};
+use pastis_seqio::{SyntheticConfig, SyntheticDataset};
+
+/// Weak-scaling dataset: like [`bench_dataset`] but with homolog density
+/// growing linearly in `n`, as in real metagenome collections — Table III
+/// shows alignments growing quadratically (13.5B → 452.4B for 5.6× the
+/// sequences), i.e. pairs-per-sequence grows ∝ n. A fixed family size
+/// would give only linear pair growth and fake super-linear weak scaling.
+fn weak_dataset(n: usize, n0: usize) -> SyntheticDataset {
+    SyntheticDataset::generate(&SyntheticConfig {
+        n_sequences: n,
+        mean_len: 180.0,
+        len_sigma: 0.4,
+        mean_family_size: 8.0 * n as f64 / n0 as f64,
+        singleton_fraction: 0.3,
+        divergence: 0.10,
+        indel_prob: 0.015,
+        seed: 0x5C22,
+        ..SyntheticConfig::default()
+    })
+}
+
+fn main() {
+    let sweep: [(usize, usize); 6] = [
+        (25, 2000),
+        (49, 2800),
+        (100, 4000),
+        (196, 5600),
+        (400, 8000),
+        (784, 11200),
+    ];
+    let n0 = sweep[0].1;
+    let reference = bench_params()
+        .with_blocking(8, 8)
+        .with_load_balance(LoadBalance::IndexBased);
+    // Calibrate on the first sweep point.
+    let ds0 = weak_dataset(n0, n0);
+    let machine = calibrated_summit(&ds0.store, &reference, sweep[0].0, 2000.0, 2.0);
+
+    println!("Figure 9 / Table III: weak scaling (index-based, 8x8 blocking)");
+    rule(110);
+    println!(
+        "{:>6} {:>7} | {:>13} | {:>10} {:>7} | {:>10} {:>10} {:>9} | {:>8}",
+        "nodes", "#seqs", "#aligns", "total(s)", "eff%", "align(s)", "sparse(s)", "io(s)", "cwait(s)"
+    );
+    rule(110);
+    let mut base_total: Option<f64> = None;
+    for &(nodes, nseqs) in &sweep {
+        let ds = weak_dataset(nseqs, n0);
+        let r = simulate(&ds.store, &reference, &scale_config(&machine, nodes));
+        let total = r.total_with_pb;
+        let t0 = *base_total.get_or_insert(total);
+        // Weak-scaling efficiency: constant time is ideal (work/node is
+        // constant by construction of the sweep).
+        let eff = 100.0 * t0 / total;
+        println!(
+            "{:>6} {:>7} | {:>13} | {:>10.1} {:>7.1} | {:>10.1} {:>10.1} {:>9.2} | {:>8.2}",
+            nodes,
+            nseqs,
+            fmt_count(r.aligned_pairs),
+            total,
+            eff,
+            r.align_s,
+            r.sparse_s,
+            r.io_read_s + r.io_write_s,
+            r.cwait_s
+        );
+    }
+    rule(110);
+    println!(
+        "paper (10⁴× larger): #aligns 13.5B → 452.4B over the same node counts; alignment\n\
+         scales best; IO erratic but negligible; overall efficiency stays above 80%."
+    );
+    println!(
+        "\nnote: the √x sequence rule assumes alignments grow quadratically; Table III's\n\
+         measured growth (13.5B at 25 nodes → 452.4B at 784 nodes = 33.5× for 5.6× the\n\
+         sequences) confirms it (5.6² = 31.4)."
+    );
+}

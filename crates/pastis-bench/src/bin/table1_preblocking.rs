@@ -1,0 +1,107 @@
+//! Table I — "The effect of pre-blocking for index- and triangularity-based
+//! load balancing methods."
+//!
+//! Paper setup (Section VI-C validation scale): block counts
+//! {10,20,30,40,50}, both schemes, with and without pre-blocking. Key
+//! numbers to reproduce in shape:
+//!   * pre-blocking inflates align ~1.1× and sparse ~1.1–1.6× (contention),
+//!   * yet total drops to ~0.70× (index) / ~0.80× (triangular),
+//!   * hiding efficiency ≈ 95–98% (index) vs ≈ 78–89% (triangular) — the
+//!     triangular scheme's imbalance hurts the overlap.
+//!
+//! Reproduction: 12,000 sequences on 64 virtual nodes, calibrated
+//! miniature Summit; the contention factors are the model's (documented)
+//! stand-in for measured CPU sharing, the efficiency column *emerges* from
+//! the per-rank block schedule.
+
+use pastis_bench::*;
+use pastis_core::{simulate, LoadBalance};
+
+fn main() {
+    let ds = bench_dataset(12_000);
+    let nodes = 64;
+    // Calibration anchored to the table's own published reference row
+    // (index-based, 10 blocks): align:sparse ≈ 627:582 ≈ 1.08, and sparse
+    // nearly flat from 10 to 50 blocks (582 → 596, ×1.024).
+    let reference = bench_params().with_blocking(5, 2);
+    let machine = calibrated_summit_anchored(
+        &ds.store,
+        &reference,
+        nodes,
+        600.0,
+        1.08,
+        Some((50, 1.024)),
+    );
+
+    println!(
+        "Table I: pre-blocking effect ({} seqs, {} virtual nodes)",
+        ds.store.len(),
+        nodes
+    );
+    rule(118);
+    println!(
+        "{:<14} {:>6} | {:>8} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} {:>8} | {:>6} {:>6} {:>6} | {:>6}",
+        "load balancing",
+        "blocks",
+        "align",
+        "sparse",
+        "sum",
+        "total",
+        "align",
+        "sparse",
+        "sum",
+        "total",
+        "align",
+        "sparse",
+        "total",
+        "eff%"
+    );
+    println!(
+        "{:<14} {:>6} | {:>35} | {:>35} | {:>20} |",
+        "", "", "time w/o pre-blocking (s)", "time w/ pre-blocking (s)", "normalized"
+    );
+    rule(118);
+
+    for scheme in [LoadBalance::IndexBased, LoadBalance::Triangular] {
+        let name = match scheme {
+            LoadBalance::IndexBased => "index-based",
+            LoadBalance::Triangular => "triangularity",
+        };
+        for blocks in [10usize, 20, 30, 40, 50] {
+            let (br, bc) = factor_blocks(blocks);
+            let params = bench_params().with_blocking(br, bc).with_load_balance(scheme);
+            let r = simulate(&ds.store, &params, &scale_config(&machine, nodes));
+            // Columns as in the paper: align/sparse/sum/total without,
+            // then with pre-blocking ("sum" w/ = obtained overlapped
+            // region), normalized ratios, and hiding efficiency.
+            let (a0, s0) = (r.align_s, r.sparse_s);
+            let sum0 = a0 + s0;
+            let total0 = r.total_without_pb;
+            let (a1, s1) = (r.align_pb_s, r.sparse_pb_s);
+            let sum1 = r.region_pb_s;
+            let total1 = r.total_with_pb;
+            println!(
+                "{:<14} {:>6} | {:>8.0} {:>8.0} {:>8.0} {:>8.0} | {:>8.0} {:>8.0} {:>8.0} {:>8.0} | {:>6.2} {:>6.2} {:>6.2} | {:>6.1}",
+                name,
+                blocks,
+                a0,
+                s0,
+                sum0,
+                total0,
+                a1,
+                s1,
+                sum1,
+                total1,
+                a1 / a0,
+                s1 / s0,
+                total1 / total0,
+                100.0 * r.pb_efficiency
+            );
+        }
+        rule(118);
+    }
+    println!(
+        "paper: normalized align ≈1.13-1.15 / sparse ≈1.14-1.57 / total ≈0.70 (index) and\n\
+         0.80-0.81 (triangular); efficiency ≈94.8-97.6% (index) vs 78.0-88.7% (triangular)."
+    );
+}

@@ -1,0 +1,120 @@
+//! Table IV — the production run: 405M proteins on 3364 Summit nodes.
+//!
+//! Paper: 58×58 process grid, 20×20 blocking (400 blocks), triangularity-
+//! based balancing, pre-blocking on, k=6, ANI 0.30, coverage 0.70, common
+//! k-mer threshold 2. Results: 95.9T discovered candidates, 8.6T performed
+//! alignments (8.9%), 1.05T similar pairs (12.3%), 3.44 h, 690.6M
+//! alignments/s, 176.3 TCUPs, align 2.62 h / SpGEMM 2.06 h / sparse (all)
+//! 2.22 h / IO 12 min / cwait 0.2 min; imbalance 7.1% (align), 3.1%
+//! (sparse).
+//!
+//! Reproduction: 20,000 sequences (≈2×10⁴× scale-down) replayed on 3364
+//! virtual nodes with the same grid, blocking, scheme and thresholds; the
+//! funnel fractions (aligned/discovered, similar/aligned) are *measured*
+//! on the real synthetic data.
+
+use pastis_bench::*;
+use pastis_core::{simulate, LoadBalance};
+
+fn row(label: &str, ours: String, paper: &str) {
+    println!("{label:<34} {ours:>24} {paper:>24}");
+}
+
+fn main() {
+    let ds = bench_dataset(20_000);
+    let nodes = 3364; // 58 x 58
+    let params = bench_params()
+        .with_blocking(20, 20)
+        .with_load_balance(LoadBalance::Triangular)
+        .with_pre_blocking(true);
+    let machine = calibrated_summit_anchored(
+        &ds.store,
+        &bench_params().with_blocking(20, 20).with_load_balance(LoadBalance::Triangular),
+        nodes,
+        // Align target: the paper's 2.62 h is the *contended* component
+        // (pre-blocking on, ×1.13); the uncontended target is 2.32 h.
+        2.62 / 1.13 * 3600.0,
+        // Sparse(all) target 2.22 h is also contended (×1.60 at 400
+        // blocks): uncontended ≈ 1.39 h, giving ratio 2.32 : 1.39.
+        2.32 / 1.39,
+        None,
+    );
+    let r = simulate(&ds.store, &params, &scale_config(&machine, nodes));
+
+    println!("Table IV analog: production-scale replay");
+    rule(84);
+    row("", "reproduction".into(), "paper");
+    rule(84);
+    row("system", "virtual Summit".into(), "Summit at OLCF");
+    row("nodes", nodes.to_string(), "3364");
+    row("process grid", "58 x 58".into(), "58 x 58");
+    row("input sequences", fmt_count(ds.store.len() as u64), "404,999,880");
+    row("blocking factor", "20 x 20".into(), "20 x 20");
+    row("load balancing", "triangularity".into(), "triangularity");
+    row("pre-blocking", "enabled".into(), "enabled");
+    rule(84);
+    row(
+        "discovered candidates",
+        fmt_count(r.candidates),
+        "95,855,955,765,012",
+    );
+    row(
+        "performed alignments",
+        format!(
+            "{} ({:.1}%)",
+            fmt_count(r.aligned_pairs),
+            100.0 * r.aligned_pairs as f64 / r.candidates as f64
+        ),
+        "8.55T (8.9%)",
+    );
+    row(
+        "similar pairs",
+        format!(
+            "{} ({:.1}%)",
+            fmt_count(r.similar_pairs),
+            100.0 * r.similar_pairs as f64 / r.aligned_pairs.max(1) as f64
+        ),
+        "1.05T (12.3%)",
+    );
+    let n = ds.store.len() as f64;
+    row(
+        "search space",
+        format!("{:.1e}", n * n),
+        "1.6e17",
+    );
+    row(
+        "alignment space",
+        format!("{:.1e}", r.aligned_pairs as f64 / (n * n)),
+        "5.2e-5",
+    );
+    rule(84);
+    row("runtime", fmt_secs(r.total_with_pb), "3.44 h");
+    row(
+        "alignments per second",
+        format!("{:.3e}", r.alignments_per_sec()),
+        "6.906e8",
+    );
+    row("cell updates per second", format!("{:.3e}", r.cups()), "1.763e14 (peak)");
+    rule(84);
+    row("align", fmt_secs(r.align_pb_s), "2.62 h");
+    row("sparse (all)", fmt_secs(r.sparse_pb_s), "2.22 h");
+    row("IO", fmt_secs(r.io_read_s + r.io_write_s), "12.0 min");
+    row("communication wait", fmt_secs(r.cwait_s), "0.2 min");
+    rule(84);
+    row(
+        "imbalance: alignment",
+        format!("{:.1}%", r.align_time_imbalance.imbalance_pct()),
+        "7.1%",
+    );
+    row(
+        "imbalance: sparse",
+        format!("{:.1}%", r.sparse_time_imbalance.imbalance_pct()),
+        "3.1%",
+    );
+    rule(84);
+    println!(
+        "\nabsolute counters are ~2x10⁴ x smaller by construction; the funnel fractions\n\
+         (aligned/discovered, similar/aligned), the component breakdown and the imbalance\n\
+         percentages are the reproduction targets."
+    );
+}

@@ -1,0 +1,243 @@
+//! The SPMD communicator abstraction.
+//!
+//! The trait mirrors the subset of MPI that PASTIS uses: collectives along
+//! (sub-)communicators plus non-blocking point-to-point transfers for the
+//! sequence exchange (whose completion wait is the `cwait` component of
+//! Table II in the paper).
+//!
+//! All collective operations are *bulk-synchronous*: every rank of the
+//! communicator must call the same sequence of collectives in the same
+//! order, exactly as with MPI. Violating this is a programming error and the
+//! threaded implementation will either dead-lock or panic with a descriptive
+//! message, matching MPI's undefined-behaviour contract closely enough for a
+//! test substrate.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A payload that can travel between ranks.
+///
+/// In the threaded implementation nothing is serialized — values are cloned
+/// across threads — so the bound is simply `Clone + Send + Sync + 'static`.
+pub trait Payload: Clone + Send + Sync + 'static {}
+impl<T: Clone + Send + Sync + 'static> Payload for T {}
+
+/// Built-in reduction operators for [`Communicator::all_reduce`].
+///
+/// Mirrors the MPI predefined operations PASTIS uses (sum/min/max on
+/// counters and timings). Custom folds are available through
+/// [`Communicator::all_reduce_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Element-wise sum.
+    Sum,
+    /// Element-wise minimum.
+    Min,
+    /// Element-wise maximum.
+    Max,
+}
+
+impl ReduceOp {
+    /// Apply the operator to two `u64` operands.
+    #[inline]
+    pub fn apply_u64(self, a: u64, b: u64) -> u64 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+        }
+    }
+
+    /// Apply the operator to two `f64` operands.
+    #[inline]
+    pub fn apply_f64(self, a: f64, b: f64) -> f64 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+        }
+    }
+}
+
+/// Traffic counters recorded by a communicator.
+///
+/// Byte counts are *approximations supplied by the caller* (PASTIS-RS's
+/// distributed-matrix layer knows the exact serialized size of the
+/// sub-matrices it broadcasts and passes it down), so the counters can feed
+/// the α–β cost model with the same numbers the analysis in Section VI-A
+/// uses.
+#[derive(Debug, Default)]
+pub struct CommStats {
+    /// Number of broadcast operations issued by this rank.
+    pub broadcasts: AtomicU64,
+    /// Number of all-gather operations issued by this rank.
+    pub all_gathers: AtomicU64,
+    /// Number of all-to-allv operations issued by this rank.
+    pub all_to_allvs: AtomicU64,
+    /// Number of reductions issued by this rank.
+    pub reductions: AtomicU64,
+    /// Number of barrier operations issued by this rank.
+    pub barriers: AtomicU64,
+    /// Number of point-to-point messages sent by this rank.
+    pub p2p_messages: AtomicU64,
+    /// Approximate bytes moved by this rank (caller-supplied sizes).
+    pub bytes: AtomicU64,
+}
+
+impl CommStats {
+    /// Record `n` bytes of traffic.
+    #[inline]
+    pub fn add_bytes(&self, n: u64) {
+        self.bytes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Snapshot the counters into a plain struct.
+    pub fn snapshot(&self) -> CommStatsSnapshot {
+        CommStatsSnapshot {
+            broadcasts: self.broadcasts.load(Ordering::Relaxed),
+            all_gathers: self.all_gathers.load(Ordering::Relaxed),
+            all_to_allvs: self.all_to_allvs.load(Ordering::Relaxed),
+            reductions: self.reductions.load(Ordering::Relaxed),
+            barriers: self.barriers.load(Ordering::Relaxed),
+            p2p_messages: self.p2p_messages.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value snapshot of [`CommStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommStatsSnapshot {
+    /// Number of broadcast operations.
+    pub broadcasts: u64,
+    /// Number of all-gather operations.
+    pub all_gathers: u64,
+    /// Number of all-to-allv operations.
+    pub all_to_allvs: u64,
+    /// Number of reductions.
+    pub reductions: u64,
+    /// Number of barriers.
+    pub barriers: u64,
+    /// Number of point-to-point messages.
+    pub p2p_messages: u64,
+    /// Approximate bytes moved.
+    pub bytes: u64,
+}
+
+/// An MPI-like SPMD communicator.
+///
+/// Implementations: [`crate::ThreadedComm`] (ranks are threads, data really
+/// moves) and [`crate::SelfComm`] (`p = 1`).
+pub trait Communicator: Send + Sized {
+    /// This rank's id in `0..size()`.
+    fn rank(&self) -> usize;
+
+    /// Number of ranks in this communicator.
+    fn size(&self) -> usize;
+
+    /// Synchronize all ranks of this communicator.
+    fn barrier(&self);
+
+    /// Broadcast `value` from `root` to every rank; every rank receives the
+    /// root's value. Non-root ranks pass their (ignored) local value or a
+    /// default; only the root's `value` is used, mirroring `MPI_Bcast`
+    /// buffer semantics. `nbytes` is the caller's estimate of the payload
+    /// size, recorded in [`CommStats`].
+    fn broadcast<T: Payload>(&self, root: usize, value: T, nbytes: usize) -> T;
+
+    /// Gather one value from every rank onto every rank, ordered by rank.
+    fn all_gather<T: Payload>(&self, value: T) -> Vec<T>;
+
+    /// Gather one value from every rank onto `root` (rank order). Returns
+    /// `Some(values)` on the root and `None` elsewhere.
+    fn gather<T: Payload>(&self, root: usize, value: T) -> Option<Vec<T>>;
+
+    /// Personalized all-to-all: `parts[d]` is sent to rank `d`; the return
+    /// value's element `s` is the part rank `s` addressed to this rank.
+    fn all_to_allv<T: Payload>(&self, parts: Vec<Vec<T>>) -> Vec<Vec<T>>;
+
+    /// Element-wise reduction of a `u64` vector across all ranks; every rank
+    /// receives the reduced vector.
+    fn all_reduce(&self, values: &[u64], op: ReduceOp) -> Vec<u64> {
+        self.all_reduce_with(values.to_vec(), move |mut a, b| {
+            assert_eq!(a.len(), b.len(), "all_reduce length mismatch across ranks");
+            for (x, y) in a.iter_mut().zip(b) {
+                *x = op.apply_u64(*x, y);
+            }
+            a
+        })
+    }
+
+    /// Element-wise reduction of an `f64` vector across all ranks.
+    fn all_reduce_f64(&self, values: &[f64], op: ReduceOp) -> Vec<f64> {
+        self.all_reduce_with(values.to_vec(), move |mut a, b| {
+            assert_eq!(a.len(), b.len(), "all_reduce length mismatch across ranks");
+            for (x, y) in a.iter_mut().zip(b) {
+                *x = op.apply_f64(*x, y);
+            }
+            a
+        })
+    }
+
+    /// Generic all-reduce with a caller-supplied associative fold.
+    ///
+    /// The fold is applied in rank order (`((v0 ⊕ v1) ⊕ v2) …`), so
+    /// non-commutative but associative operators are well-defined.
+    fn all_reduce_with<T, F>(&self, value: T, fold: F) -> T
+    where
+        T: Payload,
+        F: Fn(T, T) -> T,
+    {
+        let all = self.all_gather(value);
+        let mut it = all.into_iter();
+        let first = it.next().expect("all_reduce on empty communicator");
+        it.fold(first, fold)
+    }
+
+    /// Non-blocking send of `value` to rank `dst`. The message is delivered
+    /// into `dst`'s mailbox and matched by [`Communicator::recv_from`] in
+    /// FIFO order per (source, destination) pair.
+    fn send_to<T: Payload>(&self, dst: usize, value: T, nbytes: usize);
+
+    /// Blocking receive of the next message sent by rank `src` to this rank.
+    fn recv_from<T: Payload>(&self, src: usize) -> T;
+
+    /// Split this communicator into disjoint sub-communicators.
+    ///
+    /// Ranks passing the same `color` form a group; within a group ranks are
+    /// ordered by `key` (ties broken by parent rank), mirroring
+    /// `MPI_Comm_split`.
+    fn split(&self, color: usize, key: usize) -> Self;
+
+    /// Traffic counters for this rank.
+    fn stats(&self) -> CommStatsSnapshot;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_op_u64() {
+        assert_eq!(ReduceOp::Sum.apply_u64(3, 4), 7);
+        assert_eq!(ReduceOp::Min.apply_u64(3, 4), 3);
+        assert_eq!(ReduceOp::Max.apply_u64(3, 4), 4);
+    }
+
+    #[test]
+    fn reduce_op_f64() {
+        assert_eq!(ReduceOp::Sum.apply_f64(1.5, 2.5), 4.0);
+        assert_eq!(ReduceOp::Min.apply_f64(1.5, 2.5), 1.5);
+        assert_eq!(ReduceOp::Max.apply_f64(1.5, 2.5), 2.5);
+    }
+
+    #[test]
+    fn stats_snapshot_roundtrip() {
+        let s = CommStats::default();
+        s.add_bytes(128);
+        s.broadcasts.fetch_add(2, Ordering::Relaxed);
+        let snap = s.snapshot();
+        assert_eq!(snap.bytes, 128);
+        assert_eq!(snap.broadcasts, 2);
+        assert_eq!(snap.barriers, 0);
+    }
+}

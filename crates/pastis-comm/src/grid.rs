@@ -1,0 +1,257 @@
+//! 2D process grids and 1D block distributions.
+//!
+//! CombBLAS — and therefore PASTIS — distributes sparse matrices over a
+//! square `√p × √p` process grid (Section V-A of the paper: "It uses a
+//! square process grid with the requirement of number of processes to be a
+//! perfect square number"). [`GridShape`] is the pure index arithmetic
+//! (usable by the performance-model plane without any communicator), and
+//! [`ProcessGrid`] binds a shape to a live [`Communicator`] with row and
+//! column sub-communicators for the SUMMA broadcasts.
+
+use crate::communicator::Communicator;
+
+/// Pure 2D grid geometry: `rows × cols` ranks in row-major order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridShape {
+    /// Number of process rows.
+    pub rows: usize,
+    /// Number of process columns.
+    pub cols: usize,
+}
+
+impl GridShape {
+    /// A square grid for `p` ranks. `p` must be a perfect square, matching
+    /// the CombBLAS requirement.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message if `p` is zero or not a perfect square.
+    pub fn square(p: usize) -> Result<GridShape, String> {
+        if p == 0 {
+            return Err("process grid requires at least one rank".into());
+        }
+        let s = (p as f64).sqrt().round() as usize;
+        if s * s != p {
+            return Err(format!(
+                "2D Sparse SUMMA requires a perfect-square process count, got {p}"
+            ));
+        }
+        Ok(GridShape { rows: s, cols: s })
+    }
+
+    /// Total rank count.
+    pub fn size(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Grid coordinates of `rank` (row-major).
+    pub fn coords(&self, rank: usize) -> (usize, usize) {
+        debug_assert!(rank < self.size());
+        (rank / self.cols, rank % self.cols)
+    }
+
+    /// Rank at grid coordinates `(row, col)`.
+    pub fn rank_of(&self, row: usize, col: usize) -> usize {
+        debug_assert!(row < self.rows && col < self.cols);
+        row * self.cols + col
+    }
+}
+
+/// 1D block distribution of `n` items over `parts` owners, CombBLAS-style:
+/// the first `n % parts` owners get one extra item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockDist1D {
+    /// Number of distributed items (matrix rows or columns).
+    pub n: usize,
+    /// Number of owners.
+    pub parts: usize,
+}
+
+impl BlockDist1D {
+    /// Create a distribution of `n` items over `parts > 0` owners.
+    pub fn new(n: usize, parts: usize) -> BlockDist1D {
+        assert!(parts > 0, "block distribution needs at least one part");
+        BlockDist1D { n, parts }
+    }
+
+    /// Number of items owned by `part`.
+    pub fn part_len(&self, part: usize) -> usize {
+        debug_assert!(part < self.parts);
+        let base = self.n / self.parts;
+        let extra = self.n % self.parts;
+        base + usize::from(part < extra)
+    }
+
+    /// Global index of the first item owned by `part`.
+    pub fn part_offset(&self, part: usize) -> usize {
+        debug_assert!(part <= self.parts);
+        let base = self.n / self.parts;
+        let extra = self.n % self.parts;
+        part * base + part.min(extra)
+    }
+
+    /// Owner of global item `i`.
+    pub fn owner(&self, i: usize) -> usize {
+        debug_assert!(i < self.n, "index {i} out of range {}", self.n);
+        let base = self.n / self.parts;
+        let extra = self.n % self.parts;
+        let boundary = extra * (base + 1);
+        if i < boundary {
+            if base + 1 == 0 {
+                unreachable!()
+            }
+            i / (base + 1)
+        } else if base == 0 {
+            // More parts than items: items all live below `boundary`.
+            unreachable!("index {i} beyond distributed range")
+        } else {
+            extra + (i - boundary) / base
+        }
+    }
+
+    /// Convert a global index to `(owner, local index)`.
+    pub fn to_local(&self, i: usize) -> (usize, usize) {
+        let owner = self.owner(i);
+        (owner, i - self.part_offset(owner))
+    }
+
+    /// Convert `(owner, local index)` back to the global index.
+    pub fn to_global(&self, part: usize, local: usize) -> usize {
+        debug_assert!(local < self.part_len(part));
+        self.part_offset(part) + local
+    }
+}
+
+/// A live 2D process grid: geometry plus world/row/column communicators.
+///
+/// The row communicator connects all ranks in this rank's grid row (used to
+/// broadcast stripes of `A` in SUMMA); the column communicator connects this
+/// rank's grid column (stripes of `B`).
+pub struct ProcessGrid<C: Communicator> {
+    shape: GridShape,
+    world: C,
+    row_comm: C,
+    col_comm: C,
+}
+
+impl<C: Communicator> ProcessGrid<C> {
+    /// Build a square grid over `world`. The world size must be a perfect
+    /// square.
+    pub fn square(world: C) -> ProcessGrid<C> {
+        let shape = GridShape::square(world.size()).unwrap_or_else(|e| panic!("{e}"));
+        let (my_row, my_col) = shape.coords(world.rank());
+        // Color by row: ranks of one row form the row communicator.
+        let row_comm = world.split(my_row, my_col);
+        let col_comm = world.split(my_col, my_row);
+        ProcessGrid {
+            shape,
+            world,
+            row_comm,
+            col_comm,
+        }
+    }
+
+    /// Grid geometry.
+    pub fn shape(&self) -> GridShape {
+        self.shape
+    }
+
+    /// This rank's grid row.
+    pub fn my_row(&self) -> usize {
+        self.shape.coords(self.world.rank()).0
+    }
+
+    /// This rank's grid column.
+    pub fn my_col(&self) -> usize {
+        self.shape.coords(self.world.rank()).1
+    }
+
+    /// The world communicator spanning the whole grid.
+    pub fn world(&self) -> &C {
+        &self.world
+    }
+
+    /// Communicator spanning this rank's grid row; the sub-rank equals the
+    /// grid column.
+    pub fn row_comm(&self) -> &C {
+        &self.row_comm
+    }
+
+    /// Communicator spanning this rank's grid column; the sub-rank equals
+    /// the grid row.
+    pub fn col_comm(&self) -> &C {
+        &self.col_comm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::threaded::run_threaded;
+
+    #[test]
+    fn square_shapes() {
+        assert_eq!(GridShape::square(1).unwrap(), GridShape { rows: 1, cols: 1 });
+        assert_eq!(GridShape::square(9).unwrap(), GridShape { rows: 3, cols: 3 });
+        assert!(GridShape::square(8).is_err());
+        assert!(GridShape::square(0).is_err());
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let g = GridShape::square(16).unwrap();
+        for rank in 0..16 {
+            let (r, c) = g.coords(rank);
+            assert_eq!(g.rank_of(r, c), rank);
+        }
+    }
+
+    #[test]
+    fn block_dist_covers_everything_in_order() {
+        for n in [0usize, 1, 7, 10, 64, 101] {
+            for parts in [1usize, 2, 3, 7, 16] {
+                let d = BlockDist1D::new(n, parts);
+                let total: usize = (0..parts).map(|p| d.part_len(p)).sum();
+                assert_eq!(total, n, "n={n} parts={parts}");
+                let mut seen = 0usize;
+                for p in 0..parts {
+                    assert_eq!(d.part_offset(p), seen);
+                    seen += d.part_len(p);
+                }
+                for i in 0..n {
+                    let (owner, local) = d.to_local(i);
+                    assert!(local < d.part_len(owner));
+                    assert_eq!(d.to_global(owner, local), i);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_dist_remainder_goes_first() {
+        let d = BlockDist1D::new(10, 4);
+        assert_eq!(
+            (0..4).map(|p| d.part_len(p)).collect::<Vec<_>>(),
+            vec![3, 3, 2, 2]
+        );
+        assert_eq!(d.owner(0), 0);
+        assert_eq!(d.owner(5), 1);
+        assert_eq!(d.owner(9), 3);
+    }
+
+    #[test]
+    fn live_grid_row_and_col_comms() {
+        let out = run_threaded(4, |c| {
+            let rank = c.rank();
+            let world = c.split(0, rank); // clone of the world ordering
+            let grid = ProcessGrid::square(world);
+            let row_members = grid.row_comm().all_gather(rank);
+            let col_members = grid.col_comm().all_gather(rank);
+            (grid.my_row(), grid.my_col(), row_members, col_members)
+        });
+        assert_eq!(out[0], (0, 0, vec![0, 1], vec![0, 2]));
+        assert_eq!(out[1], (0, 1, vec![0, 1], vec![1, 3]));
+        assert_eq!(out[2], (1, 0, vec![2, 3], vec![0, 2]));
+        assert_eq!(out[3], (1, 1, vec![2, 3], vec![1, 3]));
+    }
+}

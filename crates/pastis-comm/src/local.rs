@@ -1,0 +1,131 @@
+//! The single-rank communicator (`p = 1` fast path).
+//!
+//! Every collective degenerates to the identity; point-to-point messages to
+//! self are queued in a local FIFO. This is the backend used by serial
+//! reference runs that the distributed results are checked against.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::communicator::{CommStats, CommStatsSnapshot, Communicator, Payload};
+
+/// A communicator containing exactly one rank.
+#[derive(Default)]
+pub struct SelfComm {
+    queue: Arc<Mutex<VecDeque<Box<dyn Any + Send>>>>,
+    stats: Arc<CommStats>,
+}
+
+impl SelfComm {
+    /// Create a fresh single-rank communicator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Communicator for SelfComm {
+    fn rank(&self) -> usize {
+        0
+    }
+
+    fn size(&self) -> usize {
+        1
+    }
+
+    fn barrier(&self) {
+        self.stats.barriers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn broadcast<T: Payload>(&self, root: usize, value: T, nbytes: usize) -> T {
+        assert_eq!(root, 0, "broadcast root out of range for SelfComm");
+        self.stats.broadcasts.fetch_add(1, Ordering::Relaxed);
+        self.stats.add_bytes(nbytes as u64);
+        value
+    }
+
+    fn all_gather<T: Payload>(&self, value: T) -> Vec<T> {
+        self.stats.all_gathers.fetch_add(1, Ordering::Relaxed);
+        vec![value]
+    }
+
+    fn gather<T: Payload>(&self, root: usize, value: T) -> Option<Vec<T>> {
+        assert_eq!(root, 0, "gather root out of range for SelfComm");
+        self.stats.all_gathers.fetch_add(1, Ordering::Relaxed);
+        Some(vec![value])
+    }
+
+    fn all_to_allv<T: Payload>(&self, parts: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        assert_eq!(parts.len(), 1, "all_to_allv part count mismatch");
+        self.stats.all_to_allvs.fetch_add(1, Ordering::Relaxed);
+        parts
+    }
+
+    fn send_to<T: Payload>(&self, dst: usize, value: T, nbytes: usize) {
+        assert_eq!(dst, 0, "send_to destination out of range for SelfComm");
+        self.stats.p2p_messages.fetch_add(1, Ordering::Relaxed);
+        self.stats.add_bytes(nbytes as u64);
+        self.queue.lock().push_back(Box::new(value));
+    }
+
+    fn recv_from<T: Payload>(&self, src: usize) -> T {
+        assert_eq!(src, 0, "recv_from source out of range for SelfComm");
+        let msg = self
+            .queue
+            .lock()
+            .pop_front()
+            .expect("recv_from: no message queued to self");
+        *msg.downcast::<T>()
+            .expect("recv_from: payload type mismatch")
+    }
+
+    fn split(&self, _color: usize, _key: usize) -> Self {
+        SelfComm::new()
+    }
+
+    fn stats(&self) -> CommStatsSnapshot {
+        self.stats.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collectives_are_identity() {
+        let c = SelfComm::new();
+        assert_eq!(c.rank(), 0);
+        assert_eq!(c.size(), 1);
+        assert_eq!(c.broadcast(0, 5u32, 4), 5);
+        assert_eq!(c.all_gather(5u32), vec![5]);
+        assert_eq!(c.gather(0, 5u32), Some(vec![5]));
+        assert_eq!(c.all_to_allv(vec![vec![1u8, 2]]), vec![vec![1, 2]]);
+    }
+
+    #[test]
+    fn self_messaging_fifo() {
+        let c = SelfComm::new();
+        c.send_to(0, 1u8, 1);
+        c.send_to(0, 2u8, 1);
+        assert_eq!(c.recv_from::<u8>(0), 1);
+        assert_eq!(c.recv_from::<u8>(0), 2);
+    }
+
+    #[test]
+    fn split_yields_fresh_world() {
+        let c = SelfComm::new();
+        let s = c.split(9, 9);
+        assert_eq!(s.size(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no message queued")]
+    fn recv_without_send_panics() {
+        let c = SelfComm::new();
+        let _: u8 = c.recv_from(0);
+    }
+}

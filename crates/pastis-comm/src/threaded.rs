@@ -1,0 +1,455 @@
+//! Shared-memory SPMD communicator: `p` ranks as OS threads.
+//!
+//! Collectives are implemented with an *exchange board*: a slot per rank
+//! guarded by a mutex, with a barrier before the collect phase and another
+//! before slots are recycled. Each rank only ever writes its own slot, which
+//! keeps the board race-free across back-to-back collectives.
+//!
+//! Point-to-point messages use one unbounded channel per (source,
+//! destination) pair, giving MPI-like FIFO ordering per pair and
+//! non-blocking sends (used by PASTIS for the overlap-hidden sequence
+//! exchange).
+
+use std::any::Any;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Barrier};
+use std::thread;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::communicator::{CommStats, CommStatsSnapshot, Communicator, Payload};
+
+type Slot = Option<Box<dyn Any + Send + Sync>>;
+
+/// State shared by all ranks of one (sub-)communicator.
+struct Core {
+    size: usize,
+    barrier: Barrier,
+    /// Exchange board: one deposit slot per rank.
+    board: Mutex<Vec<Slot>>,
+    /// p2p mailboxes: `receivers[dst][src]`, taken once by rank `dst`.
+    pending_receivers: Mutex<Vec<Option<Vec<Receiver<Box<dyn Any + Send>>>>>>,
+    /// p2p senders: `senders[src][dst]`.
+    senders: Vec<Vec<Sender<Box<dyn Any + Send>>>>,
+}
+
+impl Core {
+    fn new(size: usize) -> Arc<Self> {
+        assert!(size > 0, "communicator must have at least one rank");
+        let mut senders: Vec<Vec<Sender<Box<dyn Any + Send>>>> = Vec::with_capacity(size);
+        let mut receivers: Vec<Vec<Receiver<Box<dyn Any + Send>>>> = (0..size)
+            .map(|_| Vec::with_capacity(size))
+            .collect();
+        for _src in 0..size {
+            let mut row = Vec::with_capacity(size);
+            for dst in 0..size {
+                let (tx, rx) = unbounded();
+                row.push(tx);
+                receivers[dst].push(rx);
+            }
+            senders.push(row);
+        }
+        Arc::new(Core {
+            size,
+            barrier: Barrier::new(size),
+            board: Mutex::new((0..size).map(|_| None).collect()),
+            pending_receivers: Mutex::new(receivers.into_iter().map(Some).collect()),
+            senders,
+        })
+    }
+}
+
+/// Per-rank handle to a threaded communicator.
+///
+/// Create a world with [`run_threaded`] (spawns the rank threads for you) or
+/// [`ThreadedComm::world`] (returns one handle per rank to spawn manually).
+pub struct ThreadedComm {
+    rank: usize,
+    core: Arc<Core>,
+    /// Receivers for messages addressed to this rank, indexed by source.
+    mailboxes: Vec<Receiver<Box<dyn Any + Send>>>,
+    stats: Arc<CommStats>,
+}
+
+impl ThreadedComm {
+    /// Create `p` rank handles sharing one world communicator.
+    pub fn world(p: usize) -> Vec<ThreadedComm> {
+        let core = Core::new(p);
+        (0..p)
+            .map(|rank| ThreadedComm::attach(rank, Arc::clone(&core)))
+            .collect()
+    }
+
+    fn attach(rank: usize, core: Arc<Core>) -> ThreadedComm {
+        let mailboxes = core.pending_receivers.lock()[rank]
+            .take()
+            .expect("rank handle already attached");
+        ThreadedComm {
+            rank,
+            core,
+            mailboxes,
+            stats: Arc::new(CommStats::default()),
+        }
+    }
+
+    /// Deposit a value in this rank's slot, run the collect phase, then
+    /// clear the slot. `collect` runs between the two barriers and may read
+    /// any slot on the board.
+    fn exchange<R>(&self, deposit: Slot, collect: impl FnOnce(&mut Vec<Slot>) -> R) -> R {
+        {
+            let mut board = self.core.board.lock();
+            debug_assert!(
+                board[self.rank].is_none(),
+                "collective ordering violation: rank {} slot still occupied",
+                self.rank
+            );
+            board[self.rank] = deposit;
+        }
+        self.core.barrier.wait();
+        let out = {
+            let mut board = self.core.board.lock();
+            collect(&mut board)
+        };
+        self.core.barrier.wait();
+        self.core.board.lock()[self.rank] = None;
+        out
+    }
+}
+
+fn downcast_clone<T: Payload>(slot: &Slot, what: &str) -> T {
+    slot.as_ref()
+        .unwrap_or_else(|| panic!("{what}: expected a deposited value"))
+        .downcast_ref::<T>()
+        .unwrap_or_else(|| panic!("{what}: payload type mismatch across ranks"))
+        .clone()
+}
+
+impl Communicator for ThreadedComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.core.size
+    }
+
+    fn barrier(&self) {
+        self.stats.barriers.fetch_add(1, Ordering::Relaxed);
+        self.core.barrier.wait();
+    }
+
+    fn broadcast<T: Payload>(&self, root: usize, value: T, nbytes: usize) -> T {
+        assert!(root < self.size(), "broadcast root {root} out of range");
+        self.stats.broadcasts.fetch_add(1, Ordering::Relaxed);
+        self.stats.add_bytes(nbytes as u64);
+        let deposit: Slot = if self.rank == root {
+            Some(Box::new(value))
+        } else {
+            None
+        };
+        self.exchange(deposit, |board| downcast_clone::<T>(&board[root], "broadcast"))
+    }
+
+    fn all_gather<T: Payload>(&self, value: T) -> Vec<T> {
+        self.stats.all_gathers.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .add_bytes((std::mem::size_of::<T>() * self.size()) as u64);
+        self.exchange(Some(Box::new(value)), |board| {
+            board
+                .iter()
+                .map(|slot| downcast_clone::<T>(slot, "all_gather"))
+                .collect()
+        })
+    }
+
+    fn gather<T: Payload>(&self, root: usize, value: T) -> Option<Vec<T>> {
+        assert!(root < self.size(), "gather root {root} out of range");
+        self.stats.all_gathers.fetch_add(1, Ordering::Relaxed);
+        self.stats.add_bytes(std::mem::size_of::<T>() as u64);
+        let rank = self.rank;
+        self.exchange(Some(Box::new(value)), move |board| {
+            (rank == root).then(|| {
+                board
+                    .iter()
+                    .map(|slot| downcast_clone::<T>(slot, "gather"))
+                    .collect()
+            })
+        })
+    }
+
+    fn all_to_allv<T: Payload>(&self, parts: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        assert_eq!(
+            parts.len(),
+            self.size(),
+            "all_to_allv requires one part per destination rank"
+        );
+        self.stats.all_to_allvs.fetch_add(1, Ordering::Relaxed);
+        let sent: usize = parts.iter().map(Vec::len).sum();
+        self.stats
+            .add_bytes((sent * std::mem::size_of::<T>()) as u64);
+        let rank = self.rank;
+        let size = self.size();
+        self.exchange(Some(Box::new(parts)), move |board| {
+            (0..size)
+                .map(|src| {
+                    let all_parts = board[src]
+                        .as_ref()
+                        .expect("all_to_allv: missing deposit")
+                        .downcast_ref::<Vec<Vec<T>>>()
+                        .expect("all_to_allv: payload type mismatch across ranks");
+                    all_parts[rank].clone()
+                })
+                .collect()
+        })
+    }
+
+    fn send_to<T: Payload>(&self, dst: usize, value: T, nbytes: usize) {
+        assert!(dst < self.size(), "send_to destination {dst} out of range");
+        self.stats.p2p_messages.fetch_add(1, Ordering::Relaxed);
+        self.stats.add_bytes(nbytes as u64);
+        self.core.senders[self.rank][dst]
+            .send(Box::new(value))
+            .expect("send_to: destination mailbox closed");
+    }
+
+    fn recv_from<T: Payload>(&self, src: usize) -> T {
+        assert!(src < self.size(), "recv_from source {src} out of range");
+        let msg = self.mailboxes[src]
+            .recv()
+            .expect("recv_from: source channel closed");
+        *msg.downcast::<T>()
+            .unwrap_or_else(|_| panic!("recv_from: payload type mismatch (src {src})"))
+    }
+
+    fn split(&self, color: usize, key: usize) -> Self {
+        // 1. Learn every rank's (color, key).
+        let pairs = self.all_gather((color, key, self.rank));
+        // 2. My group, ordered by (key, parent rank).
+        let mut members: Vec<(usize, usize)> = pairs
+            .iter()
+            .filter(|(c, _, _)| *c == color)
+            .map(|(_, k, r)| (*k, *r))
+            .collect();
+        members.sort_unstable();
+        let my_new_rank = members
+            .iter()
+            .position(|&(_, r)| r == self.rank)
+            .expect("split: rank missing from its own group");
+        let leader = members[0].1;
+        // 3. The group leader creates the new core; everyone fetches the
+        //    leader's deposit. Each rank writes only its own slot, so
+        //    multiple leaders coexist on the board.
+        let deposit: Slot = if self.rank == leader {
+            Some(Box::new(Core::new(members.len())))
+        } else {
+            None
+        };
+        let new_core =
+            self.exchange(deposit, |board| downcast_clone::<Arc<Core>>(&board[leader], "split"));
+        ThreadedComm::attach(my_new_rank, new_core)
+    }
+
+    fn stats(&self) -> CommStatsSnapshot {
+        self.stats.snapshot()
+    }
+}
+
+/// Run an SPMD closure on `p` rank threads and collect each rank's result in
+/// rank order.
+///
+/// This is the main entry point for the "functional plane" of PASTIS-RS:
+/// real data movement between real threads, used to validate algorithm
+/// correctness and output determinism at small `p`.
+///
+/// # Panics
+///
+/// Propagates a panic from any rank thread.
+pub fn run_threaded<R, F>(p: usize, f: F) -> Vec<R>
+where
+    R: Send + 'static,
+    F: Fn(&ThreadedComm) -> R + Send + Sync + 'static,
+{
+    let handles = ThreadedComm::world(p);
+    let f = Arc::new(f);
+    let joins: Vec<thread::JoinHandle<R>> = handles
+        .into_iter()
+        .map(|comm| {
+            let f = Arc::clone(&f);
+            thread::Builder::new()
+                .name(format!("rank-{}", comm.rank()))
+                .stack_size(16 << 20)
+                .spawn(move || f(&comm))
+                .expect("failed to spawn rank thread")
+        })
+        .collect();
+    joins
+        .into_iter()
+        .map(|j| j.join().expect("rank thread panicked"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_delivers_root_value() {
+        let out = run_threaded(4, |c| c.broadcast(2, c.rank() * 100, 8));
+        assert_eq!(out, vec![200, 200, 200, 200]);
+    }
+
+    #[test]
+    fn all_gather_orders_by_rank() {
+        let out = run_threaded(3, |c| c.all_gather(format!("r{}", c.rank())));
+        for v in out {
+            assert_eq!(v, vec!["r0", "r1", "r2"]);
+        }
+    }
+
+    #[test]
+    fn gather_only_on_root() {
+        let out = run_threaded(3, |c| c.gather(1, c.rank() as u64));
+        assert_eq!(out[0], None);
+        assert_eq!(out[1], Some(vec![0, 1, 2]));
+        assert_eq!(out[2], None);
+    }
+
+    #[test]
+    fn all_to_allv_transposes() {
+        let out = run_threaded(3, |c| {
+            let parts: Vec<Vec<usize>> = (0..3).map(|d| vec![c.rank() * 10 + d]).collect();
+            c.all_to_allv(parts)
+        });
+        // Rank r receives [s*10 + r] from each source s.
+        for (r, got) in out.iter().enumerate() {
+            let want: Vec<Vec<usize>> = (0..3).map(|s| vec![s * 10 + r]).collect();
+            assert_eq!(got, &want);
+        }
+    }
+
+    #[test]
+    fn all_to_allv_variable_sizes() {
+        let out = run_threaded(4, |c| {
+            // Rank r sends r copies of its rank to each destination.
+            let parts: Vec<Vec<u8>> = (0..4).map(|_| vec![c.rank() as u8; c.rank()]).collect();
+            c.all_to_allv(parts)
+        });
+        for got in &out {
+            for (s, part) in got.iter().enumerate() {
+                assert_eq!(part, &vec![s as u8; s]);
+            }
+        }
+    }
+
+    #[test]
+    fn all_reduce_sum_min_max() {
+        use crate::communicator::ReduceOp;
+        let out = run_threaded(4, |c| {
+            let v = [c.rank() as u64 + 1];
+            (
+                c.all_reduce(&v, ReduceOp::Sum)[0],
+                c.all_reduce(&v, ReduceOp::Min)[0],
+                c.all_reduce(&v, ReduceOp::Max)[0],
+            )
+        });
+        for (s, mn, mx) in out {
+            assert_eq!(s, 10);
+            assert_eq!(mn, 1);
+            assert_eq!(mx, 4);
+        }
+    }
+
+    #[test]
+    fn p2p_fifo_per_pair() {
+        let out = run_threaded(2, |c| {
+            if c.rank() == 0 {
+                c.send_to(1, 1u32, 4);
+                c.send_to(1, 2u32, 4);
+                c.send_to(1, 3u32, 4);
+                Vec::new()
+            } else {
+                vec![
+                    c.recv_from::<u32>(0),
+                    c.recv_from::<u32>(0),
+                    c.recv_from::<u32>(0),
+                ]
+            }
+        });
+        assert_eq!(out[1], vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn p2p_send_before_recv_is_nonblocking() {
+        // All ranks send first, then receive: must not deadlock.
+        let out = run_threaded(3, |c| {
+            for dst in 0..3 {
+                c.send_to(dst, c.rank(), 8);
+            }
+            (0..3).map(|src| c.recv_from::<usize>(src)).sum::<usize>()
+        });
+        assert_eq!(out, vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn split_rows() {
+        // 2x2 grid: colors by row.
+        let out = run_threaded(4, |c| {
+            let row = c.rank() / 2;
+            let sub = c.split(row, c.rank());
+            (sub.rank(), sub.size(), sub.all_gather(c.rank()))
+        });
+        assert_eq!(out[0], (0, 2, vec![0, 1]));
+        assert_eq!(out[1], (1, 2, vec![0, 1]));
+        assert_eq!(out[2], (0, 2, vec![2, 3]));
+        assert_eq!(out[3], (1, 2, vec![2, 3]));
+    }
+
+    #[test]
+    fn split_respects_key_order() {
+        let out = run_threaded(4, |c| {
+            // Reverse ordering via key.
+            let sub = c.split(0, 100 - c.rank());
+            sub.rank()
+        });
+        assert_eq!(out, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn nested_collectives_on_subcomm() {
+        let out = run_threaded(4, |c| {
+            let sub = c.split(c.rank() % 2, c.rank());
+            let local = sub.all_gather(c.rank());
+            c.barrier();
+            local
+        });
+        assert_eq!(out[0], vec![0, 2]);
+        assert_eq!(out[1], vec![1, 3]);
+        assert_eq!(out[2], vec![0, 2]);
+        assert_eq!(out[3], vec![1, 3]);
+    }
+
+    #[test]
+    fn stats_counting() {
+        let out = run_threaded(2, |c| {
+            c.broadcast(0, 7u8, 1);
+            c.barrier();
+            c.stats()
+        });
+        for s in out {
+            assert_eq!(s.broadcasts, 1);
+            assert_eq!(s.barriers, 1);
+            assert_eq!(s.bytes, 1);
+        }
+    }
+
+    #[test]
+    fn single_rank_world() {
+        let out = run_threaded(1, |c| {
+            let g = c.all_gather(42u8);
+            let b = c.broadcast(0, 7u8, 1);
+            (g, b)
+        });
+        assert_eq!(out[0], (vec![42], 7));
+    }
+}

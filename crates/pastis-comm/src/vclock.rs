@@ -1,0 +1,350 @@
+//! Virtual clocks, component time breakdowns, and imbalance statistics.
+//!
+//! Section VII of the paper ("How performance was measured") describes three
+//! reporting mechanisms: component timers, alignments/second, and cell
+//! updates/second, with load imbalance captured as the minimum / average /
+//! maximum per-process time in a component. This module is the Rust
+//! counterpart: [`VirtualClock`] accumulates per-rank time by
+//! [`Component`], and [`ImbalanceStats`] condenses a per-rank metric into
+//! the min/avg/max triples plotted in Figure 7.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// Pipeline components timed separately, following the paper's breakdown
+/// (Table IV: Align / SpGEMM / Sparse (all) / IO / Communication wait).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Component {
+    /// Batch pairwise alignment (GPU in the paper).
+    Align,
+    /// The SpGEMM proper inside the sparse phase.
+    SpGemm,
+    /// Other sparse work: k-mer matrix formation, transposes, pruning,
+    /// symmetricity handling, output assembly.
+    SparseOther,
+    /// Parallel file input/output.
+    Io,
+    /// Waiting on sequence point-to-point transfers ("cwait", Table II).
+    CommWait,
+    /// Anything else (setup, bookkeeping).
+    Other,
+}
+
+impl Component {
+    /// All components in display order.
+    pub const ALL: [Component; 6] = [
+        Component::Align,
+        Component::SpGemm,
+        Component::SparseOther,
+        Component::Io,
+        Component::CommWait,
+        Component::Other,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            Component::Align => 0,
+            Component::SpGemm => 1,
+            Component::SparseOther => 2,
+            Component::Io => 3,
+            Component::CommWait => 4,
+            Component::Other => 5,
+        }
+    }
+
+    /// Short label used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Component::Align => "align",
+            Component::SpGemm => "spgemm",
+            Component::SparseOther => "sparse-other",
+            Component::Io => "io",
+            Component::CommWait => "cwait",
+            Component::Other => "other",
+        }
+    }
+}
+
+/// Seconds spent per [`Component`].
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TimeBreakdown {
+    secs: [f64; 6],
+}
+
+impl TimeBreakdown {
+    /// An all-zero breakdown.
+    pub fn new() -> TimeBreakdown {
+        TimeBreakdown::default()
+    }
+
+    /// Seconds recorded for `c`.
+    pub fn get(&self, c: Component) -> f64 {
+        self.secs[c.index()]
+    }
+
+    /// Add `dt` seconds to component `c`.
+    pub fn record(&mut self, c: Component, dt: f64) {
+        debug_assert!(dt >= 0.0, "negative time increment");
+        self.secs[c.index()] += dt;
+    }
+
+    /// Total seconds across all components.
+    pub fn total(&self) -> f64 {
+        self.secs.iter().sum()
+    }
+
+    /// The paper's "sparse (all)" aggregate: SpGEMM plus other sparse work.
+    pub fn sparse_all(&self) -> f64 {
+        self.get(Component::SpGemm) + self.get(Component::SparseOther)
+    }
+
+    /// Component-wise maximum (the bulk-synchronous combine across ranks:
+    /// the slowest rank defines the step time per component).
+    pub fn max_combine(&self, other: &TimeBreakdown) -> TimeBreakdown {
+        let mut out = *self;
+        for i in 0..out.secs.len() {
+            out.secs[i] = out.secs[i].max(other.secs[i]);
+        }
+        out
+    }
+}
+
+impl Add for TimeBreakdown {
+    type Output = TimeBreakdown;
+    fn add(mut self, rhs: TimeBreakdown) -> TimeBreakdown {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for TimeBreakdown {
+    fn add_assign(&mut self, rhs: TimeBreakdown) {
+        for i in 0..self.secs.len() {
+            self.secs[i] += rhs.secs[i];
+        }
+    }
+}
+
+impl fmt::Display for TimeBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for c in Component::ALL {
+            let v = self.get(c);
+            if v > 0.0 {
+                if !first {
+                    write!(f, " ")?;
+                }
+                write!(f, "{}={:.3}s", c.label(), v)?;
+                first = false;
+            }
+        }
+        if first {
+            write!(f, "(empty)")?;
+        }
+        Ok(())
+    }
+}
+
+/// A per-rank virtual clock for the performance-model plane.
+///
+/// Each virtual rank advances its own clock by modeled durations; a
+/// bulk-synchronous step then advances every rank to the maximum (stragglers
+/// gate the step), which is exactly how component times compose in an SPMD
+/// program with barriers between phases.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct VirtualClock {
+    now: f64,
+    breakdown: TimeBreakdown,
+}
+
+impl VirtualClock {
+    /// A clock at time zero.
+    pub fn new() -> VirtualClock {
+        VirtualClock::default()
+    }
+
+    /// Current virtual time in seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Advance by `dt` seconds attributed to component `c`.
+    pub fn advance(&mut self, c: Component, dt: f64) {
+        debug_assert!(dt >= 0.0);
+        self.now += dt;
+        self.breakdown.record(c, dt);
+    }
+
+    /// Advance to absolute time `t` (no-op if already past), attributing
+    /// the skipped interval to `c` — used to model barrier waits.
+    pub fn advance_to(&mut self, c: Component, t: f64) {
+        if t > self.now {
+            let dt = t - self.now;
+            self.now = t;
+            self.breakdown.record(c, dt);
+        }
+    }
+
+    /// Per-component accumulated time.
+    pub fn breakdown(&self) -> &TimeBreakdown {
+        &self.breakdown
+    }
+}
+
+/// Synchronize a set of virtual rank clocks at a barrier: every clock jumps
+/// to the maximum `now`, with waiting time attributed to `wait_component`.
+/// Returns the barrier time.
+pub fn barrier_sync(clocks: &mut [VirtualClock], wait_component: Component) -> f64 {
+    let t = clocks.iter().map(VirtualClock::now).fold(0.0, f64::max);
+    for c in clocks.iter_mut() {
+        c.advance_to(wait_component, t);
+    }
+    t
+}
+
+/// Minimum / average / maximum of a per-rank metric — the vertical bars of
+/// Figure 7 and the "Imbalance (%)" rows of Table IV.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ImbalanceStats {
+    /// Minimum across ranks.
+    pub min: f64,
+    /// Mean across ranks.
+    pub avg: f64,
+    /// Maximum across ranks.
+    pub max: f64,
+}
+
+impl ImbalanceStats {
+    /// Compute stats over per-rank values. Panics on an empty slice.
+    pub fn from_values(values: &[f64]) -> ImbalanceStats {
+        assert!(!values.is_empty(), "imbalance stats need at least one rank");
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let avg = values.iter().sum::<f64>() / values.len() as f64;
+        ImbalanceStats { min, avg, max }
+    }
+
+    /// Load imbalance as the paper reports it: `(max/avg − 1) × 100` %.
+    /// Zero for perfectly balanced work; 0 when avg is 0.
+    pub fn imbalance_pct(&self) -> f64 {
+        if self.avg <= 0.0 {
+            0.0
+        } else {
+            (self.max / self.avg - 1.0) * 100.0
+        }
+    }
+
+    /// Ratio max/min (∞ if min is 0 and max > 0, 1 if both 0).
+    pub fn spread(&self) -> f64 {
+        if self.min > 0.0 {
+            self.max / self.min
+        } else if self.max > 0.0 {
+            f64::INFINITY
+        } else {
+            1.0
+        }
+    }
+}
+
+impl fmt::Display for ImbalanceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "min={:.4} avg={:.4} max={:.4} (imb {:.1}%)",
+            self.min,
+            self.avg,
+            self.max,
+            self.imbalance_pct()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_accumulates_and_totals() {
+        let mut b = TimeBreakdown::new();
+        b.record(Component::Align, 2.0);
+        b.record(Component::SpGemm, 1.0);
+        b.record(Component::SparseOther, 0.5);
+        assert_eq!(b.get(Component::Align), 2.0);
+        assert_eq!(b.sparse_all(), 1.5);
+        assert_eq!(b.total(), 3.5);
+    }
+
+    #[test]
+    fn breakdown_add_and_max_combine() {
+        let mut a = TimeBreakdown::new();
+        a.record(Component::Align, 1.0);
+        let mut b = TimeBreakdown::new();
+        b.record(Component::Align, 3.0);
+        b.record(Component::Io, 2.0);
+        let sum = a + b;
+        assert_eq!(sum.get(Component::Align), 4.0);
+        assert_eq!(sum.get(Component::Io), 2.0);
+        let mx = a.max_combine(&b);
+        assert_eq!(mx.get(Component::Align), 3.0);
+        assert_eq!(mx.get(Component::Io), 2.0);
+    }
+
+    #[test]
+    fn clock_advances_and_attributes() {
+        let mut c = VirtualClock::new();
+        c.advance(Component::Io, 1.0);
+        c.advance(Component::Align, 2.0);
+        assert_eq!(c.now(), 3.0);
+        assert_eq!(c.breakdown().get(Component::Io), 1.0);
+        c.advance_to(Component::CommWait, 2.5); // already past: no-op
+        assert_eq!(c.now(), 3.0);
+        c.advance_to(Component::CommWait, 5.0);
+        assert_eq!(c.now(), 5.0);
+        assert_eq!(c.breakdown().get(Component::CommWait), 2.0);
+    }
+
+    #[test]
+    fn barrier_lifts_all_clocks_to_max() {
+        let mut clocks = vec![VirtualClock::new(), VirtualClock::new(), VirtualClock::new()];
+        clocks[0].advance(Component::Align, 1.0);
+        clocks[1].advance(Component::Align, 4.0);
+        clocks[2].advance(Component::Align, 2.0);
+        let t = barrier_sync(&mut clocks, Component::CommWait);
+        assert_eq!(t, 4.0);
+        for c in &clocks {
+            assert_eq!(c.now(), 4.0);
+        }
+        assert_eq!(clocks[0].breakdown().get(Component::CommWait), 3.0);
+        assert_eq!(clocks[1].breakdown().get(Component::CommWait), 0.0);
+    }
+
+    #[test]
+    fn imbalance_stats_match_paper_definition() {
+        let s = ImbalanceStats::from_values(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.avg, 2.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.imbalance_pct() - 50.0).abs() < 1e-12);
+        assert_eq!(s.spread(), 3.0);
+    }
+
+    #[test]
+    fn imbalance_degenerate_cases() {
+        let z = ImbalanceStats::from_values(&[0.0, 0.0]);
+        assert_eq!(z.imbalance_pct(), 0.0);
+        assert_eq!(z.spread(), 1.0);
+        let half = ImbalanceStats::from_values(&[0.0, 2.0]);
+        assert_eq!(half.spread(), f64::INFINITY);
+    }
+
+    #[test]
+    fn display_formats() {
+        let mut b = TimeBreakdown::new();
+        b.record(Component::Align, 1.25);
+        let s = format!("{b}");
+        assert!(s.contains("align=1.250s"));
+        assert_eq!(format!("{}", TimeBreakdown::new()), "(empty)");
+    }
+}

@@ -1,0 +1,214 @@
+//! Distributed connected components of the similarity graph.
+//!
+//! The production-scale consumer of PASTIS's output clusters a
+//! trillion-edge graph, so the clustering itself must be distributed. This
+//! module implements label propagation with pointer jumping
+//! (Shiloach–Vishkin style) over the [`pastis_comm::Communicator`]
+//! substrate: each rank holds only its own edges (exactly what
+//! [`crate::pipeline::run_search`] leaves behind) plus a label vector
+//! combined by element-wise minimum all-reductions.
+//!
+//! Per round: every rank relaxes its local edges against its current label
+//! copy, performs local pointer jumping, and the ranks all-reduce the
+//! label vector with MIN; convergence is an all-reduced "changed" flag.
+//! Rounds are `O(log n)` thanks to the pointer jumping.
+
+use pastis_comm::{Communicator, ReduceOp};
+
+use crate::simgraph::SimilarityGraph;
+
+/// Compute connected-component labels for a graph whose edges are
+/// distributed across the communicator's ranks (this rank passes its local
+/// edge list via `graph`). Every rank receives the full, identical label
+/// vector; labels are the minimum vertex id of each component, matching
+/// [`SimilarityGraph::connected_components`] exactly (tested).
+///
+/// Collective over `comm`.
+pub fn distributed_components<C: Communicator>(
+    comm: &C,
+    graph: &SimilarityGraph,
+) -> Vec<u32> {
+    let n_local = graph.n_vertices() as u64;
+    // All ranks must agree on the vertex-set size.
+    let n = comm.all_reduce(&[n_local], ReduceOp::Max)[0] as usize;
+    assert!(
+        graph.n_vertices() == n || graph.n_edges() == 0,
+        "ranks disagree on the vertex-set size"
+    );
+    let mut labels: Vec<u64> = (0..n as u64).collect();
+    loop {
+        let before = labels.clone();
+        // 1. Edge relaxation on the local edges.
+        for e in graph.edges() {
+            let (i, j) = (e.i as usize, e.j as usize);
+            let m = labels[i].min(labels[j]);
+            labels[i] = m;
+            labels[j] = m;
+        }
+        // 2. Pointer jumping: label[v] <- label[label[v]] until stable
+        //    locally (collapses chains created by relaxation order).
+        loop {
+            let mut hopped = false;
+            for v in 0..n {
+                let l = labels[v] as usize;
+                if labels[l] < labels[v] {
+                    labels[v] = labels[l];
+                    hopped = true;
+                }
+            }
+            if !hopped {
+                break;
+            }
+        }
+        // 3. Combine across ranks and test convergence.
+        labels = comm.all_reduce(&labels, ReduceOp::Min);
+        let changed = labels != before;
+        let any_changed =
+            comm.all_reduce(&[u64::from(changed)], ReduceOp::Max)[0] == 1;
+        if !any_changed {
+            break;
+        }
+    }
+    labels.into_iter().map(|l| l as u32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simgraph::SimilarityEdge;
+    use pastis_comm::{run_threaded, SelfComm};
+
+    fn edge(i: u32, j: u32) -> SimilarityEdge {
+        SimilarityEdge {
+            i,
+            j,
+            score: 10,
+            ani: 0.9,
+            coverage: 0.9,
+            common_kmers: 2,
+        }
+    }
+
+    fn chain_and_triangle(n: usize) -> Vec<SimilarityEdge> {
+        // A long chain 0-1-2-…-9 plus a triangle {12,13,14}.
+        let mut edges: Vec<SimilarityEdge> = (0..9).map(|i| edge(i, i + 1)).collect();
+        edges.extend([edge(12, 13), edge(13, 14), edge(12, 14)]);
+        assert!(n >= 15);
+        edges
+    }
+
+    #[test]
+    fn single_rank_matches_union_find() {
+        let n = 16;
+        let mut g = SimilarityGraph::new(n);
+        for e in chain_and_triangle(n) {
+            g.add(e);
+        }
+        let want = g.connected_components();
+        let got = distributed_components(&SelfComm::new(), &g);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn distributed_edges_match_serial() {
+        let n = 16;
+        let all_edges = chain_and_triangle(n);
+        let mut serial = SimilarityGraph::new(n);
+        for e in &all_edges {
+            serial.add(*e);
+        }
+        let want = serial.connected_components();
+        for p in [2usize, 4, 5] {
+            let all_edges = all_edges.clone();
+            let want2 = want.clone();
+            let out = run_threaded(p, move |c| {
+                // Deal edges round-robin: each rank sees a fragment only.
+                let mut local = SimilarityGraph::new(n);
+                for (idx, e) in all_edges.iter().enumerate() {
+                    if idx % c.size() == c.rank() {
+                        local.add(*e);
+                    }
+                }
+                distributed_components(c, &local)
+            });
+            for labels in out {
+                assert_eq!(labels, want2, "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_labels_are_identity() {
+        let g = SimilarityGraph::new(5);
+        let got = distributed_components(&SelfComm::new(), &g);
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn some_ranks_with_no_edges() {
+        let n = 8;
+        let out = run_threaded(3, move |c| {
+            let mut local = SimilarityGraph::new(n);
+            if c.rank() == 1 {
+                local.add(edge(0, 7));
+                local.add(edge(3, 4));
+            }
+            distributed_components(c, &local)
+        });
+        for labels in out {
+            assert_eq!(labels[7], 0);
+            assert_eq!(labels[4], 3);
+            assert_eq!(labels[2], 2);
+        }
+    }
+
+    #[test]
+    fn adversarial_chain_converges_quickly() {
+        // A reversed chain split across ranks exercises pointer jumping:
+        // without it, label 0 crawls one hop per round.
+        let n = 64;
+        let out = run_threaded(4, move |c| {
+            let mut local = SimilarityGraph::new(n);
+            for i in (0..63u32).rev() {
+                if (i as usize) % c.size() == c.rank() {
+                    local.add(edge(i, i + 1));
+                }
+            }
+            distributed_components(c, &local)
+        });
+        for labels in out {
+            assert!(labels.iter().all(|&l| l == 0), "one big component");
+        }
+    }
+
+    #[test]
+    fn end_to_end_with_search_results() {
+        use crate::pipeline::run_search;
+        use crate::SearchParams;
+        use pastis_comm::ProcessGrid;
+        use pastis_seqio::{SyntheticConfig, SyntheticDataset};
+
+        let ds = SyntheticDataset::generate(&SyntheticConfig {
+            n_sequences: 40,
+            mean_len: 60.0,
+            seed: 21,
+            ..SyntheticConfig::small(40, 21)
+        });
+        let serial = crate::pipeline::run_search_serial(
+            &ds.store,
+            &SearchParams::test_defaults(),
+        )
+        .unwrap();
+        let want = serial.graph.connected_components();
+        let store = ds.store.clone();
+        let out = run_threaded(4, move |c| {
+            let grid = ProcessGrid::square(c.split(0, c.rank()));
+            let res = run_search(&grid, &store, &SearchParams::test_defaults()).unwrap();
+            // Cluster directly from each rank's local edges — no gather.
+            distributed_components(grid.world(), &res.graph)
+        });
+        for labels in out {
+            assert_eq!(labels, want);
+        }
+    }
+}

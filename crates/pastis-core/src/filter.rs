@@ -1,0 +1,98 @@
+//! Candidate and edge filtering.
+//!
+//! Two filters bracket the aligner, as in the paper's pipeline: the
+//! *common-k-mer threshold* decides which discovered candidates are worth
+//! aligning (Table IV: threshold 2; only 8.9% of discovered candidates
+//! were aligned in the production run), and the *ANI + coverage
+//! thresholds* decide which aligned pairs enter the similarity graph
+//! (0.30 / 0.70; 12.3% of aligned pairs survived).
+
+use pastis_align::sw::AlignmentResult;
+
+use crate::overlap::CommonKmers;
+use crate::params::SearchParams;
+
+/// The post-alignment edge filter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeFilter {
+    /// Minimum identity over the alignment.
+    pub ani_threshold: f64,
+    /// Minimum coverage of the shorter sequence.
+    pub coverage_threshold: f64,
+}
+
+impl EdgeFilter {
+    /// Extract the filter from search parameters.
+    pub fn from_params(p: &SearchParams) -> EdgeFilter {
+        EdgeFilter {
+            ani_threshold: p.ani_threshold,
+            coverage_threshold: p.coverage_threshold,
+        }
+    }
+
+    /// Does an aligned pair enter the similarity graph?
+    pub fn passes(&self, res: &AlignmentResult, qlen: usize, rlen: usize) -> bool {
+        res.score > 0
+            && res.identity() >= self.ani_threshold
+            && res.coverage_min(qlen, rlen) >= self.coverage_threshold
+    }
+}
+
+/// Does a discovered candidate get aligned at all?
+#[inline]
+pub fn candidate_passes(ck: &CommonKmers, threshold: u32) -> bool {
+    ck.count >= threshold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pastis_align::matrices::{encode, Blosum62};
+    use pastis_align::sw::{sw_align, GapPenalties};
+
+    fn filter(ani: f64, cov: f64) -> EdgeFilter {
+        EdgeFilter {
+            ani_threshold: ani,
+            coverage_threshold: cov,
+        }
+    }
+
+    #[test]
+    fn identical_pair_passes_strict_filter() {
+        let s = encode("MKVLAWYHEEMKVLAWYHEE").unwrap();
+        let res = sw_align(&s, &s, &Blosum62, GapPenalties::pastis_defaults());
+        assert!(filter(0.95, 0.95).passes(&res, s.len(), s.len()));
+    }
+
+    #[test]
+    fn low_coverage_fails() {
+        // Perfect identity on a short core, but poor coverage of the
+        // longer sequence.
+        let q = encode("MKVLA").unwrap();
+        let r = encode("MKVLAWYHEEWYHEEWYHEE").unwrap();
+        let res = sw_align(&q, &r, &Blosum62, GapPenalties::pastis_defaults());
+        assert_eq!(res.identity(), 1.0);
+        assert!(!filter(0.3, 0.7).passes(&res, q.len(), r.len()));
+        // Relaxing coverage admits it.
+        assert!(filter(0.3, 0.2).passes(&res, q.len(), r.len()));
+    }
+
+    #[test]
+    fn zero_score_never_passes() {
+        let q = encode("WWWWW").unwrap();
+        let r = encode("PPPPP").unwrap();
+        let res = sw_align(&q, &r, &Blosum62, GapPenalties::pastis_defaults());
+        assert!(!filter(0.0, 0.0).passes(&res, q.len(), r.len()));
+    }
+
+    #[test]
+    fn candidate_threshold() {
+        use pastis_sparse::Semiring;
+        let one = CommonKmers::seed(0, 0);
+        assert!(candidate_passes(&one, 1));
+        assert!(!candidate_passes(&one, 2));
+        let mut two = one;
+        crate::overlap::OverlapSemiring.combine(&mut two, CommonKmers::seed(1, 1));
+        assert!(candidate_passes(&two, 2));
+    }
+}

@@ -1,0 +1,171 @@
+//! The sequences-by-k-mers matrix.
+//!
+//! Figure 1 of the paper: "k-mer information in sequences are captured in a
+//! sparse matrix whose rows and columns respectively correspond to
+//! sequences and k-mers and a nonzero element indicates the existence of a
+//! specific k-mer in a specific sequence". Values carry the k-mer's first
+//! position in the sequence, which the overlap semiring turns into seed
+//! coordinates for the aligner.
+
+use pastis_seqio::{ReducedAlphabet, SeqStore};
+use pastis_sparse::{Index, Triples};
+
+/// Pack the `k` reduced residue codes starting at `seq[pos]` into a base-Σ
+/// k-mer id. Returns `None` if the window extends past the sequence end.
+#[inline]
+pub fn kmer_id(seq: &[u8], pos: usize, k: usize, alphabet: ReducedAlphabet) -> Option<u32> {
+    if pos + k > seq.len() {
+        return None;
+    }
+    let base = alphabet.size() as u64;
+    let mut id = 0u64;
+    for &code in &seq[pos..pos + k] {
+        id = id * base + alphabet.reduce(code) as u64;
+    }
+    debug_assert!(id <= u32::MAX as u64, "k-mer id overflows u32");
+    Some(id as u32)
+}
+
+/// Enumerate `(kmer_id, first_position)` for each **distinct** k-mer of a
+/// sequence (first occurrence wins).
+pub fn distinct_kmers(seq: &[u8], k: usize, alphabet: ReducedAlphabet) -> Vec<(u32, u32)> {
+    if seq.len() < k || k == 0 {
+        return Vec::new();
+    }
+    let mut pairs: Vec<(u32, u32)> = (0..=seq.len() - k)
+        .map(|pos| (kmer_id(seq, pos, k, alphabet).expect("in range"), pos as u32))
+        .collect();
+    // Keep the smallest position per k-mer id.
+    pairs.sort_unstable();
+    pairs.dedup_by_key(|p| p.0);
+    pairs
+}
+
+/// Build the triples of the k-mer matrix `A` for the sequence rows
+/// `[seq_begin, seq_end)` of `store` (global row ids). The matrix is
+/// `store.len() × alphabet.kmer_space(k)`; values are the k-mer's first
+/// position in the sequence.
+///
+/// In the SPMD pipeline each rank calls this for its contiguous slice of
+/// sequences, so the union over ranks is the full matrix with no
+/// duplicates.
+pub fn kmer_matrix_triples(
+    store: &SeqStore,
+    seq_begin: usize,
+    seq_end: usize,
+    k: usize,
+    alphabet: ReducedAlphabet,
+) -> Triples<u32> {
+    assert!(seq_begin <= seq_end && seq_end <= store.len(), "row range out of bounds");
+    let ncols = alphabet.kmer_space(k);
+    let mut t = Triples::new(store.len(), ncols);
+    for row in seq_begin..seq_end {
+        for (id, pos) in distinct_kmers(store.seq(row), k, alphabet) {
+            t.push(row as Index, id as Index, pos);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pastis_align::matrices::encode;
+    use pastis_seqio::fasta::SeqStore;
+
+    fn store_of(seqs: &[&str]) -> SeqStore {
+        let mut s = SeqStore::new();
+        for (i, q) in seqs.iter().enumerate() {
+            s.push(format!("s{i}"), encode(q).unwrap());
+        }
+        s
+    }
+
+    #[test]
+    fn kmer_id_is_base_sigma_positional() {
+        // "AR" under Full20: A=0, R=1 -> 0*20 + 1 = 1.
+        let seq = encode("ARN").unwrap();
+        assert_eq!(kmer_id(&seq, 0, 2, ReducedAlphabet::Full20), Some(1));
+        // "RN": 1*20 + 2 = 22.
+        assert_eq!(kmer_id(&seq, 1, 2, ReducedAlphabet::Full20), Some(22));
+        assert_eq!(kmer_id(&seq, 2, 2, ReducedAlphabet::Full20), None);
+    }
+
+    #[test]
+    fn kmer_id_respects_reduced_alphabet() {
+        // L and V are the same Murphy-10 group: "LA" == "VA".
+        let l = encode("LA").unwrap();
+        let v = encode("VA").unwrap();
+        let a = ReducedAlphabet::Murphy10;
+        assert_eq!(kmer_id(&l, 0, 2, a), kmer_id(&v, 0, 2, a));
+        assert_ne!(
+            kmer_id(&l, 0, 2, ReducedAlphabet::Full20),
+            kmer_id(&v, 0, 2, ReducedAlphabet::Full20)
+        );
+    }
+
+    #[test]
+    fn distinct_kmers_keep_first_position() {
+        // "ARAR": AR at 0 and 2, RA at 1.
+        let seq = encode("ARAR").unwrap();
+        let got = distinct_kmers(&seq, 2, ReducedAlphabet::Full20);
+        assert_eq!(got.len(), 2);
+        // AR id = 1 at pos 0; RA id = 20 at pos 1.
+        assert!(got.contains(&(1, 0)));
+        assert!(got.contains(&(20, 1)));
+    }
+
+    #[test]
+    fn short_sequences_yield_nothing() {
+        let seq = encode("AR").unwrap();
+        assert!(distinct_kmers(&seq, 3, ReducedAlphabet::Full20).is_empty());
+        assert!(distinct_kmers(&[], 3, ReducedAlphabet::Full20).is_empty());
+    }
+
+    #[test]
+    fn matrix_triples_rows_and_sharing() {
+        let store = store_of(&["MKVLAW", "KVLAWY", "PPPPPP"]);
+        let t = kmer_matrix_triples(&store, 0, 3, 4, ReducedAlphabet::Full20);
+        assert_eq!(t.nrows(), 3);
+        assert_eq!(t.ncols(), 160_000);
+        // Row 0 has 3 distinct 4-mers, row 1 has 3, row 2 has 1 (PPPP).
+        let rows: Vec<usize> = (0..3)
+            .map(|r| t.entries.iter().filter(|e| e.row == r).count())
+            .collect();
+        assert_eq!(rows, vec![3, 3, 1]);
+        // KVLA and VLAW shared between rows 0 and 1 (as column collisions).
+        use std::collections::HashMap;
+        let mut by_col: HashMap<u32, Vec<u32>> = HashMap::new();
+        for e in &t.entries {
+            by_col.entry(e.col).or_default().push(e.row);
+        }
+        let shared = by_col.values().filter(|rows| rows.len() == 2).count();
+        assert_eq!(shared, 2);
+    }
+
+    #[test]
+    fn partitioned_construction_unions_to_full() {
+        let store = store_of(&["MKVLAWYHE", "KVLAWYHEM", "AWYHEMKVL", "HEMKVLAWY"]);
+        let full = kmer_matrix_triples(&store, 0, 4, 5, ReducedAlphabet::Full20);
+        let mut merged = Triples::new(full.nrows(), full.ncols());
+        for (b, e) in [(0, 2), (2, 3), (3, 4)] {
+            let part = kmer_matrix_triples(&store, b, e, 5, ReducedAlphabet::Full20);
+            for entry in part.entries {
+                merged.push(entry.row, entry.col, entry.val);
+            }
+        }
+        assert_eq!(full.to_sorted_tuples(), merged.to_sorted_tuples());
+    }
+
+    #[test]
+    fn positions_point_at_kmer_occurrences() {
+        let store = store_of(&["MKVLAWMKVL"]);
+        let t = kmer_matrix_triples(&store, 0, 1, 4, ReducedAlphabet::Full20);
+        let seq = store.seq(0);
+        for e in &t.entries {
+            let pos = e.val as usize;
+            let id = kmer_id(seq, pos, 4, ReducedAlphabet::Full20).unwrap();
+            assert_eq!(id, e.col, "stored position does not reproduce the k-mer");
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! Symmetry-aware load balancing of the blocked overlap computation
+//! (Section VI-B, Figure 6).
+//!
+//! The overlap matrix is symmetric: `C(i,j)` and `C(j,i)` represent the
+//! same alignment. Two schemes exploit this:
+//!
+//! * **Triangularity-based**: only blocks intersecting the strict upper
+//!   triangle are computed. Blocks are *full* (entirely above the
+//!   diagonal — every element needs alignment), *partial* (straddling the
+//!   diagonal — only the upper part is aligned), or *avoidable* (entirely
+//!   below — neither computed nor aligned). Saves sparse computation but
+//!   partial blocks cause load imbalance (a rank's share of a partial
+//!   block may be mostly lower-triangular).
+//! * **Index-based**: all blocks are computed, then pruned by the parity
+//!   rule ([`pastis_sparse::spops::parity_keep`]), which keeps exactly one
+//!   of each `(i,j)/(j,i)` pair while preserving the uniform nonzero
+//!   distribution — better balance, no sparse savings.
+//!
+//! Both schemes align every unordered pair exactly once (property-tested
+//! in `tests/determinism.rs`).
+
+use pastis_sparse::spops::{parity_keep, parity_prune, triu_prune_global};
+use pastis_sparse::{CsrMatrix, Index};
+
+/// The two schemes of Section VI-B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoadBalance {
+    /// Triangularity-based (skip avoidable blocks).
+    Triangular,
+    /// Index-based (parity pruning, all blocks computed).
+    IndexBased,
+}
+
+/// Classification of an output block against the strict upper triangle
+/// (Figure 6 left: green/yellow/white).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockClass {
+    /// Entirely strictly-upper: all computed elements are aligned.
+    Full,
+    /// Straddles the diagonal: computed, then pruned to the upper part.
+    Partial,
+    /// Entirely lower: neither computed nor aligned.
+    Avoidable,
+}
+
+/// One schedulable output block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockTask {
+    /// Block row index in `0..br`.
+    pub r: usize,
+    /// Block column index in `0..bc`.
+    pub c: usize,
+    /// Triangularity class of the block.
+    pub class: BlockClass,
+}
+
+/// Classify block `(r, c)` whose global element ranges are rows
+/// `[r0, r1)` and columns `[c0, c1)`.
+pub fn classify_block(r0: usize, r1: usize, c0: usize, c1: usize) -> BlockClass {
+    debug_assert!(r0 < r1 && c0 < c1, "empty block range");
+    // Strictly upper for all elements: min col > max row.
+    if c0 > r1 - 1 {
+        BlockClass::Full
+    } else if c1 - 1 <= r0 {
+        // Max col ≤ min row: no element with j > i.
+        BlockClass::Avoidable
+    } else {
+        BlockClass::Partial
+    }
+}
+
+/// The block schedule of one search: which blocks are computed, in which
+/// order, and how each computed block is pruned before alignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockPlan {
+    scheme: LoadBalance,
+    /// Blocks to compute, row-major.
+    pub tasks: Vec<BlockTask>,
+    skipped: usize,
+}
+
+impl BlockPlan {
+    /// Build the schedule for an `n × n` overlap matrix blocked `br × bc`,
+    /// where `row_range(r)`/`col_range(c)` give the global element ranges
+    /// (as produced by [`pastis_sparse::BlockedSumma`]).
+    pub fn new(
+        scheme: LoadBalance,
+        br: usize,
+        bc: usize,
+        row_range: impl Fn(usize) -> (usize, usize),
+        col_range: impl Fn(usize) -> (usize, usize),
+    ) -> BlockPlan {
+        let mut tasks = Vec::with_capacity(br * bc);
+        let mut skipped = 0;
+        for r in 0..br {
+            for c in 0..bc {
+                let (r0, r1) = row_range(r);
+                let (c0, c1) = col_range(c);
+                if r0 == r1 || c0 == c1 {
+                    continue; // degenerate empty stripe
+                }
+                let class = classify_block(r0, r1, c0, c1);
+                match scheme {
+                    LoadBalance::Triangular => {
+                        if class == BlockClass::Avoidable {
+                            skipped += 1;
+                        } else {
+                            tasks.push(BlockTask { r, c, class });
+                        }
+                    }
+                    LoadBalance::IndexBased => tasks.push(BlockTask { r, c, class }),
+                }
+            }
+        }
+        BlockPlan {
+            scheme,
+            tasks,
+            skipped,
+        }
+    }
+
+    /// The scheme this plan implements.
+    pub fn scheme(&self) -> LoadBalance {
+        self.scheme
+    }
+
+    /// Number of blocks skipped entirely (triangularity only).
+    pub fn skipped_blocks(&self) -> usize {
+        self.skipped
+    }
+
+    /// Counts of (full, partial) among scheduled tasks.
+    pub fn class_counts(&self) -> (usize, usize) {
+        let full = self
+            .tasks
+            .iter()
+            .filter(|t| t.class == BlockClass::Full)
+            .count();
+        let partial = self
+            .tasks
+            .iter()
+            .filter(|t| t.class == BlockClass::Partial)
+            .count();
+        (full, partial)
+    }
+
+    /// Prune a computed block's local piece to the elements this scheme
+    /// aligns. `row_offset`/`col_offset` are the global coordinates of the
+    /// piece's `(0, 0)` element (block offset + intra-block distribution
+    /// offset).
+    pub fn prune_local<T: Clone>(
+        &self,
+        task: BlockTask,
+        local: &CsrMatrix<T>,
+        row_offset: usize,
+        col_offset: usize,
+    ) -> CsrMatrix<T> {
+        match self.scheme {
+            LoadBalance::Triangular => match task.class {
+                BlockClass::Full => local.clone(),
+                BlockClass::Partial => triu_prune_global(local, row_offset, col_offset),
+                BlockClass::Avoidable => {
+                    unreachable!("avoidable blocks are never computed")
+                }
+            },
+            LoadBalance::IndexBased => parity_prune(local, row_offset, col_offset),
+        }
+    }
+
+    /// Whether this scheme keeps global element `(i, j)` for alignment
+    /// (the pure decision function; used by the performance model, which
+    /// never materializes local blocks).
+    pub fn keeps(&self, i: Index, j: Index) -> bool {
+        match self.scheme {
+            LoadBalance::Triangular => j > i,
+            LoadBalance::IndexBased => parity_keep(i, j),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pastis_comm::grid::BlockDist1D;
+    use pastis_sparse::Triples;
+
+    fn ranges(n: usize, parts: usize) -> impl Fn(usize) -> (usize, usize) {
+        let d = BlockDist1D::new(n, parts);
+        move |i| {
+            let s = d.part_offset(i);
+            (s, s + d.part_len(i))
+        }
+    }
+
+    #[test]
+    fn classify_against_diagonal() {
+        // Block rows 0..3, cols 5..8: strictly upper.
+        assert_eq!(classify_block(0, 3, 5, 8), BlockClass::Full);
+        // Block rows 5..8, cols 0..3: strictly lower.
+        assert_eq!(classify_block(5, 8, 0, 3), BlockClass::Avoidable);
+        // Diagonal block.
+        assert_eq!(classify_block(2, 5, 2, 5), BlockClass::Partial);
+        // Touching: rows 0..3, cols 3..6 -> element (2,3) is upper, all
+        // elements have j >= 3 > i <= 2: full.
+        assert_eq!(classify_block(0, 3, 3, 6), BlockClass::Full);
+        // rows 3..6, cols 0..3: max col 2 <= min row 3: avoidable.
+        assert_eq!(classify_block(3, 6, 0, 3), BlockClass::Avoidable);
+    }
+
+    #[test]
+    fn triangular_plan_counts() {
+        // Square b×b blocking of a 12×12 matrix: b(b-1)/2 full,
+        // b partial (diagonal), b(b-1)/2 avoidable.
+        for b in [2usize, 3, 4, 6] {
+            let plan = BlockPlan::new(
+                LoadBalance::Triangular,
+                b,
+                b,
+                ranges(12, b),
+                ranges(12, b),
+            );
+            let (full, partial) = plan.class_counts();
+            assert_eq!(full, b * (b - 1) / 2, "b={b}");
+            assert_eq!(partial, b, "b={b}");
+            assert_eq!(plan.skipped_blocks(), b * (b - 1) / 2);
+            assert_eq!(plan.tasks.len(), full + partial);
+        }
+    }
+
+    #[test]
+    fn full_blocks_grow_quadratically_partial_linearly() {
+        // The paper's argument for why triangular imbalance fades with
+        // more blocks.
+        let count = |b: usize| {
+            BlockPlan::new(LoadBalance::Triangular, b, b, ranges(100, b), ranges(100, b))
+                .class_counts()
+        };
+        let (f5, p5) = count(5);
+        let (f10, p10) = count(10);
+        assert_eq!(p10, 2 * p5);
+        assert_eq!(f10, 45); // vs f5 = 10: superlinear
+        assert!(f10 > 4 * f5 - 5);
+    }
+
+    #[test]
+    fn index_plan_schedules_everything() {
+        let plan = BlockPlan::new(LoadBalance::IndexBased, 3, 4, ranges(12, 3), ranges(12, 4));
+        assert_eq!(plan.tasks.len(), 12);
+        assert_eq!(plan.skipped_blocks(), 0);
+    }
+
+    #[test]
+    fn keeps_covers_each_pair_exactly_once() {
+        for scheme in [LoadBalance::Triangular, LoadBalance::IndexBased] {
+            let plan = BlockPlan::new(scheme, 1, 1, ranges(9, 1), ranges(9, 1));
+            for i in 0..9u32 {
+                assert!(!plan.keeps(i, i), "{scheme:?} keeps diagonal ({i},{i})");
+                for j in 0..9u32 {
+                    if i != j {
+                        assert!(
+                            plan.keeps(i, j) ^ plan.keeps(j, i),
+                            "{scheme:?} pair ({i},{j})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prune_local_triangular_full_block_untouched() {
+        let plan = BlockPlan::new(LoadBalance::Triangular, 2, 2, ranges(8, 2), ranges(8, 2));
+        let full_task = plan
+            .tasks
+            .iter()
+            .copied()
+            .find(|t| t.class == BlockClass::Full)
+            .unwrap();
+        let m = CsrMatrix::from_triples(Triples::from_entries(
+            2,
+            2,
+            vec![(0, 0, 1u8), (1, 1, 2)],
+        ));
+        // A full block keeps everything regardless of offsets.
+        let pruned = plan.prune_local(full_task, &m, 0, 4);
+        assert_eq!(pruned, m);
+    }
+
+    #[test]
+    fn prune_local_partial_block_keeps_upper_only() {
+        let plan = BlockPlan::new(LoadBalance::Triangular, 2, 2, ranges(8, 2), ranges(8, 2));
+        let partial = plan
+            .tasks
+            .iter()
+            .copied()
+            .find(|t| t.class == BlockClass::Partial)
+            .unwrap();
+        // A dense 3x3 local piece at global (1,1): keep j > i.
+        let mut t = Triples::new(3, 3);
+        for i in 0..3u32 {
+            for j in 0..3u32 {
+                t.push(i, j, ());
+            }
+        }
+        let m = CsrMatrix::from_triples(t);
+        let pruned = plan.prune_local(partial, &m, 1, 1);
+        assert_eq!(pruned.nnz(), 3);
+        for (i, j, _) in pruned.iter() {
+            assert!(j + 1 > i + 1 && j > i);
+        }
+    }
+
+    #[test]
+    fn prune_local_index_based_uses_parity_on_globals() {
+        let plan = BlockPlan::new(LoadBalance::IndexBased, 2, 2, ranges(8, 2), ranges(8, 2));
+        let task = plan.tasks[0];
+        let mut t = Triples::new(4, 4);
+        for i in 0..4u32 {
+            for j in 0..4u32 {
+                t.push(i, j, ());
+            }
+        }
+        let m = CsrMatrix::from_triples(t);
+        let pruned = plan.prune_local(task, &m, 0, 0);
+        // 4x4 dense symmetric window at origin: exactly one per pair.
+        assert_eq!(pruned.nnz(), 6);
+    }
+
+    #[test]
+    fn rectangular_blocking_is_supported() {
+        // br=3, bc=4 (as in Figure 4's 3×4 example).
+        let plan = BlockPlan::new(LoadBalance::Triangular, 3, 4, ranges(12, 3), ranges(12, 4));
+        assert!(plan.tasks.len() < 12);
+        assert!(plan.skipped_blocks() > 0);
+        assert_eq!(plan.tasks.len() + plan.skipped_blocks(), 12);
+    }
+}

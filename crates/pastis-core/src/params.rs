@@ -1,0 +1,216 @@
+//! Search parameters.
+//!
+//! Defaults follow the paper's production run (Table IV): k-mer length 6,
+//! gap open 11 / extend 2, common-k-mer threshold 2, ANI threshold 0.30,
+//! coverage threshold 0.70.
+
+use pastis_align::sw::GapPenalties;
+use pastis_seqio::ReducedAlphabet;
+
+use crate::loadbalance::LoadBalance;
+
+/// Which alignment kernel the pipeline uses on candidate pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlignKind {
+    /// Full-matrix Smith–Waterman with traceback (the paper's ADEPT
+    /// kernel; required for exact ANI/coverage filtering).
+    FullSw,
+    /// Banded Smith–Waterman around the recorded seed diagonal with the
+    /// given half-width. Score-only: candidate edges keep count/score but
+    /// ANI/coverage filtering degrades to a score threshold.
+    Banded(usize),
+}
+
+/// All tunables of one similarity search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchParams {
+    /// k-mer length (paper: 6).
+    pub k: usize,
+    /// Alphabet used for k-mer extraction (sensitivity option).
+    pub alphabet: ReducedAlphabet,
+    /// Number of substitute (nearest-neighbor) k-mers added per extracted
+    /// k-mer (0 disables; sensitivity option from Section V).
+    pub substitute_kmers: usize,
+    /// Minimum number of shared k-mers for a pair to be aligned
+    /// (paper: 2).
+    pub common_kmer_threshold: u32,
+    /// Minimum alignment identity for a pair to enter the similarity
+    /// graph (paper's "ANI threshold": 0.30).
+    pub ani_threshold: f64,
+    /// Minimum coverage of the shorter sequence (paper: 0.70).
+    pub coverage_threshold: f64,
+    /// Affine gap model (paper: open 11, extend 2).
+    pub gaps: GapPenalties,
+    /// Alignment kernel.
+    pub align_kind: AlignKind,
+    /// Row blocking factor of the Blocked 2D Sparse SUMMA.
+    pub block_rows: usize,
+    /// Column blocking factor.
+    pub block_cols: usize,
+    /// Load-balancing scheme (Section VI-B).
+    pub load_balance: LoadBalance,
+    /// Overlap block `i+1`'s SpGEMM with block `i`'s alignment
+    /// (Section VI-C).
+    pub pre_blocking: bool,
+}
+
+impl Default for SearchParams {
+    fn default() -> SearchParams {
+        SearchParams {
+            k: 6,
+            alphabet: ReducedAlphabet::Full20,
+            substitute_kmers: 0,
+            common_kmer_threshold: 2,
+            ani_threshold: 0.30,
+            coverage_threshold: 0.70,
+            gaps: GapPenalties::pastis_defaults(),
+            align_kind: AlignKind::FullSw,
+            block_rows: 1,
+            block_cols: 1,
+            load_balance: LoadBalance::IndexBased,
+            pre_blocking: false,
+        }
+    }
+}
+
+impl SearchParams {
+    /// Parameters tuned for unit tests: short k so tiny sequences share
+    /// k-mers, permissive thresholds.
+    pub fn test_defaults() -> SearchParams {
+        SearchParams {
+            k: 4,
+            common_kmer_threshold: 1,
+            ani_threshold: 0.30,
+            coverage_threshold: 0.30,
+            ..SearchParams::default()
+        }
+    }
+
+    /// Set the blocking factors, builder style.
+    pub fn with_blocking(mut self, br: usize, bc: usize) -> SearchParams {
+        self.block_rows = br;
+        self.block_cols = bc;
+        self
+    }
+
+    /// Set the load-balancing scheme, builder style.
+    pub fn with_load_balance(mut self, lb: LoadBalance) -> SearchParams {
+        self.load_balance = lb;
+        self
+    }
+
+    /// Enable/disable pre-blocking, builder style.
+    pub fn with_pre_blocking(mut self, on: bool) -> SearchParams {
+        self.pre_blocking = on;
+        self
+    }
+
+    /// Number of k-mer columns of the sequences-by-k-mers matrix.
+    pub fn kmer_space(&self) -> usize {
+        self.alphabet.kmer_space(self.k)
+    }
+
+    /// Validate parameter sanity; returns a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.k == 0 {
+            return Err("k-mer length must be positive".into());
+        }
+        if self.k > 12 {
+            return Err(format!(
+                "k = {} overflows the 32-bit k-mer id space for this alphabet",
+                self.k
+            ));
+        }
+        if self.kmer_space() > u32::MAX as usize {
+            return Err(format!(
+                "k-mer space {} exceeds the matrix index range",
+                self.kmer_space()
+            ));
+        }
+        if self.block_rows == 0 || self.block_cols == 0 {
+            return Err("blocking factors must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.ani_threshold)
+            || !(0.0..=1.0).contains(&self.coverage_threshold)
+        {
+            return Err("thresholds must lie in [0, 1]".into());
+        }
+        if self.gaps.open < 0 || self.gaps.extend < 0 {
+            return Err("gap penalties must be non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_production_run() {
+        let p = SearchParams::default();
+        assert_eq!(p.k, 6);
+        assert_eq!(p.gaps.open, 11);
+        assert_eq!(p.gaps.extend, 2);
+        assert_eq!(p.common_kmer_threshold, 2);
+        assert!((p.ani_threshold - 0.30).abs() < 1e-12);
+        assert!((p.coverage_threshold - 0.70).abs() < 1e-12);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn kmer_space_by_alphabet() {
+        let full = SearchParams::default();
+        assert_eq!(full.kmer_space(), 64_000_000);
+        let reduced = SearchParams {
+            alphabet: ReducedAlphabet::Murphy10,
+            ..SearchParams::default()
+        };
+        assert_eq!(reduced.kmer_space(), 1_000_000);
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        let bad_k = SearchParams {
+            k: 0,
+            ..SearchParams::default()
+        };
+        assert!(bad_k.validate().is_err());
+        let big_k = SearchParams {
+            k: 9,
+            ..SearchParams::default()
+        };
+        // 20^9 > u32::MAX.
+        assert!(big_k.validate().is_err());
+        let bad_block = SearchParams::default().with_blocking(0, 3);
+        assert!(bad_block.validate().is_err());
+        let bad_thr = SearchParams {
+            ani_threshold: 1.5,
+            ..SearchParams::default()
+        };
+        assert!(bad_thr.validate().is_err());
+    }
+
+    #[test]
+    fn reduced_alphabet_allows_larger_k() {
+        let p = SearchParams {
+            alphabet: ReducedAlphabet::Dayhoff6,
+            k: 12,
+            ..SearchParams::default()
+        };
+        // 6^12 ≈ 2.2e9 — still within u32? No: 2_176_782_336 < 4_294_967_295. OK.
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let p = SearchParams::default()
+            .with_blocking(4, 5)
+            .with_load_balance(LoadBalance::Triangular)
+            .with_pre_blocking(true);
+        assert_eq!((p.block_rows, p.block_cols), (4, 5));
+        assert_eq!(p.load_balance, LoadBalance::Triangular);
+        assert!(p.pre_blocking);
+    }
+}

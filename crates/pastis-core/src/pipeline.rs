@@ -1,0 +1,688 @@
+//! The end-to-end distributed similarity search (Figure 4 of the paper).
+//!
+//! SPMD over a [`ProcessGrid`]; every rank executes:
+//!
+//! 1. **Sequence exchange** — each rank owns a contiguous slice of the
+//!    input; residues are sent to all ranks with non-blocking messages
+//!    immediately, and received ("cwait", Table II) only when alignment
+//!    needs them.
+//! 2. **k-mer matrix** — each rank builds the rows of `A` for its slice
+//!    (optionally with substitute k-mers); `Aᵀ` falls out by swapping
+//!    coordinates. Both are distributed as stripes of the Blocked 2D
+//!    Sparse SUMMA.
+//! 3. **Incremental blocked search** — for every scheduled output block:
+//!    a distributed SpGEMM over the overlap semiring discovers candidates;
+//!    the load-balancing scheme prunes the symmetric redundancy; the
+//!    common-k-mer threshold selects pairs; each rank batch-aligns the
+//!    pairs it owns; ANI/coverage filtering appends edges to the local
+//!    similarity graph. With **pre-blocking** the SpGEMM of block `i+1`
+//!    runs on a concurrent thread while block `i` is aligned, hiding the
+//!    sparse phase (Section VI-C).
+//!
+//! The output is identical for every process count, blocking factor, and
+//! load-balancing scheme — the determinism property PASTIS holds over
+//! DIAMOND/MMseqs2 (verified by `tests/determinism.rs`).
+
+use std::time::Instant;
+
+use pastis_align::batch::BatchAligner;
+use pastis_align::banded::sw_banded;
+use pastis_align::matrices::{Blosum62, Scoring};
+
+use pastis_comm::grid::{BlockDist1D, ProcessGrid};
+use pastis_comm::{Communicator, Component, TimeBreakdown};
+use pastis_seqio::SeqStore;
+use pastis_sparse::{BlockedSumma, Triples};
+
+use crate::filter::{candidate_passes, EdgeFilter};
+use crate::kmer::kmer_matrix_triples;
+use crate::loadbalance::{BlockPlan, BlockTask};
+use crate::overlap::OverlapSemiring;
+use crate::params::{AlignKind, SearchParams};
+use crate::simgraph::{SimilarityEdge, SimilarityGraph};
+use crate::stats::SearchStats;
+use crate::subkmers::kmer_matrix_triples_with_substitutes;
+
+/// Per-block timing and counters (this rank's share) — the raw series
+/// behind Figure 5 and Table I.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockTiming {
+    /// Block row.
+    pub r: usize,
+    /// Block column.
+    pub c: usize,
+    /// Seconds in the block's sparse phase (SpGEMM + pruning/extraction).
+    pub sparse_seconds: f64,
+    /// Seconds aligning the block's pairs.
+    pub align_seconds: f64,
+    /// Candidates discovered in this rank's piece (pre-prune).
+    pub candidates: u64,
+    /// Pairs this rank aligned.
+    pub aligned_pairs: u64,
+}
+
+/// The outcome of one rank's search.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// Edges this rank produced (canonicalized, normalized).
+    pub graph: SimilarityGraph,
+    /// This rank's counters.
+    pub stats: SearchStats,
+    /// This rank's component time sums. With pre-blocking, overlapped
+    /// components both accrue, so `times.total() ≥ wall_seconds` — the
+    /// "sum vs total" distinction of Table I.
+    pub times: TimeBreakdown,
+    /// Wall-clock seconds of the whole search on this rank.
+    pub wall_seconds: f64,
+    /// Per scheduled block: timings and counters.
+    pub per_block: Vec<BlockTiming>,
+}
+
+impl SearchResult {
+    /// Gather every rank's edges into one global graph (collective).
+    pub fn gather_graph<C: Communicator>(&self, comm: &C) -> SimilarityGraph {
+        let all = comm.all_gather(self.graph.edges().to_vec());
+        let mut g = SimilarityGraph::new(self.graph.n_vertices());
+        for part in all {
+            for e in part {
+                g.add(e);
+            }
+        }
+        g.normalize();
+        g
+    }
+}
+
+/// Flattened sequence slice exchanged between ranks.
+#[derive(Debug, Clone)]
+struct SeqSlice {
+    begin: usize,
+    lens: Vec<u32>,
+    residues: Vec<u8>,
+}
+
+impl SeqSlice {
+    fn from_store(store: &SeqStore, begin: usize, end: usize) -> SeqSlice {
+        let mut lens = Vec::with_capacity(end - begin);
+        let mut residues = Vec::new();
+        for i in begin..end {
+            let s = store.seq(i);
+            lens.push(s.len() as u32);
+            residues.extend_from_slice(s);
+        }
+        SeqSlice {
+            begin,
+            lens,
+            residues,
+        }
+    }
+
+    fn bytes(&self) -> usize {
+        self.residues.len() + self.lens.len() * 4 + 16
+    }
+
+    fn unpack_into(&self, seqs: &mut [Vec<u8>]) {
+        let mut off = 0usize;
+        for (idx, &len) in self.lens.iter().enumerate() {
+            let len = len as usize;
+            seqs[self.begin + idx] = self.residues[off..off + len].to_vec();
+            off += len;
+        }
+    }
+}
+
+/// One candidate pair to align (global sequence ids).
+#[derive(Debug, Clone, Copy)]
+struct PairTask {
+    i: u32,
+    j: u32,
+    seed_q: u32,
+    seed_r: u32,
+    count: u32,
+}
+
+/// The sparse phase's product for one block.
+struct CandidateBatch {
+    task: BlockTask,
+    pairs: Vec<PairTask>,
+    candidates: u64,
+    products: u64,
+    spgemm_seconds: f64,
+    other_seconds: f64,
+}
+
+/// Run the search over `grid`. Every rank passes the same full `store`
+/// (as if all ranks read the same FASTA); each rank *uses* only its slice
+/// for matrix construction and exchanges residues through the
+/// communicator like the MPI implementation does.
+///
+/// # Errors
+///
+/// Returns an error for invalid [`SearchParams`].
+pub fn run_search<C: Communicator + Sync>(
+    grid: &ProcessGrid<C>,
+    store: &SeqStore,
+    params: &SearchParams,
+) -> Result<SearchResult, String> {
+    params.validate()?;
+    let wall_start = Instant::now();
+    let mut times = TimeBreakdown::new();
+    let mut stats = SearchStats::default();
+
+    let n = store.len();
+    let world = grid.world();
+    let (rank, p) = (world.rank(), world.size());
+    let slice = BlockDist1D::new(n, p);
+    let my_begin = slice.part_offset(rank);
+    let my_end = my_begin + slice.part_len(rank);
+
+    // --- 1. Non-blocking sequence exchange: send now, receive at need.
+    let my_slice = SeqSlice::from_store(store, my_begin, my_end);
+    for dst in 0..p {
+        if dst != rank {
+            world.send_to(dst, my_slice.clone(), my_slice.bytes());
+        }
+    }
+
+    // --- 2. k-mer matrix stripes for the Blocked SUMMA.
+    let t0 = Instant::now();
+    let a: Triples<u32> = if params.substitute_kmers > 0 {
+        kmer_matrix_triples_with_substitutes(
+            store,
+            my_begin,
+            my_end,
+            params.k,
+            params.alphabet,
+            params.substitute_kmers,
+        )
+    } else {
+        kmer_matrix_triples(store, my_begin, my_end, params.k, params.alphabet)
+    };
+    // Collectively compact the k-mer column space: `Aᵀ` is stored row-major
+    // per stripe, and 20⁶ = 64M mostly-empty k-mer rows would waste the
+    // memory CombBLAS avoids with DCSC storage. The remap table is the
+    // sorted union of every rank's distinct k-mer ids, so it is identical
+    // on all ranks and for every process count — determinism is preserved.
+    let mut my_cols: Vec<u32> = a.entries.iter().map(|e| e.col).collect();
+    my_cols.sort_unstable();
+    my_cols.dedup();
+    let gathered = world.all_gather(my_cols);
+    let mut col_map: Vec<u32> = gathered.concat();
+    col_map.sort_unstable();
+    col_map.dedup();
+    let inner_dim = col_map.len().max(1);
+    let mut a_compact = Triples::new(n, inner_dim);
+    for e in a.entries {
+        let col = col_map.binary_search(&e.col).expect("k-mer id present") as u32;
+        a_compact.push(e.row, col, e.val);
+    }
+    let a = a_compact;
+
+    let at = a.clone().transpose();
+    let keep_min = |acc: &mut u32, inc: u32| {
+        if inc < *acc {
+            *acc = inc;
+        }
+    };
+    let bs = BlockedSumma::from_triples(
+        grid,
+        a,
+        at,
+        params.block_rows.min(n.max(1)),
+        params.block_cols.min(n.max(1)),
+        keep_min,
+        keep_min,
+    );
+    times.record(Component::SparseOther, t0.elapsed().as_secs_f64());
+
+    let plan = BlockPlan::new(
+        params.load_balance,
+        bs.br(),
+        bs.bc(),
+        |r| bs.row_range(r),
+        |c| bs.col_range(c),
+    );
+
+    // --- 3. Assemble the exchanged sequences (the cwait component).
+    let t1 = Instant::now();
+    let mut seqs: Vec<Vec<u8>> = vec![Vec::new(); n];
+    my_slice.unpack_into(&mut seqs);
+    for src in 0..p {
+        if src != rank {
+            let s: SeqSlice = world.recv_from(src);
+            s.unpack_into(&mut seqs);
+        }
+    }
+    times.record(Component::CommWait, t1.elapsed().as_secs_f64());
+
+    // --- 4. The incremental blocked search.
+    let sr = OverlapSemiring;
+    let compute_sparse = |task: BlockTask| -> CandidateBatch {
+        let t_mult = Instant::now();
+        let (cblock, gemm_stats) = bs.multiply_block(grid, &sr, task.r, task.c);
+        let spgemm_seconds = t_mult.elapsed().as_secs_f64();
+
+        let t_other = Instant::now();
+        let row_offset = bs.row_range(task.r).0 + cblock.row_offset();
+        let col_offset = bs.col_range(task.c).0 + cblock.col_offset();
+        let candidates = cblock.nnz_local() as u64;
+        let pruned = plan.prune_local(task, cblock.local(), row_offset, col_offset);
+        let mut pairs = Vec::with_capacity(pruned.nnz());
+        for (li, lj, ck) in pruned.iter() {
+            if !candidate_passes(ck, params.common_kmer_threshold) {
+                continue;
+            }
+            let (sq, srr) = ck.first_seed().unwrap_or((0, 0));
+            pairs.push(PairTask {
+                i: (li as usize + row_offset) as u32,
+                j: (lj as usize + col_offset) as u32,
+                seed_q: sq,
+                seed_r: srr,
+                count: ck.count,
+            });
+        }
+        let other_seconds = t_other.elapsed().as_secs_f64();
+        CandidateBatch {
+            task,
+            pairs,
+            candidates,
+            products: gemm_stats.products,
+            spgemm_seconds,
+            other_seconds,
+        }
+    };
+
+    let aligner = BatchAligner::new(Blosum62, params.gaps);
+    let filter = EdgeFilter::from_params(params);
+    let align_batch = |batch: &CandidateBatch| -> (Vec<SimilarityEdge>, u64, f64) {
+        let t = Instant::now();
+        let mut edges = Vec::new();
+        let mut cells = 0u64;
+        for pt in &batch.pairs {
+            let q = &seqs[pt.i as usize];
+            let r = &seqs[pt.j as usize];
+            match params.align_kind {
+                AlignKind::FullSw => {
+                    let res = aligner.align_pair(q, r);
+                    cells += res.cells;
+                    if filter.passes(&res, q.len(), r.len()) {
+                        edges.push(SimilarityEdge {
+                            i: pt.i,
+                            j: pt.j,
+                            score: res.score,
+                            ani: res.identity() as f32,
+                            coverage: res.coverage_min(q.len(), r.len()) as f32,
+                            common_kmers: pt.count,
+                        });
+                    }
+                }
+                AlignKind::Banded(w) => {
+                    let b = sw_banded(
+                        q,
+                        r,
+                        &Blosum62,
+                        params.gaps,
+                        pt.seed_q as usize,
+                        pt.seed_r as usize,
+                        w,
+                    );
+                    cells += b.cells;
+                    if let Some(e) = banded_edge(pt, b.score, q, r, &filter) {
+                        edges.push(e);
+                    }
+                }
+            }
+        }
+        (edges, cells, t.elapsed().as_secs_f64())
+    };
+
+    let mut graph = SimilarityGraph::new(n);
+    let mut per_block = Vec::with_capacity(plan.tasks.len());
+    let mut apply = |batch: CandidateBatch,
+                     outcome: (Vec<SimilarityEdge>, u64, f64),
+                     times: &mut TimeBreakdown,
+                     stats: &mut SearchStats,
+                     graph: &mut SimilarityGraph| {
+        let (edges, cells, align_seconds) = outcome;
+        times.record(Component::SpGemm, batch.spgemm_seconds);
+        times.record(Component::SparseOther, batch.other_seconds);
+        times.record(Component::Align, align_seconds);
+        stats.candidates += batch.candidates;
+        stats.spgemm_products += batch.products;
+        stats.aligned_pairs += batch.pairs.len() as u64;
+        stats.cells += cells;
+        stats.similar_pairs += edges.len() as u64;
+        stats.align_kernel_seconds += align_seconds;
+        per_block.push(BlockTiming {
+            r: batch.task.r,
+            c: batch.task.c,
+            sparse_seconds: batch.spgemm_seconds + batch.other_seconds,
+            align_seconds,
+            candidates: batch.candidates,
+            aligned_pairs: batch.pairs.len() as u64,
+        });
+        for e in edges {
+            graph.add(e);
+        }
+    };
+
+    let tasks = &plan.tasks;
+    if !tasks.is_empty() {
+        if params.pre_blocking {
+            // Software pipeline: align block i while the SpGEMM of block
+            // i+1 runs on a concurrent thread. Alignment is purely local,
+            // so the sparse thread is the only one issuing collectives —
+            // the SPMD collective order stays identical on every rank.
+            let mut pending = compute_sparse(tasks[0]);
+            for idx in 0..tasks.len() {
+                let next_task = tasks.get(idx + 1).copied();
+                let (outcome, next_batch) = std::thread::scope(|scope| {
+                    let handle = next_task.map(|t| scope.spawn(move || compute_sparse(t)));
+                    let outcome = align_batch(&pending);
+                    (
+                        outcome,
+                        handle.map(|h| h.join().expect("pre-blocking sparse thread panicked")),
+                    )
+                });
+                let done = match next_batch {
+                    Some(nb) => std::mem::replace(&mut pending, nb),
+                    None => std::mem::replace(
+                        &mut pending,
+                        CandidateBatch {
+                            task: tasks[idx],
+                            pairs: Vec::new(),
+                            candidates: 0,
+                            products: 0,
+                            spgemm_seconds: 0.0,
+                            other_seconds: 0.0,
+                        },
+                    ),
+                };
+                apply(done, outcome, &mut times, &mut stats, &mut graph);
+            }
+        } else {
+            for task in tasks {
+                let batch = compute_sparse(*task);
+                let outcome = align_batch(&batch);
+                apply(batch, outcome, &mut times, &mut stats, &mut graph);
+            }
+        }
+    }
+
+    graph.normalize();
+    let wall_seconds = wall_start.elapsed().as_secs_f64();
+    stats.total_seconds = wall_seconds;
+    Ok(SearchResult {
+        graph,
+        stats,
+        times,
+        wall_seconds,
+        per_block,
+    })
+}
+
+/// Edge construction for the banded (score-only) kernel: the ANI threshold
+/// applies to the score normalized by the shorter sequence's self-score,
+/// and coverage is not measurable (reported as the normalized score too).
+fn banded_edge(
+    pt: &PairTask,
+    score: i32,
+    q: &[u8],
+    r: &[u8],
+    filter: &EdgeFilter,
+) -> Option<SimilarityEdge> {
+    if score <= 0 {
+        return None;
+    }
+    let self_score = |s: &[u8]| -> i32 { s.iter().map(|&c| Blosum62.score(c, c)).sum() };
+    let denom = self_score(q).min(self_score(r)).max(1);
+    let normalized = score as f64 / denom as f64;
+    (normalized >= filter.ani_threshold).then(|| SimilarityEdge {
+        i: pt.i,
+        j: pt.j,
+        score,
+        ani: normalized as f32,
+        coverage: normalized as f32,
+        common_kmers: pt.count,
+    })
+}
+
+/// Convenience serial entry point: run the whole search on one rank.
+pub fn run_search_serial(
+    store: &SeqStore,
+    params: &SearchParams,
+) -> Result<SearchResult, String> {
+    let grid = ProcessGrid::square(pastis_comm::SelfComm::new());
+    run_search(&grid, store, params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pastis_align::matrices::encode;
+    use pastis_comm::run_threaded;
+    use pastis_seqio::{SyntheticConfig, SyntheticDataset};
+
+    fn tiny_store() -> SeqStore {
+        // Two obvious families plus noise.
+        let mut s = SeqStore::new();
+        let fam1 = "MKVLAWYHEEMKVLAWYHEE";
+        let fam1b = "MKVLAWYHEEMKVLAWYHEA"; // one substitution
+        let fam2 = "GGSTPNQRCDGGSTPNQRCD";
+        let fam2b = "GGSTPNQRCDGGSTPNQRCE";
+        let noise = "WPWPWPWPWPWPWPWPWPWP";
+        for (i, q) in [fam1, fam1b, fam2, fam2b, noise].iter().enumerate() {
+            s.push(format!("s{i}"), encode(q).unwrap());
+        }
+        s
+    }
+
+    fn edges_of(result: &SearchResult) -> Vec<(u32, u32)> {
+        result.graph.edges().iter().map(|e| e.key()).collect()
+    }
+
+    #[test]
+    fn serial_search_finds_planted_families() {
+        let store = tiny_store();
+        let params = SearchParams::test_defaults();
+        let res = run_search_serial(&store, &params).unwrap();
+        let keys = edges_of(&res);
+        assert!(keys.contains(&(0, 1)), "family 1 missed: {keys:?}");
+        assert!(keys.contains(&(2, 3)), "family 2 missed: {keys:?}");
+        assert!(!keys.contains(&(0, 2)), "cross-family edge: {keys:?}");
+        assert!(!keys.iter().any(|&(i, j)| i == 4 || j == 4), "noise matched");
+        // Counters are coherent.
+        assert!(res.stats.candidates >= res.stats.aligned_pairs);
+        assert!(res.stats.aligned_pairs >= res.stats.similar_pairs);
+        assert_eq!(res.stats.similar_pairs as usize, res.graph.n_edges());
+        assert!(res.stats.cells > 0);
+    }
+
+    #[test]
+    fn each_pair_aligned_exactly_once() {
+        let store = tiny_store();
+        for lb in [crate::LoadBalance::Triangular, crate::LoadBalance::IndexBased] {
+            let params = SearchParams::test_defaults().with_load_balance(lb);
+            let res = run_search_serial(&store, &params).unwrap();
+            // 5 sequences share kmers only within families; candidates
+            // pruned to one per unordered pair: count aligned pairs for a
+            // sanity bound.
+            let mut seen = std::collections::HashSet::new();
+            for e in res.graph.edges() {
+                assert!(seen.insert(e.key()), "{lb:?} duplicated {:?}", e.key());
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_equals_unblocked_serial() {
+        let store = tiny_store();
+        let base = run_search_serial(&store, &SearchParams::test_defaults()).unwrap();
+        for (br, bc) in [(2, 2), (3, 2), (5, 5)] {
+            let params = SearchParams::test_defaults().with_blocking(br, bc);
+            let res = run_search_serial(&store, &params).unwrap();
+            assert_eq!(
+                edges_of(&res),
+                edges_of(&base),
+                "blocking {br}x{bc} changed the result"
+            );
+        }
+    }
+
+    #[test]
+    fn schemes_agree_on_results() {
+        let store = tiny_store();
+        let tri = run_search_serial(
+            &store,
+            &SearchParams::test_defaults()
+                .with_load_balance(crate::LoadBalance::Triangular)
+                .with_blocking(3, 3),
+        )
+        .unwrap();
+        let idx = run_search_serial(
+            &store,
+            &SearchParams::test_defaults()
+                .with_load_balance(crate::LoadBalance::IndexBased)
+                .with_blocking(3, 3),
+        )
+        .unwrap();
+        assert_eq!(edges_of(&tri), edges_of(&idx));
+    }
+
+    #[test]
+    fn pre_blocking_preserves_results() {
+        let store = tiny_store();
+        let off = run_search_serial(
+            &store,
+            &SearchParams::test_defaults().with_blocking(4, 4),
+        )
+        .unwrap();
+        let on = run_search_serial(
+            &store,
+            &SearchParams::test_defaults()
+                .with_blocking(4, 4)
+                .with_pre_blocking(true),
+        )
+        .unwrap();
+        assert_eq!(edges_of(&on), edges_of(&off));
+    }
+
+    #[test]
+    fn distributed_matches_serial() {
+        let ds = SyntheticDataset::generate(&SyntheticConfig {
+            n_sequences: 40,
+            mean_len: 60.0,
+            singleton_fraction: 0.4,
+            seed: 77,
+            ..SyntheticConfig::small(40, 77)
+        });
+        let params = SearchParams::test_defaults().with_blocking(2, 3);
+        let serial = run_search_serial(&ds.store, &params).unwrap();
+        let want = edges_of(&serial);
+        for p in [4usize, 9] {
+            let store = ds.store.clone();
+            let params = params.clone();
+            let out = run_threaded(p, move |c| {
+                let grid = ProcessGrid::square(c.split(0, c.rank()));
+                let res = run_search(&grid, &store, &params).unwrap();
+                let global = res.gather_graph(grid.world());
+                let keys: Vec<(u32, u32)> =
+                    global.edges().iter().map(|e| e.key()).collect();
+                let gstats = res.stats.all_reduce(grid.world());
+                (keys, gstats.aligned_pairs, gstats.similar_pairs)
+            });
+            for (keys, aligned, similar) in &out {
+                assert_eq!(keys, &want, "p={p} changed the similarity graph");
+                assert_eq!(*aligned, serial.stats.aligned_pairs, "p={p}");
+                assert_eq!(*similar, serial.stats.similar_pairs, "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn banded_kernel_runs_and_filters() {
+        let store = tiny_store();
+        let params = SearchParams {
+            align_kind: AlignKind::Banded(8),
+            ..SearchParams::test_defaults()
+        };
+        let res = run_search_serial(&store, &params).unwrap();
+        let keys = edges_of(&res);
+        assert!(keys.contains(&(0, 1)), "banded missed identical family");
+        assert!(res.stats.cells > 0);
+        // Banded explores fewer cells than full SW would.
+        let full = run_search_serial(&store, &SearchParams::test_defaults()).unwrap();
+        assert!(res.stats.cells < full.stats.cells);
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let store = tiny_store();
+        let bad = SearchParams {
+            k: 0,
+            ..SearchParams::default()
+        };
+        assert!(run_search_serial(&store, &bad).is_err());
+    }
+
+    #[test]
+    fn empty_store_is_ok() {
+        let res = run_search_serial(&SeqStore::new(), &SearchParams::test_defaults()).unwrap();
+        assert_eq!(res.graph.n_edges(), 0);
+        assert_eq!(res.stats.aligned_pairs, 0);
+    }
+
+    #[test]
+    fn sequences_shorter_than_k_are_isolated() {
+        let mut store = tiny_store();
+        store.push("tiny".into(), encode("MK").unwrap());
+        let res = run_search_serial(&store, &SearchParams::test_defaults()).unwrap();
+        assert!(!res.graph.edges().iter().any(|e| e.i == 5 || e.j == 5));
+    }
+
+    #[test]
+    fn per_block_series_covers_schedule() {
+        let store = tiny_store();
+        let params = SearchParams::test_defaults()
+            .with_blocking(3, 3)
+            .with_load_balance(crate::LoadBalance::Triangular);
+        let res = run_search_serial(&store, &params).unwrap();
+        // The per-block series covers exactly the scheduled (non-avoidable)
+        // blocks. For 5 sequences blocked 3x3 the stripes are 2/2/1 and the
+        // last diagonal block is a single element (4,4) — avoidable — so 5
+        // of the 9 blocks are scheduled.
+        assert_eq!(res.per_block.len(), 5);
+        let total_aligned: u64 = res.per_block.iter().map(|b| b.aligned_pairs).sum();
+        assert_eq!(total_aligned, res.stats.aligned_pairs);
+    }
+
+    #[test]
+    fn substitute_kmers_increase_sensitivity() {
+        // Two sequences whose only k-mer matches are destroyed by sparse
+        // substitutions; substitute k-mers recover the pair.
+        let mut store = SeqStore::new();
+        store.push("a".into(), encode("MKVLAWYHEEGASTPNQRCD").unwrap());
+        store.push("b".into(), encode("MKVIAWYHELGASTPMQRCD").unwrap());
+        let strict = SearchParams {
+            k: 6,
+            common_kmer_threshold: 2,
+            ani_threshold: 0.3,
+            coverage_threshold: 0.3,
+            ..SearchParams::default()
+        };
+        let plain = run_search_serial(&store, &strict).unwrap();
+        let boosted = run_search_serial(
+            &store,
+            &SearchParams {
+                substitute_kmers: 12,
+                ..strict
+            },
+        )
+        .unwrap();
+        assert!(boosted.stats.candidates >= plain.stats.candidates);
+        assert!(
+            boosted.stats.aligned_pairs >= plain.stats.aligned_pairs,
+            "substitutes did not add candidates"
+        );
+    }
+}

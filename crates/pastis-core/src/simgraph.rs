@@ -1,0 +1,279 @@
+//! The similarity graph — the search's output.
+//!
+//! PASTIS's output is "the similarity graph in triplets whose entries
+//! indicate two sequences and the similarity between them". Each rank
+//! accumulates the edges it aligned; the graph stays distributed and is
+//! written with partitioned parallel I/O, but can be gathered for analysis
+//! (the clustering use case the paper's introduction motivates — here via
+//! connected components).
+
+use std::fmt::Write as _;
+
+/// One similarity edge (one output triplet plus the alignment metrics the
+/// filter was applied to).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimilarityEdge {
+    /// First sequence (global id; always < `j`).
+    pub i: u32,
+    /// Second sequence.
+    pub j: u32,
+    /// Smith–Waterman score.
+    pub score: i32,
+    /// Identity over the alignment (the "ANI" the threshold applies to).
+    pub ani: f32,
+    /// Coverage of the shorter sequence.
+    pub coverage: f32,
+    /// Number of shared k-mers that discovered the pair.
+    pub common_kmers: u32,
+}
+
+impl SimilarityEdge {
+    /// Canonical ordering key (by endpoints).
+    pub fn key(&self) -> (u32, u32) {
+        (self.i, self.j)
+    }
+
+    /// The output-file triplet line: `i<TAB>j<TAB>ani` plus metrics.
+    pub fn to_tsv(&self) -> String {
+        let mut s = String::with_capacity(48);
+        let _ = write!(
+            s,
+            "{}\t{}\t{:.4}\t{:.4}\t{}\t{}",
+            self.i, self.j, self.ani, self.coverage, self.score, self.common_kmers
+        );
+        s
+    }
+}
+
+/// A (possibly partial) similarity graph: a bag of edges over `n`
+/// sequences.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimilarityGraph {
+    n: usize,
+    edges: Vec<SimilarityEdge>,
+}
+
+impl SimilarityGraph {
+    /// An empty graph over `n` sequences.
+    pub fn new(n: usize) -> SimilarityGraph {
+        SimilarityGraph {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of sequences (vertices).
+    pub fn n_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// The edges, in insertion order.
+    pub fn edges(&self) -> &[SimilarityEdge] {
+        &self.edges
+    }
+
+    /// Number of edges.
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Add an edge; endpoints are canonicalized to `i < j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a self-loop or out-of-range vertex.
+    pub fn add(&mut self, mut e: SimilarityEdge) {
+        assert!(e.i != e.j, "self-loop in similarity graph");
+        assert!(
+            (e.i as usize) < self.n && (e.j as usize) < self.n,
+            "edge endpoint out of range"
+        );
+        if e.i > e.j {
+            std::mem::swap(&mut e.i, &mut e.j);
+        }
+        self.edges.push(e);
+    }
+
+    /// Merge another partial graph (e.g. another rank's edges).
+    pub fn merge(&mut self, other: SimilarityGraph) {
+        assert_eq!(self.n, other.n, "merging graphs over different vertex sets");
+        self.edges.extend(other.edges);
+    }
+
+    /// Sort edges canonically and drop exact duplicate endpoints (keeping
+    /// the first) — after this, two graphs over the same search compare
+    /// equal iff they found the same pairs with the same metrics.
+    pub fn normalize(&mut self) {
+        self.edges.sort_by_key(SimilarityEdge::key);
+        self.edges.dedup_by_key(|e| e.key());
+    }
+
+    /// Render all edges as TSV lines (one per edge, canonical order).
+    pub fn to_tsv_lines(&self) -> Vec<String> {
+        let mut sorted: Vec<&SimilarityEdge> = self.edges.iter().collect();
+        sorted.sort_by_key(|e| e.key());
+        sorted.iter().map(|e| e.to_tsv()).collect()
+    }
+
+    /// Vertex degrees.
+    pub fn degrees(&self) -> Vec<usize> {
+        let mut d = vec![0usize; self.n];
+        for e in &self.edges {
+            d[e.i as usize] += 1;
+            d[e.j as usize] += 1;
+        }
+        d
+    }
+
+    /// Connected components by union–find: returns a component label per
+    /// vertex (labels are the smallest vertex id in the component). This
+    /// is the "clustering of sequences" the similarity search feeds
+    /// (Section III).
+    pub fn connected_components(&self) -> Vec<u32> {
+        let mut parent: Vec<u32> = (0..self.n as u32).collect();
+        fn find(parent: &mut [u32], x: u32) -> u32 {
+            let mut root = x;
+            while parent[root as usize] != root {
+                root = parent[root as usize];
+            }
+            // Path compression.
+            let mut cur = x;
+            while parent[cur as usize] != root {
+                let next = parent[cur as usize];
+                parent[cur as usize] = root;
+                cur = next;
+            }
+            root
+        }
+        for e in &self.edges {
+            let (a, b) = (find(&mut parent, e.i), find(&mut parent, e.j));
+            if a != b {
+                // Union by smaller label so labels are canonical minima.
+                let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                parent[hi as usize] = lo;
+            }
+        }
+        (0..self.n as u32)
+            .map(|v| find(&mut parent, v))
+            .collect()
+    }
+
+    /// Sizes of non-singleton clusters, descending.
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let labels = self.connected_components();
+        let mut counts = std::collections::HashMap::new();
+        for &l in &labels {
+            *counts.entry(l).or_insert(0usize) += 1;
+        }
+        let mut sizes: Vec<usize> = counts.into_values().filter(|&s| s > 1).collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        sizes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(i: u32, j: u32) -> SimilarityEdge {
+        SimilarityEdge {
+            i,
+            j,
+            score: 50,
+            ani: 0.8,
+            coverage: 0.9,
+            common_kmers: 3,
+        }
+    }
+
+    #[test]
+    fn add_canonicalizes_endpoints() {
+        let mut g = SimilarityGraph::new(5);
+        g.add(edge(3, 1));
+        assert_eq!(g.edges()[0].key(), (1, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        SimilarityGraph::new(5).add(edge(2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        SimilarityGraph::new(3).add(edge(1, 7));
+    }
+
+    #[test]
+    fn merge_and_normalize_deduplicate() {
+        let mut a = SimilarityGraph::new(6);
+        a.add(edge(0, 1));
+        a.add(edge(2, 3));
+        let mut b = SimilarityGraph::new(6);
+        b.add(edge(1, 0)); // duplicate of (0,1)
+        b.add(edge(4, 5));
+        a.merge(b);
+        assert_eq!(a.n_edges(), 4);
+        a.normalize();
+        assert_eq!(a.n_edges(), 3);
+        let keys: Vec<_> = a.edges().iter().map(|e| e.key()).collect();
+        assert_eq!(keys, vec![(0, 1), (2, 3), (4, 5)]);
+    }
+
+    #[test]
+    fn tsv_lines_are_sorted_and_parseable() {
+        let mut g = SimilarityGraph::new(4);
+        g.add(edge(2, 3));
+        g.add(edge(0, 1));
+        let lines = g.to_tsv_lines();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("0\t1\t"));
+        let fields: Vec<&str> = lines[0].split('\t').collect();
+        assert_eq!(fields.len(), 6);
+        assert_eq!(fields[4], "50");
+    }
+
+    #[test]
+    fn degrees_count_both_endpoints() {
+        let mut g = SimilarityGraph::new(4);
+        g.add(edge(0, 1));
+        g.add(edge(0, 2));
+        assert_eq!(g.degrees(), vec![2, 1, 1, 0]);
+    }
+
+    #[test]
+    fn connected_components_cluster_transitively() {
+        let mut g = SimilarityGraph::new(7);
+        g.add(edge(0, 1));
+        g.add(edge(1, 2)); // {0,1,2}
+        g.add(edge(4, 5)); // {4,5}
+        let labels = g.connected_components();
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[4], labels[5]);
+        assert_ne!(labels[0], labels[4]);
+        assert_eq!(labels[3], 3); // singleton keeps own label
+        assert_eq!(labels[6], 6);
+        assert_eq!(g.cluster_sizes(), vec![3, 2]);
+    }
+
+    #[test]
+    fn components_label_is_minimum_of_component() {
+        let mut g = SimilarityGraph::new(5);
+        g.add(edge(3, 4));
+        g.add(edge(2, 3));
+        let labels = g.connected_components();
+        assert_eq!(labels[2], 2);
+        assert_eq!(labels[3], 2);
+        assert_eq!(labels[4], 2);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = SimilarityGraph::new(3);
+        assert_eq!(g.n_edges(), 0);
+        assert_eq!(g.cluster_sizes(), Vec::<usize>::new());
+        assert_eq!(g.connected_components(), vec![0, 1, 2]);
+    }
+}

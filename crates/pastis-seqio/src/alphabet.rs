@@ -1,0 +1,214 @@
+//! Reduced amino-acid alphabets.
+//!
+//! PASTIS can "plug in a reduced alphabet" during k-mer extraction to
+//! enhance sensitivity (Section V; reference [15] is Murphy, Wallqvist &
+//! Levy 2000): grouping exchangeable residues lets diverged homologs share
+//! k-mers they would otherwise miss. The k-mer *space* also shrinks from
+//! `20^k` to `|Σ|^k`, which changes the k-mer matrix width.
+//!
+//! Codes here are on top of the canonical 21-letter encoding of
+//! [`pastis_align::matrices`]; a reduced alphabet maps residue codes
+//! `0..21` onto group ids `0..size()`.
+
+use pastis_align::matrices::AA_COUNT;
+#[cfg(test)]
+use pastis_align::matrices::aa_code;
+
+/// Available alphabets for k-mer extraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReducedAlphabet {
+    /// The full 20-letter alphabet (X collapses onto A to keep the k-mer
+    /// space exactly `20^k`).
+    Full20,
+    /// Murphy–Wallqvist–Levy 10-group alphabet:
+    /// (LVIM)(C)(A)(G)(ST)(P)(FYW)(EDNQ)(KR)(H).
+    Murphy10,
+    /// Dayhoff 6-group alphabet: (AGPST)(C)(DENQ)(FWY)(HKR)(ILMV).
+    Dayhoff6,
+}
+
+impl ReducedAlphabet {
+    /// Number of groups (the base of the k-mer space).
+    pub fn size(&self) -> usize {
+        match self {
+            ReducedAlphabet::Full20 => 20,
+            ReducedAlphabet::Murphy10 => 10,
+            ReducedAlphabet::Dayhoff6 => 6,
+        }
+    }
+
+    /// Map a canonical residue code (0..21) to its group id.
+    #[inline]
+    pub fn reduce(&self, code: u8) -> u8 {
+        debug_assert!((code as usize) < AA_COUNT);
+        match self {
+            ReducedAlphabet::Full20 => {
+                // X (20) folds onto A (0).
+                if code >= 20 {
+                    0
+                } else {
+                    code
+                }
+            }
+            ReducedAlphabet::Murphy10 => MURPHY10[code as usize],
+            ReducedAlphabet::Dayhoff6 => DAYHOFF6[code as usize],
+        }
+    }
+
+    /// Reduce a whole encoded sequence.
+    pub fn reduce_seq(&self, seq: &[u8]) -> Vec<u8> {
+        seq.iter().map(|&c| self.reduce(c)).collect()
+    }
+
+    /// The number of distinct k-mers under this alphabet — the column
+    /// dimension of the k-mer matrix.
+    pub fn kmer_space(&self, k: usize) -> usize {
+        self.size().pow(k as u32)
+    }
+}
+
+/// Group table for Murphy-10, indexed by canonical code
+/// (`ARNDCQEGHILKMFPSTWYVX`). Groups:
+/// 0=(LVIM) 1=C 2=A 3=G 4=(ST) 5=P 6=(FYW) 7=(EDNQ) 8=(KR) 9=H.
+/// X maps to group 2 (A).
+#[rustfmt::skip]
+const MURPHY10: [u8; AA_COUNT] = [
+    2, // A
+    8, // R
+    7, // N
+    7, // D
+    1, // C
+    7, // Q
+    7, // E
+    3, // G
+    9, // H
+    0, // I
+    0, // L
+    8, // K
+    0, // M
+    6, // F
+    5, // P
+    4, // S
+    4, // T
+    6, // W
+    6, // Y
+    0, // V
+    2, // X
+];
+
+/// Group table for Dayhoff-6. Groups:
+/// 0=(AGPST) 1=C 2=(DENQ) 3=(FWY) 4=(HKR) 5=(ILMV). X maps to group 0.
+#[rustfmt::skip]
+const DAYHOFF6: [u8; AA_COUNT] = [
+    0, // A
+    4, // R
+    2, // N
+    2, // D
+    1, // C
+    2, // Q
+    2, // E
+    0, // G
+    4, // H
+    5, // I
+    5, // L
+    4, // K
+    5, // M
+    3, // F
+    0, // P
+    0, // S
+    0, // T
+    3, // W
+    3, // Y
+    5, // V
+    0, // X
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code(c: u8) -> u8 {
+        aa_code(c).unwrap()
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(ReducedAlphabet::Full20.size(), 20);
+        assert_eq!(ReducedAlphabet::Murphy10.size(), 10);
+        assert_eq!(ReducedAlphabet::Dayhoff6.size(), 6);
+    }
+
+    #[test]
+    fn group_ids_in_range() {
+        for alpha in [
+            ReducedAlphabet::Full20,
+            ReducedAlphabet::Murphy10,
+            ReducedAlphabet::Dayhoff6,
+        ] {
+            for c in 0..AA_COUNT as u8 {
+                assert!((alpha.reduce(c) as usize) < alpha.size());
+            }
+        }
+    }
+
+    #[test]
+    fn murphy_groups_exchangeable_residues() {
+        let a = ReducedAlphabet::Murphy10;
+        // LVIM together.
+        assert_eq!(a.reduce(code(b'L')), a.reduce(code(b'V')));
+        assert_eq!(a.reduce(code(b'I')), a.reduce(code(b'M')));
+        // KR together, H alone.
+        assert_eq!(a.reduce(code(b'K')), a.reduce(code(b'R')));
+        assert_ne!(a.reduce(code(b'H')), a.reduce(code(b'K')));
+        // Aromatics together.
+        assert_eq!(a.reduce(code(b'F')), a.reduce(code(b'W')));
+        assert_eq!(a.reduce(code(b'W')), a.reduce(code(b'Y')));
+        // EDNQ together.
+        assert_eq!(a.reduce(code(b'E')), a.reduce(code(b'D')));
+        assert_eq!(a.reduce(code(b'N')), a.reduce(code(b'Q')));
+        // C alone.
+        assert_ne!(a.reduce(code(b'C')), a.reduce(code(b'S')));
+    }
+
+    #[test]
+    fn dayhoff_groups() {
+        let a = ReducedAlphabet::Dayhoff6;
+        for pair in [(b'A', b'G'), (b'P', b'S'), (b'S', b'T')] {
+            assert_eq!(a.reduce(code(pair.0)), a.reduce(code(pair.1)));
+        }
+        assert_eq!(a.reduce(code(b'H')), a.reduce(code(b'K')));
+        assert_ne!(a.reduce(code(b'C')), a.reduce(code(b'A')));
+    }
+
+    #[test]
+    fn full20_is_identity_except_x() {
+        let a = ReducedAlphabet::Full20;
+        for c in 0..20u8 {
+            assert_eq!(a.reduce(c), c);
+        }
+        assert_eq!(a.reduce(20), 0);
+    }
+
+    #[test]
+    fn reduce_seq_maps_elementwise() {
+        let a = ReducedAlphabet::Murphy10;
+        let seq = vec![code(b'L'), code(b'K'), code(b'C')];
+        assert_eq!(a.reduce_seq(&seq), vec![0, 8, 1]);
+    }
+
+    #[test]
+    fn kmer_space_sizes() {
+        assert_eq!(ReducedAlphabet::Full20.kmer_space(6), 64_000_000);
+        assert_eq!(ReducedAlphabet::Murphy10.kmer_space(6), 1_000_000);
+        assert_eq!(ReducedAlphabet::Dayhoff6.kmer_space(3), 216);
+    }
+
+    #[test]
+    fn reduction_preserves_distinguishability_partially() {
+        // Murphy-10 must still distinguish at least 10 residues pairwise.
+        let a = ReducedAlphabet::Murphy10;
+        let groups: std::collections::HashSet<u8> =
+            (0..20u8).map(|c| a.reduce(c)).collect();
+        assert_eq!(groups.len(), 10);
+    }
+}

@@ -1,0 +1,349 @@
+//! FASTA random access: a samtools-faidx-style index.
+//!
+//! Tree-of-life-scale inputs cannot be re-parsed every time a tool needs
+//! one sequence; the ecosystem's answer is the `.fai` index (sequence
+//! name, length, byte offset, residues per line, bytes per line). This
+//! module builds that index from a FASTA file, serializes it in the
+//! standard five-column TSV layout, and serves O(1) random access to any
+//! record — which is also what a distributed loader needs to fetch
+//! straggler sequences without rescanning its partition.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, Read, Seek, SeekFrom};
+use std::path::Path;
+
+use crate::fasta::FastaError;
+
+/// One record's entry in the index (the `.fai` columns).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaiEntry {
+    /// Sequence id (header up to the first whitespace).
+    pub name: String,
+    /// Residue count.
+    pub length: u64,
+    /// Byte offset of the first residue.
+    pub offset: u64,
+    /// Residues per full sequence line.
+    pub line_bases: u32,
+    /// Bytes per full sequence line (incl. the newline).
+    pub line_bytes: u32,
+}
+
+/// An index over a FASTA file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastaIndex {
+    entries: Vec<FaiEntry>,
+}
+
+impl FastaIndex {
+    /// Scan `path` and build the index.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, data before the first header, or records whose
+    /// interior lines have inconsistent widths (the `.fai` format cannot
+    /// represent those).
+    pub fn build(path: &Path) -> Result<FastaIndex, FastaError> {
+        let file = File::open(path)?;
+        let mut reader = BufReader::new(file);
+        let mut entries: Vec<FaiEntry> = Vec::new();
+        let mut pos: u64 = 0;
+        let mut line = String::new();
+        // State of the record being scanned.
+        struct Cur {
+            name: String,
+            length: u64,
+            offset: u64,
+            line_bases: u32,
+            line_bytes: u32,
+            last_line_short: bool,
+        }
+        let mut cur: Option<Cur> = None;
+        loop {
+            line.clear();
+            let nread = reader.read_line(&mut line)?;
+            if nread == 0 {
+                break;
+            }
+            let content = line.trim_end_matches(['\r', '\n']);
+            if let Some(header) = content.strip_prefix('>') {
+                if let Some(c) = cur.take() {
+                    entries.push(FaiEntry {
+                        name: c.name,
+                        length: c.length,
+                        offset: c.offset,
+                        line_bases: c.line_bases,
+                        line_bytes: c.line_bytes,
+                    });
+                }
+                let name = header
+                    .split_whitespace()
+                    .next()
+                    .unwrap_or("")
+                    .to_owned();
+                cur = Some(Cur {
+                    name,
+                    length: 0,
+                    offset: pos + nread as u64,
+                    line_bases: 0,
+                    line_bytes: 0,
+                    last_line_short: false,
+                });
+            } else if !content.is_empty() {
+                let c = cur.as_mut().ok_or(FastaError::DataBeforeHeader {
+                    line: entries.len() + 1,
+                })?;
+                let bases = content.len() as u32;
+                let bytes = nread as u32;
+                if c.line_bases == 0 {
+                    c.line_bases = bases;
+                    c.line_bytes = bytes;
+                } else {
+                    if c.last_line_short {
+                        return Err(FastaError::Io(format!(
+                            "record '{}' has an interior short line; not indexable",
+                            c.name
+                        )));
+                    }
+                    if bases > c.line_bases {
+                        return Err(FastaError::Io(format!(
+                            "record '{}' has inconsistent line widths; not indexable",
+                            c.name
+                        )));
+                    }
+                    if bases < c.line_bases {
+                        c.last_line_short = true;
+                    }
+                }
+                c.length += bases as u64;
+            }
+            pos += nread as u64;
+        }
+        if let Some(c) = cur.take() {
+            entries.push(FaiEntry {
+                name: c.name,
+                length: c.length,
+                offset: c.offset,
+                line_bases: c.line_bases,
+                line_bytes: c.line_bytes,
+            });
+        }
+        Ok(FastaIndex { entries })
+    }
+
+    /// Number of indexed records.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entries in file order.
+    pub fn entries(&self) -> &[FaiEntry] {
+        &self.entries
+    }
+
+    /// Look up an entry by sequence id.
+    pub fn get(&self, name: &str) -> Option<&FaiEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// Serialize as standard `.fai` TSV.
+    pub fn to_fai(&self) -> String {
+        let mut s = String::new();
+        for e in &self.entries {
+            s.push_str(&format!(
+                "{}\t{}\t{}\t{}\t{}\n",
+                e.name, e.length, e.offset, e.line_bases, e.line_bytes
+            ));
+        }
+        s
+    }
+
+    /// Parse a `.fai` TSV.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed lines.
+    pub fn from_fai(s: &str) -> Result<FastaIndex, FastaError> {
+        let mut entries = Vec::new();
+        for (no, line) in s.lines().enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let f: Vec<&str> = line.split('\t').collect();
+            if f.len() != 5 {
+                return Err(FastaError::Io(format!("bad .fai line {}", no + 1)));
+            }
+            let parse =
+                |x: &str| -> Result<u64, FastaError> {
+                    x.parse()
+                        .map_err(|_| FastaError::Io(format!("bad .fai number on line {}", no + 1)))
+                };
+            entries.push(FaiEntry {
+                name: f[0].to_owned(),
+                length: parse(f[1])?,
+                offset: parse(f[2])?,
+                line_bases: parse(f[3])? as u32,
+                line_bytes: parse(f[4])? as u32,
+            });
+        }
+        Ok(FastaIndex { entries })
+    }
+
+    /// Fetch the residues of `name` from the FASTA file in O(record) time
+    /// using the index (no scan of preceding records).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the record is absent or the file read fails.
+    pub fn fetch(&self, path: &Path, name: &str) -> Result<String, FastaError> {
+        let e = self
+            .get(name)
+            .ok_or_else(|| FastaError::Io(format!("'{name}' not in index")))?;
+        if e.length == 0 {
+            return Ok(String::new());
+        }
+        let mut file = File::open(path)?;
+        file.seek(SeekFrom::Start(e.offset))?;
+        // Bytes spanned: full lines plus the tail.
+        let full_lines = e.length / e.line_bases as u64;
+        let tail = e.length % e.line_bases as u64;
+        let newline_overhead = (e.line_bytes - e.line_bases) as u64;
+        let span = full_lines * e.line_bytes as u64 + tail
+            + if tail > 0 { 0 } else { 0 };
+        let mut buf = vec![0u8; (span + newline_overhead) as usize];
+        let got = file.read(&mut buf)?;
+        buf.truncate(got);
+        let mut seq = String::with_capacity(e.length as usize);
+        for &b in &buf {
+            if b != b'\n' && b != b'\r' {
+                seq.push(b as char);
+            }
+            if seq.len() == e.length as usize {
+                break;
+            }
+        }
+        if seq.len() != e.length as usize {
+            return Err(FastaError::Io(format!(
+                "'{name}': expected {} residues, found {}",
+                e.length,
+                seq.len()
+            )));
+        }
+        Ok(seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fasta::{write_fasta, FastaRecord};
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "pastis-faidx-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{tag}.fa"))
+    }
+
+    fn records() -> Vec<FastaRecord> {
+        vec![
+            FastaRecord {
+                id: "alpha".into(),
+                desc: Some("first".into()),
+                seq: "MKVLAWYHEEMKVLAWYHEEMKVLA".into(), // 25 residues
+            },
+            FastaRecord {
+                id: "beta".into(),
+                desc: None,
+                seq: "PAWHEAE".into(),
+            },
+            FastaRecord {
+                id: "gamma".into(),
+                desc: None,
+                seq: "GGSTPNQRCD".repeat(4), // 40 residues
+            },
+        ]
+    }
+
+    fn write(path: &std::path::Path, width: usize) {
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &records(), width).unwrap();
+        std::fs::write(path, buf).unwrap();
+    }
+
+    #[test]
+    fn index_reports_names_and_lengths() {
+        let p = temp_path("basic");
+        write(&p, 10);
+        let idx = FastaIndex::build(&p).unwrap();
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.get("alpha").unwrap().length, 25);
+        assert_eq!(idx.get("beta").unwrap().length, 7);
+        assert_eq!(idx.get("gamma").unwrap().length, 40);
+        assert_eq!(idx.get("alpha").unwrap().line_bases, 10);
+        assert!(idx.get("delta").is_none());
+    }
+
+    #[test]
+    fn fetch_matches_original_at_all_widths() {
+        for width in [0usize, 7, 10, 100] {
+            let p = temp_path(&format!("w{width}"));
+            write(&p, width);
+            let idx = FastaIndex::build(&p).unwrap();
+            for rec in records() {
+                let got = idx.fetch(&p, &rec.id).unwrap();
+                assert_eq!(got, rec.seq, "record {} width {width}", rec.id);
+            }
+        }
+    }
+
+    #[test]
+    fn fai_roundtrip() {
+        let p = temp_path("roundtrip");
+        write(&p, 10);
+        let idx = FastaIndex::build(&p).unwrap();
+        let text = idx.to_fai();
+        let back = FastaIndex::from_fai(&text).unwrap();
+        assert_eq!(back, idx);
+        // Standard five-column TSV.
+        assert!(text.lines().all(|l| l.split('\t').count() == 5));
+    }
+
+    #[test]
+    fn bad_fai_rejected() {
+        assert!(FastaIndex::from_fai("name\t3\t5").is_err());
+        assert!(FastaIndex::from_fai("name\tx\t0\t1\t2\n").is_err());
+        assert!(FastaIndex::from_fai("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn inconsistent_line_widths_rejected() {
+        let p = temp_path("ragged");
+        std::fs::write(&p, ">a\nMKVL\nMK\nMKVL\n").unwrap();
+        assert!(FastaIndex::build(&p).is_err());
+    }
+
+    #[test]
+    fn fetch_missing_record_errors() {
+        let p = temp_path("missing");
+        write(&p, 10);
+        let idx = FastaIndex::build(&p).unwrap();
+        assert!(idx.fetch(&p, "nope").is_err());
+    }
+
+    #[test]
+    fn empty_file_index() {
+        let p = temp_path("empty");
+        std::fs::write(&p, b"").unwrap();
+        let idx = FastaIndex::build(&p).unwrap();
+        assert!(idx.is_empty());
+    }
+}

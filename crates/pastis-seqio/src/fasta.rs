@@ -1,0 +1,354 @@
+//! FASTA parsing/writing and the in-memory sequence store.
+//!
+//! The PASTIS input is "a file in FASTA format (a very common file format
+//! in bioinformatics)"; sequences are read once, encoded, and held in
+//! memory for the whole search. [`SeqStore`] is that in-memory form:
+//! residue-coded sequences plus ids, the structure every other crate
+//! aligns and indexes against.
+
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use pastis_align::matrices::{aa_code, decode};
+
+/// One FASTA record: header id, optional description, raw residue letters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastaRecord {
+    /// The id: header text up to the first whitespace.
+    pub id: String,
+    /// The rest of the header line, if any.
+    pub desc: Option<String>,
+    /// Residue letters (possibly multi-line in the file, joined here).
+    pub seq: String,
+}
+
+/// Errors from FASTA parsing or encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FastaError {
+    /// Sequence data appeared before any `>` header.
+    DataBeforeHeader {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A header introduced a record that has no sequence lines.
+    EmptyRecord {
+        /// The record id.
+        id: String,
+    },
+    /// A residue letter outside the amino-acid alphabet.
+    InvalidResidue {
+        /// The record id.
+        id: String,
+        /// The offending byte.
+        byte: u8,
+    },
+    /// Underlying I/O failure.
+    Io(String),
+}
+
+impl fmt::Display for FastaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FastaError::DataBeforeHeader { line } => {
+                write!(f, "sequence data before any '>' header at line {line}")
+            }
+            FastaError::EmptyRecord { id } => write!(f, "record '{id}' has no sequence"),
+            FastaError::InvalidResidue { id, byte } => write!(
+                f,
+                "invalid residue byte 0x{byte:02x} ('{}') in record '{id}'",
+                *byte as char
+            ),
+            FastaError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FastaError {}
+
+impl From<std::io::Error> for FastaError {
+    fn from(e: std::io::Error) -> Self {
+        FastaError::Io(e.to_string())
+    }
+}
+
+/// Parse all records from a reader. Handles multi-line sequences, CRLF
+/// line endings, blank lines, and lowercase residues.
+pub fn parse_fasta<R: BufRead>(reader: R) -> Result<Vec<FastaRecord>, FastaError> {
+    let mut records: Vec<FastaRecord> = Vec::new();
+    let mut current: Option<FastaRecord> = None;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('>') {
+            if let Some(rec) = current.take() {
+                if rec.seq.is_empty() {
+                    return Err(FastaError::EmptyRecord { id: rec.id });
+                }
+                records.push(rec);
+            }
+            let mut parts = header.splitn(2, char::is_whitespace);
+            let id = parts.next().unwrap_or("").to_owned();
+            let desc = parts
+                .next()
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_owned);
+            current = Some(FastaRecord {
+                id,
+                desc,
+                seq: String::new(),
+            });
+        } else {
+            match current.as_mut() {
+                Some(rec) => rec.seq.push_str(line.trim()),
+                None => return Err(FastaError::DataBeforeHeader { line: lineno + 1 }),
+            }
+        }
+    }
+    if let Some(rec) = current {
+        if rec.seq.is_empty() {
+            return Err(FastaError::EmptyRecord { id: rec.id });
+        }
+        records.push(rec);
+    }
+    Ok(records)
+}
+
+/// Write records in FASTA format, wrapping sequence lines at `width`
+/// characters (0 = no wrapping).
+pub fn write_fasta<W: Write>(
+    mut w: W,
+    records: &[FastaRecord],
+    width: usize,
+) -> std::io::Result<()> {
+    for rec in records {
+        match &rec.desc {
+            Some(d) => writeln!(w, ">{} {}", rec.id, d)?,
+            None => writeln!(w, ">{}", rec.id)?,
+        }
+        if width == 0 {
+            writeln!(w, "{}", rec.seq)?;
+        } else {
+            for chunk in rec.seq.as_bytes().chunks(width) {
+                w.write_all(chunk)?;
+                writeln!(w)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The in-memory dataset: residue-coded sequences plus their ids.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SeqStore {
+    ids: Vec<String>,
+    seqs: Vec<Vec<u8>>,
+}
+
+impl SeqStore {
+    /// An empty store.
+    pub fn new() -> SeqStore {
+        SeqStore::default()
+    }
+
+    /// Build from parsed FASTA records, encoding residues.
+    pub fn from_records(records: &[FastaRecord]) -> Result<SeqStore, FastaError> {
+        let mut store = SeqStore::new();
+        for rec in records {
+            let mut codes = Vec::with_capacity(rec.seq.len());
+            for b in rec.seq.bytes() {
+                match aa_code(b) {
+                    Some(c) => codes.push(c),
+                    None => {
+                        return Err(FastaError::InvalidResidue {
+                            id: rec.id.clone(),
+                            byte: b,
+                        })
+                    }
+                }
+            }
+            store.push(rec.id.clone(), codes);
+        }
+        Ok(store)
+    }
+
+    /// Append a sequence.
+    pub fn push(&mut self, id: String, codes: Vec<u8>) {
+        self.ids.push(id);
+        self.seqs.push(codes);
+    }
+
+    /// Number of sequences.
+    pub fn len(&self) -> usize {
+        self.seqs.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.seqs.is_empty()
+    }
+
+    /// Residue codes of sequence `i`.
+    pub fn seq(&self, i: usize) -> &[u8] {
+        &self.seqs[i]
+    }
+
+    /// Id of sequence `i`.
+    pub fn id(&self, i: usize) -> &str {
+        &self.ids[i]
+    }
+
+    /// Length of sequence `i`.
+    pub fn seq_len(&self, i: usize) -> usize {
+        self.seqs[i].len()
+    }
+
+    /// Total residues across the store.
+    pub fn total_residues(&self) -> usize {
+        self.seqs.iter().map(Vec::len).sum()
+    }
+
+    /// Mean sequence length (0 for an empty store).
+    pub fn mean_len(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.total_residues() as f64 / self.len() as f64
+        }
+    }
+
+    /// Convert back to FASTA records (decoding residue codes).
+    pub fn to_records(&self) -> Vec<FastaRecord> {
+        (0..self.len())
+            .map(|i| FastaRecord {
+                id: self.ids[i].clone(),
+                desc: None,
+                seq: decode(&self.seqs[i]),
+            })
+            .collect()
+    }
+
+    /// A sub-store with the sequences at `indices` (in that order) —
+    /// used to carve per-rank partitions and test subsets.
+    pub fn subset(&self, indices: &[usize]) -> SeqStore {
+        let mut out = SeqStore::new();
+        for &i in indices {
+            out.push(self.ids[i].clone(), self.seqs[i].clone());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    const SAMPLE: &str = ">seq1 first protein\nMKVLAW\nYHEE\n\n>seq2\nPAWHEAE\n";
+
+    #[test]
+    fn parse_multiline_and_descriptions() {
+        let recs = parse_fasta(Cursor::new(SAMPLE)).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].id, "seq1");
+        assert_eq!(recs[0].desc.as_deref(), Some("first protein"));
+        assert_eq!(recs[0].seq, "MKVLAWYHEE");
+        assert_eq!(recs[1].id, "seq2");
+        assert_eq!(recs[1].desc, None);
+        assert_eq!(recs[1].seq, "PAWHEAE");
+    }
+
+    #[test]
+    fn parse_crlf() {
+        let recs = parse_fasta(Cursor::new(">a x\r\nMKV\r\nLAW\r\n")).unwrap();
+        assert_eq!(recs[0].seq, "MKVLAW");
+        assert_eq!(recs[0].desc.as_deref(), Some("x"));
+    }
+
+    #[test]
+    fn data_before_header_is_an_error() {
+        let err = parse_fasta(Cursor::new("MKV\n>a\nMKV\n")).unwrap_err();
+        assert!(matches!(err, FastaError::DataBeforeHeader { line: 1 }));
+    }
+
+    #[test]
+    fn empty_record_is_an_error() {
+        let err = parse_fasta(Cursor::new(">a\n>b\nMKV\n")).unwrap_err();
+        assert!(matches!(err, FastaError::EmptyRecord { .. }));
+        // Trailing empty record too.
+        let err = parse_fasta(Cursor::new(">a\nMKV\n>b\n")).unwrap_err();
+        assert!(matches!(err, FastaError::EmptyRecord { .. }));
+    }
+
+    #[test]
+    fn empty_input_yields_no_records() {
+        assert_eq!(parse_fasta(Cursor::new("")).unwrap().len(), 0);
+        assert_eq!(parse_fasta(Cursor::new("\n\n")).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn write_parse_roundtrip() {
+        let recs = parse_fasta(Cursor::new(SAMPLE)).unwrap();
+        for width in [0usize, 3, 80] {
+            let mut buf = Vec::new();
+            write_fasta(&mut buf, &recs, width).unwrap();
+            let back = parse_fasta(Cursor::new(buf)).unwrap();
+            assert_eq!(back, recs, "width={width}");
+        }
+    }
+
+    #[test]
+    fn store_encodes_and_reports() {
+        let recs = parse_fasta(Cursor::new(SAMPLE)).unwrap();
+        let store = SeqStore::from_records(&recs).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.seq_len(0), 10);
+        assert_eq!(store.total_residues(), 17);
+        assert!((store.mean_len() - 8.5).abs() < 1e-12);
+        assert_eq!(store.id(1), "seq2");
+        // Codes round-trip through decode.
+        assert_eq!(store.to_records()[0].seq, "MKVLAWYHEE");
+    }
+
+    #[test]
+    fn store_rejects_invalid_residue() {
+        let recs = vec![FastaRecord {
+            id: "bad".into(),
+            desc: None,
+            seq: "MK1".into(),
+        }];
+        let err = SeqStore::from_records(&recs).unwrap_err();
+        assert!(matches!(
+            err,
+            FastaError::InvalidResidue { byte: b'1', .. }
+        ));
+    }
+
+    #[test]
+    fn store_accepts_lowercase_and_ambiguity() {
+        let recs = vec![FastaRecord {
+            id: "ok".into(),
+            desc: None,
+            seq: "mkvBZX*".into(),
+        }];
+        let store = SeqStore::from_records(&recs).unwrap();
+        assert_eq!(store.seq_len(0), 7);
+    }
+
+    #[test]
+    fn subset_preserves_order() {
+        let recs = parse_fasta(Cursor::new(SAMPLE)).unwrap();
+        let store = SeqStore::from_records(&recs).unwrap();
+        let sub = store.subset(&[1, 0]);
+        assert_eq!(sub.id(0), "seq2");
+        assert_eq!(sub.id(1), "seq1");
+    }
+
+    #[test]
+    fn mean_len_empty_store() {
+        assert_eq!(SeqStore::new().mean_len(), 0.0);
+    }
+}

@@ -1,0 +1,283 @@
+//! Byte-range-partitioned FASTA input and partitioned output.
+//!
+//! PASTIS "uses parallel MPI I/O for input and output files": each rank
+//! reads a disjoint byte range of the shared FASTA file and parses the
+//! records whose headers fall inside its range, so no rank ever touches
+//! the whole file. This module implements the same protocol on a local
+//! filesystem — the partitioning logic (and its record-boundary edge
+//! cases) is identical to the MPI-IO version; only the transport differs.
+//!
+//! Output follows the same pattern in reverse: ranks write their triplet
+//! partitions independently ([`write_partition`]) and a final
+//! concatenation produces the single similarity-graph file.
+
+use std::fs::File;
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::fasta::{parse_fasta, FastaError, FastaRecord};
+
+/// The byte range `[start, end)` of partition `rank` of `nranks` over a
+/// file of `file_len` bytes (even split, remainder to the first ranks).
+pub fn byte_range(file_len: u64, rank: usize, nranks: usize) -> (u64, u64) {
+    assert!(nranks > 0 && rank < nranks, "bad rank {rank}/{nranks}");
+    let base = file_len / nranks as u64;
+    let extra = file_len % nranks as u64;
+    let start = rank as u64 * base + (rank as u64).min(extra);
+    let len = base + u64::from((rank as u64) < extra);
+    (start, start + len)
+}
+
+/// Read the FASTA records *owned* by `rank`: those whose `>` header byte
+/// lies in the rank's byte range. A record straddling the range end is
+/// read past the boundary by its owner; a rank whose range begins
+/// mid-record skips forward to the first header at or after its start.
+///
+/// The union over all ranks is exactly the file's record set, each record
+/// exactly once (tested), which is the invariant MPI-IO FASTA readers
+/// must provide.
+pub fn read_fasta_partition(
+    path: &Path,
+    rank: usize,
+    nranks: usize,
+) -> Result<Vec<FastaRecord>, FastaError> {
+    let mut file = File::open(path)?;
+    let file_len = file.metadata()?.len();
+    let (start, end) = byte_range(file_len, rank, nranks);
+    if start >= file_len {
+        return Ok(Vec::new());
+    }
+    // Read from `start` to EOF; we stop parsing at the first header past
+    // `end`, so the read could be windowed — for the test substrate,
+    // simplicity wins and we bound memory by streaming line-by-line.
+    file.seek(SeekFrom::Start(start))?;
+    let mut buf = Vec::new();
+    file.read_to_end(&mut buf)?;
+
+    // A header is a '>' at a line start. If `start > 0`, one byte of
+    // lookback tells us whether `start` itself is a line start; otherwise
+    // we are mid-line and skip to the next newline.
+    let mut search_from = 0usize;
+    if start > 0 {
+        let mut one = [0u8; 1];
+        let mut f2 = File::open(path)?;
+        f2.seek(SeekFrom::Start(start - 1))?;
+        f2.read_exact(&mut one)?;
+        if one[0] != b'\n' {
+            match buf.iter().position(|&b| b == b'\n') {
+                Some(nl) => search_from = nl + 1,
+                None => return Ok(Vec::new()),
+            }
+        }
+    }
+    // Walk line starts until the first owned header; `pos` is always at a
+    // line start inside this loop.
+    let mut first_header: Option<usize> = None;
+    let mut pos = search_from;
+    while pos < buf.len() {
+        let abs = start + pos as u64;
+        if abs >= end {
+            break;
+        }
+        if buf[pos] == b'>' {
+            first_header = Some(pos);
+            break;
+        }
+        match buf[pos..].iter().position(|&b| b == b'\n') {
+            Some(nl) => pos += nl + 1,
+            None => break,
+        }
+    }
+    let Some(first) = first_header else {
+        return Ok(Vec::new());
+    };
+    // Find the first header at or after `end` (relative to buf) — records
+    // owned by the next rank.
+    let mut stop = buf.len();
+    let mut pos = first;
+    loop {
+        match buf[pos..].iter().position(|&b| b == b'\n') {
+            Some(nl) => pos += nl + 1,
+            None => break,
+        }
+        if pos >= buf.len() {
+            break;
+        }
+        let abs = start + pos as u64;
+        if abs >= end && buf[pos] == b'>' {
+            stop = pos;
+            break;
+        }
+    }
+    parse_fasta(std::io::Cursor::new(&buf[first..stop]))
+}
+
+/// Write one rank's output partition to `<base>.part-<rank>`; returns the
+/// number of bytes written. `lines` are written verbatim with trailing
+/// newlines.
+pub fn write_partition(
+    base: &Path,
+    rank: usize,
+    lines: &[String],
+) -> std::io::Result<u64> {
+    let path = partition_path(base, rank);
+    let mut w = BufWriter::new(File::create(path)?);
+    let mut bytes = 0u64;
+    for line in lines {
+        w.write_all(line.as_bytes())?;
+        w.write_all(b"\n")?;
+        bytes += line.len() as u64 + 1;
+    }
+    w.flush()?;
+    Ok(bytes)
+}
+
+/// Path of partition `rank` under `base`.
+pub fn partition_path(base: &Path, rank: usize) -> std::path::PathBuf {
+    let mut os = base.as_os_str().to_owned();
+    os.push(format!(".part-{rank}"));
+    std::path::PathBuf::from(os)
+}
+
+/// Concatenate all `nranks` partitions into `base` (the final gather step
+/// a parallel writer performs with a shared file pointer).
+pub fn concat_partitions(base: &Path, nranks: usize) -> std::io::Result<u64> {
+    let mut out = BufWriter::new(File::create(base)?);
+    let mut total = 0u64;
+    for rank in 0..nranks {
+        let part = partition_path(base, rank);
+        let mut f = File::open(&part)?;
+        total += std::io::copy(&mut f, &mut out)?;
+        std::fs::remove_file(part)?;
+    }
+    out.flush()?;
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fasta::write_fasta;
+    use std::io::Cursor;
+
+    fn temp_dir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "pastis-seqio-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_records(n: usize) -> Vec<FastaRecord> {
+        (0..n)
+            .map(|i| FastaRecord {
+                id: format!("seq{i}"),
+                desc: (i % 3 == 0).then(|| format!("family {}", i / 7)),
+                // Vary lengths so records straddle partition boundaries.
+                seq: "MKVLAWYHEE".repeat(1 + i % 5),
+            })
+            .collect()
+    }
+
+    fn write_sample(path: &Path, recs: &[FastaRecord], width: usize) {
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, recs, width).unwrap();
+        std::fs::write(path, buf).unwrap();
+    }
+
+    #[test]
+    fn byte_ranges_tile_the_file() {
+        for len in [0u64, 1, 10, 997, 4096] {
+            for nranks in [1usize, 2, 3, 7] {
+                let mut expected = 0;
+                for r in 0..nranks {
+                    let (s, e) = byte_range(len, r, nranks);
+                    assert_eq!(s, expected);
+                    expected = e;
+                }
+                assert_eq!(expected, len);
+            }
+        }
+    }
+
+    #[test]
+    fn partitions_cover_every_record_exactly_once() {
+        let dir = temp_dir();
+        let recs = sample_records(23);
+        for width in [0usize, 12] {
+            let path = dir.join(format!("cover-{width}.fa"));
+            write_sample(&path, &recs, width);
+            for nranks in [1usize, 2, 3, 5, 8, 16] {
+                let mut all: Vec<FastaRecord> = Vec::new();
+                for rank in 0..nranks {
+                    all.extend(read_fasta_partition(&path, rank, nranks).unwrap());
+                }
+                assert_eq!(all.len(), recs.len(), "nranks={nranks} width={width}");
+                let mut ids: Vec<&str> = all.iter().map(|r| r.id.as_str()).collect();
+                ids.sort_unstable();
+                let mut want: Vec<&str> = recs.iter().map(|r| r.id.as_str()).collect();
+                want.sort_unstable();
+                assert_eq!(ids, want);
+                // Full records intact, not truncated at boundaries.
+                for got in &all {
+                    let orig = recs.iter().find(|r| r.id == got.id).unwrap();
+                    assert_eq!(got.seq, orig.seq, "record {} truncated", got.id);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_ranks_than_records() {
+        let dir = temp_dir();
+        let recs = sample_records(2);
+        let path = dir.join("tiny.fa");
+        write_sample(&path, &recs, 0);
+        let mut total = 0;
+        for rank in 0..32 {
+            total += read_fasta_partition(&path, rank, 32).unwrap().len();
+        }
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn single_rank_reads_everything() {
+        let dir = temp_dir();
+        let recs = sample_records(5);
+        let path = dir.join("single.fa");
+        write_sample(&path, &recs, 7);
+        let got = read_fasta_partition(&path, 0, 1).unwrap();
+        assert_eq!(got, parse_fasta(Cursor::new(std::fs::read(&path).unwrap())).unwrap());
+    }
+
+    #[test]
+    fn partitioned_write_and_concat() {
+        let dir = temp_dir();
+        let base = dir.join("out.tsv");
+        let mut written = 0;
+        for rank in 0..4usize {
+            let lines: Vec<String> =
+                (0..rank + 1).map(|i| format!("{rank}\t{i}\t0.9")).collect();
+            written += write_partition(&base, rank, &lines).unwrap();
+        }
+        let total = concat_partitions(&base, 4).unwrap();
+        assert_eq!(total, written);
+        let content = std::fs::read_to_string(&base).unwrap();
+        assert_eq!(content.lines().count(), 1 + 2 + 3 + 4);
+        assert!(content.starts_with("0\t0"));
+        // Partition files are cleaned up.
+        assert!(!partition_path(&base, 0).exists());
+    }
+
+    #[test]
+    fn empty_file_partitions() {
+        let dir = temp_dir();
+        let path = dir.join("empty.fa");
+        std::fs::write(&path, b"").unwrap();
+        for rank in 0..3 {
+            assert!(read_fasta_partition(&path, rank, 3).unwrap().is_empty());
+        }
+    }
+}

@@ -1,0 +1,425 @@
+//! Synthetic protein-family dataset generation (the Metaclust surrogate).
+//!
+//! The paper's production input is Metaclust: 405M proteins assembled from
+//! metagenomes, in which true homologs form families and the pairwise
+//! similarity structure is extremely sparse (the run's "alignment space"
+//! is 5.2·10⁻⁵ of the full 1.6·10¹⁷ search space). The reproduction uses a
+//! generator with the same statistical skeleton:
+//!
+//! * sequence lengths are log-normal (protein-like long tail; variable
+//!   lengths are what make alignment load balancing hard — Figure 7b);
+//! * sequences come in *families*: each family has a random ancestor and
+//!   members derived by substitutions and indels at controlled divergence,
+//!   so family members genuinely share k-mers and align with high
+//!   identity/coverage;
+//! * a configurable fraction of singletons provides the unrelated
+//!   background.
+//!
+//! Ground-truth family labels are retained so experiments can measure
+//! sensitivity (did the search recover planted pairs?) in addition to
+//! performance.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::fasta::SeqStore;
+
+/// Approximate UniProt background amino-acid frequencies over the
+/// canonical code order `ARNDCQEGHILKMFPSTWYV` (percent).
+const AA_FREQ: [f64; 20] = [
+    8.25, 5.53, 4.06, 5.45, 1.37, 3.93, 6.75, 7.07, 2.27, 5.96, 9.66, 5.84, 2.42, 3.86,
+    4.70, 6.56, 5.34, 1.08, 2.92, 6.87,
+];
+
+/// Configuration of the synthetic dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticConfig {
+    /// Total number of sequences to generate.
+    pub n_sequences: usize,
+    /// Mean family size for non-singleton sequences (≥ 2).
+    pub mean_family_size: f64,
+    /// Fraction of sequences that are unrelated singletons.
+    pub singleton_fraction: f64,
+    /// Mean sequence length.
+    pub mean_len: f64,
+    /// Log-normal shape parameter (0 = constant length).
+    pub len_sigma: f64,
+    /// Hard minimum sequence length.
+    pub min_len: usize,
+    /// Per-residue substitution probability for family members.
+    pub divergence: f64,
+    /// Per-residue indel probability for family members.
+    pub indel_prob: f64,
+    /// Shuffle sequence order after generation. Metaclust-like inputs
+    /// have no id-locality between homologs; without shuffling, families
+    /// would be contiguous in id and the 2D matrix distribution would see
+    /// wildly unrealistic clustering.
+    pub shuffle: bool,
+    /// RNG seed — equal seeds give bit-identical datasets.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> SyntheticConfig {
+        SyntheticConfig {
+            n_sequences: 1000,
+            mean_family_size: 8.0,
+            singleton_fraction: 0.3,
+            mean_len: 250.0,
+            len_sigma: 0.45,
+            min_len: 30,
+            divergence: 0.12,
+            indel_prob: 0.02,
+            shuffle: true,
+            seed: 0xBA5715,
+        }
+    }
+}
+
+impl SyntheticConfig {
+    /// A small, fast preset for unit tests and examples.
+    pub fn small(n: usize, seed: u64) -> SyntheticConfig {
+        SyntheticConfig {
+            n_sequences: n,
+            mean_len: 120.0,
+            seed,
+            ..SyntheticConfig::default()
+        }
+    }
+}
+
+/// A generated dataset: the sequences plus planted ground truth.
+#[derive(Debug, Clone)]
+pub struct SyntheticDataset {
+    /// The sequences.
+    pub store: SeqStore,
+    /// Family id per sequence; [`SyntheticDataset::SINGLETON`] marks
+    /// singletons.
+    pub family: Vec<u32>,
+}
+
+impl SyntheticDataset {
+    /// Family label of unrelated singleton sequences.
+    pub const SINGLETON: u32 = u32::MAX;
+
+    /// Generate a dataset from `cfg` (deterministic in `cfg.seed`).
+    pub fn generate(cfg: &SyntheticConfig) -> SyntheticDataset {
+        assert!(cfg.mean_family_size >= 2.0, "families need at least 2 members");
+        assert!((0.0..=1.0).contains(&cfg.singleton_fraction));
+        assert!((0.0..1.0).contains(&cfg.divergence));
+        assert!((0.0..1.0).contains(&cfg.indel_prob));
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let mut store = SeqStore::new();
+        let mut family = Vec::with_capacity(cfg.n_sequences);
+
+        let n_singletons =
+            (cfg.n_sequences as f64 * cfg.singleton_fraction).round() as usize;
+        let n_family_seqs = cfg.n_sequences - n_singletons;
+
+        // Families first.
+        let mut fid = 0u32;
+        let mut produced = 0usize;
+        while produced < n_family_seqs {
+            let remaining = n_family_seqs - produced;
+            let size = sample_family_size(&mut rng, cfg.mean_family_size).min(remaining);
+            let ancestor = random_seq(&mut rng, cfg);
+            for m in 0..size {
+                let member = if m == 0 {
+                    ancestor.clone()
+                } else {
+                    mutate(&mut rng, &ancestor, cfg)
+                };
+                store.push(format!("fam{fid}_m{m}"), member);
+                family.push(fid);
+            }
+            produced += size;
+            fid += 1;
+        }
+        // Then singletons.
+        for s in 0..n_singletons {
+            store.push(format!("single{s}"), random_seq(&mut rng, cfg));
+            family.push(Self::SINGLETON);
+        }
+        if cfg.shuffle {
+            // Fisher–Yates over (sequence, label) pairs, deterministic in
+            // the same RNG stream.
+            let n = family.len();
+            let mut order: Vec<usize> = (0..n).collect();
+            for i in (1..n).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            let shuffled_store = store.subset(&order);
+            let shuffled_family: Vec<u32> = order.iter().map(|&i| family[i]).collect();
+            store = shuffled_store;
+            family = shuffled_family;
+        }
+        SyntheticDataset { store, family }
+    }
+
+    /// Number of generated families.
+    pub fn n_families(&self) -> usize {
+        self.family
+            .iter()
+            .filter(|&&f| f != Self::SINGLETON)
+            .map(|&f| f)
+            .max()
+            .map_or(0, |m| m as usize + 1)
+    }
+
+    /// Whether sequences `i` and `j` are planted homologs.
+    pub fn same_family(&self, i: usize, j: usize) -> bool {
+        self.family[i] != Self::SINGLETON && self.family[i] == self.family[j]
+    }
+
+    /// All planted homolog pairs `(i, j)` with `i < j`.
+    pub fn true_pairs(&self) -> Vec<(usize, usize)> {
+        let mut by_family: std::collections::HashMap<u32, Vec<usize>> =
+            std::collections::HashMap::new();
+        for (idx, &f) in self.family.iter().enumerate() {
+            if f != Self::SINGLETON {
+                by_family.entry(f).or_default().push(idx);
+            }
+        }
+        let mut pairs = Vec::new();
+        let mut fams: Vec<_> = by_family.into_iter().collect();
+        fams.sort_unstable_by_key(|(f, _)| *f);
+        for (_, members) in fams {
+            for a in 0..members.len() {
+                for b in a + 1..members.len() {
+                    pairs.push((members[a], members[b]));
+                }
+            }
+        }
+        pairs.sort_unstable();
+        pairs
+    }
+}
+
+fn sample_family_size(rng: &mut impl Rng, mean: f64) -> usize {
+    // 2 + geometric with mean (mean - 2).
+    let extra_mean = (mean - 2.0).max(0.0);
+    if extra_mean == 0.0 {
+        return 2;
+    }
+    let p = 1.0 / (extra_mean + 1.0);
+    let mut extra = 0usize;
+    while rng.gen::<f64>() > p && extra < 10_000 {
+        extra += 1;
+    }
+    2 + extra
+}
+
+fn sample_length(rng: &mut impl Rng, cfg: &SyntheticConfig) -> usize {
+    if cfg.len_sigma == 0.0 {
+        return (cfg.mean_len.round() as usize).max(cfg.min_len);
+    }
+    // Log-normal with E[len] = mean_len: mu = ln(mean) - sigma^2 / 2.
+    let mu = cfg.mean_len.ln() - cfg.len_sigma * cfg.len_sigma / 2.0;
+    // Box–Muller standard normal.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    let len = (mu + cfg.len_sigma * z).exp().round() as usize;
+    len.max(cfg.min_len)
+}
+
+fn random_residue(rng: &mut impl Rng) -> u8 {
+    let mut x = rng.gen_range(0.0..100.0);
+    for (code, &f) in AA_FREQ.iter().enumerate() {
+        if x < f {
+            return code as u8;
+        }
+        x -= f;
+    }
+    19 // rounding tail -> V
+}
+
+fn random_seq(rng: &mut impl Rng, cfg: &SyntheticConfig) -> Vec<u8> {
+    let len = sample_length(rng, cfg);
+    (0..len).map(|_| random_residue(rng)).collect()
+}
+
+fn mutate(rng: &mut impl Rng, ancestor: &[u8], cfg: &SyntheticConfig) -> Vec<u8> {
+    let mut out = Vec::with_capacity(ancestor.len() + 8);
+    for &res in ancestor {
+        let r: f64 = rng.gen();
+        if r < cfg.indel_prob / 2.0 {
+            // Deletion: skip the residue.
+            continue;
+        } else if r < cfg.indel_prob {
+            // Insertion before the residue.
+            out.push(random_residue(rng));
+            out.push(res);
+        } else if r < cfg.indel_prob + cfg.divergence {
+            out.push(random_residue(rng));
+        } else {
+            out.push(res);
+        }
+    }
+    if out.is_empty() {
+        out.push(random_residue(rng));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = SyntheticConfig::small(200, 42);
+        let a = SyntheticDataset::generate(&cfg);
+        let b = SyntheticDataset::generate(&cfg);
+        assert_eq!(a.store, b.store);
+        assert_eq!(a.family, b.family);
+        let c = SyntheticDataset::generate(&SyntheticConfig::small(200, 43));
+        assert_ne!(a.store, c.store);
+    }
+
+    #[test]
+    fn counts_and_labels() {
+        let cfg = SyntheticConfig::small(500, 7);
+        let ds = SyntheticDataset::generate(&cfg);
+        assert_eq!(ds.store.len(), 500);
+        assert_eq!(ds.family.len(), 500);
+        let singles = ds
+            .family
+            .iter()
+            .filter(|&&f| f == SyntheticDataset::SINGLETON)
+            .count();
+        assert_eq!(singles, 150); // 0.3 × 500
+        assert!(ds.n_families() > 10);
+    }
+
+    #[test]
+    fn lengths_respect_minimum_and_mean() {
+        let cfg = SyntheticConfig {
+            n_sequences: 400,
+            mean_len: 200.0,
+            min_len: 40,
+            ..SyntheticConfig::default()
+        };
+        let ds = SyntheticDataset::generate(&cfg);
+        for i in 0..ds.store.len() {
+            assert!(ds.store.seq_len(i) >= 30); // mutations can shrink a bit
+        }
+        let mean = ds.store.mean_len();
+        assert!(
+            (140.0..270.0).contains(&mean),
+            "mean length {mean} far from configured 200"
+        );
+    }
+
+    #[test]
+    fn family_members_share_kmers_singletons_do_not() {
+        let cfg = SyntheticConfig {
+            n_sequences: 60,
+            singleton_fraction: 0.5,
+            divergence: 0.1,
+            seed: 99,
+            ..SyntheticConfig::small(60, 99)
+        };
+        let ds = SyntheticDataset::generate(&cfg);
+        let kmers = |i: usize| -> std::collections::HashSet<&[u8]> {
+            ds.store.seq(i).windows(6).collect()
+        };
+        // Find a family with ≥ 2 members.
+        let pairs = ds.true_pairs();
+        assert!(!pairs.is_empty());
+        let (a, b) = pairs[0];
+        let shared_family = kmers(a).intersection(&kmers(b)).count();
+        assert!(
+            shared_family >= 2,
+            "family members share only {shared_family} 6-mers"
+        );
+        // Two singletons share essentially nothing.
+        let singles: Vec<usize> = (0..ds.store.len())
+            .filter(|&i| ds.family[i] == SyntheticDataset::SINGLETON)
+            .take(2)
+            .collect();
+        let shared_noise = kmers(singles[0]).intersection(&kmers(singles[1])).count();
+        assert!(shared_noise <= 1);
+    }
+
+    #[test]
+    fn true_pairs_are_within_family_only() {
+        let ds = SyntheticDataset::generate(&SyntheticConfig::small(120, 3));
+        for (i, j) in ds.true_pairs() {
+            assert!(i < j);
+            assert!(ds.same_family(i, j));
+        }
+        // Quadratic-ish count: every family of size s contributes s(s-1)/2.
+        let mut expect = 0usize;
+        let mut counts = std::collections::HashMap::new();
+        for &f in &ds.family {
+            if f != SyntheticDataset::SINGLETON {
+                *counts.entry(f).or_insert(0usize) += 1;
+            }
+        }
+        for (_, s) in counts {
+            expect += s * (s - 1) / 2;
+        }
+        assert_eq!(ds.true_pairs().len(), expect);
+    }
+
+    #[test]
+    fn zero_singleton_fraction() {
+        let cfg = SyntheticConfig {
+            singleton_fraction: 0.0,
+            ..SyntheticConfig::small(50, 1)
+        };
+        let ds = SyntheticDataset::generate(&cfg);
+        assert!(ds.family.iter().all(|&f| f != SyntheticDataset::SINGLETON));
+    }
+
+    #[test]
+    fn all_singletons() {
+        let cfg = SyntheticConfig {
+            singleton_fraction: 1.0,
+            ..SyntheticConfig::small(50, 1)
+        };
+        let ds = SyntheticDataset::generate(&cfg);
+        assert!(ds.family.iter().all(|&f| f == SyntheticDataset::SINGLETON));
+        assert!(ds.true_pairs().is_empty());
+        assert_eq!(ds.n_families(), 0);
+    }
+
+    #[test]
+    fn constant_length_mode() {
+        let cfg = SyntheticConfig {
+            len_sigma: 0.0,
+            divergence: 0.0,
+            indel_prob: 0.0,
+            singleton_fraction: 1.0,
+            mean_len: 77.0,
+            ..SyntheticConfig::small(20, 5)
+        };
+        let ds = SyntheticDataset::generate(&cfg);
+        for i in 0..ds.store.len() {
+            assert_eq!(ds.store.seq_len(i), 77);
+        }
+    }
+
+    #[test]
+    fn residues_follow_background_roughly() {
+        let cfg = SyntheticConfig {
+            singleton_fraction: 1.0,
+            ..SyntheticConfig::small(300, 11)
+        };
+        let ds = SyntheticDataset::generate(&cfg);
+        let mut counts = [0u64; 21];
+        for i in 0..ds.store.len() {
+            for &c in ds.store.seq(i) {
+                counts[c as usize] += 1;
+            }
+        }
+        let total: u64 = counts.iter().sum();
+        // Leucine (code 10) should be the most common residue (~9.7%).
+        let leu = counts[10] as f64 / total as f64;
+        assert!((0.07..0.13).contains(&leu), "L frequency {leu}");
+        // No X residues generated.
+        assert_eq!(counts[20], 0);
+    }
+}

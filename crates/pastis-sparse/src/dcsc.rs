@@ -1,0 +1,309 @@
+//! Compressed and doubly-compressed sparse column storage.
+//!
+//! CombBLAS stores local blocks in CSC and switches to DCSC (Buluç &
+//! Gilbert, IPDPS'08 — the paper's reference [19]) when blocks become
+//! *hypersparse*: after 2D partitioning over `√p × √p` ranks a block often
+//! has far fewer nonzeros than columns, so the O(ncols) column-pointer
+//! array of CSC dominates memory. DCSC stores pointers only for the
+//! `nzc ≤ nnz` non-empty columns.
+
+use crate::csr::CsrMatrix;
+use crate::triples::{Index, Triples};
+
+/// Compressed sparse column storage with sorted, duplicate-free columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix<T> {
+    nrows: usize,
+    ncols: usize,
+    colptr: Vec<usize>,
+    rowind: Vec<Index>,
+    vals: Vec<T>,
+}
+
+impl<T: Clone> CscMatrix<T> {
+    /// Build from triples, folding duplicate coordinates with `combine`.
+    pub fn from_triples_combining(
+        mut t: Triples<T>,
+        mut combine: impl FnMut(&mut T, T),
+    ) -> CscMatrix<T> {
+        t.combine_duplicates(&mut combine);
+        t.sort_col_major();
+        let (nrows, ncols) = (t.nrows(), t.ncols());
+        let mut colptr = vec![0usize; ncols + 1];
+        for e in &t.entries {
+            colptr[e.col as usize + 1] += 1;
+        }
+        for j in 0..ncols {
+            colptr[j + 1] += colptr[j];
+        }
+        let mut rowind = Vec::with_capacity(t.entries.len());
+        let mut vals = Vec::with_capacity(t.entries.len());
+        for e in t.entries {
+            rowind.push(e.row);
+            vals.push(e.val);
+        }
+        CscMatrix {
+            nrows,
+            ncols,
+            colptr,
+            rowind,
+            vals,
+        }
+    }
+
+    /// Build from triples; panics on duplicate coordinates.
+    pub fn from_triples(t: Triples<T>) -> CscMatrix<T> {
+        Self::from_triples_combining(t, |_, _| panic!("duplicate coordinate in from_triples"))
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.rowind.len()
+    }
+
+    /// Row indices and values of column `j`.
+    pub fn col(&self, j: usize) -> (&[Index], &[T]) {
+        let (s, e) = (self.colptr[j], self.colptr[j + 1]);
+        (&self.rowind[s..e], &self.vals[s..e])
+    }
+
+    /// Convert to triples.
+    pub fn to_triples(&self) -> Triples<T> {
+        let mut t = Triples::new(self.nrows, self.ncols);
+        for j in 0..self.ncols {
+            let (rows, vals) = self.col(j);
+            for (&i, v) in rows.iter().zip(vals) {
+                t.push(i, j as Index, v.clone());
+            }
+        }
+        t
+    }
+
+    /// Convert to CSR.
+    pub fn to_csr(&self) -> CsrMatrix<T> {
+        CsrMatrix::from_triples(self.to_triples())
+    }
+}
+
+/// Doubly compressed sparse column storage: column pointers exist only for
+/// non-empty columns (`jc` holds their indices).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcscMatrix<T> {
+    nrows: usize,
+    ncols: usize,
+    /// Indices of non-empty columns, ascending.
+    jc: Vec<Index>,
+    /// `cp[k]..cp[k+1]` is the extent of column `jc[k]` in `ir`/`num`.
+    cp: Vec<usize>,
+    /// Row indices, sorted within each column.
+    ir: Vec<Index>,
+    /// Values.
+    num: Vec<T>,
+}
+
+impl<T: Clone> DcscMatrix<T> {
+    /// Build from triples, folding duplicate coordinates with `combine`.
+    pub fn from_triples_combining(
+        mut t: Triples<T>,
+        mut combine: impl FnMut(&mut T, T),
+    ) -> DcscMatrix<T> {
+        t.combine_duplicates(&mut combine);
+        t.sort_col_major();
+        let (nrows, ncols) = (t.nrows(), t.ncols());
+        let mut jc: Vec<Index> = Vec::new();
+        let mut cp: Vec<usize> = vec![0];
+        let mut ir: Vec<Index> = Vec::with_capacity(t.entries.len());
+        let mut num: Vec<T> = Vec::with_capacity(t.entries.len());
+        for e in t.entries {
+            if jc.last() != Some(&e.col) {
+                if !jc.is_empty() {
+                    cp.push(ir.len());
+                }
+                jc.push(e.col);
+            }
+            ir.push(e.row);
+            num.push(e.val);
+        }
+        cp.push(ir.len());
+        if jc.is_empty() {
+            cp = vec![0];
+        }
+        DcscMatrix {
+            nrows,
+            ncols,
+            jc,
+            cp,
+            ir,
+            num,
+        }
+    }
+
+    /// Build from triples; panics on duplicates.
+    pub fn from_triples(t: Triples<T>) -> DcscMatrix<T> {
+        Self::from_triples_combining(t, |_, _| panic!("duplicate coordinate in from_triples"))
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns (logical dimension, not stored columns).
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.ir.len()
+    }
+
+    /// Number of non-empty columns (`nzc`).
+    pub fn nzc(&self) -> usize {
+        self.jc.len()
+    }
+
+    /// Whether the matrix is hypersparse (`nnz < ncols`), the regime DCSC
+    /// is designed for.
+    pub fn is_hypersparse(&self) -> bool {
+        self.nnz() < self.ncols
+    }
+
+    /// Iterate `(col, rows, vals)` over non-empty columns in ascending
+    /// column order.
+    pub fn iter_cols(&self) -> impl Iterator<Item = (Index, &[Index], &[T])> + '_ {
+        (0..self.jc.len()).map(move |k| {
+            let (s, e) = (self.cp[k], self.cp[k + 1]);
+            (self.jc[k], &self.ir[s..e], &self.num[s..e])
+        })
+    }
+
+    /// Row indices and values of column `j` (empty slices if `j` stores
+    /// nothing). O(log nzc).
+    pub fn col(&self, j: usize) -> (&[Index], &[T]) {
+        match self.jc.binary_search(&(j as Index)) {
+            Ok(k) => {
+                let (s, e) = (self.cp[k], self.cp[k + 1]);
+                (&self.ir[s..e], &self.num[s..e])
+            }
+            Err(_) => (&[], &[]),
+        }
+    }
+
+    /// Convert to triples.
+    pub fn to_triples(&self) -> Triples<T> {
+        let mut t = Triples::new(self.nrows, self.ncols);
+        for (j, rows, vals) in self.iter_cols() {
+            for (&i, v) in rows.iter().zip(vals) {
+                t.push(i, j, v.clone());
+            }
+        }
+        t
+    }
+
+    /// Memory footprint in bytes: `O(nnz + nzc)`, independent of `ncols` —
+    /// the whole point of double compression.
+    pub fn payload_bytes(&self) -> usize {
+        self.jc.len() * std::mem::size_of::<Index>()
+            + self.cp.len() * std::mem::size_of::<usize>()
+            + self.ir.len() * std::mem::size_of::<Index>()
+            + self.num.len() * std::mem::size_of::<T>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_triples() -> Triples<i32> {
+        // 4x6, columns 1 and 4 non-empty.
+        Triples::from_entries(4, 6, vec![(0, 1, 10), (3, 1, 11), (2, 4, 12)])
+    }
+
+    #[test]
+    fn csc_roundtrip_and_access() {
+        let m = CscMatrix::from_triples(sample_triples());
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.col(1).0, &[0, 3]);
+        assert_eq!(m.col(0).0, &[] as &[Index]);
+        let back = CscMatrix::from_triples(m.to_triples());
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn csc_to_csr_agrees() {
+        let m = CscMatrix::from_triples(sample_triples());
+        let csr = m.to_csr();
+        assert_eq!(csr.get(3, 1), Some(&11));
+        assert_eq!(csr.nnz(), 3);
+    }
+
+    #[test]
+    fn dcsc_structure() {
+        let m = DcscMatrix::from_triples(sample_triples());
+        assert_eq!(m.nzc(), 2);
+        assert_eq!(m.nnz(), 3);
+        assert!(m.is_hypersparse()); // 3 < 6
+        assert_eq!(m.col(1).0, &[0, 3]);
+        assert_eq!(m.col(4).0, &[2]);
+        assert_eq!(m.col(0).0, &[] as &[Index]);
+    }
+
+    #[test]
+    fn dcsc_roundtrip() {
+        let m = DcscMatrix::from_triples(sample_triples());
+        let back = DcscMatrix::from_triples(m.to_triples());
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn dcsc_iter_cols_ascending() {
+        let m = DcscMatrix::from_triples(sample_triples());
+        let cols: Vec<Index> = m.iter_cols().map(|(j, _, _)| j).collect();
+        assert_eq!(cols, vec![1, 4]);
+    }
+
+    #[test]
+    fn dcsc_empty() {
+        let m: DcscMatrix<i32> = DcscMatrix::from_triples(Triples::new(3, 1000));
+        assert_eq!(m.nzc(), 0);
+        assert_eq!(m.nnz(), 0);
+        assert!(m.is_hypersparse());
+        assert_eq!(m.col(500).0.len(), 0);
+    }
+
+    #[test]
+    fn dcsc_beats_csc_memory_when_hypersparse() {
+        // 2 nonzeros in a 10 x 100_000 matrix.
+        let t = Triples::from_entries(10, 100_000, vec![(0, 5, 1u64), (9, 99_999, 2)]);
+        let dcsc = DcscMatrix::from_triples(t.clone());
+        // CSC column pointer array alone: (ncols + 1) * 8 bytes.
+        let csc_colptr_bytes = (100_000 + 1) * std::mem::size_of::<usize>();
+        assert!(dcsc.payload_bytes() < csc_colptr_bytes / 100);
+    }
+
+    #[test]
+    fn dcsc_duplicates_combined() {
+        let t = Triples::from_entries(2, 2, vec![(0, 0, 1u32), (0, 0, 5)]);
+        let m = DcscMatrix::from_triples_combining(t, |a, b| *a += b);
+        assert_eq!(m.col(0).1, &[6]);
+    }
+
+    #[test]
+    fn dense_matrix_not_hypersparse() {
+        let t = Triples::from_entries(2, 2, vec![(0, 0, 1), (0, 1, 2), (1, 0, 3), (1, 1, 4)]);
+        let m = DcscMatrix::from_triples(t);
+        assert!(!m.is_hypersparse());
+        assert_eq!(m.nzc(), 2);
+    }
+}

@@ -1,0 +1,201 @@
+//! Semiring sparse matrix–vector products.
+//!
+//! CombBLAS pairs its SpGEMM with semiring SpMV/SpMSpV for the
+//! vector-driven graph algorithms layered on the same matrices (the
+//! similarity graph PASTIS emits is consumed by exactly such algorithms —
+//! e.g. HipMCL's Markov clustering is iterated semiring SpMV). Provided
+//! here for the dense-vector and sparse-vector cases, both
+//! semiring-generic and tested against each other.
+
+use crate::csr::CsrMatrix;
+use crate::semiring::Semiring;
+use crate::triples::Index;
+
+/// `y = A ⊗ x` with a dense input vector: `y[i] = ⊕_j multiply(A[i,j], x[j])`.
+/// Rows with no contributing entries yield `None`.
+pub fn spmv_dense<S: Semiring>(
+    sr: &S,
+    a: &CsrMatrix<S::A>,
+    x: &[S::B],
+) -> Vec<Option<S::C>> {
+    assert_eq!(a.ncols(), x.len(), "SpMV dimension mismatch");
+    let mut y: Vec<Option<S::C>> = Vec::with_capacity(a.nrows());
+    for i in 0..a.nrows() {
+        let (cols, vals) = a.row(i);
+        let mut acc: Option<S::C> = None;
+        for (&j, v) in cols.iter().zip(vals) {
+            let prod = sr.multiply(v, &x[j as usize]);
+            match &mut acc {
+                Some(a) => sr.combine(a, prod),
+                slot @ None => *slot = Some(prod),
+            }
+        }
+        y.push(acc);
+    }
+    y
+}
+
+/// `y = A ⊗ x` with a sparse input vector given as sorted
+/// `(index, value)` pairs; the output is sparse in the same format
+/// (SpMSpV). Equivalent to [`spmv_dense`] on the densified vector
+/// (property-tested).
+pub fn spmv_sparse<S: Semiring>(
+    sr: &S,
+    a: &CsrMatrix<S::A>,
+    x: &[(Index, S::B)],
+) -> Vec<(Index, S::C)> {
+    debug_assert!(
+        x.windows(2).all(|w| w[0].0 < w[1].0),
+        "sparse vector must be sorted and duplicate-free"
+    );
+    debug_assert!(
+        x.last().is_none_or(|l| (l.0 as usize) < a.ncols()),
+        "sparse vector index out of range"
+    );
+    let mut y: Vec<(Index, S::C)> = Vec::new();
+    for i in 0..a.nrows() {
+        let (cols, vals) = a.row(i);
+        let mut acc: Option<S::C> = None;
+        // Sorted-merge of the row's columns with the vector's indices.
+        let (mut p, mut q) = (0usize, 0usize);
+        while p < cols.len() && q < x.len() {
+            match cols[p].cmp(&x[q].0) {
+                std::cmp::Ordering::Less => p += 1,
+                std::cmp::Ordering::Greater => q += 1,
+                std::cmp::Ordering::Equal => {
+                    let prod = sr.multiply(&vals[p], &x[q].1);
+                    match &mut acc {
+                        Some(a) => sr.combine(a, prod),
+                        slot @ None => *slot = Some(prod),
+                    }
+                    p += 1;
+                    q += 1;
+                }
+            }
+        }
+        if let Some(v) = acc {
+            y.push((i as Index, v));
+        }
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::{BoolAndOr, MinPlus, PlusTimes};
+    use crate::triples::Triples;
+    use proptest::prelude::*;
+
+    fn sample() -> CsrMatrix<f64> {
+        CsrMatrix::from_triples(Triples::from_entries(
+            3,
+            4,
+            vec![(0, 0, 2.0), (0, 3, 1.0), (1, 1, -1.0), (2, 0, 4.0), (2, 2, 0.5)],
+        ))
+    }
+
+    #[test]
+    fn dense_spmv_arithmetic() {
+        let a = sample();
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let y = spmv_dense(&PlusTimes::new(), &a, &x);
+        assert_eq!(y, vec![Some(2.0 + 4.0), Some(-2.0), Some(4.0 + 1.5)]);
+    }
+
+    #[test]
+    fn dense_spmv_empty_row_is_none() {
+        let a: CsrMatrix<f64> = CsrMatrix::from_triples(Triples::from_entries(
+            2,
+            2,
+            vec![(0, 0, 1.0)],
+        ));
+        let y = spmv_dense(&PlusTimes::new(), &a, &[5.0, 5.0]);
+        assert_eq!(y[1], None);
+    }
+
+    #[test]
+    fn bool_spmv_is_frontier_expansion() {
+        // Adjacency row i reachable from frontier x.
+        let g = CsrMatrix::from_triples(Triples::from_entries(
+            3,
+            3,
+            vec![(0, 1, true), (1, 2, true), (2, 0, true)],
+        ));
+        let frontier = vec![false, true, false];
+        let next = spmv_dense(&BoolAndOr, &g, &frontier);
+        assert_eq!(next, vec![Some(true), Some(false), Some(false)]);
+    }
+
+    #[test]
+    fn minplus_spmv_relaxes_distances() {
+        let g = CsrMatrix::from_triples(Triples::from_entries(
+            2,
+            2,
+            vec![(0, 0, 0.0), (0, 1, 3.0), (1, 1, 0.0)],
+        ));
+        let dist = vec![0.0, 10.0];
+        let relaxed = spmv_dense(&MinPlus, &g, &dist);
+        assert_eq!(relaxed, vec![Some(0.0), Some(10.0)]);
+    }
+
+    #[test]
+    fn sparse_spmv_matches_dense() {
+        let a = sample();
+        let xs = vec![(0u32, 1.0), (3u32, 4.0)];
+        let ys = spmv_sparse(&PlusTimes::new(), &a, &xs);
+        assert_eq!(ys, vec![(0, 2.0 + 4.0), (2, 4.0)]);
+    }
+
+    #[test]
+    fn sparse_spmv_empty_vector() {
+        let a = sample();
+        let ys = spmv_sparse(&PlusTimes::new(), &a, &[]);
+        assert!(ys.is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn spmsv_equals_densified_spmv(
+            entries in proptest::collection::vec(
+                (0u32..12, 0u32..10, -3i64..4), 0..40),
+            xent in proptest::collection::btree_map(0u32..10usize as u32, -3i64..4, 0..10),
+        ) {
+            let mut t = Triples::new(12, 10);
+            let mut seen = std::collections::HashSet::new();
+            for (r, c, v) in entries {
+                if seen.insert((r, c)) {
+                    t.push(r, c, v);
+                }
+            }
+            let a = CsrMatrix::from_triples(t);
+            let xs: Vec<(Index, i64)> = xent.iter().map(|(&k, &v)| (k, v)).collect();
+            let mut xd = vec![0i64; 10];
+            for &(k, v) in &xs {
+                xd[k as usize] = v;
+            }
+            let dense = spmv_dense(&PlusTimes::<i64>::new(), &a, &xd);
+            let sparse = spmv_sparse(&PlusTimes::<i64>::new(), &a, &xs);
+            // For PlusTimes, densifying x pads with zeros whose products
+            // are the additive identity, so: where the sparse result has a
+            // row, dense must agree exactly; where it does not, any dense
+            // value can only be a sum of zero products.
+            let mut sparse_map = std::collections::HashMap::new();
+            for (i, v) in sparse {
+                sparse_map.insert(i, v);
+            }
+            for (i, dv) in dense.iter().enumerate() {
+                match sparse_map.get(&(i as Index)) {
+                    Some(sv) => prop_assert_eq!(*dv, Some(*sv), "row {}", i),
+                    None => {
+                        if let Some(v) = dv {
+                            prop_assert_eq!(*v, 0, "row {}", i);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,498 @@
+//! 2D Sparse SUMMA and the paper's Blocked 2D Sparse SUMMA.
+//!
+//! Plain Sparse SUMMA (Buluç & Gilbert, SISC'12 — the paper's reference
+//! [22]) computes `C = A·B` on a `√p × √p` grid in `√p` stages: at stage
+//! `k`, the ranks holding `A(·,k)` broadcast along their grid row, the
+//! ranks holding `B(k,·)` broadcast along their grid column, and every rank
+//! multiplies the received pair locally, accumulating partials.
+//!
+//! The paper's innovation (Section VI-A) generalizes this with arbitrary
+//! row/column blocking factors `br × bc`: `A` is split into `br` row
+//! stripes and `B` into `bc` column stripes, **each stripe distributed over
+//! the entire grid**, and the output is produced one `C(r,c)` block at a
+//! time — each block a full SUMMA over stripe `r` of `A` and stripe `c` of
+//! `B`. Forming `C` incrementally bounds the peak memory of the similarity
+//! search at the cost of broadcasting the inputs multiple times
+//! (`2α(br·bc)√p log√p + βs(br+bc)√p log√p`).
+//!
+//! Both algorithms apply the semiring `combine` in ascending inner-index
+//! order (stage order is ascending, and stages own contiguous ascending
+//! inner ranges), so results are *identical* to a serial SpGEMM for any
+//! associative semiring — the determinism property PASTIS advertises
+//! against DIAMOND/MMseqs2.
+
+use pastis_comm::grid::{BlockDist1D, ProcessGrid};
+use pastis_comm::Communicator;
+
+use crate::csr::CsrMatrix;
+use crate::distmat::{DistElem, DistSparseMatrix};
+use crate::semiring::Semiring;
+use crate::spgemm::{spgemm_hash, SpGemmStats};
+use crate::spops::spadd;
+use crate::triples::Triples;
+
+/// Distributed SpGEMM `C = A ⊗ B` via 2D Sparse SUMMA.
+///
+/// Collective over `grid`; returns this rank's block of `C` wrapped as a
+/// distributed matrix, plus this rank's local work counters.
+///
+/// # Panics
+///
+/// Panics if the inner dimensions disagree.
+pub fn summa<S, C>(
+    grid: &ProcessGrid<C>,
+    sr: &S,
+    a: &DistSparseMatrix<S::A>,
+    b: &DistSparseMatrix<S::B>,
+) -> (DistSparseMatrix<S::C>, SpGemmStats)
+where
+    S: Semiring,
+    S::A: DistElem,
+    S::B: DistElem,
+    S::C: DistElem,
+    C: Communicator,
+{
+    assert_eq!(
+        a.ncols(),
+        b.nrows(),
+        "SUMMA inner dimension mismatch: {}x{} · {}x{}",
+        a.nrows(),
+        a.ncols(),
+        b.nrows(),
+        b.ncols()
+    );
+    let shape = grid.shape();
+    let q = shape.rows;
+    debug_assert_eq!(shape.rows, shape.cols, "SUMMA requires a square grid");
+
+    let my_row = grid.my_row();
+    let my_col = grid.my_col();
+    let inner = BlockDist1D::new(a.ncols(), q);
+
+    let mut stats = SpGemmStats::default();
+    let c_rows = a.row_dist().part_len(my_row);
+    let c_cols = b.col_dist().part_len(my_col);
+    let mut c_local: CsrMatrix<S::C> = CsrMatrix::empty(c_rows, c_cols);
+
+    for k in 0..q {
+        // Broadcast A's stage block along grid rows (root: grid column k).
+        let (a_send, a_bytes) = if my_col == k {
+            let m = a.local().clone();
+            let b = m.payload_bytes();
+            (m, b)
+        } else {
+            (CsrMatrix::empty(c_rows, inner.part_len(k)), 0)
+        };
+        let a_recv = grid.row_comm().broadcast(k, a_send, a_bytes);
+
+        // Broadcast B's stage block along grid columns (root: grid row k).
+        let (b_send, b_bytes) = if my_row == k {
+            let m = b.local().clone();
+            let bb = m.payload_bytes();
+            (m, bb)
+        } else {
+            (CsrMatrix::empty(inner.part_len(k), c_cols), 0)
+        };
+        let b_recv = grid.col_comm().broadcast(k, b_send, b_bytes);
+
+        let (partial, pstats) = spgemm_hash(sr, &a_recv, &b_recv);
+        stats.merge(pstats);
+        // Stage partials arrive in ascending inner-index order, so this
+        // accumulation preserves the serial combine order.
+        c_local = spadd(&c_local, &partial, |acc, inc| sr.combine(acc, inc));
+    }
+    // merged_nnz counted per-stage over-counts coordinates merged across
+    // stages; report the final local nnz instead.
+    stats.merged_nnz = c_local.nnz() as u64;
+    (
+        DistSparseMatrix::from_local_block(grid, a.nrows(), b.ncols(), c_local),
+        stats,
+    )
+}
+
+/// The Blocked 2D Sparse SUMMA driver: `A` held as `br` row stripes and `B`
+/// as `bc` column stripes, each stripe distributed over the whole grid, so
+/// output blocks `C(r,c)` can be produced (and discarded) one at a time.
+pub struct BlockedSumma<A, B> {
+    a_stripes: Vec<DistSparseMatrix<A>>,
+    b_stripes: Vec<DistSparseMatrix<B>>,
+    row_stripes: BlockDist1D,
+    col_stripes: BlockDist1D,
+}
+
+impl<A: DistElem, B: DistElem> BlockedSumma<A, B> {
+    /// Distribute `a` (as `br` row stripes) and `b` (as `bc` column
+    /// stripes) over `grid`. Every rank may contribute an arbitrary subset
+    /// of the global entries, as in
+    /// [`DistSparseMatrix::from_global_triples`]; duplicates are folded
+    /// with the respective combiner.
+    pub fn from_triples<C: Communicator>(
+        grid: &ProcessGrid<C>,
+        a: Triples<A>,
+        b: Triples<B>,
+        br: usize,
+        bc: usize,
+        combine_a: impl Fn(&mut A, A),
+        combine_b: impl Fn(&mut B, B),
+    ) -> BlockedSumma<A, B> {
+        assert!(br >= 1 && bc >= 1, "blocking factors must be positive");
+        assert_eq!(a.ncols(), b.nrows(), "inner dimension mismatch");
+        assert!(
+            br <= a.nrows().max(1) && bc <= b.ncols().max(1),
+            "more blocks than rows/columns"
+        );
+        let row_stripes = BlockDist1D::new(a.nrows(), br);
+        let col_stripes = BlockDist1D::new(b.ncols(), bc);
+        let inner = a.ncols();
+
+        // Partition A's entries by row stripe, reindexing rows to be
+        // stripe-local.
+        let (a_nrows, a_ncols) = (a.nrows(), a.ncols());
+        let mut a_parts: Vec<Triples<A>> = (0..br)
+            .map(|r| Triples::new(row_stripes.part_len(r), a_ncols))
+            .collect();
+        for e in a.entries {
+            let (stripe, local_row) = row_stripes.to_local(e.row as usize);
+            a_parts[stripe].push(local_row as u32, e.col, e.val);
+        }
+        let _ = a_nrows;
+
+        let (b_nrows, b_ncols) = (b.nrows(), b.ncols());
+        let mut b_parts: Vec<Triples<B>> = (0..bc)
+            .map(|c| Triples::new(b_nrows, col_stripes.part_len(c)))
+            .collect();
+        for e in b.entries {
+            let (stripe, local_col) = col_stripes.to_local(e.col as usize);
+            b_parts[stripe].push(e.row, local_col as u32, e.val);
+        }
+        let _ = b_ncols;
+
+        let a_stripes = a_parts
+            .into_iter()
+            .enumerate()
+            .map(|(r, t)| {
+                DistSparseMatrix::from_global_triples(
+                    grid,
+                    row_stripes.part_len(r),
+                    inner,
+                    t,
+                    |x, y| combine_a(x, y),
+                )
+            })
+            .collect();
+        let b_stripes = b_parts
+            .into_iter()
+            .enumerate()
+            .map(|(c, t)| {
+                DistSparseMatrix::from_global_triples(
+                    grid,
+                    inner,
+                    col_stripes.part_len(c),
+                    t,
+                    |x, y| combine_b(x, y),
+                )
+            })
+            .collect();
+        BlockedSumma {
+            a_stripes,
+            b_stripes,
+            row_stripes,
+            col_stripes,
+        }
+    }
+
+    /// Row blocking factor `br`.
+    pub fn br(&self) -> usize {
+        self.row_stripes.parts
+    }
+
+    /// Column blocking factor `bc`.
+    pub fn bc(&self) -> usize {
+        self.col_stripes.parts
+    }
+
+    /// Global row range `[start, end)` of output block row `r`.
+    pub fn row_range(&self, r: usize) -> (usize, usize) {
+        let s = self.row_stripes.part_offset(r);
+        (s, s + self.row_stripes.part_len(r))
+    }
+
+    /// Global column range `[start, end)` of output block column `c`.
+    pub fn col_range(&self, c: usize) -> (usize, usize) {
+        let s = self.col_stripes.part_offset(c);
+        (s, s + self.col_stripes.part_len(c))
+    }
+
+    /// The distributed row stripe `r` of `A`.
+    pub fn a_stripe(&self, r: usize) -> &DistSparseMatrix<A> {
+        &self.a_stripes[r]
+    }
+
+    /// The distributed column stripe `c` of `B`.
+    pub fn b_stripe(&self, c: usize) -> &DistSparseMatrix<B> {
+        &self.b_stripes[c]
+    }
+
+    /// Compute output block `C(r, c) = A(r,·) ⊗ B(·,c)` with one full
+    /// SUMMA (collective). The result is a `stripe_r × stripe_c` matrix
+    /// distributed over the grid; its global position is given by
+    /// [`BlockedSumma::row_range`] / [`BlockedSumma::col_range`].
+    pub fn multiply_block<S, C>(
+        &self,
+        grid: &ProcessGrid<C>,
+        sr: &S,
+        r: usize,
+        c: usize,
+    ) -> (DistSparseMatrix<S::C>, SpGemmStats)
+    where
+        S: Semiring<A = A, B = B>,
+        S::C: DistElem,
+        C: Communicator,
+    {
+        assert!(r < self.br() && c < self.bc(), "block index out of range");
+        summa(grid, sr, &self.a_stripes[r], &self.b_stripes[c])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::PlusTimes;
+    use crate::triples::Index;
+    use pastis_comm::{run_threaded, SelfComm};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_triples(nrows: usize, ncols: usize, nnz: usize, seed: u64) -> Triples<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = Triples::new(nrows, ncols);
+        let mut seen = std::collections::HashSet::new();
+        while seen.len() < nnz {
+            let r = rng.gen_range(0..nrows) as Index;
+            let c = rng.gen_range(0..ncols) as Index;
+            if seen.insert((r, c)) {
+                t.push(r, c, rng.gen_range(-4..5) as f64);
+            }
+        }
+        t
+    }
+
+    fn serial_product(a: &Triples<f64>, b: &Triples<f64>) -> Vec<(Index, Index, f64)> {
+        let am = CsrMatrix::from_triples(a.clone());
+        let bm = CsrMatrix::from_triples(b.clone());
+        let (c, _) = spgemm_hash(&PlusTimes::new(), &am, &bm);
+        c.to_triples().to_sorted_tuples()
+    }
+
+    #[test]
+    fn summa_single_rank_matches_serial() {
+        let a = random_triples(10, 8, 30, 1);
+        let b = random_triples(8, 12, 25, 2);
+        let want = serial_product(&a, &b);
+        let grid = ProcessGrid::square(SelfComm::new());
+        let da = DistSparseMatrix::from_global_triples(&grid, 10, 8, a, |_, _| {});
+        let db = DistSparseMatrix::from_global_triples(&grid, 8, 12, b, |_, _| {});
+        let (c, stats) = summa(&grid, &PlusTimes::new(), &da, &db);
+        assert_eq!(c.gather_global(&grid).to_sorted_tuples(), want);
+        assert_eq!(stats.merged_nnz as usize, c.nnz_local());
+    }
+
+    fn summa_threaded_case(p: usize, dims: (usize, usize, usize), seed: u64) {
+        let (n, m, l) = dims;
+        let a = random_triples(n, m, n * 3, seed);
+        let b = random_triples(m, l, m * 3, seed + 1);
+        let want = serial_product(&a, &b);
+        let a2 = a.clone();
+        let b2 = b.clone();
+        let out = run_threaded(p, move |c| {
+            let world = c.split(0, c.rank());
+            let grid = ProcessGrid::square(world);
+            let (n, m, l) = dims;
+            let (ta, tb) = if c.rank() == 0 {
+                (a2.clone(), b2.clone())
+            } else {
+                (Triples::new(n, m), Triples::new(m, l))
+            };
+            let da = DistSparseMatrix::from_global_triples(&grid, n, m, ta, |_, _| {});
+            let db = DistSparseMatrix::from_global_triples(&grid, m, l, tb, |_, _| {});
+            let (cm, _) = summa(&grid, &PlusTimes::new(), &da, &db);
+            cm.gather_global(&grid).to_sorted_tuples()
+        });
+        for got in out {
+            assert_eq!(got, want, "p={p}");
+        }
+    }
+
+    #[test]
+    fn summa_4_ranks_matches_serial() {
+        summa_threaded_case(4, (10, 8, 12), 10);
+    }
+
+    #[test]
+    fn summa_9_ranks_matches_serial() {
+        summa_threaded_case(9, (13, 11, 9), 20);
+    }
+
+    #[test]
+    fn summa_9_ranks_square_symmetric_product() {
+        // C = A·Aᵀ as in the overlap computation.
+        let n = 15;
+        let a = random_triples(n, 7, 40, 33);
+        let at = a.clone().transpose();
+        let want = serial_product(&a, &at);
+        let out = run_threaded(9, move |c| {
+            let world = c.split(0, c.rank());
+            let grid = ProcessGrid::square(world);
+            let ta = if c.rank() == 0 { a.clone() } else { Triples::new(n, 7) };
+            let da = DistSparseMatrix::from_global_triples(&grid, n, 7, ta, |_, _| {});
+            let dat = da.transpose(&grid);
+            let (cm, _) = summa(&grid, &PlusTimes::new(), &da, &dat);
+            cm.gather_global(&grid).to_sorted_tuples()
+        });
+        for got in out {
+            assert_eq!(got, want);
+        }
+    }
+
+    /// Non-commutative (order-revealing) semiring to pin down stage-order
+    /// determinism of distributed accumulation.
+    struct Trace;
+    impl Semiring for Trace {
+        type A = u32;
+        type B = u32;
+        type C = Vec<u32>;
+        fn multiply(&self, a: &u32, b: &u32) -> Vec<u32> {
+            vec![a * 1000 + b]
+        }
+        fn combine(&self, acc: &mut Vec<u32>, mut inc: Vec<u32>) {
+            acc.append(&mut inc);
+        }
+    }
+
+    #[test]
+    fn summa_combine_order_matches_serial_for_noncommutative_semiring() {
+        // Dense-ish 6x6 inputs so many inner indices hit each output.
+        let mut ta = Triples::new(6, 6);
+        let mut tb = Triples::new(6, 6);
+        for i in 0..6u32 {
+            for j in 0..6u32 {
+                if (i + j) % 2 == 0 {
+                    ta.push(i, j, i * 10 + j);
+                }
+                if (i * j) % 3 != 1 {
+                    tb.push(i, j, i * 10 + j);
+                }
+            }
+        }
+        let am = CsrMatrix::from_triples(ta.clone());
+        let bm = CsrMatrix::from_triples(tb.clone());
+        let (serial, _) = spgemm_hash(&Trace, &am, &bm);
+        let want = serial.to_triples().to_sorted_tuples();
+        for p in [1usize, 4, 9] {
+            let ta = ta.clone();
+            let tb = tb.clone();
+            let out = run_threaded(p, move |c| {
+                let world = c.split(0, c.rank());
+                let grid = ProcessGrid::square(world);
+                let (a, b) = if c.rank() == 0 {
+                    (ta.clone(), tb.clone())
+                } else {
+                    (Triples::new(6, 6), Triples::new(6, 6))
+                };
+                let da = DistSparseMatrix::from_global_triples(&grid, 6, 6, a, |_, _| {});
+                let db = DistSparseMatrix::from_global_triples(&grid, 6, 6, b, |_, _| {});
+                let (cm, _) = summa(&grid, &Trace, &da, &db);
+                cm.gather_global(&grid).to_sorted_tuples()
+            });
+            for got in out {
+                assert_eq!(got, want, "p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_summa_blocks_reassemble_full_product() {
+        let (n, m, l) = (14usize, 9usize, 11usize);
+        let a = random_triples(n, m, 40, 5);
+        let b = random_triples(m, l, 35, 6);
+        let want = serial_product(&a, &b);
+        for p in [1usize, 4] {
+            for (br, bc) in [(1usize, 1usize), (2, 3), (3, 2), (4, 4)] {
+                let a = a.clone();
+                let b = b.clone();
+                let out = run_threaded(p, move |c| {
+                    let world = c.split(0, c.rank());
+                    let grid = ProcessGrid::square(world);
+                    let (ta, tb) = if c.rank() == 0 {
+                        (a.clone(), b.clone())
+                    } else {
+                        (Triples::new(n, m), Triples::new(m, l))
+                    };
+                    let bs = BlockedSumma::from_triples(
+                        &grid,
+                        ta,
+                        tb,
+                        br,
+                        bc,
+                        |_, _| {},
+                        |_, _| {},
+                    );
+                    let mut got: Vec<(Index, Index, f64)> = Vec::new();
+                    for r in 0..bs.br() {
+                        for cc in 0..bs.bc() {
+                            let (cb, _) =
+                                bs.multiply_block(&grid, &PlusTimes::new(), r, cc);
+                            let (ro, _) = bs.row_range(r);
+                            let (co, _) = bs.col_range(cc);
+                            for (i, j, v) in
+                                cb.gather_global(&grid).to_sorted_tuples()
+                            {
+                                got.push((i + ro as Index, j + co as Index, v));
+                            }
+                        }
+                    }
+                    got.sort_by(|x, y| (x.0, x.1).cmp(&(y.0, y.1)));
+                    got
+                });
+                for got in out {
+                    assert_eq!(got, want, "p={p} br={br} bc={bc}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_summa_peak_block_nnz_below_full() {
+        // The memory argument of Section VI-A: the largest single output
+        // block is much smaller than the whole product.
+        let n = 32;
+        let a = random_triples(n, 16, 200, 9);
+        let at = a.clone().transpose();
+        let grid = ProcessGrid::square(SelfComm::new());
+        let full = {
+            let da = DistSparseMatrix::from_global_triples(&grid, n, 16, a.clone(), |_, _| {});
+            let dat = da.transpose(&grid);
+            let (c, _) = summa(&grid, &PlusTimes::new(), &da, &dat);
+            c.nnz_local()
+        };
+        let bs = BlockedSumma::from_triples(&grid, a, at, 4, 4, |_, _| {}, |_, _| {});
+        let mut peak = 0usize;
+        for r in 0..4 {
+            for c in 0..4 {
+                let (cb, _) = bs.multiply_block(&grid, &PlusTimes::new(), r, c);
+                peak = peak.max(cb.nnz_local());
+            }
+        }
+        assert!(peak * 4 < full, "peak block {peak} vs full {full}");
+    }
+
+    #[test]
+    #[should_panic(expected = "block index out of range")]
+    fn blocked_summa_bad_block_panics() {
+        let grid = ProcessGrid::square(SelfComm::new());
+        let a = random_triples(8, 8, 10, 1);
+        let b = random_triples(8, 8, 10, 2);
+        let bs = BlockedSumma::from_triples(&grid, a, b, 2, 2, |_, _| {}, |_, _| {});
+        let _ = bs.multiply_block(&grid, &PlusTimes::new(), 2, 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Metagenome-style protein clustering — the use case the paper's
+//! introduction motivates: "find the similar sequences in a given set by
+//! clustering them … a many-against-many search is performed over a set of
+//! sequences to find the similar sequences in the set (often followed by
+//! clustering of sequences)".
+//!
+//! Pipeline: synthetic metagenome → PASTIS search → similarity graph →
+//! connected-component clustering → cluster quality vs planted families.
+//!
+//! Run with: `cargo run --release --example metagenome_clustering`
+
+use std::collections::HashMap;
+
+use pastis::core::mcl::{mcl, MclParams};
+use pastis::core::pipeline::run_search_serial;
+use pastis::core::{LoadBalance, SearchParams};
+use pastis::seqio::{SyntheticConfig, SyntheticDataset};
+
+fn main() {
+    let dataset = SyntheticDataset::generate(&SyntheticConfig {
+        n_sequences: 800,
+        mean_family_size: 6.0,
+        singleton_fraction: 0.35,
+        mean_len: 180.0,
+        divergence: 0.07,
+        indel_prob: 0.015,
+        seed: 1234,
+        ..SyntheticConfig::default()
+    });
+    println!(
+        "metagenome: {} proteins ({} residues), {} planted families",
+        dataset.store.len(),
+        dataset.store.total_residues(),
+        dataset.n_families()
+    );
+
+    // Incremental blocked search with the triangularity-based balancer —
+    // the configuration of the paper's production run.
+    let params = SearchParams {
+        k: 5,
+        ani_threshold: 0.40,
+        coverage_threshold: 0.70,
+        ..SearchParams::default()
+    }
+    .with_blocking(6, 6)
+    .with_load_balance(LoadBalance::Triangular)
+    .with_pre_blocking(true);
+
+    let result = run_search_serial(&dataset.store, &params).expect("search failed");
+    println!(
+        "similarity graph: {} edges from {} alignments ({} candidates)",
+        result.graph.n_edges(),
+        result.stats.aligned_pairs,
+        result.stats.candidates
+    );
+
+    // Cluster by connected components.
+    let labels = result.graph.connected_components();
+    let sizes = result.graph.cluster_sizes();
+    println!(
+        "clusters: {} non-singleton, largest {:?}",
+        sizes.len(),
+        &sizes[..sizes.len().min(8)]
+    );
+
+    // Cluster purity: fraction of each cluster from its majority family.
+    let mut clusters: HashMap<u32, Vec<usize>> = HashMap::new();
+    for (seq, &label) in labels.iter().enumerate() {
+        clusters.entry(label).or_default().push(seq);
+    }
+    let mut pure = 0usize;
+    let mut total_clustered = 0usize;
+    for members in clusters.values().filter(|m| m.len() > 1) {
+        let mut fam_counts: HashMap<u32, usize> = HashMap::new();
+        for &m in members {
+            *fam_counts.entry(dataset.family[m]).or_insert(0) += 1;
+        }
+        let majority = *fam_counts.values().max().unwrap();
+        pure += majority;
+        total_clustered += members.len();
+    }
+    println!(
+        "cluster purity: {:.1}% of {} clustered proteins match their cluster's majority family",
+        100.0 * pure as f64 / total_clustered.max(1) as f64,
+        total_clustered
+    );
+
+    // Family recovery: planted families whose members share one cluster.
+    let mut family_members: HashMap<u32, Vec<usize>> = HashMap::new();
+    for (seq, &fam) in dataset.family.iter().enumerate() {
+        if fam != SyntheticDataset::SINGLETON {
+            family_members.entry(fam).or_default().push(seq);
+        }
+    }
+    let recovered = family_members
+        .values()
+        .filter(|members| {
+            let first = labels[members[0]];
+            members.iter().all(|&m| labels[m] == first)
+        })
+        .count();
+    println!(
+        "family recovery: {recovered}/{} planted families fully co-clustered",
+        family_members.len()
+    );
+
+    // Degree distribution summary — the similarity graph downstream tools
+    // (HipMCL etc.) would consume.
+    let degrees = result.graph.degrees();
+    let isolated = degrees.iter().filter(|&&d| d == 0).count();
+    let max_deg = degrees.iter().max().copied().unwrap_or(0);
+    println!("graph degrees: {isolated} isolated vertices, max degree {max_deg}");
+
+    // Markov clustering (the HipMCL step of the real workflow) compared
+    // with plain connected components: MCL can split weakly-bridged
+    // families that CC merges.
+    let m = mcl(&result.graph, &MclParams::default());
+    let mcl_sizes = m.cluster_sizes();
+    let mcl_nonsingleton = mcl_sizes.iter().filter(|&&s| s > 1).count();
+    println!(
+        "MCL (inflation 2.0): {} non-singleton clusters in {} iterations (converged: {})",
+        mcl_nonsingleton, m.iterations, m.converged
+    );
+}

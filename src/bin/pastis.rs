@@ -1,0 +1,480 @@
+//! `pastis` — the command-line interface of PASTIS-RS.
+//!
+//! Subcommands:
+//!
+//! * `search <input.fasta> <output.tsv>` — run the many-against-many
+//!   similarity search and write the similarity graph as TSV triplets.
+//! * `generate <output.fasta>` — emit a synthetic Metaclust-style protein
+//!   dataset with planted families.
+//! * `cluster <input.fasta> <output.tsv>` — search, then cluster by
+//!   connected components; writes `sequence-id<TAB>cluster-id`.
+//! * `stats <input.fasta>` — dataset statistics (lengths, composition).
+//!
+//! Run `pastis help` (or any subcommand with `--help`) for options. The
+//! argument parser is hand-rolled to keep the dependency set at the
+//! workspace's sanctioned crates.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use pastis::align::matrices::AA_ALPHABET;
+use pastis::core::pipeline::{run_search_serial, SearchResult};
+use pastis::core::{LoadBalance, SearchParams};
+use pastis::core::params::AlignKind;
+use pastis::seqio::fasta::{parse_fasta, write_fasta, SeqStore};
+use pastis::seqio::{ReducedAlphabet, SyntheticConfig, SyntheticDataset};
+
+const USAGE: &str = "\
+pastis — many-against-many protein similarity search via sparse matrices
+
+USAGE:
+    pastis <COMMAND> [OPTIONS]
+
+COMMANDS:
+    search <input.fasta> <output.tsv>    run the similarity search
+    cluster <input.fasta> <output.tsv>   search + connected-component clustering
+    generate <output.fasta>              emit a synthetic protein dataset
+    stats <input.fasta>                  dataset statistics
+    help                                 show this message
+
+SEARCH/CLUSTER OPTIONS:
+    --k <INT>                 k-mer length                       [default: 6]
+    --alphabet <NAME>         full20 | murphy10 | dayhoff6       [default: full20]
+    --substitute-kmers <INT>  m-nearest substitute k-mers        [default: 0]
+    --common-kmers <INT>      min shared k-mers to align         [default: 2]
+    --ani <FLOAT>             identity threshold                 [default: 0.30]
+    --coverage <FLOAT>        coverage threshold                 [default: 0.70]
+    --gap-open <INT>          gap open penalty                   [default: 11]
+    --gap-extend <INT>        gap extend penalty                 [default: 2]
+    --blocks <RxC>            blocking factors, e.g. 4x4         [default: 1x1]
+    --load-balance <NAME>     index | triangular                 [default: index]
+    --pre-blocking            overlap sparse phase with alignment
+    --banded <WIDTH>          banded kernel with half-width WIDTH
+    --mcl                     cluster with Markov clustering instead of
+                              connected components (cluster command only)
+    --inflation <FLOAT>       MCL inflation exponent            [default: 2.0]
+
+GENERATE OPTIONS:
+    --n <INT>                 number of sequences                [default: 1000]
+    --mean-len <FLOAT>        mean sequence length               [default: 250]
+    --family-size <FLOAT>     mean homolog family size           [default: 8]
+    --singletons <FLOAT>      singleton fraction                 [default: 0.3]
+    --divergence <FLOAT>      per-residue substitution rate      [default: 0.12]
+    --seed <INT>              RNG seed                           [default: 42]
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        print!("{USAGE}");
+        return Ok(());
+    };
+    match cmd.as_str() {
+        "search" => cmd_search(&args[1..], false),
+        "cluster" => cmd_search(&args[1..], true),
+        "generate" => cmd_generate(&args[1..]),
+        "stats" => cmd_stats(&args[1..]),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}' (try 'pastis help')")),
+    }
+}
+
+/// Minimal option scanner: positional args plus `--flag [value]` pairs.
+struct Opts {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Opts {
+    fn parse(args: &[String], value_flags: &[&str]) -> Result<Opts, String> {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                if value_flags.contains(&name) {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| format!("--{name} requires a value"))?;
+                    flags.push((name.to_owned(), Some(v.clone())));
+                } else {
+                    flags.push((name.to_owned(), None));
+                }
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Ok(Opts { positional, flags })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: cannot parse '{v}'")),
+            None => Ok(default),
+        }
+    }
+}
+
+const SEARCH_VALUE_FLAGS: &[&str] = &[
+    "k",
+    "alphabet",
+    "substitute-kmers",
+    "common-kmers",
+    "ani",
+    "coverage",
+    "gap-open",
+    "gap-extend",
+    "blocks",
+    "load-balance",
+    "banded",
+    "inflation",
+];
+
+fn parse_search_params(opts: &Opts) -> Result<SearchParams, String> {
+    let mut p = SearchParams {
+        k: opts.num("k", 6)?,
+        substitute_kmers: opts.num("substitute-kmers", 0)?,
+        common_kmer_threshold: opts.num("common-kmers", 2)?,
+        ani_threshold: opts.num("ani", 0.30)?,
+        coverage_threshold: opts.num("coverage", 0.70)?,
+        ..SearchParams::default()
+    };
+    p.gaps.open = opts.num("gap-open", 11)?;
+    p.gaps.extend = opts.num("gap-extend", 2)?;
+    p.alphabet = match opts.get("alphabet").unwrap_or("full20") {
+        "full20" => ReducedAlphabet::Full20,
+        "murphy10" => ReducedAlphabet::Murphy10,
+        "dayhoff6" => ReducedAlphabet::Dayhoff6,
+        other => return Err(format!("unknown alphabet '{other}'")),
+    };
+    if let Some(b) = opts.get("blocks") {
+        let (r, c) = b
+            .split_once(['x', 'X'])
+            .ok_or_else(|| format!("--blocks expects RxC, got '{b}'"))?;
+        p.block_rows = r.parse().map_err(|_| format!("bad block rows '{r}'"))?;
+        p.block_cols = c.parse().map_err(|_| format!("bad block cols '{c}'"))?;
+    }
+    p.load_balance = match opts.get("load-balance").unwrap_or("index") {
+        "index" => LoadBalance::IndexBased,
+        "triangular" => LoadBalance::Triangular,
+        other => return Err(format!("unknown load-balance scheme '{other}'")),
+    };
+    p.pre_blocking = opts.has("pre-blocking");
+    if let Some(w) = opts.get("banded") {
+        let w: usize = w.parse().map_err(|_| format!("bad band width '{w}'"))?;
+        p.align_kind = AlignKind::Banded(w);
+    }
+    p.validate()?;
+    Ok(p)
+}
+
+fn load_store(path: &Path) -> Result<SeqStore, String> {
+    let data = std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let records =
+        parse_fasta(std::io::Cursor::new(data)).map_err(|e| format!("{}: {e}", path.display()))?;
+    SeqStore::from_records(&records).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn do_search(input: &Path, params: &SearchParams) -> Result<(SeqStore, SearchResult), String> {
+    let store = load_store(input)?;
+    eprintln!(
+        "loaded {} sequences ({} residues) from {}",
+        store.len(),
+        store.total_residues(),
+        input.display()
+    );
+    let result = run_search_serial(&store, params)?;
+    eprintln!(
+        "search done in {:.2}s: {} candidates, {} alignments, {} similar pairs",
+        result.wall_seconds,
+        result.stats.candidates,
+        result.stats.aligned_pairs,
+        result.stats.similar_pairs
+    );
+    Ok((store, result))
+}
+
+fn cmd_search(args: &[String], cluster: bool) -> Result<(), String> {
+    let opts = Opts::parse(args, SEARCH_VALUE_FLAGS)?;
+    let [input, output] = opts.positional.as_slice() else {
+        return Err("expected: <input.fasta> <output.tsv>".into());
+    };
+    let params = parse_search_params(&opts)?;
+    let (store, result) = do_search(Path::new(input), &params)?;
+
+    let out = PathBuf::from(output);
+    if cluster {
+        let labels = if opts.has("mcl") {
+            let inflation = opts.num("inflation", 2.0)?;
+            let r = pastis::core::mcl::mcl(
+                &result.graph,
+                &pastis::core::mcl::MclParams {
+                    inflation,
+                    ..Default::default()
+                },
+            );
+            eprintln!(
+                "MCL: {} iterations (converged: {})",
+                r.iterations, r.converged
+            );
+            r.labels
+        } else {
+            result.graph.connected_components()
+        };
+        let mut lines = String::new();
+        for (i, &label) in labels.iter().enumerate() {
+            lines.push_str(&format!("{}\t{}\n", store.id(i), label));
+        }
+        std::fs::write(&out, lines).map_err(|e| format!("cannot write {output}: {e}"))?;
+        let sizes = result.graph.cluster_sizes();
+        eprintln!(
+            "wrote {} cluster assignments ({} non-singleton clusters, largest {})",
+            labels.len(),
+            sizes.len(),
+            sizes.first().copied().unwrap_or(0)
+        );
+    } else {
+        let mut lines = String::with_capacity(result.graph.n_edges() * 32);
+        for l in result.graph.to_tsv_lines() {
+            lines.push_str(&l);
+            lines.push('\n');
+        }
+        std::fs::write(&out, lines).map_err(|e| format!("cannot write {output}: {e}"))?;
+        eprintln!("wrote {} edges to {output}", result.graph.n_edges());
+    }
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(
+        args,
+        &["n", "mean-len", "family-size", "singletons", "divergence", "seed"],
+    )?;
+    let [output] = opts.positional.as_slice() else {
+        return Err("expected: <output.fasta>".into());
+    };
+    let cfg = SyntheticConfig {
+        n_sequences: opts.num("n", 1000)?,
+        mean_len: opts.num("mean-len", 250.0)?,
+        mean_family_size: opts.num("family-size", 8.0)?,
+        singleton_fraction: opts.num("singletons", 0.3)?,
+        divergence: opts.num("divergence", 0.12)?,
+        seed: opts.num("seed", 42)?,
+        ..SyntheticConfig::default()
+    };
+    let ds = SyntheticDataset::generate(&cfg);
+    let mut buf = Vec::new();
+    write_fasta(&mut buf, &ds.store.to_records(), 60)
+        .map_err(|e| format!("serialization failed: {e}"))?;
+    std::fs::write(output, buf).map_err(|e| format!("cannot write {output}: {e}"))?;
+    eprintln!(
+        "wrote {} sequences ({} residues, {} families) to {output}",
+        ds.store.len(),
+        ds.store.total_residues(),
+        ds.n_families()
+    );
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &[])?;
+    let [input] = opts.positional.as_slice() else {
+        return Err("expected: <input.fasta>".into());
+    };
+    let store = load_store(Path::new(input))?;
+    let mut lens: Vec<usize> = (0..store.len()).map(|i| store.seq_len(i)).collect();
+    lens.sort_unstable();
+    let pct = |q: f64| -> usize {
+        if lens.is_empty() {
+            0
+        } else {
+            lens[((lens.len() - 1) as f64 * q) as usize]
+        }
+    };
+    println!("sequences        : {}", store.len());
+    println!("total residues   : {}", store.total_residues());
+    println!("mean length      : {:.1}", store.mean_len());
+    println!(
+        "length quartiles : min={} p25={} median={} p75={} max={}",
+        lens.first().copied().unwrap_or(0),
+        pct(0.25),
+        pct(0.5),
+        pct(0.75),
+        lens.last().copied().unwrap_or(0)
+    );
+    // Residue composition.
+    let mut counts = [0u64; 21];
+    for i in 0..store.len() {
+        for &c in store.seq(i) {
+            counts[c as usize] += 1;
+        }
+    }
+    let total: u64 = counts.iter().sum();
+    print!("composition      :");
+    for (code, &n) in counts.iter().enumerate() {
+        if n > 0 {
+            print!(
+                " {}:{:.1}%",
+                AA_ALPHABET[code] as char,
+                100.0 * n as f64 / total.max(1) as f64
+            );
+        }
+    }
+    println!();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn opts_parse_flags_and_positionals() {
+        let o = Opts::parse(
+            &s(&["in.fa", "--k", "5", "--pre-blocking", "out.tsv"]),
+            &["k"],
+        )
+        .unwrap();
+        assert_eq!(o.positional, vec!["in.fa", "out.tsv"]);
+        assert_eq!(o.get("k"), Some("5"));
+        assert!(o.has("pre-blocking"));
+        assert!(!o.has("banded"));
+    }
+
+    #[test]
+    fn opts_missing_value_is_error() {
+        assert!(Opts::parse(&s(&["--k"]), &["k"]).is_err());
+    }
+
+    #[test]
+    fn search_params_full_roundtrip() {
+        let o = Opts::parse(
+            &s(&[
+                "--k", "5", "--alphabet", "murphy10", "--blocks", "4x3",
+                "--load-balance", "triangular", "--pre-blocking", "--ani", "0.5",
+                "--coverage", "0.6", "--gap-open", "10", "--gap-extend", "1",
+                "--common-kmers", "3", "--substitute-kmers", "4", "--banded", "16",
+            ]),
+            SEARCH_VALUE_FLAGS,
+        )
+        .unwrap();
+        let p = parse_search_params(&o).unwrap();
+        assert_eq!(p.k, 5);
+        assert_eq!(p.alphabet, ReducedAlphabet::Murphy10);
+        assert_eq!((p.block_rows, p.block_cols), (4, 3));
+        assert_eq!(p.load_balance, LoadBalance::Triangular);
+        assert!(p.pre_blocking);
+        assert_eq!(p.common_kmer_threshold, 3);
+        assert_eq!(p.substitute_kmers, 4);
+        assert_eq!(p.gaps.open, 10);
+        assert!(matches!(p.align_kind, AlignKind::Banded(16)));
+    }
+
+    #[test]
+    fn search_params_defaults_match_paper() {
+        let o = Opts::parse(&[], SEARCH_VALUE_FLAGS).unwrap();
+        let p = parse_search_params(&o).unwrap();
+        assert_eq!(p.k, 6);
+        assert_eq!(p.gaps.open, 11);
+        assert_eq!(p.gaps.extend, 2);
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        let bad_alpha = Opts::parse(&s(&["--alphabet", "dna4"]), SEARCH_VALUE_FLAGS).unwrap();
+        assert!(parse_search_params(&bad_alpha).is_err());
+        let bad_blocks = Opts::parse(&s(&["--blocks", "44"]), SEARCH_VALUE_FLAGS).unwrap();
+        assert!(parse_search_params(&bad_blocks).is_err());
+        let bad_k = Opts::parse(&s(&["--k", "0"]), SEARCH_VALUE_FLAGS).unwrap();
+        assert!(parse_search_params(&bad_k).is_err());
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run(&s(&["frobnicate"])).is_err());
+        assert!(run(&s(&["help"])).is_ok());
+        assert!(run(&[]).is_ok());
+    }
+
+    #[test]
+    fn end_to_end_generate_search_cluster() {
+        let dir = std::env::temp_dir().join(format!("pastis-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let fa = dir.join("d.fa");
+        let tsv = dir.join("d.tsv");
+        let clu = dir.join("d.clusters");
+        run(&s(&[
+            "generate",
+            fa.to_str().unwrap(),
+            "--n",
+            "80",
+            "--mean-len",
+            "80",
+            "--seed",
+            "9",
+        ]))
+        .unwrap();
+        run(&s(&[
+            "search",
+            fa.to_str().unwrap(),
+            tsv.to_str().unwrap(),
+            "--k",
+            "5",
+            "--blocks",
+            "2x2",
+            "--ani",
+            "0.4",
+            "--coverage",
+            "0.5",
+        ]))
+        .unwrap();
+        let edges = std::fs::read_to_string(&tsv).unwrap();
+        assert!(edges.lines().count() > 0, "no edges found");
+        run(&s(&[
+            "cluster",
+            fa.to_str().unwrap(),
+            clu.to_str().unwrap(),
+            "--k",
+            "5",
+            "--ani",
+            "0.4",
+            "--coverage",
+            "0.5",
+        ]))
+        .unwrap();
+        let clusters = std::fs::read_to_string(&clu).unwrap();
+        assert_eq!(clusters.lines().count(), 80);
+        run(&s(&["stats", fa.to_str().unwrap()])).unwrap();
+    }
+}

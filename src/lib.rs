@@ -1,0 +1,16 @@
+//! PASTIS-RS — facade crate.
+//!
+//! Re-exports the full public API of the PASTIS reproduction: the search
+//! pipeline ([`pastis_core`]), the sparse-matrix substrate
+//! ([`pastis_sparse`]), the batch aligner ([`pastis_align`]), sequence I/O
+//! and synthetic datasets ([`pastis_seqio`]), the message-passing substrate
+//! ([`pastis_comm`]) and the comparator baselines ([`pastis_baselines`]).
+//!
+//! See `examples/quickstart.rs` for an end-to-end search in ~30 lines.
+
+pub use pastis_align as align;
+pub use pastis_baselines as baselines;
+pub use pastis_comm as comm;
+pub use pastis_core as core;
+pub use pastis_seqio as seqio;
+pub use pastis_sparse as sparse;

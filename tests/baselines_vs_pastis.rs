@@ -1,0 +1,223 @@
+//! Architectural comparison tests (Sections IV and VIII-C).
+//!
+//! PASTIS vs the MMseqs2-style and DIAMOND-style baselines on the same
+//! planted dataset: all three find the strong homolog pairs, but the
+//! architectures differ exactly where the paper says they do — replication
+//! memory, chunking-dependent results, and spill traffic.
+
+use pastis::baselines::diamond_like::{run_diamond_like, DiamondLikeConfig};
+use pastis::baselines::mmseqs_like::{run_mmseqs_like, MmseqsLikeConfig};
+use pastis::core::pipeline::run_search_serial;
+use pastis::core::SearchParams;
+use pastis::seqio::{SyntheticConfig, SyntheticDataset};
+
+fn dataset() -> SyntheticDataset {
+    SyntheticDataset::generate(&SyntheticConfig {
+        n_sequences: 100,
+        divergence: 0.06,
+        indel_prob: 0.01,
+        mean_len: 90.0,
+        singleton_fraction: 0.3,
+        seed: 99,
+        ..SyntheticConfig::small(100, 99)
+    })
+}
+
+const K: usize = 5;
+const MIN_SHARED: u32 = 2;
+const ANI: f64 = 0.4;
+const COV: f64 = 0.5;
+
+fn pastis_edges(ds: &SyntheticDataset) -> std::collections::HashSet<(u32, u32)> {
+    let params = SearchParams {
+        k: K,
+        common_kmer_threshold: MIN_SHARED,
+        ani_threshold: ANI,
+        coverage_threshold: COV,
+        ..SearchParams::default()
+    };
+    run_search_serial(&ds.store, &params)
+        .unwrap()
+        .graph
+        .edges()
+        .iter()
+        .map(|e| e.key())
+        .collect()
+}
+
+#[test]
+fn all_three_architectures_agree_on_edges_when_unconstrained() {
+    // With the same seeding parameters and no memory caps, the three
+    // architectures are different *distributions* of the same search: the
+    // found pair sets must coincide.
+    let ds = dataset();
+    let want = pastis_edges(&ds);
+    assert!(want.len() > 10, "dataset too easy/hard: {} edges", want.len());
+
+    let mm = run_mmseqs_like(
+        &ds.store,
+        &MmseqsLikeConfig {
+            k: K,
+            min_shared_kmers: MIN_SHARED,
+            ani_threshold: ANI,
+            coverage_threshold: COV,
+            ..MmseqsLikeConfig::default()
+        },
+        4,
+    );
+    let mm_edges: std::collections::HashSet<(u32, u32)> =
+        mm.graph.edges().iter().map(|e| e.key()).collect();
+    assert_eq!(mm_edges, want, "MMseqs2-style differs from PASTIS");
+
+    let dm = run_diamond_like(
+        &ds.store,
+        &DiamondLikeConfig {
+            k: K,
+            min_shared_kmers: MIN_SHARED,
+            ani_threshold: ANI,
+            coverage_threshold: COV,
+            query_chunks: 3,
+            ref_chunks: 3,
+            max_candidates_per_query: usize::MAX,
+            ..DiamondLikeConfig::default()
+        },
+    );
+    let dm_edges: std::collections::HashSet<(u32, u32)> =
+        dm.graph.edges().iter().map(|e| e.key()).collect();
+    assert_eq!(dm_edges, want, "DIAMOND-style differs from PASTIS");
+}
+
+#[test]
+fn pastis_is_blocking_invariant_where_capped_diamond_is_not() {
+    // The architectural contrast the paper quotes from DIAMOND's manual.
+    let ds = SyntheticDataset::generate(&SyntheticConfig {
+        n_sequences: 120,
+        mean_family_size: 20.0,
+        singleton_fraction: 0.0,
+        divergence: 0.08,
+        mean_len: 60.0,
+        seed: 42,
+        ..SyntheticConfig::small(120, 42)
+    });
+    // PASTIS: sweep blocking, identical results.
+    let mut pastis_results = Vec::new();
+    for (br, bc) in [(1, 1), (2, 2), (4, 4)] {
+        let params = SearchParams {
+            k: 4,
+            common_kmer_threshold: 1,
+            ani_threshold: 0.3,
+            coverage_threshold: 0.3,
+            ..SearchParams::default()
+        }
+        .with_blocking(br, bc);
+        let res = run_search_serial(&ds.store, &params).unwrap();
+        pastis_results.push(
+            res.graph
+                .edges()
+                .iter()
+                .map(|e| e.key())
+                .collect::<Vec<_>>(),
+        );
+    }
+    assert!(pastis_results.windows(2).all(|w| w[0] == w[1]));
+
+    // Capped DIAMOND-style: sweep chunking, results change.
+    let diamond = |rc: usize| {
+        run_diamond_like(
+            &ds.store,
+            &DiamondLikeConfig {
+                k: 4,
+                min_shared_kmers: 1,
+                ani_threshold: 0.3,
+                coverage_threshold: 0.3,
+                query_chunks: 2,
+                ref_chunks: rc,
+                max_candidates_per_query: 3,
+                ..DiamondLikeConfig::default()
+            },
+        )
+    };
+    let d1 = diamond(1);
+    let d4 = diamond(4);
+    assert!(d1.capped_out > 0);
+    assert_ne!(
+        d1.graph.n_edges(),
+        d4.graph.n_edges(),
+        "expected block-size-dependent results from the capped baseline"
+    );
+}
+
+#[test]
+fn pastis_per_rank_memory_shrinks_while_mmseqs_replication_does_not() {
+    use pastis::comm::{run_threaded, Communicator, ProcessGrid, ReduceOp};
+    use pastis::core::run_search;
+    let ds = dataset();
+    let params = SearchParams {
+        k: K,
+        common_kmer_threshold: MIN_SHARED,
+        ani_threshold: ANI,
+        coverage_threshold: COV,
+        ..SearchParams::default()
+    };
+    // PASTIS: max candidates held by any rank at once (blocked) vs p=1.
+    let peak_at = |p: usize, br: usize| {
+        let store = ds.store.clone();
+        let prm = params.clone().with_blocking(br, br);
+        let out = run_threaded(p, move |c| {
+            let grid = ProcessGrid::square(c.split(0, c.rank()));
+            let res = run_search(&grid, &store, &prm).unwrap();
+            let peak = res
+                .per_block
+                .iter()
+                .map(|b| b.candidates)
+                .max()
+                .unwrap_or(0);
+            grid.world().all_reduce(&[peak], ReduceOp::Max)[0]
+        });
+        out[0]
+    };
+    let serial_peak = peak_at(1, 1);
+    let dist_peak = peak_at(4, 4);
+    assert!(
+        (dist_peak as f64) < serial_peak as f64 / 3.0,
+        "blocked+distributed peak {dist_peak} vs serial {serial_peak}"
+    );
+    // MMseqs2-style query-split: the reference index is replicated, so
+    // per-rank memory does not shrink at all with more ranks.
+    use pastis::baselines::mmseqs_like::SplitMode;
+    let qcfg = MmseqsLikeConfig {
+        mode: SplitMode::QuerySplit,
+        ..MmseqsLikeConfig::default()
+    };
+    let mm1 = run_mmseqs_like(&ds.store, &qcfg, 1);
+    let mm8 = run_mmseqs_like(&ds.store, &qcfg, 8);
+    assert_eq!(mm8.index_bytes_per_rank, mm1.index_bytes_per_rank);
+    // Target-split still floors at the replicated residue set.
+    let mm_t8 = run_mmseqs_like(&ds.store, &MmseqsLikeConfig::default(), 8);
+    assert!(mm_t8.index_bytes_per_rank >= ds.store.total_residues() as u64);
+}
+
+#[test]
+fn diamond_spill_traffic_vs_pastis_zero_intermediate_io() {
+    // PASTIS "only uses IO at the beginning and at the end"; the
+    // work-package architecture spills every intermediate candidate.
+    let ds = dataset();
+    let dm = run_diamond_like(
+        &ds.store,
+        &DiamondLikeConfig {
+            k: K,
+            min_shared_kmers: MIN_SHARED,
+            query_chunks: 4,
+            ref_chunks: 4,
+            max_candidates_per_query: usize::MAX,
+            ..DiamondLikeConfig::default()
+        },
+    );
+    assert!(
+        dm.spilled_bytes > 0,
+        "work packages must spill intermediates"
+    );
+    // Spill is proportional to candidates, i.e. grows with the quadratic
+    // candidate set — the filesystem pressure of Section IV.
+    assert!(dm.spilled_bytes >= dm.seed_candidates.min(1) * 12);
+}

@@ -1,0 +1,125 @@
+//! The determinism claim (Section IV of the paper): *"the PASTIS algorithm
+//! gives identical results irrespective of the amount of parallelism
+//! utilized and the blocking size chosen"* — the key architectural contrast
+//! with DIAMOND ("results will not be completely identical for different
+//! values of the block size") and MMseqs2 (sensitivity changes with
+//! parallelism).
+//!
+//! These tests sweep process counts, blocking factors, load-balancing
+//! schemes and pre-blocking over a real synthetic dataset and require the
+//! similarity graph to be bit-identical.
+
+use pastis::comm::{run_threaded, Communicator, ProcessGrid};
+use pastis::core::{run_search, LoadBalance, SearchParams};
+use pastis::core::pipeline::run_search_serial;
+use pastis::seqio::{SyntheticConfig, SyntheticDataset};
+
+fn dataset() -> pastis::seqio::SeqStore {
+    SyntheticDataset::generate(&SyntheticConfig {
+        n_sequences: 60,
+        mean_len: 70.0,
+        singleton_fraction: 0.35,
+        divergence: 0.10,
+        seed: 2024,
+        ..SyntheticConfig::small(60, 2024)
+    })
+    .store
+}
+
+fn params() -> SearchParams {
+    SearchParams::test_defaults()
+}
+
+type EdgeFingerprint = Vec<(u32, u32, i32, u32)>;
+
+fn fingerprint(graph: &pastis::core::SimilarityGraph) -> EdgeFingerprint {
+    graph
+        .edges()
+        .iter()
+        .map(|e| (e.i, e.j, e.score, e.common_kmers))
+        .collect()
+}
+
+fn reference_fingerprint() -> EdgeFingerprint {
+    let res = run_search_serial(&dataset(), &params()).unwrap();
+    assert!(res.graph.n_edges() > 5, "reference run found almost nothing");
+    fingerprint(&res.graph)
+}
+
+#[test]
+fn identical_results_across_process_counts() {
+    let want = reference_fingerprint();
+    for p in [1usize, 4, 9, 16] {
+        let store = dataset();
+        let prm = params();
+        let out = run_threaded(p, move |c| {
+            let grid = ProcessGrid::square(c.split(0, c.rank()));
+            let res = run_search(&grid, &store, &prm).unwrap();
+            fingerprint(&res.gather_graph(grid.world()))
+        });
+        for fp in out {
+            assert_eq!(fp, want, "p={p} changed results");
+        }
+    }
+}
+
+#[test]
+fn identical_results_across_blocking_factors() {
+    let want = reference_fingerprint();
+    for (br, bc) in [(1, 1), (2, 2), (3, 4), (5, 5), (8, 8), (1, 7)] {
+        let res =
+            run_search_serial(&dataset(), &params().with_blocking(br, bc)).unwrap();
+        assert_eq!(fingerprint(&res.graph), want, "blocking {br}x{bc}");
+    }
+}
+
+#[test]
+fn identical_results_across_schemes_and_preblocking() {
+    let want = reference_fingerprint();
+    for lb in [LoadBalance::Triangular, LoadBalance::IndexBased] {
+        for pb in [false, true] {
+            let prm = params()
+                .with_blocking(4, 4)
+                .with_load_balance(lb)
+                .with_pre_blocking(pb);
+            let res = run_search_serial(&dataset(), &prm).unwrap();
+            assert_eq!(fingerprint(&res.graph), want, "{lb:?} pre_blocking={pb}");
+        }
+    }
+}
+
+#[test]
+fn identical_results_with_everything_varied_at_once() {
+    let want = reference_fingerprint();
+    let out = run_threaded(9, move |c| {
+        let grid = ProcessGrid::square(c.split(0, c.rank()));
+        let prm = params()
+            .with_blocking(3, 5)
+            .with_load_balance(LoadBalance::Triangular)
+            .with_pre_blocking(true);
+        let res = run_search(&grid, &dataset(), &prm).unwrap();
+        fingerprint(&res.gather_graph(grid.world()))
+    });
+    for fp in out {
+        assert_eq!(fp, want);
+    }
+}
+
+#[test]
+fn aligned_pair_totals_are_parallelism_invariant() {
+    // Beyond the output edges: the amount of alignment *work* is also
+    // invariant (each unordered pair aligned exactly once, anywhere).
+    let serial = run_search_serial(&dataset(), &params()).unwrap();
+    for p in [4usize, 9] {
+        let out = run_threaded(p, move |c| {
+            let grid = ProcessGrid::square(c.split(0, c.rank()));
+            let res = run_search(&grid, &dataset(), &params()).unwrap();
+            res.stats.all_reduce(grid.world())
+        });
+        for stats in out {
+            assert_eq!(stats.aligned_pairs, serial.stats.aligned_pairs, "p={p}");
+            assert_eq!(stats.cells, serial.stats.cells, "p={p}");
+            assert_eq!(stats.similar_pairs, serial.stats.similar_pairs, "p={p}");
+        }
+    }
+}

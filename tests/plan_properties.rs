@@ -1,0 +1,150 @@
+//! Property tests for the block-schedule invariants of Section VI-B.
+//!
+//! The correctness core of both load-balancing schemes is a covering
+//! property: across all scheduled blocks, every unordered off-diagonal
+//! pair `(i, j)` must be *alignable exactly once* — kept by the scheme's
+//! pruning rule in exactly one of its two mirror positions, inside exactly
+//! one block, and never inside a skipped (avoidable) block. These tests
+//! check that exhaustively over randomized matrix sizes, blocking factors,
+//! and grid geometries.
+
+use pastis::comm::grid::BlockDist1D;
+use pastis::core::{BlockClass, BlockPlan, LoadBalance};
+use proptest::prelude::*;
+
+fn ranges(n: usize, parts: usize) -> impl Fn(usize) -> (usize, usize) {
+    let d = BlockDist1D::new(n, parts);
+    move |i| {
+        let s = d.part_offset(i);
+        (s, s + d.part_len(i))
+    }
+}
+
+/// For global position (i, j), which block contains it?
+fn block_of(n: usize, br: usize, bc: usize, i: usize, j: usize) -> (usize, usize) {
+    (
+        BlockDist1D::new(n, br).owner(i),
+        BlockDist1D::new(n, bc).owner(j),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_pair_alignable_exactly_once(
+        n in 2usize..40,
+        br in 1usize..8,
+        bc in 1usize..8,
+        scheme_idx in 0usize..2,
+    ) {
+        let br = br.min(n);
+        let bc = bc.min(n);
+        let scheme = if scheme_idx == 0 {
+            LoadBalance::Triangular
+        } else {
+            LoadBalance::IndexBased
+        };
+        let plan = BlockPlan::new(scheme, br, bc, ranges(n, br), ranges(n, bc));
+        let scheduled: std::collections::HashSet<(usize, usize)> =
+            plan.tasks.iter().map(|t| (t.r, t.c)).collect();
+        for i in 0..n {
+            for j in 0..n {
+                let kept = plan.keeps(i as u32, j as u32);
+                if i == j {
+                    prop_assert!(!kept, "diagonal ({i},{i}) kept");
+                    continue;
+                }
+                // The position is *alignable* iff its block is scheduled
+                // and the rule keeps it there.
+                let in_scheduled = scheduled.contains(&block_of(n, br, bc, i, j));
+                let alignable = kept && in_scheduled;
+                let mirror_in_scheduled = scheduled.contains(&block_of(n, br, bc, j, i));
+                let mirror_alignable =
+                    plan.keeps(j as u32, i as u32) && mirror_in_scheduled;
+                prop_assert!(
+                    alignable ^ mirror_alignable,
+                    "{scheme:?} n={n} br={br} bc={bc}: pair ({i},{j}) alignable {} times",
+                    u8::from(alignable) + u8::from(mirror_alignable)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn avoidable_blocks_contain_no_kept_positions(
+        n in 2usize..40,
+        b in 1usize..8,
+    ) {
+        // Triangular scheme, square blocking: skipped blocks must be
+        // genuinely avoidable — no strictly-upper element inside them.
+        let b = b.min(n);
+        let plan = BlockPlan::new(LoadBalance::Triangular, b, b, ranges(n, b), ranges(n, b));
+        let scheduled: std::collections::HashSet<(usize, usize)> =
+            plan.tasks.iter().map(|t| (t.r, t.c)).collect();
+        let rd = BlockDist1D::new(n, b);
+        for r in 0..b {
+            for c in 0..b {
+                if scheduled.contains(&(r, c)) {
+                    continue;
+                }
+                let (r0, r1) = (rd.part_offset(r), rd.part_offset(r) + rd.part_len(r));
+                let (c0, c1) = (rd.part_offset(c), rd.part_offset(c) + rd.part_len(c));
+                for i in r0..r1 {
+                    for j in c0..c1 {
+                        prop_assert!(
+                            j <= i,
+                            "skipped block ({r},{c}) contains upper element ({i},{j})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_blocks_are_entirely_upper(
+        n in 2usize..40,
+        br in 1usize..8,
+        bc in 1usize..8,
+    ) {
+        let br = br.min(n);
+        let bc = bc.min(n);
+        let plan = BlockPlan::new(LoadBalance::Triangular, br, bc, ranges(n, br), ranges(n, bc));
+        let rd = BlockDist1D::new(n, br);
+        let cd = BlockDist1D::new(n, bc);
+        for t in &plan.tasks {
+            if t.class != BlockClass::Full {
+                continue;
+            }
+            let (r0, r1) = (rd.part_offset(t.r), rd.part_offset(t.r) + rd.part_len(t.r));
+            let (c0, c1) = (cd.part_offset(t.c), cd.part_offset(t.c) + cd.part_len(t.c));
+            for i in r0..r1 {
+                for j in c0..c1 {
+                    prop_assert!(j > i, "full block ({},{}) has ({i},{j})", t.r, t.c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn class_counts_are_consistent(
+        n in 2usize..60,
+        br in 1usize..10,
+        bc in 1usize..10,
+    ) {
+        let br = br.min(n);
+        let bc = bc.min(n);
+        let tri = BlockPlan::new(LoadBalance::Triangular, br, bc, ranges(n, br), ranges(n, bc));
+        let idx = BlockPlan::new(LoadBalance::IndexBased, br, bc, ranges(n, br), ranges(n, bc));
+        // Index-based computes everything.
+        prop_assert_eq!(idx.tasks.len(), br * bc);
+        prop_assert_eq!(idx.skipped_blocks(), 0);
+        // Triangular partitions the grid into scheduled + skipped.
+        prop_assert_eq!(tri.tasks.len() + tri.skipped_blocks(), br * bc);
+        // Triangular never schedules more than index.
+        prop_assert!(tri.tasks.len() <= idx.tasks.len());
+        let (full, partial) = tri.class_counts();
+        prop_assert_eq!(full + partial, tri.tasks.len());
+    }
+}

@@ -1,0 +1,123 @@
+//! Randomized end-to-end invariants: many seeds, many configurations, one
+//! truth — the functional pipeline must agree with itself under every
+//! execution strategy, and its counters must stay coherent.
+
+use pastis::comm::{run_threaded, Communicator, ProcessGrid};
+use pastis::core::pipeline::run_search_serial;
+use pastis::core::{run_search, LoadBalance, SearchParams};
+use pastis::seqio::{SyntheticConfig, SyntheticDataset};
+
+fn dataset(seed: u64, n: usize) -> SyntheticDataset {
+    SyntheticDataset::generate(&SyntheticConfig {
+        n_sequences: n,
+        mean_len: 50.0 + (seed % 5) as f64 * 15.0,
+        singleton_fraction: 0.2 + (seed % 3) as f64 * 0.15,
+        divergence: 0.05 + (seed % 4) as f64 * 0.04,
+        seed,
+        ..SyntheticConfig::small(n, seed)
+    })
+}
+
+#[test]
+fn counters_are_coherent_across_seeds() {
+    for seed in [1u64, 7, 23, 99, 1234] {
+        let ds = dataset(seed, 50);
+        let res = run_search_serial(&ds.store, &SearchParams::test_defaults()).unwrap();
+        let s = &res.stats;
+        assert!(s.candidates >= s.aligned_pairs, "seed {seed}");
+        assert!(s.aligned_pairs >= s.similar_pairs, "seed {seed}");
+        assert_eq!(s.similar_pairs as usize, res.graph.n_edges(), "seed {seed}");
+        // Every aligned pair contributes its full DP matrix.
+        if s.aligned_pairs > 0 {
+            assert!(s.cells > 0, "seed {seed}");
+        }
+        // Edges reference valid vertices with sane metrics.
+        for e in res.graph.edges() {
+            assert!(e.i < e.j, "seed {seed}");
+            assert!((e.j as usize) < ds.store.len(), "seed {seed}");
+            assert!((0.0..=1.0).contains(&(e.ani as f64)), "seed {seed}");
+            assert!((0.0..=1.0).contains(&(e.coverage as f64)), "seed {seed}");
+            assert!(e.score > 0, "seed {seed}");
+            assert!(e.common_kmers >= 1, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn randomized_configs_agree_with_serial_reference() {
+    // A matrix of (seed, p, blocking, scheme, pre-blocking) combinations;
+    // all must produce the serial reference's edge set.
+    let cases = [
+        (11u64, 4usize, (2usize, 3usize), LoadBalance::IndexBased, false),
+        (11, 9, (3, 3), LoadBalance::Triangular, true),
+        (42, 4, (5, 1), LoadBalance::Triangular, false),
+        (42, 4, (1, 5), LoadBalance::IndexBased, true),
+        (77, 9, (4, 4), LoadBalance::IndexBased, true),
+    ];
+    for (seed, p, (br, bc), lb, pb) in cases {
+        let ds = dataset(seed, 45);
+        let reference = run_search_serial(&ds.store, &SearchParams::test_defaults())
+            .unwrap()
+            .graph;
+        let want: Vec<(u32, u32)> = reference.edges().iter().map(|e| e.key()).collect();
+        let params = SearchParams::test_defaults()
+            .with_blocking(br, bc)
+            .with_load_balance(lb)
+            .with_pre_blocking(pb);
+        let store = ds.store.clone();
+        let out = run_threaded(p, move |c| {
+            let grid = ProcessGrid::square(c.split(0, c.rank()));
+            let res = run_search(&grid, &store, &params).unwrap();
+            res.gather_graph(grid.world())
+                .edges()
+                .iter()
+                .map(|e| e.key())
+                .collect::<Vec<_>>()
+        });
+        for got in out {
+            assert_eq!(
+                got, want,
+                "seed={seed} p={p} blocks={br}x{bc} {lb:?} pb={pb}"
+            );
+        }
+    }
+}
+
+#[test]
+fn graph_analyses_agree_between_backends() {
+    // Connected components: serial union-find vs distributed label
+    // propagation on the rank-local edge fragments.
+    for seed in [3u64, 17] {
+        let ds = dataset(seed, 40);
+        let serial = run_search_serial(&ds.store, &SearchParams::test_defaults()).unwrap();
+        let want = serial.graph.connected_components();
+        let store = ds.store.clone();
+        let out = run_threaded(4, move |c| {
+            let grid = ProcessGrid::square(c.split(0, c.rank()));
+            let res = run_search(&grid, &store, &SearchParams::test_defaults()).unwrap();
+            pastis::core::distributed_components(grid.world(), &res.graph)
+        });
+        for labels in out {
+            assert_eq!(labels, want, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn mcl_refines_connected_components() {
+    // Every MCL cluster must sit inside one connected component (MCL can
+    // split components, never join them).
+    let ds = dataset(5, 60);
+    let res = run_search_serial(&ds.store, &SearchParams::test_defaults()).unwrap();
+    let cc = res.graph.connected_components();
+    let m = pastis::core::mcl(&res.graph, &pastis::core::MclParams::default());
+    let mut label_to_cc: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    for v in 0..cc.len() {
+        let entry = label_to_cc.entry(m.labels[v]).or_insert(cc[v]);
+        assert_eq!(
+            *entry, cc[v],
+            "MCL cluster {} spans components {} and {}",
+            m.labels[v], entry, cc[v]
+        );
+    }
+}

@@ -1,0 +1,202 @@
+//! Search sensitivity against planted ground truth.
+//!
+//! The synthetic generator plants homolog families; these tests measure
+//! recall/precision of the end-to-end search and exercise the paper's
+//! sensitivity options (Section V): reduced alphabets and substitute
+//! k-mers "enable PASTIS to reach out different regions of the overall
+//! search space and increase the effectiveness of the search".
+
+use pastis::core::pipeline::run_search_serial;
+use pastis::core::SearchParams;
+use pastis::seqio::{ReducedAlphabet, SyntheticConfig, SyntheticDataset};
+
+fn recall_and_precision(
+    ds: &SyntheticDataset,
+    params: &SearchParams,
+) -> (f64, f64, usize) {
+    let res = run_search_serial(&ds.store, params).unwrap();
+    let truth: std::collections::HashSet<(u32, u32)> = ds
+        .true_pairs()
+        .into_iter()
+        .map(|(a, b)| (a as u32, b as u32))
+        .collect();
+    let found: std::collections::HashSet<(u32, u32)> =
+        res.graph.edges().iter().map(|e| e.key()).collect();
+    let hits = found.intersection(&truth).count();
+    let recall = hits as f64 / truth.len().max(1) as f64;
+    let precision = if found.is_empty() {
+        1.0
+    } else {
+        hits as f64 / found.len() as f64
+    };
+    (recall, precision, found.len())
+}
+
+#[test]
+fn low_divergence_families_are_recovered_with_high_recall() {
+    let ds = SyntheticDataset::generate(&SyntheticConfig {
+        n_sequences: 120,
+        divergence: 0.05,
+        indel_prob: 0.01,
+        mean_len: 100.0,
+        singleton_fraction: 0.3,
+        seed: 31,
+        ..SyntheticConfig::small(120, 31)
+    });
+    let params = SearchParams {
+        k: 5,
+        common_kmer_threshold: 2,
+        ani_threshold: 0.5,
+        coverage_threshold: 0.6,
+        ..SearchParams::default()
+    };
+    let (recall, precision, _) = recall_and_precision(&ds, &params);
+    assert!(recall > 0.8, "recall {recall}");
+    assert!(precision > 0.9, "precision {precision}");
+}
+
+#[test]
+fn singletons_produce_no_false_edges_at_strict_thresholds() {
+    let ds = SyntheticDataset::generate(&SyntheticConfig {
+        n_sequences: 100,
+        singleton_fraction: 1.0,
+        mean_len: 120.0,
+        seed: 77,
+        ..SyntheticConfig::small(100, 77)
+    });
+    let params = SearchParams {
+        k: 5,
+        common_kmer_threshold: 2,
+        ..SearchParams::default()
+    };
+    let res = run_search_serial(&ds.store, &params).unwrap();
+    assert_eq!(
+        res.graph.n_edges(),
+        0,
+        "unrelated random proteins matched at ANI 0.3 / cov 0.7"
+    );
+}
+
+#[test]
+fn reduced_alphabet_discovers_more_candidates_on_diverged_families() {
+    let ds = SyntheticDataset::generate(&SyntheticConfig {
+        n_sequences: 80,
+        divergence: 0.25, // heavily diverged: exact 6-mers are rare
+        indel_prob: 0.0,
+        mean_len: 150.0,
+        singleton_fraction: 0.2,
+        seed: 13,
+        ..SyntheticConfig::small(80, 13)
+    });
+    let full = SearchParams {
+        k: 6,
+        common_kmer_threshold: 1,
+        ani_threshold: 0.2,
+        coverage_threshold: 0.3,
+        ..SearchParams::default()
+    };
+    let reduced = SearchParams {
+        alphabet: ReducedAlphabet::Murphy10,
+        ..full.clone()
+    };
+    let full_run = run_search_serial(&ds.store, &full).unwrap();
+    let reduced_run = run_search_serial(&ds.store, &reduced).unwrap();
+    assert!(
+        reduced_run.stats.candidates > full_run.stats.candidates,
+        "Murphy-10 candidates {} vs Full20 {}",
+        reduced_run.stats.candidates,
+        full_run.stats.candidates
+    );
+    assert!(
+        reduced_run.stats.aligned_pairs >= full_run.stats.aligned_pairs,
+        "reduced alphabet should not lose candidate pairs"
+    );
+}
+
+#[test]
+fn substitute_kmers_improve_recall_on_diverged_families() {
+    let ds = SyntheticDataset::generate(&SyntheticConfig {
+        n_sequences: 60,
+        divergence: 0.20,
+        indel_prob: 0.0,
+        mean_len: 120.0,
+        singleton_fraction: 0.2,
+        seed: 8,
+        ..SyntheticConfig::small(60, 8)
+    });
+    let base = SearchParams {
+        k: 6,
+        common_kmer_threshold: 2,
+        ani_threshold: 0.2,
+        coverage_threshold: 0.3,
+        ..SearchParams::default()
+    };
+    let boosted = SearchParams {
+        substitute_kmers: 8,
+        ..base.clone()
+    };
+    let (r_base, _, _) = recall_and_precision(&ds, &base);
+    let (r_boost, _, _) = recall_and_precision(&ds, &boosted);
+    assert!(
+        r_boost >= r_base,
+        "substitute k-mers reduced recall: {r_boost} < {r_base}"
+    );
+    // And they must add discovery work (more candidates).
+    let base_run = run_search_serial(&ds.store, &base).unwrap();
+    let boost_run = run_search_serial(&ds.store, &boosted).unwrap();
+    assert!(boost_run.stats.candidates > base_run.stats.candidates);
+}
+
+#[test]
+fn common_kmer_threshold_trades_alignments_for_sensitivity() {
+    let ds = SyntheticDataset::generate(&SyntheticConfig {
+        n_sequences: 100,
+        divergence: 0.12,
+        seed: 50,
+        mean_len: 100.0,
+        ..SyntheticConfig::small(100, 50)
+    });
+    let mut aligned = Vec::new();
+    for t in [1u32, 2, 4, 8] {
+        let params = SearchParams {
+            k: 5,
+            common_kmer_threshold: t,
+            ani_threshold: 0.3,
+            coverage_threshold: 0.3,
+            ..SearchParams::default()
+        };
+        let res = run_search_serial(&ds.store, &params).unwrap();
+        aligned.push(res.stats.aligned_pairs);
+    }
+    assert!(
+        aligned.windows(2).all(|w| w[0] >= w[1]),
+        "aligned pairs not monotone in threshold: {aligned:?}"
+    );
+    assert!(aligned[0] > aligned[3], "threshold had no effect");
+}
+
+#[test]
+fn coverage_threshold_excludes_fragment_matches() {
+    use pastis::align::matrices::encode;
+    let mut store = pastis::seqio::SeqStore::new();
+    // A long sequence and a short perfect fragment of it.
+    let long = "MKVLAWYHEEGASTPNQRCDMKVLAWYHEEGASTPNQRCD";
+    let frag = &long[..12];
+    store.push("long".into(), encode(long).unwrap());
+    store.push("frag".into(), encode(frag).unwrap());
+    let strict = SearchParams {
+        k: 4,
+        common_kmer_threshold: 1,
+        ani_threshold: 0.3,
+        coverage_threshold: 0.7,
+        ..SearchParams::default()
+    };
+    let res = run_search_serial(&store, &strict).unwrap();
+    assert_eq!(res.graph.n_edges(), 0, "fragment passed 0.7 coverage");
+    let loose = SearchParams {
+        coverage_threshold: 0.2,
+        ..strict
+    };
+    let res = run_search_serial(&store, &loose).unwrap();
+    assert_eq!(res.graph.n_edges(), 1, "fragment missed at 0.2 coverage");
+}
