@@ -77,7 +77,7 @@ pub fn sw_banded<S: Scoring>(
         for j in lo..=hi {
             cells += 1;
             let ju = j as usize;
-            let h_left = if j - 1 >= lo { h_cur[ju - 1] } else { neg };
+            let h_left = if j > lo { h_cur[ju - 1] } else { neg };
             e = (h_left - first).max(e - gaps.extend);
             let f = (h_prev[ju] - first).max(f_prev[ju] - gaps.extend);
             f_cur[ju] = f;

@@ -28,6 +28,13 @@ pub struct AlignTask {
 }
 
 /// Aggregate counters for one executed batch.
+///
+/// Time is tracked twice so throughput stays honest under the parallel
+/// driver: [`seconds`](BatchStats::seconds) is the *sum of per-worker
+/// busy time* (CPU seconds), while
+/// [`wall_seconds`](BatchStats::wall_seconds) is the elapsed time of the
+/// batch. For the serial driver the two coincide; with `t` workers
+/// `seconds / wall_seconds` approaches the pool's effective speedup.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct BatchStats {
     /// Pairs aligned.
@@ -36,22 +43,35 @@ pub struct BatchStats {
     pub cells: u64,
     /// Largest single DP matrix in the batch.
     pub max_cells: u64,
-    /// Wall-clock seconds spent in the batch (measured).
+    /// CPU seconds: summed busy time of every worker thread (measured).
     pub seconds: f64,
+    /// Wall-clock seconds of the batch (measured).
+    pub wall_seconds: f64,
 }
 
 impl BatchStats {
-    /// Alignments per second (0 if no time elapsed).
+    /// Alignments per second of wall time (0 if no time elapsed).
     pub fn alignments_per_sec(&self) -> f64 {
-        if self.seconds > 0.0 {
-            self.pairs as f64 / self.seconds
+        if self.wall_seconds > 0.0 {
+            self.pairs as f64 / self.wall_seconds
         } else {
             0.0
         }
     }
 
-    /// Cell updates per second (CUPs).
+    /// Cell updates per second (CUPs) of wall time — the paper's headline
+    /// kernel metric, which parallelism legitimately increases.
     pub fn cups(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.cells as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Cell updates per CPU second — per-core kernel efficiency,
+    /// independent of the worker count.
+    pub fn cups_per_cpu(&self) -> f64 {
         if self.seconds > 0.0 {
             self.cells as f64 / self.seconds
         } else {
@@ -59,12 +79,14 @@ impl BatchStats {
         }
     }
 
-    /// Fold another batch's counters into this one.
+    /// Fold another batch's counters into this one. Both time components
+    /// add: merged batches are modelled as having run back-to-back.
     pub fn merge(&mut self, other: &BatchStats) {
         self.pairs += other.pairs;
         self.cells += other.cells;
         self.max_cells = self.max_cells.max(other.max_cells);
         self.seconds += other.seconds;
+        self.wall_seconds += other.wall_seconds;
     }
 }
 
@@ -112,16 +134,40 @@ impl<S: Scoring> BatchAligner<S> {
             results.push(res);
         }
         stats.seconds = start.elapsed().as_secs_f64();
+        stats.wall_seconds = stats.seconds;
         (results, stats)
+    }
+
+    /// Execute a batch on a worker pool of `threads` threads (0 ⇒ one per
+    /// available core). Results and counters are **bit-identical** to
+    /// [`run_batch`](BatchAligner::run_batch) for every thread count —
+    /// only the time fields differ: `seconds` sums worker busy time and
+    /// `wall_seconds` reports elapsed time.
+    ///
+    /// Unlike `run_batch`, the sequence lookup must be shareable across
+    /// workers (`Fn + Sync` instead of `FnMut`).
+    pub fn run_batch_parallel<'a, L>(
+        &self,
+        tasks: &[AlignTask],
+        lookup: L,
+        threads: usize,
+    ) -> (Vec<AlignmentResult>, BatchStats)
+    where
+        S: Sync,
+        L: Fn(u32) -> &'a [u8] + Sync,
+    {
+        crate::parallel::AlignPool::new(threads).run_traceback(
+            tasks,
+            lookup,
+            &self.scoring,
+            self.gaps,
+        )
     }
 
     /// Work (DP cells) a batch *would* perform, without aligning — used by
     /// the load-balancing analysis and the performance-model plane, since
     /// the paper's Figure 7b metric is exactly this sum.
-    pub fn batch_cells(
-        tasks: &[AlignTask],
-        mut seq_len: impl FnMut(u32) -> usize,
-    ) -> u64 {
+    pub fn batch_cells(tasks: &[AlignTask], mut seq_len: impl FnMut(u32) -> usize) -> u64 {
         tasks
             .iter()
             .map(|t| seq_len(t.query) as u64 * seq_len(t.reference) as u64)
@@ -162,10 +208,7 @@ mod tests {
         // 0 vs 3 share nothing.
         assert_eq!(results[2].score, 0);
         assert_eq!(stats.pairs, 3);
-        assert_eq!(
-            stats.cells,
-            (10 * 10 + 10 * 7 + 10 * 5) as u64
-        );
+        assert_eq!(stats.cells, (10 * 10 + 10 * 7 + 10 * 5) as u64);
         assert_eq!(stats.max_cells, 100);
     }
 
@@ -183,8 +226,7 @@ mod tests {
     fn batch_cells_predicts_run_batch() {
         let seqs = store();
         let tasks = vec![task(1, 2), task(2, 3), task(0, 0)];
-        let predicted =
-            BatchAligner::<Blosum62>::batch_cells(&tasks, |id| seqs[id as usize].len());
+        let predicted = BatchAligner::<Blosum62>::batch_cells(&tasks, |id| seqs[id as usize].len());
         let aligner = BatchAligner::new(Blosum62, GapPenalties::pastis_defaults());
         let (_, stats) = aligner.run_batch(&tasks, |id| &seqs[id as usize]);
         assert_eq!(predicted, stats.cells);
@@ -197,20 +239,46 @@ mod tests {
             cells: 1000,
             max_cells: 400,
             seconds: 2.0,
+            wall_seconds: 2.0,
         };
         let b = BatchStats {
             pairs: 5,
             cells: 500,
             max_cells: 450,
             seconds: 1.0,
+            wall_seconds: 1.0,
         };
         a.merge(&b);
         assert_eq!(a.pairs, 15);
         assert_eq!(a.max_cells, 450);
         assert!((a.alignments_per_sec() - 5.0).abs() < 1e-12);
         assert!((a.cups() - 500.0).abs() < 1e-12);
+        assert!((a.cups_per_cpu() - 500.0).abs() < 1e-12);
         let z = BatchStats::default();
         assert_eq!(z.alignments_per_sec(), 0.0);
         assert_eq!(z.cups(), 0.0);
+    }
+
+    #[test]
+    fn wall_vs_cpu_seconds_split() {
+        // A 4-worker batch: 4 s of CPU time in 1.25 s of wall time.
+        let s = BatchStats {
+            pairs: 8,
+            cells: 4000,
+            max_cells: 1000,
+            seconds: 4.0,
+            wall_seconds: 1.25,
+        };
+        assert!((s.cups() - 3200.0).abs() < 1e-9);
+        assert!((s.cups_per_cpu() - 1000.0).abs() < 1e-9);
+        assert!((s.alignments_per_sec() - 6.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serial_driver_sets_both_clocks() {
+        let seqs = store();
+        let aligner = BatchAligner::new(Blosum62, GapPenalties::pastis_defaults());
+        let (_, stats) = aligner.run_batch(&[task(0, 1)], |id| &seqs[id as usize]);
+        assert_eq!(stats.seconds, stats.wall_seconds);
     }
 }

@@ -60,8 +60,7 @@ impl DeviceModel {
             .map(|&c| c as f64 / self.cups_per_gpu)
             .fold(0.0, f64::max);
         // One packing thread per GPU works concurrently.
-        let overhead =
-            pair_cells.len() as f64 * self.overhead_per_pair / self.gpus as f64;
+        let overhead = pair_cells.len() as f64 * self.overhead_per_pair / self.gpus as f64;
         kernel + overhead
     }
 

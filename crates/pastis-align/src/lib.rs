@@ -16,6 +16,11 @@
 //!   CPU backend).
 //! * [`semiglobal`] — free-end-gap overlap alignment (containment /
 //!   suffix-prefix detection, PASTIS's global-alignment option).
+//! * [`parallel`] — the intra-rank parallel engine: a worker pool
+//!   executing batches as atomically-claimed chunks across `t` threads
+//!   (bit-identical to the serial driver for any thread count), with a
+//!   length-bucketing packer dispatching score-only work through the
+//!   multilane kernel.
 //! * [`batch`] — the batch driver with exact cell-update accounting: the
 //!   paper's load-balance metric (Figure 7b) is the *sum of DP-matrix
 //!   sizes*, and its headline kernel metric is cell updates per second
@@ -44,12 +49,14 @@ pub mod batch;
 pub mod device;
 pub mod matrices;
 pub mod multilane;
+pub mod parallel;
 pub mod semiglobal;
 pub mod sw;
 
 pub use batch::{AlignTask, BatchAligner, BatchStats};
 pub use device::DeviceModel;
-pub use multilane::{sw_score_batch, sw_score_multi};
-pub use semiglobal::{semiglobal_score, SemiGlobalResult};
 pub use matrices::{encode, Blosum62, MatchMismatch, Scoring, AA_ALPHABET};
+pub use multilane::{sw_score_batch, sw_score_multi};
+pub use parallel::{AlignPool, ScoreResult};
+pub use semiglobal::{semiglobal_score, SemiGlobalResult};
 pub use sw::{sw_align, sw_score_only, AlignmentResult, GapPenalties};

@@ -52,9 +52,7 @@ pub fn aa_code(letter: u8) -> Option<u8> {
 ///
 /// Returns the offending byte on the first non-residue character.
 pub fn encode(seq: &str) -> Result<Vec<u8>, u8> {
-    seq.bytes()
-        .map(|b| aa_code(b).ok_or(b))
-        .collect()
+    seq.bytes().map(|b| aa_code(b).ok_or(b)).collect()
 }
 
 /// Decode residue codes back into an ASCII string.
@@ -216,12 +214,9 @@ mod tests {
 
     #[test]
     fn blosum62_is_symmetric() {
-        for a in 0..AA_COUNT {
-            for b in 0..AA_COUNT {
-                assert_eq!(
-                    BLOSUM62[a][b], BLOSUM62[b][a],
-                    "asymmetry at ({a},{b})"
-                );
+        for (a, row) in BLOSUM62.iter().enumerate() {
+            for (b, &v) in row.iter().enumerate() {
+                assert_eq!(v, BLOSUM62[b][a], "asymmetry at ({a},{b})");
             }
         }
     }
@@ -229,13 +224,10 @@ mod tests {
     #[test]
     fn blosum62_diagonal_dominates_row() {
         // Each residue scores itself at least as high as any substitution.
-        for a in 0..AA_COUNT - 1 {
-            for b in 0..AA_COUNT {
+        for (a, row) in BLOSUM62.iter().enumerate().take(AA_COUNT - 1) {
+            for (b, &v) in row.iter().enumerate() {
                 if a != b {
-                    assert!(
-                        BLOSUM62[a][a] > BLOSUM62[a][b],
-                        "diag not dominant at ({a},{b})"
-                    );
+                    assert!(row[a] > v, "diag not dominant at ({a},{b})");
                 }
             }
         }

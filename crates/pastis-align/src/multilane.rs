@@ -145,15 +145,10 @@ mod tests {
 
     #[test]
     fn ragged_lanes_match_scalar() {
-        let seqs: Vec<Vec<u8>> = [
-            "MKVLAWYHEE",
-            "PAWHEAE",
-            "GGSTPNQRCDGGSTPNQRCD",
-            "MK",
-        ]
-        .iter()
-        .map(|s| encode(s).unwrap())
-        .collect();
+        let seqs: Vec<Vec<u8>> = ["MKVLAWYHEE", "PAWHEAE", "GGSTPNQRCDGGSTPNQRCD", "MK"]
+            .iter()
+            .map(|s| encode(s).unwrap())
+            .collect();
         let qs: [&[u8]; 4] = [&seqs[0], &seqs[1], &seqs[2], &seqs[3]];
         let rs: [&[u8]; 4] = [&seqs[1], &seqs[2], &seqs[3], &seqs[0]];
         let got = sw_score_multi::<4, _>(&qs, &rs, &Blosum62, GapPenalties::pastis_defaults());

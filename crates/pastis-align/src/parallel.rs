@@ -1,0 +1,622 @@
+//! Intra-rank parallel batch-alignment engine — the ADEPT driver analog.
+//!
+//! ADEPT feeds a GPU thousands of independent alignments that advance in
+//! lock-step; on the CPU the same inter-task parallelism maps onto two
+//! nested levels, both provided here:
+//!
+//! * **A worker pool** ([`AlignPool`]): an `AlignTask` batch is split into
+//!   units that `t` scoped threads claim from a shared atomic counter
+//!   (dynamic self-scheduling, so ragged task costs balance), with results
+//!   re-assembled **in task order**. Every task is computed by the same
+//!   scalar kernel regardless of which worker claims it, so output is
+//!   bit-identical to the serial driver for any thread count — the same
+//!   determinism contract the SUMMA layer pins down.
+//! * **Multilane packing** ([`AlignPool::run_score_only`]): score-only
+//!   work is sorted by length into ragged lanes and dispatched through the
+//!   lock-step SIMD kernel [`sw_score_multi`] (lane widths 16/8/4),
+//!   falling back to scalar [`sw_score_only`] for lane tails and oversized
+//!   tasks. The lane plan is a pure function of the task list, never of
+//!   the thread count, and the multilane kernel is padding-invariant
+//!   (property-tested), so scores stay bit-identical here too.
+//!
+//! Traceback-requiring work ([`AlignPool::run_traceback`]) and
+//! seed-anchored banded work ([`AlignPool::run_banded`]) parallelize over
+//! scalar kernels only — traceback needs the full matrix per pair, and the
+//! banded kernel's exploration set depends on per-pair seeds, neither of
+//! which fits lock-step lanes.
+//!
+//! Time accounting: the returned [`BatchStats`] carries the wall-vs-CPU
+//! split — `seconds` sums worker busy time, `wall_seconds` is elapsed.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use crate::banded::sw_banded;
+use crate::batch::{AlignTask, BatchStats};
+use crate::matrices::Scoring;
+use crate::multilane::sw_score_multi;
+use crate::sw::{sw_align, sw_score_only, AlignmentResult, GapPenalties};
+
+/// Scalar tasks claimed per unit of work. Small enough for dynamic load
+/// balance over ragged lengths, large enough to amortize the atomic claim.
+const CHUNK: usize = 32;
+
+/// Sequences longer than this skip the multilane path: one huge lane
+/// member would pad every companion to its dimensions, and the lane's
+/// working set would fall out of cache.
+const OVERSIZED_LEN: usize = 4096;
+
+/// Score and exact work of one score-only or banded task.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScoreResult {
+    /// Optimal local score found by the kernel (≥ 0).
+    pub score: i32,
+    /// DP cells attributed to the task (`|q|·|r|` for full-matrix
+    /// kernels; explored cells for the banded kernel).
+    pub cells: u64,
+}
+
+/// Persistent-for-the-batch worker pool executing alignment batches as
+/// atomically-claimed units across `t` threads.
+#[derive(Debug, Clone, Copy)]
+pub struct AlignPool {
+    threads: usize,
+}
+
+impl AlignPool {
+    /// A pool of `threads` workers; `0` means one per available core.
+    pub fn new(threads: usize) -> AlignPool {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        AlignPool { threads }
+    }
+
+    /// Worker count this pool dispatches to.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Full Smith–Waterman with traceback over every task, in parallel
+    /// chunks; results in task order, bit-identical to the serial loop.
+    pub fn run_traceback<'a, S, L>(
+        &self,
+        tasks: &[AlignTask],
+        lookup: L,
+        scoring: &S,
+        gaps: GapPenalties,
+    ) -> (Vec<AlignmentResult>, BatchStats)
+    where
+        S: Scoring + Sync,
+        L: Fn(u32) -> &'a [u8] + Sync,
+    {
+        let n_units = tasks.len().div_ceil(CHUNK);
+        let (chunks, stats) = self.execute_units(n_units, |u, local| {
+            let range = chunk_range(u, tasks.len());
+            let mut out = Vec::with_capacity(range.len());
+            for t in &tasks[range] {
+                let res = sw_align(lookup(t.query), lookup(t.reference), scoring, gaps);
+                local.pairs += 1;
+                local.cells += res.cells;
+                local.max_cells = local.max_cells.max(res.cells);
+                out.push(res);
+            }
+            out
+        });
+        (chunks.concat(), stats)
+    }
+
+    /// Seed-anchored banded Smith–Waterman (half-width `w`) over every
+    /// task, in parallel chunks; results in task order.
+    pub fn run_banded<'a, S, L>(
+        &self,
+        tasks: &[AlignTask],
+        lookup: L,
+        scoring: &S,
+        gaps: GapPenalties,
+        w: usize,
+    ) -> (Vec<ScoreResult>, BatchStats)
+    where
+        S: Scoring + Sync,
+        L: Fn(u32) -> &'a [u8] + Sync,
+    {
+        let n_units = tasks.len().div_ceil(CHUNK);
+        let (chunks, stats) = self.execute_units(n_units, |u, local| {
+            let range = chunk_range(u, tasks.len());
+            let mut out = Vec::with_capacity(range.len());
+            for t in &tasks[range] {
+                let b = sw_banded(
+                    lookup(t.query),
+                    lookup(t.reference),
+                    scoring,
+                    gaps,
+                    t.seed_q as usize,
+                    t.seed_r as usize,
+                    w,
+                );
+                local.pairs += 1;
+                local.cells += b.cells;
+                local.max_cells = local.max_cells.max(b.cells);
+                out.push(ScoreResult {
+                    score: b.score,
+                    cells: b.cells,
+                });
+            }
+            out
+        });
+        (chunks.concat(), stats)
+    }
+
+    /// Full-matrix score-only alignment over every task, dispatched
+    /// through the multilane lock-step kernel where possible.
+    ///
+    /// Tasks are sorted by length into lanes of width 16, then 8, then 4
+    /// (so lane members pad against near-equals); the sub-4 tail and
+    /// oversized tasks run through scalar [`sw_score_only`]. The plan
+    /// depends only on the task list, and the multilane kernel is
+    /// bit-identical to the scalar one, so results match the serial
+    /// scalar driver for every thread count.
+    pub fn run_score_only<'a, S, L>(
+        &self,
+        tasks: &[AlignTask],
+        lookup: L,
+        scoring: &S,
+        gaps: GapPenalties,
+    ) -> (Vec<ScoreResult>, BatchStats)
+    where
+        S: Scoring + Sync,
+        L: Fn(u32) -> &'a [u8] + Sync,
+    {
+        let plan = LanePlan::build(tasks, &lookup);
+        let (unit_results, stats) = self.execute_units(plan.units.len(), |u, local| {
+            let mut out = Vec::new();
+            match plan.units[u] {
+                LaneUnit::Lane16(start) => run_lane::<16, _, _>(
+                    &plan.order[start..start + 16],
+                    tasks,
+                    &lookup,
+                    scoring,
+                    gaps,
+                    local,
+                    &mut out,
+                ),
+                LaneUnit::Lane8(start) => run_lane::<8, _, _>(
+                    &plan.order[start..start + 8],
+                    tasks,
+                    &lookup,
+                    scoring,
+                    gaps,
+                    local,
+                    &mut out,
+                ),
+                LaneUnit::Lane4(start) => run_lane::<4, _, _>(
+                    &plan.order[start..start + 4],
+                    tasks,
+                    &lookup,
+                    scoring,
+                    gaps,
+                    local,
+                    &mut out,
+                ),
+                LaneUnit::Scalar(idx) => {
+                    let t = &tasks[idx];
+                    let (score, _, _, cells) =
+                        sw_score_only(lookup(t.query), lookup(t.reference), scoring, gaps);
+                    local.pairs += 1;
+                    local.cells += cells;
+                    local.max_cells = local.max_cells.max(cells);
+                    out.push((idx, ScoreResult { score, cells }));
+                }
+            }
+            out
+        });
+        // Scatter lane-ordered results back to task order.
+        let mut results = vec![ScoreResult::default(); tasks.len()];
+        for (idx, r) in unit_results.into_iter().flatten() {
+            results[idx] = r;
+        }
+        (results, stats)
+    }
+
+    /// Dynamic self-scheduling core: `run_unit(u, &mut local_stats)` is
+    /// called exactly once for each `u < n_units`, by whichever worker
+    /// claims `u` from the shared counter. Returns per-unit payloads in
+    /// unit order plus merged stats (busy-time sum in `seconds`, elapsed
+    /// in `wall_seconds`).
+    fn execute_units<P, F>(&self, n_units: usize, run_unit: F) -> (Vec<P>, BatchStats)
+    where
+        P: Send,
+        F: Fn(usize, &mut BatchStats) -> P + Sync,
+    {
+        let wall = Instant::now();
+        let workers = self.threads.min(n_units.max(1));
+        let (payloads, mut stats) = if workers <= 1 {
+            let busy = Instant::now();
+            let mut local = BatchStats::default();
+            let out = (0..n_units).map(|u| run_unit(u, &mut local)).collect();
+            local.seconds = busy.elapsed().as_secs_f64();
+            (out, local)
+        } else {
+            let next = AtomicUsize::new(0);
+            let worker = || {
+                let busy = Instant::now();
+                let mut local = BatchStats::default();
+                let mut out = Vec::new();
+                loop {
+                    let u = next.fetch_add(1, Ordering::Relaxed);
+                    if u >= n_units {
+                        break;
+                    }
+                    out.push((u, run_unit(u, &mut local)));
+                }
+                local.seconds = busy.elapsed().as_secs_f64();
+                (out, local)
+            };
+            // The calling thread is worker 0, so `threads = t` occupies
+            // exactly t OS threads — important under pre-blocking, where a
+            // concurrent sparse thread already owns the communicator.
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (1..workers).map(|_| scope.spawn(worker)).collect();
+                let mut tagged: Vec<(usize, P)> = Vec::with_capacity(n_units);
+                let (own_out, own_local) = worker();
+                tagged.extend(own_out);
+                let mut merged = own_local;
+                for h in handles {
+                    let (out, local) = h.join().expect("alignment worker panicked");
+                    tagged.extend(out);
+                    merged.pairs += local.pairs;
+                    merged.cells += local.cells;
+                    merged.max_cells = merged.max_cells.max(local.max_cells);
+                    merged.seconds += local.seconds;
+                }
+                tagged.sort_unstable_by_key(|&(u, _)| u);
+                (tagged.into_iter().map(|(_, p)| p).collect(), merged)
+            })
+        };
+        stats.wall_seconds = wall.elapsed().as_secs_f64();
+        (payloads, stats)
+    }
+}
+
+fn chunk_range(unit: usize, total: usize) -> Range<usize> {
+    unit * CHUNK..((unit + 1) * CHUNK).min(total)
+}
+
+/// One claimable unit of score-only work. Lane variants carry the offset
+/// of their first member in [`LanePlan::order`].
+#[derive(Debug, Clone, Copy)]
+enum LaneUnit {
+    Lane16(usize),
+    Lane8(usize),
+    Lane4(usize),
+    Scalar(usize),
+}
+
+/// Deterministic length-bucketed packing of a score-only batch.
+struct LanePlan {
+    /// Lane-eligible task indices, sorted by descending max sequence
+    /// length (ties by index) so lane members pad against near-equals.
+    order: Vec<usize>,
+    units: Vec<LaneUnit>,
+}
+
+impl LanePlan {
+    fn build<'a, L: Fn(u32) -> &'a [u8]>(tasks: &[AlignTask], lookup: &L) -> LanePlan {
+        let mut order = Vec::with_capacity(tasks.len());
+        let mut units = Vec::new();
+        for (idx, t) in tasks.iter().enumerate() {
+            let max_len = lookup(t.query).len().max(lookup(t.reference).len());
+            if max_len > OVERSIZED_LEN {
+                units.push(LaneUnit::Scalar(idx));
+            } else {
+                order.push((max_len, idx));
+            }
+        }
+        order.sort_unstable_by(|a, b| b.cmp(a));
+        let order: Vec<usize> = order.into_iter().map(|(_, idx)| idx).collect();
+        let mut pos = 0;
+        while order.len() - pos >= 16 {
+            units.push(LaneUnit::Lane16(pos));
+            pos += 16;
+        }
+        while order.len() - pos >= 8 {
+            units.push(LaneUnit::Lane8(pos));
+            pos += 8;
+        }
+        while order.len() - pos >= 4 {
+            units.push(LaneUnit::Lane4(pos));
+            pos += 4;
+        }
+        for &idx in &order[pos..] {
+            units.push(LaneUnit::Scalar(idx));
+        }
+        LanePlan { order, units }
+    }
+}
+
+/// Executes one width-`W` lane: gathers the member pairs, runs the
+/// lock-step kernel, and records per-task results and exact (unpadded)
+/// cell counts.
+fn run_lane<'a, const W: usize, S, L>(
+    members: &[usize],
+    tasks: &[AlignTask],
+    lookup: &L,
+    scoring: &S,
+    gaps: GapPenalties,
+    local: &mut BatchStats,
+    out: &mut Vec<(usize, ScoreResult)>,
+) where
+    S: Scoring,
+    L: Fn(u32) -> &'a [u8],
+{
+    debug_assert_eq!(members.len(), W);
+    let mut qs: [&[u8]; W] = [&[]; W];
+    let mut rs: [&[u8]; W] = [&[]; W];
+    for (l, &idx) in members.iter().enumerate() {
+        qs[l] = lookup(tasks[idx].query);
+        rs[l] = lookup(tasks[idx].reference);
+    }
+    let scores = sw_score_multi::<W, S>(&qs, &rs, scoring, gaps);
+    for (l, &idx) in members.iter().enumerate() {
+        let cells = qs[l].len() as u64 * rs[l].len() as u64;
+        local.pairs += 1;
+        local.cells += cells;
+        local.max_cells = local.max_cells.max(cells);
+        out.push((
+            idx,
+            ScoreResult {
+                score: scores[l],
+                cells,
+            },
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::BatchAligner;
+    use crate::matrices::{encode, Blosum62};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_store(n: usize, max_len: usize, seed: u64) -> Vec<Vec<u8>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let len = rng.gen_range(0..=max_len);
+                (0..len).map(|_| rng.gen_range(0u8..21)).collect()
+            })
+            .collect()
+    }
+
+    fn random_tasks(n_seqs: usize, n_tasks: usize, seed: u64) -> Vec<AlignTask> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n_tasks)
+            .map(|_| AlignTask {
+                query: rng.gen_range(0..n_seqs as u32),
+                reference: rng.gen_range(0..n_seqs as u32),
+                seed_q: 0,
+                seed_r: 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pool_zero_threads_means_auto() {
+        assert!(AlignPool::new(0).threads() >= 1);
+        assert_eq!(AlignPool::new(3).threads(), 3);
+    }
+
+    #[test]
+    fn traceback_matches_serial_for_every_thread_count() {
+        let seqs = random_store(12, 40, 1);
+        let tasks = random_tasks(12, 70, 2);
+        let aligner = BatchAligner::new(Blosum62, GapPenalties::pastis_defaults());
+        let (want, want_stats) = aligner.run_batch(&tasks, |id| &seqs[id as usize]);
+        for t in [1, 2, 3, 8] {
+            let pool = AlignPool::new(t);
+            let (got, stats) = pool.run_traceback(
+                &tasks,
+                |id| &seqs[id as usize],
+                &Blosum62,
+                GapPenalties::pastis_defaults(),
+            );
+            assert_eq!(got, want, "t={t}");
+            assert_eq!(stats.pairs, want_stats.pairs, "t={t}");
+            assert_eq!(stats.cells, want_stats.cells, "t={t}");
+            assert_eq!(stats.max_cells, want_stats.max_cells, "t={t}");
+        }
+    }
+
+    #[test]
+    fn banded_matches_serial_kernel() {
+        let seqs = random_store(10, 50, 3);
+        let tasks = random_tasks(10, 40, 4);
+        let g = GapPenalties::pastis_defaults();
+        for t in [1, 4] {
+            let (got, stats) =
+                AlignPool::new(t).run_banded(&tasks, |id| &seqs[id as usize], &Blosum62, g, 5);
+            for (k, task) in tasks.iter().enumerate() {
+                let want = sw_banded(
+                    &seqs[task.query as usize],
+                    &seqs[task.reference as usize],
+                    &Blosum62,
+                    g,
+                    0,
+                    0,
+                    5,
+                );
+                assert_eq!(got[k].score, want.score, "t={t} task {k}");
+                assert_eq!(got[k].cells, want.cells, "t={t} task {k}");
+            }
+            assert_eq!(stats.pairs, tasks.len() as u64);
+        }
+    }
+
+    #[test]
+    fn score_only_matches_scalar_kernel() {
+        let seqs = random_store(16, 60, 5);
+        // 70 tasks ⇒ the plan exercises 16-, 8- and 4-wide lanes plus a
+        // scalar tail (70 = 4·16 + 0·8 + 1·4 + 2).
+        let tasks = random_tasks(16, 70, 6);
+        let g = GapPenalties::pastis_defaults();
+        for t in [1, 2, 3, 8] {
+            let (got, stats) =
+                AlignPool::new(t).run_score_only(&tasks, |id| &seqs[id as usize], &Blosum62, g);
+            for (k, task) in tasks.iter().enumerate() {
+                let (score, _, _, cells) = sw_score_only(
+                    &seqs[task.query as usize],
+                    &seqs[task.reference as usize],
+                    &Blosum62,
+                    g,
+                );
+                assert_eq!(got[k].score, score, "t={t} task {k}");
+                assert_eq!(got[k].cells, cells, "t={t} task {k}");
+            }
+            assert_eq!(stats.pairs, tasks.len() as u64);
+        }
+    }
+
+    #[test]
+    fn lane_plan_is_exhaustive_and_deterministic() {
+        let seqs = random_store(9, 30, 7);
+        let tasks = random_tasks(9, 53, 8);
+        let lookup = |id: u32| -> &[u8] { &seqs[id as usize] };
+        let plan = LanePlan::build(&tasks, &lookup);
+        // Every task appears in exactly one unit.
+        let mut seen = vec![0u32; tasks.len()];
+        for unit in &plan.units {
+            match *unit {
+                LaneUnit::Lane16(s) => plan.order[s..s + 16].iter().for_each(|&i| seen[i] += 1),
+                LaneUnit::Lane8(s) => plan.order[s..s + 8].iter().for_each(|&i| seen[i] += 1),
+                LaneUnit::Lane4(s) => plan.order[s..s + 4].iter().for_each(|&i| seen[i] += 1),
+                LaneUnit::Scalar(i) => seen[i] += 1,
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "coverage: {seen:?}");
+        // Descending length order within the lane-eligible set.
+        for w in plan.order.windows(2) {
+            let len = |i: usize| {
+                seqs[tasks[i].query as usize]
+                    .len()
+                    .max(seqs[tasks[i].reference as usize].len())
+            };
+            assert!(len(w[0]) >= len(w[1]));
+        }
+    }
+
+    #[test]
+    fn oversized_tasks_fall_back_to_scalar() {
+        let long = vec![7u8; OVERSIZED_LEN + 1];
+        let short = encode("MKVLAWYHEE").unwrap();
+        let seqs = [long, short];
+        let tasks = vec![
+            AlignTask {
+                query: 0,
+                reference: 1,
+                seed_q: 0,
+                seed_r: 0,
+            };
+            5
+        ];
+        let lookup = |id: u32| -> &[u8] { &seqs[id as usize] };
+        let plan = LanePlan::build(&tasks, &lookup);
+        assert!(plan.order.is_empty());
+        assert_eq!(plan.units.len(), 5);
+        let g = GapPenalties::pastis_defaults();
+        let (got, _) = AlignPool::new(2).run_score_only(&tasks, lookup, &Blosum62, g);
+        let (want, _, _, _) = sw_score_only(&seqs[0], &seqs[1], &Blosum62, g);
+        assert!(got.iter().all(|r| r.score == want));
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let seqs = random_store(2, 10, 9);
+        let pool = AlignPool::new(4);
+        let g = GapPenalties::pastis_defaults();
+        let (r1, s1) = pool.run_traceback(&[], |id| &seqs[id as usize], &Blosum62, g);
+        assert!(r1.is_empty());
+        assert_eq!(s1.pairs, 0);
+        let (r2, _) = pool.run_score_only(&[], |id| &seqs[id as usize], &Blosum62, g);
+        assert!(r2.is_empty());
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The tentpole contract: `run_batch_parallel(t)` is bit-identical
+        /// to `run_batch` — every traceback field of every result plus the
+        /// pairs/cells/max_cells counters — for any thread count.
+        #[test]
+        fn parallel_driver_equals_serial_driver(
+            store_seed in 0u64..1_000_000,
+            task_seed in 0u64..1_000_000,
+            n_seqs in 1usize..14,
+            n_tasks in 0usize..90,
+        ) {
+            let seqs = random_store(n_seqs, 48, store_seed);
+            let tasks = random_tasks(n_seqs, n_tasks, task_seed);
+            let aligner = BatchAligner::new(Blosum62, GapPenalties::pastis_defaults());
+            let (want, want_stats) = aligner.run_batch(&tasks, |id| &seqs[id as usize]);
+            for t in [1usize, 2, 3, 8] {
+                let (got, stats) =
+                    aligner.run_batch_parallel(&tasks, |id| &seqs[id as usize], t);
+                prop_assert_eq!(&got, &want);
+                prop_assert_eq!(stats.pairs, want_stats.pairs);
+                prop_assert_eq!(stats.cells, want_stats.cells);
+                prop_assert_eq!(stats.max_cells, want_stats.max_cells);
+            }
+        }
+
+        /// The multilane dispatch path holds the same contract against the
+        /// scalar score-only kernel.
+        #[test]
+        fn multilane_dispatch_equals_scalar_scores(
+            store_seed in 0u64..1_000_000,
+            n_tasks in 0usize..60,
+        ) {
+            let seqs = random_store(10, 40, store_seed);
+            let tasks = random_tasks(10, n_tasks, store_seed ^ 0x9e37_79b9);
+            let g = GapPenalties::pastis_defaults();
+            for t in [1usize, 3] {
+                let (got, _) = AlignPool::new(t)
+                    .run_score_only(&tasks, |id| &seqs[id as usize], &Blosum62, g);
+                for (k, task) in tasks.iter().enumerate() {
+                    let (score, _, _, cells) = sw_score_only(
+                        &seqs[task.query as usize],
+                        &seqs[task.reference as usize],
+                        &Blosum62,
+                        g,
+                    );
+                    prop_assert_eq!(got[k].score, score);
+                    prop_assert_eq!(got[k].cells, cells);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_stats_report_both_clocks() {
+        let seqs = random_store(8, 64, 10);
+        let tasks = random_tasks(8, 120, 11);
+        let (_, stats) = AlignPool::new(4).run_traceback(
+            &tasks,
+            |id| &seqs[id as usize],
+            &Blosum62,
+            GapPenalties::pastis_defaults(),
+        );
+        assert!(stats.wall_seconds > 0.0);
+        assert!(stats.seconds > 0.0);
+        // CPU time sums over workers; it can exceed wall but never be
+        // less than a single worker's share of it by orders of magnitude.
+        assert!(stats.seconds >= stats.wall_seconds * 0.01);
+    }
+}

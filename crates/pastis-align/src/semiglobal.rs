@@ -78,9 +78,9 @@ pub fn semiglobal_score<S: Scoring>(
         // On the last row, every column is a legal end (free trailing gap
         // in q).
         if i == m {
-            for j in 1..=n {
-                if h_cur[j] > best {
-                    best = h_cur[j];
+            for (j, &h) in h_cur.iter().enumerate().skip(1) {
+                if h > best {
+                    best = h;
                     bi = i;
                     bj = j;
                 }
@@ -133,7 +133,12 @@ mod tests {
         // q's suffix matches r's prefix: the classic assembly overlap.
         let q = encode("GGGGGMKVLAW").unwrap();
         let r = encode("MKVLAWHHHHH").unwrap();
-        let res = semiglobal_score(&q, &r, &MatchMismatch::unit(), GapPenalties { open: 2, extend: 1 });
+        let res = semiglobal_score(
+            &q,
+            &r,
+            &MatchMismatch::unit(),
+            GapPenalties { open: 2, extend: 1 },
+        );
         assert_eq!(res.score, 6); // MKVLAW
         assert_eq!(res.q_end, q.len()); // consumes q to its end
         assert_eq!(res.r_end, 6);
@@ -151,7 +156,15 @@ mod tests {
     fn interior_gap_is_charged() {
         let q = encode("MKVLAWMKVLAW").unwrap();
         let r = encode("MKVLAWGGGMKVLAW").unwrap(); // 3-residue insert
-        let res = semiglobal_score(&q, &r, &MatchMismatch { match_score: 2, mismatch_score: -3 }, GapPenalties { open: 1, extend: 1 });
+        let res = semiglobal_score(
+            &q,
+            &r,
+            &MatchMismatch {
+                match_score: 2,
+                mismatch_score: -3,
+            },
+            GapPenalties { open: 1, extend: 1 },
+        );
         // 12 matches minus an interior gap of 3 (1 + 3x1): ends are free
         // but the insert is interior.
         assert_eq!(res.score, 12 * 2 - (1 + 3));

@@ -32,12 +32,18 @@ pub struct GapPenalties {
 impl GapPenalties {
     /// The paper's production parameters: open 11, extend 2 (Table IV).
     pub fn pastis_defaults() -> GapPenalties {
-        GapPenalties { open: 11, extend: 2 }
+        GapPenalties {
+            open: 11,
+            extend: 2,
+        }
     }
 
     /// NCBI BLASTP defaults: open 11, extend 1.
     pub fn blast_defaults() -> GapPenalties {
-        GapPenalties { open: 11, extend: 1 }
+        GapPenalties {
+            open: 11,
+            extend: 1,
+        }
     }
 
     #[inline]
@@ -435,8 +441,14 @@ mod tests {
         let r = encode("KKKAWGHEKKK").unwrap();
         let res = sw_align(&q, &r, &Blosum62, GapPenalties::pastis_defaults());
         assert_eq!(res.matches, 5);
-        assert_eq!(&q[res.q_begin..res.q_end], encode("AWGHE").unwrap().as_slice());
-        assert_eq!(&r[res.r_begin..res.r_end], encode("AWGHE").unwrap().as_slice());
+        assert_eq!(
+            &q[res.q_begin..res.q_end],
+            encode("AWGHE").unwrap().as_slice()
+        );
+        assert_eq!(
+            &r[res.r_begin..res.r_end],
+            encode("AWGHE").unwrap().as_slice()
+        );
     }
 
     #[test]
@@ -461,7 +473,15 @@ mod tests {
         // With high open and low extend, a single gap run is preferred.
         let q = encode("AAAWWWAAA").unwrap();
         let r = encode("AAAAAA").unwrap();
-        let res = sw_align(&q, &r, &MatchMismatch { match_score: 5, mismatch_score: -4 }, gp(6, 1));
+        let res = sw_align(
+            &q,
+            &r,
+            &MatchMismatch {
+                match_score: 5,
+                mismatch_score: -4,
+            },
+            gp(6, 1),
+        );
         // Best: align AAA...AAA with one 3-long gap in reference.
         assert_eq!(res.matches, 6);
         assert_eq!(res.r_gaps, 3);

@@ -18,7 +18,7 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
-use pastis_align::batch::BatchAligner;
+use pastis_align::batch::{AlignTask, BatchAligner};
 use pastis_align::matrices::Blosum62;
 use pastis_align::sw::GapPenalties;
 use pastis_comm::grid::BlockDist1D;
@@ -50,6 +50,9 @@ pub struct DiamondLikeConfig {
     pub ani_threshold: f64,
     /// Coverage threshold.
     pub coverage_threshold: f64,
+    /// Intra-package alignment worker threads (1 = serial, 0 = one per
+    /// core). Results are identical for every value.
+    pub align_threads: usize,
 }
 
 impl Default for DiamondLikeConfig {
@@ -64,6 +67,7 @@ impl Default for DiamondLikeConfig {
             gaps: GapPenalties::pastis_defaults(),
             ani_threshold: 0.30,
             coverage_threshold: 0.70,
+            align_threads: 1,
         }
     }
 }
@@ -101,7 +105,10 @@ const INTERMEDIATE_BYTES: u64 = 12;
 
 /// Run the many-against-many search with the work-package architecture.
 pub fn run_diamond_like(store: &SeqStore, cfg: &DiamondLikeConfig) -> DiamondLikeReport {
-    assert!(cfg.query_chunks > 0 && cfg.ref_chunks > 0, "chunk counts must be positive");
+    assert!(
+        cfg.query_chunks > 0 && cfg.ref_chunks > 0,
+        "chunk counts must be positive"
+    );
     let start = Instant::now();
     let n = store.len();
     let qdist = BlockDist1D::new(n, cfg.query_chunks.min(n.max(1)));
@@ -114,11 +121,16 @@ pub fn run_diamond_like(store: &SeqStore, cfg: &DiamondLikeConfig) -> DiamondLik
     let mut spill: Vec<Vec<Intermediate>> = (0..qdist.parts).map(|_| Vec::new()).collect();
 
     // --- Package phase: every (query chunk, ref chunk) pair.
-    for qc in 0..qdist.parts {
-        let (q0, q1) = (qdist.part_offset(qc), qdist.part_offset(qc) + qdist.part_len(qc));
+    for (qc, spill_qc) in spill.iter_mut().enumerate() {
+        let (q0, q1) = (
+            qdist.part_offset(qc),
+            qdist.part_offset(qc) + qdist.part_len(qc),
+        );
         for rc in 0..rdist.parts {
-            let (r0, r1) =
-                (rdist.part_offset(rc), rdist.part_offset(rc) + rdist.part_len(rc));
+            let (r0, r1) = (
+                rdist.part_offset(rc),
+                rdist.part_offset(rc) + rdist.part_len(rc),
+            );
             // Index the reference chunk.
             let mut index: HashMap<u32, Vec<u32>> = HashMap::new();
             for t in r0..r1 {
@@ -154,7 +166,7 @@ pub fn run_diamond_like(store: &SeqStore, cfg: &DiamondLikeConfig) -> DiamondLik
                     cands.truncate(cfg.max_candidates_per_query);
                 }
                 for (t, shared) in cands {
-                    spill[qc].push(Intermediate {
+                    spill_qc.push(Intermediate {
                         query: q as u32,
                         target: t,
                         shared,
@@ -188,23 +200,32 @@ pub fn run_diamond_like(store: &SeqStore, cfg: &DiamondLikeConfig) -> DiamondLik
         }
         let mut pairs: Vec<((u32, u32), u32)> = merged.into_iter().collect();
         pairs.sort_unstable();
-        for ((i, j), shared) in pairs {
-            // Each unordered pair may surface in up to two query chunks;
-            // the canonical owner (the chunk of the smaller id) aligns it.
-            if qdist.owner(i as usize) != chunk_idx {
-                continue;
-            }
-            let (qs, rs) = (store.seq(i as usize), store.seq(j as usize));
-            let res = aligner.align_pair(qs, rs);
-            aligned_pairs += 1;
-            if filter.passes(&res, qs.len(), rs.len()) {
+        // Each unordered pair may surface in up to two query chunks; the
+        // canonical owner (the chunk of the smaller id) aligns it. Rescore
+        // the chunk's surviving pairs as one batch on the worker pool.
+        pairs.retain(|&((i, _), _)| qdist.owner(i as usize) == chunk_idx);
+        let tasks: Vec<AlignTask> = pairs
+            .iter()
+            .map(|&((i, j), _)| AlignTask {
+                query: i,
+                reference: j,
+                seed_q: 0,
+                seed_r: 0,
+            })
+            .collect();
+        let (results, _stats) =
+            aligner.run_batch_parallel(&tasks, |id| store.seq(id as usize), cfg.align_threads);
+        aligned_pairs += tasks.len() as u64;
+        for (((i, j), shared), res) in pairs.iter().zip(&results) {
+            let (qs, rs) = (store.seq(*i as usize), store.seq(*j as usize));
+            if filter.passes(res, qs.len(), rs.len()) {
                 graph.add(SimilarityEdge {
-                    i,
-                    j,
+                    i: *i,
+                    j: *j,
                     score: res.score,
                     ani: res.identity() as f32,
                     coverage: res.coverage_min(qs.len(), rs.len()) as f32,
-                    common_kmers: shared,
+                    common_kmers: *shared,
                 });
             }
         }
@@ -220,7 +241,6 @@ pub fn run_diamond_like(store: &SeqStore, cfg: &DiamondLikeConfig) -> DiamondLik
         wall_seconds: start.elapsed().as_secs_f64(),
     }
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -318,10 +338,41 @@ mod tests {
     }
 
     #[test]
+    fn align_thread_count_does_not_change_results() {
+        let store = tiny_store();
+        let base = run_diamond_like(&store, &cfg());
+        for threads in [2usize, 4, 0] {
+            let r = run_diamond_like(
+                &store,
+                &DiamondLikeConfig {
+                    align_threads: threads,
+                    ..cfg()
+                },
+            );
+            assert_eq!(r.graph.edges(), base.graph.edges(), "threads={threads}");
+            assert_eq!(r.aligned_pairs, base.aligned_pairs);
+        }
+    }
+
+    #[test]
     fn spill_grows_with_ref_chunks() {
         let store = tiny_store();
-        let few = run_diamond_like(&store, &DiamondLikeConfig { ref_chunks: 1, query_chunks: 1, ..cfg() });
-        let many = run_diamond_like(&store, &DiamondLikeConfig { ref_chunks: 5, query_chunks: 5, ..cfg() });
+        let few = run_diamond_like(
+            &store,
+            &DiamondLikeConfig {
+                ref_chunks: 1,
+                query_chunks: 1,
+                ..cfg()
+            },
+        );
+        let many = run_diamond_like(
+            &store,
+            &DiamondLikeConfig {
+                ref_chunks: 5,
+                query_chunks: 5,
+                ..cfg()
+            },
+        );
         // Same candidates, same spill per candidate — but the join sees
         // duplicates across packages only when pairs straddle chunks, so
         // spill is at least as large.

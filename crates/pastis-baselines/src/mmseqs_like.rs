@@ -12,7 +12,7 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
-use pastis_align::batch::BatchAligner;
+use pastis_align::batch::{AlignTask, BatchAligner};
 use pastis_align::matrices::Blosum62;
 use pastis_align::sw::GapPenalties;
 use pastis_comm::grid::BlockDist1D;
@@ -48,6 +48,9 @@ pub struct MmseqsLikeConfig {
     pub coverage_threshold: f64,
     /// Split mode.
     pub mode: SplitMode,
+    /// Intra-rank alignment worker threads (1 = serial on the calling
+    /// thread, 0 = one per core). Results are identical for every value.
+    pub align_threads: usize,
 }
 
 impl Default for MmseqsLikeConfig {
@@ -60,6 +63,7 @@ impl Default for MmseqsLikeConfig {
             ani_threshold: 0.30,
             coverage_threshold: 0.70,
             mode: SplitMode::TargetSplit,
+            align_threads: 1,
         }
     }
 }
@@ -89,7 +93,11 @@ struct KmerIndex {
 }
 
 impl KmerIndex {
-    fn build(store: &SeqStore, ids: impl Iterator<Item = usize>, cfg: &MmseqsLikeConfig) -> KmerIndex {
+    fn build(
+        store: &SeqStore,
+        ids: impl Iterator<Item = usize>,
+        cfg: &MmseqsLikeConfig,
+    ) -> KmerIndex {
         let mut map: HashMap<u32, Vec<(u32, u32)>> = HashMap::new();
         let mut postings = 0u64;
         for id in ids {
@@ -136,14 +144,8 @@ pub fn run_mmseqs_like(
         // set and scans its chunk. Either way one side of the pairing is
         // all `n` sequences; the replicated structure differs.
         let (index, scan): (KmerIndex, Box<dyn Iterator<Item = usize>>) = match cfg.mode {
-            SplitMode::TargetSplit => (
-                KmerIndex::build(store, c0..c1, cfg),
-                Box::new(0..n),
-            ),
-            SplitMode::QuerySplit => (
-                KmerIndex::build(store, 0..n, cfg),
-                Box::new(c0..c1),
-            ),
+            SplitMode::TargetSplit => (KmerIndex::build(store, c0..c1, cfg), Box::new(0..n)),
+            SplitMode::QuerySplit => (KmerIndex::build(store, 0..n, cfg), Box::new(c0..c1)),
         };
         // The replicated payload per rank: in target-split the full
         // *query set* (here: all sequences) is replicated; its index is
@@ -161,6 +163,12 @@ pub fn run_mmseqs_like(
             SplitMode::QuerySplit => replicated_bytes + store.total_residues() as u64,
         });
 
+        // Prefilter the whole rank first, then rescore the surviving
+        // pairs as one batch on the worker pool — MMseqs2's own
+        // prefilter/alignment phase split, which is what lets the
+        // alignment phase parallelize freely.
+        let mut tasks: Vec<AlignTask> = Vec::new();
+        let mut shared_counts: Vec<u32> = Vec::new();
         for q in scan {
             // Count shared k-mers per target via the index.
             let mut hits: HashMap<u32, u32> = HashMap::new();
@@ -173,9 +181,7 @@ pub fn run_mmseqs_like(
             }
             let mut targets: Vec<(u32, u32)> = hits
                 .into_iter()
-                .filter(|&(t, shared)| {
-                    (t as usize) != q && shared >= cfg.min_shared_kmers
-                })
+                .filter(|&(t, shared)| (t as usize) != q && shared >= cfg.min_shared_kmers)
                 .collect();
             targets.sort_unstable();
             prefilter_candidates += targets.len() as u64;
@@ -184,21 +190,31 @@ pub fn run_mmseqs_like(
                 // target-split, by exactly one rank per side); align only
                 // the canonical orientation to mirror PASTIS accounting.
                 if (q as u32) < t {
-                    let qs = store.seq(q);
-                    let rs = store.seq(t as usize);
-                    let res = aligner.align_pair(qs, rs);
-                    aligned_pairs += 1;
-                    if filter.passes(&res, qs.len(), rs.len()) {
-                        graph.add(SimilarityEdge {
-                            i: q as u32,
-                            j: t,
-                            score: res.score,
-                            ani: res.identity() as f32,
-                            coverage: res.coverage_min(qs.len(), rs.len()) as f32,
-                            common_kmers: shared,
-                        });
-                    }
+                    tasks.push(AlignTask {
+                        query: q as u32,
+                        reference: t,
+                        seed_q: 0,
+                        seed_r: 0,
+                    });
+                    shared_counts.push(shared);
                 }
+            }
+        }
+        let (results, _stats) =
+            aligner.run_batch_parallel(&tasks, |id| store.seq(id as usize), cfg.align_threads);
+        aligned_pairs += tasks.len() as u64;
+        for ((task, res), &shared) in tasks.iter().zip(&results).zip(&shared_counts) {
+            let qs = store.seq(task.query as usize);
+            let rs = store.seq(task.reference as usize);
+            if filter.passes(res, qs.len(), rs.len()) {
+                graph.add(SimilarityEdge {
+                    i: task.query,
+                    j: task.reference,
+                    score: res.score,
+                    ani: res.identity() as f32,
+                    coverage: res.coverage_min(qs.len(), rs.len()) as f32,
+                    common_kmers: shared,
+                });
             }
         }
     }
@@ -287,6 +303,24 @@ mod tests {
         let q1 = run_mmseqs_like(&store, &qcfg, 1);
         let q8 = run_mmseqs_like(&store, &qcfg, 8);
         assert_eq!(q8.index_bytes_per_rank, q1.index_bytes_per_rank);
+    }
+
+    #[test]
+    fn align_thread_count_does_not_change_results() {
+        let store = tiny_store();
+        let base = run_mmseqs_like(&store, &cfg(), 2);
+        for threads in [2usize, 4, 0] {
+            let r = run_mmseqs_like(
+                &store,
+                &MmseqsLikeConfig {
+                    align_threads: threads,
+                    ..cfg()
+                },
+                2,
+            );
+            assert_eq!(r.graph.edges(), base.graph.edges(), "threads={threads}");
+            assert_eq!(r.aligned_pairs, base.aligned_pairs);
+        }
     }
 
     #[test]

@@ -1,11 +1,15 @@
 //! Criterion benches for the alignment kernels: full Smith–Waterman
-//! throughput (CUPS) by sequence length, traceback overhead, and the
-//! banded/x-drop variants.
+//! throughput (CUPS) by sequence length, traceback overhead, the
+//! banded/x-drop variants, and the batch engine — serial driver vs the
+//! worker pool vs multilane dispatch over synthetic length distributions.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pastis_align::banded::{sw_banded, sw_xdrop};
+use pastis_align::batch::{AlignTask, BatchAligner};
 use pastis_align::matrices::Blosum62;
+use pastis_align::parallel::AlignPool;
 use pastis_align::sw::{sw_align, sw_score_only, GapPenalties};
+use pastis_seqio::{SyntheticConfig, SyntheticDataset};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -62,5 +66,112 @@ fn bench_bounded_kernels(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sw_by_length, bench_bounded_kernels);
+/// A batch of tasks over a synthetic protein dataset with the given mean
+/// length (family structure gives the realistic ragged distribution the
+/// length-bucketing packer is designed for).
+fn synth_batch(mean_len: f64, n_pairs: usize) -> (Vec<Vec<u8>>, Vec<AlignTask>) {
+    let ds = SyntheticDataset::generate(&SyntheticConfig {
+        mean_len,
+        ..SyntheticConfig::small(200, 99)
+    });
+    let seqs: Vec<Vec<u8>> = (0..ds.store.len())
+        .map(|i| ds.store.seq(i).to_vec())
+        .collect();
+    let mut rng = StdRng::seed_from_u64(7);
+    let tasks = (0..n_pairs)
+        .map(|_| AlignTask {
+            query: rng.gen_range(0..seqs.len() as u32),
+            reference: rng.gen_range(0..seqs.len() as u32),
+            seed_q: 0,
+            seed_r: 0,
+        })
+        .collect();
+    (seqs, tasks)
+}
+
+/// Serial driver vs the worker pool at 2/4 threads, traceback kernel:
+/// the acceptance target is ≥2× CUPs at 4 threads over serial scalar on
+/// ≥1000 pairs.
+fn bench_batch_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_parallel");
+    group.sample_size(10);
+    let gaps = GapPenalties::pastis_defaults();
+    let aligner = BatchAligner::new(Blosum62, gaps);
+    for &mean_len in &[60.0f64, 150.0] {
+        let (seqs, tasks) = synth_batch(mean_len, 1000);
+        let cells = BatchAligner::<Blosum62>::batch_cells(&tasks, |id| seqs[id as usize].len());
+        group.throughput(Throughput::Elements(cells));
+        group.bench_with_input(
+            BenchmarkId::new("serial", mean_len as usize),
+            &mean_len,
+            |b, _| b.iter(|| aligner.run_batch(&tasks, |id| &seqs[id as usize])),
+        );
+        for &t in &[2usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("pool_t{t}"), mean_len as usize),
+                &mean_len,
+                |b, _| b.iter(|| aligner.run_batch_parallel(&tasks, |id| &seqs[id as usize], t)),
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Scalar score-only vs multilane dispatch (single-threaded, isolating the
+/// lane packing win) vs multilane on the pool (both levels composed).
+fn bench_batch_multilane(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_multilane");
+    group.sample_size(10);
+    let gaps = GapPenalties::pastis_defaults();
+    for &mean_len in &[60.0f64, 150.0] {
+        let (seqs, tasks) = synth_batch(mean_len, 1000);
+        let cells = BatchAligner::<Blosum62>::batch_cells(&tasks, |id| seqs[id as usize].len());
+        group.throughput(Throughput::Elements(cells));
+        group.bench_with_input(
+            BenchmarkId::new("scalar_score_only", mean_len as usize),
+            &mean_len,
+            |b, _| {
+                b.iter(|| {
+                    tasks
+                        .iter()
+                        .map(|t| {
+                            sw_score_only(
+                                &seqs[t.query as usize],
+                                &seqs[t.reference as usize],
+                                &Blosum62,
+                                gaps,
+                            )
+                            .0
+                        })
+                        .sum::<i32>()
+                })
+            },
+        );
+        for &t in &[1usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("multilane_t{t}"), mean_len as usize),
+                &mean_len,
+                |b, _| {
+                    b.iter(|| {
+                        AlignPool::new(t).run_score_only(
+                            &tasks,
+                            |id| &seqs[id as usize],
+                            &Blosum62,
+                            gaps,
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sw_by_length,
+    bench_bounded_kernels,
+    bench_batch_parallel,
+    bench_batch_multilane
+);
 criterion_main!(benches);

@@ -75,10 +75,7 @@ fn main() {
     );
     println!(
         "{:<28} {:>20} {:>20} {:>20}",
-        "pairs aligned",
-        pastis.stats.aligned_pairs,
-        mm.aligned_pairs,
-        dm.aligned_pairs
+        "pairs aligned", pastis.stats.aligned_pairs, mm.aligned_pairs, dm.aligned_pairs
     );
     println!(
         "{:<28} {:>20} {:>20} {:>20}",
@@ -90,7 +87,10 @@ fn main() {
     println!(
         "{:<28} {:>20} {:>20} {:>20}",
         "alignments/second",
-        format!("{:.0}", pastis.stats.aligned_pairs as f64 / pastis.wall_seconds),
+        format!(
+            "{:.0}",
+            pastis.stats.aligned_pairs as f64 / pastis.wall_seconds
+        ),
         format!("{:.0}", mm.aligned_pairs as f64 / mm.wall_seconds),
         format!("{:.0}", dm.aligned_pairs as f64 / dm.wall_seconds)
     );

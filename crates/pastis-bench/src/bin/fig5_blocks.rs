@@ -25,14 +25,8 @@ fn main() {
         .with_blocking(1, 1)
         .with_load_balance(LoadBalance::IndexBased);
     let nodes = 25;
-    let machine = calibrated_summit_anchored(
-        &ds.store,
-        &params_ref,
-        nodes,
-        600.0,
-        2.0,
-        Some((50, 1.42)),
-    );
+    let machine =
+        calibrated_summit_anchored(&ds.store, &params_ref, nodes, 600.0, 2.0, Some((50, 1.42)));
 
     println!("Figure 5: component runtime vs number of blocks");
     println!(

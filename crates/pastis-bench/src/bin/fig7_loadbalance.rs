@@ -30,18 +30,15 @@ fn main() {
     let ds = bench_dataset(12_000);
     let nodes = 64;
     let params_ref = bench_params().with_blocking(1, 1);
-    let machine = calibrated_summit_anchored(
-        &ds.store,
-        &params_ref,
-        nodes,
-        600.0,
-        2.0,
-        Some((30, 1.35)),
-    );
+    let machine =
+        calibrated_summit_anchored(&ds.store, &params_ref, nodes, 600.0, 2.0, Some((30, 1.35)));
     let blocks = [1usize, 5, 10, 15, 20, 25, 30];
     let schemes = [LoadBalance::IndexBased, LoadBalance::Triangular];
 
-    println!("Figure 7: load-balancing schemes on {nodes} processes ({} seqs)", ds.store.len());
+    println!(
+        "Figure 7: load-balancing schemes on {nodes} processes ({} seqs)",
+        ds.store.len()
+    );
 
     // Simulate each (blocks, scheme) configuration once; all four panels
     // read from the same reports.
@@ -52,8 +49,9 @@ fn main() {
             schemes
                 .iter()
                 .map(|&scheme| {
-                    let params =
-                        bench_params().with_blocking(br, bc).with_load_balance(scheme);
+                    let params = bench_params()
+                        .with_blocking(br, bc)
+                        .with_load_balance(scheme);
                     simulate(&ds.store, &params, &scale_config(&machine, nodes))
                 })
                 .collect()
@@ -74,8 +72,7 @@ fn main() {
         rule(100);
         for (bi, &b) in blocks.iter().enumerate() {
             let mut cells = Vec::new();
-            for si in 0..schemes.len() {
-                let r = &reports[bi][si];
+            for r in reports[bi].iter().take(schemes.len()) {
                 let s = match panel {
                     "7a" => r.pairs_imbalance,
                     "7b" => r.cells_imbalance,

@@ -54,9 +54,7 @@ fn main() {
             let r = simulate(&ds.store, &params, &scale_config(&machine, nodes));
             let total = r.total_with_pb;
             let (t0, a0, s0) = *base.get_or_insert((total, r.align_s, r.sparse_s));
-            let eff = |t0: f64, t: f64| {
-                100.0 * (t0 * base_nodes as f64) / (t * nodes as f64)
-            };
+            let eff = |t0: f64, t: f64| 100.0 * (t0 * base_nodes as f64) / (t * nodes as f64);
             println!(
                 "{:>6} | {:>10.1} {:>7.1} | {:>10.1} {:>7.1} | {:>10.1} {:>7.1} | {:>9.2} {:>9.3} | {:>12}",
                 nodes,

@@ -55,7 +55,15 @@ fn main() {
     rule(110);
     println!(
         "{:>6} {:>7} | {:>13} | {:>10} {:>7} | {:>10} {:>10} {:>9} | {:>8}",
-        "nodes", "#seqs", "#aligns", "total(s)", "eff%", "align(s)", "sparse(s)", "io(s)", "cwait(s)"
+        "nodes",
+        "#seqs",
+        "#aligns",
+        "total(s)",
+        "eff%",
+        "align(s)",
+        "sparse(s)",
+        "io(s)",
+        "cwait(s)"
     );
     rule(110);
     let mut base_total: Option<f64> = None;

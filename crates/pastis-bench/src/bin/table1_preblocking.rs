@@ -24,14 +24,8 @@ fn main() {
     // (index-based, 10 blocks): align:sparse ≈ 627:582 ≈ 1.08, and sparse
     // nearly flat from 10 to 50 blocks (582 → 596, ×1.024).
     let reference = bench_params().with_blocking(5, 2);
-    let machine = calibrated_summit_anchored(
-        &ds.store,
-        &reference,
-        nodes,
-        600.0,
-        1.08,
-        Some((50, 1.024)),
-    );
+    let machine =
+        calibrated_summit_anchored(&ds.store, &reference, nodes, 600.0, 1.08, Some((50, 1.024)));
 
     println!(
         "Table I: pre-blocking effect ({} seqs, {} virtual nodes)",
@@ -69,7 +63,9 @@ fn main() {
         };
         for blocks in [10usize, 20, 30, 40, 50] {
             let (br, bc) = factor_blocks(blocks);
-            let params = bench_params().with_blocking(br, bc).with_load_balance(scheme);
+            let params = bench_params()
+                .with_blocking(br, bc)
+                .with_load_balance(scheme);
             let r = simulate(&ds.store, &params, &scale_config(&machine, nodes));
             // Columns as in the paper: align/sparse/sum/total without,
             // then with pre-blocking ("sum" w/ = obtained overlapped

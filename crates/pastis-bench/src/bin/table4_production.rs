@@ -29,7 +29,9 @@ fn main() {
         .with_pre_blocking(true);
     let machine = calibrated_summit_anchored(
         &ds.store,
-        &bench_params().with_blocking(20, 20).with_load_balance(LoadBalance::Triangular),
+        &bench_params()
+            .with_blocking(20, 20)
+            .with_load_balance(LoadBalance::Triangular),
         nodes,
         // Align target: the paper's 2.62 h is the *contended* component
         // (pre-blocking on, ×1.13); the uncontended target is 2.32 h.
@@ -48,7 +50,11 @@ fn main() {
     row("system", "virtual Summit".into(), "Summit at OLCF");
     row("nodes", nodes.to_string(), "3364");
     row("process grid", "58 x 58".into(), "58 x 58");
-    row("input sequences", fmt_count(ds.store.len() as u64), "404,999,880");
+    row(
+        "input sequences",
+        fmt_count(ds.store.len() as u64),
+        "404,999,880",
+    );
     row("blocking factor", "20 x 20".into(), "20 x 20");
     row("load balancing", "triangularity".into(), "triangularity");
     row("pre-blocking", "enabled".into(), "enabled");
@@ -77,11 +83,7 @@ fn main() {
         "1.05T (12.3%)",
     );
     let n = ds.store.len() as f64;
-    row(
-        "search space",
-        format!("{:.1e}", n * n),
-        "1.6e17",
-    );
+    row("search space", format!("{:.1e}", n * n), "1.6e17");
     row(
         "alignment space",
         format!("{:.1e}", r.aligned_pairs as f64 / (n * n)),
@@ -94,7 +96,11 @@ fn main() {
         format!("{:.3e}", r.alignments_per_sec()),
         "6.906e8",
     );
-    row("cell updates per second", format!("{:.3e}", r.cups()), "1.763e14 (peak)");
+    row(
+        "cell updates per second",
+        format!("{:.3e}", r.cups()),
+        "1.763e14 (peak)",
+    );
     rule(84);
     row("align", fmt_secs(r.align_pb_s), "2.62 h");
     row("sparse (all)", fmt_secs(r.sparse_pb_s), "2.22 h");

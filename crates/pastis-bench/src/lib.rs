@@ -77,7 +77,14 @@ pub fn calibrated_summit(
     target_align_s: f64,
     align_sparse_ratio: f64,
 ) -> MachineModel {
-    calibrated_summit_anchored(store, params, nodes, target_align_s, align_sparse_ratio, None)
+    calibrated_summit_anchored(
+        store,
+        params,
+        nodes,
+        target_align_s,
+        align_sparse_ratio,
+        None,
+    )
 }
 
 /// [`calibrated_summit`] plus an optional third anchor: choose the
@@ -104,6 +111,7 @@ pub fn calibrated_summit_anchored(
                 contention: Default::default(),
                 sample_pairs: 0,
                 fidelity: pastis_core::perfmodel::TimeFidelity::Structural,
+                align_threads: 1,
             },
         )
     };
@@ -159,6 +167,7 @@ pub fn scale_config(machine: &MachineModel, nodes: usize) -> ScaleConfig {
         contention: Default::default(),
         sample_pairs: 200,
         fidelity: pastis_core::perfmodel::TimeFidelity::Structural,
+        align_threads: 1,
     }
 }
 

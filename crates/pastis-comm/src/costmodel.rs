@@ -138,6 +138,11 @@ pub struct MachineModel {
     /// Fixed driver/packing overhead per alignment, seconds (host-side
     /// batching, transfers; amortized per pair).
     pub align_overhead_per_pair: f64,
+    /// Parallel efficiency of each *additional* intra-rank alignment
+    /// worker (the ADEPT-driver-analog pool): `t` workers deliver a
+    /// `1 + (t-1)·e` speedup. Below 1 because workers share memory
+    /// bandwidth and pay chunk-claim synchronization.
+    pub align_pool_efficiency: f64,
     /// Fixed per-batch overhead, seconds: kernel launches, packing and
     /// device round-trips paid once per alignment batch (one batch per
     /// output block per node). Smaller batches utilize the GPUs worse —
@@ -191,6 +196,7 @@ impl MachineModel {
             gpus_per_node: 6,
             gcups_per_gpu: 8.7,
             align_overhead_per_pair: 2.0e-7,
+            align_pool_efficiency: 0.85,
             align_batch_overhead_s: 2.0,
             spgemm_products_per_sec: 2.0e8,
             merge_nnz_per_sec: 6.0e8,
@@ -216,6 +222,7 @@ impl MachineModel {
             gpus_per_node: 0,
             gcups_per_gpu: 0.0,
             align_overhead_per_pair: 5.0e-7,
+            align_pool_efficiency: 0.80,
             align_batch_overhead_s: 2.0,
             spgemm_products_per_sec: 1.0e8,
             merge_nnz_per_sec: 3.0e8,
@@ -273,6 +280,25 @@ impl MachineModel {
     /// updates across `pairs` pairwise alignments.
     pub fn align_time(&self, cells: f64, pairs: f64) -> f64 {
         cells / self.node_cups() + pairs * self.align_overhead_per_pair
+    }
+
+    /// Speedup of the intra-rank alignment pool at `threads` workers
+    /// (0 ⇒ one worker per core): `1 + (t-1)·align_pool_efficiency`.
+    pub fn align_speedup(&self, threads: usize) -> f64 {
+        let t = if threads == 0 {
+            self.cores_per_node
+        } else {
+            threads
+        };
+        1.0 + t.saturating_sub(1) as f64 * self.align_pool_efficiency
+    }
+
+    /// [`align_time`](MachineModel::align_time) with the batch executed on
+    /// an intra-rank pool of `threads` workers. The driver overhead
+    /// parallelizes with the kernel: chunks are claimed and packed by the
+    /// worker that runs them.
+    pub fn align_time_parallel(&self, cells: f64, pairs: f64, threads: usize) -> f64 {
+        self.align_time(cells, pairs) / self.align_speedup(threads)
     }
 
     /// Modeled time for one node to execute a local SpGEMM performing
@@ -389,6 +415,21 @@ mod tests {
         let kernel_only = s.align_time(1.0e9, 0.0);
         let with_pairs = s.align_time(1.0e9, 1.0e6);
         assert!(with_pairs > kernel_only);
+    }
+
+    #[test]
+    fn align_pool_speedup_is_affine_in_workers() {
+        let s = MachineModel::summit();
+        assert_eq!(s.align_speedup(1), 1.0);
+        assert!((s.align_speedup(4) - (1.0 + 3.0 * 0.85)).abs() < 1e-12);
+        // 0 means one worker per core.
+        assert_eq!(s.align_speedup(0), s.align_speedup(s.cores_per_node));
+        // One worker is exactly the serial model.
+        assert_eq!(s.align_time_parallel(1e9, 1e5, 1), s.align_time(1e9, 1e5));
+        // t workers divide the serial time by the speedup.
+        let serial = s.align_time(1e9, 1e5);
+        let t8 = s.align_time_parallel(1e9, 1e5, 8);
+        assert!((t8 - serial / s.align_speedup(8)).abs() < 1e-12);
     }
 
     #[test]

@@ -97,15 +97,14 @@ impl BlockDist1D {
         let extra = self.n % self.parts;
         let boundary = extra * (base + 1);
         if i < boundary {
-            if base + 1 == 0 {
-                unreachable!()
-            }
             i / (base + 1)
-        } else if base == 0 {
-            // More parts than items: items all live below `boundary`.
-            unreachable!("index {i} beyond distributed range")
         } else {
-            extra + (i - boundary) / base
+            // base == 0 means more parts than items, so every valid index
+            // lives below `boundary` and the division is well-defined.
+            match (i - boundary).checked_div(base) {
+                Some(q) => extra + q,
+                None => unreachable!("index {i} beyond distributed range"),
+            }
         }
     }
 
@@ -191,8 +190,14 @@ mod tests {
 
     #[test]
     fn square_shapes() {
-        assert_eq!(GridShape::square(1).unwrap(), GridShape { rows: 1, cols: 1 });
-        assert_eq!(GridShape::square(9).unwrap(), GridShape { rows: 3, cols: 3 });
+        assert_eq!(
+            GridShape::square(1).unwrap(),
+            GridShape { rows: 1, cols: 1 }
+        );
+        assert_eq!(
+            GridShape::square(9).unwrap(),
+            GridShape { rows: 3, cols: 3 }
+        );
         assert!(GridShape::square(8).is_err());
         assert!(GridShape::square(0).is_err());
     }

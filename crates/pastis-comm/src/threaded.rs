@@ -21,6 +21,8 @@ use parking_lot::Mutex;
 use crate::communicator::{CommStats, CommStatsSnapshot, Communicator, Payload};
 
 type Slot = Option<Box<dyn Any + Send + Sync>>;
+/// One rank's p2p inboxes, indexed by source rank.
+type MailboxRow = Vec<Receiver<Box<dyn Any + Send>>>;
 
 /// State shared by all ranks of one (sub-)communicator.
 struct Core {
@@ -29,7 +31,7 @@ struct Core {
     /// Exchange board: one deposit slot per rank.
     board: Mutex<Vec<Slot>>,
     /// p2p mailboxes: `receivers[dst][src]`, taken once by rank `dst`.
-    pending_receivers: Mutex<Vec<Option<Vec<Receiver<Box<dyn Any + Send>>>>>>,
+    pending_receivers: Mutex<Vec<Option<MailboxRow>>>,
     /// p2p senders: `senders[src][dst]`.
     senders: Vec<Vec<Sender<Box<dyn Any + Send>>>>,
 }
@@ -38,15 +40,13 @@ impl Core {
     fn new(size: usize) -> Arc<Self> {
         assert!(size > 0, "communicator must have at least one rank");
         let mut senders: Vec<Vec<Sender<Box<dyn Any + Send>>>> = Vec::with_capacity(size);
-        let mut receivers: Vec<Vec<Receiver<Box<dyn Any + Send>>>> = (0..size)
-            .map(|_| Vec::with_capacity(size))
-            .collect();
+        let mut receivers: Vec<MailboxRow> = (0..size).map(|_| Vec::with_capacity(size)).collect();
         for _src in 0..size {
             let mut row = Vec::with_capacity(size);
-            for dst in 0..size {
+            for inbox in receivers.iter_mut() {
                 let (tx, rx) = unbounded();
                 row.push(tx);
-                receivers[dst].push(rx);
+                inbox.push(rx);
             }
             senders.push(row);
         }
@@ -148,7 +148,9 @@ impl Communicator for ThreadedComm {
         } else {
             None
         };
-        self.exchange(deposit, |board| downcast_clone::<T>(&board[root], "broadcast"))
+        self.exchange(deposit, |board| {
+            downcast_clone::<T>(&board[root], "broadcast")
+        })
     }
 
     fn all_gather<T: Payload>(&self, value: T) -> Vec<T> {
@@ -245,8 +247,9 @@ impl Communicator for ThreadedComm {
         } else {
             None
         };
-        let new_core =
-            self.exchange(deposit, |board| downcast_clone::<Arc<Core>>(&board[leader], "split"));
+        let new_core = self.exchange(deposit, |board| {
+            downcast_clone::<Arc<Core>>(&board[leader], "split")
+        });
         ThreadedComm::attach(my_new_rank, new_core)
     }
 

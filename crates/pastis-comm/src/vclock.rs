@@ -307,7 +307,11 @@ mod tests {
 
     #[test]
     fn barrier_lifts_all_clocks_to_max() {
-        let mut clocks = vec![VirtualClock::new(), VirtualClock::new(), VirtualClock::new()];
+        let mut clocks = vec![
+            VirtualClock::new(),
+            VirtualClock::new(),
+            VirtualClock::new(),
+        ];
         clocks[0].advance(Component::Align, 1.0);
         clocks[1].advance(Component::Align, 4.0);
         clocks[2].advance(Component::Align, 2.0);

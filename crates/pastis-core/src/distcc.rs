@@ -24,10 +24,7 @@ use crate::simgraph::SimilarityGraph;
 /// [`SimilarityGraph::connected_components`] exactly (tested).
 ///
 /// Collective over `comm`.
-pub fn distributed_components<C: Communicator>(
-    comm: &C,
-    graph: &SimilarityGraph,
-) -> Vec<u32> {
+pub fn distributed_components<C: Communicator>(comm: &C, graph: &SimilarityGraph) -> Vec<u32> {
     let n_local = graph.n_vertices() as u64;
     // All ranks must agree on the vertex-set size.
     let n = comm.all_reduce(&[n_local], ReduceOp::Max)[0] as usize;
@@ -63,8 +60,7 @@ pub fn distributed_components<C: Communicator>(
         // 3. Combine across ranks and test convergence.
         labels = comm.all_reduce(&labels, ReduceOp::Min);
         let changed = labels != before;
-        let any_changed =
-            comm.all_reduce(&[u64::from(changed)], ReduceOp::Max)[0] == 1;
+        let any_changed = comm.all_reduce(&[u64::from(changed)], ReduceOp::Max)[0] == 1;
         if !any_changed {
             break;
         }
@@ -194,11 +190,8 @@ mod tests {
             seed: 21,
             ..SyntheticConfig::small(40, 21)
         });
-        let serial = crate::pipeline::run_search_serial(
-            &ds.store,
-            &SearchParams::test_defaults(),
-        )
-        .unwrap();
+        let serial =
+            crate::pipeline::run_search_serial(&ds.store, &SearchParams::test_defaults()).unwrap();
         let want = serial.graph.connected_components();
         let store = ds.store.clone();
         let out = run_threaded(4, move |c| {

@@ -26,15 +26,70 @@ pub fn kmer_id(seq: &[u8], pos: usize, k: usize, alphabet: ReducedAlphabet) -> O
     Some(id as u32)
 }
 
+/// Rolling base-Σ k-mer encoder: yields `(kmer_id, position)` for every
+/// window of `seq` in O(1) amortized per window instead of [`kmer_id`]'s
+/// O(k) — the outgoing high digit is dropped with one modulo and the
+/// incoming residue appended: `id' = (id mod Σ^(k-1))·Σ + c_new`. Ids are
+/// identical to the windowed [`kmer_id`], which stays as the reference
+/// implementation (and the random-access path for stored positions).
+pub struct RollingKmers<'a> {
+    seq: &'a [u8],
+    k: usize,
+    base: u64,
+    /// Place value of the leading digit, `Σ^(k-1)`.
+    msd: u64,
+    alphabet: ReducedAlphabet,
+    id: u64,
+    pos: usize,
+    primed: bool,
+}
+
+/// Iterate `(kmer_id, position)` over every window of `seq` with the
+/// rolling encoder. Empty if `k == 0` or the sequence is shorter than `k`.
+pub fn rolling_kmers(seq: &[u8], k: usize, alphabet: ReducedAlphabet) -> RollingKmers<'_> {
+    let base = alphabet.size() as u64;
+    RollingKmers {
+        seq,
+        k,
+        base,
+        msd: base.pow(k.saturating_sub(1) as u32),
+        alphabet,
+        id: 0,
+        pos: 0,
+        primed: false,
+    }
+}
+
+impl Iterator for RollingKmers<'_> {
+    type Item = (u32, u32);
+
+    fn next(&mut self) -> Option<(u32, u32)> {
+        if self.k == 0 || self.pos + self.k > self.seq.len() {
+            return None;
+        }
+        if self.primed {
+            let incoming = self.alphabet.reduce(self.seq[self.pos + self.k - 1]) as u64;
+            self.id = (self.id % self.msd) * self.base + incoming;
+        } else {
+            self.id = self.seq[..self.k].iter().fold(0u64, |id, &c| {
+                id * self.base + self.alphabet.reduce(c) as u64
+            });
+            self.primed = true;
+        }
+        debug_assert!(self.id <= u32::MAX as u64, "k-mer id overflows u32");
+        let out = (self.id as u32, self.pos as u32);
+        self.pos += 1;
+        Some(out)
+    }
+}
+
 /// Enumerate `(kmer_id, first_position)` for each **distinct** k-mer of a
 /// sequence (first occurrence wins).
 pub fn distinct_kmers(seq: &[u8], k: usize, alphabet: ReducedAlphabet) -> Vec<(u32, u32)> {
     if seq.len() < k || k == 0 {
         return Vec::new();
     }
-    let mut pairs: Vec<(u32, u32)> = (0..=seq.len() - k)
-        .map(|pos| (kmer_id(seq, pos, k, alphabet).expect("in range"), pos as u32))
-        .collect();
+    let mut pairs: Vec<(u32, u32)> = rolling_kmers(seq, k, alphabet).collect();
     // Keep the smallest position per k-mer id.
     pairs.sort_unstable();
     pairs.dedup_by_key(|p| p.0);
@@ -56,7 +111,10 @@ pub fn kmer_matrix_triples(
     k: usize,
     alphabet: ReducedAlphabet,
 ) -> Triples<u32> {
-    assert!(seq_begin <= seq_end && seq_end <= store.len(), "row range out of bounds");
+    assert!(
+        seq_begin <= seq_end && seq_end <= store.len(),
+        "row range out of bounds"
+    );
     let ncols = alphabet.kmer_space(k);
     let mut t = Triples::new(store.len(), ncols);
     for row in seq_begin..seq_end {
@@ -120,6 +178,32 @@ mod tests {
         let seq = encode("AR").unwrap();
         assert!(distinct_kmers(&seq, 3, ReducedAlphabet::Full20).is_empty());
         assert!(distinct_kmers(&[], 3, ReducedAlphabet::Full20).is_empty());
+        assert_eq!(rolling_kmers(&seq, 3, ReducedAlphabet::Full20).count(), 0);
+        assert_eq!(rolling_kmers(&seq, 0, ReducedAlphabet::Full20).count(), 0);
+    }
+
+    #[test]
+    fn rolling_encoder_matches_windowed_reference() {
+        // Every window of a residue-cycling sequence, under every alphabet
+        // (the reduced ones exercise repeated digits in the rolling state).
+        let seq: Vec<u8> = (0..60usize).map(|i| ((i * 7 + 3) % 20) as u8).collect();
+        for alphabet in [
+            ReducedAlphabet::Full20,
+            ReducedAlphabet::Murphy10,
+            ReducedAlphabet::Dayhoff6,
+        ] {
+            for k in [1usize, 2, 3, 6] {
+                let rolled: Vec<(u32, u32)> = rolling_kmers(&seq, k, alphabet).collect();
+                assert_eq!(rolled.len(), seq.len() - k + 1);
+                for &(id, pos) in &rolled {
+                    assert_eq!(
+                        Some(id),
+                        kmer_id(&seq, pos as usize, k, alphabet),
+                        "alphabet {alphabet:?}, k={k}, pos={pos}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

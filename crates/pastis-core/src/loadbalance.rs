@@ -212,13 +212,7 @@ mod tests {
         // Square b×b blocking of a 12×12 matrix: b(b-1)/2 full,
         // b partial (diagonal), b(b-1)/2 avoidable.
         for b in [2usize, 3, 4, 6] {
-            let plan = BlockPlan::new(
-                LoadBalance::Triangular,
-                b,
-                b,
-                ranges(12, b),
-                ranges(12, b),
-            );
+            let plan = BlockPlan::new(LoadBalance::Triangular, b, b, ranges(12, b), ranges(12, b));
             let (full, partial) = plan.class_counts();
             assert_eq!(full, b * (b - 1) / 2, "b={b}");
             assert_eq!(partial, b, "b={b}");
@@ -232,8 +226,14 @@ mod tests {
         // The paper's argument for why triangular imbalance fades with
         // more blocks.
         let count = |b: usize| {
-            BlockPlan::new(LoadBalance::Triangular, b, b, ranges(100, b), ranges(100, b))
-                .class_counts()
+            BlockPlan::new(
+                LoadBalance::Triangular,
+                b,
+                b,
+                ranges(100, b),
+                ranges(100, b),
+            )
+            .class_counts()
         };
         let (f5, p5) = count(5);
         let (f10, p10) = count(10);
@@ -276,11 +276,7 @@ mod tests {
             .copied()
             .find(|t| t.class == BlockClass::Full)
             .unwrap();
-        let m = CsrMatrix::from_triples(Triples::from_entries(
-            2,
-            2,
-            vec![(0, 0, 1u8), (1, 1, 2)],
-        ));
+        let m = CsrMatrix::from_triples(Triples::from_entries(2, 2, vec![(0, 0, 1u8), (1, 1, 2)]));
         // A full block keeps everything regardless of offsets.
         let pruned = plan.prune_local(full_task, &m, 0, 4);
         assert_eq!(pruned, m);

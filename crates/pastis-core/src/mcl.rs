@@ -296,7 +296,7 @@ mod tests {
     fn stochastic_construction_normalizes() {
         let g = two_cliques();
         let m = stochastic_from_graph(&g);
-        let mut colsum = vec![0.0; 6];
+        let mut colsum = [0.0; 6];
         for (_, j, v) in m.iter() {
             colsum[j as usize] += *v;
         }

@@ -19,6 +19,12 @@ pub enum AlignKind {
     /// given half-width. Score-only: candidate edges keep count/score but
     /// ANI/coverage filtering degrades to a score threshold.
     Banded(usize),
+    /// Full-matrix score-only Smith–Waterman, dispatched through the
+    /// multilane lock-step SIMD kernel (ADEPT-style inter-task
+    /// parallelism). Exact scores — equivalent to `Banded(∞)` — at a
+    /// fraction of the scalar kernel's cost; edge filtering degrades to
+    /// the same normalized-score threshold as `Banded`.
+    ScoreOnly,
 }
 
 /// All tunables of one similarity search.
@@ -43,6 +49,11 @@ pub struct SearchParams {
     pub gaps: GapPenalties,
     /// Alignment kernel.
     pub align_kind: AlignKind,
+    /// Worker threads of the intra-rank batch-alignment pool (Section
+    /// IV-D's ADEPT driver analog). `1` aligns on the calling thread;
+    /// `0` uses one worker per available core. The similarity graph is
+    /// bit-identical for every value — only wall time changes.
+    pub align_threads: usize,
     /// Row blocking factor of the Blocked 2D Sparse SUMMA.
     pub block_rows: usize,
     /// Column blocking factor.
@@ -65,6 +76,7 @@ impl Default for SearchParams {
             coverage_threshold: 0.70,
             gaps: GapPenalties::pastis_defaults(),
             align_kind: AlignKind::FullSw,
+            align_threads: 1,
             block_rows: 1,
             block_cols: 1,
             load_balance: LoadBalance::IndexBased,
@@ -102,6 +114,13 @@ impl SearchParams {
     /// Enable/disable pre-blocking, builder style.
     pub fn with_pre_blocking(mut self, on: bool) -> SearchParams {
         self.pre_blocking = on;
+        self
+    }
+
+    /// Set the intra-rank alignment worker count, builder style
+    /// (`0` = one worker per available core).
+    pub fn with_align_threads(mut self, threads: usize) -> SearchParams {
+        self.align_threads = threads;
         self
     }
 
@@ -208,9 +227,19 @@ mod tests {
         let p = SearchParams::default()
             .with_blocking(4, 5)
             .with_load_balance(LoadBalance::Triangular)
-            .with_pre_blocking(true);
+            .with_pre_blocking(true)
+            .with_align_threads(4);
         assert_eq!((p.block_rows, p.block_cols), (4, 5));
         assert_eq!(p.load_balance, LoadBalance::Triangular);
         assert!(p.pre_blocking);
+        assert_eq!(p.align_threads, 4);
+    }
+
+    #[test]
+    fn align_threads_defaults_serial_and_zero_is_valid() {
+        let p = SearchParams::default();
+        assert_eq!(p.align_threads, 1);
+        // 0 means "one worker per core" and must validate.
+        assert!(p.with_align_threads(0).validate().is_ok());
     }
 }

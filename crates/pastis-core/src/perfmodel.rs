@@ -73,6 +73,10 @@ pub struct ScaleConfig {
     /// How per-rank work counts convert to modeled time; see
     /// [`TimeFidelity`].
     pub fidelity: TimeFidelity,
+    /// Intra-rank alignment pool width replayed on every virtual rank
+    /// (1 = serial driver, 0 = one worker per modeled core); enters the
+    /// align term through [`MachineModel::align_time_parallel`].
+    pub align_threads: usize,
 }
 
 /// How the replay converts per-rank work into seconds.
@@ -105,6 +109,7 @@ impl ScaleConfig {
             contention: Contention::default(),
             sample_pairs: 300,
             fidelity: TimeFidelity::Structural,
+            align_threads: 1,
         }
     }
 }
@@ -329,8 +334,7 @@ pub fn simulate(store: &SeqStore, params: &SearchParams, cfg: &ScaleConfig) -> S
         products[bidx][rank] += count;
         if plan.keeps(i, j) && count >= params.common_kmer_threshold as u64 {
             pairs[bidx][rank] += 1;
-            cells[bidx][rank] +=
-                store.seq_len(gi) as u64 * store.seq_len(gj) as u64;
+            cells[bidx][rank] += store.seq_len(gi) as u64 * store.seq_len(gj) as u64;
             if cfg.sample_pairs > 0
                 && sampled.len() < cfg.sample_pairs
                 && kept_total as usize % sample_stride == 0
@@ -355,7 +359,11 @@ pub fn simulate(store: &SeqStore, params: &SearchParams, cfg: &ScaleConfig) -> S
     }
     // One nonzero ≈ index + value + amortized pointer bytes.
     let nnz_bytes = 12.0f64;
-    let lg = if q <= 1 { 0.0 } else { (q as f64).log2().ceil() };
+    let lg = if q <= 1 {
+        0.0
+    } else {
+        (q as f64).log2().ceil()
+    };
 
     // --- Per-block, per-rank modeled seconds.
     let total_pairs: u64 = pairs.iter().flatten().sum();
@@ -435,8 +443,7 @@ pub fn simulate(store: &SeqStore, params: &SearchParams, cfg: &ScaleConfig) -> S
                     )
                 }
             };
-            let compute =
-                machine.spgemm_time(t_products, t_candidates)
+            let compute = machine.spgemm_time(t_products, t_candidates)
                     // Stripe handling: every block's SUMMA re-receives and
                     // re-traverses the input stripes (CSR walks, hash-table
                     // set-up). This split-computation overhead repeats per
@@ -450,8 +457,11 @@ pub fn simulate(store: &SeqStore, params: &SearchParams, cfg: &ScaleConfig) -> S
             let comm = 2.0 * q as f64 * machine.net.alpha * lg
                 + machine.net.beta * lg * nnz_bytes * stripe_nnz;
             sparse_secs[bidx][rank] = compute + comm;
-            align_secs[bidx][rank] =
-                machine.align_time(t_pairs * expected_cells_per_pair, t_pairs)
+            align_secs[bidx][rank] = machine.align_time_parallel(
+                t_pairs * expected_cells_per_pair,
+                t_pairs,
+                cfg.align_threads,
+            )
                     // Per-batch device overhead: each block is one batch;
                     // more blocks = smaller, less efficient batches.
                     + if t_pairs > 0.0 {
@@ -538,9 +548,7 @@ pub fn simulate(store: &SeqStore, params: &SearchParams, cfg: &ScaleConfig) -> S
 
     // --- Per-rank peak memory (Section V-B / VI-A motivation).
     let mean_len = store.mean_len();
-    let per_rank_pairs: Vec<u64> = (0..p)
-        .map(|r| (0..nb).map(|b| pairs[b][r]).sum())
-        .collect();
+    let per_rank_pairs: Vec<u64> = (0..p).map(|r| (0..nb).map(|b| pairs[b][r]).sum()).collect();
     let max_pairs = per_rank_pairs.iter().copied().max().unwrap_or(0);
     let fetch_seqs = ((2 * max_pairs) as f64).min(n as f64);
     let memory = {
@@ -551,8 +559,7 @@ pub fn simulate(store: &SeqStore, params: &SearchParams, cfg: &ScaleConfig) -> S
         // Every rank holds its share of all A stripes plus all B stripes.
         let inputs_bytes = 2.0 * nnz_a / p as f64 * NNZ_IN_BYTES;
         // Own slice plus the remote sequences this rank's alignments touch.
-        let sequences_bytes =
-            store.total_residues() as f64 / p as f64 + fetch_seqs * mean_len;
+        let sequences_bytes = store.total_residues() as f64 / p as f64 + fetch_seqs * mean_len;
         let mut worst = MemoryFootprint {
             inputs_bytes,
             sequences_bytes,
@@ -563,8 +570,7 @@ pub fn simulate(store: &SeqStore, params: &SearchParams, cfg: &ScaleConfig) -> S
             for rank in 0..p {
                 let (gi, gj) = (rank / q, rank % q);
                 // Stage receive buffers: one stage's stripes at a time.
-                let recv = (hist_a[task.r][gi] + hist_b[task.c][gj]) as f64
-                    / q.max(1) as f64
+                let recv = (hist_a[task.r][gi] + hist_b[task.c][gj]) as f64 / q.max(1) as f64
                     * NNZ_IN_BYTES;
                 let intermediate = products[bidx][rank] as f64 * INTERMEDIATE_BYTES;
                 let output = candidates[bidx][rank] as f64 * CAND_BYTES;
@@ -626,9 +632,7 @@ pub fn simulate(store: &SeqStore, params: &SearchParams, cfg: &ScaleConfig) -> S
             .collect()
     };
     let per_rank_f = |data: &[Vec<f64>]| -> Vec<f64> {
-        (0..p)
-            .map(|r| data.iter().map(|b| b[r]).sum())
-            .collect()
+        (0..p).map(|r| data.iter().map(|b| b[r]).sum()).collect()
     };
     let sum2 = |data: &[Vec<u64>]| -> u64 { data.iter().flatten().sum() };
 
@@ -683,7 +687,7 @@ fn count_parity_kept(r0: usize, r1: usize, c0: usize, c1: usize) -> u64 {
         if a >= b {
             0
         } else {
-            ((b + 1) / 2 - (a + 1) / 2) as u64
+            (b.div_ceil(2) - a.div_ceil(2)) as u64
         }
     }
     let mut total = 0u64;
@@ -755,6 +759,7 @@ mod tests {
             gpus_per_node: 1,
             gcups_per_gpu: 1.0e-2, // 10M cells/s per node
             align_overhead_per_pair: 1.0e-7,
+            align_pool_efficiency: 0.9,
             align_batch_overhead_s: 0.0,
             p2p_handling_s: 0.0,
             spgemm_products_per_sec: 1.0e6,
@@ -774,6 +779,7 @@ mod tests {
             contention: Contention::default(),
             sample_pairs: 100,
             fidelity: TimeFidelity::Exact,
+            align_threads: 1,
         }
     }
 
@@ -809,6 +815,23 @@ mod tests {
         assert_eq!(r1.aligned_pairs, r16.aligned_pairs);
         assert_eq!(r16.aligned_pairs, r100.aligned_pairs);
         assert_eq!(r1.cells, r100.cells);
+    }
+
+    #[test]
+    fn align_threads_shrink_align_time_only() {
+        let store = dataset(60);
+        let p = params();
+        let serial = simulate(&store, &p, &test_config(4));
+        let mut cfg = test_config(4);
+        cfg.align_threads = 4;
+        let pooled = simulate(&store, &p, &cfg);
+        // Counters are work, not time: invariant.
+        assert_eq!(pooled.aligned_pairs, serial.aligned_pairs);
+        assert_eq!(pooled.cells, serial.cells);
+        // The align term divides by the modeled pool speedup; sparse does not.
+        let speedup = cfg.machine.align_speedup(4);
+        assert!((pooled.align_s - serial.align_s / speedup).abs() < 1e-9 * serial.align_s);
+        assert!((pooled.sparse_s - serial.sparse_s).abs() < 1e-12);
     }
 
     #[test]
@@ -854,9 +877,7 @@ mod tests {
         assert!(tri.candidates < idx.candidates);
         assert!(tri.products < idx.products);
         // And worse alignment balance (partial blocks idle some ranks).
-        assert!(
-            tri.pairs_imbalance.imbalance_pct() >= idx.pairs_imbalance.imbalance_pct()
-        );
+        assert!(tri.pairs_imbalance.imbalance_pct() >= idx.pairs_imbalance.imbalance_pct());
     }
 
     #[test]
@@ -943,8 +964,16 @@ mod tests {
     fn memory_footprint_shrinks_with_blocks() {
         let store = dataset(60);
         let cfg = test_config(4);
-        let one = simulate(&store, &SearchParams::test_defaults().with_blocking(1, 1), &cfg);
-        let many = simulate(&store, &SearchParams::test_defaults().with_blocking(4, 4), &cfg);
+        let one = simulate(
+            &store,
+            &SearchParams::test_defaults().with_blocking(1, 1),
+            &cfg,
+        );
+        let many = simulate(
+            &store,
+            &SearchParams::test_defaults().with_blocking(4, 4),
+            &cfg,
+        );
         assert!(
             many.memory.blocked_portion_bytes() < one.memory.blocked_portion_bytes(),
             "blocking failed to bound the in-flight memory: {} vs {}",

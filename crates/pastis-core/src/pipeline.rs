@@ -25,9 +25,9 @@
 
 use std::time::Instant;
 
-use pastis_align::batch::BatchAligner;
-use pastis_align::banded::sw_banded;
+use pastis_align::batch::AlignTask;
 use pastis_align::matrices::{Blosum62, Scoring};
+use pastis_align::parallel::AlignPool;
 
 use pastis_comm::grid::{BlockDist1D, ProcessGrid};
 use pastis_comm::{Communicator, Component, TimeBreakdown};
@@ -292,42 +292,64 @@ pub fn run_search<C: Communicator + Sync>(
         }
     };
 
-    let aligner = BatchAligner::new(Blosum62, params.gaps);
+    // The intra-rank alignment pool: batches execute as atomically-claimed
+    // chunks across `align_threads` workers (the calling thread included),
+    // with results in task order — output is bit-identical for every
+    // worker count. Workers never touch the communicator, so under
+    // pre-blocking the concurrent sparse thread remains the only thread
+    // issuing collectives.
+    let pool = AlignPool::new(params.align_threads);
     let filter = EdgeFilter::from_params(params);
     let align_batch = |batch: &CandidateBatch| -> (Vec<SimilarityEdge>, u64, f64) {
         let t = Instant::now();
+        let tasks: Vec<AlignTask> = batch
+            .pairs
+            .iter()
+            .map(|pt| AlignTask {
+                query: pt.i,
+                reference: pt.j,
+                seed_q: pt.seed_q,
+                seed_r: pt.seed_r,
+            })
+            .collect();
+        let lookup = |id: u32| -> &[u8] { &seqs[id as usize] };
         let mut edges = Vec::new();
-        let mut cells = 0u64;
-        for pt in &batch.pairs {
-            let q = &seqs[pt.i as usize];
-            let r = &seqs[pt.j as usize];
-            match params.align_kind {
-                AlignKind::FullSw => {
-                    let res = aligner.align_pair(q, r);
-                    cells += res.cells;
-                    if filter.passes(&res, q.len(), r.len()) {
+        let cells;
+        match params.align_kind {
+            AlignKind::FullSw => {
+                let (results, stats) = pool.run_traceback(&tasks, lookup, &Blosum62, params.gaps);
+                cells = stats.cells;
+                for (pt, res) in batch.pairs.iter().zip(&results) {
+                    let (qlen, rlen) = (seqs[pt.i as usize].len(), seqs[pt.j as usize].len());
+                    if filter.passes(res, qlen, rlen) {
                         edges.push(SimilarityEdge {
                             i: pt.i,
                             j: pt.j,
                             score: res.score,
                             ani: res.identity() as f32,
-                            coverage: res.coverage_min(q.len(), r.len()) as f32,
+                            coverage: res.coverage_min(qlen, rlen) as f32,
                             common_kmers: pt.count,
                         });
                     }
                 }
-                AlignKind::Banded(w) => {
-                    let b = sw_banded(
-                        q,
-                        r,
-                        &Blosum62,
-                        params.gaps,
-                        pt.seed_q as usize,
-                        pt.seed_r as usize,
-                        w,
-                    );
-                    cells += b.cells;
-                    if let Some(e) = banded_edge(pt, b.score, q, r, &filter) {
+            }
+            AlignKind::Banded(w) => {
+                let (results, stats) = pool.run_banded(&tasks, lookup, &Blosum62, params.gaps, w);
+                cells = stats.cells;
+                for (pt, res) in batch.pairs.iter().zip(&results) {
+                    let (q, r) = (&seqs[pt.i as usize], &seqs[pt.j as usize]);
+                    if let Some(e) = banded_edge(pt, res.score, q, r, &filter) {
+                        edges.push(e);
+                    }
+                }
+            }
+            AlignKind::ScoreOnly => {
+                // Exact scores through the multilane lock-step kernel.
+                let (results, stats) = pool.run_score_only(&tasks, lookup, &Blosum62, params.gaps);
+                cells = stats.cells;
+                for (pt, res) in batch.pairs.iter().zip(&results) {
+                    let (q, r) = (&seqs[pt.i as usize], &seqs[pt.j as usize]);
+                    if let Some(e) = banded_edge(pt, res.score, q, r, &filter) {
                         edges.push(e);
                     }
                 }
@@ -437,7 +459,7 @@ fn banded_edge(
     let self_score = |s: &[u8]| -> i32 { s.iter().map(|&c| Blosum62.score(c, c)).sum() };
     let denom = self_score(q).min(self_score(r)).max(1);
     let normalized = score as f64 / denom as f64;
-    (normalized >= filter.ani_threshold).then(|| SimilarityEdge {
+    (normalized >= filter.ani_threshold).then_some(SimilarityEdge {
         i: pt.i,
         j: pt.j,
         score,
@@ -448,10 +470,7 @@ fn banded_edge(
 }
 
 /// Convenience serial entry point: run the whole search on one rank.
-pub fn run_search_serial(
-    store: &SeqStore,
-    params: &SearchParams,
-) -> Result<SearchResult, String> {
+pub fn run_search_serial(store: &SeqStore, params: &SearchParams) -> Result<SearchResult, String> {
     let grid = ProcessGrid::square(pastis_comm::SelfComm::new());
     run_search(&grid, store, params)
 }
@@ -490,7 +509,10 @@ mod tests {
         assert!(keys.contains(&(0, 1)), "family 1 missed: {keys:?}");
         assert!(keys.contains(&(2, 3)), "family 2 missed: {keys:?}");
         assert!(!keys.contains(&(0, 2)), "cross-family edge: {keys:?}");
-        assert!(!keys.iter().any(|&(i, j)| i == 4 || j == 4), "noise matched");
+        assert!(
+            !keys.iter().any(|&(i, j)| i == 4 || j == 4),
+            "noise matched"
+        );
         // Counters are coherent.
         assert!(res.stats.candidates >= res.stats.aligned_pairs);
         assert!(res.stats.aligned_pairs >= res.stats.similar_pairs);
@@ -501,7 +523,10 @@ mod tests {
     #[test]
     fn each_pair_aligned_exactly_once() {
         let store = tiny_store();
-        for lb in [crate::LoadBalance::Triangular, crate::LoadBalance::IndexBased] {
+        for lb in [
+            crate::LoadBalance::Triangular,
+            crate::LoadBalance::IndexBased,
+        ] {
             let params = SearchParams::test_defaults().with_load_balance(lb);
             let res = run_search_serial(&store, &params).unwrap();
             // 5 sequences share kmers only within families; candidates
@@ -552,11 +577,8 @@ mod tests {
     #[test]
     fn pre_blocking_preserves_results() {
         let store = tiny_store();
-        let off = run_search_serial(
-            &store,
-            &SearchParams::test_defaults().with_blocking(4, 4),
-        )
-        .unwrap();
+        let off =
+            run_search_serial(&store, &SearchParams::test_defaults().with_blocking(4, 4)).unwrap();
         let on = run_search_serial(
             &store,
             &SearchParams::test_defaults()
@@ -586,8 +608,7 @@ mod tests {
                 let grid = ProcessGrid::square(c.split(0, c.rank()));
                 let res = run_search(&grid, &store, &params).unwrap();
                 let global = res.gather_graph(grid.world());
-                let keys: Vec<(u32, u32)> =
-                    global.edges().iter().map(|e| e.key()).collect();
+                let keys: Vec<(u32, u32)> = global.edges().iter().map(|e| e.key()).collect();
                 let gstats = res.stats.all_reduce(grid.world());
                 (keys, gstats.aligned_pairs, gstats.similar_pairs)
             });

@@ -153,9 +153,7 @@ impl SimilarityGraph {
                 parent[hi as usize] = lo;
             }
         }
-        (0..self.n as u32)
-            .map(|v| find(&mut parent, v))
-            .collect()
+        (0..self.n as u32).map(|v| find(&mut parent, v)).collect()
     }
 
     /// Sizes of non-singleton clusters, descending.

@@ -80,9 +80,7 @@ impl SearchStats {
         self.similar_pairs += other.similar_pairs;
         self.spgemm_products += other.spgemm_products;
         self.total_seconds = self.total_seconds.max(other.total_seconds);
-        self.align_kernel_seconds = self
-            .align_kernel_seconds
-            .max(other.align_kernel_seconds);
+        self.align_kernel_seconds = self.align_kernel_seconds.max(other.align_kernel_seconds);
     }
 
     /// Aggregate this rank's stats across a communicator: counter sums,
@@ -132,9 +130,7 @@ impl RankMetrics {
     pub fn from_ranks(stats: &[SearchStats], times: &[TimeBreakdown]) -> RankMetrics {
         assert_eq!(stats.len(), times.len());
         assert!(!stats.is_empty());
-        let vals = |f: &dyn Fn(&SearchStats) -> f64| -> Vec<f64> {
-            stats.iter().map(f).collect()
-        };
+        let vals = |f: &dyn Fn(&SearchStats) -> f64| -> Vec<f64> { stats.iter().map(f).collect() };
         RankMetrics {
             aligned_pairs: ImbalanceStats::from_values(&vals(&|s| s.aligned_pairs as f64)),
             cells: ImbalanceStats::from_values(&vals(&|s| s.cells as f64)),

@@ -9,8 +9,8 @@
 
 use pastis_align::matrices::{Blosum62, Scoring};
 use pastis_seqio::ReducedAlphabet;
-use pastis_sparse::{Index, Triples};
 use pastis_seqio::SeqStore;
+use pastis_sparse::{Index, Triples};
 
 use crate::kmer::{distinct_kmers, kmer_id};
 
@@ -34,27 +34,32 @@ pub fn nearest_kmers(
     // Score of the unmodified k-mer against itself.
     let self_score: i32 = window.iter().map(|&c| scoring.score(c, c)).sum();
     let mut candidates: Vec<(i32, u32)> = Vec::with_capacity(k * 19);
-    let mut variant = window.to_vec();
-    for i in 0..k {
-        let orig = window[i];
+    let base = alphabet.size() as u64;
+    for (i, &orig) in window.iter().enumerate() {
+        // Place value of window position i in the packed base-Σ id; a
+        // variant id is the k-mer's own id with that digit swapped — no
+        // O(k) re-encoding per variant.
+        let place = base.pow((k - 1 - i) as u32);
+        let orig_digit = alphabet.reduce(orig) as u64;
         for sub in 0..20u8 {
             if sub == orig {
                 continue;
             }
-            variant[i] = sub;
             // Score of the substituted k-mer aligned to the original.
             let score = self_score - scoring.score(orig, orig) + scoring.score(orig, sub);
-            let id = kmer_id(&variant, 0, k, alphabet).expect("in range");
+            let id64 = own as u64 - orig_digit * place + alphabet.reduce(sub) as u64 * place;
+            debug_assert!(id64 <= u32::MAX as u64, "variant id overflows u32");
+            let id = id64 as u32;
             if id != own {
                 candidates.push((score, id));
             }
         }
-        variant[i] = orig;
     }
     // Descending score, ascending id; dedup ids keeping the best score.
     candidates.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
-    let mut seen = std::collections::HashSet::with_capacity(m * 2);
-    let mut out = Vec::with_capacity(m);
+    let cap = m.min(candidates.len());
+    let mut seen = std::collections::HashSet::with_capacity(cap);
+    let mut out = Vec::with_capacity(cap);
     for (_, id) in candidates {
         if seen.insert(id) {
             out.push(id);
@@ -144,6 +149,40 @@ mod tests {
     }
 
     #[test]
+    fn place_value_ids_match_reencoding() {
+        // The fast path swaps one digit of the packed id; the reference is
+        // re-encoding the substituted window. They must agree for every
+        // single-substitution variant, including under reduced alphabets
+        // where distinct residues share a digit.
+        let seq = encode("MKVLAWYHEE").unwrap();
+        for alphabet in [ReducedAlphabet::Full20, ReducedAlphabet::Murphy10] {
+            for (pos, k) in [(0usize, 6usize), (2, 5), (4, 4)] {
+                let window = &seq[pos..pos + k];
+                let mut reference = std::collections::HashSet::new();
+                let mut variant = window.to_vec();
+                for i in 0..k {
+                    let orig = window[i];
+                    for sub in 0..20u8 {
+                        if sub == orig {
+                            continue;
+                        }
+                        variant[i] = sub;
+                        reference.insert(kmer_id(&variant, 0, k, alphabet).unwrap());
+                    }
+                    variant[i] = orig;
+                }
+                let own = kmer_id(&seq, pos, k, alphabet).unwrap();
+                reference.remove(&own);
+                let fast: std::collections::HashSet<u32> =
+                    nearest_kmers(&seq, pos, k, alphabet, usize::MAX)
+                        .into_iter()
+                        .collect();
+                assert_eq!(fast, reference, "alphabet {alphabet:?}, pos={pos}, k={k}");
+            }
+        }
+    }
+
+    #[test]
     fn deterministic_ordering() {
         let seq = encode("HEAGAW").unwrap();
         let a = nearest_kmers(&seq, 1, 5, FULL, 7);
@@ -174,7 +213,10 @@ mod tests {
             by_col.values().filter(|rows| rows.len() == 2).count()
         };
         assert_eq!(shared(&exact), 0);
-        assert!(shared(&expanded) >= 1, "expansion failed to connect L/I variants");
+        assert!(
+            shared(&expanded) >= 1,
+            "expansion failed to connect L/I variants"
+        );
     }
 
     #[test]

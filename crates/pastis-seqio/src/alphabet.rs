@@ -10,9 +10,9 @@
 //! [`pastis_align::matrices`]; a reduced alphabet maps residue codes
 //! `0..21` onto group ids `0..size()`.
 
-use pastis_align::matrices::AA_COUNT;
 #[cfg(test)]
 use pastis_align::matrices::aa_code;
+use pastis_align::matrices::AA_COUNT;
 
 /// Available alphabets for k-mer extraction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -207,8 +207,7 @@ mod tests {
     fn reduction_preserves_distinguishability_partially() {
         // Murphy-10 must still distinguish at least 10 residues pairwise.
         let a = ReducedAlphabet::Murphy10;
-        let groups: std::collections::HashSet<u8> =
-            (0..20u8).map(|c| a.reduce(c)).collect();
+        let groups: std::collections::HashSet<u8> = (0..20u8).map(|c| a.reduce(c)).collect();
         assert_eq!(groups.len(), 10);
     }
 }

@@ -76,11 +76,7 @@ impl FastaIndex {
                         line_bytes: c.line_bytes,
                     });
                 }
-                let name = header
-                    .split_whitespace()
-                    .next()
-                    .unwrap_or("")
-                    .to_owned();
+                let name = header.split_whitespace().next().unwrap_or("").to_owned();
                 cur = Some(Cur {
                     name,
                     length: 0,
@@ -178,11 +174,10 @@ impl FastaIndex {
             if f.len() != 5 {
                 return Err(FastaError::Io(format!("bad .fai line {}", no + 1)));
             }
-            let parse =
-                |x: &str| -> Result<u64, FastaError> {
-                    x.parse()
-                        .map_err(|_| FastaError::Io(format!("bad .fai number on line {}", no + 1)))
-                };
+            let parse = |x: &str| -> Result<u64, FastaError> {
+                x.parse()
+                    .map_err(|_| FastaError::Io(format!("bad .fai number on line {}", no + 1)))
+            };
             entries.push(FaiEntry {
                 name: f[0].to_owned(),
                 length: parse(f[1])?,
@@ -213,8 +208,7 @@ impl FastaIndex {
         let full_lines = e.length / e.line_bases as u64;
         let tail = e.length % e.line_bases as u64;
         let newline_overhead = (e.line_bytes - e.line_bases) as u64;
-        let span = full_lines * e.line_bytes as u64 + tail
-            + if tail > 0 { 0 } else { 0 };
+        let span = full_lines * e.line_bytes as u64 + tail;
         let mut buf = vec![0u8; (span + newline_overhead) as usize];
         let got = file.read(&mut buf)?;
         buf.truncate(got);

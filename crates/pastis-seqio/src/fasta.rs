@@ -321,10 +321,7 @@ mod tests {
             seq: "MK1".into(),
         }];
         let err = SeqStore::from_records(&recs).unwrap_err();
-        assert!(matches!(
-            err,
-            FastaError::InvalidResidue { byte: b'1', .. }
-        ));
+        assert!(matches!(err, FastaError::InvalidResidue { byte: b'1', .. }));
     }
 
     #[test]

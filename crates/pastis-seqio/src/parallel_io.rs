@@ -95,11 +95,8 @@ pub fn read_fasta_partition(
     // owned by the next rank.
     let mut stop = buf.len();
     let mut pos = first;
-    loop {
-        match buf[pos..].iter().position(|&b| b == b'\n') {
-            Some(nl) => pos += nl + 1,
-            None => break,
-        }
+    while let Some(nl) = buf[pos..].iter().position(|&b| b == b'\n') {
+        pos += nl + 1;
         if pos >= buf.len() {
             break;
         }
@@ -115,11 +112,7 @@ pub fn read_fasta_partition(
 /// Write one rank's output partition to `<base>.part-<rank>`; returns the
 /// number of bytes written. `lines` are written verbatim with trailing
 /// newlines.
-pub fn write_partition(
-    base: &Path,
-    rank: usize,
-    lines: &[String],
-) -> std::io::Result<u64> {
+pub fn write_partition(base: &Path, rank: usize, lines: &[String]) -> std::io::Result<u64> {
     let path = partition_path(base, rank);
     let mut w = BufWriter::new(File::create(path)?);
     let mut bytes = 0u64;
@@ -249,7 +242,10 @@ mod tests {
         let path = dir.join("single.fa");
         write_sample(&path, &recs, 7);
         let got = read_fasta_partition(&path, 0, 1).unwrap();
-        assert_eq!(got, parse_fasta(Cursor::new(std::fs::read(&path).unwrap())).unwrap());
+        assert_eq!(
+            got,
+            parse_fasta(Cursor::new(std::fs::read(&path).unwrap())).unwrap()
+        );
     }
 
     #[test]
@@ -258,8 +254,7 @@ mod tests {
         let base = dir.join("out.tsv");
         let mut written = 0;
         for rank in 0..4usize {
-            let lines: Vec<String> =
-                (0..rank + 1).map(|i| format!("{rank}\t{i}\t0.9")).collect();
+            let lines: Vec<String> = (0..rank + 1).map(|i| format!("{rank}\t{i}\t0.9")).collect();
             written += write_partition(&base, rank, &lines).unwrap();
         }
         let total = concat_partitions(&base, 4).unwrap();

@@ -27,8 +27,8 @@ use crate::fasta::SeqStore;
 /// Approximate UniProt background amino-acid frequencies over the
 /// canonical code order `ARNDCQEGHILKMFPSTWYV` (percent).
 const AA_FREQ: [f64; 20] = [
-    8.25, 5.53, 4.06, 5.45, 1.37, 3.93, 6.75, 7.07, 2.27, 5.96, 9.66, 5.84, 2.42, 3.86,
-    4.70, 6.56, 5.34, 1.08, 2.92, 6.87,
+    8.25, 5.53, 4.06, 5.45, 1.37, 3.93, 6.75, 7.07, 2.27, 5.96, 9.66, 5.84, 2.42, 3.86, 4.70, 6.56,
+    5.34, 1.08, 2.92, 6.87,
 ];
 
 /// Configuration of the synthetic dataset.
@@ -104,7 +104,10 @@ impl SyntheticDataset {
 
     /// Generate a dataset from `cfg` (deterministic in `cfg.seed`).
     pub fn generate(cfg: &SyntheticConfig) -> SyntheticDataset {
-        assert!(cfg.mean_family_size >= 2.0, "families need at least 2 members");
+        assert!(
+            cfg.mean_family_size >= 2.0,
+            "families need at least 2 members"
+        );
         assert!((0.0..=1.0).contains(&cfg.singleton_fraction));
         assert!((0.0..1.0).contains(&cfg.divergence));
         assert!((0.0..1.0).contains(&cfg.indel_prob));
@@ -112,8 +115,7 @@ impl SyntheticDataset {
         let mut store = SeqStore::new();
         let mut family = Vec::with_capacity(cfg.n_sequences);
 
-        let n_singletons =
-            (cfg.n_sequences as f64 * cfg.singleton_fraction).round() as usize;
+        let n_singletons = (cfg.n_sequences as f64 * cfg.singleton_fraction).round() as usize;
         let n_family_seqs = cfg.n_sequences - n_singletons;
 
         // Families first.
@@ -162,7 +164,7 @@ impl SyntheticDataset {
         self.family
             .iter()
             .filter(|&&f| f != Self::SINGLETON)
-            .map(|&f| f)
+            .copied()
             .max()
             .map_or(0, |m| m as usize + 1)
     }
@@ -322,9 +324,8 @@ mod tests {
             ..SyntheticConfig::small(60, 99)
         };
         let ds = SyntheticDataset::generate(&cfg);
-        let kmers = |i: usize| -> std::collections::HashSet<&[u8]> {
-            ds.store.seq(i).windows(6).collect()
-        };
+        let kmers =
+            |i: usize| -> std::collections::HashSet<&[u8]> { ds.store.seq(i).windows(6).collect() };
         // Find a family with ≥ 2 members.
         let pairs = ds.true_pairs();
         assert!(!pairs.is_empty());

@@ -41,12 +41,14 @@ impl<T> CsrMatrix<T> {
         assert_eq!(rowptr.len(), nrows + 1, "rowptr length mismatch");
         assert_eq!(colind.len(), vals.len(), "colind/vals length mismatch");
         assert_eq!(*rowptr.last().unwrap(), colind.len(), "rowptr end mismatch");
-        debug_assert!(rowptr.windows(2).all(|w| w[0] <= w[1]), "rowptr not monotone");
+        debug_assert!(
+            rowptr.windows(2).all(|w| w[0] <= w[1]),
+            "rowptr not monotone"
+        );
         debug_assert!(
             (0..nrows).all(|i| {
                 let r = &colind[rowptr[i]..rowptr[i + 1]];
-                r.windows(2).all(|w| w[0] < w[1])
-                    && r.iter().all(|&c| (c as usize) < ncols)
+                r.windows(2).all(|w| w[0] < w[1]) && r.iter().all(|&c| (c as usize) < ncols)
             }),
             "row columns not sorted/unique/in-bounds"
         );
@@ -117,9 +119,7 @@ impl<T: Clone> CsrMatrix<T> {
     /// Build from triples; duplicate coordinates are a bug in the caller
     /// and panic. Use [`CsrMatrix::from_triples_combining`] to fold them.
     pub fn from_triples(t: Triples<T>) -> CsrMatrix<T> {
-        Self::from_triples_combining(t, |_, _| {
-            panic!("duplicate coordinate in from_triples")
-        })
+        Self::from_triples_combining(t, |_, _| panic!("duplicate coordinate in from_triples"))
     }
 
     /// Build from triples, folding duplicates with `combine`.
@@ -187,7 +187,10 @@ impl<T: Clone> CsrMatrix<T> {
             ncols: self.nrows,
             rowptr,
             colind,
-            vals: vals.into_iter().map(|v| v.expect("transpose fill")).collect(),
+            vals: vals
+                .into_iter()
+                .map(|v| v.expect("transpose fill"))
+                .collect(),
         }
     }
 
@@ -209,7 +212,10 @@ impl<T: Clone> CsrMatrix<T> {
     /// Extract columns `[start, end)` as a new `nrows × (end−start)` matrix
     /// (column indices renumbered).
     pub fn extract_cols(&self, start: usize, end: usize) -> CsrMatrix<T> {
-        assert!(start <= end && end <= self.ncols, "column range out of bounds");
+        assert!(
+            start <= end && end <= self.ncols,
+            "column range out of bounds"
+        );
         let mut rowptr = Vec::with_capacity(self.nrows + 1);
         rowptr.push(0usize);
         let mut colind = Vec::new();
@@ -260,13 +266,13 @@ impl<T: Clone> CsrMatrix<T> {
     }
 
     /// Map values, preserving structure (the CombBLAS `Apply`).
-    pub fn map<U: Clone>(&self, mut f: impl FnMut(&T) -> U) -> CsrMatrix<U> {
+    pub fn map<U: Clone>(&self, f: impl FnMut(&T) -> U) -> CsrMatrix<U> {
         CsrMatrix {
             nrows: self.nrows,
             ncols: self.ncols,
             rowptr: self.rowptr.clone(),
             colind: self.colind.clone(),
-            vals: self.vals.iter().map(|v| f(v)).collect(),
+            vals: self.vals.iter().map(f).collect(),
         }
     }
 

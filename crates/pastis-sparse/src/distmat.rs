@@ -78,8 +78,7 @@ impl<T: DistElem> DistSparseMatrix<T> {
         let my_col = grid.my_col();
         let row_off = row_dist.part_offset(my_row);
         let col_off = col_dist.part_offset(my_col);
-        let mut local_triples =
-            Triples::new(row_dist.part_len(my_row), col_dist.part_len(my_col));
+        let mut local_triples = Triples::new(row_dist.part_len(my_row), col_dist.part_len(my_col));
         for part in received {
             for (r, c, v) in part {
                 local_triples.push(r - row_off as Index, c - col_off as Index, v);
@@ -246,7 +245,10 @@ mod tests {
         let t = Triples::from_entries(6, 6, sample_entries());
         let m = DistSparseMatrix::from_global_triples(&grid, 6, 6, t.clone(), |_, _| {});
         assert_eq!(m.nnz_local(), 7);
-        assert_eq!(m.gather_global(&grid).to_sorted_tuples(), t.to_sorted_tuples());
+        assert_eq!(
+            m.gather_global(&grid).to_sorted_tuples(),
+            t.to_sorted_tuples()
+        );
     }
 
     #[test]

@@ -72,7 +72,7 @@ where
         }
     }
     // Sort: by output coordinate, then inner id (combine order contract).
-    inter.sort_by(|x, y| (x.0, x.1, x.2).cmp(&(y.0, y.1, y.2)));
+    inter.sort_by_key(|x| (x.0, x.1, x.2));
     // Compress.
     let mut t = Triples::new(a.nrows(), b_t.nrows());
     for (i, j, _k, v) in inter {

@@ -70,6 +70,5 @@ pub use triples::{Index, Triple, Triples};
 /// stored values of `val_size` bytes and `nrows` rows — used to feed the
 /// α–β cost model with realistic broadcast payloads.
 pub fn csr_payload_bytes(nrows: usize, nnz: usize, val_size: usize) -> usize {
-    (nrows + 1) * std::mem::size_of::<usize>()
-        + nnz * (std::mem::size_of::<Index>() + val_size)
+    (nrows + 1) * std::mem::size_of::<usize>() + nnz * (std::mem::size_of::<Index>() + val_size)
 }

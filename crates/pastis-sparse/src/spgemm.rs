@@ -84,7 +84,9 @@ impl<C> HashAccumulator<C> {
         };
         for &slot in &self.occupied {
             let key = self.keys[slot as usize];
-            let val = self.vals[slot as usize].take().expect("occupied slot empty");
+            let val = self.vals[slot as usize]
+                .take()
+                .expect("occupied slot empty");
             bigger.insert_fresh(key, val);
         }
         *self = bigger;
@@ -135,7 +137,9 @@ impl<C> HashAccumulator<C> {
             .map(|slot| {
                 let key = self.keys[slot as usize];
                 self.keys[slot as usize] = EMPTY;
-                let val = self.vals[slot as usize].take().expect("occupied slot empty");
+                let val = self.vals[slot as usize]
+                    .take()
+                    .expect("occupied slot empty");
                 (key, val)
             })
             .collect();

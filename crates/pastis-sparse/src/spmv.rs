@@ -13,11 +13,7 @@ use crate::triples::Index;
 
 /// `y = A ⊗ x` with a dense input vector: `y[i] = ⊕_j multiply(A[i,j], x[j])`.
 /// Rows with no contributing entries yield `None`.
-pub fn spmv_dense<S: Semiring>(
-    sr: &S,
-    a: &CsrMatrix<S::A>,
-    x: &[S::B],
-) -> Vec<Option<S::C>> {
+pub fn spmv_dense<S: Semiring>(sr: &S, a: &CsrMatrix<S::A>, x: &[S::B]) -> Vec<Option<S::C>> {
     assert_eq!(a.ncols(), x.len(), "SpMV dimension mismatch");
     let mut y: Vec<Option<S::C>> = Vec::with_capacity(a.nrows());
     for i in 0..a.nrows() {
@@ -91,7 +87,13 @@ mod tests {
         CsrMatrix::from_triples(Triples::from_entries(
             3,
             4,
-            vec![(0, 0, 2.0), (0, 3, 1.0), (1, 1, -1.0), (2, 0, 4.0), (2, 2, 0.5)],
+            vec![
+                (0, 0, 2.0),
+                (0, 3, 1.0),
+                (1, 1, -1.0),
+                (2, 0, 4.0),
+                (2, 2, 0.5),
+            ],
         ))
     }
 
@@ -105,11 +107,8 @@ mod tests {
 
     #[test]
     fn dense_spmv_empty_row_is_none() {
-        let a: CsrMatrix<f64> = CsrMatrix::from_triples(Triples::from_entries(
-            2,
-            2,
-            vec![(0, 0, 1.0)],
-        ));
+        let a: CsrMatrix<f64> =
+            CsrMatrix::from_triples(Triples::from_entries(2, 2, vec![(0, 0, 1.0)]));
         let y = spmv_dense(&PlusTimes::new(), &a, &[5.0, 5.0]);
         assert_eq!(y[1], None);
     }

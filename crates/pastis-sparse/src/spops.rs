@@ -96,12 +96,7 @@ pub fn parity_prune<T: Clone>(
     row_offset: usize,
     col_offset: usize,
 ) -> CsrMatrix<T> {
-    m.prune(|i, j, _| {
-        parity_keep(
-            i + row_offset as Index,
-            j + col_offset as Index,
-        )
-    })
+    m.prune(|i, j, _| parity_keep(i + row_offset as Index, j + col_offset as Index))
 }
 
 /// Keep the strictly-upper-triangular part in *global* coordinates — the
@@ -137,11 +132,8 @@ mod tests {
             3,
             vec![(0, 0, 1u32), (0, 2, 2), (1, 1, 3)],
         ));
-        let b = CsrMatrix::from_triples(Triples::from_entries(
-            2,
-            3,
-            vec![(0, 2, 10u32), (1, 0, 20)],
-        ));
+        let b =
+            CsrMatrix::from_triples(Triples::from_entries(2, 3, vec![(0, 2, 10u32), (1, 0, 20)]));
         let c = spadd(&a, &b, |x, y| *x += y);
         assert_eq!(c.get(0, 0), Some(&1));
         assert_eq!(c.get(0, 2), Some(&12));
@@ -185,9 +177,8 @@ mod tests {
                     if i == j {
                         assert!(!parity_keep(i, j));
                     } else {
-                        assert_eq!(
+                        assert!(
                             parity_keep(i, j) ^ parity_keep(j, i),
-                            true,
                             "pair ({i},{j}) kept zero or two times"
                         );
                     }
@@ -238,11 +229,7 @@ mod tests {
 /// `cols`. Index lists may repeat and reorder rows; `cols` must be strictly
 /// ascending (the common case; general column permutation would break CSR
 /// ordering invariants cheaply exploited here).
-pub fn spref<T: Clone>(
-    m: &CsrMatrix<T>,
-    rows: &[Index],
-    cols: &[Index],
-) -> CsrMatrix<T> {
+pub fn spref<T: Clone>(m: &CsrMatrix<T>, rows: &[Index], cols: &[Index]) -> CsrMatrix<T> {
     assert!(
         cols.windows(2).all(|w| w[0] < w[1]),
         "SpRef column list must be strictly ascending"

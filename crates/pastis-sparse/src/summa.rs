@@ -343,7 +343,11 @@ mod tests {
         let out = run_threaded(9, move |c| {
             let world = c.split(0, c.rank());
             let grid = ProcessGrid::square(world);
-            let ta = if c.rank() == 0 { a.clone() } else { Triples::new(n, 7) };
+            let ta = if c.rank() == 0 {
+                a.clone()
+            } else {
+                Triples::new(n, 7)
+            };
             let da = DistSparseMatrix::from_global_triples(&grid, n, 7, ta, |_, _| {});
             let dat = da.transpose(&grid);
             let (cm, _) = summa(&grid, &PlusTimes::new(), &da, &dat);
@@ -428,30 +432,20 @@ mod tests {
                     } else {
                         (Triples::new(n, m), Triples::new(m, l))
                     };
-                    let bs = BlockedSumma::from_triples(
-                        &grid,
-                        ta,
-                        tb,
-                        br,
-                        bc,
-                        |_, _| {},
-                        |_, _| {},
-                    );
+                    let bs =
+                        BlockedSumma::from_triples(&grid, ta, tb, br, bc, |_, _| {}, |_, _| {});
                     let mut got: Vec<(Index, Index, f64)> = Vec::new();
                     for r in 0..bs.br() {
                         for cc in 0..bs.bc() {
-                            let (cb, _) =
-                                bs.multiply_block(&grid, &PlusTimes::new(), r, cc);
+                            let (cb, _) = bs.multiply_block(&grid, &PlusTimes::new(), r, cc);
                             let (ro, _) = bs.row_range(r);
                             let (co, _) = bs.col_range(cc);
-                            for (i, j, v) in
-                                cb.gather_global(&grid).to_sorted_tuples()
-                            {
+                            for (i, j, v) in cb.gather_global(&grid).to_sorted_tuples() {
                                 got.push((i + ro as Index, j + co as Index, v));
                             }
                         }
                     }
-                    got.sort_by(|x, y| (x.0, x.1).cmp(&(y.0, y.1)));
+                    got.sort_by_key(|x| (x.0, x.1));
                     got
                 });
                 for got in out {

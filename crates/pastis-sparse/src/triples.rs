@@ -50,11 +50,7 @@ impl<T> Triples<T> {
     /// # Panics
     ///
     /// Panics if any index is out of bounds.
-    pub fn from_entries(
-        nrows: usize,
-        ncols: usize,
-        entries: Vec<(Index, Index, T)>,
-    ) -> Triples<T> {
+    pub fn from_entries(nrows: usize, ncols: usize, entries: Vec<(Index, Index, T)>) -> Triples<T> {
         let mut t = Triples::new(nrows, ncols);
         for (row, col, val) in entries {
             t.push(row, col, val);
@@ -91,14 +87,12 @@ impl<T> Triples<T> {
     /// Sort entries into row-major (row, then column) order. Duplicate
     /// coordinates stay adjacent in insertion order (stable sort).
     pub fn sort_row_major(&mut self) {
-        self.entries
-            .sort_by(|a, b| (a.row, a.col).cmp(&(b.row, b.col)));
+        self.entries.sort_by_key(|a| (a.row, a.col));
     }
 
     /// Sort entries into column-major (column, then row) order.
     pub fn sort_col_major(&mut self) {
-        self.entries
-            .sort_by(|a, b| (a.col, a.row).cmp(&(b.col, b.row)));
+        self.entries.sort_by_key(|a| (a.col, a.row));
     }
 
     /// Combine duplicate coordinates with `combine(acc, incoming)`,
@@ -166,7 +160,7 @@ impl<T: Clone> Triples<T> {
             .iter()
             .map(|t| (t.row, t.col, t.val.clone()))
             .collect();
-        v.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        v.sort_by_key(|t| (t.0, t.1));
         v
     }
 }
@@ -193,11 +187,8 @@ mod tests {
 
     #[test]
     fn combine_duplicates_sums() {
-        let mut t = Triples::from_entries(
-            2,
-            2,
-            vec![(0, 1, 2u32), (1, 0, 5), (0, 1, 3), (0, 1, 1)],
-        );
+        let mut t =
+            Triples::from_entries(2, 2, vec![(0, 1, 2u32), (1, 0, 5), (0, 1, 3), (0, 1, 1)]);
         t.combine_duplicates(|a, b| *a += b);
         assert_eq!(t.to_sorted_tuples(), vec![(0, 1, 6), (1, 0, 5)]);
     }

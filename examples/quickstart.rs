@@ -41,10 +41,7 @@ fn main() {
     let result = run_search_serial(&dataset.store, &params).expect("search failed");
 
     // 4. Inspect the similarity graph.
-    println!(
-        "\ndiscovered candidates : {:>10}",
-        result.stats.candidates
-    );
+    println!("\ndiscovered candidates : {:>10}", result.stats.candidates);
     println!(
         "performed alignments  : {:>10} ({:.1}% of candidates)",
         result.stats.aligned_pairs,

@@ -9,9 +9,9 @@
 //!
 //! Run with: `cargo run --release --example scaling_study`
 
-use pastis_bench::{bench_params, calibrated_summit, scale_config};
 use pastis::core::{simulate, LoadBalance};
 use pastis::seqio::{SyntheticConfig, SyntheticDataset};
+use pastis_bench::{bench_params, calibrated_summit, scale_config};
 
 fn main() {
     // Stand-in for "your" dataset.
@@ -32,8 +32,8 @@ fn main() {
     println!("machine: {} (calibrated miniature Summit)\n", machine.name);
 
     println!(
-        "{:>6} | {:>24} | {:>24} | {}",
-        "nodes", "index-based", "triangularity-based", "recommendation"
+        "{:>6} | {:>24} | {:>24} | recommendation",
+        "nodes", "index-based", "triangularity-based"
     );
     println!(
         "{:>6} | {:>12} {:>11} | {:>12} {:>11} |",

@@ -18,9 +18,9 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use pastis::align::matrices::AA_ALPHABET;
+use pastis::core::params::AlignKind;
 use pastis::core::pipeline::{run_search_serial, SearchResult};
 use pastis::core::{LoadBalance, SearchParams};
-use pastis::core::params::AlignKind;
 use pastis::seqio::fasta::{parse_fasta, write_fasta, SeqStore};
 use pastis::seqio::{ReducedAlphabet, SyntheticConfig, SyntheticDataset};
 
@@ -50,6 +50,9 @@ SEARCH/CLUSTER OPTIONS:
     --load-balance <NAME>     index | triangular                 [default: index]
     --pre-blocking            overlap sparse phase with alignment
     --banded <WIDTH>          banded kernel with half-width WIDTH
+    --score-only              full-matrix score-only kernel (multilane SIMD)
+    --align-threads <INT>     intra-rank alignment workers; 0 = one per
+                              core; output is identical for any value [default: 1]
     --mcl                     cluster with Markov clustering instead of
                               connected components (cluster command only)
     --inflation <FLOAT>       MCL inflation exponent            [default: 2.0]
@@ -154,6 +157,7 @@ const SEARCH_VALUE_FLAGS: &[&str] = &[
     "blocks",
     "load-balance",
     "banded",
+    "align-threads",
     "inflation",
 ];
 
@@ -190,6 +194,17 @@ fn parse_search_params(opts: &Opts) -> Result<SearchParams, String> {
     if let Some(w) = opts.get("banded") {
         let w: usize = w.parse().map_err(|_| format!("bad band width '{w}'"))?;
         p.align_kind = AlignKind::Banded(w);
+    }
+    if opts.has("score-only") {
+        if opts.has("banded") {
+            return Err("--score-only and --banded are mutually exclusive".into());
+        }
+        p.align_kind = AlignKind::ScoreOnly;
+    }
+    if let Some(t) = opts.get("align-threads") {
+        p.align_threads = t
+            .parse()
+            .map_err(|_| format!("bad align-threads value '{t}'"))?;
     }
     p.validate()?;
     Ok(p)
@@ -275,7 +290,14 @@ fn cmd_search(args: &[String], cluster: bool) -> Result<(), String> {
 fn cmd_generate(args: &[String]) -> Result<(), String> {
     let opts = Opts::parse(
         args,
-        &["n", "mean-len", "family-size", "singletons", "divergence", "seed"],
+        &[
+            "n",
+            "mean-len",
+            "family-size",
+            "singletons",
+            "divergence",
+            "seed",
+        ],
     )?;
     let [output] = opts.positional.as_slice() else {
         return Err("expected: <output.fasta>".into());
@@ -381,10 +403,29 @@ mod tests {
     fn search_params_full_roundtrip() {
         let o = Opts::parse(
             &s(&[
-                "--k", "5", "--alphabet", "murphy10", "--blocks", "4x3",
-                "--load-balance", "triangular", "--pre-blocking", "--ani", "0.5",
-                "--coverage", "0.6", "--gap-open", "10", "--gap-extend", "1",
-                "--common-kmers", "3", "--substitute-kmers", "4", "--banded", "16",
+                "--k",
+                "5",
+                "--alphabet",
+                "murphy10",
+                "--blocks",
+                "4x3",
+                "--load-balance",
+                "triangular",
+                "--pre-blocking",
+                "--ani",
+                "0.5",
+                "--coverage",
+                "0.6",
+                "--gap-open",
+                "10",
+                "--gap-extend",
+                "1",
+                "--common-kmers",
+                "3",
+                "--substitute-kmers",
+                "4",
+                "--banded",
+                "16",
             ]),
             SEARCH_VALUE_FLAGS,
         )
@@ -399,6 +440,24 @@ mod tests {
         assert_eq!(p.substitute_kmers, 4);
         assert_eq!(p.gaps.open, 10);
         assert!(matches!(p.align_kind, AlignKind::Banded(16)));
+    }
+
+    #[test]
+    fn score_only_and_align_threads_flags() {
+        let o = Opts::parse(
+            &s(&["--score-only", "--align-threads", "4"]),
+            SEARCH_VALUE_FLAGS,
+        )
+        .unwrap();
+        let p = parse_search_params(&o).unwrap();
+        assert!(matches!(p.align_kind, AlignKind::ScoreOnly));
+        assert_eq!(p.align_threads, 4);
+        // --score-only and --banded conflict.
+        let both = Opts::parse(&s(&["--score-only", "--banded", "8"]), SEARCH_VALUE_FLAGS).unwrap();
+        assert!(parse_search_params(&both).is_err());
+        // Bad worker count is rejected.
+        let bad = Opts::parse(&s(&["--align-threads", "many"]), SEARCH_VALUE_FLAGS).unwrap();
+        assert!(parse_search_params(&bad).is_err());
     }
 
     #[test]

@@ -52,7 +52,11 @@ fn all_three_architectures_agree_on_edges_when_unconstrained() {
     // found pair sets must coincide.
     let ds = dataset();
     let want = pastis_edges(&ds);
-    assert!(want.len() > 10, "dataset too easy/hard: {} edges", want.len());
+    assert!(
+        want.len() > 10,
+        "dataset too easy/hard: {} edges",
+        want.len()
+    );
 
     let mm = run_mmseqs_like(
         &ds.store,

@@ -10,8 +10,8 @@
 //! similarity graph to be bit-identical.
 
 use pastis::comm::{run_threaded, Communicator, ProcessGrid};
-use pastis::core::{run_search, LoadBalance, SearchParams};
 use pastis::core::pipeline::run_search_serial;
+use pastis::core::{run_search, LoadBalance, SearchParams};
 use pastis::seqio::{SyntheticConfig, SyntheticDataset};
 
 fn dataset() -> pastis::seqio::SeqStore {
@@ -42,7 +42,10 @@ fn fingerprint(graph: &pastis::core::SimilarityGraph) -> EdgeFingerprint {
 
 fn reference_fingerprint() -> EdgeFingerprint {
     let res = run_search_serial(&dataset(), &params()).unwrap();
-    assert!(res.graph.n_edges() > 5, "reference run found almost nothing");
+    assert!(
+        res.graph.n_edges() > 5,
+        "reference run found almost nothing"
+    );
     fingerprint(&res.graph)
 }
 
@@ -67,8 +70,7 @@ fn identical_results_across_process_counts() {
 fn identical_results_across_blocking_factors() {
     let want = reference_fingerprint();
     for (br, bc) in [(1, 1), (2, 2), (3, 4), (5, 5), (8, 8), (1, 7)] {
-        let res =
-            run_search_serial(&dataset(), &params().with_blocking(br, bc)).unwrap();
+        let res = run_search_serial(&dataset(), &params().with_blocking(br, bc)).unwrap();
         assert_eq!(fingerprint(&res.graph), want, "blocking {br}x{bc}");
     }
 }
@@ -89,6 +91,18 @@ fn identical_results_across_schemes_and_preblocking() {
 }
 
 #[test]
+fn identical_results_across_align_thread_counts() {
+    // The intra-rank alignment pool joins the same contract as the rank
+    // count and the blocking size: the graph is bit-identical whether each
+    // rank aligns serially or on a worker pool.
+    let want = reference_fingerprint();
+    for threads in [1usize, 4] {
+        let res = run_search_serial(&dataset(), &params().with_align_threads(threads)).unwrap();
+        assert_eq!(fingerprint(&res.graph), want, "align_threads={threads}");
+    }
+}
+
+#[test]
 fn identical_results_with_everything_varied_at_once() {
     let want = reference_fingerprint();
     let out = run_threaded(9, move |c| {
@@ -96,7 +110,8 @@ fn identical_results_with_everything_varied_at_once() {
         let prm = params()
             .with_blocking(3, 5)
             .with_load_balance(LoadBalance::Triangular)
-            .with_pre_blocking(true);
+            .with_pre_blocking(true)
+            .with_align_threads(4);
         let res = run_search(&grid, &dataset(), &prm).unwrap();
         fingerprint(&res.gather_graph(grid.world()))
     });

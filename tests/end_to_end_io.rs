@@ -74,12 +74,7 @@ fn partitioned_read_search_write_concat() {
     // Split output lines across ranks like the distributed writer would.
     let per = lines.len().div_ceil(nranks).max(1);
     for rank in 0..nranks {
-        let chunk: Vec<String> = lines
-            .iter()
-            .skip(rank * per)
-            .take(per)
-            .cloned()
-            .collect();
+        let chunk: Vec<String> = lines.iter().skip(rank * per).take(per).cloned().collect();
         write_partition(&out, rank, &chunk).unwrap();
     }
     let total = concat_partitions(&out, nranks).unwrap();

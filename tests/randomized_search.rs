@@ -48,7 +48,13 @@ fn randomized_configs_agree_with_serial_reference() {
     // A matrix of (seed, p, blocking, scheme, pre-blocking) combinations;
     // all must produce the serial reference's edge set.
     let cases = [
-        (11u64, 4usize, (2usize, 3usize), LoadBalance::IndexBased, false),
+        (
+            11u64,
+            4usize,
+            (2usize, 3usize),
+            LoadBalance::IndexBased,
+            false,
+        ),
         (11, 9, (3, 3), LoadBalance::Triangular, true),
         (42, 4, (5, 1), LoadBalance::Triangular, false),
         (42, 4, (1, 5), LoadBalance::IndexBased, true),
@@ -112,12 +118,12 @@ fn mcl_refines_connected_components() {
     let cc = res.graph.connected_components();
     let m = pastis::core::mcl(&res.graph, &pastis::core::MclParams::default());
     let mut label_to_cc: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
-    for v in 0..cc.len() {
-        let entry = label_to_cc.entry(m.labels[v]).or_insert(cc[v]);
+    for (v, &comp) in cc.iter().enumerate() {
+        let entry = label_to_cc.entry(m.labels[v]).or_insert(comp);
         assert_eq!(
-            *entry, cc[v],
+            *entry, comp,
             "MCL cluster {} spans components {} and {}",
-            m.labels[v], entry, cc[v]
+            m.labels[v], entry, comp
         );
     }
 }

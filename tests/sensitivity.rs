@@ -10,10 +10,7 @@ use pastis::core::pipeline::run_search_serial;
 use pastis::core::SearchParams;
 use pastis::seqio::{ReducedAlphabet, SyntheticConfig, SyntheticDataset};
 
-fn recall_and_precision(
-    ds: &SyntheticDataset,
-    params: &SearchParams,
-) -> (f64, f64, usize) {
+fn recall_and_precision(ds: &SyntheticDataset, params: &SearchParams) -> (f64, f64, usize) {
     let res = run_search_serial(&ds.store, params).unwrap();
     let truth: std::collections::HashSet<(u32, u32)> = ds
         .true_pairs()

@@ -1,0 +1,290 @@
+//! Offline stand-in for `criterion`: a wall-clock micro-benchmark harness
+//! with the API subset the workspace's benches use — `benchmark_group`,
+//! `sample_size`, `throughput`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Throughput::Elements`, `criterion_group!` /
+//! `criterion_main!`, and `black_box`.
+//!
+//! Reporting: mean and best wall-clock per iteration, plus elements/s
+//! when a throughput was declared. No baselines, no HTML, no statistics
+//! beyond mean/min — enough to compare kernels on the same machine in
+//! one run.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of the compiler fence preventing dead-code elimination.
+pub use std::hint::black_box;
+
+/// Declared per-iteration work, used to derive throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iteration processes this many abstract elements (e.g. DP cells).
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// A `group/function/parameter` benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    /// Labels a benchmark `name` with a parameter rendered via `Display`.
+    pub fn new(name: impl Into<String>, param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            param: format!("{param}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.name, self.param)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for the harness-chosen iteration count, timing the batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:8.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:8.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:8.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:8.2} s ")
+    }
+}
+
+fn format_rate(per_sec: f64) -> String {
+    if per_sec >= 1e9 {
+        format!("{:7.3} Gelem/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:7.3} Melem/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:7.3} Kelem/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:7.1}  elem/s")
+    }
+}
+
+/// Top-level harness state; one per benchmark binary.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo-bench invokes the binary as `<bin> --bench [FILTER]`;
+        // treat the first non-flag argument as a substring filter.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs a stand-alone benchmark (implicit group named after the id).
+    pub fn bench_function<D: fmt::Display>(
+        &mut self,
+        id: D,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{id}");
+        run_benchmark(&label, self.filter.as_deref(), 10, None, f);
+        self
+    }
+}
+
+/// A set of benchmarks sharing a name prefix, sample size and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f`, labelling it `group/id`.
+    pub fn bench_function<D: fmt::Display>(
+        &mut self,
+        id: D,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{id}", self.name);
+        run_benchmark(
+            &label,
+            self.criterion.filter.as_deref(),
+            self.sample_size,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input, labelling it `group/id`.
+    pub fn bench_with_input<I: ?Sized, D: fmt::Display>(
+        &mut self,
+        id: D,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API parity; reporting is immediate).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark(
+    label: &str,
+    filter: Option<&str>,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    if let Some(pat) = filter {
+        if !label.contains(pat) {
+            return;
+        }
+    }
+    // Calibrate: grow the iteration count until one batch costs ≥ ~2 ms,
+    // so per-sample timer overhead is negligible.
+    let mut iters: u64 = 1;
+    let mut bencher = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    loop {
+        bencher.iters = iters;
+        f(&mut bencher);
+        if bencher.elapsed >= Duration::from_millis(2) || iters >= 1 << 24 {
+            break;
+        }
+        iters = iters.saturating_mul(4);
+    }
+    // Sample.
+    let mut total = Duration::ZERO;
+    let mut best = Duration::MAX;
+    let samples = sample_size.max(2);
+    for _ in 0..samples {
+        bencher.iters = iters;
+        f(&mut bencher);
+        total += bencher.elapsed;
+        if bencher.elapsed < best {
+            best = bencher.elapsed;
+        }
+    }
+    let mean = total.as_secs_f64() / (samples as u64 * iters) as f64;
+    let best = best.as_secs_f64() / iters as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) => {
+            format!("  thrpt: {}", format_rate(n as f64 / mean))
+        }
+        None => String::new(),
+    };
+    println!(
+        "{label:<48} time: [mean {} | best {}]{rate}",
+        format_time(mean),
+        format_time(best),
+    );
+}
+
+/// Bundles benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `main()` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("stub");
+        g.sample_size(2);
+        g.throughput(Throughput::Elements(64));
+        g.bench_function(BenchmarkId::new("sum", 64), |b| {
+            b.iter(|| (0..64u64).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion { filter: None };
+        sample_bench(&mut c);
+        c.bench_function("standalone", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("zzz-no-match".into()),
+        };
+        // Would run forever if not filtered: the closure panics.
+        let mut g = c.benchmark_group("skipped");
+        g.bench_function("panics", |_b| panic!("must be filtered out"));
+        g.finish();
+    }
+}

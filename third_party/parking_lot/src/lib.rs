@@ -1,0 +1,102 @@
+//! Offline stand-in for `parking_lot`: non-poisoning `Mutex` and `RwLock`
+//! wrappers over `std::sync`. Lock acquisition ignores poisoning (a
+//! panicking holder does not wedge other threads), matching the real
+//! crate's most load-bearing semantic difference from `std`.
+
+use std::sync::{self, PoisonError};
+
+/// A mutual-exclusion lock whose `lock()` never returns a poison error.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: sync::Mutex<T>,
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available. Never poisons.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A reader-writer lock whose guards never return poison errors.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: sync::RwLock<T>,
+}
+
+/// Shared-read guard returned by [`RwLock::read`].
+pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+/// Exclusive-write guard returned by [`RwLock::write`].
+pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    /// Creates a new reader-writer lock protecting `value`.
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires a shared read guard. Never poisons.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquires an exclusive write guard. Never poisons.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn rwlock_roundtrip() {
+        let l = RwLock::new(vec![1, 2]);
+        l.write().push(3);
+        assert_eq!(l.read().len(), 3);
+    }
+}

@@ -1,0 +1,12 @@
+//! Offline stand-in for `serde`: marker traits plus the derive-macro
+//! re-export. The workspace only ever *derives* these traits to document
+//! serializability of config/report types; nothing in the dependency set
+//! performs serialization, so no methods are required.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that could be serialized (no-op subset).
+pub trait Serialize {}
+
+/// Marker for types that could be deserialized (no-op subset).
+pub trait Deserialize<'de>: Sized {}

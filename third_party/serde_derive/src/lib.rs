@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde_derive`: the workspace derives
+//! `Serialize`/`Deserialize` on config/report structs but never actually
+//! serializes (no serializer crate is in the dependency set), so the
+//! derives expand to nothing. This keeps `#[derive(Serialize,
+//! Deserialize)]` attributes compiling unchanged.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
