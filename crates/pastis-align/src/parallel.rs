@@ -32,6 +32,8 @@ use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
+use pastis_trace::{Component, Recorder, Track};
+
 use crate::banded::sw_banded;
 use crate::batch::{AlignTask, BatchStats};
 use crate::matrices::Scoring;
@@ -59,13 +61,15 @@ pub struct ScoreResult {
 
 /// Persistent-for-the-batch worker pool executing alignment batches as
 /// atomically-claimed units across `t` threads.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct AlignPool {
     threads: usize,
+    recorder: Recorder,
 }
 
 impl AlignPool {
     /// A pool of `threads` workers; `0` means one per available core.
+    /// Telemetry is off until [`AlignPool::with_recorder`] attaches a sink.
     pub fn new(threads: usize) -> AlignPool {
         let threads = if threads == 0 {
             std::thread::available_parallelism()
@@ -74,7 +78,20 @@ impl AlignPool {
         } else {
             threads
         };
-        AlignPool { threads }
+        AlignPool {
+            threads,
+            recorder: Recorder::disabled(),
+        }
+    }
+
+    /// Attach a telemetry recorder: each batch then emits one
+    /// `align.worker` span per claiming worker on its
+    /// [`Track::AlignWorker`] sub-track (occupancy view), tagged with the
+    /// units/pairs/cells that worker processed. Observation-only — results
+    /// are unchanged.
+    pub fn with_recorder(mut self, recorder: Recorder) -> AlignPool {
+        self.recorder = recorder;
+        self
     }
 
     /// Worker count this pool dispatches to.
@@ -237,14 +254,19 @@ impl AlignPool {
         let workers = self.threads.min(n_units.max(1));
         let (payloads, mut stats) = if workers <= 1 {
             let busy = Instant::now();
+            let mut span = self.worker_span(0);
             let mut local = BatchStats::default();
             let out = (0..n_units).map(|u| run_unit(u, &mut local)).collect();
             local.seconds = busy.elapsed().as_secs_f64();
+            if let Some(span) = span.as_mut() {
+                tag_worker_span(span, n_units as u64, &local);
+            }
             (out, local)
         } else {
             let next = AtomicUsize::new(0);
-            let worker = || {
+            let worker = |w: u32| {
                 let busy = Instant::now();
+                let mut span = self.worker_span(w);
                 let mut local = BatchStats::default();
                 let mut out = Vec::new();
                 loop {
@@ -255,15 +277,21 @@ impl AlignPool {
                     out.push((u, run_unit(u, &mut local)));
                 }
                 local.seconds = busy.elapsed().as_secs_f64();
+                if let Some(span) = span.as_mut() {
+                    tag_worker_span(span, out.len() as u64, &local);
+                }
                 (out, local)
             };
             // The calling thread is worker 0, so `threads = t` occupies
             // exactly t OS threads — important under pre-blocking, where a
             // concurrent sparse thread already owns the communicator.
             std::thread::scope(|scope| {
-                let handles: Vec<_> = (1..workers).map(|_| scope.spawn(worker)).collect();
+                let worker = &worker;
+                let handles: Vec<_> = (1..workers)
+                    .map(|w| scope.spawn(move || worker(w as u32)))
+                    .collect();
                 let mut tagged: Vec<(usize, P)> = Vec::with_capacity(n_units);
-                let (own_out, own_local) = worker();
+                let (own_out, own_local) = worker(0);
                 tagged.extend(own_out);
                 let mut merged = own_local;
                 for h in handles {
@@ -281,6 +309,26 @@ impl AlignPool {
         stats.wall_seconds = wall.elapsed().as_secs_f64();
         (payloads, stats)
     }
+
+    /// Open worker `w`'s occupancy span on its sub-track, or `None` with
+    /// telemetry disabled (skipping even the guard construction).
+    fn worker_span(&self, w: u32) -> Option<pastis_trace::SpanGuard> {
+        if !self.recorder.is_enabled() {
+            return None;
+        }
+        Some(
+            self.recorder
+                .span(Component::Align, "align.worker")
+                .on_track(Track::AlignWorker(w)),
+        )
+    }
+}
+
+/// Attach the per-worker outcome counters to its occupancy span.
+fn tag_worker_span(span: &mut pastis_trace::SpanGuard, units: u64, local: &BatchStats) {
+    span.push_arg("units", units);
+    span.push_arg("pairs", local.pairs);
+    span.push_arg("cells", local.cells);
 }
 
 fn chunk_range(unit: usize, total: usize) -> Range<usize> {
@@ -601,6 +649,74 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn traced_pool_emits_worker_occupancy_spans() {
+        use pastis_trace::TraceSession;
+        let seqs = random_store(10, 48, 12);
+        let tasks = random_tasks(10, 200, 13);
+        let g = GapPenalties::pastis_defaults();
+        let (want, want_stats) =
+            AlignPool::new(3).run_traceback(&tasks, |id| &seqs[id as usize], &Blosum62, g);
+
+        let session = TraceSession::new();
+        let rec = session.recorder(0);
+        let pool = AlignPool::new(3).with_recorder(rec.clone());
+        let (got, stats) = pool.run_traceback(&tasks, |id| &seqs[id as usize], &Blosum62, g);
+
+        // Observation-only: results and merged counters are unchanged.
+        assert_eq!(got, want);
+        assert_eq!(stats.pairs, want_stats.pairs);
+        assert_eq!(stats.cells, want_stats.cells);
+
+        let spans = rec.snapshot_spans();
+        // 200 tasks / CHUNK(32) = 7 units ≥ 3 workers, so all 3 workers
+        // participate and each emits exactly one span on its own sub-track.
+        assert_eq!(spans.len(), 3);
+        let mut tracks: Vec<Track> = spans.iter().map(|s| s.track).collect();
+        tracks.sort_by_key(|t| match t {
+            Track::Rank => 0,
+            Track::AlignWorker(w) => 1 + *w,
+        });
+        assert_eq!(
+            tracks,
+            vec![
+                Track::AlignWorker(0),
+                Track::AlignWorker(1),
+                Track::AlignWorker(2)
+            ]
+        );
+        // Per-worker tallies sum to the batch totals.
+        let arg = |s: &pastis_trace::SpanEvent, k: &str| {
+            s.args
+                .iter()
+                .find(|(n, _)| *n == k)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        let pairs: u64 = spans.iter().map(|s| arg(s, "pairs")).sum();
+        let cells: u64 = spans.iter().map(|s| arg(s, "cells")).sum();
+        let units: u64 = spans.iter().map(|s| arg(s, "units")).sum();
+        assert_eq!(pairs, stats.pairs);
+        assert_eq!(cells, stats.cells);
+        assert_eq!(units, 200u64.div_ceil(CHUNK as u64));
+    }
+
+    #[test]
+    fn serial_traced_pool_uses_worker_zero_track() {
+        use pastis_trace::TraceSession;
+        let seqs = random_store(6, 30, 14);
+        let tasks = random_tasks(6, 10, 15);
+        let session = TraceSession::new();
+        let rec = session.recorder(0);
+        let pool = AlignPool::new(1).with_recorder(rec.clone());
+        let g = GapPenalties::pastis_defaults();
+        let _ = pool.run_score_only(&tasks, |id| &seqs[id as usize], &Blosum62, g);
+        let spans = rec.snapshot_spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].track, Track::AlignWorker(0));
+        assert_eq!(spans[0].name, "align.worker");
     }
 
     #[test]

@@ -26,6 +26,7 @@ use pastis_core::filter::EdgeFilter;
 use pastis_core::kmer::distinct_kmers;
 use pastis_core::simgraph::{SimilarityEdge, SimilarityGraph};
 use pastis_seqio::{ReducedAlphabet, SeqStore};
+use pastis_trace::{span, Component, Recorder, TraceSession};
 
 /// Configuration of the DIAMOND-style search.
 #[derive(Debug, Clone)]
@@ -105,6 +106,26 @@ const INTERMEDIATE_BYTES: u64 = 12;
 
 /// Run the many-against-many search with the work-package architecture.
 pub fn run_diamond_like(store: &SeqStore, cfg: &DiamondLikeConfig) -> DiamondLikeReport {
+    run_inner(store, cfg, None)
+}
+
+/// Like [`run_diamond_like`], recording phase spans into `session` — one
+/// recorder per query chunk (the unit that owns a spill file), with a
+/// `package.seed_join` span per work package and a `join.align` span per
+/// join. Observation-only: the report is identical to the untraced run's.
+pub fn run_diamond_like_traced(
+    store: &SeqStore,
+    cfg: &DiamondLikeConfig,
+    session: &TraceSession,
+) -> DiamondLikeReport {
+    run_inner(store, cfg, Some(session))
+}
+
+fn run_inner(
+    store: &SeqStore,
+    cfg: &DiamondLikeConfig,
+    session: Option<&TraceSession>,
+) -> DiamondLikeReport {
     assert!(
         cfg.query_chunks > 0 && cfg.ref_chunks > 0,
         "chunk counts must be positive"
@@ -122,11 +143,16 @@ pub fn run_diamond_like(store: &SeqStore, cfg: &DiamondLikeConfig) -> DiamondLik
 
     // --- Package phase: every (query chunk, ref chunk) pair.
     for (qc, spill_qc) in spill.iter_mut().enumerate() {
+        let rec = session.map_or_else(Recorder::disabled, |s| s.recorder(qc));
         let (q0, q1) = (
             qdist.part_offset(qc),
             qdist.part_offset(qc) + qdist.part_len(qc),
         );
         for rc in 0..rdist.parts {
+            let spilled_before = spill_qc.len() as u64;
+            let mut pkg_span = span!(rec, Component::SparseOther, "package.seed_join", {
+                rc: rc as u64,
+            });
             let (r0, r1) = (
                 rdist.part_offset(rc),
                 rdist.part_offset(rc) + rdist.part_len(rc),
@@ -174,6 +200,8 @@ pub fn run_diamond_like(store: &SeqStore, cfg: &DiamondLikeConfig) -> DiamondLik
                     spilled_bytes += INTERMEDIATE_BYTES;
                 }
             }
+            pkg_span.push_arg("spilled", spill_qc.len() as u64 - spilled_before);
+            drop(pkg_span);
         }
     }
 
@@ -187,6 +215,10 @@ pub fn run_diamond_like(store: &SeqStore, cfg: &DiamondLikeConfig) -> DiamondLik
     let mut graph = SimilarityGraph::new(n);
     let mut aligned_pairs = 0u64;
     for (chunk_idx, chunk) in spill.iter().enumerate() {
+        let rec = session.map_or_else(Recorder::disabled, |s| s.recorder(chunk_idx));
+        let mut join_span = span!(rec, Component::Align, "join.align", {
+            records: chunk.len() as u64,
+        });
         spilled_bytes += chunk.len() as u64 * INTERMEDIATE_BYTES; // re-read
         let mut merged: HashMap<(u32, u32), u32> = HashMap::new();
         for rec in chunk {
@@ -229,6 +261,9 @@ pub fn run_diamond_like(store: &SeqStore, cfg: &DiamondLikeConfig) -> DiamondLik
                 });
             }
         }
+        join_span.push_arg("pairs", tasks.len() as u64);
+        drop(join_span);
+        rec.add_counter("aligned_pairs", tasks.len() as f64);
     }
     graph.normalize();
     DiamondLikeReport {
@@ -386,6 +421,32 @@ mod tests {
         assert!(r.seed_candidates >= r.aligned_pairs);
         assert!(r.aligned_pairs >= r.graph.n_edges() as u64);
         assert_eq!(r.capped_out, 0);
+    }
+
+    #[test]
+    fn traced_run_emits_package_and_join_spans() {
+        let store = tiny_store();
+        let base = run_diamond_like(&store, &cfg());
+        let session = TraceSession::new();
+        let traced = run_diamond_like_traced(&store, &cfg(), &session);
+        // Observation-only.
+        assert_eq!(traced.graph.edges(), base.graph.edges());
+        assert_eq!(traced.spilled_bytes, base.spilled_bytes);
+        let recs = session.recorders();
+        assert_eq!(recs.len(), 2); // one per query chunk
+        let mut packages = 0;
+        let mut total_aligned = 0.0;
+        for rec in &recs {
+            let spans = rec.snapshot_spans();
+            packages += spans
+                .iter()
+                .filter(|s| s.name == "package.seed_join")
+                .count();
+            assert!(spans.iter().any(|s| s.name == "join.align"));
+            total_aligned += rec.counters()["aligned_pairs"];
+        }
+        assert_eq!(packages, base.packages);
+        assert_eq!(total_aligned as u64, base.aligned_pairs);
     }
 
     #[test]

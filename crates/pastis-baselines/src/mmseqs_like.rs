@@ -20,6 +20,7 @@ use pastis_core::filter::EdgeFilter;
 use pastis_core::kmer::distinct_kmers;
 use pastis_core::simgraph::{SimilarityEdge, SimilarityGraph};
 use pastis_seqio::{ReducedAlphabet, SeqStore};
+use pastis_trace::{span, Component, Recorder, TraceSession};
 
 /// Which sequence set is chunked across ranks (the other is replicated).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,6 +122,29 @@ pub fn run_mmseqs_like(
     cfg: &MmseqsLikeConfig,
     nranks: usize,
 ) -> MmseqsLikeReport {
+    run_inner(store, cfg, nranks, None)
+}
+
+/// Like [`run_mmseqs_like`], recording each simulated rank's phase spans
+/// (`index.build`, `prefilter`, `align.batch`) and work counters into
+/// `session` — one recorder per rank, so the baseline's trace is directly
+/// comparable to the PASTIS pipeline's. Observation-only: the report is
+/// identical to the untraced run's.
+pub fn run_mmseqs_like_traced(
+    store: &SeqStore,
+    cfg: &MmseqsLikeConfig,
+    nranks: usize,
+    session: &TraceSession,
+) -> MmseqsLikeReport {
+    run_inner(store, cfg, nranks, Some(session))
+}
+
+fn run_inner(
+    store: &SeqStore,
+    cfg: &MmseqsLikeConfig,
+    nranks: usize,
+    session: Option<&TraceSession>,
+) -> MmseqsLikeReport {
     assert!(nranks > 0, "need at least one rank");
     let start = Instant::now();
     let n = store.len();
@@ -137,16 +161,20 @@ pub fn run_mmseqs_like(
     let mut index_bytes_per_rank = 0u64;
 
     for rank in 0..nranks {
+        let rec = session.map_or_else(Recorder::disabled, |s| s.recorder(rank));
         let c0 = chunks.part_offset(rank);
         let c1 = c0 + chunks.part_len(rank);
         // In target-split mode the rank indexes its *chunk* and scans all
         // queries; in query-split mode it indexes the *whole* reference
         // set and scans its chunk. Either way one side of the pairing is
         // all `n` sequences; the replicated structure differs.
+        let mut build_span = span!(rec, Component::SparseOther, "index.build");
         let (index, scan): (KmerIndex, Box<dyn Iterator<Item = usize>>) = match cfg.mode {
             SplitMode::TargetSplit => (KmerIndex::build(store, c0..c1, cfg), Box::new(0..n)),
             SplitMode::QuerySplit => (KmerIndex::build(store, 0..n, cfg), Box::new(c0..c1)),
         };
+        build_span.push_arg("bytes", index.bytes);
+        drop(build_span);
         // The replicated payload per rank: in target-split the full
         // *query set* (here: all sequences) is replicated; its index is
         // built once per rank in MMseqs2's prefilter. We account the
@@ -169,6 +197,8 @@ pub fn run_mmseqs_like(
         // alignment phase parallelize freely.
         let mut tasks: Vec<AlignTask> = Vec::new();
         let mut shared_counts: Vec<u32> = Vec::new();
+        let rank_candidates_before = prefilter_candidates;
+        let mut prefilter_span = span!(rec, Component::SparseOther, "prefilter");
         for q in scan {
             // Count shared k-mers per target via the index.
             let mut hits: HashMap<u32, u32> = HashMap::new();
@@ -200,8 +230,19 @@ pub fn run_mmseqs_like(
                 }
             }
         }
-        let (results, _stats) =
-            aligner.run_batch_parallel(&tasks, |id| store.seq(id as usize), cfg.align_threads);
+        prefilter_span.push_arg("candidates", prefilter_candidates - rank_candidates_before);
+        drop(prefilter_span);
+        let (results, _stats) = {
+            let _s = span!(rec, Component::Align, "align.batch", {
+                pairs: tasks.len() as u64,
+            });
+            aligner.run_batch_parallel(&tasks, |id| store.seq(id as usize), cfg.align_threads)
+        };
+        rec.add_counter(
+            "prefilter_candidates",
+            (prefilter_candidates - rank_candidates_before) as f64,
+        );
+        rec.add_counter("aligned_pairs", tasks.len() as f64);
         aligned_pairs += tasks.len() as u64;
         for ((task, res), &shared) in tasks.iter().zip(&results).zip(&shared_counts) {
             let qs = store.seq(task.query as usize);
@@ -355,6 +396,32 @@ mod tests {
         );
         assert!(strict.prefilter_candidates < loose.prefilter_candidates);
         assert!(strict.aligned_pairs <= loose.aligned_pairs);
+    }
+
+    #[test]
+    fn traced_run_emits_per_rank_phase_spans() {
+        let store = tiny_store();
+        let base = run_mmseqs_like(&store, &cfg(), 3);
+        let session = TraceSession::new();
+        let traced = run_mmseqs_like_traced(&store, &cfg(), 3, &session);
+        // Observation-only.
+        assert_eq!(traced.graph.edges(), base.graph.edges());
+        assert_eq!(traced.aligned_pairs, base.aligned_pairs);
+        let recs = session.recorders();
+        assert_eq!(recs.len(), 3);
+        let mut total_aligned = 0.0;
+        for rec in &recs {
+            let spans = rec.snapshot_spans();
+            for name in ["index.build", "prefilter", "align.batch"] {
+                assert!(
+                    spans.iter().any(|s| s.name == name),
+                    "rank {} missing {name}",
+                    rec.rank()
+                );
+            }
+            total_aligned += rec.counters()["aligned_pairs"];
+        }
+        assert_eq!(total_aligned as u64, base.aligned_pairs);
     }
 
     #[test]

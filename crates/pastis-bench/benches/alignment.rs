@@ -10,6 +10,7 @@ use pastis_align::matrices::Blosum62;
 use pastis_align::parallel::AlignPool;
 use pastis_align::sw::{sw_align, sw_score_only, GapPenalties};
 use pastis_seqio::{SyntheticConfig, SyntheticDataset};
+use pastis_trace::TraceSession;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -167,11 +168,40 @@ fn bench_batch_multilane(c: &mut Criterion) {
     group.finish();
 }
 
+/// Telemetry overhead on the batch engine: the same pool run with the
+/// recorder disabled vs attached to a live session (including session
+/// setup, span recording, and counter merging — the full `--trace-out`
+/// cost). Acceptance budget: traced ≤ 5% slower than untraced.
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(10);
+    let gaps = GapPenalties::pastis_defaults();
+    let (seqs, tasks) = synth_batch(150.0, 1000);
+    let cells = BatchAligner::<Blosum62>::batch_cells(&tasks, |id| seqs[id as usize].len());
+    group.throughput(Throughput::Elements(cells));
+    for &t in &[1usize, 4] {
+        group.bench_with_input(BenchmarkId::new("untraced", t), &t, |b, &t| {
+            b.iter(|| {
+                AlignPool::new(t).run_traceback(&tasks, |id| &seqs[id as usize], &Blosum62, gaps)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("traced", t), &t, |b, &t| {
+            b.iter(|| {
+                let session = TraceSession::new();
+                let pool = AlignPool::new(t).with_recorder(session.recorder(0));
+                pool.run_traceback(&tasks, |id| &seqs[id as usize], &Blosum62, gaps)
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_sw_by_length,
     bench_bounded_kernels,
     bench_batch_parallel,
-    bench_batch_multilane
+    bench_batch_multilane,
+    bench_telemetry_overhead
 );
 criterion_main!(benches);

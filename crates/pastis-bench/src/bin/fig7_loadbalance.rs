@@ -11,18 +11,24 @@
 //!
 //! Reproduction: 12,000 sequences, 64 virtual nodes, calibrated miniature
 //! Summit, pre-blocking off (as in the paper's Section VI-B experiments).
+//! The per-process pair/cell/second distributions are read back from the
+//! *telemetry* of a traced replay (per-rank counters and component
+//! seconds), so the figure exercises the same path a real run's
+//! `--metrics-json` feeds.
 
 use pastis_bench::*;
 use pastis_comm::ImbalanceStats;
-use pastis_core::{simulate, LoadBalance};
+use pastis_core::{simulate_traced, LoadBalance};
+use pastis_trace::{Component, MetricsReport, TraceSession};
 
 fn fmt_imb(s: &ImbalanceStats) -> String {
     format!(
-        "{:>9.0}/{:>9.0}/{:>9.0} ({:>5.1}%)",
+        "{:>9.0}/{:>9.0}/{:>9.0} σ{:>8.0} ({:>4.2}x)",
         s.min,
         s.avg,
         s.max,
-        s.imbalance_pct()
+        s.stddev,
+        s.imbalance_factor()
     )
 }
 
@@ -40,9 +46,9 @@ fn main() {
         ds.store.len()
     );
 
-    // Simulate each (blocks, scheme) configuration once; all four panels
-    // read from the same reports.
-    let reports: Vec<Vec<pastis_core::ScaleReport>> = blocks
+    // Simulate each (blocks, scheme) configuration once, with telemetry;
+    // all four panels read from the same reports + metrics.
+    let reports: Vec<Vec<(pastis_core::ScaleReport, MetricsReport)>> = blocks
         .iter()
         .map(|&b| {
             let (br, bc) = factor_blocks(b);
@@ -52,7 +58,14 @@ fn main() {
                     let params = bench_params()
                         .with_blocking(br, bc)
                         .with_load_balance(scheme);
-                    simulate(&ds.store, &params, &scale_config(&machine, nodes))
+                    let session = TraceSession::virtual_time();
+                    let r = simulate_traced(
+                        &ds.store,
+                        &params,
+                        &scale_config(&machine, nodes),
+                        &session,
+                    );
+                    (r, MetricsReport::from_session(&session))
                 })
                 .collect()
         })
@@ -72,12 +85,13 @@ fn main() {
         rule(100);
         for (bi, &b) in blocks.iter().enumerate() {
             let mut cells = Vec::new();
-            for r in reports[bi].iter().take(schemes.len()) {
+            for (_, metrics) in reports[bi].iter().take(schemes.len()) {
                 let s = match panel {
-                    "7a" => r.pairs_imbalance,
-                    "7b" => r.cells_imbalance,
-                    _ => r.align_time_imbalance,
-                };
+                    "7a" => metrics.counter_imbalance("aligned_pairs"),
+                    "7b" => metrics.counter_imbalance("cells"),
+                    _ => metrics.component_imbalance(Component::Align),
+                }
+                .expect("traced replay records per-rank telemetry");
                 cells.push(fmt_imb(&s));
             }
             println!("{b:>7} | {:>42} | {:>42}", cells[0], cells[1]);
@@ -92,8 +106,8 @@ fn main() {
     );
     rule(92);
     for (bi, &b) in blocks.iter().enumerate() {
-        let idx = &reports[bi][0];
-        let tri = &reports[bi][1];
+        let idx = &reports[bi][0].0;
+        let tri = &reports[bi][1].0;
         let winner = if idx.total_without_pb < tri.total_without_pb {
             "index"
         } else {

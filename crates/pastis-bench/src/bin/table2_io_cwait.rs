@@ -7,10 +7,16 @@
 //! with node count is the shared-filesystem saturation plus the shrinking
 //! denominator (compute scales, IO doesn't).
 //!
-//! Reproduction: same sweep as fig8_strong_scaling.
+//! Reproduction: same sweep as fig8_strong_scaling. The cwait and IO
+//! seconds are read back from the *telemetry* of a traced virtual-time
+//! replay ([`pastis_core::simulate_traced`]) — the table is generated from
+//! the same recorder/exporter path a real run's `--metrics-json` uses, not
+//! from the model's internal fields (which the telemetry must, and does,
+//! agree with).
 
 use pastis_bench::*;
-use pastis_core::{simulate, LoadBalance};
+use pastis_core::{simulate_traced, LoadBalance};
+use pastis_trace::{Component, MetricsReport, TraceSession};
 
 fn main() {
     let ds = bench_dataset(5000);
@@ -36,12 +42,20 @@ fn main() {
         let mut cols = Vec::new();
         for scheme in [LoadBalance::IndexBased, LoadBalance::Triangular] {
             let params = reference.clone().with_load_balance(scheme);
-            let r = simulate(&ds.store, &params, &scale_config(&machine, nodes));
+            let session = TraceSession::virtual_time();
+            let r = simulate_traced(&ds.store, &params, &scale_config(&machine, nodes), &session);
+            // Read the component seconds back out of the telemetry (the
+            // slowest rank's, as a wall-clock share), exactly as a
+            // `--metrics-json` consumer would.
+            let metrics = MetricsReport::from_session(&session);
+            let cwait = metrics
+                .component_imbalance(Component::CommWait)
+                .map_or(0.0, |s| s.max);
+            let io = metrics
+                .component_imbalance(Component::Io)
+                .map_or(0.0, |s| s.max);
             let total = r.total_with_pb;
-            cols.push((
-                100.0 * r.cwait_s / total,
-                100.0 * (r.io_read_s + r.io_write_s) / total,
-            ));
+            cols.push((100.0 * cwait / total, 100.0 * io / total));
         }
         println!(
             "{:>6} | {:>10.2} {:>8.2} | {:>10.2} {:>8.2}",

@@ -40,6 +40,7 @@ pub mod costmodel;
 pub mod grid;
 pub mod local;
 pub mod threaded;
+pub mod traced;
 pub mod vclock;
 
 pub use communicator::{CommStats, Communicator, ReduceOp};
@@ -47,4 +48,5 @@ pub use costmodel::{AlphaBeta, CollectiveAlgo, MachineModel};
 pub use grid::ProcessGrid;
 pub use local::SelfComm;
 pub use threaded::{run_threaded, ThreadedComm};
+pub use traced::TracedComm;
 pub use vclock::{Component, ImbalanceStats, TimeBreakdown, VirtualClock};

@@ -1,0 +1,241 @@
+//! [`TracedComm`]: a telemetry-recording communicator wrapper.
+//!
+//! Wraps any [`Communicator`] and records one [`CommEvent`] per operation
+//! into this rank's [`Recorder`] — op kind, payload bytes, peer count, and
+//! the wall-clock seconds the calling rank spent inside the call (wait +
+//! transfer). Forwarding is otherwise transparent, so the wrapper is
+//! observation-only: a search run over `TracedComm<C>` produces exactly
+//! the results of the same run over `C`.
+//!
+//! Byte accounting mirrors [`CommStats`](crate::communicator::CommStats)'
+//! conventions so the telemetry agrees with the pre-existing counters (and,
+//! on the virtual-time plane, with the α–β model's assumed volumes):
+//! caller-supplied `nbytes` for broadcast and point-to-point,
+//! `size_of::<T>() × size` for all-gather, sent-elements × `size_of::<T>()`
+//! for all-to-allv.
+
+use std::time::Instant;
+
+use pastis_trace::{CommOp, Recorder};
+
+use crate::communicator::{CommStatsSnapshot, Communicator, Payload, ReduceOp};
+
+/// A communicator that records per-operation telemetry into a [`Recorder`].
+#[derive(Debug)]
+pub struct TracedComm<C: Communicator> {
+    inner: C,
+    recorder: Recorder,
+}
+
+impl<C: Communicator> TracedComm<C> {
+    /// Wrap `inner`, recording every operation into `recorder` (a disabled
+    /// recorder makes this a zero-telemetry passthrough).
+    pub fn new(inner: C, recorder: Recorder) -> TracedComm<C> {
+        TracedComm { inner, recorder }
+    }
+
+    /// The recorder operations are logged to.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// The wrapped communicator.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    /// Unwrap into the underlying communicator.
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+
+    /// Run `f`, then record it as one `op` event with the given traffic.
+    fn traced<T>(&self, op: CommOp, bytes: u64, f: impl FnOnce(&C) -> T) -> T {
+        if !self.recorder.is_enabled() {
+            return f(&self.inner);
+        }
+        let start = Instant::now();
+        let out = f(&self.inner);
+        let peers = self.inner.size().saturating_sub(1);
+        self.recorder
+            .record_comm(op, bytes, peers, start.elapsed().as_secs_f64());
+        out
+    }
+}
+
+impl<C: Communicator> Communicator for TracedComm<C> {
+    fn rank(&self) -> usize {
+        self.inner.rank()
+    }
+
+    fn size(&self) -> usize {
+        self.inner.size()
+    }
+
+    fn barrier(&self) {
+        self.traced(CommOp::Barrier, 0, |c| c.barrier());
+    }
+
+    fn broadcast<T: Payload>(&self, root: usize, value: T, nbytes: usize) -> T {
+        self.traced(CommOp::Broadcast, nbytes as u64, |c| {
+            c.broadcast(root, value, nbytes)
+        })
+    }
+
+    fn all_gather<T: Payload>(&self, value: T) -> Vec<T> {
+        let bytes = (std::mem::size_of::<T>() * self.inner.size()) as u64;
+        self.traced(CommOp::AllGather, bytes, |c| c.all_gather(value))
+    }
+
+    fn gather<T: Payload>(&self, root: usize, value: T) -> Option<Vec<T>> {
+        let bytes = std::mem::size_of::<T>() as u64;
+        self.traced(CommOp::Gather, bytes, |c| c.gather(root, value))
+    }
+
+    fn all_to_allv<T: Payload>(&self, parts: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        let sent: usize = parts.iter().map(Vec::len).sum();
+        let bytes = (sent * std::mem::size_of::<T>()) as u64;
+        self.traced(CommOp::AllToAllV, bytes, |c| c.all_to_allv(parts))
+    }
+
+    fn all_reduce(&self, values: &[u64], op: ReduceOp) -> Vec<u64> {
+        let bytes = std::mem::size_of_val(values) as u64;
+        self.traced(CommOp::AllReduce, bytes, |c| c.all_reduce(values, op))
+    }
+
+    fn all_reduce_f64(&self, values: &[f64], op: ReduceOp) -> Vec<f64> {
+        let bytes = std::mem::size_of_val(values) as u64;
+        self.traced(CommOp::AllReduce, bytes, |c| c.all_reduce_f64(values, op))
+    }
+
+    fn all_reduce_with<T, F>(&self, value: T, fold: F) -> T
+    where
+        T: Payload,
+        F: Fn(T, T) -> T,
+    {
+        let bytes = std::mem::size_of::<T>() as u64;
+        self.traced(CommOp::AllReduce, bytes, |c| c.all_reduce_with(value, fold))
+    }
+
+    fn send_to<T: Payload>(&self, dst: usize, value: T, nbytes: usize) {
+        // Non-blocking: the recorded wait is the enqueue cost, not the
+        // transfer; the receiving side's RecvFrom event carries the wait.
+        self.traced(CommOp::SendTo, nbytes as u64, |c| {
+            c.send_to(dst, value, nbytes)
+        });
+    }
+
+    fn recv_from<T: Payload>(&self, src: usize) -> T {
+        // Payload size is unknown on the receive side (type-erased mailbox);
+        // bytes are accounted at the sender.
+        self.traced(CommOp::RecvFrom, 0, |c| c.recv_from(src))
+    }
+
+    fn split(&self, color: usize, key: usize) -> Self {
+        TracedComm {
+            inner: self.inner.split(color, key),
+            recorder: self.recorder.clone(),
+        }
+    }
+
+    fn stats(&self) -> CommStatsSnapshot {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local::SelfComm;
+    use crate::threaded::run_threaded;
+    use pastis_trace::TraceSession;
+    use std::sync::Arc;
+
+    #[test]
+    fn records_ops_bytes_and_peers() {
+        let session = TraceSession::new();
+        let comm = TracedComm::new(SelfComm::new(), session.recorder(0));
+        comm.broadcast(0, 7u32, 64);
+        comm.all_gather(1u64);
+        comm.all_to_allv(vec![vec![1u32, 2, 3]]);
+        comm.barrier();
+        let v = comm.all_reduce(&[1, 2], ReduceOp::Sum);
+        assert_eq!(v, vec![1, 2]);
+
+        let events = comm.recorder().snapshot_comms();
+        assert_eq!(events.len(), 5);
+        assert_eq!(events[0].op, CommOp::Broadcast);
+        assert_eq!(events[0].bytes, 64);
+        assert_eq!(events[0].peers, 0);
+        assert_eq!(events[1].op, CommOp::AllGather);
+        assert_eq!(events[1].bytes, 8);
+        assert_eq!(events[2].op, CommOp::AllToAllV);
+        assert_eq!(events[2].bytes, 12);
+        assert_eq!(events[3].op, CommOp::Barrier);
+        assert_eq!(events[4].op, CommOp::AllReduce);
+        assert_eq!(events[4].bytes, 16);
+    }
+
+    #[test]
+    fn disabled_recorder_is_pure_passthrough() {
+        let comm = TracedComm::new(SelfComm::new(), Recorder::disabled());
+        assert_eq!(comm.broadcast(0, 42u8, 1), 42);
+        comm.barrier();
+        assert!(comm.recorder().snapshot_comms().is_empty());
+        // The inner CommStats still count as before.
+        assert_eq!(comm.stats().broadcasts, 1);
+    }
+
+    #[test]
+    fn threaded_ranks_record_matching_collectives() {
+        let session = Arc::new(TraceSession::new());
+        let sess = Arc::clone(&session);
+        run_threaded(4, move |comm| {
+            let owned = comm.split(0, comm.rank());
+            let traced = TracedComm::new(owned, sess.recorder(comm.rank()));
+            let xs = traced.all_gather(traced.rank() as u64);
+            assert_eq!(xs, vec![0, 1, 2, 3]);
+            traced.broadcast(0, 9u64, 24);
+            traced.barrier();
+        });
+        let recs = session.recorders();
+        assert_eq!(recs.len(), 4);
+        for rec in recs {
+            let events = rec.snapshot_comms();
+            assert_eq!(events.len(), 3);
+            assert_eq!(events[0].op, CommOp::AllGather);
+            assert_eq!(events[0].bytes, 32); // 8 bytes × 4 ranks
+            assert_eq!(events[0].peers, 3);
+            assert_eq!(events[1].op, CommOp::Broadcast);
+            assert_eq!(events[1].bytes, 24);
+            assert_eq!(events[2].op, CommOp::Barrier);
+        }
+    }
+
+    #[test]
+    fn split_propagates_the_recorder() {
+        let session = TraceSession::new();
+        let comm = TracedComm::new(SelfComm::new(), session.recorder(0));
+        let sub = comm.split(0, 0);
+        sub.barrier();
+        // The sub-communicator logs into the same per-rank recorder.
+        assert_eq!(comm.recorder().snapshot_comms().len(), 1);
+    }
+
+    #[test]
+    fn traced_results_match_untraced() {
+        let traced = run_threaded(3, |comm| {
+            let session = TraceSession::new();
+            let t = TracedComm::new(comm.split(0, comm.rank()), session.recorder(comm.rank()));
+            let g = t.all_gather(t.rank() as u32);
+            let r = t.all_reduce(&[t.rank() as u64 + 1], ReduceOp::Sum);
+            (g, r)
+        });
+        let plain = run_threaded(3, |comm| {
+            let g = comm.all_gather(comm.rank() as u32);
+            let r = comm.all_reduce(&[comm.rank() as u64 + 1], ReduceOp::Sum);
+            (g, r)
+        });
+        assert_eq!(traced, plain);
+    }
+}

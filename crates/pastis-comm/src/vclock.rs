@@ -13,59 +13,12 @@ use std::ops::{Add, AddAssign};
 
 use serde::{Deserialize, Serialize};
 
-/// Pipeline components timed separately, following the paper's breakdown
-/// (Table IV: Align / SpGEMM / Sparse (all) / IO / Communication wait).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum Component {
-    /// Batch pairwise alignment (GPU in the paper).
-    Align,
-    /// The SpGEMM proper inside the sparse phase.
-    SpGemm,
-    /// Other sparse work: k-mer matrix formation, transposes, pruning,
-    /// symmetricity handling, output assembly.
-    SparseOther,
-    /// Parallel file input/output.
-    Io,
-    /// Waiting on sequence point-to-point transfers ("cwait", Table II).
-    CommWait,
-    /// Anything else (setup, bookkeeping).
-    Other,
-}
+use crate::communicator::{Communicator, ReduceOp};
 
-impl Component {
-    /// All components in display order.
-    pub const ALL: [Component; 6] = [
-        Component::Align,
-        Component::SpGemm,
-        Component::SparseOther,
-        Component::Io,
-        Component::CommWait,
-        Component::Other,
-    ];
-
-    fn index(self) -> usize {
-        match self {
-            Component::Align => 0,
-            Component::SpGemm => 1,
-            Component::SparseOther => 2,
-            Component::Io => 3,
-            Component::CommWait => 4,
-            Component::Other => 5,
-        }
-    }
-
-    /// Short label used in experiment tables.
-    pub fn label(self) -> &'static str {
-        match self {
-            Component::Align => "align",
-            Component::SpGemm => "spgemm",
-            Component::SparseOther => "sparse-other",
-            Component::Io => "io",
-            Component::CommWait => "cwait",
-            Component::Other => "other",
-        }
-    }
-}
+// The component taxonomy and imbalance summaries moved to `pastis-trace`
+// (shared with the telemetry layer's span categories); re-exported here so
+// existing `pastis_comm::{Component, ImbalanceStats}` paths keep working.
+pub use pastis_trace::{Component, ImbalanceStats};
 
 /// Seconds spent per [`Component`].
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -107,6 +60,27 @@ impl TimeBreakdown {
         for i in 0..out.secs.len() {
             out.secs[i] = out.secs[i].max(other.secs[i]);
         }
+        out
+    }
+
+    /// Elementwise **max** all-reduce of this rank's breakdown across
+    /// `comm`: every rank receives, per component, the slowest rank's time
+    /// (the bulk-synchronous view of where the critical path went).
+    pub fn all_reduce_max<C: Communicator>(&self, comm: &C) -> TimeBreakdown {
+        self.all_reduce(comm, ReduceOp::Max)
+    }
+
+    /// Elementwise **sum** all-reduce of this rank's breakdown across
+    /// `comm`: every rank receives, per component, the total CPU-seconds
+    /// spent machine-wide (the resource-usage view).
+    pub fn all_reduce_sum<C: Communicator>(&self, comm: &C) -> TimeBreakdown {
+        self.all_reduce(comm, ReduceOp::Sum)
+    }
+
+    fn all_reduce<C: Communicator>(&self, comm: &C, op: ReduceOp) -> TimeBreakdown {
+        let reduced = comm.all_reduce_f64(&self.secs, op);
+        let mut out = TimeBreakdown::new();
+        out.secs.copy_from_slice(&reduced);
         out
     }
 }
@@ -204,63 +178,6 @@ pub fn barrier_sync(clocks: &mut [VirtualClock], wait_component: Component) -> f
     t
 }
 
-/// Minimum / average / maximum of a per-rank metric — the vertical bars of
-/// Figure 7 and the "Imbalance (%)" rows of Table IV.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct ImbalanceStats {
-    /// Minimum across ranks.
-    pub min: f64,
-    /// Mean across ranks.
-    pub avg: f64,
-    /// Maximum across ranks.
-    pub max: f64,
-}
-
-impl ImbalanceStats {
-    /// Compute stats over per-rank values. Panics on an empty slice.
-    pub fn from_values(values: &[f64]) -> ImbalanceStats {
-        assert!(!values.is_empty(), "imbalance stats need at least one rank");
-        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
-        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        let avg = values.iter().sum::<f64>() / values.len() as f64;
-        ImbalanceStats { min, avg, max }
-    }
-
-    /// Load imbalance as the paper reports it: `(max/avg − 1) × 100` %.
-    /// Zero for perfectly balanced work; 0 when avg is 0.
-    pub fn imbalance_pct(&self) -> f64 {
-        if self.avg <= 0.0 {
-            0.0
-        } else {
-            (self.max / self.avg - 1.0) * 100.0
-        }
-    }
-
-    /// Ratio max/min (∞ if min is 0 and max > 0, 1 if both 0).
-    pub fn spread(&self) -> f64 {
-        if self.min > 0.0 {
-            self.max / self.min
-        } else if self.max > 0.0 {
-            f64::INFINITY
-        } else {
-            1.0
-        }
-    }
-}
-
-impl fmt::Display for ImbalanceStats {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "min={:.4} avg={:.4} max={:.4} (imb {:.1}%)",
-            self.min,
-            self.avg,
-            self.max,
-            self.imbalance_pct()
-        )
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -325,22 +242,21 @@ mod tests {
     }
 
     #[test]
-    fn imbalance_stats_match_paper_definition() {
-        let s = ImbalanceStats::from_values(&[1.0, 2.0, 3.0]);
-        assert_eq!(s.min, 1.0);
-        assert_eq!(s.avg, 2.0);
-        assert_eq!(s.max, 3.0);
-        assert!((s.imbalance_pct() - 50.0).abs() < 1e-12);
-        assert_eq!(s.spread(), 3.0);
-    }
-
-    #[test]
-    fn imbalance_degenerate_cases() {
-        let z = ImbalanceStats::from_values(&[0.0, 0.0]);
-        assert_eq!(z.imbalance_pct(), 0.0);
-        assert_eq!(z.spread(), 1.0);
-        let half = ImbalanceStats::from_values(&[0.0, 2.0]);
-        assert_eq!(half.spread(), f64::INFINITY);
+    fn breakdown_all_reduce_across_threaded_ranks() {
+        let results = crate::threaded::run_threaded(3, |comm| {
+            let mut b = TimeBreakdown::new();
+            // Rank r spent r+1 seconds aligning and 0.5 s in IO.
+            b.record(Component::Align, (comm.rank() + 1) as f64);
+            b.record(Component::Io, 0.5);
+            (b.all_reduce_max(comm), b.all_reduce_sum(comm))
+        });
+        for (mx, sum) in results {
+            assert_eq!(mx.get(Component::Align), 3.0);
+            assert_eq!(mx.get(Component::Io), 0.5);
+            assert_eq!(sum.get(Component::Align), 6.0);
+            assert_eq!(sum.get(Component::Io), 1.5);
+            assert_eq!(sum.get(Component::SpGemm), 0.0);
+        }
     }
 
     #[test]

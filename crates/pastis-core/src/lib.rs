@@ -51,7 +51,7 @@ pub use loadbalance::{BlockClass, BlockPlan, BlockTask, LoadBalance};
 pub use mcl::{mcl, MclParams, MclResult};
 pub use overlap::{CommonKmers, OverlapSemiring};
 pub use params::SearchParams;
-pub use perfmodel::{simulate, ScaleConfig, ScaleReport};
-pub use pipeline::{run_search, SearchResult};
+pub use perfmodel::{simulate, simulate_traced, ScaleConfig, ScaleReport};
+pub use pipeline::{run_search, run_search_traced, SearchResult};
 pub use simgraph::{SimilarityEdge, SimilarityGraph};
 pub use stats::SearchStats;

@@ -24,6 +24,7 @@ use pastis_comm::{ImbalanceStats, MachineModel};
 use pastis_seqio::SeqStore;
 use pastis_sparse::semiring::CountShared;
 use pastis_sparse::{spgemm_hash, CsrMatrix, Index, Triples};
+use pastis_trace::{CommOp, Component, TraceSession, Track};
 
 use crate::filter::EdgeFilter;
 use crate::kmer::kmer_matrix_triples;
@@ -160,6 +161,12 @@ pub struct ScaleReport {
     pub cells: u64,
     /// Semiring products (SpGEMM flops).
     pub products: u64,
+    /// Σ over (block, rank) of the SUMMA broadcast payload the α–β model
+    /// charges: the row+column stripe nonzeros a rank receives for the
+    /// block, at the wire size of one nonzero (12 bytes). The traced
+    /// replay records exactly these bytes on its broadcast events, so
+    /// telemetry totals cross-check against this field bit-for-bit.
+    pub modeled_bcast_bytes: u64,
     /// Estimated pairs passing ANI/coverage.
     pub similar_pairs: u64,
     /// Per-rank peak memory during the search, bytes (worst rank) —
@@ -249,6 +256,35 @@ impl ScaleReport {
 ///
 /// Panics if `cfg.nodes` is not a perfect square or `params` are invalid.
 pub fn simulate(store: &SeqStore, params: &SearchParams, cfg: &ScaleConfig) -> ScaleReport {
+    simulate_inner(store, params, cfg, None)
+}
+
+/// Like [`simulate`], additionally replaying the modeled per-rank timeline
+/// into `session` (normally a [`TraceSession::virtual_time`]): io / k-mer /
+/// sequence-exchange / SUMMA-block / alignment-batch spans, one broadcast
+/// event per (block, rank) whose byte count is *exactly* the α–β cost
+/// model's assumed volume ([`ScaleReport::modeled_bcast_bytes`]), and
+/// per-rank work counters. Telemetry is observation-only: the returned
+/// report is identical to [`simulate`]'s.
+///
+/// # Panics
+///
+/// Panics if `cfg.nodes` is not a perfect square or `params` are invalid.
+pub fn simulate_traced(
+    store: &SeqStore,
+    params: &SearchParams,
+    cfg: &ScaleConfig,
+    session: &TraceSession,
+) -> ScaleReport {
+    simulate_inner(store, params, cfg, Some(session))
+}
+
+fn simulate_inner(
+    store: &SeqStore,
+    params: &SearchParams,
+    cfg: &ScaleConfig,
+    session: Option<&TraceSession>,
+) -> ScaleReport {
     params.validate().unwrap_or_else(|e| panic!("{e}"));
     let p = cfg.nodes;
     let q = (p as f64).sqrt().round() as usize;
@@ -357,8 +393,12 @@ pub fn simulate(store: &SeqStore, params: &SearchParams, cfg: &ScaleConfig) -> S
         let cc = col_stripes.owner(s);
         hist_b[cc][col_intra[cc].owner(s - col_stripes.part_offset(cc))] += 1;
     }
-    // One nonzero ≈ index + value + amortized pointer bytes.
-    let nnz_bytes = 12.0f64;
+    // One nonzero ≈ index + value + amortized pointer bytes. The integer
+    // constant is authoritative: the traced replay records
+    // `NNZ_WIRE_BYTES · stripe_nnz` on each broadcast event while the β
+    // term below uses its float image, so the two cannot drift apart.
+    const NNZ_WIRE_BYTES: u64 = 12;
+    let nnz_bytes = NNZ_WIRE_BYTES as f64;
     let lg = if q <= 1 {
         0.0
     } else {
@@ -424,6 +464,8 @@ pub fn simulate(store: &SeqStore, params: &SearchParams, cfg: &ScaleConfig) -> S
 
     let mut sparse_secs = vec![vec![0.0f64; p]; nb];
     let mut align_secs = vec![vec![0.0f64; p]; nb];
+    let mut bcast_wait = vec![vec![0.0f64; p]; nb];
+    let mut modeled_bcast_bytes = 0u64;
     for (bidx, task) in plan.tasks.iter().enumerate() {
         for rank in 0..p {
             let (gi, gj) = (rank / q, rank % q);
@@ -457,6 +499,8 @@ pub fn simulate(store: &SeqStore, params: &SearchParams, cfg: &ScaleConfig) -> S
             let comm = 2.0 * q as f64 * machine.net.alpha * lg
                 + machine.net.beta * lg * nnz_bytes * stripe_nnz;
             sparse_secs[bidx][rank] = compute + comm;
+            bcast_wait[bidx][rank] = comm;
+            modeled_bcast_bytes += NNZ_WIRE_BYTES * (hist_a[task.r][gi] + hist_b[task.c][gj]);
             align_secs[bidx][rank] = machine.align_time_parallel(
                 t_pairs * expected_cells_per_pair,
                 t_pairs,
@@ -490,14 +534,15 @@ pub fn simulate(store: &SeqStore, params: &SearchParams, cfg: &ScaleConfig) -> S
 
     // k-mer formation: contiguous sequence slices over all p ranks.
     let seq_slice = BlockDist1D::new(n, p);
-    let kmer_s = (0..p)
+    let kmer_secs: Vec<f64> = (0..p)
         .map(|rank| {
             let s0 = seq_slice.part_offset(rank);
             let s1 = s0 + seq_slice.part_len(rank);
             let residues: u64 = (s0..s1).map(|i| store.seq_len(i) as u64).sum();
             residues as f64 / machine.kmer_residues_per_sec
         })
-        .fold(0.0, f64::max);
+        .collect();
+    let kmer_s = kmer_secs.iter().copied().fold(0.0, f64::max);
     let sparse_s = sparse_blocks_s + kmer_s;
 
     // --- Region times with/without pre-blocking.
@@ -625,6 +670,103 @@ pub fn simulate(store: &SeqStore, params: &SearchParams, cfg: &ScaleConfig) -> S
     let total_without_pb = overhead + region_without;
     let total_with_pb = overhead + region_pb;
 
+    // --- Virtual-time telemetry: replay the bulk-synchronous (no
+    // pre-blocking) schedule onto per-rank recorders through the `*_at`
+    // entry points. Every number on an event is the number the cost model
+    // charged — in particular each broadcast's byte count is exactly the
+    // α–β term's assumed volume, so exported metrics cross-check against
+    // `modeled_bcast_bytes` bit-for-bit (pinned by a test below).
+    if let Some(session) = session {
+        let recs: Vec<_> = (0..p).map(|rank| session.recorder(rank)).collect();
+        let t_blocks = io_read_s + kmer_s + cwait_s;
+        for (rank, rec) in recs.iter().enumerate() {
+            rec.record_span_at(
+                Component::Io,
+                "io.read",
+                Track::Rank,
+                0.0,
+                io_read_s,
+                &[("bytes", input_bytes)],
+            );
+            rec.record_span_at(
+                Component::SparseOther,
+                "kmer_matrix",
+                Track::Rank,
+                io_read_s,
+                kmer_secs[rank],
+                &[],
+            );
+            rec.record_span_at(
+                Component::CommWait,
+                "seq_exchange.recv",
+                Track::Rank,
+                io_read_s + kmer_s,
+                cwait_s,
+                &[("peers", p.saturating_sub(1) as u64)],
+            );
+        }
+        let mut cursor = vec![t_blocks; p];
+        for (bidx, task) in plan.tasks.iter().enumerate() {
+            // The SUMMA broadcasts synchronize the grid: every block
+            // starts at the slowest rank's cursor.
+            let start = cursor.iter().copied().fold(t_blocks, f64::max);
+            for (rank, rec) in recs.iter().enumerate() {
+                let (gi, gj) = (rank / q, rank % q);
+                let bytes = NNZ_WIRE_BYTES * (hist_a[task.r][gi] + hist_b[task.c][gj]);
+                rec.record_comm_at(
+                    CommOp::Broadcast,
+                    bytes,
+                    2 * q.saturating_sub(1), // the rank's row team + column team
+                    bcast_wait[bidx][rank],
+                    start,
+                );
+                rec.record_span_at(
+                    Component::SpGemm,
+                    "summa.block",
+                    Track::Rank,
+                    start,
+                    sparse_secs[bidx][rank],
+                    &[
+                        ("r", task.r as u64),
+                        ("c", task.c as u64),
+                        ("candidates", candidates[bidx][rank]),
+                        ("products", products[bidx][rank]),
+                    ],
+                );
+                rec.record_span_at(
+                    Component::Align,
+                    "align.batch",
+                    Track::Rank,
+                    start + sparse_secs[bidx][rank],
+                    align_secs[bidx][rank],
+                    &[
+                        ("r", task.r as u64),
+                        ("c", task.c as u64),
+                        ("pairs", pairs[bidx][rank]),
+                        ("cells", cells[bidx][rank]),
+                    ],
+                );
+                cursor[rank] = start + sparse_secs[bidx][rank] + align_secs[bidx][rank];
+            }
+        }
+        let end = cursor.iter().copied().fold(t_blocks, f64::max);
+        for (rank, rec) in recs.iter().enumerate() {
+            rec.record_span_at(Component::Io, "io.write", Track::Rank, end, io_write_s, &[]);
+            let sum_u = |data: &[Vec<u64>]| (0..nb).map(|b| data[b][rank]).sum::<u64>() as f64;
+            rec.add_counter("candidates", sum_u(&candidates));
+            rec.add_counter("aligned_pairs", sum_u(&pairs));
+            rec.add_counter("cells", sum_u(&cells));
+            rec.add_counter(
+                "align_seconds",
+                (0..nb).map(|b| align_secs[b][rank]).sum::<f64>(),
+            );
+            rec.add_counter(
+                "sparse_seconds",
+                kmer_secs[rank] + (0..nb).map(|b| sparse_secs[b][rank]).sum::<f64>(),
+            );
+        }
+    }
+
     // --- Imbalance metrics over per-rank totals.
     let per_rank = |data: &[Vec<u64>]| -> Vec<f64> {
         (0..p)
@@ -657,6 +799,7 @@ pub fn simulate(store: &SeqStore, params: &SearchParams, cfg: &ScaleConfig) -> S
         aligned_pairs: sum2(&pairs),
         cells: sum2(&cells),
         products: sum2(&products),
+        modeled_bcast_bytes,
         similar_pairs,
         memory,
         pairs_imbalance: ImbalanceStats::from_values(&per_rank(&pairs)),
@@ -913,6 +1056,80 @@ mod tests {
     fn non_square_node_count_panics() {
         let store = dataset(20);
         let _ = simulate(&store, &params(), &test_config(12));
+    }
+
+    #[test]
+    fn traced_replay_bytes_match_cost_model_exactly() {
+        use pastis_trace::MetricsReport;
+        let store = dataset(60);
+        let p = params();
+        let session = TraceSession::virtual_time();
+        let traced = simulate_traced(&store, &p, &test_config(4), &session);
+        let untraced = simulate(&store, &p, &test_config(4));
+        // Observation-only: tracing changes nothing in the report.
+        assert_eq!(traced.aligned_pairs, untraced.aligned_pairs);
+        assert_eq!(traced.cells, untraced.cells);
+        assert_eq!(traced.candidates, untraced.candidates);
+        assert_eq!(traced.modeled_bcast_bytes, untraced.modeled_bcast_bytes);
+        assert_eq!(traced.total_with_pb, untraced.total_with_pb);
+        assert_eq!(traced.total_without_pb, untraced.total_without_pb);
+        // The built-in cross-check: per-collective byte counters on the
+        // virtual-time backend equal the α–β model's assumed volumes,
+        // exactly (not approximately).
+        let metrics = MetricsReport::from_session(&session);
+        assert!(metrics.virtual_time);
+        assert!(traced.modeled_bcast_bytes > 0);
+        assert_eq!(
+            metrics.total_bytes(CommOp::Broadcast),
+            traced.modeled_bcast_bytes
+        );
+        // The recorded broadcast waits reconstruct the model's comm term.
+        assert!(metrics.total_wait_s(CommOp::Broadcast) > 0.0);
+    }
+
+    #[test]
+    fn traced_replay_timeline_covers_all_phases_per_rank() {
+        let store = dataset(60);
+        let p = params();
+        let session = TraceSession::virtual_time();
+        let report = simulate_traced(&store, &p, &test_config(4), &session);
+        let recs = session.recorders();
+        assert_eq!(recs.len(), 4);
+        for rec in &recs {
+            let spans = rec.snapshot_spans();
+            for name in [
+                "io.read",
+                "kmer_matrix",
+                "seq_exchange.recv",
+                "summa.block",
+                "align.batch",
+                "io.write",
+            ] {
+                assert!(
+                    spans.iter().any(|s| s.name == name),
+                    "rank {} missing span {name}",
+                    rec.rank()
+                );
+            }
+            // Bulk-synchronous schedule: no block span starts before the
+            // prologue (read + k-mer + exchange) ends.
+            let prologue_end = spans
+                .iter()
+                .find(|s| s.name == "seq_exchange.recv")
+                .unwrap()
+                .end_us();
+            assert!(spans
+                .iter()
+                .filter(|s| s.name == "summa.block")
+                .all(|s| s.start_us >= prologue_end));
+        }
+        // Per-rank counters partition the global work counts exactly.
+        let sum_counter = |name: &str| -> u64 {
+            recs.iter().map(|r| r.counters()[name]).sum::<f64>().round() as u64
+        };
+        assert_eq!(sum_counter("aligned_pairs"), report.aligned_pairs);
+        assert_eq!(sum_counter("cells"), report.cells);
+        assert_eq!(sum_counter("candidates"), report.candidates);
     }
 
     #[test]

@@ -33,6 +33,7 @@ use pastis_comm::grid::{BlockDist1D, ProcessGrid};
 use pastis_comm::{Communicator, Component, TimeBreakdown};
 use pastis_seqio::SeqStore;
 use pastis_sparse::{BlockedSumma, Triples};
+use pastis_trace::{span, Recorder};
 
 use crate::filter::{candidate_passes, EdgeFilter};
 use crate::kmer::kmer_matrix_triples;
@@ -164,6 +165,26 @@ pub fn run_search<C: Communicator + Sync>(
     store: &SeqStore,
     params: &SearchParams,
 ) -> Result<SearchResult, String> {
+    run_search_traced(grid, store, params, &Recorder::disabled())
+}
+
+/// [`run_search`] with structured telemetry: pipeline phases, per-block
+/// SUMMA spans, alignment batches (with per-worker occupancy via the
+/// [`AlignPool`] recorder), and end-of-run counters are recorded into
+/// `recorder`. Telemetry is observation-only — the result is identical to
+/// the untraced run (pinned by `tests/telemetry_e2e.rs`). To also record
+/// per-collective traffic, run over a
+/// [`TracedComm`](pastis_comm::TracedComm)-wrapped grid.
+///
+/// # Errors
+///
+/// Returns an error for invalid [`SearchParams`].
+pub fn run_search_traced<C: Communicator + Sync>(
+    grid: &ProcessGrid<C>,
+    store: &SeqStore,
+    params: &SearchParams,
+    recorder: &Recorder,
+) -> Result<SearchResult, String> {
     params.validate()?;
     let wall_start = Instant::now();
     let mut times = TimeBreakdown::new();
@@ -186,6 +207,7 @@ pub fn run_search<C: Communicator + Sync>(
 
     // --- 2. k-mer matrix stripes for the Blocked SUMMA.
     let t0 = Instant::now();
+    let mut kmer_span = span!(recorder, Component::SparseOther, "kmer_matrix");
     let a: Triples<u32> = if params.substitute_kmers > 0 {
         kmer_matrix_triples_with_substitutes(
             store,
@@ -217,6 +239,7 @@ pub fn run_search<C: Communicator + Sync>(
         a_compact.push(e.row, col, e.val);
     }
     let a = a_compact;
+    let a_nnz = a.entries.len() as u64;
 
     let at = a.clone().transpose();
     let keep_min = |acc: &mut u32, inc: u32| {
@@ -233,6 +256,9 @@ pub fn run_search<C: Communicator + Sync>(
         keep_min,
         keep_min,
     );
+    kmer_span.push_arg("nnz", a_nnz);
+    kmer_span.push_arg("inner_dim", inner_dim as u64);
+    drop(kmer_span);
     times.record(Component::SparseOther, t0.elapsed().as_secs_f64());
 
     let plan = BlockPlan::new(
@@ -245,19 +271,29 @@ pub fn run_search<C: Communicator + Sync>(
 
     // --- 3. Assemble the exchanged sequences (the cwait component).
     let t1 = Instant::now();
-    let mut seqs: Vec<Vec<u8>> = vec![Vec::new(); n];
-    my_slice.unpack_into(&mut seqs);
-    for src in 0..p {
-        if src != rank {
-            let s: SeqSlice = world.recv_from(src);
-            s.unpack_into(&mut seqs);
+    let seqs: Vec<Vec<u8>> = {
+        let _recv_span = span!(recorder, Component::CommWait, "seq_exchange.recv", {
+            peers: p.saturating_sub(1) as u64,
+        });
+        let mut unpacked = vec![Vec::new(); n];
+        my_slice.unpack_into(&mut unpacked);
+        for src in 0..p {
+            if src != rank {
+                let s: SeqSlice = world.recv_from(src);
+                s.unpack_into(&mut unpacked);
+            }
         }
-    }
+        unpacked
+    };
     times.record(Component::CommWait, t1.elapsed().as_secs_f64());
 
     // --- 4. The incremental blocked search.
     let sr = OverlapSemiring;
     let compute_sparse = |task: BlockTask| -> CandidateBatch {
+        let mut block_span = span!(recorder, Component::SpGemm, "summa.block", {
+            r: task.r as u64,
+            c: task.c as u64,
+        });
         let t_mult = Instant::now();
         let (cblock, gemm_stats) = bs.multiply_block(grid, &sr, task.r, task.c);
         let spgemm_seconds = t_mult.elapsed().as_secs_f64();
@@ -282,6 +318,9 @@ pub fn run_search<C: Communicator + Sync>(
             });
         }
         let other_seconds = t_other.elapsed().as_secs_f64();
+        block_span.push_arg("candidates", candidates);
+        block_span.push_arg("products", gemm_stats.products);
+        block_span.push_arg("pairs", pairs.len() as u64);
         CandidateBatch {
             task,
             pairs,
@@ -298,10 +337,15 @@ pub fn run_search<C: Communicator + Sync>(
     // worker count. Workers never touch the communicator, so under
     // pre-blocking the concurrent sparse thread remains the only thread
     // issuing collectives.
-    let pool = AlignPool::new(params.align_threads);
+    let pool = AlignPool::new(params.align_threads).with_recorder(recorder.clone());
     let filter = EdgeFilter::from_params(params);
-    let align_batch = |batch: &CandidateBatch| -> (Vec<SimilarityEdge>, u64, f64) {
+    let align_batch = |batch: &CandidateBatch| -> (Vec<SimilarityEdge>, u64, f64, f64) {
         let t = Instant::now();
+        let mut batch_span = span!(recorder, Component::Align, "align.batch", {
+            r: batch.task.r as u64,
+            c: batch.task.c as u64,
+            pairs: batch.pairs.len() as u64,
+        });
         let tasks: Vec<AlignTask> = batch
             .pairs
             .iter()
@@ -315,10 +359,12 @@ pub fn run_search<C: Communicator + Sync>(
         let lookup = |id: u32| -> &[u8] { &seqs[id as usize] };
         let mut edges = Vec::new();
         let cells;
+        let cpu_seconds;
         match params.align_kind {
             AlignKind::FullSw => {
                 let (results, stats) = pool.run_traceback(&tasks, lookup, &Blosum62, params.gaps);
                 cells = stats.cells;
+                cpu_seconds = stats.seconds;
                 for (pt, res) in batch.pairs.iter().zip(&results) {
                     let (qlen, rlen) = (seqs[pt.i as usize].len(), seqs[pt.j as usize].len());
                     if filter.passes(res, qlen, rlen) {
@@ -336,6 +382,7 @@ pub fn run_search<C: Communicator + Sync>(
             AlignKind::Banded(w) => {
                 let (results, stats) = pool.run_banded(&tasks, lookup, &Blosum62, params.gaps, w);
                 cells = stats.cells;
+                cpu_seconds = stats.seconds;
                 for (pt, res) in batch.pairs.iter().zip(&results) {
                     let (q, r) = (&seqs[pt.i as usize], &seqs[pt.j as usize]);
                     if let Some(e) = banded_edge(pt, res.score, q, r, &filter) {
@@ -347,6 +394,7 @@ pub fn run_search<C: Communicator + Sync>(
                 // Exact scores through the multilane lock-step kernel.
                 let (results, stats) = pool.run_score_only(&tasks, lookup, &Blosum62, params.gaps);
                 cells = stats.cells;
+                cpu_seconds = stats.seconds;
                 for (pt, res) in batch.pairs.iter().zip(&results) {
                     let (q, r) = (&seqs[pt.i as usize], &seqs[pt.j as usize]);
                     if let Some(e) = banded_edge(pt, res.score, q, r, &filter) {
@@ -355,17 +403,20 @@ pub fn run_search<C: Communicator + Sync>(
                 }
             }
         }
-        (edges, cells, t.elapsed().as_secs_f64())
+        batch_span.push_arg("cells", cells);
+        batch_span.push_arg("edges", edges.len() as u64);
+        drop(batch_span);
+        (edges, cells, t.elapsed().as_secs_f64(), cpu_seconds)
     };
 
     let mut graph = SimilarityGraph::new(n);
     let mut per_block = Vec::with_capacity(plan.tasks.len());
     let mut apply = |batch: CandidateBatch,
-                     outcome: (Vec<SimilarityEdge>, u64, f64),
+                     outcome: (Vec<SimilarityEdge>, u64, f64, f64),
                      times: &mut TimeBreakdown,
                      stats: &mut SearchStats,
                      graph: &mut SimilarityGraph| {
-        let (edges, cells, align_seconds) = outcome;
+        let (edges, cells, align_seconds, align_cpu_seconds) = outcome;
         times.record(Component::SpGemm, batch.spgemm_seconds);
         times.record(Component::SparseOther, batch.other_seconds);
         times.record(Component::Align, align_seconds);
@@ -375,6 +426,7 @@ pub fn run_search<C: Communicator + Sync>(
         stats.cells += cells;
         stats.similar_pairs += edges.len() as u64;
         stats.align_kernel_seconds += align_seconds;
+        stats.align_cpu_seconds += align_cpu_seconds;
         per_block.push(BlockTiming {
             r: batch.task.r,
             c: batch.task.c,
@@ -431,9 +483,21 @@ pub fn run_search<C: Communicator + Sync>(
         }
     }
 
-    graph.normalize();
+    {
+        let _out_span = span!(recorder, Component::SparseOther, "output.assembly", {
+            edges: graph.n_edges() as u64,
+        });
+        graph.normalize();
+    }
     let wall_seconds = wall_start.elapsed().as_secs_f64();
     stats.total_seconds = wall_seconds;
+    recorder.add_counter("candidates", stats.candidates as f64);
+    recorder.add_counter("aligned_pairs", stats.aligned_pairs as f64);
+    recorder.add_counter("cells", stats.cells as f64);
+    recorder.add_counter("similar_pairs", stats.similar_pairs as f64);
+    recorder.add_counter("align_seconds", times.get(Component::Align));
+    recorder.add_counter("sparse_seconds", times.sparse_all());
+    recorder.add_counter("align_cpu_seconds", stats.align_cpu_seconds);
     Ok(SearchResult {
         graph,
         stats,
@@ -473,6 +537,19 @@ fn banded_edge(
 pub fn run_search_serial(store: &SeqStore, params: &SearchParams) -> Result<SearchResult, String> {
     let grid = ProcessGrid::square(pastis_comm::SelfComm::new());
     run_search(&grid, store, params)
+}
+
+/// Serial entry point with telemetry: the single rank's communicator is
+/// wrapped in a [`TracedComm`](pastis_comm::TracedComm) so collectives are
+/// recorded alongside the pipeline spans.
+pub fn run_search_serial_traced(
+    store: &SeqStore,
+    params: &SearchParams,
+    recorder: &Recorder,
+) -> Result<SearchResult, String> {
+    let comm = pastis_comm::TracedComm::new(pastis_comm::SelfComm::new(), recorder.clone());
+    let grid = ProcessGrid::square(comm);
+    run_search_traced(&grid, store, params, recorder)
 }
 
 #[cfg(test)]

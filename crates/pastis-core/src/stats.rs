@@ -27,8 +27,13 @@ pub struct SearchStats {
     /// Wall seconds of the whole search (max across ranks when
     /// aggregated).
     pub total_seconds: f64,
-    /// Seconds in the alignment kernel (for CUPs).
+    /// Wall seconds in the alignment kernel (for CUPs).
     pub align_kernel_seconds: f64,
+    /// CPU seconds summed across alignment-pool workers (the busy-time
+    /// side of `BatchStats`' wall-vs-CPU split; sums across ranks when
+    /// aggregated). `align_cpu_seconds / align_kernel_seconds` is the
+    /// pool's effective parallel speedup.
+    pub align_cpu_seconds: f64,
 }
 
 impl SearchStats {
@@ -71,8 +76,19 @@ impl SearchStats {
         }
     }
 
+    /// Effective alignment-pool speedup: worker CPU seconds over kernel
+    /// wall seconds (≈ thread count at full occupancy, 1.0 serial; 0 when
+    /// no kernel time was recorded).
+    pub fn pool_speedup(&self) -> f64 {
+        if self.align_kernel_seconds > 0.0 {
+            self.align_cpu_seconds / self.align_kernel_seconds
+        } else {
+            0.0
+        }
+    }
+
     /// Sum counters; wall time takes the max (the slowest rank defines
-    /// the run).
+    /// the run), CPU time sums (it is a resource total).
     pub fn merge(&mut self, other: &SearchStats) {
         self.candidates += other.candidates;
         self.aligned_pairs += other.aligned_pairs;
@@ -81,10 +97,12 @@ impl SearchStats {
         self.spgemm_products += other.spgemm_products;
         self.total_seconds = self.total_seconds.max(other.total_seconds);
         self.align_kernel_seconds = self.align_kernel_seconds.max(other.align_kernel_seconds);
+        self.align_cpu_seconds += other.align_cpu_seconds;
     }
 
-    /// Aggregate this rank's stats across a communicator: counter sums,
-    /// time maxima. Every rank receives the global stats.
+    /// Aggregate this rank's stats across a communicator: counter and
+    /// CPU-time sums, wall-time maxima. Every rank receives the global
+    /// stats.
     pub fn all_reduce<C: Communicator>(&self, comm: &C) -> SearchStats {
         let sums = comm.all_reduce(
             &[
@@ -100,6 +118,7 @@ impl SearchStats {
             &[self.total_seconds, self.align_kernel_seconds],
             ReduceOp::Max,
         );
+        let cpu = comm.all_reduce_f64(&[self.align_cpu_seconds], ReduceOp::Sum);
         SearchStats {
             candidates: sums[0],
             aligned_pairs: sums[1],
@@ -108,6 +127,7 @@ impl SearchStats {
             spgemm_products: sums[4],
             total_seconds: maxs[0],
             align_kernel_seconds: maxs[1],
+            align_cpu_seconds: cpu[0],
         }
     }
 }
@@ -162,11 +182,13 @@ mod tests {
             spgemm_products: 5000,
             total_seconds: 2.0,
             align_kernel_seconds: 0.5,
+            align_cpu_seconds: 1.5,
         };
         assert!((s.alignments_per_sec() - 44.5).abs() < 1e-9);
         assert!((s.cups() - 178_000.0).abs() < 1e-6);
         assert!((s.aligned_fraction() - 0.089).abs() < 1e-12);
         assert!((s.similar_fraction() - 11.0 / 89.0).abs() < 1e-12);
+        assert!((s.pool_speedup() - 3.0).abs() < 1e-12);
     }
 
     #[test]
@@ -176,6 +198,7 @@ mod tests {
         assert_eq!(z.cups(), 0.0);
         assert_eq!(z.aligned_fraction(), 0.0);
         assert_eq!(z.similar_fraction(), 0.0);
+        assert_eq!(z.pool_speedup(), 0.0);
     }
 
     #[test]
@@ -202,6 +225,8 @@ mod tests {
                 candidates: (c.rank() + 1) as u64,
                 aligned_pairs: 2,
                 total_seconds: c.rank() as f64,
+                align_kernel_seconds: 1.0,
+                align_cpu_seconds: 2.0,
                 ..Default::default()
             };
             local.all_reduce(c)
@@ -210,6 +235,9 @@ mod tests {
             assert_eq!(g.candidates, 10);
             assert_eq!(g.aligned_pairs, 8);
             assert_eq!(g.total_seconds, 3.0);
+            // Wall kernel time maxes; worker CPU time sums across ranks.
+            assert_eq!(g.align_kernel_seconds, 1.0);
+            assert_eq!(g.align_cpu_seconds, 8.0);
         }
     }
 

@@ -1,0 +1,488 @@
+//! Minimal JSON writer and reader.
+//!
+//! The workspace builds offline against vendored dependency stubs, so no
+//! serializer is available; the exporters hand-roll their JSON through
+//! [`JsonWriter`], and the CLI's `trace-check` subcommand validates emitted
+//! files with the small recursive-descent parser in [`parse`].
+//!
+//! Output is deterministic: object keys are written in insertion order,
+//! floats use Rust's shortest-roundtrip `Display`, and timestamps are
+//! integer microseconds.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Append `s` to `out` as a JSON string literal (with escaping).
+pub fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append `v` to `out` as a JSON number. Non-finite values (which JSON
+/// cannot represent) are written as `null`.
+pub fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let s = format!("{v}");
+        out.push_str(&s);
+        // `Display` prints integral floats without a decimal point; keep
+        // them recognizably floating-point for schema stability.
+        if !s.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// An append-only JSON builder with explicit structure calls. The caller
+/// is responsible for matching `begin_*`/`end_*` pairs; commas are managed
+/// automatically.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    buf: String,
+    // One entry per open container: whether a value has been written at
+    // this level (i.e. the next value needs a leading comma).
+    needs_comma: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// A fresh writer.
+    pub fn new() -> JsonWriter {
+        JsonWriter::default()
+    }
+
+    /// Finish and return the accumulated JSON text.
+    pub fn finish(self) -> String {
+        debug_assert!(self.needs_comma.is_empty(), "unclosed JSON container");
+        self.buf
+    }
+
+    fn pre_value(&mut self) {
+        if let Some(top) = self.needs_comma.last_mut() {
+            if *top {
+                self.buf.push(',');
+            }
+            *top = true;
+        }
+    }
+
+    /// Open an object as the next value.
+    pub fn begin_object(&mut self) -> &mut Self {
+        self.pre_value();
+        self.buf.push('{');
+        self.needs_comma.push(false);
+        self
+    }
+
+    /// Close the innermost object.
+    pub fn end_object(&mut self) -> &mut Self {
+        self.needs_comma.pop();
+        self.buf.push('}');
+        self
+    }
+
+    /// Open an array as the next value.
+    pub fn begin_array(&mut self) -> &mut Self {
+        self.pre_value();
+        self.buf.push('[');
+        self.needs_comma.push(false);
+        self
+    }
+
+    /// Close the innermost array.
+    pub fn end_array(&mut self) -> &mut Self {
+        self.needs_comma.pop();
+        self.buf.push(']');
+        self
+    }
+
+    /// Write an object key; the next call writes its value.
+    pub fn key(&mut self, k: &str) -> &mut Self {
+        self.pre_value();
+        write_escaped(&mut self.buf, k);
+        self.buf.push(':');
+        // The key's value must not get its own comma.
+        if let Some(top) = self.needs_comma.last_mut() {
+            *top = false;
+        }
+        self
+    }
+
+    /// Write a string value.
+    pub fn string(&mut self, s: &str) -> &mut Self {
+        self.pre_value();
+        write_escaped(&mut self.buf, s);
+        self
+    }
+
+    /// Write an unsigned integer value.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.pre_value();
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Write a float value (`null` if non-finite).
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.pre_value();
+        write_f64(&mut self.buf, v);
+        self
+    }
+
+    /// Write a boolean value.
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.pre_value();
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Convenience: `key` followed by a string value.
+    pub fn field_str(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k).string(v)
+    }
+
+    /// Convenience: `key` followed by an unsigned integer value.
+    pub fn field_u64(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k).u64(v)
+    }
+
+    /// Convenience: `key` followed by a float value.
+    pub fn field_f64(&mut self, k: &str, v: f64) -> &mut Self {
+        self.key(k).f64(v)
+    }
+}
+
+/// A parsed JSON value (reader side; used by `trace-check` and tests).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as f64).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object. `BTreeMap` for deterministic iteration.
+    Object(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// The object's entry for `k`, if this is an object containing it.
+    pub fn get(&self, k: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(m) => m.get(k),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as u64, if this is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a complete JSON document. Returns a human-readable error with a
+/// byte offset on malformed input or trailing garbage.
+pub fn parse(text: &str) -> Result<JsonValue, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(JsonValue::String(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", JsonValue::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        _ => Err(format!("unexpected input at byte {}", *pos)),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(JsonValue::Number)
+        .ok_or_else(|| format!("invalid number at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {}", *pos))?;
+                        // Surrogate pairs are not needed for our own output;
+                        // map lone surrogates to the replacement character.
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte safe).
+                let s = &b[*pos..];
+                let ch_len = match s[0] {
+                    0x00..=0x7f => 1,
+                    0xc0..=0xdf => 2,
+                    0xe0..=0xef => 3,
+                    _ => 4,
+                };
+                let chunk = std::str::from_utf8(&s[..ch_len.min(s.len())])
+                    .map_err(|_| format!("invalid utf-8 at byte {}", *pos))?;
+                out.push_str(chunk);
+                *pos += chunk.len();
+            }
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Array(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => {
+                *pos += 1;
+            }
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(b, pos, b'{')?;
+    let mut map = BTreeMap::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Object(map));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        let value = parse_value(b, pos)?;
+        map.insert(key, value);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => {
+                *pos += 1;
+            }
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Object(map));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_builds_nested_document() {
+        let mut w = JsonWriter::new();
+        w.begin_object()
+            .field_str("name", "x")
+            .field_u64("n", 3)
+            .key("xs")
+            .begin_array()
+            .u64(1)
+            .u64(2)
+            .end_array()
+            .key("inner")
+            .begin_object()
+            .field_f64("f", 0.5)
+            .key("flag")
+            .bool(true)
+            .end_object()
+            .end_object();
+        assert_eq!(
+            w.finish(),
+            r#"{"name":"x","n":3,"xs":[1,2],"inner":{"f":0.5,"flag":true}}"#
+        );
+    }
+
+    #[test]
+    fn floats_keep_a_decimal_point() {
+        let mut w = JsonWriter::new();
+        w.f64(2.0);
+        assert_eq!(w.finish(), "2.0");
+        let mut w = JsonWriter::new();
+        w.f64(f64::NAN);
+        assert_eq!(w.finish(), "null");
+    }
+
+    #[test]
+    fn escaping_round_trips() {
+        let nasty = "a\"b\\c\nd\te\u{1}f — µs";
+        let mut w = JsonWriter::new();
+        w.begin_object().field_str("s", nasty).end_object();
+        let text = w.finish();
+        let v = parse(&text).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str().unwrap(), nasty);
+    }
+
+    #[test]
+    fn writer_output_parses_back() {
+        let mut w = JsonWriter::new();
+        w.begin_object()
+            .field_u64("schema", 1)
+            .key("events")
+            .begin_array()
+            .begin_object()
+            .field_str("ph", "X")
+            .field_u64("ts", 12)
+            .field_f64("w", 1.5)
+            .end_object()
+            .end_array()
+            .end_object();
+        let v = parse(&w.finish()).unwrap();
+        assert_eq!(v.get("schema").unwrap().as_u64(), Some(1));
+        let events = v.get("events").unwrap().as_array().unwrap();
+        assert_eq!(events[0].get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(events[0].get("ts").unwrap().as_u64(), Some(12));
+        assert_eq!(events[0].get("w").unwrap().as_f64(), Some(1.5));
+    }
+
+    #[test]
+    fn parser_accepts_standard_forms() {
+        assert_eq!(parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(parse(" true ").unwrap(), JsonValue::Bool(true));
+        assert_eq!(parse("-2.5e2").unwrap(), JsonValue::Number(-250.0));
+        assert_eq!(parse("[]").unwrap(), JsonValue::Array(vec![]));
+        assert_eq!(parse("{}").unwrap(), JsonValue::Object(BTreeMap::new()));
+        assert_eq!(parse(r#""µs""#).unwrap().as_str(), Some("\u{b5}s"));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\":1} x").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+}

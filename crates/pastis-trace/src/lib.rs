@@ -1,0 +1,81 @@
+//! Structured run telemetry for PASTIS-RS.
+//!
+//! The paper's entire evaluation (Tables I–IV, Figures 5–9) rests on
+//! per-stage, per-rank, per-byte instrumentation: component timers,
+//! communication-wait shares, load-imbalance triples, and the α–β SUMMA
+//! traffic analysis of Section VI-A. This crate is the measurement
+//! substrate behind the reproduction of those analyses:
+//!
+//! * [`Recorder`] — a per-rank event sink with RAII spans
+//!   (`span!(rec, Component::SpGemm, "summa.block", {r, c})`), monotonic
+//!   microsecond timestamps, and a no-op disabled mode that compiles to an
+//!   `Option` check per call — cheap enough to leave on by default.
+//! * [`TraceSession`] — a set of rank recorders sharing one epoch, so
+//!   cross-rank timelines align; also available in *virtual-time* mode
+//!   where the performance-model plane records modeled timestamps instead
+//!   of reading a clock.
+//! * [`CommOp`]/[`CommEvent`] — per-collective traffic records (op kind,
+//!   payload bytes, peer count, wait seconds), the counters the α–β cost
+//!   model can be validated against.
+//! * Exporters — Chrome `trace_event` JSON ([`chrome_trace_json`]; one
+//!   track per rank plus one sub-track per alignment worker, loadable in
+//!   Perfetto / `chrome://tracing`), a schema-versioned flat metrics JSON
+//!   ([`MetricsReport`]), and a human-readable end-of-run report
+//!   ([`render_report`]) with per-component min/avg/max across ranks.
+//!
+//! Telemetry is observation-only by construction: recorders never feed
+//! back into scheduling, and every search output is pinned identical with
+//! telemetry on and off (`tests/telemetry_e2e.rs` at the workspace root).
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod component;
+pub mod json;
+pub mod metrics;
+pub mod recorder;
+pub mod report;
+
+pub use chrome::chrome_trace_json;
+pub use component::{Component, ImbalanceStats};
+pub use metrics::{CommTotals, MetricsReport, RankTelemetry, METRICS_SCHEMA_VERSION};
+pub use recorder::{CommEvent, CommOp, Recorder, SpanEvent, SpanGuard, TraceSession, Track};
+pub use report::render_report;
+
+/// Open an RAII span on a [`Recorder`] with optional structured arguments.
+///
+/// ```
+/// use pastis_trace::{span, Component, TraceSession};
+/// let session = TraceSession::new();
+/// let rec = session.recorder(0);
+/// let round = 3u64;
+/// let bytes = 4096u64;
+/// {
+///     let _s = span!(rec, Component::SpGemm, "summa.bcast_a", { round, bytes });
+/// } // span closes here
+/// assert_eq!(rec.snapshot_spans().len(), 1);
+/// ```
+///
+/// Argument entries are either a bare identifier (recorded under its own
+/// name) or `name: expr`; values must be `u64`.
+#[macro_export]
+macro_rules! span {
+    ($rec:expr, $comp:expr, $name:expr) => {
+        $rec.span($comp, $name)
+    };
+    ($rec:expr, $comp:expr, $name:expr, { $($k:ident $(: $v:expr)?),+ $(,)? }) => {
+        $rec.span($comp, $name)$(.arg(stringify!($k), $crate::__span_arg!($k $(, $v)?)))+
+    };
+}
+
+/// Internal helper for [`span!`]: resolves `{name}` shorthand vs `{name: expr}`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __span_arg {
+    ($k:ident) => {
+        $k
+    };
+    ($k:ident, $v:expr) => {
+        $v
+    };
+}

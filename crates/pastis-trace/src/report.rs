@@ -1,0 +1,156 @@
+//! Human-readable end-of-run report.
+//!
+//! Condenses a [`MetricsReport`] into the terminal summary printed after a
+//! search: per-component seconds with min/avg/max across ranks and the
+//! max/avg imbalance factor (Figure 7's metric), per-collective traffic
+//! totals, and the pipeline counters. Supersedes the ad-hoc stat printing
+//! the CLI did before the telemetry layer existed.
+
+use std::fmt::Write as _;
+
+use crate::component::Component;
+use crate::metrics::MetricsReport;
+use crate::recorder::CommOp;
+
+/// Render the end-of-run report for `report` as plain text.
+pub fn render_report(report: &MetricsReport) -> String {
+    let mut out = String::new();
+    let plane = if report.virtual_time {
+        "virtual-time"
+    } else {
+        "measured"
+    };
+    let _ = writeln!(
+        out,
+        "== telemetry report ({plane}, {} rank{}) ==",
+        report.nranks(),
+        if report.nranks() == 1 { "" } else { "s" }
+    );
+    if report.nranks() == 0 {
+        out.push_str("(no ranks recorded)\n");
+        return out;
+    }
+
+    out.push_str("-- component seconds (across ranks) --\n");
+    let _ = writeln!(
+        out,
+        "{:<14} {:>10} {:>10} {:>10} {:>9} {:>8}",
+        "component", "min", "avg", "max", "stddev", "imb"
+    );
+    for c in Component::ALL {
+        let s = report
+            .component_imbalance(c)
+            .expect("nranks > 0 checked above");
+        if s.max == 0.0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "{:<14} {:>10.4} {:>10.4} {:>10.4} {:>9.4} {:>7.2}x",
+            c.label(),
+            s.min,
+            s.avg,
+            s.max,
+            s.stddev,
+            s.imbalance_factor()
+        );
+    }
+
+    let any_comm = CommOp::ALL
+        .iter()
+        .any(|&op| report.ranks.iter().any(|r| r.comm_totals(op).count > 0));
+    if any_comm {
+        out.push_str("-- communication (totals over ranks) --\n");
+        let _ = writeln!(
+            out,
+            "{:<14} {:>8} {:>14} {:>12}",
+            "op", "count", "bytes", "seconds"
+        );
+        for op in CommOp::ALL {
+            let count: u64 = report.ranks.iter().map(|r| r.comm_totals(op).count).sum();
+            if count == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{:<14} {:>8} {:>14} {:>12.4}",
+                op.label(),
+                count,
+                report.total_bytes(op),
+                report.total_wait_s(op)
+            );
+        }
+    }
+
+    // Union of counter names across ranks (each rank may miss some).
+    let mut names: Vec<&str> = report
+        .ranks
+        .iter()
+        .flat_map(|r| r.counters.keys().copied())
+        .collect();
+    names.sort_unstable();
+    names.dedup();
+    if !names.is_empty() {
+        out.push_str("-- counters (across ranks) --\n");
+        let _ = writeln!(
+            out,
+            "{:<18} {:>14} {:>12} {:>7}",
+            "counter", "total", "avg/rank", "imb"
+        );
+        for name in names {
+            let s = report
+                .counter_imbalance(name)
+                .expect("nranks > 0 checked above");
+            let total: f64 = report.ranks.iter().map(|r| r.counter(name)).sum();
+            let _ = writeln!(
+                out,
+                "{:<18} {:>14.0} {:>12.1} {:>6.2}x",
+                name,
+                total,
+                s.avg,
+                s.imbalance_factor()
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Track;
+    use crate::TraceSession;
+
+    #[test]
+    fn report_lists_components_comm_and_counters() {
+        let session = TraceSession::virtual_time();
+        for rank in 0..2usize {
+            let rec = session.recorder(rank);
+            rec.record_span_at(
+                Component::Align,
+                "align.batch",
+                Track::Rank,
+                0.0,
+                1.0 + rank as f64,
+                &[],
+            );
+            rec.record_comm_at(CommOp::AllGather, 2048, 1, 0.125, 0.0);
+            rec.add_counter("similar_pairs", 42.0);
+        }
+        let text = render_report(&MetricsReport::from_session(&session));
+        assert!(text.contains("virtual-time, 2 ranks"));
+        assert!(text.contains("align"));
+        assert!(text.contains("all_gather"));
+        assert!(text.contains("4096"));
+        assert!(text.contains("similar_pairs"));
+        assert!(text.contains("84"));
+        // Components with no recorded time are omitted.
+        assert!(!text.contains("cwait"));
+    }
+
+    #[test]
+    fn empty_report_renders_placeholder() {
+        let text = render_report(&MetricsReport::from_session(&TraceSession::new()));
+        assert!(text.contains("no ranks recorded"));
+    }
+}

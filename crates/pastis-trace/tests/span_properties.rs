@@ -1,0 +1,91 @@
+//! Property tests for the recorder: any interleaving of span opens/closes
+//! yields a well-nested, monotonically-timestamped trace.
+
+use pastis_trace::{Component, Recorder, SpanEvent, SpanGuard, TraceSession, Track};
+use proptest::prelude::*;
+
+const COMPONENTS: [Component; 4] = [
+    Component::Align,
+    Component::SpGemm,
+    Component::SparseOther,
+    Component::CommWait,
+];
+
+const NAMES: [&str; 4] = ["kmer_matrix", "summa.block", "prune", "align.batch"];
+
+/// Interpret a program of byte-coded actions against a recorder: even
+/// bytes open a new span (LIFO on a stack), odd bytes close the most
+/// recently opened one. Returns the number of spans opened.
+fn run_program(rec: &Recorder, program: &[u8]) -> usize {
+    let mut stack: Vec<SpanGuard> = Vec::new();
+    let mut opened = 0usize;
+    for &b in program {
+        if b % 2 == 0 {
+            let comp = COMPONENTS[(b as usize / 2) % COMPONENTS.len()];
+            let name = NAMES[(b as usize / 2) % NAMES.len()];
+            stack.push(rec.span(comp, name).arg("step", opened as u64));
+            opened += 1;
+        } else {
+            drop(stack.pop()); // no-op on empty stack
+        }
+    }
+    while let Some(g) = stack.pop() {
+        drop(g); // close whatever is still open, innermost first
+    }
+    opened
+}
+
+/// Two intervals on the same track must be disjoint or strictly nested —
+/// never partially overlapping.
+fn partially_overlap(a: &SpanEvent, b: &SpanEvent) -> bool {
+    a.start_us < b.start_us && b.start_us < a.end_us() && a.end_us() < b.end_us()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn interleaved_spans_are_well_nested_and_monotonic(
+        program in proptest::collection::vec(0u8..=255, 0..40),
+    ) {
+        let session = TraceSession::new();
+        let rec = session.recorder(0);
+        let opened = run_program(&rec, &program);
+
+        let spans = rec.snapshot_spans();
+        prop_assert_eq!(spans.len(), opened);
+
+        for s in &spans {
+            // Every span lies on the main track with a sane interval.
+            prop_assert_eq!(s.track, Track::Rank);
+            prop_assert!(s.end_us() >= s.start_us);
+        }
+
+        // Spans are recorded at close time, so end timestamps are
+        // monotonically non-decreasing in record order.
+        for pair in spans.windows(2) {
+            prop_assert!(pair[0].end_us() <= pair[1].end_us());
+        }
+
+        // Well-nested: no two spans partially overlap.
+        for (i, a) in spans.iter().enumerate() {
+            for b in &spans[i + 1..] {
+                prop_assert!(
+                    !partially_overlap(a, b) && !partially_overlap(b, a),
+                    "partial overlap: {:?} vs {:?}",
+                    a,
+                    b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn disabled_recorder_stays_empty_for_any_program(
+        program in proptest::collection::vec(0u8..=255, 0..40),
+    ) {
+        let rec = Recorder::disabled();
+        run_program(&rec, &program);
+        prop_assert_eq!(rec.snapshot_spans().len(), 0);
+    }
+}

@@ -16,13 +16,19 @@
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use pastis::align::matrices::AA_ALPHABET;
+use pastis::comm::{run_threaded, Communicator, ProcessGrid, TracedComm};
 use pastis::core::params::AlignKind;
-use pastis::core::pipeline::{run_search_serial, SearchResult};
+use pastis::core::pipeline::{
+    run_search_serial, run_search_serial_traced, run_search_traced, SearchResult,
+};
 use pastis::core::{LoadBalance, SearchParams};
 use pastis::seqio::fasta::{parse_fasta, write_fasta, SeqStore};
 use pastis::seqio::{ReducedAlphabet, SyntheticConfig, SyntheticDataset};
+use pastis::trace::json::JsonValue;
+use pastis::trace::{chrome_trace_json, render_report, MetricsReport, Recorder, TraceSession};
 
 const USAGE: &str = "\
 pastis — many-against-many protein similarity search via sparse matrices
@@ -35,6 +41,7 @@ COMMANDS:
     cluster <input.fasta> <output.tsv>   search + connected-component clustering
     generate <output.fasta>              emit a synthetic protein dataset
     stats <input.fasta>                  dataset statistics
+    trace-check <telemetry.json>...      validate emitted telemetry JSON
     help                                 show this message
 
 SEARCH/CLUSTER OPTIONS:
@@ -56,6 +63,16 @@ SEARCH/CLUSTER OPTIONS:
     --mcl                     cluster with Markov clustering instead of
                               connected components (cluster command only)
     --inflation <FLOAT>       MCL inflation exponent            [default: 2.0]
+    --ranks <INT>             threaded ranks to run on (perfect square;
+                              output is identical for any value)  [default: 1]
+    --trace-out <FILE>        write a Chrome trace_event JSON of the run
+                              (load in Perfetto or chrome://tracing)
+    --metrics-json <FILE>     write schema-versioned per-rank metrics JSON
+    --no-telemetry            disable span/counter recording entirely
+
+TRACE-CHECK OPTIONS:
+    --expect-ranks <INT>      fail unless the file covers exactly N ranks
+    --expect-phases <LIST>    comma-separated phase names that must appear
 
 GENERATE OPTIONS:
     --n <INT>                 number of sequences                [default: 1000]
@@ -87,6 +104,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "cluster" => cmd_search(&args[1..], true),
         "generate" => cmd_generate(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
+        "trace-check" => cmd_trace_check(&args[1..]),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -159,6 +177,9 @@ const SEARCH_VALUE_FLAGS: &[&str] = &[
     "banded",
     "align-threads",
     "inflation",
+    "ranks",
+    "trace-out",
+    "metrics-json",
 ];
 
 fn parse_search_params(opts: &Opts) -> Result<SearchParams, String> {
@@ -217,7 +238,12 @@ fn load_store(path: &Path) -> Result<SeqStore, String> {
     SeqStore::from_records(&records).map_err(|e| format!("{}: {e}", path.display()))
 }
 
-fn do_search(input: &Path, params: &SearchParams) -> Result<(SeqStore, SearchResult), String> {
+fn do_search(
+    input: &Path,
+    params: &SearchParams,
+    ranks: usize,
+    telemetry: bool,
+) -> Result<(SeqStore, SearchResult, Option<Arc<TraceSession>>), String> {
     let store = load_store(input)?;
     eprintln!(
         "loaded {} sequences ({} residues) from {}",
@@ -225,7 +251,42 @@ fn do_search(input: &Path, params: &SearchParams) -> Result<(SeqStore, SearchRes
         store.total_residues(),
         input.display()
     );
-    let result = run_search_serial(&store, params)?;
+    let session = telemetry.then(|| Arc::new(TraceSession::new()));
+    let result = if ranks <= 1 {
+        match &session {
+            Some(s) => run_search_serial_traced(&store, params, &s.recorder(0))?,
+            None => run_search_serial(&store, params)?,
+        }
+    } else {
+        let q = (ranks as f64).sqrt().round() as usize;
+        if q * q != ranks {
+            return Err(format!("--ranks must be a perfect square, got {ranks}"));
+        }
+        let store = Arc::new(store.clone());
+        let params = Arc::new(params.clone());
+        let session = session.clone();
+        let outs = run_threaded(ranks, move |c| {
+            let rec = session
+                .as_ref()
+                .map_or_else(Recorder::disabled, |s| s.recorder(c.rank()));
+            let comm = TracedComm::new(c.split(0, c.rank()), rec.clone());
+            let grid = ProcessGrid::square(comm);
+            let mut res = run_search_traced(&grid, &store, &params, &rec)?;
+            // Assemble the global result on every rank; rank 0's copy is
+            // the one reported.
+            res.graph = res.gather_graph(grid.world());
+            res.stats = res.stats.all_reduce(grid.world());
+            Ok::<(usize, SearchResult), String>((grid.world().rank(), res))
+        });
+        let mut global = None;
+        for out in outs {
+            let (rank, res) = out?;
+            if rank == 0 {
+                global = Some(res);
+            }
+        }
+        global.ok_or("rank 0 produced no result")?
+    };
     eprintln!(
         "search done in {:.2}s: {} candidates, {} alignments, {} similar pairs",
         result.wall_seconds,
@@ -233,7 +294,7 @@ fn do_search(input: &Path, params: &SearchParams) -> Result<(SeqStore, SearchRes
         result.stats.aligned_pairs,
         result.stats.similar_pairs
     );
-    Ok((store, result))
+    Ok((store, result, session))
 }
 
 fn cmd_search(args: &[String], cluster: bool) -> Result<(), String> {
@@ -242,7 +303,34 @@ fn cmd_search(args: &[String], cluster: bool) -> Result<(), String> {
         return Err("expected: <input.fasta> <output.tsv>".into());
     };
     let params = parse_search_params(&opts)?;
-    let (store, result) = do_search(Path::new(input), &params)?;
+    let ranks: usize = opts.num("ranks", 1)?;
+    if ranks == 0 {
+        return Err("--ranks must be at least 1".into());
+    }
+    let telemetry = !opts.has("no-telemetry");
+    let trace_out = opts.get("trace-out").map(PathBuf::from);
+    let metrics_out = opts.get("metrics-json").map(PathBuf::from);
+    if !telemetry && (trace_out.is_some() || metrics_out.is_some()) {
+        return Err("--trace-out/--metrics-json require telemetry (drop --no-telemetry)".into());
+    }
+    let (store, result, session) = do_search(Path::new(input), &params, ranks, telemetry)?;
+    if let Some(session) = &session {
+        let report = MetricsReport::from_session(session.as_ref());
+        eprint!("{}", render_report(&report));
+        if let Some(p) = &trace_out {
+            std::fs::write(p, chrome_trace_json(session.as_ref()))
+                .map_err(|e| format!("cannot write {}: {e}", p.display()))?;
+            eprintln!(
+                "wrote Chrome trace to {} (load in Perfetto or chrome://tracing)",
+                p.display()
+            );
+        }
+        if let Some(p) = &metrics_out {
+            std::fs::write(p, report.to_json())
+                .map_err(|e| format!("cannot write {}: {e}", p.display()))?;
+            eprintln!("wrote metrics JSON to {}", p.display());
+        }
+    }
 
     let out = PathBuf::from(output);
     if cluster {
@@ -371,6 +459,108 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     }
     println!();
     Ok(())
+}
+
+/// Validate telemetry JSON emitted by `--trace-out` / `--metrics-json`:
+/// the file must parse, carry the expected structure, and (optionally)
+/// cover an exact rank count and a set of phase names. Exits non-zero on
+/// the first violation — the CI telemetry job is built on this.
+fn cmd_trace_check(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &["expect-ranks", "expect-phases"])?;
+    if opts.positional.is_empty() {
+        return Err("expected: trace-check <telemetry.json>...".into());
+    }
+    let expect_ranks: Option<usize> = match opts.get("expect-ranks") {
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| format!("--expect-ranks: cannot parse '{v}'"))?,
+        ),
+        None => None,
+    };
+    let expect_phases: Vec<String> = opts
+        .get("expect-phases")
+        .map(|v| {
+            v.split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_owned)
+                .collect()
+        })
+        .unwrap_or_default();
+    for path in &opts.positional {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let (kind, ranks, phases) =
+            validate_telemetry_file(&text).map_err(|e| format!("{path}: {e}"))?;
+        if let Some(want) = expect_ranks {
+            if ranks.len() != want {
+                return Err(format!(
+                    "{path}: expected {want} ranks, found {} ({ranks:?})",
+                    ranks.len()
+                ));
+            }
+        }
+        for phase in &expect_phases {
+            if !phases.iter().any(|p| p == phase) {
+                return Err(format!(
+                    "{path}: missing phase '{phase}' (present: {})",
+                    phases.join(", ")
+                ));
+            }
+        }
+        eprintln!(
+            "{path}: ok ({kind}, {} ranks, {} phases)",
+            ranks.len(),
+            phases.len()
+        );
+    }
+    Ok(())
+}
+
+/// Parse one telemetry file, returning its kind, the rank ids it covers,
+/// and the phase names present (span names for Chrome traces, nonzero
+/// component labels for metrics documents).
+fn validate_telemetry_file(text: &str) -> Result<(&'static str, Vec<usize>, Vec<String>), String> {
+    let v = pastis::trace::json::parse(text)?;
+    if let Some(events) = v.get("traceEvents") {
+        let events = events.as_array().ok_or("traceEvents is not an array")?;
+        let mut ranks: Vec<usize> = Vec::new();
+        let mut phases: Vec<String> = Vec::new();
+        for e in events {
+            let ph = e
+                .get("ph")
+                .and_then(JsonValue::as_str)
+                .ok_or("event missing ph")?;
+            let pid = e
+                .get("pid")
+                .and_then(JsonValue::as_u64)
+                .ok_or("event missing pid")? as usize;
+            if !ranks.contains(&pid) {
+                ranks.push(pid);
+            }
+            if ph == "X" {
+                let name = e
+                    .get("name")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("span event missing name")?;
+                for key in ["cat", "ts", "dur", "tid"] {
+                    if e.get(key).is_none() {
+                        return Err(format!("span '{name}' missing '{key}'"));
+                    }
+                }
+                if !phases.iter().any(|p| p == name) {
+                    phases.push(name.to_owned());
+                }
+            }
+        }
+        ranks.sort_unstable();
+        Ok(("chrome-trace", ranks, phases))
+    } else {
+        let parsed = MetricsReport::parse_json(text)?;
+        let mut ranks = parsed.rank_ids;
+        ranks.sort_unstable();
+        ranks.dedup();
+        Ok(("metrics", ranks, parsed.phase_names))
+    }
 }
 
 #[cfg(test)]
@@ -535,5 +725,102 @@ mod tests {
         let clusters = std::fs::read_to_string(&clu).unwrap();
         assert_eq!(clusters.lines().count(), 80);
         run(&s(&["stats", fa.to_str().unwrap()])).unwrap();
+    }
+
+    #[test]
+    fn end_to_end_telemetry_exports_and_trace_check() {
+        let dir = std::env::temp_dir().join(format!("pastis-cli-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let fa = dir.join("t.fa");
+        let tsv = dir.join("t.tsv");
+        let trace = dir.join("t.trace.json");
+        let metrics = dir.join("t.metrics.json");
+        run(&s(&[
+            "generate",
+            fa.to_str().unwrap(),
+            "--n",
+            "60",
+            "--mean-len",
+            "70",
+            "--seed",
+            "11",
+        ]))
+        .unwrap();
+        run(&s(&[
+            "search",
+            fa.to_str().unwrap(),
+            tsv.to_str().unwrap(),
+            "--k",
+            "5",
+            "--blocks",
+            "2x2",
+            "--ani",
+            "0.4",
+            "--coverage",
+            "0.5",
+            "--ranks",
+            "4",
+            "--align-threads",
+            "2",
+            "--trace-out",
+            trace.to_str().unwrap(),
+            "--metrics-json",
+            metrics.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // The emitted files validate, cover all 4 ranks, and contain the
+        // pipeline phases.
+        run(&s(&[
+            "trace-check",
+            trace.to_str().unwrap(),
+            "--expect-ranks",
+            "4",
+            "--expect-phases",
+            "kmer_matrix,summa.block,align.batch,output.assembly",
+        ]))
+        .unwrap();
+        run(&s(&[
+            "trace-check",
+            metrics.to_str().unwrap(),
+            "--expect-ranks",
+            "4",
+            "--expect-phases",
+            "align,spgemm",
+        ]))
+        .unwrap();
+        // Wrong expectations fail.
+        assert!(run(&s(&[
+            "trace-check",
+            trace.to_str().unwrap(),
+            "--expect-ranks",
+            "9",
+        ]))
+        .is_err());
+        assert!(run(&s(&[
+            "trace-check",
+            metrics.to_str().unwrap(),
+            "--expect-phases",
+            "warp-drive",
+        ]))
+        .is_err());
+        // --no-telemetry still searches, but refuses export flags.
+        run(&s(&[
+            "search",
+            fa.to_str().unwrap(),
+            tsv.to_str().unwrap(),
+            "--k",
+            "5",
+            "--no-telemetry",
+        ]))
+        .unwrap();
+        assert!(run(&s(&[
+            "search",
+            fa.to_str().unwrap(),
+            tsv.to_str().unwrap(),
+            "--no-telemetry",
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ]))
+        .is_err());
     }
 }

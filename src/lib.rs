@@ -4,7 +4,8 @@
 //! pipeline ([`pastis_core`]), the sparse-matrix substrate
 //! ([`pastis_sparse`]), the batch aligner ([`pastis_align`]), sequence I/O
 //! and synthetic datasets ([`pastis_seqio`]), the message-passing substrate
-//! ([`pastis_comm`]) and the comparator baselines ([`pastis_baselines`]).
+//! ([`pastis_comm`]), the run-telemetry layer ([`pastis_trace`]) and the
+//! comparator baselines ([`pastis_baselines`]).
 //!
 //! See `examples/quickstart.rs` for an end-to-end search in ~30 lines.
 
@@ -14,3 +15,4 @@ pub use pastis_comm as comm;
 pub use pastis_core as core;
 pub use pastis_seqio as seqio;
 pub use pastis_sparse as sparse;
+pub use pastis_trace as trace;
