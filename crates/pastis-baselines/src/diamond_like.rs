@@ -16,17 +16,21 @@
 //!   criticizes).
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::time::Instant;
 
 use pastis_align::batch::{AlignTask, BatchAligner};
 use pastis_align::matrices::Blosum62;
 use pastis_align::sw::GapPenalties;
 use pastis_comm::grid::BlockDist1D;
+use pastis_core::checkpoint::{digest_bytes, digest_u64};
 use pastis_core::filter::EdgeFilter;
 use pastis_core::kmer::distinct_kmers;
 use pastis_core::simgraph::{SimilarityEdge, SimilarityGraph};
 use pastis_seqio::{ReducedAlphabet, SeqStore};
 use pastis_trace::{span, Component, Recorder, TraceSession};
+
+use crate::ckpt::{self, BaselineCheckpoint};
 
 /// Configuration of the DIAMOND-style search.
 #[derive(Debug, Clone)]
@@ -54,6 +58,15 @@ pub struct DiamondLikeConfig {
     /// Intra-package alignment worker threads (1 = serial, 0 = one per
     /// core). Results are identical for every value.
     pub align_threads: usize,
+    /// Directory for per-query-chunk join checkpoints (`None` disables).
+    /// The seed/package phase is recomputed on resume — it is deterministic
+    /// and cheap next to alignment, which is what the checkpoints cover.
+    /// Robustness knob — never affects the output.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Resume from the newest valid checkpoint in `checkpoint_dir`,
+    /// skipping the already-joined query chunks; the final graph is
+    /// bit-identical to an uninterrupted run.
+    pub resume: bool,
 }
 
 impl Default for DiamondLikeConfig {
@@ -69,6 +82,8 @@ impl Default for DiamondLikeConfig {
             ani_threshold: 0.30,
             coverage_threshold: 0.70,
             align_threads: 1,
+            checkpoint_dir: None,
+            resume: false,
         }
     }
 }
@@ -92,6 +107,9 @@ pub struct DiamondLikeReport {
     pub spilled_bytes: u64,
     /// Measured wall seconds.
     pub wall_seconds: f64,
+    /// When resuming: how many query-chunk joins were restored from the
+    /// checkpoint instead of re-aligned.
+    pub resumed_chunks: Option<usize>,
 }
 
 /// One intermediate record a package writes for the join phase.
@@ -214,7 +232,39 @@ fn run_inner(
     };
     let mut graph = SimilarityGraph::new(n);
     let mut aligned_pairs = 0u64;
+
+    // One checkpoint unit = one query chunk's join (the alignment phase —
+    // the dominant cost). The package phase above is deterministic and was
+    // recomputed wholesale; a resumed run restores the joined chunks.
+    let ckpt_dir = cfg.checkpoint_dir.as_deref();
+    let fp = if ckpt_dir.is_some() {
+        fingerprint(store, cfg)
+    } else {
+        0
+    };
+    let mut start_chunk = 0usize;
+    let mut resumed_chunks = None;
+    if cfg.resume {
+        let dir = ckpt_dir.expect("resume requires checkpoint_dir");
+        if let Some(ck) = ckpt::latest_valid(dir, qdist.parts, fp) {
+            for e in &ck.edges {
+                graph.add(*e);
+            }
+            aligned_pairs = ck.counter("aligned_pairs");
+            start_chunk = ck.units_done;
+            resumed_chunks = Some(ck.units_done);
+        }
+    }
+
     for (chunk_idx, chunk) in spill.iter().enumerate() {
+        if chunk_idx < start_chunk {
+            // Restored from the checkpoint — only the join's filesystem
+            // re-read accounting still applies (the spill itself was
+            // recomputed above), keeping the report identical to an
+            // uninterrupted run's.
+            spilled_bytes += chunk.len() as u64 * INTERMEDIATE_BYTES;
+            continue;
+        }
         let rec = session.map_or_else(Recorder::disabled, |s| s.recorder(chunk_idx));
         let mut join_span = span!(rec, Component::Align, "join.align", {
             records: chunk.len() as u64,
@@ -264,6 +314,22 @@ fn run_inner(
         join_span.push_arg("pairs", tasks.len() as u64);
         drop(join_span);
         rec.add_counter("aligned_pairs", tasks.len() as f64);
+        if let Some(dir) = ckpt_dir {
+            let ck = BaselineCheckpoint {
+                fingerprint: fp,
+                units_done: chunk_idx + 1,
+                units: qdist.parts,
+                counters: vec![("aligned_pairs".into(), aligned_pairs)],
+                edges: graph.edges().to_vec(),
+            };
+            if let Err(e) = ckpt::save(dir, &ck) {
+                // Best-effort: losing a restart point must not fail the run.
+                rec.add_counter("checkpoint.write_failed", 1.0);
+                let _ = e;
+            } else {
+                rec.add_counter("checkpoint.units_written", 1.0);
+            }
+        }
     }
     graph.normalize();
     DiamondLikeReport {
@@ -274,7 +340,31 @@ fn run_inner(
         aligned_pairs,
         spilled_bytes,
         wall_seconds: start.elapsed().as_secs_f64(),
+        resumed_chunks,
     }
+}
+
+/// Digest of everything that determines this baseline's output: the
+/// output-relevant config (the chunking *does* affect results once the
+/// candidate cap engages, so it is included) and the input residues.
+/// `align_threads` and the checkpoint knobs are deliberately excluded.
+fn fingerprint(store: &SeqStore, cfg: &DiamondLikeConfig) -> u64 {
+    let mut h = 0x4449_414d_4f4e_444cu64; // "DIAMONDL"
+    h = digest_u64(h, cfg.k as u64);
+    h = digest_bytes(h, format!("{:?}", cfg.alphabet).as_bytes());
+    h = digest_u64(h, cfg.min_shared_kmers as u64);
+    h = digest_u64(h, cfg.query_chunks as u64);
+    h = digest_u64(h, cfg.ref_chunks as u64);
+    h = digest_u64(h, cfg.max_candidates_per_query as u64);
+    h = digest_u64(h, cfg.gaps.open as u64);
+    h = digest_u64(h, cfg.gaps.extend as u64);
+    h = digest_u64(h, cfg.ani_threshold.to_bits());
+    h = digest_u64(h, cfg.coverage_threshold.to_bits());
+    h = digest_u64(h, store.len() as u64);
+    for i in 0..store.len() {
+        h = digest_bytes(h, store.seq(i));
+    }
+    h
 }
 
 #[cfg(test)]
@@ -447,6 +537,53 @@ mod tests {
         }
         assert_eq!(packages, base.packages);
         assert_eq!(total_aligned as u64, base.aligned_pairs);
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        let store = tiny_store();
+        let dir = std::env::temp_dir().join(format!("pastis-diamond-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let chunked = DiamondLikeConfig {
+            query_chunks: 3,
+            ..cfg()
+        };
+        let base = run_diamond_like(&store, &chunked);
+        let ccfg = DiamondLikeConfig {
+            checkpoint_dir: Some(dir.clone()),
+            ..chunked.clone()
+        };
+        let checkpointed = run_diamond_like(&store, &ccfg);
+        assert_eq!(checkpointed.graph.edges(), base.graph.edges());
+        assert!(checkpointed.resumed_chunks.is_none());
+        // "Killed after join 2": drop the newest checkpoint and resume.
+        std::fs::remove_file(crate::ckpt::baseline_ckpt_path(&dir, 3)).unwrap();
+        let resumed = run_diamond_like(
+            &store,
+            &DiamondLikeConfig {
+                resume: true,
+                ..ccfg
+            },
+        );
+        assert_eq!(resumed.resumed_chunks, Some(2));
+        assert_eq!(resumed.graph.edges(), base.graph.edges());
+        assert_eq!(resumed.aligned_pairs, base.aligned_pairs);
+        assert_eq!(resumed.spilled_bytes, base.spilled_bytes);
+        assert_eq!(resumed.seed_candidates, base.seed_candidates);
+        // A different chunking is a different run — its checkpoints are
+        // foreign (chunking can change capped results, so the fingerprint
+        // includes it).
+        let foreign = run_diamond_like(
+            &store,
+            &DiamondLikeConfig {
+                query_chunks: 2,
+                checkpoint_dir: Some(dir.clone()),
+                resume: true,
+                ..cfg()
+            },
+        );
+        assert!(foreign.resumed_chunks.is_none());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -20,8 +20,10 @@
 
 #![warn(missing_docs)]
 
+pub mod ckpt;
 pub mod diamond_like;
 pub mod mmseqs_like;
 
+pub use ckpt::{BaselineCheckpoint, BASELINE_CKPT_SCHEMA_VERSION};
 pub use diamond_like::{DiamondLikeConfig, DiamondLikeReport};
 pub use mmseqs_like::{MmseqsLikeConfig, MmseqsLikeReport, SplitMode};

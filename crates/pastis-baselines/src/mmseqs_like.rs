@@ -10,17 +10,21 @@
 //! memory accounting, so the blow-up is measurable.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::time::Instant;
 
 use pastis_align::batch::{AlignTask, BatchAligner};
 use pastis_align::matrices::Blosum62;
 use pastis_align::sw::GapPenalties;
 use pastis_comm::grid::BlockDist1D;
+use pastis_core::checkpoint::{digest_bytes, digest_u64};
 use pastis_core::filter::EdgeFilter;
 use pastis_core::kmer::distinct_kmers;
 use pastis_core::simgraph::{SimilarityEdge, SimilarityGraph};
 use pastis_seqio::{ReducedAlphabet, SeqStore};
 use pastis_trace::{span, Component, Recorder, TraceSession};
+
+use crate::ckpt::{self, BaselineCheckpoint};
 
 /// Which sequence set is chunked across ranks (the other is replicated).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,6 +56,13 @@ pub struct MmseqsLikeConfig {
     /// Intra-rank alignment worker threads (1 = serial on the calling
     /// thread, 0 = one per core). Results are identical for every value.
     pub align_threads: usize,
+    /// Directory for per-simulated-rank checkpoints (`None` disables).
+    /// Robustness knob — never affects the output.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Resume from the newest valid checkpoint in `checkpoint_dir`,
+    /// skipping already-searched ranks; the final graph is bit-identical
+    /// to an uninterrupted run.
+    pub resume: bool,
 }
 
 impl Default for MmseqsLikeConfig {
@@ -65,6 +76,8 @@ impl Default for MmseqsLikeConfig {
             coverage_threshold: 0.70,
             mode: SplitMode::TargetSplit,
             align_threads: 1,
+            checkpoint_dir: None,
+            resume: false,
         }
     }
 }
@@ -85,6 +98,9 @@ pub struct MmseqsLikeReport {
     pub ranks: usize,
     /// Measured wall seconds (all ranks executed serially).
     pub wall_seconds: f64,
+    /// When resuming: how many simulated ranks were restored from the
+    /// checkpoint instead of recomputed.
+    pub resumed_ranks: Option<usize>,
 }
 
 /// The replicated inverted index: k-mer id → (sequence, position) list.
@@ -160,7 +176,30 @@ fn run_inner(
     let mut aligned_pairs = 0u64;
     let mut index_bytes_per_rank = 0u64;
 
-    for rank in 0..nranks {
+    // One checkpoint unit = one simulated rank (they execute serially).
+    let ckpt_dir = cfg.checkpoint_dir.as_deref();
+    let fp = if ckpt_dir.is_some() {
+        fingerprint(store, cfg, nranks)
+    } else {
+        0
+    };
+    let mut start_rank = 0usize;
+    let mut resumed_ranks = None;
+    if cfg.resume {
+        let dir = ckpt_dir.expect("resume requires checkpoint_dir");
+        if let Some(ck) = ckpt::latest_valid(dir, nranks, fp) {
+            for e in &ck.edges {
+                graph.add(*e);
+            }
+            prefilter_candidates = ck.counter("prefilter_candidates");
+            aligned_pairs = ck.counter("aligned_pairs");
+            index_bytes_per_rank = ck.counter("index_bytes_per_rank");
+            start_rank = ck.units_done;
+            resumed_ranks = Some(ck.units_done);
+        }
+    }
+
+    for rank in start_rank..nranks {
         let rec = session.map_or_else(Recorder::disabled, |s| s.recorder(rank));
         let c0 = chunks.part_offset(rank);
         let c1 = c0 + chunks.part_len(rank);
@@ -258,6 +297,27 @@ fn run_inner(
                 });
             }
         }
+        if let Some(dir) = ckpt_dir {
+            let ck = BaselineCheckpoint {
+                fingerprint: fp,
+                units_done: rank + 1,
+                units: nranks,
+                counters: vec![
+                    ("prefilter_candidates".into(), prefilter_candidates),
+                    ("aligned_pairs".into(), aligned_pairs),
+                    ("index_bytes_per_rank".into(), index_bytes_per_rank),
+                ],
+                edges: graph.edges().to_vec(),
+            };
+            if let Err(e) = ckpt::save(dir, &ck) {
+                // Checkpointing is best-effort: a full disk degrades to
+                // "no restart point", never to a failed search.
+                rec.add_counter("checkpoint.write_failed", 1.0);
+                let _ = e;
+            } else {
+                rec.add_counter("checkpoint.units_written", 1.0);
+            }
+        }
     }
     graph.normalize();
     MmseqsLikeReport {
@@ -267,7 +327,29 @@ fn run_inner(
         index_bytes_per_rank,
         ranks: nranks,
         wall_seconds: start.elapsed().as_secs_f64(),
+        resumed_ranks,
     }
+}
+
+/// Digest of everything that determines this baseline's output: the
+/// output-relevant config, the rank decomposition, and the input residues.
+/// `align_threads` and the checkpoint knobs are deliberately excluded.
+fn fingerprint(store: &SeqStore, cfg: &MmseqsLikeConfig, nranks: usize) -> u64 {
+    let mut h = 0x4d4d_5345_5153_4c4bu64; // "MMSEQSLK"
+    h = digest_u64(h, cfg.k as u64);
+    h = digest_bytes(h, format!("{:?}", cfg.alphabet).as_bytes());
+    h = digest_u64(h, cfg.min_shared_kmers as u64);
+    h = digest_u64(h, cfg.gaps.open as u64);
+    h = digest_u64(h, cfg.gaps.extend as u64);
+    h = digest_u64(h, cfg.ani_threshold.to_bits());
+    h = digest_u64(h, cfg.coverage_threshold.to_bits());
+    h = digest_bytes(h, format!("{:?}", cfg.mode).as_bytes());
+    h = digest_u64(h, nranks as u64);
+    h = digest_u64(h, store.len() as u64);
+    for i in 0..store.len() {
+        h = digest_bytes(h, store.seq(i));
+    }
+    h
 }
 
 #[cfg(test)]
@@ -422,6 +504,50 @@ mod tests {
             total_aligned += rec.counters()["aligned_pairs"];
         }
         assert_eq!(total_aligned as u64, base.aligned_pairs);
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        let store = tiny_store();
+        let dir = std::env::temp_dir().join(format!("pastis-mmseqs-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let base = run_mmseqs_like(&store, &cfg(), 3);
+        let ccfg = MmseqsLikeConfig {
+            checkpoint_dir: Some(dir.clone()),
+            ..cfg()
+        };
+        // A checkpointing run changes nothing about the output.
+        let checkpointed = run_mmseqs_like(&store, &ccfg, 3);
+        assert_eq!(checkpointed.graph.edges(), base.graph.edges());
+        assert!(checkpointed.resumed_ranks.is_none());
+        // Simulate "killed after rank 2": drop the newest checkpoint, then
+        // resume — ranks 0..2 restored, rank 2 recomputed, same output.
+        std::fs::remove_file(crate::ckpt::baseline_ckpt_path(&dir, 3)).unwrap();
+        let resumed = run_mmseqs_like(
+            &store,
+            &MmseqsLikeConfig {
+                resume: true,
+                ..ccfg.clone()
+            },
+            3,
+        );
+        assert_eq!(resumed.resumed_ranks, Some(2));
+        assert_eq!(resumed.graph.edges(), base.graph.edges());
+        assert_eq!(resumed.prefilter_candidates, base.prefilter_candidates);
+        assert_eq!(resumed.aligned_pairs, base.aligned_pairs);
+        // A config change (different k) invalidates the fingerprint: the
+        // stale checkpoints are ignored, not resumed into the wrong run.
+        let foreign = run_mmseqs_like(
+            &store,
+            &MmseqsLikeConfig {
+                k: 5,
+                resume: true,
+                ..ccfg
+            },
+            3,
+        );
+        assert!(foreign.resumed_ranks.is_none());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //! message, matching MPI's undefined-behaviour contract closely enough for a
 //! test substrate.
 
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 /// A payload that can travel between ranks.
 ///
@@ -20,6 +22,93 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// across threads — so the bound is simply `Clone + Send + Sync + 'static`.
 pub trait Payload: Clone + Send + Sync + 'static {}
 impl<T: Clone + Send + Sync + 'static> Payload for T {}
+
+/// Typed failure of a communicator operation.
+///
+/// The fault layer (bounded waits in [`crate::ThreadedComm`], injection in
+/// [`crate::FaultyComm`]) turns what would otherwise be an infinite hang or
+/// a silent corruption into one of these values. Infallible trait methods
+/// (`recv_from`, `barrier`, the collectives) report the same conditions by
+/// panicking with the error's `Display` string — a deadlocked test then
+/// fails with a diagnosis instead of hanging CI.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// A bounded wait expired before the operation completed.
+    Timeout {
+        /// The operation that timed out (e.g. `"recv_from"`, `"barrier"`).
+        op: &'static str,
+        /// The waiting rank.
+        rank: usize,
+        /// The peer waited on (`None` for collectives).
+        peer: Option<usize>,
+        /// How long the rank waited before giving up.
+        waited_ms: u64,
+    },
+    /// Every retransmission attempt of a point-to-point message failed the
+    /// CRC check (see [`crate::FaultyComm`]'s framing).
+    Corrupt {
+        /// The receiving operation.
+        op: &'static str,
+        /// The receiving rank.
+        rank: usize,
+        /// The sending rank.
+        src: usize,
+        /// Frames rejected before giving up.
+        rejects: u32,
+    },
+    /// A rank executed an injected hard crash (chaos testing only).
+    RankDead {
+        /// The crashed rank.
+        rank: usize,
+        /// The communicator-op index at which the crash fired.
+        at_op: u64,
+    },
+    /// The peer's channel is closed — its thread is gone.
+    Closed {
+        /// The operation that observed the closed channel.
+        op: &'static str,
+        /// The observing rank.
+        rank: usize,
+        /// The dead peer.
+        peer: usize,
+    },
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::Timeout {
+                op,
+                rank,
+                peer,
+                waited_ms,
+            } => match peer {
+                Some(p) => write!(
+                    f,
+                    "comm timeout: rank {rank} waited {waited_ms}ms in {op} on rank {p}"
+                ),
+                None => write!(f, "comm timeout: rank {rank} waited {waited_ms}ms in {op}"),
+            },
+            CommError::Corrupt {
+                op,
+                rank,
+                src,
+                rejects,
+            } => write!(
+                f,
+                "comm corruption: rank {rank} rejected {rejects} frame(s) from rank {src} in {op}"
+            ),
+            CommError::RankDead { rank, at_op } => {
+                write!(f, "injected crash: rank {rank} died at comm op {at_op}")
+            }
+            CommError::Closed { op, rank, peer } => {
+                write!(f, "comm closed: rank {rank} found rank {peer} gone in {op}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
 
 /// Built-in reduction operators for [`Communicator::all_reduce`].
 ///
@@ -168,6 +257,12 @@ pub trait Communicator: Send + Sized {
     }
 
     /// Element-wise reduction of an `f64` vector across all ranks.
+    ///
+    /// The fold is applied in **fixed rank order** (`((v0 ⊕ v1) ⊕ v2) …`,
+    /// via [`Communicator::all_reduce_with`]), never in arrival order, so
+    /// floating-point sums are bit-deterministic even when ranks reach the
+    /// reduction at wildly different times (e.g. under injected delays —
+    /// pinned by `fault::tests::f64_all_reduce_is_bit_deterministic_under_delays`).
     fn all_reduce_f64(&self, values: &[f64], op: ReduceOp) -> Vec<f64> {
         self.all_reduce_with(values.to_vec(), move |mut a, b| {
             assert_eq!(a.len(), b.len(), "all_reduce length mismatch across ranks");
@@ -200,6 +295,34 @@ pub trait Communicator: Send + Sized {
 
     /// Blocking receive of the next message sent by rank `src` to this rank.
     fn recv_from<T: Payload>(&self, src: usize) -> T;
+
+    /// Bounded-wait variant of [`Communicator::recv_from`]: gives up with
+    /// [`CommError::Timeout`] once `timeout` elapses with no message.
+    ///
+    /// The default implementation ignores the deadline and delegates to the
+    /// blocking receive (correct for implementations whose receives cannot
+    /// stall, like [`crate::SelfComm`]); [`crate::ThreadedComm`] overrides
+    /// it with a real timed wait.
+    fn recv_from_deadline<T: Payload>(
+        &self,
+        src: usize,
+        timeout: Duration,
+    ) -> Result<T, CommError> {
+        let _ = timeout;
+        Ok(self.recv_from(src))
+    }
+
+    /// Bounded-wait variant of [`Communicator::barrier`]: gives up with
+    /// [`CommError::Timeout`] if the barrier does not complete in time
+    /// (some rank never arrived — the classic deadlock signature).
+    ///
+    /// The default implementation ignores the deadline and delegates to the
+    /// blocking barrier; [`crate::ThreadedComm`] overrides it.
+    fn barrier_deadline(&self, timeout: Duration) -> Result<(), CommError> {
+        let _ = timeout;
+        self.barrier();
+        Ok(())
+    }
 
     /// Split this communicator into disjoint sub-communicators.
     ///

@@ -37,16 +37,18 @@
 
 pub mod communicator;
 pub mod costmodel;
+pub mod fault;
 pub mod grid;
 pub mod local;
 pub mod threaded;
 pub mod traced;
 pub mod vclock;
 
-pub use communicator::{CommStats, Communicator, ReduceOp};
+pub use communicator::{CommError, CommStats, Communicator, ReduceOp};
 pub use costmodel::{AlphaBeta, CollectiveAlgo, MachineModel};
+pub use fault::{CrashFault, FaultPlan, FaultStats, FaultStatsSnapshot, FaultyComm, StallFault};
 pub use grid::ProcessGrid;
 pub use local::SelfComm;
-pub use threaded::{run_threaded, ThreadedComm};
+pub use threaded::{run_threaded, run_threaded_with, CommConfig, ThreadedComm};
 pub use traced::TracedComm;
 pub use vclock::{Component, ImbalanceStats, TimeBreakdown, VirtualClock};

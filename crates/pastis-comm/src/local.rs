@@ -8,10 +8,11 @@ use std::any::Any;
 use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
-use crate::communicator::{CommStats, CommStatsSnapshot, Communicator, Payload};
+use crate::communicator::{CommError, CommStats, CommStatsSnapshot, Communicator, Payload};
 
 /// A communicator containing exactly one rank.
 #[derive(Default)]
@@ -80,6 +81,27 @@ impl Communicator for SelfComm {
             .expect("recv_from: no message queued to self");
         *msg.downcast::<T>()
             .expect("recv_from: payload type mismatch")
+    }
+
+    fn recv_from_deadline<T: Payload>(
+        &self,
+        src: usize,
+        timeout: Duration,
+    ) -> Result<T, CommError> {
+        assert_eq!(src, 0, "recv_from source out of range for SelfComm");
+        // A message to self is either already queued or never will be: an
+        // empty queue is an immediate typed timeout rather than a panic.
+        match self.queue.lock().pop_front() {
+            Some(msg) => Ok(*msg
+                .downcast::<T>()
+                .expect("recv_from: payload type mismatch")),
+            None => Err(CommError::Timeout {
+                op: "recv_from",
+                rank: 0,
+                peer: Some(0),
+                waited_ms: timeout.as_millis() as u64,
+            }),
+        }
     }
 
     fn split(&self, _color: usize, _key: usize) -> Self {

@@ -9,25 +9,148 @@
 //! destination) pair, giving MPI-like FIFO ordering per pair and
 //! non-blocking sends (used by PASTIS for the overlap-hidden sequence
 //! exchange).
+//!
+//! Every blocking wait (barrier phases of a collective, `recv_from`) is
+//! bounded by the handle's [`CommConfig::op_timeout`]. Real MPI hangs
+//! forever on a lost rank; the test substrate instead fails with a typed
+//! [`CommError`] — as a panic on the infallible paths, as an `Err` from
+//! the `*_deadline` variants — so a deadlocked test diagnoses itself
+//! instead of hanging CI.
 
 use std::any::Any;
 use std::sync::atomic::Ordering;
-use std::sync::{Arc, Barrier};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, OnceLock};
 use std::thread;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 
-use crate::communicator::{CommStats, CommStatsSnapshot, Communicator, Payload};
+use crate::communicator::{CommError, CommStats, CommStatsSnapshot, Communicator, Payload};
 
 type Slot = Option<Box<dyn Any + Send + Sync>>;
 /// One rank's p2p inboxes, indexed by source rank.
 type MailboxRow = Vec<Receiver<Box<dyn Any + Send>>>;
 
+/// Bounded-wait policy of a [`ThreadedComm`] handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommConfig {
+    /// Upper bound on any single blocking wait inside a collective or a
+    /// point-to-point receive. `None` waits forever (true MPI semantics);
+    /// the default is bounded so that a deadlock becomes a diagnosed
+    /// failure. Override the default globally with the
+    /// `PASTIS_COMM_TIMEOUT_MS` environment variable.
+    pub op_timeout: Option<Duration>,
+}
+
+impl CommConfig {
+    /// Default bound on a single blocking wait (no rank of the test
+    /// substrate legitimately waits this long).
+    pub const DEFAULT_OP_TIMEOUT: Duration = Duration::from_secs(120);
+
+    /// Wait forever, exactly like MPI.
+    pub fn unbounded() -> CommConfig {
+        CommConfig { op_timeout: None }
+    }
+
+    /// Bound every blocking wait by `timeout`.
+    pub fn bounded(timeout: Duration) -> CommConfig {
+        CommConfig {
+            op_timeout: Some(timeout),
+        }
+    }
+}
+
+impl Default for CommConfig {
+    fn default() -> CommConfig {
+        static ENV_MS: OnceLock<Option<u64>> = OnceLock::new();
+        let env_ms = *ENV_MS.get_or_init(|| {
+            std::env::var("PASTIS_COMM_TIMEOUT_MS")
+                .ok()
+                .and_then(|s| s.parse().ok())
+        });
+        CommConfig {
+            op_timeout: Some(env_ms.map_or(CommConfig::DEFAULT_OP_TIMEOUT, Duration::from_millis)),
+        }
+    }
+}
+
+/// A reusable generation barrier with a timed wait (std's [`std::sync::Barrier`]
+/// has none). A wait that times out *poisons* the barrier: every current and
+/// future waiter fails immediately, so one diagnosed deadlock brings the
+/// whole world down instead of leaving sibling ranks hung.
+struct GenBarrier {
+    size: usize,
+    state: StdMutex<BarrierState>,
+    cv: Condvar,
+}
+
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+    poisoned: bool,
+}
+
+impl GenBarrier {
+    fn new(size: usize) -> GenBarrier {
+        GenBarrier {
+            size,
+            state: StdMutex::new(BarrierState {
+                arrived: 0,
+                generation: 0,
+                poisoned: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Wait for all `size` ranks; `Err(())` on timeout or poisoning.
+    fn wait(&self, timeout: Option<Duration>) -> Result<(), ()> {
+        let mut st = self.state.lock().expect("barrier mutex poisoned");
+        if st.poisoned {
+            return Err(());
+        }
+        st.arrived += 1;
+        if st.arrived == self.size {
+            st.arrived = 0;
+            st.generation = st.generation.wrapping_add(1);
+            self.cv.notify_all();
+            return Ok(());
+        }
+        let gen = st.generation;
+        let deadline = timeout.map(|t| Instant::now() + t);
+        while st.generation == gen && !st.poisoned {
+            match deadline {
+                None => st = self.cv.wait(st).expect("barrier mutex poisoned"),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        st.poisoned = true;
+                        self.cv.notify_all();
+                        return Err(());
+                    }
+                    st = self
+                        .cv
+                        .wait_timeout(st, d - now)
+                        .expect("barrier mutex poisoned")
+                        .0;
+                }
+            }
+        }
+        // A generation advance means our round completed even if a later
+        // round poisoned the barrier concurrently.
+        if st.generation == gen {
+            Err(())
+        } else {
+            Ok(())
+        }
+    }
+}
+
 /// State shared by all ranks of one (sub-)communicator.
 struct Core {
     size: usize,
-    barrier: Barrier,
+    barrier: GenBarrier,
     /// Exchange board: one deposit slot per rank.
     board: Mutex<Vec<Slot>>,
     /// p2p mailboxes: `receivers[dst][src]`, taken once by rank `dst`.
@@ -52,7 +175,7 @@ impl Core {
         }
         Arc::new(Core {
             size,
-            barrier: Barrier::new(size),
+            barrier: GenBarrier::new(size),
             board: Mutex::new((0..size).map(|_| None).collect()),
             pending_receivers: Mutex::new(receivers.into_iter().map(Some).collect()),
             senders,
@@ -70,18 +193,26 @@ pub struct ThreadedComm {
     /// Receivers for messages addressed to this rank, indexed by source.
     mailboxes: Vec<Receiver<Box<dyn Any + Send>>>,
     stats: Arc<CommStats>,
+    config: CommConfig,
 }
 
 impl ThreadedComm {
-    /// Create `p` rank handles sharing one world communicator.
+    /// Create `p` rank handles sharing one world communicator, with the
+    /// default bounded-wait policy ([`CommConfig::default`]).
     pub fn world(p: usize) -> Vec<ThreadedComm> {
+        ThreadedComm::world_with(p, CommConfig::default())
+    }
+
+    /// Create `p` rank handles sharing one world communicator with an
+    /// explicit bounded-wait policy.
+    pub fn world_with(p: usize, config: CommConfig) -> Vec<ThreadedComm> {
         let core = Core::new(p);
         (0..p)
-            .map(|rank| ThreadedComm::attach(rank, Arc::clone(&core)))
+            .map(|rank| ThreadedComm::attach(rank, Arc::clone(&core), config))
             .collect()
     }
 
-    fn attach(rank: usize, core: Arc<Core>) -> ThreadedComm {
+    fn attach(rank: usize, core: Arc<Core>, config: CommConfig) -> ThreadedComm {
         let mailboxes = core.pending_receivers.lock()[rank]
             .take()
             .expect("rank handle already attached");
@@ -90,13 +221,75 @@ impl ThreadedComm {
             core,
             mailboxes,
             stats: Arc::new(CommStats::default()),
+            config,
+        }
+    }
+
+    /// The bounded-wait policy of this handle (inherited by `split`).
+    pub fn config(&self) -> CommConfig {
+        self.config
+    }
+
+    /// Wait on the shared barrier, bounded by `timeout`; maps a timed-out or
+    /// poisoned barrier to a typed [`CommError::Timeout`].
+    fn try_barrier(&self, op: &'static str, timeout: Option<Duration>) -> Result<(), CommError> {
+        self.core
+            .barrier
+            .wait(timeout)
+            .map_err(|()| CommError::Timeout {
+                op,
+                rank: self.rank,
+                peer: None,
+                waited_ms: timeout.map_or(0, |t| t.as_millis() as u64),
+            })
+    }
+
+    /// Barrier wait on the infallible path: a diagnosed deadlock panics with
+    /// the [`CommError`] message (real MPI would hang here forever).
+    fn wait_barrier(&self, op: &'static str) {
+        if let Err(e) = self.try_barrier(op, self.config.op_timeout) {
+            panic!("{e}");
+        }
+    }
+
+    /// Receive one boxed message from `src`, bounded by `timeout`.
+    fn recv_boxed(
+        &self,
+        src: usize,
+        op: &'static str,
+        timeout: Option<Duration>,
+    ) -> Result<Box<dyn Any + Send>, CommError> {
+        match timeout {
+            None => self.mailboxes[src].recv().map_err(|_| CommError::Closed {
+                op,
+                rank: self.rank,
+                peer: src,
+            }),
+            Some(t) => self.mailboxes[src].recv_timeout(t).map_err(|e| match e {
+                RecvTimeoutError::Timeout => CommError::Timeout {
+                    op,
+                    rank: self.rank,
+                    peer: Some(src),
+                    waited_ms: t.as_millis() as u64,
+                },
+                RecvTimeoutError::Disconnected => CommError::Closed {
+                    op,
+                    rank: self.rank,
+                    peer: src,
+                },
+            }),
         }
     }
 
     /// Deposit a value in this rank's slot, run the collect phase, then
     /// clear the slot. `collect` runs between the two barriers and may read
-    /// any slot on the board.
-    fn exchange<R>(&self, deposit: Slot, collect: impl FnOnce(&mut Vec<Slot>) -> R) -> R {
+    /// any slot on the board. `op` labels the collective in timeout errors.
+    fn exchange<R>(
+        &self,
+        op: &'static str,
+        deposit: Slot,
+        collect: impl FnOnce(&mut Vec<Slot>) -> R,
+    ) -> R {
         {
             let mut board = self.core.board.lock();
             debug_assert!(
@@ -106,12 +299,12 @@ impl ThreadedComm {
             );
             board[self.rank] = deposit;
         }
-        self.core.barrier.wait();
+        self.wait_barrier(op);
         let out = {
             let mut board = self.core.board.lock();
             collect(&mut board)
         };
-        self.core.barrier.wait();
+        self.wait_barrier(op);
         self.core.board.lock()[self.rank] = None;
         out
     }
@@ -136,7 +329,12 @@ impl Communicator for ThreadedComm {
 
     fn barrier(&self) {
         self.stats.barriers.fetch_add(1, Ordering::Relaxed);
-        self.core.barrier.wait();
+        self.wait_barrier("barrier");
+    }
+
+    fn barrier_deadline(&self, timeout: Duration) -> Result<(), CommError> {
+        self.stats.barriers.fetch_add(1, Ordering::Relaxed);
+        self.try_barrier("barrier", Some(timeout))
     }
 
     fn broadcast<T: Payload>(&self, root: usize, value: T, nbytes: usize) -> T {
@@ -148,7 +346,7 @@ impl Communicator for ThreadedComm {
         } else {
             None
         };
-        self.exchange(deposit, |board| {
+        self.exchange("broadcast", deposit, |board| {
             downcast_clone::<T>(&board[root], "broadcast")
         })
     }
@@ -157,7 +355,7 @@ impl Communicator for ThreadedComm {
         self.stats.all_gathers.fetch_add(1, Ordering::Relaxed);
         self.stats
             .add_bytes((std::mem::size_of::<T>() * self.size()) as u64);
-        self.exchange(Some(Box::new(value)), |board| {
+        self.exchange("all_gather", Some(Box::new(value)), |board| {
             board
                 .iter()
                 .map(|slot| downcast_clone::<T>(slot, "all_gather"))
@@ -170,7 +368,7 @@ impl Communicator for ThreadedComm {
         self.stats.all_gathers.fetch_add(1, Ordering::Relaxed);
         self.stats.add_bytes(std::mem::size_of::<T>() as u64);
         let rank = self.rank;
-        self.exchange(Some(Box::new(value)), move |board| {
+        self.exchange("gather", Some(Box::new(value)), move |board| {
             (rank == root).then(|| {
                 board
                     .iter()
@@ -192,7 +390,7 @@ impl Communicator for ThreadedComm {
             .add_bytes((sent * std::mem::size_of::<T>()) as u64);
         let rank = self.rank;
         let size = self.size();
-        self.exchange(Some(Box::new(parts)), move |board| {
+        self.exchange("all_to_allv", Some(Box::new(parts)), move |board| {
             (0..size)
                 .map(|src| {
                     let all_parts = board[src]
@@ -217,11 +415,24 @@ impl Communicator for ThreadedComm {
 
     fn recv_from<T: Payload>(&self, src: usize) -> T {
         assert!(src < self.size(), "recv_from source {src} out of range");
-        let msg = self.mailboxes[src]
-            .recv()
-            .expect("recv_from: source channel closed");
+        let msg = match self.recv_boxed(src, "recv_from", self.config.op_timeout) {
+            Ok(msg) => msg,
+            Err(e) => panic!("{e}"),
+        };
         *msg.downcast::<T>()
             .unwrap_or_else(|_| panic!("recv_from: payload type mismatch (src {src})"))
+    }
+
+    fn recv_from_deadline<T: Payload>(
+        &self,
+        src: usize,
+        timeout: Duration,
+    ) -> Result<T, CommError> {
+        assert!(src < self.size(), "recv_from source {src} out of range");
+        let msg = self.recv_boxed(src, "recv_from", Some(timeout))?;
+        Ok(*msg
+            .downcast::<T>()
+            .unwrap_or_else(|_| panic!("recv_from: payload type mismatch (src {src})")))
     }
 
     fn split(&self, color: usize, key: usize) -> Self {
@@ -247,10 +458,10 @@ impl Communicator for ThreadedComm {
         } else {
             None
         };
-        let new_core = self.exchange(deposit, |board| {
+        let new_core = self.exchange("split", deposit, |board| {
             downcast_clone::<Arc<Core>>(&board[leader], "split")
         });
-        ThreadedComm::attach(my_new_rank, new_core)
+        ThreadedComm::attach(my_new_rank, new_core, self.config)
     }
 
     fn stats(&self) -> CommStatsSnapshot {
@@ -273,7 +484,16 @@ where
     R: Send + 'static,
     F: Fn(&ThreadedComm) -> R + Send + Sync + 'static,
 {
-    let handles = ThreadedComm::world(p);
+    run_threaded_with(p, CommConfig::default(), f)
+}
+
+/// [`run_threaded`] with an explicit bounded-wait policy for the world.
+pub fn run_threaded_with<R, F>(p: usize, config: CommConfig, f: F) -> Vec<R>
+where
+    R: Send + 'static,
+    F: Fn(&ThreadedComm) -> R + Send + Sync + 'static,
+{
+    let handles = ThreadedComm::world_with(p, config);
     let f = Arc::new(f);
     let joins: Vec<thread::JoinHandle<R>> = handles
         .into_iter()
@@ -444,6 +664,79 @@ mod tests {
             assert_eq!(s.barriers, 1);
             assert_eq!(s.bytes, 1);
         }
+    }
+
+    #[test]
+    fn recv_from_deadline_times_out_with_typed_error() {
+        let out = run_threaded(2, |c| {
+            if c.rank() == 1 {
+                let r = c.recv_from_deadline::<u32>(0, Duration::from_millis(20));
+                let timed_out = matches!(
+                    r,
+                    Err(CommError::Timeout {
+                        op: "recv_from",
+                        rank: 1,
+                        peer: Some(0),
+                        ..
+                    })
+                );
+                // Late message still arrives once the sender gets there.
+                c.barrier();
+                let v = c.recv_from::<u32>(0);
+                (timed_out, v)
+            } else {
+                c.barrier();
+                c.send_to(1, 77u32, 4);
+                (true, 0)
+            }
+        });
+        assert_eq!(out[1], (true, 77));
+        assert!(out[0].0);
+    }
+
+    #[test]
+    fn deadlocked_barrier_fails_fast_with_timeout() {
+        // Rank 1 never reaches the barrier: rank 0's bounded wait must fail
+        // with a typed error instead of hanging.
+        let mut handles =
+            ThreadedComm::world_with(2, CommConfig::bounded(Duration::from_millis(30)));
+        let absent = handles.pop().unwrap();
+        let waiter = handles.pop().unwrap();
+        let j = thread::spawn(move || waiter.barrier_deadline(Duration::from_millis(30)));
+        let r = j.join().unwrap();
+        assert!(matches!(
+            r,
+            Err(CommError::Timeout {
+                op: "barrier",
+                rank: 0,
+                peer: None,
+                ..
+            })
+        ));
+        // The barrier is now poisoned: the missing rank fails immediately too.
+        assert!(absent.barrier_deadline(Duration::from_secs(5)).is_err());
+    }
+
+    #[test]
+    fn bounded_recv_on_infallible_path_panics_with_comm_error() {
+        let handles = ThreadedComm::world_with(1, CommConfig::bounded(Duration::from_millis(10)));
+        let c = handles.into_iter().next().unwrap();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            c.recv_from::<u32>(0);
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("comm timeout"), "got panic message: {msg}");
+    }
+
+    #[test]
+    fn split_inherits_config() {
+        let out = run_threaded_with(2, CommConfig::bounded(Duration::from_secs(9)), |c| {
+            let sub = c.split(0, c.rank());
+            sub.config()
+        });
+        assert_eq!(out[0], CommConfig::bounded(Duration::from_secs(9)));
+        assert_eq!(out[1], CommConfig::bounded(Duration::from_secs(9)));
     }
 
     #[test]

@@ -14,11 +14,11 @@
 //! `size_of::<T>() × size` for all-gather, sent-elements × `size_of::<T>()`
 //! for all-to-allv.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use pastis_trace::{CommOp, Recorder};
 
-use crate::communicator::{CommStatsSnapshot, Communicator, Payload, ReduceOp};
+use crate::communicator::{CommError, CommStatsSnapshot, Communicator, Payload, ReduceOp};
 
 /// A communicator that records per-operation telemetry into a [`Recorder`].
 #[derive(Debug)]
@@ -129,6 +129,20 @@ impl<C: Communicator> Communicator for TracedComm<C> {
         // Payload size is unknown on the receive side (type-erased mailbox);
         // bytes are accounted at the sender.
         self.traced(CommOp::RecvFrom, 0, |c| c.recv_from(src))
+    }
+
+    fn recv_from_deadline<T: Payload>(
+        &self,
+        src: usize,
+        timeout: Duration,
+    ) -> Result<T, CommError> {
+        // A timed-out receive still spent wall time waiting; record it either
+        // way so chaos runs account for the wasted wait.
+        self.traced(CommOp::RecvFrom, 0, |c| c.recv_from_deadline(src, timeout))
+    }
+
+    fn barrier_deadline(&self, timeout: Duration) -> Result<(), CommError> {
+        self.traced(CommOp::Barrier, 0, |c| c.barrier_deadline(timeout))
     }
 
     fn split(&self, color: usize, key: usize) -> Self {

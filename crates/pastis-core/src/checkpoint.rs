@@ -1,0 +1,615 @@
+//! Checkpoint/restart of the pre-blocked SUMMA loop.
+//!
+//! The paper's production run processed 405M sequences in batches precisely
+//! so that a preempted or crashed job loses one batch, not the run. This
+//! module gives the reproduction the same property at block granularity:
+//! after every completed output block, each rank serializes its *block
+//! cursor* (how many scheduled blocks are done) plus its partial state —
+//! edges in insertion order, counters, component times, per-block series —
+//! to a versioned checkpoint file. A resumed run replays from the last
+//! block every rank completed and provably produces the bit-identical final
+//! graph (edges are stored pre-`normalize`, and the final normalize sorts
+//! them canonically, so the split point cannot influence the output).
+//!
+//! # Format (schema version 1)
+//!
+//! A checkpoint is a plain text file (the vendored `serde` is a no-op stub,
+//! so serialization is hand-rolled and auditable). All floats are written
+//! as `to_bits()` hex so round-trips are bit-exact. Layout:
+//!
+//! ```text
+//! PASTIS-CKPT 1
+//! fingerprint <hex64>            # run identity: params + input digest
+//! rank <r> <nranks>
+//! nverts <n>
+//! blocks_done <k>
+//! stat <candidates> <aligned> <cells> <similar> <products>
+//! statf <total_bits> <kernel_bits> <cpu_bits>
+//! time <component-label> <bits>  # one line per Component::ALL entry
+//! block <r> <c> <sparse_bits> <align_bits> <candidates> <aligned>  # ×k
+//! edge <i> <j> <score> <ani_bits> <cov_bits> <common>              # ×edges
+//! end <crc32-hex>                # CRC over every preceding byte
+//! ```
+//!
+//! Files are written atomically (`.tmp` + rename) into
+//! `<dir>/rank<r>/block<k>.ckpt`; recovery scans for the newest file that
+//! parses, CRC-checks, and matches the run fingerprint, so a torn write
+//! from a killed process simply falls back to the previous block.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use pastis_comm::fault::crc32;
+use pastis_comm::{Component, TimeBreakdown};
+use pastis_seqio::SeqStore;
+
+use crate::params::SearchParams;
+use crate::pipeline::BlockTiming;
+use crate::simgraph::{SimilarityEdge, SimilarityGraph};
+use crate::stats::SearchStats;
+
+/// Version stamp of the on-disk checkpoint format.
+pub const CHECKPOINT_SCHEMA_VERSION: u32 = 1;
+
+/// Mix one 64-bit value into a running digest (splitmix64 finalizer).
+/// Building block of [`run_fingerprint`]; exported so other layers (the
+/// baseline searches) can fingerprint their own runs the same way.
+pub fn digest_u64(h: u64, v: u64) -> u64 {
+    mix(h, v)
+}
+
+/// Mix a byte string (length included) into a running digest.
+pub fn digest_bytes(h: u64, bytes: &[u8]) -> u64 {
+    mix_bytes(h, bytes)
+}
+
+fn mix(h: u64, v: u64) -> u64 {
+    let mut z = (h ^ v).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn mix_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    for chunk in bytes.chunks(8) {
+        let mut buf = [0u8; 8];
+        buf[..chunk.len()].copy_from_slice(chunk);
+        h = mix(h, u64::from_le_bytes(buf));
+    }
+    mix(h, bytes.len() as u64)
+}
+
+/// Digest of everything that determines the search *output*: the
+/// output-relevant parameters and the input sequences. Two runs with equal
+/// fingerprints produce the same similarity graph, so a checkpoint is only
+/// ever resumed into the run that wrote it.
+///
+/// Deliberately excluded: `align_threads` and any fault/checkpoint/timeout
+/// knobs — they change wall time, never the output, and a chaos run must be
+/// resumable into a fault-free run (and vice versa).
+pub fn run_fingerprint(params: &SearchParams, store: &SeqStore) -> u64 {
+    let mut h = 0x5054_4953_2d52_5321u64; // "PTIS-RS!"
+    h = mix(h, params.k as u64);
+    h = mix_bytes(h, format!("{:?}", params.alphabet).as_bytes());
+    h = mix(h, params.substitute_kmers as u64);
+    h = mix(h, params.common_kmer_threshold as u64);
+    h = mix(h, params.ani_threshold.to_bits());
+    h = mix(h, params.coverage_threshold.to_bits());
+    h = mix(h, params.gaps.open as u64);
+    h = mix(h, params.gaps.extend as u64);
+    h = mix_bytes(h, format!("{:?}", params.align_kind).as_bytes());
+    h = mix(h, params.block_rows as u64);
+    h = mix(h, params.block_cols as u64);
+    h = mix_bytes(h, format!("{:?}", params.load_balance).as_bytes());
+    h = mix(h, params.pre_blocking as u64);
+    h = mix(h, store.len() as u64);
+    for i in 0..store.len() {
+        h = mix_bytes(h, store.seq(i));
+    }
+    h
+}
+
+/// One rank's saved state after `blocks_done` completed blocks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Run identity ([`run_fingerprint`]).
+    pub fingerprint: u64,
+    /// Writing rank.
+    pub rank: usize,
+    /// World size the run used (resume requires the same).
+    pub nranks: usize,
+    /// Vertex count of the partial graph.
+    pub n_vertices: usize,
+    /// Completed scheduled blocks (the block cursor).
+    pub blocks_done: usize,
+    /// Counters accumulated so far.
+    pub stats: SearchStats,
+    /// Component times accumulated so far.
+    pub times: TimeBreakdown,
+    /// Per-block series so far (`len == blocks_done`).
+    pub per_block: Vec<BlockTiming>,
+    /// Edges in insertion order, pre-`normalize`.
+    pub edges: Vec<SimilarityEdge>,
+}
+
+impl Checkpoint {
+    /// Serialize to the schema-v1 text format (CRC trailer included).
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(64 + self.edges.len() * 48);
+        let _ = writeln!(s, "PASTIS-CKPT {CHECKPOINT_SCHEMA_VERSION}");
+        let _ = writeln!(s, "fingerprint {:016x}", self.fingerprint);
+        let _ = writeln!(s, "rank {} {}", self.rank, self.nranks);
+        let _ = writeln!(s, "nverts {}", self.n_vertices);
+        let _ = writeln!(s, "blocks_done {}", self.blocks_done);
+        let st = &self.stats;
+        let _ = writeln!(
+            s,
+            "stat {} {} {} {} {}",
+            st.candidates, st.aligned_pairs, st.cells, st.similar_pairs, st.spgemm_products
+        );
+        let _ = writeln!(
+            s,
+            "statf {:016x} {:016x} {:016x}",
+            st.total_seconds.to_bits(),
+            st.align_kernel_seconds.to_bits(),
+            st.align_cpu_seconds.to_bits()
+        );
+        for c in Component::ALL {
+            let _ = writeln!(s, "time {} {:016x}", c.label(), self.times.get(c).to_bits());
+        }
+        for b in &self.per_block {
+            let _ = writeln!(
+                s,
+                "block {} {} {:016x} {:016x} {} {}",
+                b.r,
+                b.c,
+                b.sparse_seconds.to_bits(),
+                b.align_seconds.to_bits(),
+                b.candidates,
+                b.aligned_pairs
+            );
+        }
+        for e in &self.edges {
+            let _ = writeln!(
+                s,
+                "edge {} {} {} {:08x} {:08x} {}",
+                e.i,
+                e.j,
+                e.score,
+                e.ani.to_bits(),
+                e.coverage.to_bits(),
+                e.common_kmers
+            );
+        }
+        let crc = crc32(s.as_bytes());
+        let _ = writeln!(s, "end {crc:08x}");
+        s
+    }
+
+    /// Parse and CRC-check a schema-v1 checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Any structural problem — bad magic, wrong schema version, CRC
+    /// mismatch (torn write), malformed line — is an `Err` with a
+    /// description; the caller treats it as "this file does not exist".
+    pub fn parse(text: &str) -> Result<Checkpoint, String> {
+        let body_end = text
+            .rfind("end ")
+            .ok_or_else(|| "checkpoint missing end trailer".to_string())?;
+        let trailer = text[body_end..].strip_prefix("end ").unwrap().trim();
+        let want_crc = u32::from_str_radix(trailer, 16)
+            .map_err(|_| format!("bad checkpoint crc trailer: {trailer:?}"))?;
+        let body = &text[..body_end];
+        let got_crc = crc32(body.as_bytes());
+        if got_crc != want_crc {
+            return Err(format!(
+                "checkpoint crc mismatch: file says {want_crc:08x}, content is {got_crc:08x}"
+            ));
+        }
+
+        let mut lines = body.lines();
+        let magic = lines.next().unwrap_or_default();
+        let version: u32 = magic
+            .strip_prefix("PASTIS-CKPT ")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| format!("bad checkpoint magic: {magic:?}"))?;
+        if version != CHECKPOINT_SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported checkpoint schema version {version} (this build reads {CHECKPOINT_SCHEMA_VERSION})"
+            ));
+        }
+
+        fn field<'a>(
+            line: Option<&'a str>,
+            key: &str,
+        ) -> Result<std::str::SplitWhitespace<'a>, String> {
+            let line = line.ok_or_else(|| format!("checkpoint truncated before {key:?}"))?;
+            let rest = line
+                .strip_prefix(key)
+                .ok_or_else(|| format!("expected {key:?} line, got {line:?}"))?;
+            Ok(rest.split_whitespace())
+        }
+        fn next_num<T: std::str::FromStr>(
+            it: &mut std::str::SplitWhitespace<'_>,
+            what: &str,
+        ) -> Result<T, String> {
+            it.next()
+                .ok_or_else(|| format!("checkpoint line missing {what}"))?
+                .parse()
+                .map_err(|_| format!("bad {what} in checkpoint"))
+        }
+        fn next_bits64(it: &mut std::str::SplitWhitespace<'_>, what: &str) -> Result<f64, String> {
+            let tok = it
+                .next()
+                .ok_or_else(|| format!("checkpoint line missing {what}"))?;
+            u64::from_str_radix(tok, 16)
+                .map(f64::from_bits)
+                .map_err(|_| format!("bad {what} bits in checkpoint"))
+        }
+
+        let mut it = field(lines.next(), "fingerprint ")?;
+        let fingerprint =
+            u64::from_str_radix(it.next().ok_or("checkpoint line missing fingerprint")?, 16)
+                .map_err(|_| "bad fingerprint in checkpoint".to_string())?;
+
+        let mut it = field(lines.next(), "rank ")?;
+        let rank: usize = next_num(&mut it, "rank")?;
+        let nranks: usize = next_num(&mut it, "nranks")?;
+
+        let mut it = field(lines.next(), "nverts ")?;
+        let n_vertices: usize = next_num(&mut it, "nverts")?;
+
+        let mut it = field(lines.next(), "blocks_done ")?;
+        let blocks_done: usize = next_num(&mut it, "blocks_done")?;
+
+        let mut it = field(lines.next(), "stat ")?;
+        let mut stats = SearchStats {
+            candidates: next_num(&mut it, "candidates")?,
+            aligned_pairs: next_num(&mut it, "aligned_pairs")?,
+            cells: next_num(&mut it, "cells")?,
+            similar_pairs: next_num(&mut it, "similar_pairs")?,
+            spgemm_products: next_num(&mut it, "spgemm_products")?,
+            ..SearchStats::default()
+        };
+        let mut it = field(lines.next(), "statf ")?;
+        stats.total_seconds = next_bits64(&mut it, "total_seconds")?;
+        stats.align_kernel_seconds = next_bits64(&mut it, "align_kernel_seconds")?;
+        stats.align_cpu_seconds = next_bits64(&mut it, "align_cpu_seconds")?;
+
+        let mut times = TimeBreakdown::new();
+        for c in Component::ALL {
+            let mut it = field(lines.next(), "time ")?;
+            let label = it.next().ok_or("checkpoint time line missing label")?;
+            if label != c.label() {
+                return Err(format!(
+                    "checkpoint time lines out of order: expected {:?}, got {label:?}",
+                    c.label()
+                ));
+            }
+            times.record(c, next_bits64(&mut it, "component seconds")?);
+        }
+
+        let mut per_block = Vec::with_capacity(blocks_done);
+        let mut edges = Vec::new();
+        for line in lines {
+            if let Some(rest) = line.strip_prefix("block ") {
+                let mut it = rest.split_whitespace();
+                per_block.push(BlockTiming {
+                    r: next_num(&mut it, "block row")?,
+                    c: next_num(&mut it, "block col")?,
+                    sparse_seconds: next_bits64(&mut it, "sparse_seconds")?,
+                    align_seconds: next_bits64(&mut it, "align_seconds")?,
+                    candidates: next_num(&mut it, "block candidates")?,
+                    aligned_pairs: next_num(&mut it, "block aligned_pairs")?,
+                });
+            } else if let Some(rest) = line.strip_prefix("edge ") {
+                let mut it = rest.split_whitespace();
+                let i: u32 = next_num(&mut it, "edge i")?;
+                let j: u32 = next_num(&mut it, "edge j")?;
+                let score: i32 = next_num(&mut it, "edge score")?;
+                let ani_tok = it.next().ok_or("edge line missing ani")?;
+                let cov_tok = it.next().ok_or("edge line missing coverage")?;
+                let ani = u32::from_str_radix(ani_tok, 16)
+                    .map(f32::from_bits)
+                    .map_err(|_| "bad ani bits in checkpoint".to_string())?;
+                let coverage = u32::from_str_radix(cov_tok, 16)
+                    .map(f32::from_bits)
+                    .map_err(|_| "bad coverage bits in checkpoint".to_string())?;
+                let common_kmers: u32 = next_num(&mut it, "edge common_kmers")?;
+                edges.push(SimilarityEdge {
+                    i,
+                    j,
+                    score,
+                    ani,
+                    coverage,
+                    common_kmers,
+                });
+            } else {
+                return Err(format!("unexpected checkpoint line: {line:?}"));
+            }
+        }
+        if per_block.len() != blocks_done {
+            return Err(format!(
+                "checkpoint inconsistent: {blocks_done} blocks_done but {} block lines",
+                per_block.len()
+            ));
+        }
+        Ok(Checkpoint {
+            fingerprint,
+            rank,
+            nranks,
+            n_vertices,
+            blocks_done,
+            stats,
+            times,
+            per_block,
+            edges,
+        })
+    }
+
+    /// Reconstruct the partial (pre-`normalize`) graph.
+    pub fn graph(&self) -> SimilarityGraph {
+        let mut g = SimilarityGraph::new(self.n_vertices);
+        for e in &self.edges {
+            g.add(*e);
+        }
+        g
+    }
+}
+
+/// The file a rank's checkpoint for `blocks_done` lives in.
+pub fn checkpoint_path(dir: &Path, rank: usize, blocks_done: usize) -> PathBuf {
+    dir.join(format!("rank{rank}"))
+        .join(format!("block{blocks_done:06}.ckpt"))
+}
+
+/// Write `content` to `path` atomically: write a sibling `.tmp`, then
+/// rename over the target. A killed process leaves either the old file or
+/// a stray `.tmp`, never a torn target.
+///
+/// # Errors
+///
+/// I/O failures, with the path in the message.
+pub fn write_atomic(path: &Path, content: &str) -> Result<(), String> {
+    let parent = path
+        .parent()
+        .ok_or_else(|| format!("checkpoint path has no parent: {}", path.display()))?;
+    fs::create_dir_all(parent).map_err(|e| format!("creating {}: {e}", parent.display()))?;
+    let tmp = path.with_extension("ckpt.tmp");
+    fs::write(&tmp, content).map_err(|e| format!("writing {}: {e}", tmp.display()))?;
+    fs::rename(&tmp, path)
+        .map_err(|e| format!("renaming {} -> {}: {e}", tmp.display(), path.display()))
+}
+
+/// Atomically persist `ck` under `dir`, returning the file written.
+///
+/// # Errors
+///
+/// I/O failures.
+pub fn save(dir: &Path, ck: &Checkpoint) -> Result<PathBuf, String> {
+    let path = checkpoint_path(dir, ck.rank, ck.blocks_done);
+    write_atomic(&path, &ck.to_text())?;
+    Ok(path)
+}
+
+/// The newest valid checkpoint for `rank` under `dir` that matches
+/// `fingerprint` and `nranks`: highest block count whose file parses,
+/// CRC-checks, and belongs to this run. Corrupt, foreign, or torn files
+/// are skipped (that is the recovery path, not an error).
+pub fn latest_valid(
+    dir: &Path,
+    rank: usize,
+    nranks: usize,
+    fingerprint: u64,
+) -> Option<Checkpoint> {
+    let rank_dir = dir.join(format!("rank{rank}"));
+    let mut counts: Vec<usize> = fs::read_dir(&rank_dir)
+        .ok()?
+        .filter_map(|e| {
+            let name = e.ok()?.file_name().into_string().ok()?;
+            name.strip_prefix("block")?
+                .strip_suffix(".ckpt")?
+                .parse()
+                .ok()
+        })
+        .collect();
+    counts.sort_unstable_by(|a, b| b.cmp(a));
+    for count in counts {
+        let path = checkpoint_path(dir, rank, count);
+        let Ok(text) = fs::read_to_string(&path) else {
+            continue;
+        };
+        match Checkpoint::parse(&text) {
+            Ok(ck)
+                if ck.fingerprint == fingerprint
+                    && ck.nranks == nranks
+                    && ck.rank == rank
+                    && ck.blocks_done == count =>
+            {
+                return Some(ck);
+            }
+            _ => continue,
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pastis_align::matrices::encode;
+
+    fn sample_checkpoint() -> Checkpoint {
+        let mut times = TimeBreakdown::new();
+        times.record(Component::Align, 1.25);
+        times.record(Component::SpGemm, 0.125);
+        times.record(Component::CommWait, 3.0e-7);
+        Checkpoint {
+            fingerprint: 0xDEAD_BEEF_CAFE_F00D,
+            rank: 1,
+            nranks: 4,
+            n_vertices: 10,
+            blocks_done: 2,
+            stats: SearchStats {
+                candidates: 100,
+                aligned_pairs: 42,
+                cells: 9000,
+                similar_pairs: 7,
+                spgemm_products: 555,
+                total_seconds: 1.5,
+                align_kernel_seconds: 0.7,
+                align_cpu_seconds: 1.4,
+            },
+            times,
+            per_block: vec![
+                BlockTiming {
+                    r: 0,
+                    c: 0,
+                    sparse_seconds: 0.1,
+                    align_seconds: 0.2,
+                    candidates: 60,
+                    aligned_pairs: 30,
+                },
+                BlockTiming {
+                    r: 0,
+                    c: 1,
+                    sparse_seconds: 0.3,
+                    align_seconds: 0.4,
+                    candidates: 40,
+                    aligned_pairs: 12,
+                },
+            ],
+            edges: vec![
+                SimilarityEdge {
+                    i: 2,
+                    j: 5,
+                    score: 37,
+                    ani: 0.875,
+                    coverage: 0.5,
+                    common_kmers: 3,
+                },
+                SimilarityEdge {
+                    i: 0,
+                    j: 9,
+                    score: 11,
+                    ani: 0.333_333_34,
+                    coverage: 0.999_999_9,
+                    common_kmers: 1,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn text_round_trip_is_bit_exact() {
+        let ck = sample_checkpoint();
+        let parsed = Checkpoint::parse(&ck.to_text()).unwrap();
+        assert_eq!(parsed, ck);
+        // Bit-exactness beyond PartialEq: re-serialization is identical.
+        assert_eq!(parsed.to_text(), ck.to_text());
+    }
+
+    #[test]
+    fn crc_catches_torn_or_flipped_content() {
+        let ck = sample_checkpoint();
+        let text = ck.to_text();
+        // Flip a digit inside the body.
+        let corrupted = text.replacen("blocks_done 2", "blocks_done 3", 1);
+        assert!(Checkpoint::parse(&corrupted).unwrap_err().contains("crc"));
+        // Truncate mid-file (torn write): the trailer disappears or the crc
+        // no longer covers the body.
+        let torn = &text[..text.len() / 2];
+        assert!(Checkpoint::parse(torn).is_err());
+    }
+
+    #[test]
+    fn schema_version_is_enforced() {
+        let text = sample_checkpoint()
+            .to_text()
+            .replacen("PASTIS-CKPT 1", "PASTIS-CKPT 2", 1);
+        // CRC fails first (content changed) — rebuild a consistent v2 file.
+        let body_end = text.rfind("end ").unwrap();
+        let body = &text[..body_end];
+        let fixed = format!("{body}end {:08x}\n", crc32(body.as_bytes()));
+        let err = Checkpoint::parse(&fixed).unwrap_err();
+        assert!(err.contains("schema version 2"), "{err}");
+    }
+
+    #[test]
+    fn save_and_latest_valid_pick_newest_matching() {
+        let dir = std::env::temp_dir().join(format!("pastis-ckpt-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut ck = sample_checkpoint();
+        save(&dir, &ck).unwrap();
+        ck.blocks_done = 3;
+        ck.per_block.push(BlockTiming {
+            r: 1,
+            c: 1,
+            sparse_seconds: 0.5,
+            align_seconds: 0.6,
+            candidates: 1,
+            aligned_pairs: 1,
+        });
+        save(&dir, &ck).unwrap();
+        // A corrupt newer file must be skipped, not trusted.
+        let bad = checkpoint_path(&dir, ck.rank, 4);
+        fs::create_dir_all(bad.parent().unwrap()).unwrap();
+        fs::write(&bad, "PASTIS-CKPT 1\ngarbage\n").unwrap();
+
+        let got = latest_valid(&dir, ck.rank, ck.nranks, ck.fingerprint).unwrap();
+        assert_eq!(got.blocks_done, 3);
+        assert_eq!(got, ck);
+        // Wrong fingerprint or world size: nothing valid.
+        assert!(latest_valid(&dir, ck.rank, ck.nranks, 1).is_none());
+        assert!(latest_valid(&dir, ck.rank, 8, ck.fingerprint).is_none());
+        // Other ranks have no files.
+        assert!(latest_valid(&dir, 0, ck.nranks, ck.fingerprint).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_tracks_output_relevant_params_only() {
+        let mut store = SeqStore::new();
+        store.push("a".into(), encode("MKVLAWYHEE").unwrap());
+        store.push("b".into(), encode("GGSTPNQRCD").unwrap());
+        let base = SearchParams::test_defaults();
+        let fp = run_fingerprint(&base, &store);
+        assert_eq!(fp, run_fingerprint(&base.clone(), &store), "deterministic");
+        // Threads never change the output → same fingerprint.
+        assert_eq!(
+            fp,
+            run_fingerprint(&base.clone().with_align_threads(8), &store)
+        );
+        // Output-relevant knobs change it.
+        assert_ne!(
+            fp,
+            run_fingerprint(&base.clone().with_blocking(2, 2), &store)
+        );
+        assert_ne!(
+            fp,
+            run_fingerprint(
+                &SearchParams {
+                    ani_threshold: 0.5,
+                    ..base.clone()
+                },
+                &store
+            )
+        );
+        // So does the input.
+        let mut store2 = SeqStore::new();
+        store2.push("a".into(), encode("MKVLAWYHEE").unwrap());
+        store2.push("b".into(), encode("GGSTPNQRCE").unwrap());
+        assert_ne!(fp, run_fingerprint(&base, &store2));
+    }
+
+    #[test]
+    fn graph_reconstruction_preserves_insertion_order() {
+        let ck = sample_checkpoint();
+        let g = ck.graph();
+        // add() canonicalizes endpoints but keeps insertion order.
+        let keys: Vec<(u32, u32)> = g.edges().iter().map(|e| e.key()).collect();
+        assert_eq!(keys, vec![(2, 5), (0, 9)]);
+    }
+}

@@ -31,6 +31,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod distcc;
 pub mod filter;
 pub mod kmer;
@@ -42,8 +43,10 @@ pub mod perfmodel;
 pub mod pipeline;
 pub mod simgraph;
 pub mod stats;
+pub mod straggler;
 pub mod subkmers;
 
+pub use checkpoint::{run_fingerprint, Checkpoint, CHECKPOINT_SCHEMA_VERSION};
 pub use distcc::distributed_components;
 pub use filter::EdgeFilter;
 pub use kmer::kmer_matrix_triples;
@@ -55,3 +58,4 @@ pub use perfmodel::{simulate, simulate_traced, ScaleConfig, ScaleReport};
 pub use pipeline::{run_search, run_search_traced, SearchResult};
 pub use simgraph::{SimilarityEdge, SimilarityGraph};
 pub use stats::SearchStats;
+pub use straggler::{detect_stragglers, StragglerReport};

@@ -4,6 +4,8 @@
 //! gap open 11 / extend 2, common-k-mer threshold 2, ANI threshold 0.30,
 //! coverage threshold 0.70.
 
+use std::path::PathBuf;
+
 use pastis_align::sw::GapPenalties;
 use pastis_seqio::ReducedAlphabet;
 
@@ -63,6 +65,25 @@ pub struct SearchParams {
     /// Overlap block `i+1`'s SpGEMM with block `i`'s alignment
     /// (Section VI-C).
     pub pre_blocking: bool,
+    /// Deadline in milliseconds for blocking point-to-point receives in the
+    /// pipeline (the sequence-exchange "cwait"). `None` waits forever;
+    /// `Some` turns a lost peer into a typed error instead of a hang.
+    /// Robustness knob — never affects the output.
+    pub op_timeout_ms: Option<u64>,
+    /// Directory for per-block checkpoints (`None` disables
+    /// checkpointing). Robustness knob — never affects the output.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Resume from the newest valid checkpoint in `checkpoint_dir` instead
+    /// of recomputing completed blocks. The resumed run's final graph is
+    /// bit-identical to an uninterrupted run.
+    pub resume: bool,
+    /// Stop after this many scheduled blocks (absolute index, so it
+    /// composes with `resume`). Deterministic stand-in for "the job was
+    /// killed here" in kill-and-resume tests; `None` runs to completion.
+    pub halt_after_blocks: Option<usize>,
+    /// Flag ranks whose block seconds exceed `factor × median` at the end
+    /// of the run (`None` disables the scan). Must exceed 1.0.
+    pub straggler_factor: Option<f64>,
 }
 
 impl Default for SearchParams {
@@ -81,6 +102,11 @@ impl Default for SearchParams {
             block_cols: 1,
             load_balance: LoadBalance::IndexBased,
             pre_blocking: false,
+            op_timeout_ms: None,
+            checkpoint_dir: None,
+            resume: false,
+            halt_after_blocks: None,
+            straggler_factor: Some(3.0),
         }
     }
 }
@@ -124,6 +150,31 @@ impl SearchParams {
         self
     }
 
+    /// Set the checkpoint directory, builder style.
+    pub fn with_checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> SearchParams {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// Enable/disable resume-from-checkpoint, builder style.
+    pub fn with_resume(mut self, on: bool) -> SearchParams {
+        self.resume = on;
+        self
+    }
+
+    /// Halt after `blocks` scheduled blocks (absolute index), builder
+    /// style.
+    pub fn with_halt_after_blocks(mut self, blocks: usize) -> SearchParams {
+        self.halt_after_blocks = Some(blocks);
+        self
+    }
+
+    /// Set the point-to-point receive deadline, builder style.
+    pub fn with_op_timeout_ms(mut self, ms: u64) -> SearchParams {
+        self.op_timeout_ms = Some(ms);
+        self
+    }
+
     /// Number of k-mer columns of the sequences-by-k-mers matrix.
     pub fn kmer_space(&self) -> usize {
         self.alphabet.kmer_space(self.k)
@@ -157,6 +208,14 @@ impl SearchParams {
         }
         if self.gaps.open < 0 || self.gaps.extend < 0 {
             return Err("gap penalties must be non-negative".into());
+        }
+        if self.resume && self.checkpoint_dir.is_none() {
+            return Err("resume requires a checkpoint directory".into());
+        }
+        if let Some(f) = self.straggler_factor {
+            if f.is_nan() || f <= 1.0 {
+                return Err(format!("straggler factor must exceed 1.0, got {f}"));
+            }
         }
         Ok(())
     }
@@ -233,6 +292,31 @@ mod tests {
         assert_eq!(p.load_balance, LoadBalance::Triangular);
         assert!(p.pre_blocking);
         assert_eq!(p.align_threads, 4);
+    }
+
+    #[test]
+    fn robustness_knobs_validate() {
+        // Resume without a checkpoint dir is a contradiction.
+        let bad = SearchParams::default().with_resume(true);
+        assert!(bad.validate().is_err());
+        let ok = SearchParams::default()
+            .with_checkpoint_dir("/tmp/ckpt")
+            .with_resume(true)
+            .with_halt_after_blocks(3)
+            .with_op_timeout_ms(5000);
+        assert!(ok.validate().is_ok());
+        // A straggler factor at or below the median would flag healthy
+        // ranks.
+        let bad_factor = SearchParams {
+            straggler_factor: Some(1.0),
+            ..SearchParams::default()
+        };
+        assert!(bad_factor.validate().is_err());
+        let off = SearchParams {
+            straggler_factor: None,
+            ..SearchParams::default()
+        };
+        assert!(off.validate().is_ok());
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //! load-balancing scheme — the determinism property PASTIS holds over
 //! DIAMOND/MMseqs2 (verified by `tests/determinism.rs`).
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use pastis_align::batch::AlignTask;
 use pastis_align::matrices::{Blosum62, Scoring};
@@ -35,6 +35,7 @@ use pastis_seqio::SeqStore;
 use pastis_sparse::{BlockedSumma, Triples};
 use pastis_trace::{span, Recorder};
 
+use crate::checkpoint::{self, Checkpoint};
 use crate::filter::{candidate_passes, EdgeFilter};
 use crate::kmer::kmer_matrix_triples;
 use crate::loadbalance::{BlockPlan, BlockTask};
@@ -42,6 +43,7 @@ use crate::overlap::OverlapSemiring;
 use crate::params::{AlignKind, SearchParams};
 use crate::simgraph::{SimilarityEdge, SimilarityGraph};
 use crate::stats::SearchStats;
+use crate::straggler::{detect_stragglers, StragglerReport};
 use crate::subkmers::kmer_matrix_triples_with_substitutes;
 
 /// Per-block timing and counters (this rank's share) — the raw series
@@ -77,6 +79,12 @@ pub struct SearchResult {
     pub wall_seconds: f64,
     /// Per scheduled block: timings and counters.
     pub per_block: Vec<BlockTiming>,
+    /// When the run resumed from a checkpoint: the block index it resumed
+    /// at (blocks `0..k` were restored, not recomputed).
+    pub resumed_from_block: Option<usize>,
+    /// End-of-run straggler scan (`None` when disabled, halted early, or
+    /// `p == 1`).
+    pub stragglers: Option<StragglerReport>,
 }
 
 impl SearchResult {
@@ -277,9 +285,17 @@ pub fn run_search_traced<C: Communicator + Sync>(
         });
         let mut unpacked = vec![Vec::new(); n];
         my_slice.unpack_into(&mut unpacked);
+        let op_timeout = params.op_timeout_ms.map(Duration::from_millis);
         for src in 0..p {
             if src != rank {
-                let s: SeqSlice = world.recv_from(src);
+                // With a deadline, a lost peer surfaces as a typed error
+                // here instead of hanging the whole world in cwait.
+                let s: SeqSlice = match op_timeout {
+                    None => world.recv_from(src),
+                    Some(t) => world
+                        .recv_from_deadline(src, t)
+                        .map_err(|e| format!("sequence exchange failed: {e}"))?,
+                };
                 s.unpack_into(&mut unpacked);
             }
         }
@@ -411,11 +427,12 @@ pub fn run_search_traced<C: Communicator + Sync>(
 
     let mut graph = SimilarityGraph::new(n);
     let mut per_block = Vec::with_capacity(plan.tasks.len());
-    let mut apply = |batch: CandidateBatch,
-                     outcome: (Vec<SimilarityEdge>, u64, f64, f64),
-                     times: &mut TimeBreakdown,
-                     stats: &mut SearchStats,
-                     graph: &mut SimilarityGraph| {
+    let apply = |batch: CandidateBatch,
+                 outcome: (Vec<SimilarityEdge>, u64, f64, f64),
+                 times: &mut TimeBreakdown,
+                 stats: &mut SearchStats,
+                 graph: &mut SimilarityGraph,
+                 per_block: &mut Vec<BlockTiming>| {
         let (edges, cells, align_seconds, align_cpu_seconds) = outcome;
         times.record(Component::SpGemm, batch.spgemm_seconds);
         times.record(Component::SparseOther, batch.other_seconds);
@@ -441,15 +458,85 @@ pub fn run_search_traced<C: Communicator + Sync>(
     };
 
     let tasks = &plan.tasks;
-    if !tasks.is_empty() {
+
+    // --- 4a. Checkpoint/resume bookkeeping. The run fingerprint binds a
+    // checkpoint to its exact search (output-relevant params + input), so a
+    // stale or foreign directory can never poison a run.
+    let ckpt_dir = params.checkpoint_dir.as_deref();
+    let fingerprint = if ckpt_dir.is_some() {
+        checkpoint::run_fingerprint(params, store)
+    } else {
+        0
+    };
+    let mut start_idx = 0usize;
+    let mut resumed_from_block = None;
+    if params.resume {
+        let dir = ckpt_dir.expect("validate() enforces resume ⇒ checkpoint_dir");
+        // Resume from the last block EVERY rank completed: ranks can die at
+        // different blocks, and the SUMMA loop is bulk-synchronous, so the
+        // world must re-enter it at one common index (collective Min).
+        let mine =
+            checkpoint::latest_valid(dir, rank, p, fingerprint).map_or(0, |ck| ck.blocks_done);
+        let common = world.all_reduce(&[mine as u64], pastis_comm::ReduceOp::Min)[0] as usize;
+        if common > 0 {
+            let path = checkpoint::checkpoint_path(dir, rank, common);
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("reading checkpoint {}: {e}", path.display()))?;
+            let ck = Checkpoint::parse(&text)
+                .map_err(|e| format!("checkpoint {}: {e}", path.display()))?;
+            // Restore the partial state exactly as saved. Edges are in
+            // insertion order (pre-normalize); the final normalize makes
+            // the resumed graph bit-identical to an uninterrupted run.
+            graph = ck.graph();
+            stats = ck.stats;
+            times = ck.times;
+            per_block = ck.per_block;
+            start_idx = common;
+            resumed_from_block = Some(common);
+            recorder.add_counter("resume.from_block", common as f64);
+        }
+    }
+    // Halt is an *absolute* block index, so halt-then-resume-then-halt
+    // chains compose (the deterministic stand-in for "killed at block k").
+    let stop_idx = params
+        .halt_after_blocks
+        .map_or(tasks.len(), |h| h.min(tasks.len()));
+    let halted = stop_idx < tasks.len();
+
+    let save_ckpt = |blocks_done: usize,
+                     graph: &SimilarityGraph,
+                     stats: &SearchStats,
+                     times: &TimeBreakdown,
+                     per_block: &[BlockTiming]|
+     -> Result<(), String> {
+        let Some(dir) = ckpt_dir else {
+            return Ok(());
+        };
+        let ck = Checkpoint {
+            fingerprint,
+            rank,
+            nranks: p,
+            n_vertices: n,
+            blocks_done,
+            stats: *stats,
+            times: *times,
+            per_block: per_block.to_vec(),
+            edges: graph.edges().to_vec(),
+        };
+        checkpoint::save(dir, &ck)?;
+        recorder.add_counter("checkpoint.blocks_written", 1.0);
+        Ok(())
+    };
+
+    if start_idx < stop_idx {
         if params.pre_blocking {
             // Software pipeline: align block i while the SpGEMM of block
             // i+1 runs on a concurrent thread. Alignment is purely local,
             // so the sparse thread is the only one issuing collectives —
             // the SPMD collective order stays identical on every rank.
-            let mut pending = compute_sparse(tasks[0]);
-            for idx in 0..tasks.len() {
-                let next_task = tasks.get(idx + 1).copied();
+            let mut pending = compute_sparse(tasks[start_idx]);
+            for idx in start_idx..stop_idx {
+                let next_task = (idx + 1 < stop_idx).then(|| tasks[idx + 1]);
                 let (outcome, next_batch) = std::thread::scope(|scope| {
                     let handle = next_task.map(|t| scope.spawn(move || compute_sparse(t)));
                     let outcome = align_batch(&pending);
@@ -472,16 +559,55 @@ pub fn run_search_traced<C: Communicator + Sync>(
                         },
                     ),
                 };
-                apply(done, outcome, &mut times, &mut stats, &mut graph);
+                apply(
+                    done,
+                    outcome,
+                    &mut times,
+                    &mut stats,
+                    &mut graph,
+                    &mut per_block,
+                );
+                save_ckpt(idx + 1, &graph, &stats, &times, &per_block)?;
             }
         } else {
-            for task in tasks {
+            for (idx, task) in tasks.iter().enumerate().take(stop_idx).skip(start_idx) {
                 let batch = compute_sparse(*task);
                 let outcome = align_batch(&batch);
-                apply(batch, outcome, &mut times, &mut stats, &mut graph);
+                apply(
+                    batch,
+                    outcome,
+                    &mut times,
+                    &mut stats,
+                    &mut graph,
+                    &mut per_block,
+                );
+                save_ckpt(idx + 1, &graph, &stats, &times, &per_block)?;
             }
         }
     }
+
+    // --- 4b. Graceful degradation: flag environmental stragglers. Work
+    // counters stay balanced when a *node* (not the partition) is slow, so
+    // the scan compares wall seconds, rank against rank, via telemetry
+    // rather than silently absorbing the skew. Collective — skipped on
+    // halted (partial) runs where ranks may disagree about completion.
+    let stragglers = match params.straggler_factor {
+        Some(factor) if p > 1 && !halted => {
+            let my_secs: f64 = per_block
+                .iter()
+                .map(|b| b.sparse_seconds + b.align_seconds)
+                .sum();
+            let all = world.all_gather(my_secs);
+            let report = detect_stragglers(&all, factor);
+            recorder.add_counter("straggler.median_seconds", report.median_seconds);
+            recorder.add_counter("straggler.self_seconds", my_secs);
+            if report.flagged.contains(&rank) {
+                recorder.add_counter("straggler.flagged", 1.0);
+            }
+            Some(report)
+        }
+        _ => None,
+    };
 
     {
         let _out_span = span!(recorder, Component::SparseOther, "output.assembly", {
@@ -504,6 +630,8 @@ pub fn run_search_traced<C: Communicator + Sync>(
         times,
         wall_seconds,
         per_block,
+        resumed_from_block,
+        stragglers,
     })
 }
 
@@ -752,6 +880,214 @@ mod tests {
         assert_eq!(res.per_block.len(), 5);
         let total_aligned: u64 = res.per_block.iter().map(|b| b.aligned_pairs).sum();
         assert_eq!(total_aligned, res.stats.aligned_pairs);
+    }
+
+    fn ckpt_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("pastis-pipe-ckpt-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn graph_bits(result: &SearchResult) -> Vec<(u32, u32, i32, u32, u32, u32)> {
+        result
+            .graph
+            .edges()
+            .iter()
+            .map(|e| {
+                (
+                    e.i,
+                    e.j,
+                    e.score,
+                    e.ani.to_bits(),
+                    e.coverage.to_bits(),
+                    e.common_kmers,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn halt_and_resume_is_bit_identical_serial() {
+        let store = tiny_store();
+        let dir = ckpt_dir("serial");
+        let base_params = SearchParams::test_defaults().with_blocking(3, 3);
+        let base = run_search_serial(&store, &base_params).unwrap();
+
+        // Phase 1: run to block 2, then "die".
+        let halted = run_search_serial(
+            &store,
+            &base_params
+                .clone()
+                .with_checkpoint_dir(&dir)
+                .with_halt_after_blocks(2),
+        )
+        .unwrap();
+        assert_eq!(halted.per_block.len(), 2);
+        assert!(halted.resumed_from_block.is_none());
+
+        // Phase 2: resume and finish; output is bit-identical to the
+        // uninterrupted run.
+        let resumed = run_search_serial(
+            &store,
+            &base_params
+                .clone()
+                .with_checkpoint_dir(&dir)
+                .with_resume(true),
+        )
+        .unwrap();
+        assert_eq!(resumed.resumed_from_block, Some(2));
+        assert_eq!(graph_bits(&resumed), graph_bits(&base));
+        assert_eq!(resumed.stats.candidates, base.stats.candidates);
+        assert_eq!(resumed.stats.aligned_pairs, base.stats.aligned_pairs);
+        assert_eq!(resumed.stats.similar_pairs, base.stats.similar_pairs);
+        assert_eq!(resumed.stats.cells, base.stats.cells);
+        assert_eq!(resumed.per_block.len(), base.per_block.len());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn halt_resume_chains_compose() {
+        // Kill at block 1, resume and kill at block 3, resume to the end:
+        // the absolute halt index composes with resume.
+        let store = tiny_store();
+        let dir = ckpt_dir("chain");
+        let base_params = SearchParams::test_defaults()
+            .with_blocking(3, 3)
+            .with_pre_blocking(true);
+        let base = run_search_serial(&store, &base_params).unwrap();
+
+        let p1 = base_params
+            .clone()
+            .with_checkpoint_dir(&dir)
+            .with_halt_after_blocks(1);
+        let r1 = run_search_serial(&store, &p1).unwrap();
+        assert_eq!(r1.per_block.len(), 1);
+
+        let p2 = base_params
+            .clone()
+            .with_checkpoint_dir(&dir)
+            .with_resume(true)
+            .with_halt_after_blocks(3);
+        let r2 = run_search_serial(&store, &p2).unwrap();
+        assert_eq!(r2.resumed_from_block, Some(1));
+        assert_eq!(r2.per_block.len(), 3);
+
+        let p3 = base_params
+            .clone()
+            .with_checkpoint_dir(&dir)
+            .with_resume(true);
+        let r3 = run_search_serial(&store, &p3).unwrap();
+        assert_eq!(r3.resumed_from_block, Some(3));
+        assert_eq!(graph_bits(&r3), graph_bits(&base));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_with_empty_dir_recomputes_from_scratch() {
+        let store = tiny_store();
+        let dir = ckpt_dir("empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        let params = SearchParams::test_defaults()
+            .with_blocking(2, 2)
+            .with_checkpoint_dir(&dir)
+            .with_resume(true);
+        let res = run_search_serial(&store, &params).unwrap();
+        assert!(res.resumed_from_block.is_none());
+        let base =
+            run_search_serial(&store, &SearchParams::test_defaults().with_blocking(2, 2)).unwrap();
+        assert_eq!(graph_bits(&res), graph_bits(&base));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn distributed_halt_resume_matches_uninterrupted() {
+        let ds = SyntheticDataset::generate(&SyntheticConfig::small(30, 11));
+        let params = SearchParams::test_defaults().with_blocking(3, 3);
+        let store = ds.store.clone();
+        let want = {
+            let serial = run_search_serial(&store, &params).unwrap();
+            edges_of(&serial)
+        };
+        let dir = ckpt_dir("dist");
+        let p = 4usize;
+        // Phase 1: every rank halts after 2 blocks, checkpointing as it goes.
+        {
+            let store = store.clone();
+            let params = params
+                .clone()
+                .with_checkpoint_dir(&dir)
+                .with_halt_after_blocks(2);
+            run_threaded(p, move |c| {
+                let grid = ProcessGrid::square(c.split(0, c.rank()));
+                run_search(&grid, &store, &params).unwrap().per_block.len()
+            });
+        }
+        // Phase 2: resume on the same world size; the gathered graph is the
+        // same as the uninterrupted distributed (and serial) run.
+        let out = {
+            let store = store.clone();
+            let params = params.clone().with_checkpoint_dir(&dir).with_resume(true);
+            run_threaded(p, move |c| {
+                let grid = ProcessGrid::square(c.split(0, c.rank()));
+                let res = run_search(&grid, &store, &params).unwrap();
+                let global = res.gather_graph(grid.world());
+                let keys: Vec<(u32, u32)> = global.edges().iter().map(|e| e.key()).collect();
+                (res.resumed_from_block, keys)
+            })
+        };
+        for (resumed, keys) in &out {
+            assert_eq!(*resumed, Some(2));
+            assert_eq!(keys, &want);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_fingerprint_checkpoints_are_ignored() {
+        // Checkpoints from a different search (different k) must not be
+        // resumed into this one.
+        let store = tiny_store();
+        let dir = ckpt_dir("foreign");
+        let other = SearchParams {
+            k: 5,
+            ..SearchParams::test_defaults()
+        }
+        .with_blocking(2, 2)
+        .with_checkpoint_dir(&dir);
+        run_search_serial(&store, &other).unwrap();
+        let params = SearchParams::test_defaults()
+            .with_blocking(2, 2)
+            .with_checkpoint_dir(&dir)
+            .with_resume(true);
+        let res = run_search_serial(&store, &params).unwrap();
+        assert!(res.resumed_from_block.is_none(), "resumed a foreign run");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn straggler_scan_reports_on_distributed_runs() {
+        let ds = SyntheticDataset::generate(&SyntheticConfig::small(20, 5));
+        let params = SearchParams::test_defaults().with_blocking(2, 2);
+        let store = ds.store.clone();
+        let out = run_threaded(4, move |c| {
+            let grid = ProcessGrid::square(c.split(0, c.rank()));
+            run_search(&grid, &store, &params).unwrap().stragglers
+        });
+        for report in out {
+            let report = report.expect("scan enabled by default on p > 1");
+            assert_eq!(report.per_rank_seconds.len(), 4);
+            // A healthy in-process world must not flag anyone (the 1 ms
+            // absolute floor absorbs scheduler noise on tiny runs).
+            assert!(report.is_healthy(), "flagged: {:?}", report.flagged);
+        }
+    }
+
+    #[test]
+    fn serial_run_skips_straggler_scan() {
+        let store = tiny_store();
+        let res = run_search_serial(&store, &SearchParams::test_defaults()).unwrap();
+        assert!(res.stragglers.is_none());
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Straggler detection over per-block timings — graceful degradation.
+//!
+//! At Summit scale, one slow node (thermal throttling, a failing NIC, a
+//! noisy neighbor) silently stretches every bulk-synchronous phase: the
+//! paper's Figure 7 imbalance analysis assumes work imbalance, but an
+//! *environmental* straggler looks identical in wall time while the work
+//! counters stay balanced. This module flags such ranks explicitly: after
+//! the block loop, each rank's total block seconds (sparse + align) are
+//! all-gathered and ranks slower than `factor × median` are reported via
+//! telemetry counters instead of silently skewing the run.
+//!
+//! The median (not the mean) is the baseline so that one extreme straggler
+//! cannot mask itself by dragging the average up.
+
+/// Report of the end-of-run straggler scan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StragglerReport {
+    /// The `factor` threshold the scan used.
+    pub factor: f64,
+    /// Every rank's block seconds (sparse + align phases summed).
+    pub per_rank_seconds: Vec<f64>,
+    /// Median of `per_rank_seconds`.
+    pub median_seconds: f64,
+    /// Flagging threshold: `factor × median`.
+    pub threshold_seconds: f64,
+    /// Ranks flagged as stragglers (empty on a healthy run).
+    pub flagged: Vec<usize>,
+}
+
+impl StragglerReport {
+    /// `true` when no rank was flagged.
+    pub fn is_healthy(&self) -> bool {
+        self.flagged.is_empty()
+    }
+}
+
+/// Runs so short that timing noise dominates are never flagged: below this
+/// absolute threshold a "3× the median" rank is microseconds slow, not a
+/// straggler.
+const MIN_FLAG_SECONDS: f64 = 1e-3;
+
+/// Scan per-rank block seconds and flag ranks slower than
+/// `factor × median` (with a small absolute floor so trivial runs never
+/// false-positive).
+///
+/// # Panics
+///
+/// Panics if `per_rank_seconds` is empty or `factor <= 1.0` (a threshold
+/// at or below the median would flag half the healthy world).
+pub fn detect_stragglers(per_rank_seconds: &[f64], factor: f64) -> StragglerReport {
+    assert!(
+        !per_rank_seconds.is_empty(),
+        "straggler scan needs at least one rank"
+    );
+    assert!(factor > 1.0, "straggler factor must exceed 1.0");
+    let mut sorted = per_rank_seconds.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN rank seconds"));
+    let n = sorted.len();
+    let median_seconds = if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    };
+    let threshold_seconds = (factor * median_seconds).max(MIN_FLAG_SECONDS);
+    let flagged = per_rank_seconds
+        .iter()
+        .enumerate()
+        .filter(|(_, &v)| v > threshold_seconds)
+        .map(|(r, _)| r)
+        .collect();
+    StragglerReport {
+        factor,
+        per_rank_seconds: per_rank_seconds.to_vec(),
+        median_seconds,
+        threshold_seconds,
+        flagged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_world_flags_nothing() {
+        let r = detect_stragglers(&[1.0, 1.1, 0.9, 1.05], 3.0);
+        assert!(r.is_healthy());
+        assert!((r.median_seconds - 1.025).abs() < 1e-12);
+        assert!((r.threshold_seconds - 3.075).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_slow_rank_is_flagged() {
+        let r = detect_stragglers(&[1.0, 1.0, 9.0, 1.0], 3.0);
+        assert_eq!(r.flagged, vec![2]);
+        // Median resists the outlier: it stays 1.0, not (12/4).
+        assert_eq!(r.median_seconds, 1.0);
+    }
+
+    #[test]
+    fn mean_would_mask_what_median_catches() {
+        // With a mean baseline, 3×mean = 3×3.25 = 9.75 > 9.0: missed.
+        let r = detect_stragglers(&[1.0, 1.0, 1.0, 10.0], 3.0);
+        assert_eq!(r.flagged, vec![3]);
+    }
+
+    #[test]
+    fn even_world_uses_middle_average() {
+        let r = detect_stragglers(&[1.0, 3.0], 2.5);
+        assert_eq!(r.median_seconds, 2.0);
+        assert!(r.is_healthy());
+    }
+
+    #[test]
+    fn trivial_runs_never_false_positive() {
+        // Microsecond-scale timings: 3× the median is noise, not a fault.
+        let r = detect_stragglers(&[1e-7, 1e-7, 9e-7, 1e-7], 3.0);
+        assert!(r.is_healthy(), "flagged noise: {:?}", r.flagged);
+    }
+
+    #[test]
+    fn single_rank_world_is_healthy() {
+        let r = detect_stragglers(&[5.0], 3.0);
+        assert!(r.is_healthy());
+        assert_eq!(r.median_seconds, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must exceed 1.0")]
+    fn factor_at_or_below_one_rejected() {
+        detect_stragglers(&[1.0, 2.0], 1.0);
+    }
+}

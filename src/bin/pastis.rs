@@ -17,13 +17,15 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 use pastis::align::matrices::AA_ALPHABET;
-use pastis::comm::{run_threaded, Communicator, ProcessGrid, TracedComm};
-use pastis::core::params::AlignKind;
-use pastis::core::pipeline::{
-    run_search_serial, run_search_serial_traced, run_search_traced, SearchResult,
+use pastis::comm::{
+    run_threaded_with, CommConfig, Communicator, FaultPlan, FaultyComm, ProcessGrid, SelfComm,
+    TracedComm,
 };
+use pastis::core::params::AlignKind;
+use pastis::core::pipeline::{run_search_traced, SearchResult};
 use pastis::core::{LoadBalance, SearchParams};
 use pastis::seqio::fasta::{parse_fasta, write_fasta, SeqStore};
 use pastis::seqio::{ReducedAlphabet, SyntheticConfig, SyntheticDataset};
@@ -69,6 +71,26 @@ SEARCH/CLUSTER OPTIONS:
                               (load in Perfetto or chrome://tracing)
     --metrics-json <FILE>     write schema-versioned per-rank metrics JSON
     --no-telemetry            disable span/counter recording entirely
+
+ROBUSTNESS OPTIONS (search/cluster):
+    --fault-plan <SPEC>       deterministically inject comm faults; SPEC is
+                              'chaos[:SEED]', 'none', or a spec like
+                              'seed=42,delay=0.2:2000,drop=0.1,corrupt=0.1
+                              [,stall=RANK@OP:MS][,crash=RANK@OP]'.
+                              Output is bit-identical to the fault-free run
+    --op-timeout-ms <INT>     deadline on blocking comm waits — a lost peer
+                              becomes a typed error, not a hang
+                                                     [default: 120000]
+    --checkpoint-dir <DIR>    write a per-rank checkpoint after every
+                              completed block
+    --resume                  resume from the newest valid checkpoint in
+                              --checkpoint-dir (bit-identical final graph)
+    --halt-after-blocks <INT> stop after N scheduled blocks (deterministic
+                              stand-in for a mid-run kill; composes with
+                              --resume)
+    --straggler-factor <F>    flag ranks slower than F × median block
+                              seconds via telemetry; 'off' disables
+                                                     [default: 3.0]
 
 TRACE-CHECK OPTIONS:
     --expect-ranks <INT>      fail unless the file covers exactly N ranks
@@ -180,6 +202,11 @@ const SEARCH_VALUE_FLAGS: &[&str] = &[
     "ranks",
     "trace-out",
     "metrics-json",
+    "fault-plan",
+    "op-timeout-ms",
+    "checkpoint-dir",
+    "halt-after-blocks",
+    "straggler-factor",
 ];
 
 fn parse_search_params(opts: &Opts) -> Result<SearchParams, String> {
@@ -227,6 +254,32 @@ fn parse_search_params(opts: &Opts) -> Result<SearchParams, String> {
             .parse()
             .map_err(|_| format!("bad align-threads value '{t}'"))?;
     }
+    if let Some(ms) = opts.get("op-timeout-ms") {
+        p.op_timeout_ms = Some(
+            ms.parse()
+                .map_err(|_| format!("bad op-timeout-ms value '{ms}'"))?,
+        );
+    }
+    if let Some(dir) = opts.get("checkpoint-dir") {
+        p.checkpoint_dir = Some(PathBuf::from(dir));
+    }
+    p.resume = opts.has("resume");
+    if let Some(h) = opts.get("halt-after-blocks") {
+        p.halt_after_blocks = Some(
+            h.parse()
+                .map_err(|_| format!("bad halt-after-blocks value '{h}'"))?,
+        );
+    }
+    if let Some(f) = opts.get("straggler-factor") {
+        p.straggler_factor = if f == "off" {
+            None
+        } else {
+            Some(
+                f.parse()
+                    .map_err(|_| format!("bad straggler-factor value '{f}'"))?,
+            )
+        };
+    }
     p.validate()?;
     Ok(p)
 }
@@ -243,6 +296,7 @@ fn do_search(
     params: &SearchParams,
     ranks: usize,
     telemetry: bool,
+    fault: &FaultPlan,
 ) -> Result<(SeqStore, SearchResult, Option<Arc<TraceSession>>), String> {
     let store = load_store(input)?;
     eprintln!(
@@ -252,11 +306,21 @@ fn do_search(
         input.display()
     );
     let session = telemetry.then(|| Arc::new(TraceSession::new()));
+    // The --op-timeout-ms deadline bounds both the pipeline's explicit
+    // receive waits (via params) and every blocking wait inside the
+    // threaded communicator itself.
+    let comm_config = params.op_timeout_ms.map_or_else(CommConfig::default, |ms| {
+        CommConfig::bounded(Duration::from_millis(ms))
+    });
     let result = if ranks <= 1 {
-        match &session {
-            Some(s) => run_search_serial_traced(&store, params, &s.recorder(0))?,
-            None => run_search_serial(&store, params)?,
-        }
+        let rec = session
+            .as_ref()
+            .map_or_else(Recorder::disabled, |s| s.recorder(0));
+        // Stack order: trace outside, faults inside — retransmissions the
+        // fault layer absorbs never pollute the comm trace.
+        let faulty = FaultyComm::new(SelfComm::new(), fault.clone()).with_recorder(rec.clone());
+        let grid = ProcessGrid::square(TracedComm::new(faulty, rec.clone()));
+        run_search_traced(&grid, &store, params, &rec)?
     } else {
         let q = (ranks as f64).sqrt().round() as usize;
         if q * q != ranks {
@@ -265,11 +329,14 @@ fn do_search(
         let store = Arc::new(store.clone());
         let params = Arc::new(params.clone());
         let session = session.clone();
-        let outs = run_threaded(ranks, move |c| {
+        let fault = fault.clone();
+        let outs = run_threaded_with(ranks, comm_config, move |c| {
             let rec = session
                 .as_ref()
                 .map_or_else(Recorder::disabled, |s| s.recorder(c.rank()));
-            let comm = TracedComm::new(c.split(0, c.rank()), rec.clone());
+            let faulty =
+                FaultyComm::new(c.split(0, c.rank()), fault.clone()).with_recorder(rec.clone());
+            let comm = TracedComm::new(faulty, rec.clone());
             let grid = ProcessGrid::square(comm);
             let mut res = run_search_traced(&grid, &store, &params, &rec)?;
             // Assemble the global result on every rank; rank 0's copy is
@@ -313,7 +380,25 @@ fn cmd_search(args: &[String], cluster: bool) -> Result<(), String> {
     if !telemetry && (trace_out.is_some() || metrics_out.is_some()) {
         return Err("--trace-out/--metrics-json require telemetry (drop --no-telemetry)".into());
     }
-    let (store, result, session) = do_search(Path::new(input), &params, ranks, telemetry)?;
+    let fault = match opts.get("fault-plan") {
+        Some(spec) => FaultPlan::parse(spec)?,
+        None => FaultPlan::none(),
+    };
+    if !fault.is_noop() {
+        eprintln!("fault injection active: {}", fault.to_spec());
+    }
+    let (store, result, session) = do_search(Path::new(input), &params, ranks, telemetry, &fault)?;
+    if let Some(k) = result.resumed_from_block {
+        eprintln!("resumed from checkpoint: blocks 0..{k} restored");
+    }
+    if let Some(rep) = &result.stragglers {
+        if !rep.is_healthy() {
+            eprintln!(
+                "straggler warning: ranks {:?} exceeded {:.1}× the median block time",
+                rep.flagged, rep.factor
+            );
+        }
+    }
     if let Some(session) = &session {
         let report = MetricsReport::from_session(session.as_ref());
         eprint!("{}", render_report(&report));
@@ -648,6 +733,41 @@ mod tests {
         // Bad worker count is rejected.
         let bad = Opts::parse(&s(&["--align-threads", "many"]), SEARCH_VALUE_FLAGS).unwrap();
         assert!(parse_search_params(&bad).is_err());
+    }
+
+    #[test]
+    fn robustness_flags_parse() {
+        let o = Opts::parse(
+            &s(&[
+                "--op-timeout-ms",
+                "5000",
+                "--checkpoint-dir",
+                "/tmp/ck",
+                "--resume",
+                "--halt-after-blocks",
+                "3",
+                "--straggler-factor",
+                "2.5",
+            ]),
+            SEARCH_VALUE_FLAGS,
+        )
+        .unwrap();
+        let p = parse_search_params(&o).unwrap();
+        assert_eq!(p.op_timeout_ms, Some(5000));
+        assert_eq!(p.checkpoint_dir.as_deref(), Some(Path::new("/tmp/ck")));
+        assert!(p.resume);
+        assert_eq!(p.halt_after_blocks, Some(3));
+        assert_eq!(p.straggler_factor, Some(2.5));
+        // 'off' disables the straggler scan.
+        let off = Opts::parse(&s(&["--straggler-factor", "off"]), SEARCH_VALUE_FLAGS).unwrap();
+        assert_eq!(parse_search_params(&off).unwrap().straggler_factor, None);
+        // --resume without --checkpoint-dir is rejected by validation.
+        let bad = Opts::parse(&s(&["--resume"]), SEARCH_VALUE_FLAGS).unwrap();
+        assert!(parse_search_params(&bad).is_err());
+        // Fault plan specs parse (and bad ones error).
+        assert!(FaultPlan::parse("chaos:7").is_ok());
+        assert!(FaultPlan::parse("seed=1,delay=0.5:100,drop=0.2").is_ok());
+        assert!(FaultPlan::parse("warp=9").is_err());
     }
 
     #[test]

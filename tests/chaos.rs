@@ -1,0 +1,304 @@
+//! Chaos harness: fault injection, timeouts, and checkpoint-resume must
+//! never change the similarity graph.
+//!
+//! The determinism suite (`tests/determinism.rs`) pins the paper's claim
+//! that the output is identical for every process count, blocking factor,
+//! and load-balancing scheme. This suite extends the same claim to hostile
+//! execution: seeded [`FaultPlan`]s injecting delays, drops, corrupted
+//! frames, and transient stalls all converge to the fault-free graph
+//! (the fault layer retries until the good frame lands), and a run killed
+//! mid-SUMMA resumes from its checkpoints into the bit-identical result.
+
+use pastis::comm::{
+    run_threaded, run_threaded_with, CommConfig, Communicator, FaultPlan, FaultyComm, ProcessGrid,
+    SelfComm, TracedComm,
+};
+use pastis::core::pipeline::{run_search_serial, run_search_traced, SearchResult};
+use pastis::core::SearchParams;
+use pastis::seqio::{SyntheticConfig, SyntheticDataset};
+use pastis::trace::{MetricsReport, TraceSession};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn dataset(seed: u64, n: usize) -> SyntheticDataset {
+    SyntheticDataset::generate(&SyntheticConfig {
+        n_sequences: n,
+        mean_len: 60.0,
+        singleton_fraction: 0.3,
+        divergence: 0.08,
+        seed,
+        ..SyntheticConfig::small(n, seed)
+    })
+}
+
+/// Bit-level identity of a similarity graph: every field of every edge,
+/// floats by their exact bit patterns.
+type EdgeBits = Vec<(u32, u32, i32, u32, u32, u32)>;
+
+fn graph_bits(res: &SearchResult) -> EdgeBits {
+    res.graph
+        .edges()
+        .iter()
+        .map(|e| {
+            (
+                e.i,
+                e.j,
+                e.score,
+                e.ani.to_bits(),
+                e.coverage.to_bits(),
+                e.common_kmers,
+            )
+        })
+        .collect()
+}
+
+/// Timing-normalized projection of a whole trace session: span order,
+/// names, tracks, and structured args; comm ops with traffic and peers;
+/// every counter that is not a wall-time measurement. Two runs whose
+/// projections are string-equal took the identical execution path.
+fn trace_projection(session: &TraceSession) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for rec in session.recorders() {
+        let _ = writeln!(out, "rank {}", rec.rank());
+        for s in rec.snapshot_spans() {
+            let _ = writeln!(
+                out,
+                "span {} {} t{} {:?}",
+                s.component.label(),
+                s.name,
+                s.track.tid(),
+                s.args
+            );
+        }
+        for c in rec.snapshot_comms() {
+            let _ = writeln!(out, "comm {:?} {} {}", c.op, c.bytes, c.peers);
+        }
+        for (name, v) in rec.counters() {
+            if !name.contains("seconds") {
+                let _ = writeln!(out, "counter {name} {v}");
+            }
+        }
+    }
+    out
+}
+
+/// Serial traced run over an explicit fault layer (the CLI's exact comm
+/// stack: trace outside, faults inside).
+fn run_serial_faulted(
+    store: &pastis::seqio::SeqStore,
+    params: &SearchParams,
+    plan: Option<FaultPlan>,
+) -> (SearchResult, TraceSession) {
+    let session = TraceSession::new();
+    let rec = session.recorder(0);
+    let res = match plan {
+        Some(plan) => {
+            let faulty = FaultyComm::new(SelfComm::new(), plan).with_recorder(rec.clone());
+            let grid = ProcessGrid::square(TracedComm::new(faulty, rec.clone()));
+            run_search_traced(&grid, store, params, &rec).unwrap()
+        }
+        None => {
+            let grid = ProcessGrid::square(TracedComm::new(SelfComm::new(), rec.clone()));
+            run_search_traced(&grid, store, params, &rec).unwrap()
+        }
+    };
+    (res, session)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// An empty [`FaultPlan`] is a *strict* no-op: wrapping the
+    /// communicator changes neither the output (bit-identical edges) nor
+    /// the execution path (identical timing-normalized trace — same spans,
+    /// same comm ops, same traffic, same counters, no `fault.*` entries).
+    #[test]
+    fn empty_fault_plan_is_a_strict_noop(
+        seed in 1u64..50,
+        br in 1usize..4,
+        bc in 1usize..4,
+    ) {
+        let ds = dataset(seed, 25);
+        let params = SearchParams::test_defaults().with_blocking(br, bc);
+        let (base, base_trace) = run_serial_faulted(&ds.store, &params, None);
+        let (wrapped, wrapped_trace) =
+            run_serial_faulted(&ds.store, &params, Some(FaultPlan::none()));
+        prop_assert_eq!(graph_bits(&base), graph_bits(&wrapped));
+        let (bp, wp) = (trace_projection(&base_trace), trace_projection(&wrapped_trace));
+        prop_assert!(!wp.contains("fault."), "no-op plan bumped fault counters");
+        prop_assert_eq!(bp, wp);
+    }
+}
+
+/// Distributed chaos run: every rank's communicator is wrapped in the
+/// seeded fault layer; returns rank 0's gathered graph bits plus the
+/// session (for counter assertions).
+fn run_chaos(
+    store: &pastis::seqio::SeqStore,
+    params: &SearchParams,
+    p: usize,
+    plan: FaultPlan,
+) -> (EdgeBits, Arc<TraceSession>) {
+    let session = Arc::new(TraceSession::new());
+    let store = Arc::new(store.clone());
+    let params = Arc::new(params.clone());
+    let sess = Arc::clone(&session);
+    let outs = run_threaded_with(
+        p,
+        CommConfig::bounded(std::time::Duration::from_secs(60)),
+        move |c| {
+            let rec = sess.recorder(c.rank());
+            let faulty =
+                FaultyComm::new(c.split(0, c.rank()), plan.clone()).with_recorder(rec.clone());
+            let grid = ProcessGrid::square(TracedComm::new(faulty, rec.clone()));
+            let mut res = run_search_traced(&grid, &store, &params, &rec).unwrap();
+            res.graph = res.gather_graph(grid.world());
+            (grid.world().rank(), res)
+        },
+    );
+    let res = outs
+        .into_iter()
+        .find(|(r, _)| *r == 0)
+        .map(|(_, res)| res)
+        .expect("rank 0 result");
+    (graph_bits(&res), session)
+}
+
+#[test]
+fn seeded_chaos_plans_converge_to_the_fault_free_graph() {
+    let ds = dataset(42, 36);
+    let params = SearchParams::test_defaults().with_blocking(3, 3);
+    let p = 4;
+
+    // Fault-free reference (same world size, same stack minus the faults).
+    let (want, _clean) = run_chaos(&ds.store, &params, p, FaultPlan::none());
+    assert!(
+        !want.is_empty(),
+        "reference graph is empty; test is vacuous"
+    );
+
+    // Three seeded plans per the acceptance criteria: pure delays, heavy
+    // drop/corrupt pressure, and one with a transient rank stall.
+    let plans = [
+        ("delays", FaultPlan::parse("seed=3,delay=0.6:1500").unwrap()),
+        (
+            "drops+corrupts",
+            FaultPlan::parse("seed=7,delay=0.2:400,drop=0.3,corrupt=0.3").unwrap(),
+        ),
+        (
+            "stall",
+            FaultPlan::parse("seed=11,delay=0.2:400,drop=0.2,corrupt=0.2,stall=1@9:40").unwrap(),
+        ),
+    ];
+    for (label, plan) in plans {
+        let expect_recovery = plan.drop_p > 0.0 || plan.corrupt_p > 0.0;
+        let (got, session) = run_chaos(&ds.store, &params, p, plan);
+        assert_eq!(got, want, "plan '{label}' changed the graph");
+
+        // Retry/recovery counters surface in the metrics JSON.
+        let json = MetricsReport::from_session(&session).to_json();
+        assert!(
+            json.contains("fault."),
+            "plan '{label}': no fault counters in metrics JSON"
+        );
+        if expect_recovery {
+            let retries: f64 = session
+                .recorders()
+                .iter()
+                .map(|r| r.counters().get("fault.retries").copied().unwrap_or(0.0))
+                .sum();
+            assert!(retries > 0.0, "plan '{label}': no retries recorded");
+        }
+    }
+}
+
+#[test]
+fn kill_and_resume_is_bit_identical_and_reported() {
+    let ds = dataset(9, 36);
+    let params = SearchParams::test_defaults().with_blocking(3, 3);
+    let p = 4;
+    let dir = std::env::temp_dir().join(format!("pastis-chaos-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Fault-free, uninterrupted reference.
+    let (want, _s) = run_chaos(&ds.store, &params, p, FaultPlan::none());
+    assert!(!want.is_empty());
+
+    // Phase 1: a *chaos* run killed after block 2 (halt-after-blocks is the
+    // deterministic kill), checkpointing as it goes. All in-memory state is
+    // dropped when run_threaded returns — only the checkpoint dir survives.
+    {
+        let params = params
+            .clone()
+            .with_checkpoint_dir(&dir)
+            .with_halt_after_blocks(2);
+        let store = Arc::new(ds.store.clone());
+        let plan = FaultPlan::parse("seed=5,delay=0.3:400,drop=0.2,corrupt=0.2").unwrap();
+        run_threaded(p, move |c| {
+            let faulty = FaultyComm::new(c.split(0, c.rank()), plan.clone());
+            let grid = ProcessGrid::square(faulty);
+            pastis::core::run_search(&grid, &store, &params)
+                .unwrap()
+                .per_block
+                .len()
+        });
+    }
+
+    // Phase 2: resume fault-free (the fingerprint ignores robustness knobs,
+    // so a chaos run restarts cleanly into a fault-free one). The final
+    // gathered graph is bit-identical and telemetry reports the resumed
+    // block range.
+    let session = Arc::new(TraceSession::new());
+    let resumed = {
+        let params = Arc::new(params.clone().with_checkpoint_dir(&dir).with_resume(true));
+        let store = Arc::new(ds.store.clone());
+        let sess = Arc::clone(&session);
+        let outs = run_threaded(p, move |c| {
+            let rec = sess.recorder(c.rank());
+            let grid = ProcessGrid::square(TracedComm::new(c.split(0, c.rank()), rec.clone()));
+            let mut res = run_search_traced(&grid, &store, &params, &rec).unwrap();
+            res.graph = res.gather_graph(grid.world());
+            (grid.world().rank(), res)
+        });
+        outs.into_iter()
+            .find(|(r, _)| *r == 0)
+            .map(|(_, res)| res)
+            .unwrap()
+    };
+    assert_eq!(resumed.resumed_from_block, Some(2));
+    assert_eq!(graph_bits(&resumed), want);
+    for rec in session.recorders() {
+        assert_eq!(
+            rec.counters().get("resume.from_block").copied(),
+            Some(2.0),
+            "rank {} did not report the resumed range",
+            rec.rank()
+        );
+    }
+    let json = MetricsReport::from_session(&session).to_json();
+    assert!(
+        json.contains("resume.from_block"),
+        "resume missing from metrics JSON"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn chaos_with_checkpoints_still_converges() {
+    // Checkpointing during a faulted run must not perturb the output
+    // either: the full matrix — faults × checkpoints — converges.
+    let ds = dataset(21, 30);
+    let dir = std::env::temp_dir().join(format!("pastis-chaos-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let base_params = SearchParams::test_defaults().with_blocking(2, 2);
+    let serial = run_search_serial(&ds.store, &base_params).unwrap();
+    let want: Vec<(u32, u32)> = serial.graph.edges().iter().map(|e| e.key()).collect();
+
+    let params = base_params.with_checkpoint_dir(&dir);
+    let plan = FaultPlan::chaos(77);
+    let (got, _session) = run_chaos(&ds.store, &params, 4, plan);
+    let got_keys: Vec<(u32, u32)> = got.iter().map(|&(i, j, ..)| (i, j)).collect();
+    assert_eq!(got_keys, want);
+    let _ = std::fs::remove_dir_all(&dir);
+}
