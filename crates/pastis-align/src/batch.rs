@@ -10,6 +10,7 @@
 use std::time::Instant;
 
 use crate::matrices::Scoring;
+use crate::simd::SimdBackend;
 use crate::sw::{sw_align, AlignmentResult, GapPenalties};
 
 /// One alignment task: indices into the caller's sequence store plus the
@@ -43,6 +44,14 @@ pub struct BatchStats {
     pub cells: u64,
     /// Largest single DP matrix in the batch.
     pub max_cells: u64,
+    /// Pairs whose i16 vector lane saturated and were re-scored through
+    /// the scalar i32 kernel (score-only dispatch). Pair-intrinsic, so
+    /// identical for every backend/width/thread count.
+    pub lane_promotions: u64,
+    /// Vector backend the batch's score-only work dispatched through
+    /// ([`SimdBackend::Scalar`] for traceback/banded batches, which run
+    /// scalar kernels only).
+    pub simd: SimdBackend,
     /// CPU seconds: summed busy time of every worker thread (measured).
     pub seconds: f64,
     /// Wall-clock seconds of the batch (measured).
@@ -80,11 +89,17 @@ impl BatchStats {
     }
 
     /// Fold another batch's counters into this one. Both time components
-    /// add: merged batches are modelled as having run back-to-back.
+    /// add: merged batches are modelled as having run back-to-back. The
+    /// merged backend is the widest one involved (batches mixing backends
+    /// do not occur in practice; the report shows the run's selection).
     pub fn merge(&mut self, other: &BatchStats) {
         self.pairs += other.pairs;
         self.cells += other.cells;
         self.max_cells = self.max_cells.max(other.max_cells);
+        self.lane_promotions += other.lane_promotions;
+        if other.simd != SimdBackend::Scalar {
+            self.simd = other.simd;
+        }
         self.seconds += other.seconds;
         self.wall_seconds += other.wall_seconds;
     }
@@ -238,6 +253,8 @@ mod tests {
             pairs: 10,
             cells: 1000,
             max_cells: 400,
+            lane_promotions: 2,
+            simd: SimdBackend::Scalar,
             seconds: 2.0,
             wall_seconds: 2.0,
         };
@@ -245,12 +262,16 @@ mod tests {
             pairs: 5,
             cells: 500,
             max_cells: 450,
+            lane_promotions: 1,
+            simd: SimdBackend::detect(),
             seconds: 1.0,
             wall_seconds: 1.0,
         };
         a.merge(&b);
         assert_eq!(a.pairs, 15);
         assert_eq!(a.max_cells, 450);
+        assert_eq!(a.lane_promotions, 3);
+        assert_eq!(a.simd, SimdBackend::detect());
         assert!((a.alignments_per_sec() - 5.0).abs() < 1e-12);
         assert!((a.cups() - 500.0).abs() < 1e-12);
         assert!((a.cups_per_cpu() - 500.0).abs() < 1e-12);
@@ -266,6 +287,8 @@ mod tests {
             pairs: 8,
             cells: 4000,
             max_cells: 1000,
+            lane_promotions: 0,
+            simd: SimdBackend::default(),
             seconds: 4.0,
             wall_seconds: 1.25,
         };

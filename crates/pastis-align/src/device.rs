@@ -9,6 +9,33 @@
 //! accelerator hardware (the DP itself runs exactly on the CPU via
 //! [`crate::BatchAligner`]).
 
+use crate::simd::SimdBackend;
+
+/// The *actual* vector capability of the host CPU — the counterpart of
+/// the modeled GPU plane below, reported so run logs and telemetry can
+/// state which kernel the score-only batches really executed on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostSimd {
+    /// Best backend the host supports (what `--simd auto` selects).
+    pub backend: SimdBackend,
+    /// i16 lanes per vector of that backend.
+    pub lanes: usize,
+    /// Every backend runnable on this host (always includes the portable
+    /// scalar lanes, so the whole dispatch surface is testable anywhere).
+    pub available: Vec<SimdBackend>,
+}
+
+/// Probe the host's vector capability ([`SimdBackend::detect`] plus the
+/// full availability set).
+pub fn host_simd() -> HostSimd {
+    let backend = SimdBackend::detect();
+    HostSimd {
+        backend,
+        lanes: backend.lanes(),
+        available: SimdBackend::available(),
+    }
+}
+
 /// A modeled multi-GPU alignment device.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DeviceModel {
@@ -86,6 +113,16 @@ impl DeviceModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn host_simd_reports_consistent_capability() {
+        let cap = host_simd();
+        assert_eq!(cap.backend, SimdBackend::detect());
+        assert_eq!(cap.lanes, cap.backend.lanes());
+        assert!(cap.available.contains(&SimdBackend::Scalar));
+        assert!(cap.available.contains(&cap.backend));
+        assert!(cap.available.iter().all(|b| b.is_available()));
+    }
 
     #[test]
     fn summit_node_peak() {

@@ -12,8 +12,13 @@
 //! * [`banded`] — banded and x-drop variants (cheaper, bounded-error
 //!   kernels offered as sensitivity/performance options).
 //! * [`multilane`] — ADEPT-style inter-task batching: many alignments
-//!   advance in lock-step SIMD-friendly lanes (the SeqAn-class vectorized
-//!   CPU backend).
+//!   advance in lock-step vector lanes (the SeqAn-class vectorized CPU
+//!   backend), one pair per saturating i16 lane with an exact
+//!   promote-to-i32 overflow rescue.
+//! * [`simd`] — the lane substrate: a [`simd::SimdVec`] trait with
+//!   AVX2/SSE2 (`core::arch::x86_64`, runtime-detected), NEON (aarch64)
+//!   and portable scalar-array implementations, plus backend
+//!   detection/selection ([`simd::SimdBackend`], [`simd::SimdPolicy`]).
 //! * [`semiglobal`] — free-end-gap overlap alignment (containment /
 //!   suffix-prefix detection, PASTIS's global-alignment option).
 //! * [`parallel`] — the intra-rank parallel engine: a worker pool
@@ -51,12 +56,16 @@ pub mod matrices;
 pub mod multilane;
 pub mod parallel;
 pub mod semiglobal;
+pub mod simd;
 pub mod sw;
 
 pub use batch::{AlignTask, BatchAligner, BatchStats};
-pub use device::DeviceModel;
+pub use device::{host_simd, DeviceModel, HostSimd};
 pub use matrices::{encode, Blosum62, MatchMismatch, Scoring, AA_ALPHABET};
-pub use multilane::{sw_score_batch, sw_score_multi};
+pub use multilane::{
+    sw_score_batch, sw_score_batch_simd, sw_score_lanes, sw_score_multi, LaneScores, LaneTable,
+};
 pub use parallel::{AlignPool, ScoreResult};
 pub use semiglobal::{semiglobal_score, SemiGlobalResult};
+pub use simd::{SimdBackend, SimdPolicy};
 pub use sw::{sw_align, sw_score_only, AlignmentResult, GapPenalties};

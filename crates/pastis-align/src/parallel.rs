@@ -13,11 +13,14 @@
 //!   determinism contract the SUMMA layer pins down.
 //! * **Multilane packing** ([`AlignPool::run_score_only`]): score-only
 //!   work is sorted by length into ragged lanes and dispatched through the
-//!   lock-step SIMD kernel [`sw_score_multi`] (lane widths 16/8/4),
-//!   falling back to scalar [`sw_score_only`] for lane tails and oversized
-//!   tasks. The lane plan is a pure function of the task list, never of
-//!   the thread count, and the multilane kernel is padding-invariant
-//!   (property-tested), so scores stay bit-identical here too.
+//!   vector kernel ([`crate::multilane`]) at the selected backend's lane
+//!   width ([`AlignPool::with_simd`]; AVX2 16, SSE2/NEON 8, portable 16),
+//!   falling back to scalar [`sw_score_only`] for oversized tasks. The
+//!   lane plan is a pure function of the task list and lane width, never
+//!   of the thread count, and the vector kernel is padding-invariant and
+//!   bit-identical to the scalar one (its i16 saturation rescue re-scores
+//!   through scalar i32), so scores stay bit-identical here too — across
+//!   thread counts *and* backends.
 //!
 //! Traceback-requiring work ([`AlignPool::run_traceback`]) and
 //! seed-anchored banded work ([`AlignPool::run_banded`]) parallelize over
@@ -37,7 +40,8 @@ use pastis_trace::{Component, Recorder, Track};
 use crate::banded::sw_banded;
 use crate::batch::{AlignTask, BatchStats};
 use crate::matrices::Scoring;
-use crate::multilane::sw_score_multi;
+use crate::multilane::{sw_score_lanes_prepared, LaneTable};
+use crate::simd::{SimdBackend, MAX_LANES};
 use crate::sw::{sw_align, sw_score_only, AlignmentResult, GapPenalties};
 
 /// Scalar tasks claimed per unit of work. Small enough for dynamic load
@@ -65,11 +69,14 @@ pub struct ScoreResult {
 pub struct AlignPool {
     threads: usize,
     recorder: Recorder,
+    simd: SimdBackend,
 }
 
 impl AlignPool {
     /// A pool of `threads` workers; `0` means one per available core.
-    /// Telemetry is off until [`AlignPool::with_recorder`] attaches a sink.
+    /// Telemetry is off until [`AlignPool::with_recorder`] attaches a
+    /// sink; the score-only vector backend defaults to the best one the
+    /// host supports ([`SimdBackend::detect`]).
     pub fn new(threads: usize) -> AlignPool {
         let threads = if threads == 0 {
             std::thread::available_parallelism()
@@ -81,6 +88,7 @@ impl AlignPool {
         AlignPool {
             threads,
             recorder: Recorder::disabled(),
+            simd: SimdBackend::detect(),
         }
     }
 
@@ -94,9 +102,24 @@ impl AlignPool {
         self
     }
 
+    /// Select the vector backend for score-only dispatch (an unavailable
+    /// backend degrades to the portable lanes inside the kernel; callers
+    /// that must reject that case validate through
+    /// [`crate::simd::SimdPolicy::resolve`] first). Scores are
+    /// bit-identical for every choice — only throughput changes.
+    pub fn with_simd(mut self, simd: SimdBackend) -> AlignPool {
+        self.simd = simd;
+        self
+    }
+
     /// Worker count this pool dispatches to.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Vector backend score-only batches dispatch through.
+    pub fn simd(&self) -> SimdBackend {
+        self.simd
     }
 
     /// Full Smith–Waterman with traceback over every task, in parallel
@@ -170,14 +193,16 @@ impl AlignPool {
     }
 
     /// Full-matrix score-only alignment over every task, dispatched
-    /// through the multilane lock-step kernel where possible.
+    /// through the multilane vector kernel where possible.
     ///
-    /// Tasks are sorted by length into lanes of width 16, then 8, then 4
-    /// (so lane members pad against near-equals); the sub-4 tail and
-    /// oversized tasks run through scalar [`sw_score_only`]. The plan
-    /// depends only on the task list, and the multilane kernel is
-    /// bit-identical to the scalar one, so results match the serial
-    /// scalar driver for every thread count.
+    /// Tasks are sorted by length into lanes of the selected backend's
+    /// width (so lane members pad against near-equals); oversized tasks
+    /// run through scalar [`sw_score_only`]. The plan depends only on the
+    /// task list and lane width, and the vector kernel is bit-identical
+    /// to the scalar one (saturated lanes are promoted to the scalar i32
+    /// kernel), so results match the serial scalar driver for every
+    /// thread count and every backend. The returned stats carry the
+    /// backend used and the promotion count.
     pub fn run_score_only<'a, S, L>(
         &self,
         tasks: &[AlignTask],
@@ -189,34 +214,24 @@ impl AlignPool {
         S: Scoring + Sync,
         L: Fn(u32) -> &'a [u8] + Sync,
     {
-        let plan = LanePlan::build(tasks, &lookup);
-        let (unit_results, stats) = self.execute_units(plan.units.len(), |u, local| {
+        let backend = if self.simd.is_available() {
+            self.simd
+        } else {
+            SimdBackend::Scalar
+        };
+        let table = LaneTable::build(scoring, gaps);
+        let plan = LanePlan::build(tasks, &lookup, backend.lanes());
+        let (unit_results, mut stats) = self.execute_units(plan.units.len(), |u, local| {
             let mut out = Vec::new();
             match plan.units[u] {
-                LaneUnit::Lane16(start) => run_lane::<16, _, _>(
-                    &plan.order[start..start + 16],
+                LaneUnit::Lane { start, len } => run_lane(
+                    &plan.order[start..start + len],
                     tasks,
                     &lookup,
                     scoring,
                     gaps,
-                    local,
-                    &mut out,
-                ),
-                LaneUnit::Lane8(start) => run_lane::<8, _, _>(
-                    &plan.order[start..start + 8],
-                    tasks,
-                    &lookup,
-                    scoring,
-                    gaps,
-                    local,
-                    &mut out,
-                ),
-                LaneUnit::Lane4(start) => run_lane::<4, _, _>(
-                    &plan.order[start..start + 4],
-                    tasks,
-                    &lookup,
-                    scoring,
-                    gaps,
+                    backend,
+                    table.as_ref(),
                     local,
                     &mut out,
                 ),
@@ -232,6 +247,9 @@ impl AlignPool {
             }
             out
         });
+        stats.simd = backend;
+        self.recorder
+            .add_counter("align.lane_promotions", stats.lane_promotions as f64);
         // Scatter lane-ordered results back to task order.
         let mut results = vec![ScoreResult::default(); tasks.len()];
         for (idx, r) in unit_results.into_iter().flatten() {
@@ -300,6 +318,7 @@ impl AlignPool {
                     merged.pairs += local.pairs;
                     merged.cells += local.cells;
                     merged.max_cells = merged.max_cells.max(local.max_cells);
+                    merged.lane_promotions += local.lane_promotions;
                     merged.seconds += local.seconds;
                 }
                 tagged.sort_unstable_by_key(|&(u, _)| u);
@@ -335,13 +354,11 @@ fn chunk_range(unit: usize, total: usize) -> Range<usize> {
     unit * CHUNK..((unit + 1) * CHUNK).min(total)
 }
 
-/// One claimable unit of score-only work. Lane variants carry the offset
-/// of their first member in [`LanePlan::order`].
+/// One claimable unit of score-only work. Lane units carry the offset
+/// and length of their member run in [`LanePlan::order`].
 #[derive(Debug, Clone, Copy)]
 enum LaneUnit {
-    Lane16(usize),
-    Lane8(usize),
-    Lane4(usize),
+    Lane { start: usize, len: usize },
     Scalar(usize),
 }
 
@@ -354,7 +371,10 @@ struct LanePlan {
 }
 
 impl LanePlan {
-    fn build<'a, L: Fn(u32) -> &'a [u8]>(tasks: &[AlignTask], lookup: &L) -> LanePlan {
+    /// Pack `tasks` into lanes of width `w` (the backend's lane count);
+    /// the final lane may be partial — a part-filled vector costs the
+    /// same as a full one, so there is no scalar tail.
+    fn build<'a, L: Fn(u32) -> &'a [u8]>(tasks: &[AlignTask], lookup: &L, w: usize) -> LanePlan {
         let mut order = Vec::with_capacity(tasks.len());
         let mut units = Vec::new();
         for (idx, t) in tasks.iter().enumerate() {
@@ -368,48 +388,43 @@ impl LanePlan {
         order.sort_unstable_by(|a, b| b.cmp(a));
         let order: Vec<usize> = order.into_iter().map(|(_, idx)| idx).collect();
         let mut pos = 0;
-        while order.len() - pos >= 16 {
-            units.push(LaneUnit::Lane16(pos));
-            pos += 16;
-        }
-        while order.len() - pos >= 8 {
-            units.push(LaneUnit::Lane8(pos));
-            pos += 8;
-        }
-        while order.len() - pos >= 4 {
-            units.push(LaneUnit::Lane4(pos));
-            pos += 4;
-        }
-        for &idx in &order[pos..] {
-            units.push(LaneUnit::Scalar(idx));
+        while pos < order.len() {
+            let len = w.min(order.len() - pos);
+            units.push(LaneUnit::Lane { start: pos, len });
+            pos += len;
         }
         LanePlan { order, units }
     }
 }
 
-/// Executes one width-`W` lane: gathers the member pairs, runs the
-/// lock-step kernel, and records per-task results and exact (unpadded)
-/// cell counts.
-fn run_lane<'a, const W: usize, S, L>(
+/// Executes one lane unit: gathers the member pairs, runs the vector
+/// kernel (with its exact overflow rescue), and records per-task results
+/// and exact (unpadded) cell counts.
+#[allow(clippy::too_many_arguments)]
+fn run_lane<'a, S, L>(
     members: &[usize],
     tasks: &[AlignTask],
     lookup: &L,
     scoring: &S,
     gaps: GapPenalties,
+    backend: SimdBackend,
+    table: Option<&LaneTable>,
     local: &mut BatchStats,
     out: &mut Vec<(usize, ScoreResult)>,
 ) where
     S: Scoring,
     L: Fn(u32) -> &'a [u8],
 {
-    debug_assert_eq!(members.len(), W);
-    let mut qs: [&[u8]; W] = [&[]; W];
-    let mut rs: [&[u8]; W] = [&[]; W];
+    debug_assert!(!members.is_empty() && members.len() <= MAX_LANES);
+    let mut qs: [&[u8]; MAX_LANES] = [&[]; MAX_LANES];
+    let mut rs: [&[u8]; MAX_LANES] = [&[]; MAX_LANES];
+    let n = members.len();
     for (l, &idx) in members.iter().enumerate() {
         qs[l] = lookup(tasks[idx].query);
         rs[l] = lookup(tasks[idx].reference);
     }
-    let scores = sw_score_multi::<W, S>(&qs, &rs, scoring, gaps);
+    let lanes = sw_score_lanes_prepared(&qs[..n], &rs[..n], scoring, gaps, backend, table);
+    local.lane_promotions += lanes.promotions;
     for (l, &idx) in members.iter().enumerate() {
         let cells = qs[l].len() as u64 * rs[l].len() as u64;
         local.pairs += 1;
@@ -418,7 +433,7 @@ fn run_lane<'a, const W: usize, S, L>(
         out.push((
             idx,
             ScoreResult {
-                score: scores[l],
+                score: lanes.scores[l],
                 cells,
             },
         ));
@@ -510,8 +525,8 @@ mod tests {
     #[test]
     fn score_only_matches_scalar_kernel() {
         let seqs = random_store(16, 60, 5);
-        // 70 tasks ⇒ the plan exercises 16-, 8- and 4-wide lanes plus a
-        // scalar tail (70 = 4·16 + 0·8 + 1·4 + 2).
+        // 70 tasks ⇒ the plan exercises full lanes plus a partial tail
+        // lane for every backend width (70 mod 16 = 6, 70 mod 8 = 6).
         let tasks = random_tasks(16, 70, 6);
         let g = GapPenalties::pastis_defaults();
         for t in [1, 2, 3, 8] {
@@ -536,26 +551,31 @@ mod tests {
         let seqs = random_store(9, 30, 7);
         let tasks = random_tasks(9, 53, 8);
         let lookup = |id: u32| -> &[u8] { &seqs[id as usize] };
-        let plan = LanePlan::build(&tasks, &lookup);
-        // Every task appears in exactly one unit.
-        let mut seen = vec![0u32; tasks.len()];
-        for unit in &plan.units {
-            match *unit {
-                LaneUnit::Lane16(s) => plan.order[s..s + 16].iter().for_each(|&i| seen[i] += 1),
-                LaneUnit::Lane8(s) => plan.order[s..s + 8].iter().for_each(|&i| seen[i] += 1),
-                LaneUnit::Lane4(s) => plan.order[s..s + 4].iter().for_each(|&i| seen[i] += 1),
-                LaneUnit::Scalar(i) => seen[i] += 1,
+        for width in [4usize, 8, 16] {
+            let plan = LanePlan::build(&tasks, &lookup, width);
+            // Every task appears in exactly one unit.
+            let mut seen = vec![0u32; tasks.len()];
+            for unit in &plan.units {
+                match *unit {
+                    LaneUnit::Lane { start, len } => {
+                        assert!(len >= 1 && len <= width, "w={width} lane len {len}");
+                        plan.order[start..start + len]
+                            .iter()
+                            .for_each(|&i| seen[i] += 1);
+                    }
+                    LaneUnit::Scalar(i) => seen[i] += 1,
+                }
             }
-        }
-        assert!(seen.iter().all(|&c| c == 1), "coverage: {seen:?}");
-        // Descending length order within the lane-eligible set.
-        for w in plan.order.windows(2) {
-            let len = |i: usize| {
-                seqs[tasks[i].query as usize]
-                    .len()
-                    .max(seqs[tasks[i].reference as usize].len())
-            };
-            assert!(len(w[0]) >= len(w[1]));
+            assert!(seen.iter().all(|&c| c == 1), "w={width} coverage: {seen:?}");
+            // Descending length order within the lane-eligible set.
+            for w in plan.order.windows(2) {
+                let len = |i: usize| {
+                    seqs[tasks[i].query as usize]
+                        .len()
+                        .max(seqs[tasks[i].reference as usize].len())
+                };
+                assert!(len(w[0]) >= len(w[1]));
+            }
         }
     }
 
@@ -574,13 +594,41 @@ mod tests {
             5
         ];
         let lookup = |id: u32| -> &[u8] { &seqs[id as usize] };
-        let plan = LanePlan::build(&tasks, &lookup);
+        let plan = LanePlan::build(&tasks, &lookup, SimdBackend::detect().lanes());
         assert!(plan.order.is_empty());
         assert_eq!(plan.units.len(), 5);
         let g = GapPenalties::pastis_defaults();
         let (got, _) = AlignPool::new(2).run_score_only(&tasks, lookup, &Blosum62, g);
         let (want, _, _, _) = sw_score_only(&seqs[0], &seqs[1], &Blosum62, g);
         assert!(got.iter().all(|r| r.score == want));
+    }
+
+    #[test]
+    fn every_backend_yields_identical_results_and_stats() {
+        // The cross-backend contract the differential harness extends:
+        // scores, pairs, cells, max_cells and lane_promotions are all
+        // invariant under backend choice (only `simd` itself and the
+        // clocks may differ).
+        let seqs = random_store(14, 80, 21);
+        let tasks = random_tasks(14, 90, 22);
+        let g = GapPenalties::pastis_defaults();
+        let pool = AlignPool::new(2).with_simd(SimdBackend::Scalar);
+        let (want, want_stats) = pool.run_score_only(&tasks, |id| &seqs[id as usize], &Blosum62, g);
+        assert_eq!(want_stats.simd, SimdBackend::Scalar);
+        for backend in SimdBackend::available() {
+            let pool = AlignPool::new(2).with_simd(backend);
+            assert_eq!(pool.simd(), backend);
+            let (got, stats) = pool.run_score_only(&tasks, |id| &seqs[id as usize], &Blosum62, g);
+            assert_eq!(got, want, "{backend}");
+            assert_eq!(stats.simd, backend);
+            assert_eq!(stats.pairs, want_stats.pairs, "{backend}");
+            assert_eq!(stats.cells, want_stats.cells, "{backend}");
+            assert_eq!(stats.max_cells, want_stats.max_cells, "{backend}");
+            assert_eq!(
+                stats.lane_promotions, want_stats.lane_promotions,
+                "{backend}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,506 @@
+//! Vector-lane abstraction for the inter-sequence alignment kernel.
+//!
+//! The multilane kernel ([`crate::multilane`]) advances many independent
+//! alignments in lock-step, one pair per lane, on saturating i16 lanes.
+//! This module supplies the lanes: a [`SimdVec`] trait whose operations are
+//! the complete vocabulary of the kernel (splat/load/store, saturating
+//! add/sub, max), implemented by
+//!
+//! * `core::arch::x86_64` **SSE2** (8 lanes) and **AVX2** (16 lanes)
+//!   intrinsics, selected at runtime with `is_x86_feature_detected!`;
+//! * **NEON** (8 lanes) on aarch64, where it is a baseline feature;
+//! * a portable **scalar-array fallback** ([`ScalarLanes`]) implementing
+//!   the identical trait, so every platform compiles the kernel and every
+//!   dispatch branch is testable on any machine.
+//!
+//! [`SimdBackend`] names the compiled-and-detected implementations and
+//! [`SimdPolicy`] is the user-facing `--simd auto|avx2|sse2|neon|scalar`
+//! selection. Every backend produces bit-identical scores (the
+//! `kernel_equivalence` differential harness pins this), so the choice only
+//! ever changes wall time.
+
+#[cfg(target_arch = "x86_64")]
+use core::arch::x86_64::*;
+
+#[cfg(target_arch = "aarch64")]
+use core::arch::aarch64::*;
+
+/// Widest lane count any backend exposes; fixed-size scratch buffers in
+/// the kernel are sized by this.
+pub const MAX_LANES: usize = 16;
+
+/// One vector of i16 lanes: the full instruction vocabulary of the
+/// lock-step Smith–Waterman recurrence.
+///
+/// Implementations must be element-wise and width-uniform: the kernel is
+/// generic over this trait and is bit-identical across implementations by
+/// construction (saturating i16 arithmetic has one defined result).
+pub trait SimdVec: Copy {
+    /// Number of i16 lanes in one vector.
+    const LANES: usize;
+
+    /// All lanes set to `v`.
+    fn splat(v: i16) -> Self;
+
+    /// Load `Self::LANES` values from the front of `src`.
+    fn load(src: &[i16]) -> Self;
+
+    /// Store all lanes to the front of `dst`.
+    fn store(self, dst: &mut [i16]);
+
+    /// Lane-wise saturating add.
+    fn add_sat(self, o: Self) -> Self;
+
+    /// Lane-wise saturating subtract.
+    fn sub_sat(self, o: Self) -> Self;
+
+    /// Lane-wise maximum.
+    fn max(self, o: Self) -> Self;
+
+    /// All lanes zero.
+    #[inline(always)]
+    fn zero() -> Self {
+        Self::splat(0)
+    }
+}
+
+/// Portable scalar-array lanes: plain `[i16; L]` arithmetic with the same
+/// saturating semantics as the hardware vectors. This is both the fallback
+/// backend on targets without intrinsics and the reference implementation
+/// the differential harness runs everywhere.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalarLanes<const L: usize>([i16; L]);
+
+impl<const L: usize> SimdVec for ScalarLanes<L> {
+    const LANES: usize = L;
+
+    #[inline(always)]
+    fn splat(v: i16) -> Self {
+        ScalarLanes([v; L])
+    }
+
+    #[inline(always)]
+    fn load(src: &[i16]) -> Self {
+        let mut a = [0i16; L];
+        a.copy_from_slice(&src[..L]);
+        ScalarLanes(a)
+    }
+
+    #[inline(always)]
+    fn store(self, dst: &mut [i16]) {
+        dst[..L].copy_from_slice(&self.0);
+    }
+
+    #[inline(always)]
+    fn add_sat(self, o: Self) -> Self {
+        let mut a = self.0;
+        for (x, y) in a.iter_mut().zip(o.0) {
+            *x = x.saturating_add(y);
+        }
+        ScalarLanes(a)
+    }
+
+    #[inline(always)]
+    fn sub_sat(self, o: Self) -> Self {
+        let mut a = self.0;
+        for (x, y) in a.iter_mut().zip(o.0) {
+            *x = x.saturating_sub(y);
+        }
+        ScalarLanes(a)
+    }
+
+    #[inline(always)]
+    fn max(self, o: Self) -> Self {
+        let mut a = self.0;
+        for (x, y) in a.iter_mut().zip(o.0) {
+            *x = (*x).max(y);
+        }
+        ScalarLanes(a)
+    }
+}
+
+/// SSE2 vector: 8 × i16 in an `__m128i`. SSE2 is a baseline feature of
+/// x86_64, so these wrappers are sound on every x86_64 host.
+#[cfg(target_arch = "x86_64")]
+#[derive(Clone, Copy)]
+pub struct Sse2Vec(__m128i);
+
+#[cfg(target_arch = "x86_64")]
+impl SimdVec for Sse2Vec {
+    const LANES: usize = 8;
+
+    #[inline(always)]
+    fn splat(v: i16) -> Self {
+        // SAFETY: SSE2 is baseline on x86_64.
+        Sse2Vec(unsafe { _mm_set1_epi16(v) })
+    }
+
+    #[inline(always)]
+    fn load(src: &[i16]) -> Self {
+        debug_assert!(src.len() >= 8);
+        Sse2Vec(unsafe { _mm_loadu_si128(src.as_ptr() as *const __m128i) })
+    }
+
+    #[inline(always)]
+    fn store(self, dst: &mut [i16]) {
+        debug_assert!(dst.len() >= 8);
+        unsafe { _mm_storeu_si128(dst.as_mut_ptr() as *mut __m128i, self.0) }
+    }
+
+    #[inline(always)]
+    fn add_sat(self, o: Self) -> Self {
+        Sse2Vec(unsafe { _mm_adds_epi16(self.0, o.0) })
+    }
+
+    #[inline(always)]
+    fn sub_sat(self, o: Self) -> Self {
+        Sse2Vec(unsafe { _mm_subs_epi16(self.0, o.0) })
+    }
+
+    #[inline(always)]
+    fn max(self, o: Self) -> Self {
+        Sse2Vec(unsafe { _mm_max_epi16(self.0, o.0) })
+    }
+}
+
+/// AVX2 vector: 16 × i16 in an `__m256i`.
+///
+/// # Safety contract
+///
+/// Constructing or operating on this type executes AVX2 instructions; the
+/// dispatcher only reaches it after `is_x86_feature_detected!("avx2")`
+/// (see [`SimdBackend::is_available`]), which makes the `unsafe` intrinsic
+/// calls sound.
+#[cfg(target_arch = "x86_64")]
+#[derive(Clone, Copy)]
+pub struct Avx2Vec(__m256i);
+
+#[cfg(target_arch = "x86_64")]
+impl SimdVec for Avx2Vec {
+    const LANES: usize = 16;
+
+    #[inline(always)]
+    fn splat(v: i16) -> Self {
+        Avx2Vec(unsafe { _mm256_set1_epi16(v) })
+    }
+
+    #[inline(always)]
+    fn load(src: &[i16]) -> Self {
+        debug_assert!(src.len() >= 16);
+        Avx2Vec(unsafe { _mm256_loadu_si256(src.as_ptr() as *const __m256i) })
+    }
+
+    #[inline(always)]
+    fn store(self, dst: &mut [i16]) {
+        debug_assert!(dst.len() >= 16);
+        unsafe { _mm256_storeu_si256(dst.as_mut_ptr() as *mut __m256i, self.0) }
+    }
+
+    #[inline(always)]
+    fn add_sat(self, o: Self) -> Self {
+        Avx2Vec(unsafe { _mm256_adds_epi16(self.0, o.0) })
+    }
+
+    #[inline(always)]
+    fn sub_sat(self, o: Self) -> Self {
+        Avx2Vec(unsafe { _mm256_subs_epi16(self.0, o.0) })
+    }
+
+    #[inline(always)]
+    fn max(self, o: Self) -> Self {
+        Avx2Vec(unsafe { _mm256_max_epi16(self.0, o.0) })
+    }
+}
+
+/// NEON vector: 8 × i16 in an `int16x8_t`. NEON is a baseline feature of
+/// aarch64, so these wrappers are sound on every aarch64 host.
+#[cfg(target_arch = "aarch64")]
+#[derive(Clone, Copy)]
+pub struct NeonVec(int16x8_t);
+
+#[cfg(target_arch = "aarch64")]
+impl SimdVec for NeonVec {
+    const LANES: usize = 8;
+
+    #[inline(always)]
+    fn splat(v: i16) -> Self {
+        NeonVec(unsafe { vdupq_n_s16(v) })
+    }
+
+    #[inline(always)]
+    fn load(src: &[i16]) -> Self {
+        debug_assert!(src.len() >= 8);
+        NeonVec(unsafe { vld1q_s16(src.as_ptr()) })
+    }
+
+    #[inline(always)]
+    fn store(self, dst: &mut [i16]) {
+        debug_assert!(dst.len() >= 8);
+        unsafe { vst1q_s16(dst.as_mut_ptr(), self.0) }
+    }
+
+    #[inline(always)]
+    fn add_sat(self, o: Self) -> Self {
+        NeonVec(unsafe { vqaddq_s16(self.0, o.0) })
+    }
+
+    #[inline(always)]
+    fn sub_sat(self, o: Self) -> Self {
+        NeonVec(unsafe { vqsubq_s16(self.0, o.0) })
+    }
+
+    #[inline(always)]
+    fn max(self, o: Self) -> Self {
+        NeonVec(unsafe { vmaxq_s16(self.0, o.0) })
+    }
+}
+
+/// A compiled vector backend of the multilane kernel.
+///
+/// All backends are bit-identical in output; they differ only in lane
+/// width and instruction set. [`SimdBackend::Scalar`] exists everywhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimdBackend {
+    /// Portable scalar-array lanes (16-wide, auto-vectorizable).
+    #[default]
+    Scalar,
+    /// x86_64 SSE2, 8 × i16 lanes (baseline on every x86_64).
+    Sse2,
+    /// x86_64 AVX2, 16 × i16 lanes (runtime-detected).
+    Avx2,
+    /// aarch64 NEON, 8 × i16 lanes (baseline on every aarch64).
+    Neon,
+}
+
+impl SimdBackend {
+    /// Best backend available on this host: AVX2 > SSE2 on x86_64, NEON on
+    /// aarch64, the scalar-array fallback elsewhere.
+    pub fn detect() -> SimdBackend {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if is_x86_feature_detected!("avx2") {
+                return SimdBackend::Avx2;
+            }
+            return SimdBackend::Sse2;
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            return SimdBackend::Neon;
+        }
+        #[allow(unreachable_code)]
+        SimdBackend::Scalar
+    }
+
+    /// Whether this backend is compiled in *and* supported by the running
+    /// CPU. [`SimdBackend::Scalar`] is always available.
+    pub fn is_available(self) -> bool {
+        match self {
+            SimdBackend::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            SimdBackend::Sse2 => true,
+            #[cfg(target_arch = "x86_64")]
+            SimdBackend::Avx2 => is_x86_feature_detected!("avx2"),
+            #[cfg(target_arch = "aarch64")]
+            SimdBackend::Neon => true,
+            #[allow(unreachable_patterns)]
+            _ => false,
+        }
+    }
+
+    /// Every backend available on this host, scalar first. The
+    /// differential test harness iterates this list.
+    pub fn available() -> Vec<SimdBackend> {
+        [
+            SimdBackend::Scalar,
+            SimdBackend::Sse2,
+            SimdBackend::Avx2,
+            SimdBackend::Neon,
+        ]
+        .into_iter()
+        .filter(|b| b.is_available())
+        .collect()
+    }
+
+    /// i16 lanes per vector.
+    pub fn lanes(self) -> usize {
+        match self {
+            SimdBackend::Scalar => 16,
+            SimdBackend::Sse2 => 8,
+            SimdBackend::Avx2 => 16,
+            SimdBackend::Neon => 8,
+        }
+    }
+
+    /// Lower-case name, as accepted by `--simd`.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdBackend::Scalar => "scalar",
+            SimdBackend::Sse2 => "sse2",
+            SimdBackend::Avx2 => "avx2",
+            SimdBackend::Neon => "neon",
+        }
+    }
+
+    /// Stable numeric id for telemetry span args / counters
+    /// (span args are `u64`): scalar 0, sse2 1, avx2 2, neon 3.
+    pub fn id(self) -> u64 {
+        match self {
+            SimdBackend::Scalar => 0,
+            SimdBackend::Sse2 => 1,
+            SimdBackend::Avx2 => 2,
+            SimdBackend::Neon => 3,
+        }
+    }
+}
+
+impl std::fmt::Display for SimdBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// User-facing backend selection: `auto` defers to runtime detection, a
+/// named backend forces that implementation (and errors at validation if
+/// the host lacks it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimdPolicy {
+    /// Pick the best available backend ([`SimdBackend::detect`]).
+    #[default]
+    Auto,
+    /// Force a specific backend; resolution fails if unavailable.
+    Force(SimdBackend),
+}
+
+impl SimdPolicy {
+    /// Parse a `--simd` value: `auto`, `scalar`, `sse2`, `avx2`, `neon`.
+    pub fn parse(s: &str) -> Result<SimdPolicy, String> {
+        match s {
+            "auto" => Ok(SimdPolicy::Auto),
+            "scalar" => Ok(SimdPolicy::Force(SimdBackend::Scalar)),
+            "sse2" => Ok(SimdPolicy::Force(SimdBackend::Sse2)),
+            "avx2" => Ok(SimdPolicy::Force(SimdBackend::Avx2)),
+            "neon" => Ok(SimdPolicy::Force(SimdBackend::Neon)),
+            other => Err(format!(
+                "unknown SIMD backend '{other}' (expected auto|scalar|sse2|avx2|neon)"
+            )),
+        }
+    }
+
+    /// Resolve the policy against the running host.
+    pub fn resolve(self) -> Result<SimdBackend, String> {
+        match self {
+            SimdPolicy::Auto => Ok(SimdBackend::detect()),
+            SimdPolicy::Force(b) if b.is_available() => Ok(b),
+            SimdPolicy::Force(b) => Err(format!(
+                "SIMD backend '{}' is not available on this host (available: {})",
+                b.name(),
+                SimdBackend::available()
+                    .iter()
+                    .map(|b| b.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_ops<V: SimdVec>() {
+        assert!(V::LANES <= MAX_LANES);
+        let mut src = [0i16; MAX_LANES];
+        for (i, v) in src.iter_mut().enumerate() {
+            *v = (i as i16) * 1000 - 5000;
+        }
+        let a = V::load(&src);
+        let b = V::splat(30000);
+        let mut got = [0i16; MAX_LANES];
+        a.add_sat(b).store(&mut got);
+        for l in 0..V::LANES {
+            assert_eq!(got[l], src[l].saturating_add(30000), "add_sat lane {l}");
+        }
+        a.sub_sat(b).store(&mut got);
+        for l in 0..V::LANES {
+            assert_eq!(got[l], src[l].saturating_sub(30000), "sub_sat lane {l}");
+        }
+        a.max(V::zero()).store(&mut got);
+        for l in 0..V::LANES {
+            assert_eq!(got[l], src[l].max(0), "max lane {l}");
+        }
+    }
+
+    #[test]
+    fn scalar_lanes_ops() {
+        check_ops::<ScalarLanes<8>>();
+        check_ops::<ScalarLanes<16>>();
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn sse2_ops() {
+        check_ops::<Sse2Vec>();
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_ops() {
+        if is_x86_feature_detected!("avx2") {
+            check_ops::<Avx2Vec>();
+        }
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    #[test]
+    fn neon_ops() {
+        check_ops::<NeonVec>();
+    }
+
+    #[test]
+    fn detection_is_consistent() {
+        let best = SimdBackend::detect();
+        assert!(best.is_available());
+        let avail = SimdBackend::available();
+        assert!(avail.contains(&SimdBackend::Scalar));
+        assert!(avail.contains(&best));
+        for b in avail {
+            assert!(b.lanes() == 8 || b.lanes() == 16);
+            assert!(b.lanes() <= MAX_LANES);
+        }
+    }
+
+    #[test]
+    fn policy_parse_and_resolve() {
+        assert_eq!(SimdPolicy::parse("auto").unwrap(), SimdPolicy::Auto);
+        assert_eq!(
+            SimdPolicy::parse("scalar").unwrap(),
+            SimdPolicy::Force(SimdBackend::Scalar)
+        );
+        assert!(SimdPolicy::parse("warp").is_err());
+        assert_eq!(SimdPolicy::Auto.resolve().unwrap(), SimdBackend::detect());
+        assert_eq!(
+            SimdPolicy::Force(SimdBackend::Scalar).resolve().unwrap(),
+            SimdBackend::Scalar
+        );
+        #[cfg(not(target_arch = "aarch64"))]
+        assert!(SimdPolicy::Force(SimdBackend::Neon).resolve().is_err());
+    }
+
+    #[test]
+    fn ids_and_names_are_stable() {
+        for b in [
+            SimdBackend::Scalar,
+            SimdBackend::Sse2,
+            SimdBackend::Avx2,
+            SimdBackend::Neon,
+        ] {
+            assert_eq!(SimdPolicy::parse(b.name()), Ok(SimdPolicy::Force(b)));
+            assert_eq!(b.to_string(), b.name());
+        }
+        assert_eq!(SimdBackend::Scalar.id(), 0);
+        assert_eq!(SimdBackend::Sse2.id(), 1);
+        assert_eq!(SimdBackend::Avx2.id(), 2);
+        assert_eq!(SimdBackend::Neon.id(), 3);
+    }
+}

@@ -8,6 +8,7 @@ use pastis_align::banded::{sw_banded, sw_xdrop};
 use pastis_align::batch::{AlignTask, BatchAligner};
 use pastis_align::matrices::Blosum62;
 use pastis_align::parallel::AlignPool;
+use pastis_align::simd::SimdBackend;
 use pastis_align::sw::{sw_align, sw_score_only, GapPenalties};
 use pastis_seqio::{SyntheticConfig, SyntheticDataset};
 use pastis_trace::TraceSession;
@@ -118,8 +119,11 @@ fn bench_batch_parallel(c: &mut Criterion) {
     group.finish();
 }
 
-/// Scalar score-only vs multilane dispatch (single-threaded, isolating the
-/// lane packing win) vs multilane on the pool (both levels composed).
+/// Scalar score-only vs every compiled lane backend, side by side: the
+/// serial reference kernel, then each of `SimdBackend::available()`
+/// (portable scalar lanes, SSE2, AVX2/NEON where compiled) on the pool at
+/// 1 and 4 threads. The `kernel_simd` bin turns the same comparison into
+/// a CI gate (runtime-selected backend must not be slower than scalar).
 fn bench_batch_multilane(c: &mut Criterion) {
     let mut group = c.benchmark_group("batch_multilane");
     group.sample_size(10);
@@ -148,21 +152,23 @@ fn bench_batch_multilane(c: &mut Criterion) {
                 })
             },
         );
-        for &t in &[1usize, 4] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("multilane_t{t}"), mean_len as usize),
-                &mean_len,
-                |b, _| {
-                    b.iter(|| {
-                        AlignPool::new(t).run_score_only(
-                            &tasks,
-                            |id| &seqs[id as usize],
-                            &Blosum62,
-                            gaps,
-                        )
-                    })
-                },
-            );
+        for backend in SimdBackend::available() {
+            for &t in &[1usize, 4] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("lanes_{backend}_t{t}"), mean_len as usize),
+                    &mean_len,
+                    |b, _| {
+                        b.iter(|| {
+                            AlignPool::new(t).with_simd(backend).run_score_only(
+                                &tasks,
+                                |id| &seqs[id as usize],
+                                &Blosum62,
+                                gaps,
+                            )
+                        })
+                    },
+                );
+            }
         }
     }
     group.finish();

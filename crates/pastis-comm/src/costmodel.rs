@@ -143,6 +143,13 @@ pub struct MachineModel {
     /// `1 + (t-1)·e` speedup. Below 1 because workers share memory
     /// bandwidth and pay chunk-claim synchronization.
     pub align_pool_efficiency: f64,
+    /// Single-thread speedup of the score-only vector kernel over the
+    /// scalar kernel on this machine's CPUs (the SIMD lane factor;
+    /// measured by `pastis-bench`'s `kernel_simd` harness). Multiplies
+    /// the whole pool term in [`MachineModel::align_speedup`] — lanes and
+    /// workers compose. `1.0` for machines whose alignment runs on GPUs
+    /// (the lanes only accelerate the CPU path).
+    pub simd_lane_speedup: f64,
     /// Fixed per-batch overhead, seconds: kernel launches, packing and
     /// device round-trips paid once per alignment batch (one batch per
     /// output block per node). Smaller batches utilize the GPUs worse —
@@ -197,6 +204,8 @@ impl MachineModel {
             gcups_per_gpu: 8.7,
             align_overhead_per_pair: 2.0e-7,
             align_pool_efficiency: 0.85,
+            // Alignment runs on the V100s; CPU lanes don't enter.
+            simd_lane_speedup: 1.0,
             align_batch_overhead_s: 2.0,
             spgemm_products_per_sec: 2.0e8,
             merge_nnz_per_sec: 6.0e8,
@@ -223,6 +232,10 @@ impl MachineModel {
             gcups_per_gpu: 0.0,
             align_overhead_per_pair: 5.0e-7,
             align_pool_efficiency: 0.80,
+            // Measured by `kernel_simd` (results/kernel_simd.txt): the
+            // runtime-selected backend (AVX2, 16 × i16 lanes) vs the serial
+            // scalar kernel, one thread, 4000 pairs: 9.19×.
+            simd_lane_speedup: 9.19,
             align_batch_overhead_s: 2.0,
             spgemm_products_per_sec: 1.0e8,
             merge_nnz_per_sec: 3.0e8,
@@ -283,14 +296,17 @@ impl MachineModel {
     }
 
     /// Speedup of the intra-rank alignment pool at `threads` workers
-    /// (0 ⇒ one worker per core): `1 + (t-1)·align_pool_efficiency`.
+    /// (0 ⇒ one worker per core):
+    /// `simd_lane_speedup · (1 + (t-1)·align_pool_efficiency)` — the SIMD
+    /// lane factor applies per worker, so it multiplies the whole affine
+    /// pool term.
     pub fn align_speedup(&self, threads: usize) -> f64 {
         let t = if threads == 0 {
             self.cores_per_node
         } else {
             threads
         };
-        1.0 + t.saturating_sub(1) as f64 * self.align_pool_efficiency
+        self.simd_lane_speedup * (1.0 + t.saturating_sub(1) as f64 * self.align_pool_efficiency)
     }
 
     /// [`align_time`](MachineModel::align_time) with the batch executed on
@@ -430,6 +446,28 @@ mod tests {
         let serial = s.align_time(1e9, 1e5);
         let t8 = s.align_time_parallel(1e9, 1e5, 8);
         assert!((t8 - serial / s.align_speedup(8)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simd_lane_speedup_multiplies_the_pool_term() {
+        // Summit aligns on GPUs: the lane factor must be neutral.
+        assert_eq!(MachineModel::summit().simd_lane_speedup, 1.0);
+        // On a CPU machine the factor scales the whole affine term, so it
+        // compounds with workers instead of only shifting the intercept.
+        let c = MachineModel::commodity();
+        let lanes = c.simd_lane_speedup;
+        assert!(lanes > 1.0);
+        assert!((c.align_speedup(1) - lanes).abs() < 1e-12);
+        assert!((c.align_speedup(4) - lanes * (1.0 + 3.0 * c.align_pool_efficiency)).abs() < 1e-12);
+        let scalar = MachineModel {
+            simd_lane_speedup: 1.0,
+            ..c.clone()
+        };
+        assert!(
+            (c.align_time_parallel(1e9, 1e5, 4) * lanes - scalar.align_time_parallel(1e9, 1e5, 4))
+                .abs()
+                < 1e-9
+        );
     }
 
     #[test]

@@ -7,6 +7,7 @@
 use std::path::PathBuf;
 
 use pastis_align::sw::GapPenalties;
+use pastis_align::SimdPolicy;
 use pastis_seqio::ReducedAlphabet;
 
 use crate::loadbalance::LoadBalance;
@@ -56,6 +57,11 @@ pub struct SearchParams {
     /// `0` uses one worker per available core. The similarity graph is
     /// bit-identical for every value — only wall time changes.
     pub align_threads: usize,
+    /// Vector backend of the score-only alignment kernel (`--simd`).
+    /// `Auto` picks the best the host supports; forcing an unavailable
+    /// backend fails validation. Like `align_threads`, the similarity
+    /// graph is bit-identical for every choice — only throughput changes.
+    pub simd: SimdPolicy,
     /// Row blocking factor of the Blocked 2D Sparse SUMMA.
     pub block_rows: usize,
     /// Column blocking factor.
@@ -98,6 +104,7 @@ impl Default for SearchParams {
             gaps: GapPenalties::pastis_defaults(),
             align_kind: AlignKind::FullSw,
             align_threads: 1,
+            simd: SimdPolicy::Auto,
             block_rows: 1,
             block_cols: 1,
             load_balance: LoadBalance::IndexBased,
@@ -147,6 +154,12 @@ impl SearchParams {
     /// (`0` = one worker per available core).
     pub fn with_align_threads(mut self, threads: usize) -> SearchParams {
         self.align_threads = threads;
+        self
+    }
+
+    /// Set the score-only vector-backend policy, builder style.
+    pub fn with_simd(mut self, simd: SimdPolicy) -> SearchParams {
+        self.simd = simd;
         self
     }
 
@@ -212,6 +225,7 @@ impl SearchParams {
         if self.resume && self.checkpoint_dir.is_none() {
             return Err("resume requires a checkpoint directory".into());
         }
+        self.simd.resolve()?;
         if let Some(f) = self.straggler_factor {
             if f.is_nan() || f <= 1.0 {
                 return Err(format!("straggler factor must exceed 1.0, got {f}"));
@@ -317,6 +331,26 @@ mod tests {
             ..SearchParams::default()
         };
         assert!(off.validate().is_ok());
+    }
+
+    #[test]
+    fn simd_policy_defaults_auto_and_validates() {
+        use pastis_align::SimdBackend;
+        let p = SearchParams::default();
+        assert_eq!(p.simd, SimdPolicy::Auto);
+        assert!(p.validate().is_ok());
+        // Forcing the always-present scalar backend is valid everywhere.
+        let scalar = SearchParams::default().with_simd(SimdPolicy::Force(SimdBackend::Scalar));
+        assert!(scalar.validate().is_ok());
+        // Forcing a backend the host lacks must be rejected at validation
+        // (NEON never exists on x86_64 and vice versa for AVX2).
+        #[cfg(target_arch = "x86_64")]
+        let missing = SimdBackend::Neon;
+        #[cfg(not(target_arch = "x86_64"))]
+        let missing = SimdBackend::Avx2;
+        let forced = SearchParams::default().with_simd(SimdPolicy::Force(missing));
+        let err = forced.validate().unwrap_err();
+        assert!(err.contains("not available"), "{err}");
     }
 
     #[test]

@@ -903,6 +903,7 @@ mod tests {
             gcups_per_gpu: 1.0e-2, // 10M cells/s per node
             align_overhead_per_pair: 1.0e-7,
             align_pool_efficiency: 0.9,
+            simd_lane_speedup: 1.0,
             align_batch_overhead_s: 0.0,
             p2p_handling_s: 0.0,
             spgemm_products_per_sec: 1.0e6,

@@ -352,8 +352,16 @@ pub fn run_search_traced<C: Communicator + Sync>(
     // with results in task order — output is bit-identical for every
     // worker count. Workers never touch the communicator, so under
     // pre-blocking the concurrent sparse thread remains the only thread
-    // issuing collectives.
-    let pool = AlignPool::new(params.align_threads).with_recorder(recorder.clone());
+    // issuing collectives. Score-only batches dispatch through the
+    // `--simd`-selected vector backend; like the thread count, the choice
+    // never changes the graph (the kernel is bit-identical to scalar).
+    let simd_backend = params
+        .simd
+        .resolve()
+        .expect("validate() checked the SIMD policy");
+    let pool = AlignPool::new(params.align_threads)
+        .with_recorder(recorder.clone())
+        .with_simd(simd_backend);
     let filter = EdgeFilter::from_params(params);
     let align_batch = |batch: &CandidateBatch| -> (Vec<SimilarityEdge>, u64, f64, f64) {
         let t = Instant::now();
@@ -407,10 +415,12 @@ pub fn run_search_traced<C: Communicator + Sync>(
                 }
             }
             AlignKind::ScoreOnly => {
-                // Exact scores through the multilane lock-step kernel.
+                // Exact scores through the multilane vector kernel.
                 let (results, stats) = pool.run_score_only(&tasks, lookup, &Blosum62, params.gaps);
                 cells = stats.cells;
                 cpu_seconds = stats.seconds;
+                batch_span.push_arg("simd", stats.simd.id());
+                batch_span.push_arg("lane_promotions", stats.lane_promotions);
                 for (pt, res) in batch.pairs.iter().zip(&results) {
                     let (q, r) = (&seqs[pt.i as usize], &seqs[pt.j as usize]);
                     if let Some(e) = banded_edge(pt, res.score, q, r, &filter) {
@@ -624,6 +634,11 @@ pub fn run_search_traced<C: Communicator + Sync>(
     recorder.add_counter("align_seconds", times.get(Component::Align));
     recorder.add_counter("sparse_seconds", times.sparse_all());
     recorder.add_counter("align_cpu_seconds", stats.align_cpu_seconds);
+    if params.align_kind == AlignKind::ScoreOnly {
+        // Which vector backend the score-only batches ran on (stable id:
+        // scalar 0, sse2 1, avx2 2, neon 3). Recorded once per run.
+        recorder.add_counter("align.simd_backend", simd_backend.id() as f64);
+    }
     Ok(SearchResult {
         graph,
         stats,

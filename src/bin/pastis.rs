@@ -20,6 +20,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use pastis::align::matrices::AA_ALPHABET;
+use pastis::align::SimdPolicy;
 use pastis::comm::{
     run_threaded_with, CommConfig, Communicator, FaultPlan, FaultyComm, ProcessGrid, SelfComm,
     TracedComm,
@@ -60,6 +61,9 @@ SEARCH/CLUSTER OPTIONS:
     --pre-blocking            overlap sparse phase with alignment
     --banded <WIDTH>          banded kernel with half-width WIDTH
     --score-only              full-matrix score-only kernel (multilane SIMD)
+    --simd <NAME>             auto | avx2 | sse2 | neon | scalar — vector
+                              backend of the score-only kernel; output is
+                              identical for any choice       [default: auto]
     --align-threads <INT>     intra-rank alignment workers; 0 = one per
                               core; output is identical for any value [default: 1]
     --mcl                     cluster with Markov clustering instead of
@@ -197,6 +201,7 @@ const SEARCH_VALUE_FLAGS: &[&str] = &[
     "blocks",
     "load-balance",
     "banded",
+    "simd",
     "align-threads",
     "inflation",
     "ranks",
@@ -248,6 +253,9 @@ fn parse_search_params(opts: &Opts) -> Result<SearchParams, String> {
             return Err("--score-only and --banded are mutually exclusive".into());
         }
         p.align_kind = AlignKind::ScoreOnly;
+    }
+    if let Some(s) = opts.get("simd") {
+        p.simd = SimdPolicy::parse(s)?;
     }
     if let Some(t) = opts.get("align-threads") {
         p.align_threads = t
@@ -361,6 +369,15 @@ fn do_search(
         result.stats.aligned_pairs,
         result.stats.similar_pairs
     );
+    if params.align_kind == AlignKind::ScoreOnly {
+        // validate() (inside the pipeline) already resolved the policy.
+        let backend = params.simd.resolve()?;
+        eprintln!(
+            "simd backend: {} ({} × i16 lanes; scores identical to scalar)",
+            backend,
+            backend.lanes()
+        );
+    }
     Ok((store, result, session))
 }
 
@@ -733,6 +750,81 @@ mod tests {
         // Bad worker count is rejected.
         let bad = Opts::parse(&s(&["--align-threads", "many"]), SEARCH_VALUE_FLAGS).unwrap();
         assert!(parse_search_params(&bad).is_err());
+    }
+
+    #[test]
+    fn simd_flag_parses_and_validates() {
+        use pastis::align::{SimdBackend, SimdPolicy};
+        // Default is auto.
+        let none = Opts::parse(&[], SEARCH_VALUE_FLAGS).unwrap();
+        assert_eq!(parse_search_params(&none).unwrap().simd, SimdPolicy::Auto);
+        let auto = Opts::parse(&s(&["--simd", "auto"]), SEARCH_VALUE_FLAGS).unwrap();
+        assert_eq!(parse_search_params(&auto).unwrap().simd, SimdPolicy::Auto);
+        let scalar = Opts::parse(&s(&["--simd", "scalar"]), SEARCH_VALUE_FLAGS).unwrap();
+        assert_eq!(
+            parse_search_params(&scalar).unwrap().simd,
+            SimdPolicy::Force(SimdBackend::Scalar)
+        );
+        // Unknown backend names are rejected at parse time.
+        let bad = Opts::parse(&s(&["--simd", "avx1024"]), SEARCH_VALUE_FLAGS).unwrap();
+        let err = parse_search_params(&bad).unwrap_err();
+        assert!(err.contains("unknown SIMD backend"), "{err}");
+        // Forcing a backend the host lacks fails validation with the
+        // available list in the message.
+        #[cfg(target_arch = "x86_64")]
+        {
+            let neon = Opts::parse(&s(&["--simd", "neon"]), SEARCH_VALUE_FLAGS).unwrap();
+            let err = parse_search_params(&neon).unwrap_err();
+            assert!(err.contains("not available"), "{err}");
+        }
+    }
+
+    #[test]
+    fn simd_scalar_and_auto_emit_byte_identical_tsv() {
+        // The CLI-level face of the kernel-equivalence contract: the whole
+        // search with `--simd scalar` and `--simd auto` writes the exact
+        // same bytes (same edges, same scores, same float formatting).
+        let dir = std::env::temp_dir().join(format!("pastis-cli-simd-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let fa = dir.join("s.fa");
+        run(&s(&[
+            "generate",
+            fa.to_str().unwrap(),
+            "--n",
+            "70",
+            "--mean-len",
+            "90",
+            "--seed",
+            "23",
+        ]))
+        .unwrap();
+        let run_with = |simd: &str, out: &Path| {
+            run(&s(&[
+                "search",
+                fa.to_str().unwrap(),
+                out.to_str().unwrap(),
+                "--k",
+                "5",
+                "--blocks",
+                "2x2",
+                "--ani",
+                "0.4",
+                "--coverage",
+                "0.5",
+                "--score-only",
+                "--simd",
+                simd,
+                "--align-threads",
+                "2",
+            ]))
+            .unwrap();
+            std::fs::read(out).unwrap()
+        };
+        let scalar = run_with("scalar", &dir.join("scalar.tsv"));
+        let auto = run_with("auto", &dir.join("auto.tsv"));
+        assert!(!scalar.is_empty(), "scalar run produced no edges");
+        assert_eq!(scalar, auto, "--simd auto diverged from --simd scalar");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
