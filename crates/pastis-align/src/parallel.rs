@@ -723,10 +723,7 @@ mod tests {
         // participate and each emits exactly one span on its own sub-track.
         assert_eq!(spans.len(), 3);
         let mut tracks: Vec<Track> = spans.iter().map(|s| s.track).collect();
-        tracks.sort_by_key(|t| match t {
-            Track::Rank => 0,
-            Track::AlignWorker(w) => 1 + *w,
-        });
+        tracks.sort_by_key(|t| t.tid());
         assert_eq!(
             tracks,
             vec![

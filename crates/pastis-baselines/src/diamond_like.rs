@@ -28,6 +28,7 @@ use pastis_core::filter::EdgeFilter;
 use pastis_core::kmer::distinct_kmers;
 use pastis_core::simgraph::{SimilarityEdge, SimilarityGraph};
 use pastis_seqio::{ReducedAlphabet, SeqStore};
+use pastis_sparse::run_units;
 use pastis_trace::{span, Component, Recorder, TraceSession};
 
 use crate::ckpt::{self, BaselineCheckpoint};
@@ -58,6 +59,11 @@ pub struct DiamondLikeConfig {
     /// Intra-package alignment worker threads (1 = serial, 0 = one per
     /// core). Results are identical for every value.
     pub align_threads: usize,
+    /// Intra-package seed-join worker threads: each package's query scan
+    /// runs as atomically-claimed units stitched back in query order
+    /// (1 = serial, 0 = one per core). Results are identical for every
+    /// value.
+    pub seed_threads: usize,
     /// Directory for per-query-chunk join checkpoints (`None` disables).
     /// The seed/package phase is recomputed on resume — it is deterministic
     /// and cheap next to alignment, which is what the checkpoints cover.
@@ -82,6 +88,7 @@ impl Default for DiamondLikeConfig {
             ani_threshold: 0.30,
             coverage_threshold: 0.70,
             align_threads: 1,
+            seed_threads: 1,
             checkpoint_dir: None,
             resume: false,
         }
@@ -182,8 +189,12 @@ fn run_inner(
                     index.entry(kmer).or_default().push(t as u32);
                 }
             }
-            // Seed-join each query of the chunk against the index.
-            for q in q0..q1 {
+            // Seed-join each query of the chunk against the index — one
+            // pool unit per query, stitched back in query order, so the
+            // spill stream (and the cap's victims) are identical for
+            // every worker count.
+            let per_query = run_units(cfg.seed_threads, q1 - q0, |_w, u| {
+                let q = q0 + u;
                 let mut hits: HashMap<u32, u32> = HashMap::new();
                 for (kmer, _) in distinct_kmers(store.seq(q), cfg.k, cfg.alphabet) {
                     if let Some(ts) = index.get(&kmer) {
@@ -198,17 +209,22 @@ fn run_inner(
                     .into_iter()
                     .filter(|&(_, s)| s >= cfg.min_shared_kmers)
                     .collect();
-                seed_candidates += cands.len() as u64;
                 // The memory-bounding heuristic: keep the best
                 // `max_candidates_per_query` by shared-seed count within
                 // *this package*. A pair near the cap can survive one
                 // chunking and be evicted under another — the
                 // non-determinism the paper quotes DIAMOND's docs on.
                 cands.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                let uncapped = cands.len();
                 if cands.len() > cfg.max_candidates_per_query {
-                    capped_out += (cands.len() - cfg.max_candidates_per_query) as u64;
                     cands.truncate(cfg.max_candidates_per_query);
                 }
+                (uncapped, cands)
+            });
+            for (u, (uncapped, cands)) in per_query.into_iter().enumerate() {
+                let q = q0 + u;
+                seed_candidates += uncapped as u64;
+                capped_out += (uncapped - cands.len()) as u64;
                 for (t, shared) in cands {
                     spill_qc.push(Intermediate {
                         query: q as u32,
@@ -476,6 +492,37 @@ mod tests {
             );
             assert_eq!(r.graph.edges(), base.graph.edges(), "threads={threads}");
             assert_eq!(r.aligned_pairs, base.aligned_pairs);
+        }
+    }
+
+    #[test]
+    fn seed_thread_count_does_not_change_results() {
+        let store = tiny_store();
+        // Include a tight per-query cap: the capped spill stream is the
+        // part that would expose any stitch-order slip.
+        for cap in [usize::MAX, 2] {
+            let capped = DiamondLikeConfig {
+                max_candidates_per_query: cap,
+                ..cfg()
+            };
+            let base = run_diamond_like(&store, &capped);
+            for threads in [2usize, 4, 0] {
+                let r = run_diamond_like(
+                    &store,
+                    &DiamondLikeConfig {
+                        seed_threads: threads,
+                        ..capped.clone()
+                    },
+                );
+                assert_eq!(
+                    r.graph.edges(),
+                    base.graph.edges(),
+                    "cap={cap} threads={threads}"
+                );
+                assert_eq!(r.seed_candidates, base.seed_candidates);
+                assert_eq!(r.capped_out, base.capped_out);
+                assert_eq!(r.spilled_bytes, base.spilled_bytes);
+            }
         }
     }
 

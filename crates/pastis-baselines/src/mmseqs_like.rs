@@ -22,6 +22,7 @@ use pastis_core::filter::EdgeFilter;
 use pastis_core::kmer::distinct_kmers;
 use pastis_core::simgraph::{SimilarityEdge, SimilarityGraph};
 use pastis_seqio::{ReducedAlphabet, SeqStore};
+use pastis_sparse::run_units;
 use pastis_trace::{span, Component, Recorder, TraceSession};
 
 use crate::ckpt::{self, BaselineCheckpoint};
@@ -56,6 +57,10 @@ pub struct MmseqsLikeConfig {
     /// Intra-rank alignment worker threads (1 = serial on the calling
     /// thread, 0 = one per core). Results are identical for every value.
     pub align_threads: usize,
+    /// Intra-rank prefilter worker threads: each rank's query scan runs
+    /// as atomically-claimed units stitched back in query order (1 =
+    /// serial, 0 = one per core). Results are identical for every value.
+    pub prefilter_threads: usize,
     /// Directory for per-simulated-rank checkpoints (`None` disables).
     /// Robustness knob — never affects the output.
     pub checkpoint_dir: Option<PathBuf>,
@@ -76,6 +81,7 @@ impl Default for MmseqsLikeConfig {
             coverage_threshold: 0.70,
             mode: SplitMode::TargetSplit,
             align_threads: 1,
+            prefilter_threads: 1,
             checkpoint_dir: None,
             resume: false,
         }
@@ -238,7 +244,13 @@ fn run_inner(
         let mut shared_counts: Vec<u32> = Vec::new();
         let rank_candidates_before = prefilter_candidates;
         let mut prefilter_span = span!(rec, Component::SparseOther, "prefilter");
-        for q in scan {
+        // Scan queries on the prefilter pool: one unit per query, claimed
+        // atomically and stitched back in query order, so the candidate
+        // list — and everything downstream — is identical for every
+        // worker count.
+        let queries: Vec<usize> = scan.collect();
+        let per_query = run_units(cfg.prefilter_threads, queries.len(), |_w, u| {
+            let q = queries[u];
             // Count shared k-mers per target via the index.
             let mut hits: HashMap<u32, u32> = HashMap::new();
             for (kmer, _pos) in distinct_kmers(store.seq(q), cfg.k, cfg.alphabet) {
@@ -253,14 +265,17 @@ fn run_inner(
                 .filter(|&(t, shared)| (t as usize) != q && shared >= cfg.min_shared_kmers)
                 .collect();
             targets.sort_unstable();
+            targets
+        });
+        for (q, targets) in queries.iter().zip(per_query) {
             prefilter_candidates += targets.len() as u64;
             for (t, shared) in targets {
                 // Each unordered pair is seen from both sides (and, in
                 // target-split, by exactly one rank per side); align only
                 // the canonical orientation to mirror PASTIS accounting.
-                if (q as u32) < t {
+                if (*q as u32) < t {
                     tasks.push(AlignTask {
-                        query: q as u32,
+                        query: *q as u32,
                         reference: t,
                         seed_q: 0,
                         seed_r: 0,
@@ -442,6 +457,25 @@ mod tests {
                 2,
             );
             assert_eq!(r.graph.edges(), base.graph.edges(), "threads={threads}");
+            assert_eq!(r.aligned_pairs, base.aligned_pairs);
+        }
+    }
+
+    #[test]
+    fn prefilter_thread_count_does_not_change_results() {
+        let store = tiny_store();
+        let base = run_mmseqs_like(&store, &cfg(), 2);
+        for threads in [2usize, 4, 0] {
+            let r = run_mmseqs_like(
+                &store,
+                &MmseqsLikeConfig {
+                    prefilter_threads: threads,
+                    ..cfg()
+                },
+                2,
+            );
+            assert_eq!(r.graph.edges(), base.graph.edges(), "threads={threads}");
+            assert_eq!(r.prefilter_candidates, base.prefilter_candidates);
             assert_eq!(r.aligned_pairs, base.aligned_pairs);
         }
     }

@@ -1,10 +1,11 @@
 //! Criterion benches for the semiring SpGEMM kernels: hash vs heap
-//! accumulators across compression-factor regimes, plus the overlap
-//! semiring — the local kernel inside every SUMMA stage.
+//! accumulators across compression-factor regimes, the row-partitioned
+//! parallel kernel across worker counts, plus the overlap semiring — the
+//! local kernel inside every SUMMA stage.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pastis_core::overlap::OverlapSemiring;
-use pastis_sparse::{spgemm_hash, spgemm_heap, CsrMatrix, PlusTimes, Triples};
+use pastis_sparse::{spgemm_hash, spgemm_heap, spgemm_parallel, CsrMatrix, PlusTimes, Triples};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -41,6 +42,19 @@ fn bench_kernels(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_parallel_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spgemm_parallel");
+    group.sample_size(20);
+    let a = random_matrix(512, 512, 16, 1);
+    let b = random_matrix(512, 512, 16, 2);
+    for &threads in &[1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |bch, &t| {
+            bch.iter(|| spgemm_parallel(&PlusTimes::<f64>::new(), &a, &b, t))
+        });
+    }
+    group.finish();
+}
+
 fn bench_overlap_semiring(c: &mut Criterion) {
     let mut group = c.benchmark_group("overlap_semiring");
     group.sample_size(20);
@@ -61,5 +75,10 @@ fn bench_overlap_semiring(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_kernels, bench_overlap_semiring);
+criterion_group!(
+    benches,
+    bench_kernels,
+    bench_parallel_kernel,
+    bench_overlap_semiring
+);
 criterion_main!(benches);

@@ -112,6 +112,7 @@ pub fn calibrated_summit_anchored(
                 sample_pairs: 0,
                 fidelity: pastis_core::perfmodel::TimeFidelity::Structural,
                 align_threads: 1,
+                spgemm_threads: 1,
             },
         )
     };
@@ -168,6 +169,7 @@ pub fn scale_config(machine: &MachineModel, nodes: usize) -> ScaleConfig {
         sample_pairs: 200,
         fidelity: pastis_core::perfmodel::TimeFidelity::Structural,
         align_threads: 1,
+        spgemm_threads: 1,
     }
 }
 

@@ -143,6 +143,15 @@ pub struct MachineModel {
     /// `1 + (t-1)·e` speedup. Below 1 because workers share memory
     /// bandwidth and pay chunk-claim synchronization.
     pub align_pool_efficiency: f64,
+    /// Parallel efficiency of each *additional* intra-rank SpGEMM worker
+    /// (the row-partitioned Gustavson pool): `t` workers deliver a
+    /// `1 + (t-1)·e` speedup on the product term. Lower than the
+    /// alignment pool's efficiency — SpGEMM is memory-bound (hash-table
+    /// probes, irregular B-row gathers), so extra workers contend for
+    /// bandwidth sooner. Placeholder pending multi-core measurement by
+    /// `pastis-bench`'s `kernel_spgemm` harness (the container this model
+    /// was authored on exposes a single core).
+    pub spgemm_pool_efficiency: f64,
     /// Single-thread speedup of the score-only vector kernel over the
     /// scalar kernel on this machine's CPUs (the SIMD lane factor;
     /// measured by `pastis-bench`'s `kernel_simd` harness). Multiplies
@@ -204,6 +213,7 @@ impl MachineModel {
             gcups_per_gpu: 8.7,
             align_overhead_per_pair: 2.0e-7,
             align_pool_efficiency: 0.85,
+            spgemm_pool_efficiency: 0.75,
             // Alignment runs on the V100s; CPU lanes don't enter.
             simd_lane_speedup: 1.0,
             align_batch_overhead_s: 2.0,
@@ -232,6 +242,7 @@ impl MachineModel {
             gcups_per_gpu: 0.0,
             align_overhead_per_pair: 5.0e-7,
             align_pool_efficiency: 0.80,
+            spgemm_pool_efficiency: 0.70,
             // Measured by `kernel_simd` (results/kernel_simd.txt): the
             // runtime-selected backend (AVX2, 16 × i16 lanes) vs the serial
             // scalar kernel, one thread, 4000 pairs: 9.19×.
@@ -321,6 +332,27 @@ impl MachineModel {
     /// `products` semiring multiply-adds and merging `merged_nnz` outputs.
     pub fn spgemm_time(&self, products: f64, merged_nnz: f64) -> f64 {
         products / self.spgemm_products_per_sec + merged_nnz / self.merge_nnz_per_sec
+    }
+
+    /// Speedup of the intra-rank SpGEMM pool at `threads` workers
+    /// (0 ⇒ one worker per core): `1 + (t-1)·spgemm_pool_efficiency`.
+    pub fn spgemm_speedup(&self, threads: usize) -> f64 {
+        let t = if threads == 0 {
+            self.cores_per_node
+        } else {
+            threads
+        };
+        1.0 + t.saturating_sub(1) as f64 * self.spgemm_pool_efficiency
+    }
+
+    /// [`spgemm_time`](MachineModel::spgemm_time) with the row chunks
+    /// executed on an intra-rank pool of `threads` workers. Only the
+    /// product term parallelizes — the stage-accumulation merge
+    /// (`merged_nnz`) stays on the calling thread, mirroring the real
+    /// kernel where stitching and `spadd_into` are serial.
+    pub fn spgemm_time_parallel(&self, products: f64, merged_nnz: f64, threads: usize) -> f64 {
+        products / self.spgemm_products_per_sec / self.spgemm_speedup(threads)
+            + merged_nnz / self.merge_nnz_per_sec
     }
 
     /// Modeled time for `nodes` nodes to collectively read or write
@@ -446,6 +478,25 @@ mod tests {
         let serial = s.align_time(1e9, 1e5);
         let t8 = s.align_time_parallel(1e9, 1e5, 8);
         assert!((t8 - serial / s.align_speedup(8)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spgemm_pool_speedup_parallelizes_products_only() {
+        let s = MachineModel::summit();
+        assert_eq!(s.spgemm_speedup(1), 1.0);
+        assert!((s.spgemm_speedup(4) - (1.0 + 3.0 * s.spgemm_pool_efficiency)).abs() < 1e-12);
+        // 0 means one worker per core.
+        assert_eq!(s.spgemm_speedup(0), s.spgemm_speedup(s.cores_per_node));
+        // One worker is exactly the serial model.
+        assert_eq!(s.spgemm_time_parallel(1e9, 1e7, 1), s.spgemm_time(1e9, 1e7));
+        // t workers divide only the product term; the merge term (the
+        // serial stitch + spadd_into of the real kernel) is untouched.
+        let t4 = s.spgemm_time_parallel(1e9, 1e7, 4);
+        let want =
+            1e9 / s.spgemm_products_per_sec / s.spgemm_speedup(4) + 1e7 / s.merge_nnz_per_sec;
+        assert!((t4 - want).abs() < 1e-12);
+        assert!(t4 < s.spgemm_time(1e9, 1e7));
+        assert!(t4 > s.spgemm_time(1e9, 1e7) / s.spgemm_speedup(4));
     }
 
     #[test]

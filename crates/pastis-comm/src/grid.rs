@@ -138,6 +138,25 @@ impl<C: Communicator> ProcessGrid<C> {
     /// square.
     pub fn square(world: C) -> ProcessGrid<C> {
         let shape = GridShape::square(world.size()).unwrap_or_else(|e| panic!("{e}"));
+        Self::from_shape(world, shape)
+    }
+
+    /// Build a grid with an explicit (possibly rectangular) shape over
+    /// `world`; `rows × cols` must tile the world size exactly. SUMMA
+    /// itself requires a square grid (it asserts this), so this
+    /// constructor serves layouts that don't run SUMMA — and lets tests
+    /// exercise that assert.
+    pub fn with_shape(world: C, rows: usize, cols: usize) -> ProcessGrid<C> {
+        assert_eq!(
+            rows * cols,
+            world.size(),
+            "grid shape {rows}x{cols} does not tile {} ranks",
+            world.size()
+        );
+        Self::from_shape(world, GridShape { rows, cols })
+    }
+
+    fn from_shape(world: C, shape: GridShape) -> ProcessGrid<C> {
         let (my_row, my_col) = shape.coords(world.rank());
         // Color by row: ranks of one row form the row communicator.
         let row_comm = world.split(my_row, my_col);

@@ -84,10 +84,12 @@ fn mix_bytes(mut h: u64, bytes: &[u8]) -> u64 {
 /// fingerprints produce the same similarity graph, so a checkpoint is only
 /// ever resumed into the run that wrote it.
 ///
-/// Deliberately excluded: `align_threads`, the `simd` backend policy, and
-/// any fault/checkpoint/timeout knobs — they change wall time, never the
-/// output (the vector kernel is bit-identical to scalar), and a chaos run
-/// must be resumable into a fault-free run (and vice versa).
+/// Deliberately excluded: `align_threads`, the `simd` backend policy, the
+/// `spgemm_threads` / `spgemm` kernel knobs, and any
+/// fault/checkpoint/timeout knobs — they change wall time, never the
+/// output (the vector kernel is bit-identical to scalar, and the SpGEMM
+/// kernels share one combine-order contract), and a chaos run must be
+/// resumable into a fault-free run (and vice versa).
 pub fn run_fingerprint(params: &SearchParams, store: &SeqStore) -> u64 {
     let mut h = 0x5054_4953_2d52_5321u64; // "PTIS-RS!"
     h = mix(h, params.k as u64);
@@ -582,6 +584,17 @@ mod tests {
         assert_eq!(
             fp,
             run_fingerprint(&base.clone().with_align_threads(8), &store)
+        );
+        // Neither do the local SpGEMM kernel knobs (bit-identical kernels).
+        assert_eq!(
+            fp,
+            run_fingerprint(
+                &base
+                    .clone()
+                    .with_spgemm_threads(8)
+                    .with_spgemm(pastis_sparse::SpGemmKind::Heap),
+                &store
+            )
         );
         // Output-relevant knobs change it.
         assert_ne!(

@@ -9,6 +9,7 @@ use std::path::PathBuf;
 use pastis_align::sw::GapPenalties;
 use pastis_align::SimdPolicy;
 use pastis_seqio::ReducedAlphabet;
+use pastis_sparse::SpGemmKind;
 
 use crate::loadbalance::LoadBalance;
 
@@ -62,6 +63,17 @@ pub struct SearchParams {
     /// backend fails validation. Like `align_threads`, the similarity
     /// graph is bit-identical for every choice — only throughput changes.
     pub simd: SimdPolicy,
+    /// Worker threads of the intra-rank local SpGEMM pool used inside each
+    /// SUMMA stage (`--spgemm-threads`). `1` multiplies on the calling
+    /// thread; `0` uses one worker per available core. The overlap matrix
+    /// — and therefore the whole similarity graph — is bit-identical for
+    /// every value; only wall time changes.
+    pub spgemm_threads: usize,
+    /// Local SpGEMM kernel-selection policy (`--spgemm`). `Auto` picks
+    /// hash/heap/parallel per multiplication from a compression-factor
+    /// heuristic; the kernels share one combine-order contract, so the
+    /// output is bit-identical for every choice.
+    pub spgemm: SpGemmKind,
     /// Row blocking factor of the Blocked 2D Sparse SUMMA.
     pub block_rows: usize,
     /// Column blocking factor.
@@ -105,6 +117,8 @@ impl Default for SearchParams {
             align_kind: AlignKind::FullSw,
             align_threads: 1,
             simd: SimdPolicy::Auto,
+            spgemm_threads: 1,
+            spgemm: SpGemmKind::Auto,
             block_rows: 1,
             block_cols: 1,
             load_balance: LoadBalance::IndexBased,
@@ -160,6 +174,19 @@ impl SearchParams {
     /// Set the score-only vector-backend policy, builder style.
     pub fn with_simd(mut self, simd: SimdPolicy) -> SearchParams {
         self.simd = simd;
+        self
+    }
+
+    /// Set the intra-rank SpGEMM worker count, builder style
+    /// (`0` = one worker per available core).
+    pub fn with_spgemm_threads(mut self, threads: usize) -> SearchParams {
+        self.spgemm_threads = threads;
+        self
+    }
+
+    /// Set the local SpGEMM kernel-selection policy, builder style.
+    pub fn with_spgemm(mut self, kind: SpGemmKind) -> SearchParams {
+        self.spgemm = kind;
         self
     }
 
@@ -359,5 +386,17 @@ mod tests {
         assert_eq!(p.align_threads, 1);
         // 0 means "one worker per core" and must validate.
         assert!(p.with_align_threads(0).validate().is_ok());
+    }
+
+    #[test]
+    fn spgemm_knobs_default_serial_auto_and_compose() {
+        let p = SearchParams::default();
+        assert_eq!(p.spgemm_threads, 1);
+        assert_eq!(p.spgemm, SpGemmKind::Auto);
+        let p = p.with_spgemm_threads(4).with_spgemm(SpGemmKind::Parallel);
+        assert_eq!(p.spgemm_threads, 4);
+        assert_eq!(p.spgemm, SpGemmKind::Parallel);
+        // 0 means "one worker per core" and must validate.
+        assert!(p.with_spgemm_threads(0).validate().is_ok());
     }
 }

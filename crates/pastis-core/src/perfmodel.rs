@@ -78,6 +78,10 @@ pub struct ScaleConfig {
     /// (1 = serial driver, 0 = one worker per modeled core); enters the
     /// align term through [`MachineModel::align_time_parallel`].
     pub align_threads: usize,
+    /// Intra-rank SpGEMM pool width replayed on every virtual rank
+    /// (1 = serial kernel, 0 = one worker per modeled core); enters the
+    /// sparse term through [`MachineModel::spgemm_time_parallel`].
+    pub spgemm_threads: usize,
 }
 
 /// How the replay converts per-rank work into seconds.
@@ -111,6 +115,7 @@ impl ScaleConfig {
             sample_pairs: 300,
             fidelity: TimeFidelity::Structural,
             align_threads: 1,
+            spgemm_threads: 1,
         }
     }
 }
@@ -485,7 +490,7 @@ fn simulate_inner(
                     )
                 }
             };
-            let compute = machine.spgemm_time(t_products, t_candidates)
+            let compute = machine.spgemm_time_parallel(t_products, t_candidates, cfg.spgemm_threads)
                     // Stripe handling: every block's SUMMA re-receives and
                     // re-traverses the input stripes (CSR walks, hash-table
                     // set-up). This split-computation overhead repeats per
@@ -903,6 +908,7 @@ mod tests {
             gcups_per_gpu: 1.0e-2, // 10M cells/s per node
             align_overhead_per_pair: 1.0e-7,
             align_pool_efficiency: 0.9,
+            spgemm_pool_efficiency: 0.8,
             simd_lane_speedup: 1.0,
             align_batch_overhead_s: 0.0,
             p2p_handling_s: 0.0,
@@ -924,6 +930,7 @@ mod tests {
             sample_pairs: 100,
             fidelity: TimeFidelity::Exact,
             align_threads: 1,
+            spgemm_threads: 1,
         }
     }
 
@@ -976,6 +983,29 @@ mod tests {
         let speedup = cfg.machine.align_speedup(4);
         assert!((pooled.align_s - serial.align_s / speedup).abs() < 1e-9 * serial.align_s);
         assert!((pooled.sparse_s - serial.sparse_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spgemm_threads_shrink_sparse_time_only() {
+        let store = dataset(60);
+        let p = params();
+        let serial = simulate(&store, &p, &test_config(4));
+        let mut cfg = test_config(4);
+        cfg.spgemm_threads = 4;
+        let pooled = simulate(&store, &p, &cfg);
+        // Counters are work, not time: invariant.
+        assert_eq!(pooled.candidates, serial.candidates);
+        assert_eq!(pooled.cells, serial.cells);
+        // Only the product term of the sparse phase divides by the pool
+        // speedup (merge + stripe handling stay serial), so sparse time
+        // must drop but by less than the full speedup; align is untouched.
+        assert!(pooled.sparse_s < serial.sparse_s, "sparse time must shrink");
+        let speedup = cfg.machine.spgemm_speedup(4);
+        assert!(
+            pooled.sparse_s > serial.sparse_s / speedup,
+            "merge/stripe terms must not parallelize"
+        );
+        assert!((pooled.align_s - serial.align_s).abs() < 1e-12);
     }
 
     #[test]

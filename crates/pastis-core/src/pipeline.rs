@@ -32,7 +32,7 @@ use pastis_align::parallel::AlignPool;
 use pastis_comm::grid::{BlockDist1D, ProcessGrid};
 use pastis_comm::{Communicator, Component, TimeBreakdown};
 use pastis_seqio::SeqStore;
-use pastis_sparse::{BlockedSumma, Triples};
+use pastis_sparse::{BlockedSumma, SpGemmPool, Triples};
 use pastis_trace::{span, Recorder};
 
 use crate::checkpoint::{self, Checkpoint};
@@ -305,13 +305,20 @@ pub fn run_search_traced<C: Communicator + Sync>(
 
     // --- 4. The incremental blocked search.
     let sr = OverlapSemiring;
+    // The intra-rank SpGEMM pool: each SUMMA stage's local multiplication
+    // picks a kernel (hash/heap/parallel) per `params.spgemm` and runs row
+    // chunks across `spgemm_threads` workers, stitched in row order — the
+    // overlap matrix is bit-identical for every kernel and worker count.
+    let spgemm_pool = SpGemmPool::new(params.spgemm_threads)
+        .with_kind(params.spgemm)
+        .with_recorder(recorder.clone());
     let compute_sparse = |task: BlockTask| -> CandidateBatch {
         let mut block_span = span!(recorder, Component::SpGemm, "summa.block", {
             r: task.r as u64,
             c: task.c as u64,
         });
         let t_mult = Instant::now();
-        let (cblock, gemm_stats) = bs.multiply_block(grid, &sr, task.r, task.c);
+        let (cblock, gemm_stats) = bs.multiply_block_with(grid, &sr, task.r, task.c, &spgemm_pool);
         let spgemm_seconds = t_mult.elapsed().as_secs_f64();
 
         let t_other = Instant::now();

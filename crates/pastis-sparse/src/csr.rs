@@ -113,6 +113,14 @@ impl<T> CsrMatrix<T> {
     pub fn rowptr(&self) -> &[usize] {
         &self.rowptr
     }
+
+    /// Decompose into `(nrows, ncols, rowptr, colind, vals)`, consuming the
+    /// matrix. The move-based counterpart of [`CsrMatrix::from_parts`]; lets
+    /// kernels such as [`crate::spops::spadd_into`] reuse the backing storage
+    /// without cloning values.
+    pub fn into_parts(self) -> (usize, usize, Vec<usize>, Vec<Index>, Vec<T>) {
+        (self.nrows, self.ncols, self.rowptr, self.colind, self.vals)
+    }
 }
 
 impl<T: Clone> CsrMatrix<T> {

@@ -9,6 +9,8 @@
 //! take the [`ProcessGrid`] explicitly, so the same matrix value can move
 //! between SPMD sections without lifetime entanglement.
 
+use std::sync::Arc;
+
 use pastis_comm::grid::{BlockDist1D, ProcessGrid};
 use pastis_comm::Communicator;
 
@@ -21,6 +23,10 @@ pub trait DistElem: Clone + Send + Sync + 'static {}
 impl<T: Clone + Send + Sync + 'static> DistElem for T {}
 
 /// A sparse matrix distributed over a 2D process grid.
+///
+/// The local block is held behind an [`Arc`] so collectives can broadcast
+/// it by reference count: the SUMMA root hands out `Arc` clones instead of
+/// deep-copying its resident block every stage.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DistSparseMatrix<T> {
     nrows: usize,
@@ -29,7 +35,7 @@ pub struct DistSparseMatrix<T> {
     col_dist: BlockDist1D,
     my_row: usize,
     my_col: usize,
-    local: CsrMatrix<T>,
+    local: Arc<CsrMatrix<T>>,
 }
 
 impl<T: DistElem> DistSparseMatrix<T> {
@@ -84,7 +90,7 @@ impl<T: DistElem> DistSparseMatrix<T> {
                 local_triples.push(r - row_off as Index, c - col_off as Index, v);
             }
         }
-        let local = CsrMatrix::from_triples_combining(local_triples, combine);
+        let local = Arc::new(CsrMatrix::from_triples_combining(local_triples, combine));
         DistSparseMatrix {
             nrows,
             ncols,
@@ -122,7 +128,7 @@ impl<T: DistElem> DistSparseMatrix<T> {
             col_dist,
             my_row,
             my_col,
-            local,
+            local: Arc::new(local),
         }
     }
 
@@ -139,6 +145,12 @@ impl<T: DistElem> DistSparseMatrix<T> {
     /// The local CSR block (local indices).
     pub fn local(&self) -> &CsrMatrix<T> {
         &self.local
+    }
+
+    /// A shared handle to the local block — what broadcast roots send so
+    /// the resident block is never deep-copied (receivers only read it).
+    pub fn local_arc(&self) -> Arc<CsrMatrix<T>> {
+        Arc::clone(&self.local)
     }
 
     /// Global row index of the local block's first row.
@@ -216,7 +228,7 @@ impl<T: DistElem> DistSparseMatrix<T> {
         let ro = self.row_offset() as Index;
         let co = self.col_offset() as Index;
         DistSparseMatrix {
-            local: self.local.prune(|i, j, v| keep(i + ro, j + co, v)),
+            local: Arc::new(self.local.prune(|i, j, v| keep(i + ro, j + co, v))),
             ..self.clone()
         }
     }

@@ -14,8 +14,11 @@
 //! * [`Semiring`] — user-defined multiply/combine pairs; the overlap
 //!   discovery "multiplication" of the paper is SpGEMM over a custom
 //!   semiring whose values carry k-mer seed positions.
-//! * [`spgemm_hash`] / [`spgemm_heap`] — Gustavson row-wise kernels with
-//!   hash and heap accumulators, both semiring-generic.
+//! * [`spgemm_hash`] / [`spgemm_heap`] / [`spgemm_parallel`] — Gustavson
+//!   row-wise kernels (hash and heap accumulators, plus the row-partitioned
+//!   multithreaded kernel), all semiring-generic and bit-identical to each
+//!   other; [`SpGemmPool`] selects between them per multiplication
+//!   ([`SpGemmKind`]).
 //! * [`spgemm_esc`] — the outer-product expand–sort–compress kernel over
 //!   DCSC operands for hypersparse blocks.
 //! * [`spmv_dense`] / [`spmv_sparse`] — semiring matrix–vector products
@@ -49,6 +52,7 @@ pub mod csr;
 pub mod dcsc;
 pub mod distmat;
 pub mod esc;
+pub mod parallel;
 pub mod semiring;
 pub mod spgemm;
 pub mod spmv;
@@ -60,10 +64,12 @@ pub use csr::CsrMatrix;
 pub use dcsc::{CscMatrix, DcscMatrix};
 pub use distmat::DistSparseMatrix;
 pub use esc::spgemm_esc;
+pub use parallel::{run_units, spgemm_parallel, spgemm_parallel_traced, SpGemmPool};
 pub use semiring::{BoolAndOr, MinPlus, PlusTimes, Semiring};
-pub use spgemm::{spgemm_dense_ref, spgemm_hash, spgemm_heap, SpGemmStats};
+pub use spgemm::{spgemm_dense_ref, spgemm_hash, spgemm_heap, SpGemmKind, SpGemmStats};
 pub use spmv::{spmv_dense, spmv_sparse};
-pub use summa::{summa, BlockedSumma};
+pub use spops::{spadd, spadd_into};
+pub use summa::{summa, summa_with, BlockedSumma};
 pub use triples::{Index, Triple, Triples};
 
 /// Approximate in-memory footprint in bytes of a CSR matrix with `nnz`

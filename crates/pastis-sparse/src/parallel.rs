@@ -1,0 +1,593 @@
+//! Intra-rank parallel SpGEMM — the sparse analog of the alignment side's
+//! `AlignPool` (PR 1), bringing the local kernels up to the multithreaded
+//! CombBLAS kernels the paper inherits (Nagasaka et al., ICPP'18).
+//!
+//! Two layers:
+//!
+//! * [`run_units`] — the deterministic chunk-claim primitive: `n_units`
+//!   independent work units are claimed from a shared atomic counter by
+//!   `t` scoped threads (the calling thread is worker 0, so a pool of `t`
+//!   occupies exactly `t` OS threads — important under pre-blocking, where
+//!   a concurrent sparse thread already owns the communicator), and the
+//!   results are re-assembled **in unit order**. Reused by the baselines'
+//!   candidate-discovery loops.
+//! * [`spgemm_parallel`] — Gustavson's algorithm row-partitioned into
+//!   fixed-size chunks executed through [`run_units`]. Every chunk runs
+//!   the *same* per-row hash-accumulator kernel as [`crate::spgemm_hash`]
+//!   (literally the same function), and chunks are stitched back in
+//!   ascending row order, so the output — values *and* combine order — is
+//!   bit-identical to the serial kernel for any thread count and any
+//!   semiring, including non-commutative ones.
+//!
+//! [`SpGemmPool`] wraps kernel selection ([`SpGemmKind`]) around them: the
+//! `auto` policy picks the parallel kernel when the pool has >1 worker and
+//! enough rows to amortize chunk claims, and otherwise chooses between the
+//! serial hash and heap kernels by merge fan-in. The average number of
+//! B-rows merged per output row is an upper bound on the compression
+//! factor (each sorted B row contributes a column at most once), so a low
+//! fan-in bound means a low compression factor — the regime where the
+//! heap's ordered merge beats hashing + sorting (Section V-B's
+//! compression-factor discussion).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use pastis_trace::{Component, Recorder, Track};
+
+use crate::csr::CsrMatrix;
+use crate::semiring::Semiring;
+use crate::spgemm::{
+    hash_row_into, spgemm_hash, spgemm_heap, HashAccumulator, SpGemmKind, SpGemmStats,
+};
+use crate::triples::Index;
+
+/// Rows claimed per unit of work: small enough for dynamic balance over
+/// ragged row costs, large enough to amortize the atomic claim.
+const ROWS_PER_CHUNK: usize = 16;
+
+/// `auto` only picks the parallel kernel when there are at least this many
+/// rows (several chunks per worker); below it, chunk-claim overhead
+/// dominates and a serial kernel wins.
+const PARALLEL_MIN_ROWS: usize = 4 * ROWS_PER_CHUNK;
+
+/// `auto` picks the heap kernel when the average merge fan-in (B-rows per
+/// nonempty A row) is at or below this; the fan-in bounds the compression
+/// factor from above, and a short k-way merge beats hash + sort.
+const HEAP_MAX_FANIN: f64 = 8.0;
+
+/// Deterministic chunk-claim parallel map: calls `work(worker, unit)`
+/// exactly once for each `unit < n_units`, from whichever of `threads`
+/// scoped workers claims the unit off a shared atomic counter, and returns
+/// the results **in unit order**. The calling thread doubles as worker 0;
+/// with one thread (or one unit) no threads are spawned at all.
+///
+/// Determinism contract: `work` must depend only on its `unit` argument —
+/// then the returned vector is identical for every thread count, and any
+/// order-sensitive stitching the caller does over it is too.
+pub fn run_units<R, F>(threads: usize, n_units: usize, work: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, usize) -> R + Sync,
+{
+    let workers = threads.max(1).min(n_units.max(1));
+    if workers <= 1 {
+        return (0..n_units).map(|u| work(0, u)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let worker = |w: usize| {
+        let mut out = Vec::new();
+        loop {
+            let u = next.fetch_add(1, Ordering::Relaxed);
+            if u >= n_units {
+                break;
+            }
+            out.push((u, work(w, u)));
+        }
+        out
+    };
+    std::thread::scope(|scope| {
+        let worker = &worker;
+        let handles: Vec<_> = (1..workers)
+            .map(|w| scope.spawn(move || worker(w)))
+            .collect();
+        let mut tagged = worker(0);
+        for h in handles {
+            tagged.extend(h.join().expect("spgemm worker panicked"));
+        }
+        tagged.sort_unstable_by_key(|&(u, _)| u);
+        tagged.into_iter().map(|(_, r)| r).collect()
+    })
+}
+
+/// Resolve a thread-count knob: `0` means one worker per available core.
+fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// Row-partitioned parallel SpGEMM: `C = A ⊗ B` under semiring `sr`,
+/// computed by `threads` workers (`0` = one per core) claiming
+/// fixed-size row chunks and stitched in ascending row order.
+///
+/// Bit-identical to [`spgemm_hash`] — same values, same combine order —
+/// for any thread count and any semiring, because each row runs the same
+/// per-row kernel and the stitch preserves row order. Stats are summed
+/// over chunks, matching the serial counters exactly.
+///
+/// # Panics
+///
+/// Panics if `a.ncols() != b.nrows()`.
+pub fn spgemm_parallel<S>(
+    sr: &S,
+    a: &CsrMatrix<S::A>,
+    b: &CsrMatrix<S::B>,
+    threads: usize,
+) -> (CsrMatrix<S::C>, SpGemmStats)
+where
+    S: Semiring + Sync,
+    S::A: Sync,
+    S::B: Sync,
+    S::C: Send,
+{
+    spgemm_parallel_traced(sr, a, b, threads, &Recorder::disabled())
+}
+
+/// [`spgemm_parallel`] with telemetry: each claimed chunk emits a
+/// `spgemm.row_chunk` span on its worker's [`Track::SpGemmWorker`]
+/// sub-track (kept off the main rank track so phase totals never
+/// double-count pool work). Observation-only — results are unchanged.
+pub fn spgemm_parallel_traced<S>(
+    sr: &S,
+    a: &CsrMatrix<S::A>,
+    b: &CsrMatrix<S::B>,
+    threads: usize,
+    rec: &Recorder,
+) -> (CsrMatrix<S::C>, SpGemmStats)
+where
+    S: Semiring + Sync,
+    S::A: Sync,
+    S::B: Sync,
+    S::C: Send,
+{
+    assert_eq!(
+        a.ncols(),
+        b.nrows(),
+        "SpGEMM dimension mismatch: {}x{} · {}x{}",
+        a.nrows(),
+        a.ncols(),
+        b.nrows(),
+        b.ncols()
+    );
+    let threads = resolve_threads(threads);
+    let n_units = a.nrows().div_ceil(ROWS_PER_CHUNK);
+    // One chunk's output: per-row lengths plus the concatenated row data.
+    type Chunk<C> = (Vec<usize>, Vec<Index>, Vec<C>, SpGemmStats);
+    let chunks: Vec<Chunk<S::C>> = run_units(threads, n_units, |w, u| {
+        let start = u * ROWS_PER_CHUNK;
+        let end = ((u + 1) * ROWS_PER_CHUNK).min(a.nrows());
+        let mut span = rec.is_enabled().then(|| {
+            rec.span(Component::SpGemm, "spgemm.row_chunk")
+                .on_track(Track::SpGemmWorker(w as u32))
+                .arg("rows", (end - start) as u64)
+        });
+        let mut acc = HashAccumulator::<S::C>::with_capacity(16);
+        let mut lens = Vec::with_capacity(end - start);
+        let mut colind: Vec<Index> = Vec::new();
+        let mut vals: Vec<S::C> = Vec::new();
+        let mut stats = SpGemmStats::default();
+        for i in start..end {
+            let before = colind.len();
+            hash_row_into(sr, a, b, i, &mut acc, &mut colind, &mut vals, &mut stats);
+            lens.push(colind.len() - before);
+        }
+        if let Some(sp) = span.as_mut() {
+            sp.push_arg("nnz", colind.len() as u64);
+            sp.push_arg("products", stats.products);
+        }
+        (lens, colind, vals, stats)
+    });
+    // Stitch in ascending unit (= row) order.
+    let total: usize = chunks.iter().map(|c| c.1.len()).sum();
+    let mut rowptr = Vec::with_capacity(a.nrows() + 1);
+    rowptr.push(0usize);
+    let mut colind: Vec<Index> = Vec::with_capacity(total);
+    let mut vals: Vec<S::C> = Vec::with_capacity(total);
+    let mut stats = SpGemmStats::default();
+    let mut end = 0usize;
+    for (lens, ccols, cvals, cstats) in chunks {
+        for l in lens {
+            end += l;
+            rowptr.push(end);
+        }
+        colind.extend(ccols);
+        vals.extend(cvals);
+        stats.merge(cstats);
+    }
+    (
+        CsrMatrix::from_parts(a.nrows(), b.ncols(), rowptr, colind, vals),
+        stats,
+    )
+}
+
+/// Kernel-selection wrapper around the local SpGEMM kernels: holds the
+/// worker count, the [`SpGemmKind`] policy, and an optional telemetry
+/// recorder, and dispatches each multiplication to the chosen kernel.
+///
+/// Every kernel choice produces bit-identical output (the equivalence
+/// tests below and the proptest sweep pin values *and* combine order), so
+/// the policy only ever changes wall time — the same contract as the
+/// alignment side's `AlignPool`.
+#[derive(Debug, Clone)]
+pub struct SpGemmPool {
+    threads: usize,
+    kind: SpGemmKind,
+    recorder: Recorder,
+}
+
+impl SpGemmPool {
+    /// A pool of `threads` workers (`0` = one per available core) with the
+    /// `auto` selection policy and telemetry off.
+    pub fn new(threads: usize) -> SpGemmPool {
+        SpGemmPool {
+            threads: resolve_threads(threads),
+            kind: SpGemmKind::Auto,
+            recorder: Recorder::disabled(),
+        }
+    }
+
+    /// The exact legacy configuration: one worker, always the serial hash
+    /// kernel. `summa` without an explicit pool runs this.
+    pub fn serial() -> SpGemmPool {
+        SpGemmPool::new(1).with_kind(SpGemmKind::Hash)
+    }
+
+    /// Set the kernel-selection policy.
+    pub fn with_kind(mut self, kind: SpGemmKind) -> SpGemmPool {
+        self.kind = kind;
+        self
+    }
+
+    /// Attach a telemetry recorder: each multiplication then bumps a
+    /// `spgemm.kernel.<name>` counter for the kernel it ran, and the
+    /// parallel kernel emits per-chunk `spgemm.row_chunk` spans on
+    /// [`Track::SpGemmWorker`] sub-tracks. Observation-only.
+    pub fn with_recorder(mut self, recorder: Recorder) -> SpGemmPool {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Resolved worker count (never 0).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The configured selection policy.
+    pub fn kind(&self) -> SpGemmKind {
+        self.kind
+    }
+
+    /// The concrete kernel `multiply` would run for these operands —
+    /// `auto` resolved against the pool's worker count and the operands'
+    /// shape/fan-in; never returns [`SpGemmKind::Auto`].
+    pub fn select<A, B>(&self, a: &CsrMatrix<A>, b: &CsrMatrix<B>) -> SpGemmKind {
+        match self.kind {
+            SpGemmKind::Auto => {
+                if self.threads > 1 && a.nrows() >= PARALLEL_MIN_ROWS {
+                    return SpGemmKind::Parallel;
+                }
+                let rows = a.nonempty_rows();
+                if rows == 0 || b.nnz() == 0 {
+                    // Trivially empty output; the hash kernel's row loop
+                    // is the cheapest way to produce it.
+                    return SpGemmKind::Hash;
+                }
+                // Average B-rows merged per nonempty output row. This
+                // upper-bounds the compression factor (a sorted B row
+                // contributes each column at most once), so low fan-in ⇒
+                // low compression ⇒ the heap's short ordered merge wins.
+                let fanin = a.nnz() as f64 / rows as f64;
+                if fanin <= HEAP_MAX_FANIN {
+                    SpGemmKind::Heap
+                } else {
+                    SpGemmKind::Hash
+                }
+            }
+            k => k,
+        }
+    }
+
+    /// Multiply under the configured policy: `C = A ⊗ B`, bit-identical
+    /// for every policy and worker count.
+    pub fn multiply<S>(
+        &self,
+        sr: &S,
+        a: &CsrMatrix<S::A>,
+        b: &CsrMatrix<S::B>,
+    ) -> (CsrMatrix<S::C>, SpGemmStats)
+    where
+        S: Semiring + Sync,
+        S::A: Sync,
+        S::B: Sync,
+        S::C: Send,
+    {
+        let kind = self.select(a, b);
+        self.recorder.add_counter(kind.counter_name(), 1.0);
+        match kind {
+            SpGemmKind::Hash => spgemm_hash(sr, a, b),
+            SpGemmKind::Heap => spgemm_heap(sr, a, b),
+            SpGemmKind::Parallel => spgemm_parallel_traced(sr, a, b, self.threads, &self.recorder),
+            SpGemmKind::Auto => unreachable!("select() never returns Auto"),
+        }
+    }
+}
+
+impl Default for SpGemmPool {
+    /// Equivalent to [`SpGemmPool::serial`].
+    fn default() -> SpGemmPool {
+        SpGemmPool::serial()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::PlusTimes;
+    use crate::triples::Triples;
+    use pastis_trace::TraceSession;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(nrows: usize, ncols: usize, density: f64, seed: u64) -> CsrMatrix<u32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = Triples::new(nrows, ncols);
+        for i in 0..nrows as Index {
+            for j in 0..ncols as Index {
+                if rng.gen_bool(density) {
+                    t.push(i, j, rng.gen_range(1u32..100));
+                }
+            }
+        }
+        CsrMatrix::from_triples(t)
+    }
+
+    #[test]
+    fn run_units_preserves_unit_order() {
+        for threads in [1usize, 2, 3, 8] {
+            let out = run_units(threads, 100, |_, u| u * u);
+            assert_eq!(
+                out,
+                (0..100).map(|u| u * u).collect::<Vec<_>>(),
+                "t={threads}"
+            );
+        }
+        let empty: Vec<usize> = run_units(4, 0, |_, u| u);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn parallel_matches_hash_across_thread_counts() {
+        let a = random_matrix(97, 64, 0.12, 1);
+        let b = random_matrix(64, 83, 0.15, 2);
+        let sr = PlusTimes::<u32>::new();
+        let (want, want_stats) = spgemm_hash(&sr, &a, &b);
+        for t in [1usize, 2, 3, 8] {
+            let (got, stats) = spgemm_parallel(&sr, &a, &b, t);
+            assert_eq!(got, want, "t={t}");
+            assert_eq!(stats, want_stats, "t={t}");
+        }
+    }
+
+    #[test]
+    fn parallel_handles_empty_and_tiny() {
+        let sr = PlusTimes::<u32>::new();
+        let a: CsrMatrix<u32> = CsrMatrix::empty(0, 5);
+        let b: CsrMatrix<u32> = CsrMatrix::empty(5, 3);
+        let (c, stats) = spgemm_parallel(&sr, &a, &b, 4);
+        assert_eq!((c.nrows(), c.ncols(), c.nnz()), (0, 3, 0));
+        assert_eq!(stats.products, 0);
+        let a1 = random_matrix(1, 4, 0.9, 3);
+        let b1 = random_matrix(4, 4, 0.9, 4);
+        let (got, _) = spgemm_parallel(&sr, &a1, &b1, 8);
+        assert_eq!(got, spgemm_hash(&sr, &a1, &b1).0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn parallel_dimension_mismatch_panics() {
+        let a: CsrMatrix<u32> = CsrMatrix::empty(2, 3);
+        let b: CsrMatrix<u32> = CsrMatrix::empty(2, 2);
+        let _ = spgemm_parallel(&PlusTimes::new(), &a, &b, 2);
+    }
+
+    /// Order-sensitive semiring: combine concatenates, exposing any
+    /// difference in accumulation order between kernels or thread counts.
+    struct Concat;
+    impl Semiring for Concat {
+        type A = u32;
+        type B = u32;
+        type C = Vec<u32>;
+        fn multiply(&self, a: &u32, b: &u32) -> Vec<u32> {
+            vec![a * 100 + b]
+        }
+        fn combine(&self, acc: &mut Vec<u32>, mut incoming: Vec<u32>) {
+            acc.append(&mut incoming);
+        }
+    }
+
+    #[test]
+    fn parallel_preserves_combine_order_for_noncommutative_semiring() {
+        // Wide enough to span several row chunks; values and the per-entry
+        // combine order must match the serial kernels exactly.
+        let a = random_matrix(80, 40, 0.2, 5);
+        let b = random_matrix(40, 50, 0.25, 6);
+        let (want, _) = spgemm_hash(&Concat, &a, &b);
+        let (heap, _) = spgemm_heap(&Concat, &a, &b);
+        assert_eq!(want, heap);
+        for t in [1usize, 2, 3, 8] {
+            let (got, _) = spgemm_parallel(&Concat, &a, &b, t);
+            assert_eq!(got, want, "t={t}");
+        }
+    }
+
+    #[test]
+    fn parallel_survives_forced_accumulator_growth() {
+        // Dense rows force repeated HashAccumulator growth inside chunks.
+        let a = random_matrix(40, 8, 0.9, 7);
+        let b = random_matrix(8, 600, 0.95, 8);
+        let sr = PlusTimes::<u32>::new();
+        let (want, want_stats) = spgemm_hash(&sr, &a, &b);
+        assert!(want.row(0).0.len() > 500, "growth case not dense enough");
+        for t in [1usize, 3, 8] {
+            let (got, stats) = spgemm_parallel(&sr, &a, &b, t);
+            assert_eq!(got, want, "t={t}");
+            assert_eq!(stats, want_stats, "t={t}");
+        }
+    }
+
+    #[test]
+    fn pool_zero_threads_means_auto() {
+        assert!(SpGemmPool::new(0).threads() >= 1);
+        assert_eq!(SpGemmPool::new(3).threads(), 3);
+        assert_eq!(SpGemmPool::serial().threads(), 1);
+        assert_eq!(SpGemmPool::serial().kind(), SpGemmKind::Hash);
+        assert_eq!(SpGemmPool::default().kind(), SpGemmKind::Hash);
+    }
+
+    #[test]
+    fn auto_selection_policy() {
+        // Big operand + multi-worker pool → parallel.
+        let big = random_matrix(200, 64, 0.2, 9);
+        let b = random_matrix(64, 64, 0.2, 10);
+        let pool = SpGemmPool::new(4);
+        assert_eq!(pool.select(&big, &b), SpGemmKind::Parallel);
+        // One worker → serial kernel chosen by fan-in: ~13 nnz/row → hash.
+        let serial_auto = SpGemmPool::new(1);
+        assert_eq!(serial_auto.select(&big, &b), SpGemmKind::Hash);
+        // Low fan-in (≤ HEAP_MAX_FANIN B-rows per output row) → heap.
+        let thin = random_matrix(200, 64, 0.05, 11);
+        assert!((thin.nnz() as f64 / thin.nonempty_rows() as f64) <= HEAP_MAX_FANIN);
+        assert_eq!(serial_auto.select(&thin, &b), SpGemmKind::Heap);
+        // Small operands never pick parallel even with workers available.
+        let tiny = random_matrix(8, 8, 0.5, 12);
+        assert_ne!(pool.select(&tiny, &tiny), SpGemmKind::Parallel);
+        // Forced kinds pass through untouched.
+        for k in [SpGemmKind::Hash, SpGemmKind::Heap, SpGemmKind::Parallel] {
+            assert_eq!(pool.clone().with_kind(k).select(&big, &b), k);
+        }
+    }
+
+    #[test]
+    fn pool_multiply_is_kernel_invariant() {
+        let a = random_matrix(120, 48, 0.15, 13);
+        let b = random_matrix(48, 70, 0.2, 14);
+        let sr = PlusTimes::<u32>::new();
+        let (want, want_stats) = spgemm_hash(&sr, &a, &b);
+        for kind in [
+            SpGemmKind::Auto,
+            SpGemmKind::Hash,
+            SpGemmKind::Heap,
+            SpGemmKind::Parallel,
+        ] {
+            for t in [1usize, 4] {
+                let pool = SpGemmPool::new(t).with_kind(kind);
+                let (got, stats) = pool.multiply(&sr, &a, &b);
+                assert_eq!(got, want, "kind={kind} t={t}");
+                assert_eq!(stats, want_stats, "kind={kind} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn traced_pool_emits_chunk_spans_and_kernel_counters() {
+        let a = random_matrix(100, 32, 0.2, 15);
+        let b = random_matrix(32, 40, 0.2, 16);
+        let sr = PlusTimes::<u32>::new();
+        let session = TraceSession::new();
+        let rec = session.recorder(0);
+        let pool = SpGemmPool::new(2)
+            .with_kind(SpGemmKind::Parallel)
+            .with_recorder(rec.clone());
+        let (got, _) = pool.multiply(&sr, &a, &b);
+        assert_eq!(got, spgemm_hash(&sr, &a, &b).0);
+
+        let spans = rec.snapshot_spans();
+        // 100 rows / 16 per chunk = 7 chunk spans, all on worker tracks.
+        assert_eq!(spans.len(), 7);
+        let mut rows_total = 0u64;
+        for s in &spans {
+            assert_eq!(s.name, "spgemm.row_chunk");
+            assert!(matches!(s.track, Track::SpGemmWorker(_)), "{:?}", s.track);
+            rows_total += s.args.iter().find(|(n, _)| *n == "rows").unwrap().1;
+        }
+        assert_eq!(rows_total, 100);
+        assert_eq!(rec.counters().get("spgemm.kernel.parallel"), Some(&1.0));
+
+        // The serial kernels bump their own counters and emit no spans.
+        let rec2 = session.recorder(1);
+        let _ = SpGemmPool::serial()
+            .with_recorder(rec2.clone())
+            .multiply(&sr, &a, &b);
+        let _ = SpGemmPool::new(1)
+            .with_kind(SpGemmKind::Heap)
+            .with_recorder(rec2.clone())
+            .multiply(&sr, &a, &b);
+        assert!(rec2.snapshot_spans().is_empty());
+        assert_eq!(rec2.counters().get("spgemm.kernel.hash"), Some(&1.0));
+        assert_eq!(rec2.counters().get("spgemm.kernel.heap"), Some(&1.0));
+    }
+
+    #[test]
+    fn kind_parse_roundtrip() {
+        for (s, k) in [
+            ("auto", SpGemmKind::Auto),
+            ("hash", SpGemmKind::Hash),
+            ("heap", SpGemmKind::Heap),
+            ("parallel", SpGemmKind::Parallel),
+        ] {
+            assert_eq!(SpGemmKind::parse(s), Ok(k));
+            assert_eq!(k.to_string(), s);
+        }
+        assert!(SpGemmKind::parse("gpu").is_err());
+        assert_eq!(SpGemmKind::default(), SpGemmKind::Auto);
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// The tentpole contract: all three kernels agree — values and
+        /// combine order — for every thread count, on both a commutative
+        /// and an order-revealing non-commutative semiring.
+        #[test]
+        fn kernels_agree_for_every_thread_count(
+            seed in 0u64..1_000_000,
+            nrows in 1usize..90,
+            inner in 1usize..40,
+            ncols in 1usize..60,
+            density in 0.02f64..0.4,
+        ) {
+            let a = random_matrix(nrows, inner, density, seed);
+            let b = random_matrix(inner, ncols, density, seed ^ 0x9e37_79b9);
+            let sr = PlusTimes::<u32>::new();
+            let (want, want_stats) = spgemm_hash(&sr, &a, &b);
+            let (heap, heap_stats) = spgemm_heap(&sr, &a, &b);
+            prop_assert_eq!(&heap, &want);
+            prop_assert_eq!(heap_stats, want_stats);
+            let (cat_want, _) = spgemm_hash(&Concat, &a, &b);
+            let (cat_heap, _) = spgemm_heap(&Concat, &a, &b);
+            prop_assert_eq!(&cat_heap, &cat_want);
+            for t in [1usize, 2, 3, 8] {
+                let (got, stats) = spgemm_parallel(&sr, &a, &b, t);
+                prop_assert_eq!(&got, &want);
+                prop_assert_eq!(stats, want_stats);
+                let (cat_got, _) = spgemm_parallel(&Concat, &a, &b, t);
+                prop_assert_eq!(&cat_got, &cat_want);
+            }
+        }
+    }
+}

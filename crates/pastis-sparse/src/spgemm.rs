@@ -52,11 +52,74 @@ impl SpGemmStats {
     }
 }
 
+/// Which local kernel multiplies a SUMMA stage's blocks (`--spgemm`).
+///
+/// Every choice yields bit-identical output — the kernels share one
+/// combine-order contract (ascending inner index `k` per output
+/// coordinate) — so the policy only ever changes wall time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpGemmKind {
+    /// Heuristic choice per multiplication (see
+    /// [`crate::parallel::SpGemmPool`]): the parallel kernel when the pool
+    /// has more than one worker and enough rows to amortize chunk claims;
+    /// otherwise heap for low merge fan-in, hash for high.
+    #[default]
+    Auto,
+    /// Always the serial hash-accumulator kernel ([`spgemm_hash`]).
+    Hash,
+    /// Always the serial heap (k-way merge) kernel ([`spgemm_heap`]).
+    Heap,
+    /// Always the row-partitioned parallel kernel
+    /// ([`crate::spgemm_parallel`]).
+    Parallel,
+}
+
+impl SpGemmKind {
+    /// Parse a `--spgemm` value: `auto`, `hash`, `heap`, `parallel`.
+    pub fn parse(s: &str) -> Result<SpGemmKind, String> {
+        match s {
+            "auto" => Ok(SpGemmKind::Auto),
+            "hash" => Ok(SpGemmKind::Hash),
+            "heap" => Ok(SpGemmKind::Heap),
+            "parallel" => Ok(SpGemmKind::Parallel),
+            other => Err(format!(
+                "unknown SpGEMM kernel '{other}' (expected auto|hash|heap|parallel)"
+            )),
+        }
+    }
+
+    /// Telemetry counter bumped when this concrete kernel runs.
+    pub(crate) fn counter_name(self) -> &'static str {
+        match self {
+            SpGemmKind::Auto => "spgemm.kernel.auto",
+            SpGemmKind::Hash => "spgemm.kernel.hash",
+            SpGemmKind::Heap => "spgemm.kernel.heap",
+            SpGemmKind::Parallel => "spgemm.kernel.parallel",
+        }
+    }
+
+    /// The flag spelling this kind parses from.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpGemmKind::Auto => "auto",
+            SpGemmKind::Hash => "hash",
+            SpGemmKind::Heap => "heap",
+            SpGemmKind::Parallel => "parallel",
+        }
+    }
+}
+
+impl std::fmt::Display for SpGemmKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 const EMPTY: Index = Index::MAX;
 
 /// Reusable open-addressing (linear probing) accumulator keyed by column
 /// index. Collects one output row, then drains it sorted.
-struct HashAccumulator<C> {
+pub(crate) struct HashAccumulator<C> {
     keys: Vec<Index>,
     vals: Vec<Option<C>>,
     occupied: Vec<u32>,
@@ -64,7 +127,7 @@ struct HashAccumulator<C> {
 }
 
 impl<C> HashAccumulator<C> {
-    fn with_capacity(expected: usize) -> Self {
+    pub(crate) fn with_capacity(expected: usize) -> Self {
         let cap = (expected.max(4) * 2).next_power_of_two();
         HashAccumulator {
             keys: vec![EMPTY; cap],
@@ -187,22 +250,44 @@ pub fn spgemm_hash<S: Semiring>(
     let mut vals: Vec<S::C> = Vec::new();
     let mut acc = HashAccumulator::<S::C>::with_capacity(16);
     for i in 0..a.nrows() {
-        let (acols, avals) = a.row(i);
-        for (&k, av) in acols.iter().zip(avals) {
-            let (bcols, bvals) = b.row(k as usize);
-            stats.products += bcols.len() as u64;
-            for (&j, bv) in bcols.iter().zip(bvals) {
-                acc.upsert(sr, j, sr.multiply(av, bv));
-            }
-        }
-        stats.merged_nnz += acc.len() as u64;
-        acc.drain_sorted(&mut colind, &mut vals);
+        hash_row_into(sr, a, b, i, &mut acc, &mut colind, &mut vals, &mut stats);
         rowptr.push(colind.len());
     }
     (
         CsrMatrix::from_parts(a.nrows(), b.ncols(), rowptr, colind, vals),
         stats,
     )
+}
+
+/// Compute output row `i` of `A ⊗ B` with the hash-accumulator row kernel,
+/// appending the sorted row to `colind`/`vals` and updating `stats`.
+///
+/// Both [`spgemm_hash`] and the row-partitioned parallel kernel
+/// ([`crate::spgemm_parallel`]) run this exact code path per row, so their
+/// per-row arithmetic — including the combine order non-commutative
+/// semirings observe — is identical by construction.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn hash_row_into<S: Semiring>(
+    sr: &S,
+    a: &CsrMatrix<S::A>,
+    b: &CsrMatrix<S::B>,
+    i: usize,
+    acc: &mut HashAccumulator<S::C>,
+    colind: &mut Vec<Index>,
+    vals: &mut Vec<S::C>,
+    stats: &mut SpGemmStats,
+) {
+    let (acols, avals) = a.row(i);
+    for (&k, av) in acols.iter().zip(avals) {
+        let (bcols, bvals) = b.row(k as usize);
+        stats.products += bcols.len() as u64;
+        for (&j, bv) in bcols.iter().zip(bvals) {
+            acc.upsert(sr, j, sr.multiply(av, bv));
+        }
+    }
+    stats.merged_nnz += acc.len() as u64;
+    acc.drain_sorted(colind, vals);
 }
 
 /// Heap-based (k-way merge) SpGEMM: `C = A ⊗ B` under semiring `sr`.

@@ -57,6 +57,74 @@ pub fn spadd<T: Clone>(
     CsrMatrix::from_parts(a.nrows(), a.ncols(), rowptr, colind, vals)
 }
 
+/// Consuming union merge of two same-shaped matrices: the move-based
+/// counterpart of [`spadd`], with the same `combine(acc_from_a, b_value)`
+/// orientation. Values are *moved* out of both operands (no `Clone` bound),
+/// so a SUMMA stage accumulation `c = spadd_into(c, partial, …)` costs
+/// O(nnz(c) + nnz(partial)) moves instead of rebuilding + cloning the full
+/// accumulated block every stage.
+pub fn spadd_into<T>(
+    a: CsrMatrix<T>,
+    b: CsrMatrix<T>,
+    mut combine: impl FnMut(&mut T, T),
+) -> CsrMatrix<T> {
+    assert_eq!(
+        (a.nrows(), a.ncols()),
+        (b.nrows(), b.ncols()),
+        "SpAdd shape mismatch"
+    );
+    // Structural no-ops move the non-empty side straight through — the
+    // first SUMMA stage accumulates into an empty block for free.
+    if b.nnz() == 0 {
+        return a;
+    }
+    if a.nnz() == 0 {
+        return b;
+    }
+    let (nrows, ncols, arp, acols, avals) = a.into_parts();
+    let (_, _, brp, bcols, bvals) = b.into_parts();
+    let mut rowptr = Vec::with_capacity(nrows + 1);
+    rowptr.push(0usize);
+    let mut colind: Vec<Index> = Vec::with_capacity(acols.len() + bcols.len());
+    let mut vals: Vec<T> = Vec::with_capacity(avals.len() + bvals.len());
+    // The union merge consumes each operand's values in strictly increasing
+    // storage order, so two monotone iterators move them without cloning.
+    let mut aiter = avals.into_iter();
+    let mut biter = bvals.into_iter();
+    for i in 0..nrows {
+        let ac = &acols[arp[i]..arp[i + 1]];
+        let bc = &bcols[brp[i]..brp[i + 1]];
+        let (mut x, mut y) = (0usize, 0usize);
+        while x < ac.len() || y < bc.len() {
+            let take_a = y >= bc.len() || (x < ac.len() && ac[x] <= bc[y]);
+            let take_b = x >= ac.len() || (y < bc.len() && bc[y] <= ac[x]);
+            match (take_a, take_b) {
+                (true, true) => {
+                    let mut v = aiter.next().expect("a-values exhausted");
+                    combine(&mut v, biter.next().expect("b-values exhausted"));
+                    colind.push(ac[x]);
+                    vals.push(v);
+                    x += 1;
+                    y += 1;
+                }
+                (true, false) => {
+                    colind.push(ac[x]);
+                    vals.push(aiter.next().expect("a-values exhausted"));
+                    x += 1;
+                }
+                (false, true) => {
+                    colind.push(bc[y]);
+                    vals.push(biter.next().expect("b-values exhausted"));
+                    y += 1;
+                }
+                (false, false) => unreachable!(),
+            }
+        }
+        rowptr.push(colind.len());
+    }
+    CsrMatrix::from_parts(nrows, ncols, rowptr, colind, vals)
+}
+
 /// Strictly upper-triangular part (`j > i`), the candidate set the
 /// triangularity-based load balancer keeps (Section VI-B).
 pub fn triu_strict<T: Clone>(m: &CsrMatrix<T>) -> CsrMatrix<T> {
@@ -156,6 +224,59 @@ mod tests {
         let a: CsrMatrix<u8> = CsrMatrix::empty(2, 2);
         let b: CsrMatrix<u8> = CsrMatrix::empty(2, 3);
         let _ = spadd(&a, &b, |_, _| ());
+    }
+
+    #[test]
+    fn spadd_into_matches_spadd() {
+        let a = CsrMatrix::from_triples(Triples::from_entries(
+            3,
+            4,
+            vec![(0, 0, 1u32), (0, 2, 2), (1, 1, 3), (2, 3, 4)],
+        ));
+        let b = CsrMatrix::from_triples(Triples::from_entries(
+            3,
+            4,
+            vec![(0, 2, 10u32), (1, 0, 20), (2, 3, 30)],
+        ));
+        let by_ref = spadd(&a, &b, |x, y| *x += y);
+        let by_move = spadd_into(a, b, |x, y| *x += y);
+        assert_eq!(by_ref, by_move);
+    }
+
+    #[test]
+    fn spadd_into_preserves_combine_orientation() {
+        // combine(acc_from_a, b_value): order-revealing Vec payloads.
+        let a = CsrMatrix::from_triples(Triples::from_entries(1, 1, vec![(0, 0, vec![1u32])]));
+        let b = CsrMatrix::from_triples(Triples::from_entries(1, 1, vec![(0, 0, vec![2u32])]));
+        let c = spadd_into(a, b, |x, y| x.extend(y));
+        assert_eq!(c.get(0, 0), Some(&vec![1, 2]));
+    }
+
+    #[test]
+    fn spadd_into_requires_no_clone() {
+        // A value type with no Clone impl: proves the merge moves values.
+        #[derive(Debug, PartialEq)]
+        struct NoClone(u32);
+        let a = CsrMatrix::from_parts(2, 2, vec![0, 1, 1], vec![0], vec![NoClone(1)]);
+        let b = CsrMatrix::from_parts(
+            2,
+            2,
+            vec![0, 1, 2],
+            vec![0, 1],
+            vec![NoClone(2), NoClone(3)],
+        );
+        let c = spadd_into(a, b, |x, y| x.0 += y.0);
+        assert_eq!(c.get(0, 0), Some(&NoClone(3)));
+        assert_eq!(c.get(1, 1), Some(&NoClone(3)));
+        assert_eq!(c.nnz(), 2);
+    }
+
+    #[test]
+    fn spadd_into_empty_fast_paths_move_through() {
+        let a = CsrMatrix::from_triples(Triples::from_entries(2, 2, vec![(1, 1, 5u8)]));
+        let e: CsrMatrix<u8> = CsrMatrix::empty(2, 2);
+        assert_eq!(spadd_into(a.clone(), e.clone(), |_, _| unreachable!()), a);
+        assert_eq!(spadd_into(e, a.clone(), |_, _| unreachable!()), a);
     }
 
     #[test]

@@ -21,24 +21,29 @@
 //! associative semiring — the determinism property PASTIS advertises
 //! against DIAMOND/MMseqs2.
 
+use std::sync::Arc;
+
 use pastis_comm::grid::{BlockDist1D, ProcessGrid};
 use pastis_comm::Communicator;
 
 use crate::csr::CsrMatrix;
 use crate::distmat::{DistElem, DistSparseMatrix};
+use crate::parallel::SpGemmPool;
 use crate::semiring::Semiring;
-use crate::spgemm::{spgemm_hash, SpGemmStats};
-use crate::spops::spadd;
+use crate::spgemm::SpGemmStats;
+use crate::spops::spadd_into;
 use crate::triples::Triples;
 
-/// Distributed SpGEMM `C = A ⊗ B` via 2D Sparse SUMMA.
+/// Distributed SpGEMM `C = A ⊗ B` via 2D Sparse SUMMA, with the default
+/// serial local kernel ([`SpGemmPool::serial`]). See [`summa_with`] to
+/// select the local kernel / worker count.
 ///
 /// Collective over `grid`; returns this rank's block of `C` wrapped as a
 /// distributed matrix, plus this rank's local work counters.
 ///
 /// # Panics
 ///
-/// Panics if the inner dimensions disagree.
+/// Panics if the inner dimensions disagree or the grid is not square.
 pub fn summa<S, C>(
     grid: &ProcessGrid<C>,
     sr: &S,
@@ -46,7 +51,34 @@ pub fn summa<S, C>(
     b: &DistSparseMatrix<S::B>,
 ) -> (DistSparseMatrix<S::C>, SpGemmStats)
 where
-    S: Semiring,
+    S: Semiring + Sync,
+    S::A: DistElem,
+    S::B: DistElem,
+    S::C: DistElem,
+    C: Communicator,
+{
+    summa_with(grid, sr, a, b, &SpGemmPool::serial())
+}
+
+/// [`summa`] with an explicit local-kernel pool: each stage's block
+/// multiplication runs through `pool` (kernel selection + intra-rank
+/// worker threads). Output is bit-identical to [`summa`] for every pool
+/// configuration — the kernels share one combine-order contract.
+///
+/// Stage mechanics: the roots broadcast their resident blocks as [`Arc`]
+/// handles (no deep copy of the block on the root), and stage partials are
+/// folded with a move-based union merge ([`spadd_into`]) so accumulation
+/// is O(total nnz) rather than rebuilding + cloning the accumulated block
+/// every stage.
+pub fn summa_with<S, C>(
+    grid: &ProcessGrid<C>,
+    sr: &S,
+    a: &DistSparseMatrix<S::A>,
+    b: &DistSparseMatrix<S::B>,
+    pool: &SpGemmPool,
+) -> (DistSparseMatrix<S::C>, SpGemmStats)
+where
+    S: Semiring + Sync,
     S::A: DistElem,
     S::B: DistElem,
     S::C: DistElem,
@@ -63,7 +95,11 @@ where
     );
     let shape = grid.shape();
     let q = shape.rows;
-    debug_assert_eq!(shape.rows, shape.cols, "SUMMA requires a square grid");
+    assert_eq!(
+        shape.rows, shape.cols,
+        "SUMMA requires a square process grid, got {}x{}",
+        shape.rows, shape.cols
+    );
 
     let my_row = grid.my_row();
     let my_col = grid.my_col();
@@ -76,30 +112,29 @@ where
 
     for k in 0..q {
         // Broadcast A's stage block along grid rows (root: grid column k).
+        // The root sends its resident block as an Arc handle — a pointer
+        // clone, not a deep copy; receivers only read the block.
         let (a_send, a_bytes) = if my_col == k {
-            let m = a.local().clone();
-            let b = m.payload_bytes();
-            (m, b)
+            (a.local_arc(), a.local().payload_bytes())
         } else {
-            (CsrMatrix::empty(c_rows, inner.part_len(k)), 0)
+            (Arc::new(CsrMatrix::empty(c_rows, inner.part_len(k))), 0)
         };
         let a_recv = grid.row_comm().broadcast(k, a_send, a_bytes);
 
         // Broadcast B's stage block along grid columns (root: grid row k).
         let (b_send, b_bytes) = if my_row == k {
-            let m = b.local().clone();
-            let bb = m.payload_bytes();
-            (m, bb)
+            (b.local_arc(), b.local().payload_bytes())
         } else {
-            (CsrMatrix::empty(inner.part_len(k), c_cols), 0)
+            (Arc::new(CsrMatrix::empty(inner.part_len(k), c_cols)), 0)
         };
         let b_recv = grid.col_comm().broadcast(k, b_send, b_bytes);
 
-        let (partial, pstats) = spgemm_hash(sr, &a_recv, &b_recv);
+        let (partial, pstats) = pool.multiply(sr, &a_recv, &b_recv);
         stats.merge(pstats);
         // Stage partials arrive in ascending inner-index order, so this
-        // accumulation preserves the serial combine order.
-        c_local = spadd(&c_local, &partial, |acc, inc| sr.combine(acc, inc));
+        // accumulation preserves the serial combine order; the move-based
+        // merge never clones the accumulated values.
+        c_local = spadd_into(c_local, partial, |acc, inc| sr.combine(acc, inc));
     }
     // merged_nnz counted per-stage over-counts coordinates merged across
     // stages; report the final local nnz instead.
@@ -245,12 +280,30 @@ impl<A: DistElem, B: DistElem> BlockedSumma<A, B> {
         c: usize,
     ) -> (DistSparseMatrix<S::C>, SpGemmStats)
     where
-        S: Semiring<A = A, B = B>,
+        S: Semiring<A = A, B = B> + Sync,
+        S::C: DistElem,
+        C: Communicator,
+    {
+        self.multiply_block_with(grid, sr, r, c, &SpGemmPool::serial())
+    }
+
+    /// [`BlockedSumma::multiply_block`] with an explicit local-kernel pool;
+    /// see [`summa_with`].
+    pub fn multiply_block_with<S, C>(
+        &self,
+        grid: &ProcessGrid<C>,
+        sr: &S,
+        r: usize,
+        c: usize,
+        pool: &SpGemmPool,
+    ) -> (DistSparseMatrix<S::C>, SpGemmStats)
+    where
+        S: Semiring<A = A, B = B> + Sync,
         S::C: DistElem,
         C: Communicator,
     {
         assert!(r < self.br() && c < self.bc(), "block index out of range");
-        summa(grid, sr, &self.a_stripes[r], &self.b_stripes[c])
+        summa_with(grid, sr, &self.a_stripes[r], &self.b_stripes[c], pool)
     }
 }
 
@@ -258,6 +311,7 @@ impl<A: DistElem, B: DistElem> BlockedSumma<A, B> {
 mod tests {
     use super::*;
     use crate::semiring::PlusTimes;
+    use crate::spgemm::{spgemm_hash, SpGemmKind};
     use crate::triples::Index;
     use pastis_comm::{run_threaded, SelfComm};
     use rand::rngs::StdRng;
@@ -488,5 +542,146 @@ mod tests {
         let b = random_triples(8, 8, 10, 2);
         let bs = BlockedSumma::from_triples(&grid, a, b, 2, 2, |_, _| {}, |_, _| {});
         let _ = bs.multiply_block(&grid, &PlusTimes::new(), 2, 0);
+    }
+
+    #[test]
+    fn summa_rejects_non_square_grid_in_release_builds_too() {
+        // A 1x2 grid used to slip past a debug_assert and compute garbage
+        // in release builds; it must now panic unconditionally.
+        let out = run_threaded(2, |c| {
+            let world = c.split(0, c.rank());
+            let grid = ProcessGrid::with_shape(world, 1, 2);
+            let da: DistSparseMatrix<f64> =
+                DistSparseMatrix::from_global_triples(&grid, 4, 4, Triples::new(4, 4), |_, _| {});
+            let db = da.clone();
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                summa(&grid, &PlusTimes::new(), &da, &db)
+            }))
+            .err()
+            .and_then(|p| p.downcast_ref::<String>().cloned())
+        });
+        for msg in out {
+            let msg = msg.expect("summa must panic on a 1x2 grid");
+            assert!(
+                msg.contains("square process grid") && msg.contains("1x2"),
+                "unexpected panic message: {msg}"
+            );
+        }
+    }
+
+    /// Payload whose `Clone` bumps a global counter, so tests can prove the
+    /// broadcast roots and stage accumulation never deep-copy values.
+    #[derive(Debug, PartialEq)]
+    struct Tick(u32);
+    static TICK_CLONES: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    impl Clone for Tick {
+        fn clone(&self) -> Tick {
+            TICK_CLONES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            Tick(self.0)
+        }
+    }
+
+    struct TickRing;
+    impl Semiring for TickRing {
+        type A = Tick;
+        type B = Tick;
+        type C = Tick;
+        fn multiply(&self, a: &Tick, b: &Tick) -> Tick {
+            Tick(a.0.wrapping_mul(b.0))
+        }
+        fn combine(&self, acc: &mut Tick, inc: Tick) {
+            acc.0 = acc.0.wrapping_add(inc.0);
+        }
+    }
+
+    #[test]
+    fn summa_never_clones_local_values() {
+        // Build per-rank local blocks directly (from_local_block takes the
+        // CSR by value), then run a 4-rank SUMMA and count value clones:
+        // the Arc broadcast and the move-based spadd_into must not copy a
+        // single stored value.
+        let out = run_threaded(4, |c| {
+            let rank = c.rank();
+            let world = c.split(0, rank);
+            let grid = ProcessGrid::square(world);
+            let mut t = Triples::new(4, 4);
+            for i in 0..4u32 {
+                for j in 0..4u32 {
+                    t.push(i, j, Tick(rank as u32 * 16 + i * 4 + j + 1));
+                }
+            }
+            let local = CsrMatrix::from_triples(t);
+            let da = DistSparseMatrix::from_local_block(&grid, 8, 8, local);
+            let db = {
+                let mut t = Triples::new(4, 4);
+                for i in 0..4u32 {
+                    t.push(i, i, Tick(1));
+                }
+                DistSparseMatrix::from_local_block(&grid, 8, 8, CsrMatrix::from_triples(t))
+            };
+            grid.world().barrier();
+            if rank == 0 {
+                TICK_CLONES.store(0, std::sync::atomic::Ordering::SeqCst);
+            }
+            grid.world().barrier();
+            let (cm, _) = summa(&grid, &TickRing, &da, &db);
+            grid.world().barrier();
+            let clones = TICK_CLONES.load(std::sync::atomic::Ordering::SeqCst);
+            (cm.nnz_local(), clones)
+        });
+        for (nnz, clones) in out {
+            assert_eq!(nnz, 16, "each rank's C block should be dense 4x4");
+            assert_eq!(clones, 0, "SUMMA deep-copied Tick values");
+        }
+    }
+
+    #[test]
+    fn summa_with_is_kernel_and_thread_invariant() {
+        // The Trace semiring exposes combine order; every pool
+        // configuration must reproduce the serial result bit-for-bit.
+        let mut ta = Triples::new(9, 9);
+        let mut tb = Triples::new(9, 9);
+        for i in 0..9u32 {
+            for j in 0..9u32 {
+                if (i + 2 * j) % 3 != 1 {
+                    ta.push(i, j, i * 10 + j);
+                }
+                if (i * j + i) % 4 != 2 {
+                    tb.push(i, j, i * 10 + j);
+                }
+            }
+        }
+        let am = CsrMatrix::from_triples(ta.clone());
+        let bm = CsrMatrix::from_triples(tb.clone());
+        let (serial, _) = spgemm_hash(&Trace, &am, &bm);
+        let want = serial.to_triples().to_sorted_tuples();
+        for kind in [
+            SpGemmKind::Auto,
+            SpGemmKind::Hash,
+            SpGemmKind::Heap,
+            SpGemmKind::Parallel,
+        ] {
+            for threads in [1usize, 4] {
+                let ta = ta.clone();
+                let tb = tb.clone();
+                let out = run_threaded(4, move |c| {
+                    let world = c.split(0, c.rank());
+                    let grid = ProcessGrid::square(world);
+                    let (a, b) = if c.rank() == 0 {
+                        (ta.clone(), tb.clone())
+                    } else {
+                        (Triples::new(9, 9), Triples::new(9, 9))
+                    };
+                    let da = DistSparseMatrix::from_global_triples(&grid, 9, 9, a, |_, _| {});
+                    let db = DistSparseMatrix::from_global_triples(&grid, 9, 9, b, |_, _| {});
+                    let pool = SpGemmPool::new(threads).with_kind(kind);
+                    let (cm, _) = summa_with(&grid, &Trace, &da, &db, &pool);
+                    cm.gather_global(&grid).to_sorted_tuples()
+                });
+                for got in out {
+                    assert_eq!(got, want, "kind={kind} threads={threads}");
+                }
+            }
+        }
     }
 }

@@ -91,14 +91,22 @@ pub enum Track {
     /// One alignment-pool worker's occupancy sub-track (0 = the calling
     /// thread).
     AlignWorker(u32),
+    /// One SpGEMM-pool worker's occupancy sub-track (0 = the calling
+    /// thread). Kept off the main track so phase totals (which sum
+    /// [`Track::Rank`] spans only) never double-count the pool's
+    /// per-chunk spans.
+    SpGemmWorker(u32),
 }
 
 impl Track {
-    /// Chrome `tid` for this track: 0 = main, 1+w = align worker `w`.
+    /// Chrome `tid` for this track: 0 = main, 1+w = align worker `w`,
+    /// 1025+w = SpGEMM worker `w` (offset keeps the two worker families
+    /// in disjoint tid ranges for any realistic pool size).
     pub fn tid(self) -> u64 {
         match self {
             Track::Rank => 0,
             Track::AlignWorker(w) => 1 + w as u64,
+            Track::SpGemmWorker(w) => 1025 + w as u64,
         }
     }
 }

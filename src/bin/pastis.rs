@@ -30,6 +30,7 @@ use pastis::core::pipeline::{run_search_traced, SearchResult};
 use pastis::core::{LoadBalance, SearchParams};
 use pastis::seqio::fasta::{parse_fasta, write_fasta, SeqStore};
 use pastis::seqio::{ReducedAlphabet, SyntheticConfig, SyntheticDataset};
+use pastis::sparse::SpGemmKind;
 use pastis::trace::json::JsonValue;
 use pastis::trace::{chrome_trace_json, render_report, MetricsReport, Recorder, TraceSession};
 
@@ -66,6 +67,11 @@ SEARCH/CLUSTER OPTIONS:
                               identical for any choice       [default: auto]
     --align-threads <INT>     intra-rank alignment workers; 0 = one per
                               core; output is identical for any value [default: 1]
+    --spgemm <NAME>           auto | hash | heap | parallel — local SpGEMM
+                              kernel inside each SUMMA stage; output is
+                              identical for any choice       [default: auto]
+    --spgemm-threads <INT>    intra-rank SpGEMM workers; 0 = one per core;
+                              output is identical for any value [default: 1]
     --mcl                     cluster with Markov clustering instead of
                               connected components (cluster command only)
     --inflation <FLOAT>       MCL inflation exponent            [default: 2.0]
@@ -203,6 +209,8 @@ const SEARCH_VALUE_FLAGS: &[&str] = &[
     "banded",
     "simd",
     "align-threads",
+    "spgemm",
+    "spgemm-threads",
     "inflation",
     "ranks",
     "trace-out",
@@ -261,6 +269,14 @@ fn parse_search_params(opts: &Opts) -> Result<SearchParams, String> {
         p.align_threads = t
             .parse()
             .map_err(|_| format!("bad align-threads value '{t}'"))?;
+    }
+    if let Some(s) = opts.get("spgemm") {
+        p.spgemm = SpGemmKind::parse(s)?;
+    }
+    if let Some(t) = opts.get("spgemm-threads") {
+        p.spgemm_threads = t
+            .parse()
+            .map_err(|_| format!("bad spgemm-threads value '{t}'"))?;
     }
     if let Some(ms) = opts.get("op-timeout-ms") {
         p.op_timeout_ms = Some(
@@ -824,6 +840,84 @@ mod tests {
         let auto = run_with("auto", &dir.join("auto.tsv"));
         assert!(!scalar.is_empty(), "scalar run produced no edges");
         assert_eq!(scalar, auto, "--simd auto diverged from --simd scalar");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spgemm_flags_parse_and_validate() {
+        // Defaults: auto kernel, serial pool.
+        let none = Opts::parse(&[], SEARCH_VALUE_FLAGS).unwrap();
+        let p = parse_search_params(&none).unwrap();
+        assert_eq!(p.spgemm, SpGemmKind::Auto);
+        assert_eq!(p.spgemm_threads, 1);
+        let o = Opts::parse(
+            &s(&["--spgemm", "parallel", "--spgemm-threads", "4"]),
+            SEARCH_VALUE_FLAGS,
+        )
+        .unwrap();
+        let p = parse_search_params(&o).unwrap();
+        assert_eq!(p.spgemm, SpGemmKind::Parallel);
+        assert_eq!(p.spgemm_threads, 4);
+        // 0 = one worker per core is valid.
+        let zero = Opts::parse(&s(&["--spgemm-threads", "0"]), SEARCH_VALUE_FLAGS).unwrap();
+        assert_eq!(parse_search_params(&zero).unwrap().spgemm_threads, 0);
+        // Unknown kernel names and bad worker counts are rejected.
+        let bad = Opts::parse(&s(&["--spgemm", "quantum"]), SEARCH_VALUE_FLAGS).unwrap();
+        let err = parse_search_params(&bad).unwrap_err();
+        assert!(err.contains("unknown SpGEMM kernel"), "{err}");
+        let bad = Opts::parse(&s(&["--spgemm-threads", "many"]), SEARCH_VALUE_FLAGS).unwrap();
+        assert!(parse_search_params(&bad).is_err());
+    }
+
+    #[test]
+    fn spgemm_kernels_and_threads_emit_byte_identical_tsv() {
+        // The CLI-level face of the SpGEMM determinism contract: every
+        // kernel × worker-count combination writes the exact same bytes
+        // (same edges, same scores, same float formatting).
+        let dir = std::env::temp_dir().join(format!("pastis-cli-spgemm-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let fa = dir.join("s.fa");
+        run(&s(&[
+            "generate",
+            fa.to_str().unwrap(),
+            "--n",
+            "70",
+            "--mean-len",
+            "90",
+            "--seed",
+            "23",
+        ]))
+        .unwrap();
+        let run_with = |spgemm: &str, threads: &str, out: &Path| {
+            run(&s(&[
+                "search",
+                fa.to_str().unwrap(),
+                out.to_str().unwrap(),
+                "--k",
+                "5",
+                "--blocks",
+                "2x2",
+                "--ani",
+                "0.4",
+                "--coverage",
+                "0.5",
+                "--spgemm",
+                spgemm,
+                "--spgemm-threads",
+                threads,
+            ]))
+            .unwrap();
+            std::fs::read(out).unwrap()
+        };
+        let base = run_with("hash", "1", &dir.join("hash1.tsv"));
+        assert!(!base.is_empty(), "serial hash run produced no edges");
+        for (kernel, threads) in [("parallel", "4"), ("heap", "1"), ("auto", "3")] {
+            let got = run_with(kernel, threads, &dir.join(format!("{kernel}{threads}.tsv")));
+            assert_eq!(
+                got, base,
+                "--spgemm {kernel} --spgemm-threads {threads} diverged from serial hash"
+            );
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

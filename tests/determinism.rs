@@ -13,6 +13,7 @@ use pastis::comm::{run_threaded, Communicator, ProcessGrid};
 use pastis::core::pipeline::run_search_serial;
 use pastis::core::{run_search, LoadBalance, SearchParams};
 use pastis::seqio::{SyntheticConfig, SyntheticDataset};
+use pastis::sparse::SpGemmKind;
 
 fn dataset() -> pastis::seqio::SeqStore {
     SyntheticDataset::generate(&SyntheticConfig {
@@ -103,6 +104,33 @@ fn identical_results_across_align_thread_counts() {
 }
 
 #[test]
+fn identical_results_across_spgemm_kernels_and_thread_counts() {
+    // The local SpGEMM kernels (hash/heap/parallel) share one
+    // combine-order contract, so the kernel-selection policy and the
+    // intra-rank SpGEMM pool join the determinism claim too.
+    let want = reference_fingerprint();
+    for kind in [
+        SpGemmKind::Auto,
+        SpGemmKind::Hash,
+        SpGemmKind::Heap,
+        SpGemmKind::Parallel,
+    ] {
+        for threads in [1usize, 4] {
+            let prm = params()
+                .with_blocking(2, 2)
+                .with_spgemm(kind)
+                .with_spgemm_threads(threads);
+            let res = run_search_serial(&dataset(), &prm).unwrap();
+            assert_eq!(
+                fingerprint(&res.graph),
+                want,
+                "spgemm={kind} threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
 fn identical_results_with_everything_varied_at_once() {
     let want = reference_fingerprint();
     let out = run_threaded(9, move |c| {
@@ -111,7 +139,9 @@ fn identical_results_with_everything_varied_at_once() {
             .with_blocking(3, 5)
             .with_load_balance(LoadBalance::Triangular)
             .with_pre_blocking(true)
-            .with_align_threads(4);
+            .with_align_threads(4)
+            .with_spgemm(SpGemmKind::Parallel)
+            .with_spgemm_threads(3);
         let res = run_search(&grid, &dataset(), &prm).unwrap();
         fingerprint(&res.gather_graph(grid.world()))
     });
