@@ -35,6 +35,7 @@ use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
+use pastis_pool::{Engine, WorkPool};
 use pastis_trace::{Component, Recorder, Track};
 
 use crate::banded::sw_banded;
@@ -70,6 +71,7 @@ pub struct AlignPool {
     threads: usize,
     recorder: Recorder,
     simd: SimdBackend,
+    workers: Option<WorkPool>,
 }
 
 impl AlignPool {
@@ -89,7 +91,24 @@ impl AlignPool {
             threads,
             recorder: Recorder::disabled(),
             simd: SimdBackend::detect(),
+            workers: None,
         }
+    }
+
+    /// Submit batches to a shared [`WorkPool`] instead of spawning scoped
+    /// threads per batch: units become pool jobs an idle sparse worker can
+    /// steal (and vice versa), the pool's size supersedes this pool's own
+    /// thread knob, and per-unit `align.unit` spans land on
+    /// [`Track::PoolWorker`] sub-tracks. Results stay bit-identical — the
+    /// units and their unit-order reassembly are unchanged.
+    pub fn with_workers(mut self, workers: WorkPool) -> AlignPool {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// The attached unified pool, if any.
+    pub fn workers(&self) -> Option<&WorkPool> {
+        self.workers.as_ref()
     }
 
     /// Attach a telemetry recorder: each batch then emits one
@@ -269,6 +288,9 @@ impl AlignPool {
         F: Fn(usize, &mut BatchStats) -> P + Sync,
     {
         let wall = Instant::now();
+        if let Some(wp) = &self.workers {
+            return self.execute_units_pooled(wp, n_units, run_unit, wall);
+        }
         let workers = self.threads.min(n_units.max(1));
         let (payloads, mut stats) = if workers <= 1 {
             let busy = Instant::now();
@@ -327,6 +349,55 @@ impl AlignPool {
         };
         stats.wall_seconds = wall.elapsed().as_secs_f64();
         (payloads, stats)
+    }
+
+    /// [`AlignPool::execute_units`] on the unified pool: each unit is a
+    /// claimable pool job unit, run by whichever pool worker (or the
+    /// submitting thread) takes it — including workers that just finished
+    /// sparse chunks. Per-unit payload/stat pairs come back in unit order,
+    /// so the merge below reproduces the scoped path's totals exactly.
+    fn execute_units_pooled<P, F>(
+        &self,
+        wp: &WorkPool,
+        n_units: usize,
+        run_unit: F,
+        wall: Instant,
+    ) -> (Vec<P>, BatchStats)
+    where
+        P: Send,
+        F: Fn(usize, &mut BatchStats) -> P + Sync,
+    {
+        let unit_out: Vec<(P, BatchStats)> = wp.run(Engine::Align, n_units, |u, slot| {
+            let busy = Instant::now();
+            let mut span = self.recorder.is_enabled().then(|| {
+                self.recorder
+                    .span(Component::Align, "align.unit")
+                    .on_track(Track::PoolWorker(slot as u32))
+                    .arg("unit", u as u64)
+            });
+            let mut local = BatchStats::default();
+            let p = run_unit(u, &mut local);
+            local.seconds = busy.elapsed().as_secs_f64();
+            if let Some(span) = span.as_mut() {
+                span.push_arg("pairs", local.pairs);
+                span.push_arg("cells", local.cells);
+            }
+            (p, local)
+        });
+        let mut merged = BatchStats::default();
+        let payloads = unit_out
+            .into_iter()
+            .map(|(p, local)| {
+                merged.pairs += local.pairs;
+                merged.cells += local.cells;
+                merged.max_cells = merged.max_cells.max(local.max_cells);
+                merged.lane_promotions += local.lane_promotions;
+                merged.seconds += local.seconds;
+                p
+            })
+            .collect();
+        merged.wall_seconds = wall.elapsed().as_secs_f64();
+        (payloads, merged)
     }
 
     /// Open worker `w`'s occupancy span on its sub-track, or `None` with
@@ -762,6 +833,74 @@ mod tests {
         assert_eq!(spans.len(), 1);
         assert_eq!(spans[0].track, Track::AlignWorker(0));
         assert_eq!(spans[0].name, "align.worker");
+    }
+
+    #[test]
+    fn pool_backed_batches_match_serial_for_every_worker_count() {
+        let seqs = random_store(12, 40, 1);
+        let tasks = random_tasks(12, 70, 2);
+        let g = GapPenalties::pastis_defaults();
+        let (want_tb, want_tb_stats) =
+            AlignPool::new(1).run_traceback(&tasks, |id| &seqs[id as usize], &Blosum62, g);
+        let (want_so, _) =
+            AlignPool::new(1).run_score_only(&tasks, |id| &seqs[id as usize], &Blosum62, g);
+        let (want_bd, _) =
+            AlignPool::new(1).run_banded(&tasks, |id| &seqs[id as usize], &Blosum62, g, 5);
+        for workers in [0usize, 1, 3] {
+            let pool = AlignPool::new(1).with_workers(WorkPool::with_exact_workers(workers));
+            assert!(pool.workers().is_some());
+            let (tb, tb_stats) = pool.run_traceback(&tasks, |id| &seqs[id as usize], &Blosum62, g);
+            assert_eq!(tb, want_tb, "workers={workers}");
+            assert_eq!(tb_stats.pairs, want_tb_stats.pairs, "workers={workers}");
+            assert_eq!(tb_stats.cells, want_tb_stats.cells, "workers={workers}");
+            assert_eq!(
+                tb_stats.max_cells, want_tb_stats.max_cells,
+                "workers={workers}"
+            );
+            let (so, _) = pool.run_score_only(&tasks, |id| &seqs[id as usize], &Blosum62, g);
+            assert_eq!(so, want_so, "workers={workers}");
+            let (bd, _) = pool.run_banded(&tasks, |id| &seqs[id as usize], &Blosum62, g, 5);
+            assert_eq!(bd, want_bd, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn pool_backed_batches_emit_unit_spans_on_pool_tracks() {
+        use pastis_trace::TraceSession;
+        let seqs = random_store(10, 48, 12);
+        let tasks = random_tasks(10, 200, 13);
+        let g = GapPenalties::pastis_defaults();
+        let session = TraceSession::new();
+        let rec = session.recorder(0);
+        let pool = AlignPool::new(1)
+            .with_recorder(rec.clone())
+            .with_workers(WorkPool::with_exact_workers(2));
+        let (_, stats) = pool.run_traceback(&tasks, |id| &seqs[id as usize], &Blosum62, g);
+        let spans = rec.snapshot_spans();
+        // One span per unit (200 tasks / CHUNK(32) = 7), each on a
+        // unified-pool track, with per-unit tallies summing to the batch.
+        assert_eq!(spans.len(), 200usize.div_ceil(CHUNK));
+        let arg = |s: &pastis_trace::SpanEvent, k: &str| {
+            s.args
+                .iter()
+                .find(|(n, _)| *n == k)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        let mut units: Vec<u64> = Vec::new();
+        let mut pairs = 0u64;
+        let mut cells = 0u64;
+        for s in &spans {
+            assert_eq!(s.name, "align.unit");
+            assert!(matches!(s.track, Track::PoolWorker(_)), "{:?}", s.track);
+            units.push(arg(s, "unit"));
+            pairs += arg(s, "pairs");
+            cells += arg(s, "cells");
+        }
+        units.sort_unstable();
+        assert_eq!(units, (0..spans.len() as u64).collect::<Vec<_>>());
+        assert_eq!(pairs, stats.pairs);
+        assert_eq!(cells, stats.cells);
     }
 
     #[test]

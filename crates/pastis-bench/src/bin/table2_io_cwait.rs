@@ -43,7 +43,12 @@ fn main() {
         for scheme in [LoadBalance::IndexBased, LoadBalance::Triangular] {
             let params = reference.clone().with_load_balance(scheme);
             let session = TraceSession::virtual_time();
-            let r = simulate_traced(&ds.store, &params, &scale_config(&machine, nodes), &session);
+            // The production schedule double-buffers the SUMMA broadcasts
+            // (`--overlap`), hiding most of the already-small sequence
+            // wait behind local SpGEMM compute.
+            let mut cfg = scale_config(&machine, nodes);
+            cfg.contention.comm_overlap_efficiency = 0.9;
+            let r = simulate_traced(&ds.store, &params, &cfg, &session);
             // Read the component seconds back out of the telemetry (the
             // slowest rank's, as a wall-clock share), exactly as a
             // `--metrics-json` consumer would.
@@ -65,6 +70,9 @@ fn main() {
     rule(66);
     println!(
         "paper: cwait 0.14-0.31%, IO 0.68-2.77%, both rising with node count;\n\
-         combined always < 3% of the runtime."
+         combined always < 3% of the runtime. Replayed with the overlapped\n\
+         broadcast schedule (comm_overlap_efficiency = 0.9), which hides most\n\
+         of the remaining cwait behind local SpGEMM compute — hence the\n\
+         sub-paper percentages; the rise with node count survives overlap."
     );
 }

@@ -74,6 +74,32 @@ pub struct SearchParams {
     /// heuristic; the kernels share one combine-order contract, so the
     /// output is bit-identical for every choice.
     pub spgemm: SpGemmKind,
+    /// Size of the unified intra-rank worker pool shared by the sparse and
+    /// alignment engines (`--threads`). `None` keeps the legacy static
+    /// split (`align_threads` / `spgemm_threads` each own their scoped
+    /// team); `Some(n)` runs both engines through one pool of `n` threads
+    /// total — `n - 1` persistent workers plus the submitting thread — so
+    /// idle sparse workers steal alignment units and vice versa. `Some(0)`
+    /// sizes the pool at one thread per available core. The similarity
+    /// graph is bit-identical either way — only wall time changes.
+    pub threads: Option<usize>,
+    /// With the unified pool, an upper bound on how many pool workers may
+    /// serve alignment units concurrently (`None` = uncapped). This is the
+    /// cap semantics `--align-threads` takes when `--threads` is given.
+    /// Requires `threads`.
+    pub align_cap: Option<usize>,
+    /// With the unified pool, an upper bound on how many pool workers may
+    /// serve SpGEMM row chunks concurrently (`None` = uncapped). This is
+    /// the cap semantics `--spgemm-threads` takes when `--threads` is
+    /// given. Requires `threads`.
+    pub spgemm_cap: Option<usize>,
+    /// Double-buffer the SUMMA broadcasts (`--overlap`): while stage `k`'s
+    /// local multiply runs on a scoped compute thread, the rank thread —
+    /// still the only one issuing collectives — posts stage `k+1`'s A/B
+    /// broadcasts. The collective order and count are unchanged, so the
+    /// output graph is bit-identical with overlap on or off; only the
+    /// broadcasts' wall-clock placement moves.
+    pub overlap: bool,
     /// Row blocking factor of the Blocked 2D Sparse SUMMA.
     pub block_rows: usize,
     /// Column blocking factor.
@@ -119,6 +145,10 @@ impl Default for SearchParams {
             simd: SimdPolicy::Auto,
             spgemm_threads: 1,
             spgemm: SpGemmKind::Auto,
+            threads: None,
+            align_cap: None,
+            spgemm_cap: None,
+            overlap: false,
             block_rows: 1,
             block_cols: 1,
             load_balance: LoadBalance::IndexBased,
@@ -190,6 +220,33 @@ impl SearchParams {
         self
     }
 
+    /// Run both engines through one unified pool of `threads` threads
+    /// total, builder style (`0` = one per available core).
+    pub fn with_threads(mut self, threads: usize) -> SearchParams {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Cap concurrent alignment workers of the unified pool, builder
+    /// style. Requires [`SearchParams::with_threads`].
+    pub fn with_align_cap(mut self, cap: usize) -> SearchParams {
+        self.align_cap = Some(cap);
+        self
+    }
+
+    /// Cap concurrent SpGEMM workers of the unified pool, builder style.
+    /// Requires [`SearchParams::with_threads`].
+    pub fn with_spgemm_cap(mut self, cap: usize) -> SearchParams {
+        self.spgemm_cap = Some(cap);
+        self
+    }
+
+    /// Enable/disable double-buffered SUMMA broadcasts, builder style.
+    pub fn with_overlap(mut self, on: bool) -> SearchParams {
+        self.overlap = on;
+        self
+    }
+
     /// Set the checkpoint directory, builder style.
     pub fn with_checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> SearchParams {
         self.checkpoint_dir = Some(dir.into());
@@ -251,6 +308,9 @@ impl SearchParams {
         }
         if self.resume && self.checkpoint_dir.is_none() {
             return Err("resume requires a checkpoint directory".into());
+        }
+        if self.threads.is_none() && (self.align_cap.is_some() || self.spgemm_cap.is_some()) {
+            return Err("per-engine caps require the unified pool (--threads)".into());
         }
         self.simd.resolve()?;
         if let Some(f) = self.straggler_factor {
@@ -386,6 +446,36 @@ mod tests {
         assert_eq!(p.align_threads, 1);
         // 0 means "one worker per core" and must validate.
         assert!(p.with_align_threads(0).validate().is_ok());
+    }
+
+    #[test]
+    fn unified_pool_knobs_default_off_and_validate() {
+        let p = SearchParams::default();
+        assert_eq!(p.threads, None);
+        assert_eq!(p.align_cap, None);
+        assert_eq!(p.spgemm_cap, None);
+        assert!(!p.overlap);
+        // Caps without the unified pool are a contradiction.
+        let bad = SearchParams::default().with_align_cap(2);
+        assert!(bad.validate().is_err());
+        let bad = SearchParams::default().with_spgemm_cap(2);
+        assert!(bad.validate().is_err());
+        // With --threads they compose; 0 means auto-size and validates.
+        let ok = SearchParams::default()
+            .with_threads(4)
+            .with_align_cap(2)
+            .with_spgemm_cap(1)
+            .with_overlap(true);
+        assert!(ok.validate().is_ok());
+        assert_eq!(ok.threads, Some(4));
+        assert_eq!((ok.align_cap, ok.spgemm_cap), (Some(2), Some(1)));
+        assert!(ok.overlap);
+        assert!(SearchParams::default().with_threads(0).validate().is_ok());
+        // Overlap alone (phased pools) is also fine.
+        assert!(SearchParams::default()
+            .with_overlap(true)
+            .validate()
+            .is_ok());
     }
 
     #[test]

@@ -31,6 +31,7 @@ use pastis_align::parallel::AlignPool;
 
 use pastis_comm::grid::{BlockDist1D, ProcessGrid};
 use pastis_comm::{Communicator, Component, TimeBreakdown};
+use pastis_pool::{Engine, WorkPool};
 use pastis_seqio::SeqStore;
 use pastis_sparse::{BlockedSumma, SpGemmPool, Triples};
 use pastis_trace::{span, Recorder};
@@ -305,20 +306,36 @@ pub fn run_search_traced<C: Communicator + Sync>(
 
     // --- 4. The incremental blocked search.
     let sr = OverlapSemiring;
+    // The unified intra-rank worker pool (`--threads`): one team of
+    // persistent workers serves SpGEMM row chunks *and* alignment units,
+    // so an idle sparse worker steals alignment work and vice versa.
+    // Per-engine caps reproduce the old static split as an upper bound.
+    // `None` keeps the legacy per-engine scoped teams.
+    let unified = params.threads.map(|t| {
+        let wp = WorkPool::sized(t);
+        wp.set_cap(Engine::Align, params.align_cap);
+        wp.set_cap(Engine::Sparse, params.spgemm_cap);
+        wp
+    });
     // The intra-rank SpGEMM pool: each SUMMA stage's local multiplication
     // picks a kernel (hash/heap/parallel) per `params.spgemm` and runs row
     // chunks across `spgemm_threads` workers, stitched in row order — the
     // overlap matrix is bit-identical for every kernel and worker count.
-    let spgemm_pool = SpGemmPool::new(params.spgemm_threads)
+    let mut spgemm_pool = SpGemmPool::new(params.spgemm_threads)
         .with_kind(params.spgemm)
         .with_recorder(recorder.clone());
+    if let Some(wp) = &unified {
+        spgemm_pool = spgemm_pool.with_workers(wp.clone());
+    }
+    let spgemm_pool = spgemm_pool;
     let compute_sparse = |task: BlockTask| -> CandidateBatch {
         let mut block_span = span!(recorder, Component::SpGemm, "summa.block", {
             r: task.r as u64,
             c: task.c as u64,
         });
         let t_mult = Instant::now();
-        let (cblock, gemm_stats) = bs.multiply_block_with(grid, &sr, task.r, task.c, &spgemm_pool);
+        let (cblock, gemm_stats) =
+            bs.multiply_block_overlapped(grid, &sr, task.r, task.c, &spgemm_pool, params.overlap);
         let spgemm_seconds = t_mult.elapsed().as_secs_f64();
 
         let t_other = Instant::now();
@@ -366,9 +383,13 @@ pub fn run_search_traced<C: Communicator + Sync>(
         .simd
         .resolve()
         .expect("validate() checked the SIMD policy");
-    let pool = AlignPool::new(params.align_threads)
+    let mut pool = AlignPool::new(params.align_threads)
         .with_recorder(recorder.clone())
         .with_simd(simd_backend);
+    if let Some(wp) = &unified {
+        pool = pool.with_workers(wp.clone());
+    }
+    let pool = pool;
     let filter = EdgeFilter::from_params(params);
     let align_batch = |batch: &CandidateBatch| -> (Vec<SimilarityEdge>, u64, f64, f64) {
         let t = Instant::now();
@@ -545,62 +566,39 @@ pub fn run_search_traced<C: Communicator + Sync>(
         Ok(())
     };
 
-    if start_idx < stop_idx {
-        if params.pre_blocking {
-            // Software pipeline: align block i while the SpGEMM of block
-            // i+1 runs on a concurrent thread. Alignment is purely local,
-            // so the sparse thread is the only one issuing collectives —
-            // the SPMD collective order stays identical on every rank.
-            let mut pending = compute_sparse(tasks[start_idx]);
-            for idx in start_idx..stop_idx {
-                let next_task = (idx + 1 < stop_idx).then(|| tasks[idx + 1]);
-                let (outcome, next_batch) = std::thread::scope(|scope| {
-                    let handle = next_task.map(|t| scope.spawn(move || compute_sparse(t)));
-                    let outcome = align_batch(&pending);
-                    (
-                        outcome,
-                        handle.map(|h| h.join().expect("pre-blocking sparse thread panicked")),
-                    )
-                });
-                let done = match next_batch {
-                    Some(nb) => std::mem::replace(&mut pending, nb),
-                    None => std::mem::replace(
-                        &mut pending,
-                        CandidateBatch {
-                            task: tasks[idx],
-                            pairs: Vec::new(),
-                            candidates: 0,
-                            products: 0,
-                            spgemm_seconds: 0.0,
-                            other_seconds: 0.0,
-                        },
-                    ),
-                };
-                apply(
-                    done,
-                    outcome,
-                    &mut times,
-                    &mut stats,
-                    &mut graph,
-                    &mut per_block,
-                );
-                save_ckpt(idx + 1, &graph, &stats, &times, &per_block)?;
-            }
-        } else {
-            for (idx, task) in tasks.iter().enumerate().take(stop_idx).skip(start_idx) {
-                let batch = compute_sparse(*task);
-                let outcome = align_batch(&batch);
-                apply(
-                    batch,
-                    outcome,
-                    &mut times,
-                    &mut stats,
-                    &mut graph,
-                    &mut per_block,
-                );
-                save_ckpt(idx + 1, &graph, &stats, &times, &per_block)?;
-            }
-        }
+    // One drive loop for both schedules, parameterized by the lookahead
+    // depth: depth 0 computes each block's SpGEMM on the critical path
+    // (the serial schedule — the scope spawns nothing); depth 1 is the
+    // pre-blocking software pipeline, aligning block i while the SpGEMM
+    // of block i+1 runs on a concurrent thread. Alignment is purely
+    // local, so the sparse thread is the only one issuing collectives —
+    // the SPMD collective order stays identical on every rank either way.
+    let depth = usize::from(params.pre_blocking);
+    let mut pending: Option<CandidateBatch> = None;
+    for idx in start_idx..stop_idx {
+        let batch = match pending.take() {
+            Some(b) => b,
+            None => compute_sparse(tasks[idx]),
+        };
+        let next_task = (depth > 0 && idx + 1 < stop_idx).then(|| tasks[idx + 1]);
+        let (outcome, next_batch) = std::thread::scope(|scope| {
+            let handle = next_task.map(|t| scope.spawn(move || compute_sparse(t)));
+            let outcome = align_batch(&batch);
+            (
+                outcome,
+                handle.map(|h| h.join().expect("pre-blocking sparse thread panicked")),
+            )
+        });
+        pending = next_batch;
+        apply(
+            batch,
+            outcome,
+            &mut times,
+            &mut stats,
+            &mut graph,
+            &mut per_block,
+        );
+        save_ckpt(idx + 1, &graph, &stats, &times, &per_block)?;
     }
 
     // --- 4b. Graceful degradation: flag environmental stragglers. Work
@@ -641,6 +639,12 @@ pub fn run_search_traced<C: Communicator + Sync>(
     recorder.add_counter("align_seconds", times.get(Component::Align));
     recorder.add_counter("sparse_seconds", times.sparse_all());
     recorder.add_counter("align_cpu_seconds", stats.align_cpu_seconds);
+    if let Some(wp) = &unified {
+        // Cross-engine steals: how often a persistent pool worker switched
+        // between sparse and alignment jobs — the utilization the unified
+        // pool recovers over the old static thread split.
+        recorder.add_counter("pool.steals", wp.steals() as f64);
+    }
     if params.align_kind == AlignKind::ScoreOnly {
         // Which vector backend the score-only batches ran on (stable id:
         // scalar 0, sse2 1, avx2 2, neon 3). Recorded once per run.

@@ -31,6 +31,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use pastis_pool::{Engine, WorkPool};
 use pastis_trace::{Component, Recorder, Track};
 
 use crate::csr::CsrMatrix;
@@ -164,38 +165,98 @@ where
     );
     let threads = resolve_threads(threads);
     let n_units = a.nrows().div_ceil(ROWS_PER_CHUNK);
-    // One chunk's output: per-row lengths plus the concatenated row data.
-    type Chunk<C> = (Vec<usize>, Vec<Index>, Vec<C>, SpGemmStats);
     let chunks: Vec<Chunk<S::C>> = run_units(threads, n_units, |w, u| {
-        let start = u * ROWS_PER_CHUNK;
-        let end = ((u + 1) * ROWS_PER_CHUNK).min(a.nrows());
-        let mut span = rec.is_enabled().then(|| {
-            rec.span(Component::SpGemm, "spgemm.row_chunk")
-                .on_track(Track::SpGemmWorker(w as u32))
-                .arg("rows", (end - start) as u64)
-        });
-        let mut acc = HashAccumulator::<S::C>::with_capacity(16);
-        let mut lens = Vec::with_capacity(end - start);
-        let mut colind: Vec<Index> = Vec::new();
-        let mut vals: Vec<S::C> = Vec::new();
-        let mut stats = SpGemmStats::default();
-        for i in start..end {
-            let before = colind.len();
-            hash_row_into(sr, a, b, i, &mut acc, &mut colind, &mut vals, &mut stats);
-            lens.push(colind.len() - before);
-        }
-        if let Some(sp) = span.as_mut() {
-            sp.push_arg("nnz", colind.len() as u64);
-            sp.push_arg("products", stats.products);
-        }
-        (lens, colind, vals, stats)
+        row_chunk(sr, a, b, u, Track::SpGemmWorker(w as u32), rec)
     });
-    // Stitch in ascending unit (= row) order.
+    stitch_chunks(a, b, chunks)
+}
+
+/// [`spgemm_parallel_traced`] executing on the unified [`WorkPool`] instead
+/// of scoped per-call threads: chunks become pool units an idle alignment
+/// worker can steal, and chunk spans land on [`Track::PoolWorker`]
+/// sub-tracks. Bit-identical to every other kernel path — same chunking,
+/// same per-row kernel, same row-order stitch.
+pub fn spgemm_parallel_pooled<S>(
+    sr: &S,
+    a: &CsrMatrix<S::A>,
+    b: &CsrMatrix<S::B>,
+    workers: &WorkPool,
+    rec: &Recorder,
+) -> (CsrMatrix<S::C>, SpGemmStats)
+where
+    S: Semiring + Sync,
+    S::A: Sync,
+    S::B: Sync,
+    S::C: Send,
+{
+    assert_eq!(
+        a.ncols(),
+        b.nrows(),
+        "SpGEMM dimension mismatch: {}x{} · {}x{}",
+        a.nrows(),
+        a.ncols(),
+        b.nrows(),
+        b.ncols()
+    );
+    let n_units = a.nrows().div_ceil(ROWS_PER_CHUNK);
+    let chunks: Vec<Chunk<S::C>> = workers.run(Engine::Sparse, n_units, |u, slot| {
+        row_chunk(sr, a, b, u, Track::PoolWorker(slot as u32), rec)
+    });
+    stitch_chunks(a, b, chunks)
+}
+
+/// One chunk's output: per-row lengths plus the concatenated row data.
+type Chunk<C> = (Vec<usize>, Vec<Index>, Vec<C>, SpGemmStats);
+
+/// Compute row chunk `u` with the shared per-row hash kernel, emitting its
+/// `spgemm.row_chunk` span on `track` when telemetry is on. Depends only
+/// on `u` — the determinism requirement of both execution backends.
+fn row_chunk<S>(
+    sr: &S,
+    a: &CsrMatrix<S::A>,
+    b: &CsrMatrix<S::B>,
+    u: usize,
+    track: Track,
+    rec: &Recorder,
+) -> Chunk<S::C>
+where
+    S: Semiring,
+{
+    let start = u * ROWS_PER_CHUNK;
+    let end = ((u + 1) * ROWS_PER_CHUNK).min(a.nrows());
+    let mut span = rec.is_enabled().then(|| {
+        rec.span(Component::SpGemm, "spgemm.row_chunk")
+            .on_track(track)
+            .arg("rows", (end - start) as u64)
+    });
+    let mut acc = HashAccumulator::<S::C>::with_capacity(16);
+    let mut lens = Vec::with_capacity(end - start);
+    let mut colind: Vec<Index> = Vec::new();
+    let mut vals: Vec<S::C> = Vec::new();
+    let mut stats = SpGemmStats::default();
+    for i in start..end {
+        let before = colind.len();
+        hash_row_into(sr, a, b, i, &mut acc, &mut colind, &mut vals, &mut stats);
+        lens.push(colind.len() - before);
+    }
+    if let Some(sp) = span.as_mut() {
+        sp.push_arg("nnz", colind.len() as u64);
+        sp.push_arg("products", stats.products);
+    }
+    (lens, colind, vals, stats)
+}
+
+/// Stitch chunk outputs (already in ascending unit = row order) into CSR.
+fn stitch_chunks<A, B, C>(
+    a: &CsrMatrix<A>,
+    b: &CsrMatrix<B>,
+    chunks: Vec<Chunk<C>>,
+) -> (CsrMatrix<C>, SpGemmStats) {
     let total: usize = chunks.iter().map(|c| c.1.len()).sum();
     let mut rowptr = Vec::with_capacity(a.nrows() + 1);
     rowptr.push(0usize);
     let mut colind: Vec<Index> = Vec::with_capacity(total);
-    let mut vals: Vec<S::C> = Vec::with_capacity(total);
+    let mut vals: Vec<C> = Vec::with_capacity(total);
     let mut stats = SpGemmStats::default();
     let mut end = 0usize;
     for (lens, ccols, cvals, cstats) in chunks {
@@ -226,6 +287,7 @@ pub struct SpGemmPool {
     threads: usize,
     kind: SpGemmKind,
     recorder: Recorder,
+    workers: Option<WorkPool>,
 }
 
 impl SpGemmPool {
@@ -236,6 +298,7 @@ impl SpGemmPool {
             threads: resolve_threads(threads),
             kind: SpGemmKind::Auto,
             recorder: Recorder::disabled(),
+            workers: None,
         }
     }
 
@@ -260,9 +323,41 @@ impl SpGemmPool {
         self
     }
 
+    /// Submit parallel multiplications to a shared [`WorkPool`] instead of
+    /// spawning scoped threads per call: row chunks become pool units, so
+    /// idle alignment workers can steal them (and vice versa). Kernel
+    /// *selection* then sizes against the unified pool (`workers + the
+    /// submitting caller`), and chunk spans move to
+    /// [`Track::PoolWorker`] sub-tracks. Results are bit-identical to the
+    /// scoped-thread path.
+    pub fn with_workers(mut self, workers: WorkPool) -> SpGemmPool {
+        self.workers = Some(workers);
+        self
+    }
+
     /// Resolved worker count (never 0).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Workers `select` sizes the parallel kernel against: the unified
+    /// pool (its workers plus the submitting caller) when one is attached,
+    /// else the pool's own thread knob.
+    fn effective_threads(&self) -> usize {
+        self.workers
+            .as_ref()
+            .map_or(self.threads, |w| w.threads() + 1)
+    }
+
+    /// The attached unified pool, if any.
+    pub fn workers(&self) -> Option<&WorkPool> {
+        self.workers.as_ref()
+    }
+
+    /// The attached telemetry recorder (disabled recorder when none was
+    /// attached — safe to record against either way).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// The configured selection policy.
@@ -276,7 +371,7 @@ impl SpGemmPool {
     pub fn select<A, B>(&self, a: &CsrMatrix<A>, b: &CsrMatrix<B>) -> SpGemmKind {
         match self.kind {
             SpGemmKind::Auto => {
-                if self.threads > 1 && a.nrows() >= PARALLEL_MIN_ROWS {
+                if self.effective_threads() > 1 && a.nrows() >= PARALLEL_MIN_ROWS {
                     return SpGemmKind::Parallel;
                 }
                 let rows = a.nonempty_rows();
@@ -319,7 +414,10 @@ impl SpGemmPool {
         match kind {
             SpGemmKind::Hash => spgemm_hash(sr, a, b),
             SpGemmKind::Heap => spgemm_heap(sr, a, b),
-            SpGemmKind::Parallel => spgemm_parallel_traced(sr, a, b, self.threads, &self.recorder),
+            SpGemmKind::Parallel => match &self.workers {
+                Some(wp) => spgemm_parallel_pooled(sr, a, b, wp, &self.recorder),
+                None => spgemm_parallel_traced(sr, a, b, self.threads, &self.recorder),
+            },
             SpGemmKind::Auto => unreachable!("select() never returns Auto"),
         }
     }
@@ -538,6 +636,65 @@ mod tests {
         assert!(rec2.snapshot_spans().is_empty());
         assert_eq!(rec2.counters().get("spgemm.kernel.hash"), Some(&1.0));
         assert_eq!(rec2.counters().get("spgemm.kernel.heap"), Some(&1.0));
+    }
+
+    #[test]
+    fn pooled_kernel_matches_hash_and_preserves_combine_order() {
+        let a = random_matrix(97, 64, 0.12, 1);
+        let b = random_matrix(64, 83, 0.15, 2);
+        let sr = PlusTimes::<u32>::new();
+        let (want, want_stats) = spgemm_hash(&sr, &a, &b);
+        let (cat_want, _) = spgemm_hash(&Concat, &a, &b);
+        for workers in [0usize, 1, 3] {
+            let wp = WorkPool::with_exact_workers(workers);
+            let rec = Recorder::disabled();
+            let (got, stats) = spgemm_parallel_pooled(&sr, &a, &b, &wp, &rec);
+            assert_eq!(got, want, "workers={workers}");
+            assert_eq!(stats, want_stats, "workers={workers}");
+            let (cat_got, _) = spgemm_parallel_pooled(&Concat, &a, &b, &wp, &rec);
+            assert_eq!(cat_got, cat_want, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn pool_backed_multiply_uses_pool_worker_tracks() {
+        let a = random_matrix(100, 32, 0.2, 15);
+        let b = random_matrix(32, 40, 0.2, 16);
+        let sr = PlusTimes::<u32>::new();
+        let session = TraceSession::new();
+        let rec = session.recorder(0);
+        let wp = WorkPool::with_exact_workers(1);
+        let pool = SpGemmPool::new(1)
+            .with_kind(SpGemmKind::Parallel)
+            .with_recorder(rec.clone())
+            .with_workers(wp.clone());
+        assert!(pool.workers().is_some());
+        let (got, _) = pool.multiply(&sr, &a, &b);
+        assert_eq!(got, spgemm_hash(&sr, &a, &b).0);
+        // Same chunking as the scoped path (100 rows → 7 chunks), but the
+        // spans now live on unified-pool tracks.
+        let spans = rec.snapshot_spans();
+        assert_eq!(spans.len(), 7);
+        let mut rows_total = 0u64;
+        for s in &spans {
+            assert_eq!(s.name, "spgemm.row_chunk");
+            assert!(matches!(s.track, Track::PoolWorker(_)), "{:?}", s.track);
+            rows_total += s.args.iter().find(|(n, _)| *n == "rows").unwrap().1;
+        }
+        assert_eq!(rows_total, 100);
+    }
+
+    #[test]
+    fn attached_pool_drives_auto_selection() {
+        let big = random_matrix(200, 64, 0.2, 9);
+        let b = random_matrix(64, 64, 0.2, 10);
+        // One own thread, but a 3-worker unified pool behind it: auto must
+        // size against the pool and pick the parallel kernel.
+        let pool = SpGemmPool::new(1).with_workers(WorkPool::with_exact_workers(3));
+        assert_eq!(pool.select(&big, &b), SpGemmKind::Parallel);
+        // A workerless pool (caller-only) leaves auto at serial choices.
+        let solo = SpGemmPool::new(4).with_workers(WorkPool::with_exact_workers(0));
+        assert_ne!(solo.select(&big, &b), SpGemmKind::Parallel);
     }
 
     #[test]

@@ -25,6 +25,7 @@ use std::sync::Arc;
 
 use pastis_comm::grid::{BlockDist1D, ProcessGrid};
 use pastis_comm::Communicator;
+use pastis_trace::{Component, Track};
 
 use crate::csr::CsrMatrix;
 use crate::distmat::{DistElem, DistSparseMatrix};
@@ -84,6 +85,49 @@ where
     S::C: DistElem,
     C: Communicator,
 {
+    summa_with_overlap(grid, sr, a, b, pool, false)
+}
+
+/// The pair of broadcast-received stage inputs (A's block, B's block).
+type StagePair<S> = (
+    Arc<CsrMatrix<<S as Semiring>::A>>,
+    Arc<CsrMatrix<<S as Semiring>::B>>,
+);
+
+/// [`summa_with`] with optional **double-buffered broadcasts**: while
+/// stage `k`'s local multiply runs on a scoped compute thread, the calling
+/// thread — the rank's single comm-issuing thread — posts stage `k+1`'s
+/// A/B broadcasts, prefetching the received [`Arc`] slots so the
+/// collectives come off the critical path.
+///
+/// The SPMD contract is unchanged: every rank issues exactly the same
+/// collective sequence in the same order as the phased loop (row broadcast
+/// of stage `k`, then column broadcast of stage `k`, for ascending `k` on
+/// one thread), so the per-communicator broadcast *count and order* are
+/// identical with overlap on or off — only the wall-clock placement moves.
+/// Accumulation still folds stage partials in ascending stage order on the
+/// calling thread, so the result is bit-identical for any kernel, thread
+/// count, and overlap setting.
+///
+/// With telemetry attached to `pool`, each overlapped stage emits a
+/// `spgemm.stage` span (compute side) and a `summa.bcast.prefetch` span on
+/// [`Track::CommPath`] (comm side) whose intervals overlap — the proof the
+/// broadcast really ran concurrently with the multiply.
+pub fn summa_with_overlap<S, C>(
+    grid: &ProcessGrid<C>,
+    sr: &S,
+    a: &DistSparseMatrix<S::A>,
+    b: &DistSparseMatrix<S::B>,
+    pool: &SpGemmPool,
+    overlap: bool,
+) -> (DistSparseMatrix<S::C>, SpGemmStats)
+where
+    S: Semiring + Sync,
+    S::A: DistElem,
+    S::B: DistElem,
+    S::C: DistElem,
+    C: Communicator,
+{
     assert_eq!(
         a.ncols(),
         b.nrows(),
@@ -110,10 +154,12 @@ where
     let c_cols = b.col_dist().part_len(my_col);
     let mut c_local: CsrMatrix<S::C> = CsrMatrix::empty(c_rows, c_cols);
 
-    for k in 0..q {
-        // Broadcast A's stage block along grid rows (root: grid column k).
-        // The root sends its resident block as an Arc handle — a pointer
-        // clone, not a deep copy; receivers only read the block.
+    // Stage `k`'s pair of collectives, in the fixed order every rank
+    // issues: A's block along grid rows (root: grid column k), then B's
+    // block along grid columns (root: grid row k). The roots send their
+    // resident blocks as Arc handles — a pointer clone, not a deep copy;
+    // receivers only read the block.
+    let issue = |k: usize| -> StagePair<S> {
         let (a_send, a_bytes) = if my_col == k {
             (a.local_arc(), a.local().payload_bytes())
         } else {
@@ -121,15 +167,53 @@ where
         };
         let a_recv = grid.row_comm().broadcast(k, a_send, a_bytes);
 
-        // Broadcast B's stage block along grid columns (root: grid row k).
         let (b_send, b_bytes) = if my_row == k {
             (b.local_arc(), b.local().payload_bytes())
         } else {
             (Arc::new(CsrMatrix::empty(inner.part_len(k), c_cols)), 0)
         };
         let b_recv = grid.col_comm().broadcast(k, b_send, b_bytes);
+        (a_recv, b_recv)
+    };
 
-        let (partial, pstats) = pool.multiply(sr, &a_recv, &b_recv);
+    let recorder = pool.recorder();
+    // The double buffer: stage k+1's received blocks, posted while stage k
+    // computed. `None` whenever the broadcasts still have to run on the
+    // critical path (always, with overlap off — that branch is exactly the
+    // phased loop).
+    let mut staged: Option<StagePair<S>> = None;
+    for k in 0..q {
+        let (a_recv, b_recv) = staged.take().unwrap_or_else(|| issue(k));
+        let (partial, pstats) = if overlap && k + 1 < q {
+            // Open the compute span on this thread *before* spawning, so
+            // its start provably precedes the prefetch span's start — the
+            // interval intersection telemetry asserts on.
+            let stage_span = recorder.is_enabled().then(|| {
+                recorder
+                    .span(Component::SpGemm, "spgemm.stage")
+                    .on_track(Track::SpGemmWorker(0))
+                    .arg("stage", k as u64)
+            });
+            std::thread::scope(|scope| {
+                let compute = scope.spawn(move || {
+                    let _guard = stage_span;
+                    pool.multiply(sr, &a_recv, &b_recv)
+                });
+                // Meanwhile this thread — still the only one touching the
+                // communicator — posts stage k+1's broadcasts.
+                let prefetch_span = recorder.is_enabled().then(|| {
+                    recorder
+                        .span(Component::CommWait, "summa.bcast.prefetch")
+                        .on_track(Track::CommPath)
+                        .arg("stage", (k + 1) as u64)
+                });
+                staged = Some(issue(k + 1));
+                drop(prefetch_span);
+                compute.join().expect("SUMMA stage compute thread panicked")
+            })
+        } else {
+            pool.multiply(sr, &a_recv, &b_recv)
+        };
         stats.merge(pstats);
         // Stage partials arrive in ascending inner-index order, so this
         // accumulation preserves the serial combine order; the move-based
@@ -304,6 +388,35 @@ impl<A: DistElem, B: DistElem> BlockedSumma<A, B> {
     {
         assert!(r < self.br() && c < self.bc(), "block index out of range");
         summa_with(grid, sr, &self.a_stripes[r], &self.b_stripes[c], pool)
+    }
+
+    /// [`BlockedSumma::multiply_block_with`] with the double-buffered
+    /// broadcast path of [`summa_with_overlap`]: with `overlap` set, stage
+    /// `k+1`'s broadcasts are posted while stage `k`'s local multiply runs
+    /// on a scoped compute thread. Bit-identical to the phased path.
+    pub fn multiply_block_overlapped<S, C>(
+        &self,
+        grid: &ProcessGrid<C>,
+        sr: &S,
+        r: usize,
+        c: usize,
+        pool: &SpGemmPool,
+        overlap: bool,
+    ) -> (DistSparseMatrix<S::C>, SpGemmStats)
+    where
+        S: Semiring<A = A, B = B> + Sync,
+        S::C: DistElem,
+        C: Communicator,
+    {
+        assert!(r < self.br() && c < self.bc(), "block index out of range");
+        summa_with_overlap(
+            grid,
+            sr,
+            &self.a_stripes[r],
+            &self.b_stripes[c],
+            pool,
+            overlap,
+        )
     }
 }
 
@@ -632,6 +745,220 @@ mod tests {
         for (nnz, clones) in out {
             assert_eq!(nnz, 16, "each rank's C block should be dense 4x4");
             assert_eq!(clones, 0, "SUMMA deep-copied Tick values");
+        }
+    }
+
+    #[test]
+    fn overlap_is_bit_identical_to_phased_and_keeps_the_collective_count() {
+        // The Trace semiring exposes combine order, and the broadcast
+        // counters pin the collective schedule: overlap may only move the
+        // broadcasts in time, never change how many are issued.
+        let mut ta = Triples::new(9, 9);
+        let mut tb = Triples::new(9, 9);
+        for i in 0..9u32 {
+            for j in 0..9u32 {
+                if (i + 2 * j) % 3 != 1 {
+                    ta.push(i, j, i * 10 + j);
+                }
+                if (i * j + i) % 4 != 2 {
+                    tb.push(i, j, i * 10 + j);
+                }
+            }
+        }
+        let am = CsrMatrix::from_triples(ta.clone());
+        let bm = CsrMatrix::from_triples(tb.clone());
+        let (serial, _) = spgemm_hash(&Trace, &am, &bm);
+        let want = serial.to_triples().to_sorted_tuples();
+        for p in [4usize, 9] {
+            for threads in [1usize, 4] {
+                let ta = ta.clone();
+                let tb = tb.clone();
+                let out = run_threaded(p, move |c| {
+                    let world = c.split(0, c.rank());
+                    let grid = ProcessGrid::square(world);
+                    let (a, b) = if c.rank() == 0 {
+                        (ta.clone(), tb.clone())
+                    } else {
+                        (Triples::new(9, 9), Triples::new(9, 9))
+                    };
+                    let da = DistSparseMatrix::from_global_triples(&grid, 9, 9, a, |_, _| {});
+                    let db = DistSparseMatrix::from_global_triples(&grid, 9, 9, b, |_, _| {});
+                    let pool = SpGemmPool::new(threads);
+                    let bcasts =
+                        || grid.row_comm().stats().broadcasts + grid.col_comm().stats().broadcasts;
+                    let n0 = bcasts();
+                    let (c_off, _) = summa_with_overlap(&grid, &Trace, &da, &db, &pool, false);
+                    let n1 = bcasts();
+                    let (c_on, _) = summa_with_overlap(&grid, &Trace, &da, &db, &pool, true);
+                    let n2 = bcasts();
+                    assert_eq!(n1 - n0, n2 - n1, "overlap changed the collective count");
+                    (
+                        c_off.gather_global(&grid).to_sorted_tuples(),
+                        c_on.gather_global(&grid).to_sorted_tuples(),
+                    )
+                });
+                for (off, on) in out {
+                    assert_eq!(off, want, "phased p={p} threads={threads}");
+                    assert_eq!(on, want, "overlapped p={p} threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_on_unified_pool_matches_phased() {
+        // Overlap + the cross-engine WorkPool together: the compute thread
+        // submits row chunks to shared workers while the rank thread posts
+        // the next stage's broadcasts. One pool serves all four ranks.
+        let mut ta = Triples::new(8, 8);
+        let mut tb = Triples::new(8, 8);
+        for i in 0..8u32 {
+            for j in 0..8u32 {
+                if (i + j) % 2 == 0 {
+                    ta.push(i, j, i * 10 + j);
+                }
+                if (i * j) % 3 != 1 {
+                    tb.push(i, j, i * 10 + j);
+                }
+            }
+        }
+        let am = CsrMatrix::from_triples(ta.clone());
+        let bm = CsrMatrix::from_triples(tb.clone());
+        let (serial, _) = spgemm_hash(&Trace, &am, &bm);
+        let want = serial.to_triples().to_sorted_tuples();
+        let workers = pastis_pool::WorkPool::with_exact_workers(2);
+        let out = run_threaded(4, move |c| {
+            let world = c.split(0, c.rank());
+            let grid = ProcessGrid::square(world);
+            let (a, b) = if c.rank() == 0 {
+                (ta.clone(), tb.clone())
+            } else {
+                (Triples::new(8, 8), Triples::new(8, 8))
+            };
+            let da = DistSparseMatrix::from_global_triples(&grid, 8, 8, a, |_, _| {});
+            let db = DistSparseMatrix::from_global_triples(&grid, 8, 8, b, |_, _| {});
+            let pool = SpGemmPool::new(1)
+                .with_kind(SpGemmKind::Parallel)
+                .with_workers(workers.clone());
+            let (cm, _) = summa_with_overlap(&grid, &Trace, &da, &db, &pool, true);
+            cm.gather_global(&grid).to_sorted_tuples()
+        });
+        for got in out {
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn overlap_never_clones_local_values() {
+        // Same zero-copy contract as the phased path: prefetching the next
+        // stage's blocks is an Arc handoff, not a deep copy.
+        let out = run_threaded(4, |c| {
+            let rank = c.rank();
+            let world = c.split(0, rank);
+            let grid = ProcessGrid::square(world);
+            let mut t = Triples::new(4, 4);
+            for i in 0..4u32 {
+                for j in 0..4u32 {
+                    t.push(i, j, Tick(rank as u32 * 16 + i * 4 + j + 1));
+                }
+            }
+            let local = CsrMatrix::from_triples(t);
+            let da = DistSparseMatrix::from_local_block(&grid, 8, 8, local);
+            let db = {
+                let mut t = Triples::new(4, 4);
+                for i in 0..4u32 {
+                    t.push(i, i, Tick(1));
+                }
+                DistSparseMatrix::from_local_block(&grid, 8, 8, CsrMatrix::from_triples(t))
+            };
+            grid.world().barrier();
+            if rank == 0 {
+                TICK_CLONES.store(0, std::sync::atomic::Ordering::SeqCst);
+            }
+            grid.world().barrier();
+            let (cm, _) =
+                summa_with_overlap(&grid, &TickRing, &da, &db, &SpGemmPool::serial(), true);
+            grid.world().barrier();
+            let clones = TICK_CLONES.load(std::sync::atomic::Ordering::SeqCst);
+            (cm.nnz_local(), clones)
+        });
+        for (nnz, clones) in out {
+            assert_eq!(nnz, 16, "each rank's C block should be dense 4x4");
+            assert_eq!(clones, 0, "overlapped SUMMA deep-copied Tick values");
+        }
+    }
+
+    /// `Trace` with a deliberately slow multiply, so each SUMMA stage's
+    /// compute provably outlasts the next stage's broadcast posting — the
+    /// span-interval assertion below cannot race.
+    struct SlowTrace;
+    impl Semiring for SlowTrace {
+        type A = u32;
+        type B = u32;
+        type C = Vec<u32>;
+        fn multiply(&self, a: &u32, b: &u32) -> Vec<u32> {
+            std::thread::sleep(std::time::Duration::from_micros(300));
+            vec![a * 1000 + b]
+        }
+        fn combine(&self, acc: &mut Vec<u32>, mut inc: Vec<u32>) {
+            acc.append(&mut inc);
+        }
+    }
+
+    #[test]
+    fn overlap_emits_concurrent_prefetch_and_stage_spans() {
+        use pastis_trace::TraceSession;
+        let sess = std::sync::Arc::new(TraceSession::new());
+        let mut ta = Triples::new(6, 6);
+        let mut tb = Triples::new(6, 6);
+        for i in 0..6u32 {
+            for j in 0..6u32 {
+                ta.push(i, j, i * 10 + j);
+                tb.push(i, j, i * 10 + j);
+            }
+        }
+        let sess2 = std::sync::Arc::clone(&sess);
+        let out = run_threaded(4, move |c| {
+            let rec = sess2.recorder(c.rank());
+            let world = c.split(0, c.rank());
+            let grid = ProcessGrid::square(world);
+            let (a, b) = if c.rank() == 0 {
+                (ta.clone(), tb.clone())
+            } else {
+                (Triples::new(6, 6), Triples::new(6, 6))
+            };
+            let da = DistSparseMatrix::from_global_triples(&grid, 6, 6, a, |_, _| {});
+            let db = DistSparseMatrix::from_global_triples(&grid, 6, 6, b, |_, _| {});
+            let pool = SpGemmPool::serial().with_recorder(rec);
+            let (cm, _) = summa_with_overlap(&grid, &SlowTrace, &da, &db, &pool, true);
+            cm.nnz_local()
+        });
+        assert!(out.iter().all(|&n| n > 0));
+        for rec in sess.recorders() {
+            let spans = rec.snapshot_spans();
+            let stages: Vec<_> = spans.iter().filter(|s| s.name == "spgemm.stage").collect();
+            let prefetches: Vec<_> = spans
+                .iter()
+                .filter(|s| s.name == "summa.bcast.prefetch")
+                .collect();
+            // 2x2 grid → q = 2 stages, one of which is overlapped.
+            assert_eq!(stages.len(), 1, "rank {}", rec.rank());
+            assert_eq!(prefetches.len(), 1, "rank {}", rec.rank());
+            let s = stages[0];
+            let p = prefetches[0];
+            assert_eq!(s.track, Track::SpGemmWorker(0));
+            assert_eq!(p.track, Track::CommPath);
+            // The prefetch ran strictly inside the stage's compute window:
+            // true concurrency, not phased scheduling.
+            assert!(
+                p.start_us >= s.start_us && p.start_us < s.end_us(),
+                "rank {}: prefetch [{}, {}] not inside stage [{}, {}]",
+                rec.rank(),
+                p.start_us,
+                p.end_us(),
+                s.start_us,
+                s.end_us()
+            );
         }
     }
 

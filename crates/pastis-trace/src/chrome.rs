@@ -61,10 +61,12 @@ fn write_rank_events(w: &mut JsonWriter, rec: &Recorder) {
     tids.sort_unstable();
     tids.dedup();
     for tid in tids {
-        let label = if tid == 0 {
-            "main".to_string()
-        } else {
-            format!("align-worker {}", tid - 1)
+        let label = match tid {
+            0 => "main".to_string(),
+            1..=1024 => format!("align-worker {}", tid - 1),
+            1025..=2048 => format!("spgemm-worker {}", tid - 1025),
+            2049 => "comm-prefetch".to_string(),
+            _ => format!("pool-worker {}", tid - 2050),
         };
         w.begin_object()
             .field_str("name", "thread_name")

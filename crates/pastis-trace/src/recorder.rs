@@ -96,17 +96,29 @@ pub enum Track {
     /// [`Track::Rank`] spans only) never double-count the pool's
     /// per-chunk spans.
     SpGemmWorker(u32),
+    /// The dedicated comm-issuing path of the double-buffered SUMMA: the
+    /// `summa.bcast.prefetch` spans posting stage `k+1`'s broadcasts while
+    /// stage `k` computes. Off [`Track::Rank`] so the prefetch time is
+    /// visible without double-counting inside the enclosing block span.
+    CommPath,
+    /// One unified-pool worker's occupancy sub-track (slots from
+    /// `pastis-pool`, which serves both engines; slots at and above the
+    /// pool's thread count are the submitting threads helping out).
+    PoolWorker(u32),
 }
 
 impl Track {
     /// Chrome `tid` for this track: 0 = main, 1+w = align worker `w`,
-    /// 1025+w = SpGEMM worker `w` (offset keeps the two worker families
-    /// in disjoint tid ranges for any realistic pool size).
+    /// 1025+w = SpGEMM worker `w`, 2049 = the SUMMA comm-prefetch path,
+    /// 2050+w = unified-pool worker `w` (offsets keep the families in
+    /// disjoint tid ranges for any realistic pool size).
     pub fn tid(self) -> u64 {
         match self {
             Track::Rank => 0,
             Track::AlignWorker(w) => 1 + w as u64,
             Track::SpGemmWorker(w) => 1025 + w as u64,
+            Track::CommPath => 2049,
+            Track::PoolWorker(w) => 2050 + w as u64,
         }
     }
 }

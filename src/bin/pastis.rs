@@ -72,6 +72,19 @@ SEARCH/CLUSTER OPTIONS:
                               identical for any choice       [default: auto]
     --spgemm-threads <INT>    intra-rank SpGEMM workers; 0 = one per core;
                               output is identical for any value [default: 1]
+    --threads <INT>           unified work-stealing pool shared by the
+                              sparse and alignment engines (replaces the
+                              static --align-threads/--spgemm-threads
+                              split); counts the submitting thread, 0 =
+                              one per core; output is identical for any
+                              value. When set, an explicitly passed
+                              --align-threads/--spgemm-threads becomes a
+                              per-engine concurrency cap on pool workers
+                              instead of a dedicated thread count
+    --overlap                 double-buffer SUMMA broadcasts: post stage
+                              k+1's row/column broadcasts while stage k's
+                              local SpGEMM runs; output is bit-identical
+                              with the flag on or off
     --mcl                     cluster with Markov clustering instead of
                               connected components (cluster command only)
     --inflation <FLOAT>       MCL inflation exponent            [default: 2.0]
@@ -211,6 +224,7 @@ const SEARCH_VALUE_FLAGS: &[&str] = &[
     "align-threads",
     "spgemm",
     "spgemm-threads",
+    "threads",
     "inflation",
     "ranks",
     "trace-out",
@@ -278,6 +292,19 @@ fn parse_search_params(opts: &Opts) -> Result<SearchParams, String> {
             .parse()
             .map_err(|_| format!("bad spgemm-threads value '{t}'"))?;
     }
+    if let Some(t) = opts.get("threads") {
+        p.threads = Some(t.parse().map_err(|_| format!("bad threads value '{t}'"))?);
+        // Under the unified pool the legacy per-engine knobs stop being
+        // thread counts and become optional concurrency caps; only map
+        // them when the user actually passed them.
+        if opts.get("align-threads").is_some() {
+            p.align_cap = Some(p.align_threads);
+        }
+        if opts.get("spgemm-threads").is_some() {
+            p.spgemm_cap = Some(p.spgemm_threads);
+        }
+    }
+    p.overlap = opts.has("overlap");
     if let Some(ms) = opts.get("op-timeout-ms") {
         p.op_timeout_ms = Some(
             ms.parse()
@@ -917,6 +944,107 @@ mod tests {
                 got, base,
                 "--spgemm {kernel} --spgemm-threads {threads} diverged from serial hash"
             );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unified_pool_flags_parse_and_validate() {
+        // Defaults: no unified pool, overlap off.
+        let none = Opts::parse(&[], SEARCH_VALUE_FLAGS).unwrap();
+        let p = parse_search_params(&none).unwrap();
+        assert_eq!(p.threads, None);
+        assert!(!p.overlap);
+        assert_eq!((p.align_cap, p.spgemm_cap), (None, None));
+        // --threads alone: pool of 4, no caps.
+        let o = Opts::parse(&s(&["--threads", "4", "--overlap"]), SEARCH_VALUE_FLAGS).unwrap();
+        let p = parse_search_params(&o).unwrap();
+        assert_eq!(p.threads, Some(4));
+        assert!(p.overlap);
+        assert_eq!((p.align_cap, p.spgemm_cap), (None, None));
+        // 0 = one per core is valid.
+        let zero = Opts::parse(&s(&["--threads", "0"]), SEARCH_VALUE_FLAGS).unwrap();
+        assert_eq!(parse_search_params(&zero).unwrap().threads, Some(0));
+        // Explicit legacy knobs become per-engine caps under --threads.
+        let capped = Opts::parse(
+            &s(&[
+                "--threads",
+                "8",
+                "--align-threads",
+                "3",
+                "--spgemm-threads",
+                "2",
+            ]),
+            SEARCH_VALUE_FLAGS,
+        )
+        .unwrap();
+        let p = parse_search_params(&capped).unwrap();
+        assert_eq!(p.threads, Some(8));
+        assert_eq!(p.align_cap, Some(3));
+        assert_eq!(p.spgemm_cap, Some(2));
+        // Without --threads the legacy knobs keep their dedicated-thread
+        // meaning and no caps are set.
+        let legacy = Opts::parse(&s(&["--align-threads", "3"]), SEARCH_VALUE_FLAGS).unwrap();
+        let p = parse_search_params(&legacy).unwrap();
+        assert_eq!(p.align_threads, 3);
+        assert_eq!(p.align_cap, None);
+        // Bad values are rejected.
+        let bad = Opts::parse(&s(&["--threads", "many"]), SEARCH_VALUE_FLAGS).unwrap();
+        assert!(parse_search_params(&bad).is_err());
+    }
+
+    #[test]
+    fn overlap_and_unified_pool_emit_byte_identical_tsv() {
+        // The CLI-level face of the overlap determinism contract: the
+        // phased legacy run, the unified-pool run, and the overlapped
+        // double-buffered run all write the exact same bytes.
+        let dir = std::env::temp_dir().join(format!("pastis-cli-overlap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let fa = dir.join("s.fa");
+        run(&s(&[
+            "generate",
+            fa.to_str().unwrap(),
+            "--n",
+            "70",
+            "--mean-len",
+            "90",
+            "--seed",
+            "23",
+        ]))
+        .unwrap();
+        let run_with = |extra: &[&str], out: &Path| {
+            let mut argv = s(&[
+                "search",
+                fa.to_str().unwrap(),
+                out.to_str().unwrap(),
+                "--k",
+                "5",
+                "--blocks",
+                "2x2",
+                "--ani",
+                "0.4",
+                "--coverage",
+                "0.5",
+                "--ranks",
+                "4",
+            ]);
+            argv.extend(extra.iter().map(|x| x.to_string()));
+            run(&argv).unwrap();
+            std::fs::read(out).unwrap()
+        };
+        let base = run_with(&[], &dir.join("base.tsv"));
+        assert!(!base.is_empty(), "baseline run produced no edges");
+        for (label, extra) in [
+            ("pool2", &["--threads", "2"][..]),
+            ("pool4-overlap", &["--threads", "4", "--overlap"][..]),
+            ("overlap-only", &["--overlap"][..]),
+            (
+                "capped",
+                &["--threads", "4", "--align-threads", "1", "--overlap"][..],
+            ),
+        ] {
+            let got = run_with(extra, &dir.join(format!("{label}.tsv")));
+            assert_eq!(got, base, "{label} diverged from the phased legacy run");
         }
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -151,6 +151,71 @@ fn identical_results_with_everything_varied_at_once() {
 }
 
 #[test]
+fn identical_results_with_overlap_and_unified_pool() {
+    // The overlap tentpole joins the determinism claim: double-buffered
+    // SUMMA broadcasts plus the unified work-stealing pool leave the graph
+    // bit-identical for any pool size, either SpGEMM kernel, and with or
+    // without pre-blocking — on a real 4-rank grid.
+    let want = reference_fingerprint();
+    for threads in [1usize, 2, 4] {
+        for kind in [SpGemmKind::Hash, SpGemmKind::Parallel] {
+            for pb in [false, true] {
+                let out = run_threaded(4, move |c| {
+                    let grid = ProcessGrid::square(c.split(0, c.rank()));
+                    let prm = params()
+                        .with_blocking(2, 2)
+                        .with_pre_blocking(pb)
+                        .with_spgemm(kind)
+                        .with_threads(threads)
+                        .with_overlap(true);
+                    let res = run_search(&grid, &dataset(), &prm).unwrap();
+                    fingerprint(&res.gather_graph(grid.world()))
+                });
+                for fp in out {
+                    assert_eq!(
+                        fp, want,
+                        "threads={threads} spgemm={kind} pre_blocking={pb} overlap=on"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn overlap_off_and_engine_caps_preserve_results() {
+    // The remaining knobs of the unified pool: overlap explicitly off on
+    // the pooled path, and per-engine concurrency caps (including a cap of
+    // zero workers, where the submitting thread still completes the job).
+    let want = reference_fingerprint();
+    let cases: [(bool, Option<usize>, Option<usize>); 3] = [
+        (false, None, None),
+        (true, Some(1), Some(2)),
+        (true, Some(0), None),
+    ];
+    for (overlap, align_cap, spgemm_cap) in cases {
+        let out = run_threaded(4, move |c| {
+            let grid = ProcessGrid::square(c.split(0, c.rank()));
+            let mut prm = params()
+                .with_blocking(2, 2)
+                .with_pre_blocking(true)
+                .with_threads(4)
+                .with_overlap(overlap);
+            prm.align_cap = align_cap;
+            prm.spgemm_cap = spgemm_cap;
+            let res = run_search(&grid, &dataset(), &prm).unwrap();
+            fingerprint(&res.gather_graph(grid.world()))
+        });
+        for fp in out {
+            assert_eq!(
+                fp, want,
+                "overlap={overlap} align_cap={align_cap:?} spgemm_cap={spgemm_cap:?}"
+            );
+        }
+    }
+}
+
+#[test]
 fn aligned_pair_totals_are_parallelism_invariant() {
     // Beyond the output edges: the amount of alignment *work* is also
     // invariant (each unordered pair aligned exactly once, anywhere).

@@ -126,6 +126,104 @@ fn four_rank_traced_session_is_complete() {
 }
 
 #[test]
+fn overlapped_run_telemetry_proves_interleaving() {
+    // The overlap tentpole's observable contract: with `--overlap` and the
+    // unified pool on, the timeline must show (a) a SUMMA broadcast
+    // prefetch running *inside* a stage's local SpGEMM compute span,
+    // (b) a pre-blocked sparse block running concurrently with the
+    // previous block's alignment, and (c) the pool's steal counter
+    // published on every rank — while the graph stays bit-identical to
+    // the serial reference.
+    let p = 4usize;
+    let store = Arc::new(dataset());
+    let params = Arc::new(
+        SearchParams::test_defaults()
+            .with_blocking(2, 2)
+            .with_pre_blocking(true)
+            .with_threads(2)
+            .with_overlap(true),
+    );
+    let session = Arc::new(TraceSession::new());
+    let want = {
+        let serial = SearchParams::test_defaults().with_blocking(2, 2);
+        fingerprint(&run_search_serial(&store, &serial).unwrap().graph)
+    };
+
+    let sess = Arc::clone(&session);
+    let outs = run_threaded(p, move |c| {
+        let rec = sess.recorder(c.rank());
+        let comm = TracedComm::new(c.split(0, c.rank()), rec.clone());
+        let grid = ProcessGrid::square(comm);
+        let res = run_search_traced(&grid, &store, &params, &rec).unwrap();
+        fingerprint(&res.gather_graph(grid.world()))
+    });
+    for fp in outs {
+        assert_eq!(fp, want, "overlapped pooled run changed the graph");
+    }
+
+    // (a) Broadcast prefetch inside SpGEMM compute. The stage span opens
+    // on the issuing thread before the compute thread is spawned, so
+    // `prefetch.start >= stage.start` is guaranteed; a prefetch that also
+    // starts before the stage ends was truly concurrent with compute.
+    let mut bcast_overlaps = 0usize;
+    // (b) Pre-blocking: block k+1's SUMMA runs while block k aligns.
+    let mut block_overlaps = 0usize;
+    for rank in 0..p {
+        let rec = session.recorder(rank);
+        let spans = rec.snapshot_spans();
+        let stages: Vec<_> = spans.iter().filter(|s| s.name == "spgemm.stage").collect();
+        let prefetches: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name == "summa.bcast.prefetch")
+            .collect();
+        assert!(
+            !stages.is_empty() && !prefetches.is_empty(),
+            "rank {rank}: overlapped run emitted no stage/prefetch spans"
+        );
+        bcast_overlaps += prefetches
+            .iter()
+            .filter(|f| {
+                stages
+                    .iter()
+                    .any(|s| f.start_us >= s.start_us && f.start_us < s.end_us())
+            })
+            .count();
+        let aligns: Vec<_> = spans.iter().filter(|s| s.name == "align.batch").collect();
+        let sparse: Vec<_> = spans.iter().filter(|s| s.name == "summa.block").collect();
+        block_overlaps += sparse
+            .iter()
+            .filter(|b| {
+                aligns
+                    .iter()
+                    .any(|a| b.start_us < a.end_us() && a.start_us < b.end_us())
+            })
+            .count();
+        // The pooled kernels ran on shared pool worker tracks.
+        assert!(
+            spans
+                .iter()
+                .any(|s| matches!(s.track, Track::PoolWorker(_))),
+            "rank {rank}: no span landed on a unified-pool worker track"
+        );
+        // (c) The steal counter is published (stealing itself depends on
+        // timing; the counter existing with a sane value is the contract).
+        let steals = rec.counters()["pool.steals"];
+        assert!(
+            steals.is_finite() && steals >= 0.0,
+            "rank {rank}: bad pool.steals counter {steals}"
+        );
+    }
+    assert!(
+        bcast_overlaps > 0,
+        "no SUMMA broadcast prefetch overlapped a stage's SpGEMM compute"
+    );
+    assert!(
+        block_overlaps > 0,
+        "no pre-blocked sparse block overlapped the previous block's alignment"
+    );
+}
+
+#[test]
 fn disabled_recorder_pipeline_records_nothing() {
     // The `--no-telemetry` path: a disabled recorder flows through the whole
     // pipeline (including the align pool and the traced communicator) and
