@@ -36,7 +36,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use pastis_pool::{Engine, WorkPool};
-use pastis_trace::{Component, Recorder, Track};
+use pastis_trace::{names, Component, Recorder, Track};
 
 use crate::banded::sw_banded;
 use crate::batch::{AlignTask, BatchStats};
@@ -267,8 +267,10 @@ impl AlignPool {
             out
         });
         stats.simd = backend;
-        self.recorder
-            .add_counter("align.lane_promotions", stats.lane_promotions as f64);
+        self.recorder.add_counter(
+            names::CTR_ALIGN_LANE_PROMOTIONS,
+            stats.lane_promotions as f64,
+        );
         // Scatter lane-ordered results back to task order.
         let mut results = vec![ScoreResult::default(); tasks.len()];
         for (idx, r) in unit_results.into_iter().flatten() {
@@ -371,7 +373,7 @@ impl AlignPool {
             let busy = Instant::now();
             let mut span = self.recorder.is_enabled().then(|| {
                 self.recorder
-                    .span(Component::Align, "align.unit")
+                    .span(Component::Align, names::SPAN_ALIGN_UNIT)
                     .on_track(Track::PoolWorker(slot as u32))
                     .arg("unit", u as u64)
             });
@@ -408,7 +410,7 @@ impl AlignPool {
         }
         Some(
             self.recorder
-                .span(Component::Align, "align.worker")
+                .span(Component::Align, names::SPAN_ALIGN_WORKER)
                 .on_track(Track::AlignWorker(w)),
         )
     }
@@ -832,7 +834,7 @@ mod tests {
         let spans = rec.snapshot_spans();
         assert_eq!(spans.len(), 1);
         assert_eq!(spans[0].track, Track::AlignWorker(0));
-        assert_eq!(spans[0].name, "align.worker");
+        assert_eq!(spans[0].name, names::SPAN_ALIGN_WORKER);
     }
 
     #[test]
@@ -891,7 +893,7 @@ mod tests {
         let mut pairs = 0u64;
         let mut cells = 0u64;
         for s in &spans {
-            assert_eq!(s.name, "align.unit");
+            assert_eq!(s.name, names::SPAN_ALIGN_UNIT);
             assert!(matches!(s.track, Track::PoolWorker(_)), "{:?}", s.track);
             units.push(arg(s, "unit"));
             pairs += arg(s, "pairs");

@@ -29,7 +29,7 @@ use pastis_core::kmer::distinct_kmers;
 use pastis_core::simgraph::{SimilarityEdge, SimilarityGraph};
 use pastis_seqio::{ReducedAlphabet, SeqStore};
 use pastis_sparse::run_units;
-use pastis_trace::{span, Component, Recorder, TraceSession};
+use pastis_trace::{names, span, Component, Recorder, TraceSession};
 
 use crate::ckpt::{self, BaselineCheckpoint};
 
@@ -175,7 +175,7 @@ fn run_inner(
         );
         for rc in 0..rdist.parts {
             let spilled_before = spill_qc.len() as u64;
-            let mut pkg_span = span!(rec, Component::SparseOther, "package.seed_join", {
+            let mut pkg_span = span!(rec, Component::SparseOther, names::SPAN_PACKAGE_SEED_JOIN, {
                 rc: rc as u64,
             });
             let (r0, r1) = (
@@ -266,7 +266,7 @@ fn run_inner(
             for e in &ck.edges {
                 graph.add(*e);
             }
-            aligned_pairs = ck.counter("aligned_pairs");
+            aligned_pairs = ck.counter(names::CTR_ALIGNED_PAIRS);
             start_chunk = ck.units_done;
             resumed_chunks = Some(ck.units_done);
         }
@@ -282,7 +282,7 @@ fn run_inner(
             continue;
         }
         let rec = session.map_or_else(Recorder::disabled, |s| s.recorder(chunk_idx));
-        let mut join_span = span!(rec, Component::Align, "join.align", {
+        let mut join_span = span!(rec, Component::Align, names::SPAN_JOIN_ALIGN, {
             records: chunk.len() as u64,
         });
         spilled_bytes += chunk.len() as u64 * INTERMEDIATE_BYTES; // re-read
@@ -329,21 +329,21 @@ fn run_inner(
         }
         join_span.push_arg("pairs", tasks.len() as u64);
         drop(join_span);
-        rec.add_counter("aligned_pairs", tasks.len() as f64);
+        rec.add_counter(names::CTR_ALIGNED_PAIRS, tasks.len() as f64);
         if let Some(dir) = ckpt_dir {
             let ck = BaselineCheckpoint {
                 fingerprint: fp,
                 units_done: chunk_idx + 1,
                 units: qdist.parts,
-                counters: vec![("aligned_pairs".into(), aligned_pairs)],
+                counters: vec![(names::CTR_ALIGNED_PAIRS.into(), aligned_pairs)],
                 edges: graph.edges().to_vec(),
             };
             if let Err(e) = ckpt::save(dir, &ck) {
                 // Best-effort: losing a restart point must not fail the run.
-                rec.add_counter("checkpoint.write_failed", 1.0);
+                rec.add_counter(names::CTR_CHECKPOINT_WRITE_FAILED, 1.0);
                 let _ = e;
             } else {
-                rec.add_counter("checkpoint.units_written", 1.0);
+                rec.add_counter(names::CTR_CHECKPOINT_UNITS_WRITTEN, 1.0);
             }
         }
     }
@@ -577,10 +577,10 @@ mod tests {
             let spans = rec.snapshot_spans();
             packages += spans
                 .iter()
-                .filter(|s| s.name == "package.seed_join")
+                .filter(|s| s.name == names::SPAN_PACKAGE_SEED_JOIN)
                 .count();
-            assert!(spans.iter().any(|s| s.name == "join.align"));
-            total_aligned += rec.counters()["aligned_pairs"];
+            assert!(spans.iter().any(|s| s.name == names::SPAN_JOIN_ALIGN));
+            total_aligned += rec.counters()[names::CTR_ALIGNED_PAIRS];
         }
         assert_eq!(packages, base.packages);
         assert_eq!(total_aligned as u64, base.aligned_pairs);

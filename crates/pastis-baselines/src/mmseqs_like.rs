@@ -23,7 +23,7 @@ use pastis_core::kmer::distinct_kmers;
 use pastis_core::simgraph::{SimilarityEdge, SimilarityGraph};
 use pastis_seqio::{ReducedAlphabet, SeqStore};
 use pastis_sparse::run_units;
-use pastis_trace::{span, Component, Recorder, TraceSession};
+use pastis_trace::{names, span, Component, Recorder, TraceSession};
 
 use crate::ckpt::{self, BaselineCheckpoint};
 
@@ -197,8 +197,8 @@ fn run_inner(
             for e in &ck.edges {
                 graph.add(*e);
             }
-            prefilter_candidates = ck.counter("prefilter_candidates");
-            aligned_pairs = ck.counter("aligned_pairs");
+            prefilter_candidates = ck.counter(names::CTR_PREFILTER_CANDIDATES);
+            aligned_pairs = ck.counter(names::CTR_ALIGNED_PAIRS);
             index_bytes_per_rank = ck.counter("index_bytes_per_rank");
             start_rank = ck.units_done;
             resumed_ranks = Some(ck.units_done);
@@ -213,7 +213,7 @@ fn run_inner(
         // queries; in query-split mode it indexes the *whole* reference
         // set and scans its chunk. Either way one side of the pairing is
         // all `n` sequences; the replicated structure differs.
-        let mut build_span = span!(rec, Component::SparseOther, "index.build");
+        let mut build_span = span!(rec, Component::SparseOther, names::SPAN_INDEX_BUILD);
         let (index, scan): (KmerIndex, Box<dyn Iterator<Item = usize>>) = match cfg.mode {
             SplitMode::TargetSplit => (KmerIndex::build(store, c0..c1, cfg), Box::new(0..n)),
             SplitMode::QuerySplit => (KmerIndex::build(store, 0..n, cfg), Box::new(c0..c1)),
@@ -243,7 +243,7 @@ fn run_inner(
         let mut tasks: Vec<AlignTask> = Vec::new();
         let mut shared_counts: Vec<u32> = Vec::new();
         let rank_candidates_before = prefilter_candidates;
-        let mut prefilter_span = span!(rec, Component::SparseOther, "prefilter");
+        let mut prefilter_span = span!(rec, Component::SparseOther, names::SPAN_PREFILTER);
         // Scan queries on the prefilter pool: one unit per query, claimed
         // atomically and stitched back in query order, so the candidate
         // list — and everything downstream — is identical for every
@@ -287,16 +287,16 @@ fn run_inner(
         prefilter_span.push_arg("candidates", prefilter_candidates - rank_candidates_before);
         drop(prefilter_span);
         let (results, _stats) = {
-            let _s = span!(rec, Component::Align, "align.batch", {
+            let _s = span!(rec, Component::Align, names::SPAN_ALIGN_BATCH, {
                 pairs: tasks.len() as u64,
             });
             aligner.run_batch_parallel(&tasks, |id| store.seq(id as usize), cfg.align_threads)
         };
         rec.add_counter(
-            "prefilter_candidates",
+            names::CTR_PREFILTER_CANDIDATES,
             (prefilter_candidates - rank_candidates_before) as f64,
         );
-        rec.add_counter("aligned_pairs", tasks.len() as f64);
+        rec.add_counter(names::CTR_ALIGNED_PAIRS, tasks.len() as f64);
         aligned_pairs += tasks.len() as u64;
         for ((task, res), &shared) in tasks.iter().zip(&results).zip(&shared_counts) {
             let qs = store.seq(task.query as usize);
@@ -318,8 +318,8 @@ fn run_inner(
                 units_done: rank + 1,
                 units: nranks,
                 counters: vec![
-                    ("prefilter_candidates".into(), prefilter_candidates),
-                    ("aligned_pairs".into(), aligned_pairs),
+                    (names::CTR_PREFILTER_CANDIDATES.into(), prefilter_candidates),
+                    (names::CTR_ALIGNED_PAIRS.into(), aligned_pairs),
                     ("index_bytes_per_rank".into(), index_bytes_per_rank),
                 ],
                 edges: graph.edges().to_vec(),
@@ -327,10 +327,10 @@ fn run_inner(
             if let Err(e) = ckpt::save(dir, &ck) {
                 // Checkpointing is best-effort: a full disk degrades to
                 // "no restart point", never to a failed search.
-                rec.add_counter("checkpoint.write_failed", 1.0);
+                rec.add_counter(names::CTR_CHECKPOINT_WRITE_FAILED, 1.0);
                 let _ = e;
             } else {
-                rec.add_counter("checkpoint.units_written", 1.0);
+                rec.add_counter(names::CTR_CHECKPOINT_UNITS_WRITTEN, 1.0);
             }
         }
     }
@@ -528,14 +528,18 @@ mod tests {
         let mut total_aligned = 0.0;
         for rec in &recs {
             let spans = rec.snapshot_spans();
-            for name in ["index.build", "prefilter", "align.batch"] {
+            for name in [
+                names::SPAN_INDEX_BUILD,
+                names::SPAN_PREFILTER,
+                names::SPAN_ALIGN_BATCH,
+            ] {
                 assert!(
                     spans.iter().any(|s| s.name == name),
                     "rank {} missing {name}",
                     rec.rank()
                 );
             }
-            total_aligned += rec.counters()["aligned_pairs"];
+            total_aligned += rec.counters()[names::CTR_ALIGNED_PAIRS];
         }
         assert_eq!(total_aligned as u64, base.aligned_pairs);
     }

@@ -1,0 +1,58 @@
+//! Diff a freshly measured bench ledger against the committed baseline.
+//!
+//! Exits non-zero when any entry regressed past the threshold or any
+//! baseline entry is missing from the current ledger; improvements and
+//! newly added entries are reported but never fail. This is the CI side
+//! of the perf-regression ledger (see `pastis_bench::ledger`).
+//!
+//! Usage: `bench_compare <baseline.json> <current.json> [threshold_pct]`
+//! (threshold defaults to 10, i.e. fail on >10% slowdowns).
+
+use pastis_bench::ledger::{compare, render_diff, BenchLedger};
+
+fn load(path: &str) -> BenchLedger {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    BenchLedger::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("error: {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 || args.len() > 3 {
+        eprintln!("usage: bench_compare <baseline.json> <current.json> [threshold_pct]");
+        std::process::exit(2);
+    }
+    let threshold: f64 = args.get(2).map_or(10.0, |s| {
+        s.parse().unwrap_or_else(|_| {
+            eprintln!("error: bad threshold '{s}'");
+            std::process::exit(2);
+        })
+    });
+    if threshold < 0.0 {
+        eprintln!("error: threshold must be non-negative");
+        std::process::exit(2);
+    }
+
+    let baseline = load(&args[0]);
+    let current = load(&args[1]);
+    let diff = compare(&baseline, &current, threshold);
+    print!("{}", render_diff(&diff, threshold));
+    if diff.is_clean() {
+        println!(
+            "PASS: {} entries within {threshold}% of baseline",
+            baseline.entries.len()
+        );
+    } else {
+        eprintln!(
+            "FAIL: {} regression(s), {} missing entr(y/ies)",
+            diff.regressions.len(),
+            diff.missing.len()
+        );
+        std::process::exit(1);
+    }
+}

@@ -19,7 +19,7 @@
 use pastis_bench::*;
 use pastis_comm::ImbalanceStats;
 use pastis_core::{simulate_traced, LoadBalance};
-use pastis_trace::{Component, MetricsReport, TraceSession};
+use pastis_trace::{names, ClusterReport, Component, TraceSession};
 
 fn fmt_imb(s: &ImbalanceStats) -> String {
     format!(
@@ -47,8 +47,9 @@ fn main() {
     );
 
     // Simulate each (blocks, scheme) configuration once, with telemetry;
-    // all four panels read from the same reports + metrics.
-    let reports: Vec<Vec<(pastis_core::ScaleReport, MetricsReport)>> = blocks
+    // all four panels read from the same reports + cluster aggregations
+    // (the merge path `pastis analyze` applies to real metrics files).
+    let reports: Vec<Vec<(pastis_core::ScaleReport, ClusterReport)>> = blocks
         .iter()
         .map(|&b| {
             let (br, bc) = factor_blocks(b);
@@ -65,7 +66,7 @@ fn main() {
                         &scale_config(&machine, nodes),
                         &session,
                     );
-                    (r, MetricsReport::from_session(&session))
+                    (r, ClusterReport::from_session(&session))
                 })
                 .collect()
         })
@@ -85,11 +86,11 @@ fn main() {
         rule(100);
         for (bi, &b) in blocks.iter().enumerate() {
             let mut cells = Vec::new();
-            for (_, metrics) in reports[bi].iter().take(schemes.len()) {
+            for (_, cluster) in reports[bi].iter().take(schemes.len()) {
                 let s = match panel {
-                    "7a" => metrics.counter_imbalance("aligned_pairs"),
-                    "7b" => metrics.counter_imbalance("cells"),
-                    _ => metrics.component_imbalance(Component::Align),
+                    "7a" => cluster.counter(names::CTR_ALIGNED_PAIRS),
+                    "7b" => cluster.counter(names::CTR_CELLS),
+                    _ => cluster.component(Component::Align),
                 }
                 .expect("traced replay records per-rank telemetry");
                 cells.push(fmt_imb(&s));

@@ -16,7 +16,7 @@
 
 use pastis_bench::*;
 use pastis_core::{simulate_traced, LoadBalance};
-use pastis_trace::{Component, MetricsReport, TraceSession};
+use pastis_trace::{ClusterReport, Component, TraceSession};
 
 fn main() {
     let ds = bench_dataset(5000);
@@ -50,15 +50,14 @@ fn main() {
             cfg.contention.comm_overlap_efficiency = 0.9;
             let r = simulate_traced(&ds.store, &params, &cfg, &session);
             // Read the component seconds back out of the telemetry (the
-            // slowest rank's, as a wall-clock share), exactly as a
-            // `--metrics-json` consumer would.
-            let metrics = MetricsReport::from_session(&session);
-            let cwait = metrics
-                .component_imbalance(Component::CommWait)
+            // slowest rank's, as a wall-clock share) through the cluster
+            // aggregator — the same merge path `pastis analyze` uses on a
+            // real run's `--metrics-json` files.
+            let cluster = ClusterReport::from_session(&session);
+            let cwait = cluster
+                .component(Component::CommWait)
                 .map_or(0.0, |s| s.max);
-            let io = metrics
-                .component_imbalance(Component::Io)
-                .map_or(0.0, |s| s.max);
+            let io = cluster.component(Component::Io).map_or(0.0, |s| s.max);
             let total = r.total_with_pb;
             cols.push((100.0 * cwait / total, 100.0 * io / total));
         }

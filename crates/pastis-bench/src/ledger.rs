@@ -1,0 +1,337 @@
+//! The perf-regression ledger: schema-versioned benchmark timings,
+//! committed to the repo and diffed by CI.
+//!
+//! Every PR that touches a hot path should answer "did anything get
+//! slower?" with data, not vibes. The `bench_ledger` binary measures a
+//! fixed set of kernel and end-to-end workloads and writes them as a
+//! [`BenchLedger`] JSON document; `bench_compare` diffs a freshly
+//! measured ledger against the committed baseline and exits non-zero
+//! when any entry regressed past the threshold (or silently vanished —
+//! a renamed benchmark must rename its baseline entry too).
+//!
+//! Entries record best-of-reps wall seconds (the minimum is the
+//! standard noise-robust choice for micro-benchmarks) plus free-form
+//! numeric metadata (dataset size, reps, throughput) for human reading.
+//! Comparison only ever looks at `seconds`.
+
+use std::collections::BTreeMap;
+
+use pastis_trace::json::{parse, JsonValue, JsonWriter};
+
+/// Version tag on the ledger document. Bump on breaking layout changes;
+/// `from_json` rejects versions it does not understand.
+pub const BENCH_LEDGER_SCHEMA_VERSION: u32 = 1;
+
+/// One benchmark measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Stable entry id, e.g. `kernel/spgemm_hash` or `e2e/search_serial`.
+    pub name: String,
+    /// Entry class: `kernel` (one hot loop) or `e2e` (a whole pipeline).
+    pub kind: String,
+    /// Best-of-reps wall seconds — the compared quantity.
+    pub seconds: f64,
+    /// Free-form numeric context (dataset size, reps, throughput...).
+    pub meta: BTreeMap<String, f64>,
+}
+
+/// A schema-versioned set of benchmark measurements.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BenchLedger {
+    /// Measurements, in emission order.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchLedger {
+    /// An empty ledger.
+    pub fn new() -> BenchLedger {
+        BenchLedger::default()
+    }
+
+    /// Append a measurement.
+    pub fn push(
+        &mut self,
+        name: impl Into<String>,
+        kind: impl Into<String>,
+        seconds: f64,
+        meta: &[(&str, f64)],
+    ) {
+        self.entries.push(BenchEntry {
+            name: name.into(),
+            kind: kind.into(),
+            seconds,
+            meta: meta.iter().map(|(k, v)| ((*k).to_owned(), *v)).collect(),
+        });
+    }
+
+    /// Look up an entry by name.
+    pub fn get(&self, name: &str) -> Option<&BenchEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// Serialize to the committed JSON form (deterministic key order).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object()
+            .field_u64("schema", BENCH_LEDGER_SCHEMA_VERSION as u64)
+            .key("entries")
+            .begin_array();
+        for e in &self.entries {
+            w.begin_object()
+                .field_str("name", &e.name)
+                .field_str("kind", &e.kind)
+                .field_f64("seconds", e.seconds)
+                .key("meta")
+                .begin_object();
+            for (k, v) in &e.meta {
+                w.field_f64(k, *v);
+            }
+            w.end_object().end_object();
+        }
+        w.end_array().end_object();
+        w.finish()
+    }
+
+    /// Parse a ledger document, validating the schema version and entry
+    /// structure (names must be unique and seconds finite/non-negative).
+    pub fn from_json(text: &str) -> Result<BenchLedger, String> {
+        let v = parse(text)?;
+        let schema = v
+            .get("schema")
+            .and_then(JsonValue::as_u64)
+            .ok_or("ledger missing schema version")?;
+        if schema != BENCH_LEDGER_SCHEMA_VERSION as u64 {
+            return Err(format!(
+                "unsupported ledger schema {schema} (supported: {BENCH_LEDGER_SCHEMA_VERSION})"
+            ));
+        }
+        let entries = v
+            .get("entries")
+            .and_then(JsonValue::as_array)
+            .ok_or("ledger missing entries array")?;
+        let mut out = BenchLedger::new();
+        for e in entries {
+            let name = e
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .ok_or("entry missing name")?;
+            if out.get(name).is_some() {
+                return Err(format!("duplicate ledger entry '{name}'"));
+            }
+            let kind = e
+                .get("kind")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("entry '{name}' missing kind"))?;
+            let seconds = e
+                .get("seconds")
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("entry '{name}' missing seconds"))?;
+            if !seconds.is_finite() || seconds < 0.0 {
+                return Err(format!("entry '{name}' has invalid seconds {seconds}"));
+            }
+            let mut meta = BTreeMap::new();
+            if let Some(JsonValue::Object(m)) = e.get("meta") {
+                for (k, mv) in m {
+                    meta.insert(
+                        k.clone(),
+                        mv.as_f64()
+                            .ok_or_else(|| format!("entry '{name}' meta '{k}' not numeric"))?,
+                    );
+                }
+            }
+            out.entries.push(BenchEntry {
+                name: name.to_owned(),
+                kind: kind.to_owned(),
+                seconds,
+                meta,
+            });
+        }
+        Ok(out)
+    }
+}
+
+/// One entry whose timing moved past the comparison threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Entry name.
+    pub name: String,
+    /// Baseline seconds.
+    pub old_s: f64,
+    /// Current seconds.
+    pub new_s: f64,
+    /// `new_s / old_s` (∞ when the baseline is 0).
+    pub ratio: f64,
+}
+
+/// The outcome of diffing a current ledger against a baseline.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LedgerDiff {
+    /// Entries slower than `threshold ×` baseline — the CI failures.
+    pub regressions: Vec<Regression>,
+    /// Entries faster than `baseline / threshold` (informational).
+    pub improvements: Vec<Regression>,
+    /// Baseline entries absent from the current ledger — also failures
+    /// (a removed benchmark must remove its baseline entry).
+    pub missing: Vec<String>,
+    /// Current entries absent from the baseline (informational; commit
+    /// the refreshed ledger to start tracking them).
+    pub added: Vec<String>,
+}
+
+impl LedgerDiff {
+    /// `true` when CI should pass: nothing regressed, nothing vanished.
+    pub fn is_clean(&self) -> bool {
+        self.regressions.is_empty() && self.missing.is_empty()
+    }
+}
+
+/// Diff `current` against `baseline`. An entry regresses when
+/// `new > old × (1 + threshold_pct/100)`; improvements are the
+/// symmetric opposite. `threshold_pct` must be non-negative.
+pub fn compare(baseline: &BenchLedger, current: &BenchLedger, threshold_pct: f64) -> LedgerDiff {
+    assert!(threshold_pct >= 0.0, "threshold must be non-negative");
+    let factor = 1.0 + threshold_pct / 100.0;
+    let mut diff = LedgerDiff::default();
+    for old in &baseline.entries {
+        let Some(new) = current.get(&old.name) else {
+            diff.missing.push(old.name.clone());
+            continue;
+        };
+        let ratio = if old.seconds > 0.0 {
+            new.seconds / old.seconds
+        } else if new.seconds > 0.0 {
+            f64::INFINITY
+        } else {
+            1.0
+        };
+        let r = Regression {
+            name: old.name.clone(),
+            old_s: old.seconds,
+            new_s: new.seconds,
+            ratio,
+        };
+        if ratio > factor {
+            diff.regressions.push(r);
+        } else if ratio < 1.0 / factor {
+            diff.improvements.push(r);
+        }
+    }
+    for new in &current.entries {
+        if baseline.get(&new.name).is_none() {
+            diff.added.push(new.name.clone());
+        }
+    }
+    diff
+}
+
+/// Render a diff as the text block `bench_compare` prints.
+pub fn render_diff(diff: &LedgerDiff, threshold_pct: f64) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for r in &diff.regressions {
+        let _ = writeln!(
+            out,
+            "REGRESSION  {:<28} {:.4}s -> {:.4}s ({:.2}x, threshold {:.0}%)",
+            r.name, r.old_s, r.new_s, r.ratio, threshold_pct
+        );
+    }
+    for name in &diff.missing {
+        let _ = writeln!(
+            out,
+            "MISSING     {name} (present in baseline, not measured)"
+        );
+    }
+    for r in &diff.improvements {
+        let _ = writeln!(
+            out,
+            "improved    {:<28} {:.4}s -> {:.4}s ({:.2}x)",
+            r.name, r.old_s, r.new_s, r.ratio
+        );
+    }
+    for name in &diff.added {
+        let _ = writeln!(out, "added       {name} (not in baseline)");
+    }
+    if out.is_empty() {
+        out.push_str("no entries moved past the threshold\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ledger(pairs: &[(&str, f64)]) -> BenchLedger {
+        let mut l = BenchLedger::new();
+        for (name, s) in pairs {
+            l.push(*name, "kernel", *s, &[("reps", 3.0)]);
+        }
+        l
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let mut l = BenchLedger::new();
+        l.push("kernel/spgemm_hash", "kernel", 0.125, &[("n", 600.0)]);
+        l.push("e2e/search_serial", "e2e", 1.5, &[]);
+        let back = BenchLedger::from_json(&l.to_json()).unwrap();
+        assert_eq!(l, back);
+        // Serialization is deterministic.
+        assert_eq!(l.to_json(), back.to_json());
+    }
+
+    #[test]
+    fn injected_2x_regression_is_caught() {
+        let base = ledger(&[("a", 1.0), ("b", 0.5)]);
+        let mut cur = ledger(&[("a", 1.0)]);
+        cur.push("b", "kernel", 1.0, &[]); // 2× slower
+        let diff = compare(&base, &cur, 10.0);
+        assert!(!diff.is_clean());
+        assert_eq!(diff.regressions.len(), 1);
+        assert_eq!(diff.regressions[0].name, "b");
+        assert!((diff.regressions[0].ratio - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_tolerates_noise() {
+        let base = ledger(&[("a", 1.0)]);
+        let cur = ledger(&[("a", 1.09)]); // +9% < 10% threshold
+        assert!(compare(&base, &cur, 10.0).is_clean());
+        let cur = ledger(&[("a", 1.11)]); // +11% > 10%
+        assert!(!compare(&base, &cur, 10.0).is_clean());
+    }
+
+    #[test]
+    fn missing_entries_fail_added_entries_inform() {
+        let base = ledger(&[("a", 1.0), ("gone", 1.0)]);
+        let cur = ledger(&[("a", 1.0), ("new", 1.0)]);
+        let diff = compare(&base, &cur, 10.0);
+        assert_eq!(diff.missing, vec!["gone"]);
+        assert_eq!(diff.added, vec!["new"]);
+        assert!(!diff.is_clean(), "a vanished benchmark must fail CI");
+    }
+
+    #[test]
+    fn improvements_are_reported_not_failed() {
+        let base = ledger(&[("a", 1.0)]);
+        let cur = ledger(&[("a", 0.5)]);
+        let diff = compare(&base, &cur, 10.0);
+        assert!(diff.is_clean());
+        assert_eq!(diff.improvements.len(), 1);
+        let text = render_diff(&diff, 10.0);
+        assert!(text.contains("improved"));
+    }
+
+    #[test]
+    fn bad_documents_are_rejected() {
+        assert!(BenchLedger::from_json("{}").is_err());
+        assert!(BenchLedger::from_json(r#"{"schema":99,"entries":[]}"#).is_err());
+        let dup = r#"{"schema":1,"entries":[
+            {"name":"a","kind":"kernel","seconds":1.0,"meta":{}},
+            {"name":"a","kind":"kernel","seconds":2.0,"meta":{}}]}"#;
+        assert!(BenchLedger::from_json(dup).is_err());
+        let neg =
+            r#"{"schema":1,"entries":[{"name":"a","kind":"kernel","seconds":-1.0,"meta":{}}]}"#;
+        assert!(BenchLedger::from_json(neg).is_err());
+    }
+}

@@ -40,7 +40,7 @@ use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
-use pastis_trace::Recorder;
+use pastis_trace::{names, Recorder};
 
 use crate::communicator::{CommError, CommStatsSnapshot, Communicator, Payload};
 
@@ -512,12 +512,12 @@ impl<C: Communicator> FaultyComm<C> {
         }
         if let Some(s) = self.plan.stall {
             if s.rank == self.home_rank && op == s.at_op {
-                self.bump(&self.stats.stalls, "fault.stalls");
+                self.bump(&self.stats.stalls, names::CTR_FAULT_STALLS);
                 thread::sleep(Duration::from_millis(s.millis));
             }
         }
         if let Some(d) = self.plan.delay_for(self.home_rank, op) {
-            self.bump(&self.stats.delays, "fault.delays");
+            self.bump(&self.stats.delays, names::CTR_FAULT_DELAYS);
             thread::sleep(d);
         }
         op
@@ -539,8 +539,8 @@ impl<C: Communicator> FaultyComm<C> {
             let expect = frame_crc(frame.src, frame.dst, frame.seq, frame.body.tag());
             if frame.crc != expect {
                 rejects += 1;
-                self.bump(&self.stats.crc_rejects, "fault.crc_rejects");
-                self.bump(&self.stats.retries, "fault.retries");
+                self.bump(&self.stats.crc_rejects, names::CTR_FAULT_CRC_REJECTS);
+                self.bump(&self.stats.retries, names::CTR_FAULT_RETRIES);
                 continue;
             }
             match frame.body {
@@ -550,11 +550,11 @@ impl<C: Communicator> FaultyComm<C> {
                 // only" in one place.
                 FrameBody::Garbled => {
                     rejects += 1;
-                    self.bump(&self.stats.crc_rejects, "fault.crc_rejects");
-                    self.bump(&self.stats.retries, "fault.retries");
+                    self.bump(&self.stats.crc_rejects, names::CTR_FAULT_CRC_REJECTS);
+                    self.bump(&self.stats.retries, names::CTR_FAULT_RETRIES);
                 }
                 FrameBody::Dropped => {
-                    self.bump(&self.stats.retries, "fault.retries");
+                    self.bump(&self.stats.retries, names::CTR_FAULT_RETRIES);
                 }
             }
         }
@@ -614,7 +614,7 @@ impl<C: Communicator> Communicator for FaultyComm<C> {
         // Damaged copies go out *before* the good frame, so delivery (and
         // therefore the final output) never depends on the fault draw.
         if self.plan.should_corrupt(self.home_rank, op) {
-            self.bump(&self.stats.corrupts, "fault.corrupts");
+            self.bump(&self.stats.corrupts, names::CTR_FAULT_CORRUPTS);
             let frame = Frame::<T> {
                 src,
                 dst: dst32,
@@ -625,7 +625,7 @@ impl<C: Communicator> Communicator for FaultyComm<C> {
             self.inner.send_to(dst, frame, 0);
         }
         if self.plan.should_drop(self.home_rank, op) {
-            self.bump(&self.stats.drops, "fault.drops");
+            self.bump(&self.stats.drops, names::CTR_FAULT_DROPS);
             let frame = Frame::<T> {
                 src,
                 dst: dst32,

@@ -61,6 +61,20 @@ impl<C: Communicator> TracedComm<C> {
             .record_comm(op, bytes, peers, start.elapsed().as_secs_f64());
         out
     }
+
+    /// Run `f`, then record it as one point-to-point `op` event against the
+    /// concrete `peer` rank, so the critical-path extractor can pair the
+    /// send with its matching receive into a cross-rank comm edge.
+    fn traced_p2p<T>(&self, op: CommOp, bytes: u64, peer: usize, f: impl FnOnce(&C) -> T) -> T {
+        if !self.recorder.is_enabled() {
+            return f(&self.inner);
+        }
+        let start = Instant::now();
+        let out = f(&self.inner);
+        self.recorder
+            .record_comm_p2p(op, bytes, peer, start.elapsed().as_secs_f64());
+        out
+    }
 }
 
 impl<C: Communicator> Communicator for TracedComm<C> {
@@ -120,7 +134,7 @@ impl<C: Communicator> Communicator for TracedComm<C> {
     fn send_to<T: Payload>(&self, dst: usize, value: T, nbytes: usize) {
         // Non-blocking: the recorded wait is the enqueue cost, not the
         // transfer; the receiving side's RecvFrom event carries the wait.
-        self.traced(CommOp::SendTo, nbytes as u64, |c| {
+        self.traced_p2p(CommOp::SendTo, nbytes as u64, dst, |c| {
             c.send_to(dst, value, nbytes)
         });
     }
@@ -128,7 +142,7 @@ impl<C: Communicator> Communicator for TracedComm<C> {
     fn recv_from<T: Payload>(&self, src: usize) -> T {
         // Payload size is unknown on the receive side (type-erased mailbox);
         // bytes are accounted at the sender.
-        self.traced(CommOp::RecvFrom, 0, |c| c.recv_from(src))
+        self.traced_p2p(CommOp::RecvFrom, 0, src, |c| c.recv_from(src))
     }
 
     fn recv_from_deadline<T: Payload>(
@@ -138,7 +152,9 @@ impl<C: Communicator> Communicator for TracedComm<C> {
     ) -> Result<T, CommError> {
         // A timed-out receive still spent wall time waiting; record it either
         // way so chaos runs account for the wasted wait.
-        self.traced(CommOp::RecvFrom, 0, |c| c.recv_from_deadline(src, timeout))
+        self.traced_p2p(CommOp::RecvFrom, 0, src, |c| {
+            c.recv_from_deadline(src, timeout)
+        })
     }
 
     fn barrier_deadline(&self, timeout: Duration) -> Result<(), CommError> {
@@ -224,6 +240,34 @@ mod tests {
             assert_eq!(events[1].bytes, 24);
             assert_eq!(events[2].op, CommOp::Barrier);
         }
+    }
+
+    #[test]
+    fn p2p_ops_record_the_concrete_peer() {
+        let session = Arc::new(TraceSession::new());
+        let sess = Arc::clone(&session);
+        run_threaded(2, move |comm| {
+            let traced = TracedComm::new(comm.split(0, comm.rank()), sess.recorder(comm.rank()));
+            if traced.rank() == 0 {
+                traced.send_to(1, 42u64, 8);
+            } else {
+                let v: u64 = traced.recv_from(0);
+                assert_eq!(v, 42);
+            }
+            traced.barrier();
+        });
+        let recs = session.recorders();
+        let e0 = recs[0].snapshot_comms();
+        assert_eq!(e0[0].op, CommOp::SendTo);
+        assert_eq!(e0[0].bytes, 8);
+        assert_eq!(e0[0].peers, 1);
+        assert_eq!(e0[0].peer, Some(1));
+        let e1 = recs[1].snapshot_comms();
+        assert_eq!(e1[0].op, CommOp::RecvFrom);
+        assert_eq!(e1[0].peer, Some(0));
+        // Collectives stay peer-less.
+        assert_eq!(e0[1].op, CommOp::Barrier);
+        assert_eq!(e0[1].peer, None);
     }
 
     #[test]

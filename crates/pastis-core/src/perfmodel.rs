@@ -24,7 +24,7 @@ use pastis_comm::{ImbalanceStats, MachineModel};
 use pastis_seqio::SeqStore;
 use pastis_sparse::semiring::CountShared;
 use pastis_sparse::{spgemm_hash, CsrMatrix, Index, Triples};
-use pastis_trace::{CommOp, Component, TraceSession, Track};
+use pastis_trace::{names, CommOp, Component, TraceSession, Track};
 
 use crate::filter::EdgeFilter;
 use crate::kmer::kmer_matrix_triples;
@@ -701,7 +701,7 @@ fn simulate_inner(
         for (rank, rec) in recs.iter().enumerate() {
             rec.record_span_at(
                 Component::Io,
-                "io.read",
+                names::SPAN_IO_READ,
                 Track::Rank,
                 0.0,
                 io_read_s,
@@ -709,7 +709,7 @@ fn simulate_inner(
             );
             rec.record_span_at(
                 Component::SparseOther,
-                "kmer_matrix",
+                names::SPAN_KMER_MATRIX,
                 Track::Rank,
                 io_read_s,
                 kmer_secs[rank],
@@ -717,7 +717,7 @@ fn simulate_inner(
             );
             rec.record_span_at(
                 Component::CommWait,
-                "seq_exchange.recv",
+                names::SPAN_SEQ_EXCHANGE_RECV,
                 Track::Rank,
                 io_read_s + kmer_s,
                 cwait_s,
@@ -741,7 +741,7 @@ fn simulate_inner(
                 );
                 rec.record_span_at(
                     Component::SpGemm,
-                    "summa.block",
+                    names::SPAN_SUMMA_BLOCK,
                     Track::Rank,
                     start,
                     sparse_secs[bidx][rank],
@@ -754,7 +754,7 @@ fn simulate_inner(
                 );
                 rec.record_span_at(
                     Component::Align,
-                    "align.batch",
+                    names::SPAN_ALIGN_BATCH,
                     Track::Rank,
                     start + sparse_secs[bidx][rank],
                     align_secs[bidx][rank],
@@ -770,17 +770,24 @@ fn simulate_inner(
         }
         let end = cursor.iter().copied().fold(t_blocks, f64::max);
         for (rank, rec) in recs.iter().enumerate() {
-            rec.record_span_at(Component::Io, "io.write", Track::Rank, end, io_write_s, &[]);
+            rec.record_span_at(
+                Component::Io,
+                names::SPAN_IO_WRITE,
+                Track::Rank,
+                end,
+                io_write_s,
+                &[],
+            );
             let sum_u = |data: &[Vec<u64>]| (0..nb).map(|b| data[b][rank]).sum::<u64>() as f64;
-            rec.add_counter("candidates", sum_u(&candidates));
-            rec.add_counter("aligned_pairs", sum_u(&pairs));
-            rec.add_counter("cells", sum_u(&cells));
+            rec.add_counter(names::CTR_CANDIDATES, sum_u(&candidates));
+            rec.add_counter(names::CTR_ALIGNED_PAIRS, sum_u(&pairs));
+            rec.add_counter(names::CTR_CELLS, sum_u(&cells));
             rec.add_counter(
-                "align_seconds",
+                names::CTR_ALIGN_SECONDS,
                 (0..nb).map(|b| align_secs[b][rank]).sum::<f64>(),
             );
             rec.add_counter(
-                "sparse_seconds",
+                names::CTR_SPARSE_SECONDS,
                 kmer_secs[rank] + (0..nb).map(|b| sparse_secs[b][rank]).sum::<f64>(),
             );
         }
@@ -1179,12 +1186,12 @@ mod tests {
         for rec in &recs {
             let spans = rec.snapshot_spans();
             for name in [
-                "io.read",
-                "kmer_matrix",
-                "seq_exchange.recv",
-                "summa.block",
-                "align.batch",
-                "io.write",
+                names::SPAN_IO_READ,
+                names::SPAN_KMER_MATRIX,
+                names::SPAN_SEQ_EXCHANGE_RECV,
+                names::SPAN_SUMMA_BLOCK,
+                names::SPAN_ALIGN_BATCH,
+                names::SPAN_IO_WRITE,
             ] {
                 assert!(
                     spans.iter().any(|s| s.name == name),

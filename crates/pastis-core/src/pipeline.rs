@@ -34,7 +34,7 @@ use pastis_comm::{Communicator, Component, TimeBreakdown};
 use pastis_pool::{Engine, WorkPool};
 use pastis_seqio::SeqStore;
 use pastis_sparse::{BlockedSumma, SpGemmPool, Triples};
-use pastis_trace::{span, Recorder};
+use pastis_trace::{names, span, Recorder};
 
 use crate::checkpoint::{self, Checkpoint};
 use crate::filter::{candidate_passes, EdgeFilter};
@@ -216,7 +216,7 @@ pub fn run_search_traced<C: Communicator + Sync>(
 
     // --- 2. k-mer matrix stripes for the Blocked SUMMA.
     let t0 = Instant::now();
-    let mut kmer_span = span!(recorder, Component::SparseOther, "kmer_matrix");
+    let mut kmer_span = span!(recorder, Component::SparseOther, names::SPAN_KMER_MATRIX);
     let a: Triples<u32> = if params.substitute_kmers > 0 {
         kmer_matrix_triples_with_substitutes(
             store,
@@ -281,7 +281,7 @@ pub fn run_search_traced<C: Communicator + Sync>(
     // --- 3. Assemble the exchanged sequences (the cwait component).
     let t1 = Instant::now();
     let seqs: Vec<Vec<u8>> = {
-        let _recv_span = span!(recorder, Component::CommWait, "seq_exchange.recv", {
+        let _recv_span = span!(recorder, Component::CommWait, names::SPAN_SEQ_EXCHANGE_RECV, {
             peers: p.saturating_sub(1) as u64,
         });
         let mut unpacked = vec![Vec::new(); n];
@@ -329,7 +329,7 @@ pub fn run_search_traced<C: Communicator + Sync>(
     }
     let spgemm_pool = spgemm_pool;
     let compute_sparse = |task: BlockTask| -> CandidateBatch {
-        let mut block_span = span!(recorder, Component::SpGemm, "summa.block", {
+        let mut block_span = span!(recorder, Component::SpGemm, names::SPAN_SUMMA_BLOCK, {
             r: task.r as u64,
             c: task.c as u64,
         });
@@ -358,7 +358,7 @@ pub fn run_search_traced<C: Communicator + Sync>(
             });
         }
         let other_seconds = t_other.elapsed().as_secs_f64();
-        block_span.push_arg("candidates", candidates);
+        block_span.push_arg(names::CTR_CANDIDATES, candidates);
         block_span.push_arg("products", gemm_stats.products);
         block_span.push_arg("pairs", pairs.len() as u64);
         CandidateBatch {
@@ -393,7 +393,7 @@ pub fn run_search_traced<C: Communicator + Sync>(
     let filter = EdgeFilter::from_params(params);
     let align_batch = |batch: &CandidateBatch| -> (Vec<SimilarityEdge>, u64, f64, f64) {
         let t = Instant::now();
-        let mut batch_span = span!(recorder, Component::Align, "align.batch", {
+        let mut batch_span = span!(recorder, Component::Align, names::SPAN_ALIGN_BATCH, {
             r: batch.task.r as u64,
             c: batch.task.c as u64,
             pairs: batch.pairs.len() as u64,
@@ -457,7 +457,7 @@ pub fn run_search_traced<C: Communicator + Sync>(
                 }
             }
         }
-        batch_span.push_arg("cells", cells);
+        batch_span.push_arg(names::CTR_CELLS, cells);
         batch_span.push_arg("edges", edges.len() as u64);
         drop(batch_span);
         (edges, cells, t.elapsed().as_secs_f64(), cpu_seconds)
@@ -531,7 +531,7 @@ pub fn run_search_traced<C: Communicator + Sync>(
             per_block = ck.per_block;
             start_idx = common;
             resumed_from_block = Some(common);
-            recorder.add_counter("resume.from_block", common as f64);
+            recorder.add_counter(names::CTR_RESUME_FROM_BLOCK, common as f64);
         }
     }
     // Halt is an *absolute* block index, so halt-then-resume-then-halt
@@ -562,7 +562,7 @@ pub fn run_search_traced<C: Communicator + Sync>(
             edges: graph.edges().to_vec(),
         };
         checkpoint::save(dir, &ck)?;
-        recorder.add_counter("checkpoint.blocks_written", 1.0);
+        recorder.add_counter(names::CTR_CHECKPOINT_BLOCKS_WRITTEN, 1.0);
         Ok(())
     };
 
@@ -614,10 +614,14 @@ pub fn run_search_traced<C: Communicator + Sync>(
                 .sum();
             let all = world.all_gather(my_secs);
             let report = detect_stragglers(&all, factor);
-            recorder.add_counter("straggler.median_seconds", report.median_seconds);
-            recorder.add_counter("straggler.self_seconds", my_secs);
+            recorder.add_counter(names::CTR_STRAGGLER_MEDIAN_SECONDS, report.median_seconds);
+            recorder.add_counter(names::CTR_STRAGGLER_SELF_SECONDS, my_secs);
+            recorder.add_counter(
+                names::CTR_STRAGGLER_IMBALANCE_FACTOR,
+                report.imbalance_factor,
+            );
             if report.flagged.contains(&rank) {
-                recorder.add_counter("straggler.flagged", 1.0);
+                recorder.add_counter(names::CTR_STRAGGLER_FLAGGED, 1.0);
             }
             Some(report)
         }
@@ -625,30 +629,30 @@ pub fn run_search_traced<C: Communicator + Sync>(
     };
 
     {
-        let _out_span = span!(recorder, Component::SparseOther, "output.assembly", {
+        let _out_span = span!(recorder, Component::SparseOther, names::SPAN_OUTPUT_ASSEMBLY, {
             edges: graph.n_edges() as u64,
         });
         graph.normalize();
     }
     let wall_seconds = wall_start.elapsed().as_secs_f64();
     stats.total_seconds = wall_seconds;
-    recorder.add_counter("candidates", stats.candidates as f64);
-    recorder.add_counter("aligned_pairs", stats.aligned_pairs as f64);
-    recorder.add_counter("cells", stats.cells as f64);
-    recorder.add_counter("similar_pairs", stats.similar_pairs as f64);
-    recorder.add_counter("align_seconds", times.get(Component::Align));
-    recorder.add_counter("sparse_seconds", times.sparse_all());
-    recorder.add_counter("align_cpu_seconds", stats.align_cpu_seconds);
+    recorder.add_counter(names::CTR_CANDIDATES, stats.candidates as f64);
+    recorder.add_counter(names::CTR_ALIGNED_PAIRS, stats.aligned_pairs as f64);
+    recorder.add_counter(names::CTR_CELLS, stats.cells as f64);
+    recorder.add_counter(names::CTR_SIMILAR_PAIRS, stats.similar_pairs as f64);
+    recorder.add_counter(names::CTR_ALIGN_SECONDS, times.get(Component::Align));
+    recorder.add_counter(names::CTR_SPARSE_SECONDS, times.sparse_all());
+    recorder.add_counter(names::CTR_ALIGN_CPU_SECONDS, stats.align_cpu_seconds);
     if let Some(wp) = &unified {
         // Cross-engine steals: how often a persistent pool worker switched
         // between sparse and alignment jobs — the utilization the unified
         // pool recovers over the old static thread split.
-        recorder.add_counter("pool.steals", wp.steals() as f64);
+        recorder.add_counter(names::CTR_POOL_STEALS, wp.steals() as f64);
     }
     if params.align_kind == AlignKind::ScoreOnly {
         // Which vector backend the score-only batches ran on (stable id:
         // scalar 0, sse2 1, avx2 2, neon 3). Recorded once per run.
-        recorder.add_counter("align.simd_backend", simd_backend.id() as f64);
+        recorder.add_counter(names::CTR_ALIGN_SIMD_BACKEND, simd_backend.id() as f64);
     }
     Ok(SearchResult {
         graph,

@@ -11,6 +11,14 @@
 //!
 //! The median (not the mean) is the baseline so that one extreme straggler
 //! cannot mask itself by dragging the average up.
+//!
+//! The per-rank statistics themselves come from the shared analytics
+//! layer ([`pastis_trace::aggregate::PhaseStat`]) — the same
+//! median/outlier machinery `pastis analyze` applies to every phase —
+//! so the in-run detector and the offline aggregator can never drift
+//! apart on what "straggler" means.
+
+use pastis_trace::aggregate::PhaseStat;
 
 /// Report of the end-of-run straggler scan.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,6 +33,10 @@ pub struct StragglerReport {
     pub threshold_seconds: f64,
     /// Ranks flagged as stragglers (empty on a healthy run).
     pub flagged: Vec<usize>,
+    /// Cross-rank `max/avg` imbalance factor of the block seconds (1.0
+    /// means perfectly balanced; exported so the offline aggregator can
+    /// cross-check its own phase statistics against the in-run scan).
+    pub imbalance_factor: f64,
 }
 
 impl StragglerReport {
@@ -53,27 +65,15 @@ pub fn detect_stragglers(per_rank_seconds: &[f64], factor: f64) -> StragglerRepo
         "straggler scan needs at least one rank"
     );
     assert!(factor > 1.0, "straggler factor must exceed 1.0");
-    let mut sorted = per_rank_seconds.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN rank seconds"));
-    let n = sorted.len();
-    let median_seconds = if n % 2 == 1 {
-        sorted[n / 2]
-    } else {
-        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
-    };
-    let threshold_seconds = (factor * median_seconds).max(MIN_FLAG_SECONDS);
-    let flagged = per_rank_seconds
-        .iter()
-        .enumerate()
-        .filter(|(_, &v)| v > threshold_seconds)
-        .map(|(r, _)| r)
-        .collect();
+    let stat = PhaseStat::from_values("blocks", per_rank_seconds);
+    let median_seconds = stat.median();
     StragglerReport {
         factor,
         per_rank_seconds: per_rank_seconds.to_vec(),
         median_seconds,
-        threshold_seconds,
-        flagged,
+        threshold_seconds: (factor * median_seconds).max(MIN_FLAG_SECONDS),
+        flagged: stat.outliers(factor, MIN_FLAG_SECONDS),
+        imbalance_factor: stat.imbalance_factor(),
     }
 }
 
@@ -129,5 +129,15 @@ mod tests {
     #[should_panic(expected = "factor must exceed 1.0")]
     fn factor_at_or_below_one_rejected() {
         detect_stragglers(&[1.0, 2.0], 1.0);
+    }
+
+    #[test]
+    fn imbalance_factor_matches_max_over_avg() {
+        let r = detect_stragglers(&[1.0, 1.0, 1.0, 9.0], 3.0);
+        // avg = 3.0, max = 9.0.
+        assert!((r.imbalance_factor - 3.0).abs() < 1e-12);
+        // A balanced world sits at 1.0.
+        let b = detect_stragglers(&[2.0, 2.0], 3.0);
+        assert!((b.imbalance_factor - 1.0).abs() < 1e-12);
     }
 }

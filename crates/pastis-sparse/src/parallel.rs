@@ -32,7 +32,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use pastis_pool::{Engine, WorkPool};
-use pastis_trace::{Component, Recorder, Track};
+use pastis_trace::{names, Component, Recorder, Track};
 
 use crate::csr::CsrMatrix;
 use crate::semiring::Semiring;
@@ -225,7 +225,7 @@ where
     let start = u * ROWS_PER_CHUNK;
     let end = ((u + 1) * ROWS_PER_CHUNK).min(a.nrows());
     let mut span = rec.is_enabled().then(|| {
-        rec.span(Component::SpGemm, "spgemm.row_chunk")
+        rec.span(Component::SpGemm, names::SPAN_SPGEMM_ROW_CHUNK)
             .on_track(track)
             .arg("rows", (end - start) as u64)
     });
@@ -617,7 +617,7 @@ mod tests {
         assert_eq!(spans.len(), 7);
         let mut rows_total = 0u64;
         for s in &spans {
-            assert_eq!(s.name, "spgemm.row_chunk");
+            assert_eq!(s.name, names::SPAN_SPGEMM_ROW_CHUNK);
             assert!(matches!(s.track, Track::SpGemmWorker(_)), "{:?}", s.track);
             rows_total += s.args.iter().find(|(n, _)| *n == "rows").unwrap().1;
         }
@@ -677,7 +677,7 @@ mod tests {
         assert_eq!(spans.len(), 7);
         let mut rows_total = 0u64;
         for s in &spans {
-            assert_eq!(s.name, "spgemm.row_chunk");
+            assert_eq!(s.name, names::SPAN_SPGEMM_ROW_CHUNK);
             assert!(matches!(s.track, Track::PoolWorker(_)), "{:?}", s.track);
             rows_total += s.args.iter().find(|(n, _)| *n == "rows").unwrap().1;
         }

@@ -91,10 +91,10 @@ impl SpGemmKind {
     /// Telemetry counter bumped when this concrete kernel runs.
     pub(crate) fn counter_name(self) -> &'static str {
         match self {
-            SpGemmKind::Auto => "spgemm.kernel.auto",
-            SpGemmKind::Hash => "spgemm.kernel.hash",
-            SpGemmKind::Heap => "spgemm.kernel.heap",
-            SpGemmKind::Parallel => "spgemm.kernel.parallel",
+            SpGemmKind::Auto => pastis_trace::names::CTR_SPGEMM_KERNEL_AUTO,
+            SpGemmKind::Hash => pastis_trace::names::CTR_SPGEMM_KERNEL_HASH,
+            SpGemmKind::Heap => pastis_trace::names::CTR_SPGEMM_KERNEL_HEAP,
+            SpGemmKind::Parallel => pastis_trace::names::CTR_SPGEMM_KERNEL_PARALLEL,
         }
     }
 

@@ -25,7 +25,7 @@ use std::sync::Arc;
 
 use pastis_comm::grid::{BlockDist1D, ProcessGrid};
 use pastis_comm::Communicator;
-use pastis_trace::{Component, Track};
+use pastis_trace::{names, Component, Track};
 
 use crate::csr::CsrMatrix;
 use crate::distmat::{DistElem, DistSparseMatrix};
@@ -190,7 +190,7 @@ where
             // interval intersection telemetry asserts on.
             let stage_span = recorder.is_enabled().then(|| {
                 recorder
-                    .span(Component::SpGemm, "spgemm.stage")
+                    .span(Component::SpGemm, names::SPAN_SPGEMM_STAGE)
                     .on_track(Track::SpGemmWorker(0))
                     .arg("stage", k as u64)
             });
@@ -203,7 +203,7 @@ where
                 // communicator — posts stage k+1's broadcasts.
                 let prefetch_span = recorder.is_enabled().then(|| {
                     recorder
-                        .span(Component::CommWait, "summa.bcast.prefetch")
+                        .span(Component::CommWait, names::SPAN_SUMMA_BCAST_PREFETCH)
                         .on_track(Track::CommPath)
                         .arg("stage", (k + 1) as u64)
                 });
@@ -936,10 +936,13 @@ mod tests {
         assert!(out.iter().all(|&n| n > 0));
         for rec in sess.recorders() {
             let spans = rec.snapshot_spans();
-            let stages: Vec<_> = spans.iter().filter(|s| s.name == "spgemm.stage").collect();
+            let stages: Vec<_> = spans
+                .iter()
+                .filter(|s| s.name == names::SPAN_SPGEMM_STAGE)
+                .collect();
             let prefetches: Vec<_> = spans
                 .iter()
-                .filter(|s| s.name == "summa.bcast.prefetch")
+                .filter(|s| s.name == names::SPAN_SUMMA_BCAST_PREFETCH)
                 .collect();
             // 2x2 grid → q = 2 stages, one of which is overlapped.
             assert_eq!(stages.len(), 1, "rank {}", rec.rank());

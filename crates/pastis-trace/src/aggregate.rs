@@ -1,0 +1,432 @@
+//! Cross-rank aggregation: merge per-rank metrics into one cluster view.
+//!
+//! A production run writes one metrics JSON per launcher invocation (all
+//! local ranks), or one file per node at scale. [`ClusterReport`] merges
+//! any number of [`MetricsReport`]s into a single report carrying
+//! per-phase imbalance factors ([`PhaseStat`], Fig. 7's metric), the
+//! top-k slowest ranks and workers, and cluster-wide span-duration
+//! histograms (element-wise merged — the order files are merged in does
+//! not change any number). The `pastis analyze` subcommand, the
+//! `table2_io_cwait` / `fig7_loadbalance` generators, and the pipeline's
+//! straggler scan all consume this one aggregation path.
+
+use std::collections::BTreeMap;
+
+use crate::component::{Component, ImbalanceStats};
+use crate::hist::DurationHistogram;
+use crate::metrics::MetricsReport;
+use crate::recorder::CommOp;
+use crate::TraceSession;
+
+/// Per-rank values of one named phase with their cross-rank summary.
+///
+/// This is the aggregator's unit of straggler analysis: the pipeline's
+/// end-of-run scan and Fig. 7's imbalance bars are both a `PhaseStat`
+/// over different value vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseStat {
+    /// Phase (span) name.
+    pub name: String,
+    /// One value per rank, in `rank_ids` order.
+    pub per_rank: Vec<f64>,
+    /// min/avg/max/stddev summary of `per_rank`.
+    pub stats: ImbalanceStats,
+}
+
+impl PhaseStat {
+    /// Build from per-rank values. Panics on an empty slice.
+    pub fn from_values(name: impl Into<String>, per_rank: &[f64]) -> PhaseStat {
+        PhaseStat {
+            name: name.into(),
+            per_rank: per_rank.to_vec(),
+            stats: ImbalanceStats::from_values(per_rank),
+        }
+    }
+
+    /// Median of the per-rank values (average of the middle two when the
+    /// rank count is even).
+    pub fn median(&self) -> f64 {
+        let mut sorted = self.per_rank.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN phase value"));
+        let n = sorted.len();
+        if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        }
+    }
+
+    /// The `max/avg` load-imbalance factor (Fig. 7's y-axis).
+    pub fn imbalance_factor(&self) -> f64 {
+        self.stats.imbalance_factor()
+    }
+
+    /// Indices of ranks whose value exceeds
+    /// `max(factor × median, min_abs)` — the straggler rule: the median
+    /// baseline resists one extreme rank dragging the average up, and the
+    /// absolute floor keeps trivial runs from flagging timing noise.
+    pub fn outliers(&self, factor: f64, min_abs: f64) -> Vec<usize> {
+        let threshold = (factor * self.median()).max(min_abs);
+        self.per_rank
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v > threshold)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Sum over ranks.
+    pub fn total(&self) -> f64 {
+        self.per_rank.iter().sum()
+    }
+}
+
+/// The merged cross-rank cluster report.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ClusterReport {
+    /// All ranks merged into one [`MetricsReport`], sorted by rank id.
+    pub merged: MetricsReport,
+    /// Per-phase (span name) seconds across ranks, sorted by name. The
+    /// per-rank seconds are each rank's histogram sum for that span name,
+    /// so worker-track phases aggregate alongside main-track ones.
+    pub phases: Vec<PhaseStat>,
+    /// Cluster-wide duration histogram per span name (all ranks merged).
+    pub hist: BTreeMap<String, DurationHistogram>,
+    /// Ranks by descending main-track busy seconds, `(rank, seconds)`.
+    pub slowest_ranks: Vec<(usize, f64)>,
+    /// Worker tracks by descending busy seconds,
+    /// `(rank, track label, seconds)`.
+    pub slowest_workers: Vec<(usize, String, f64)>,
+    /// End of the last recorded event across ranks, seconds since epoch.
+    pub wall_s: f64,
+}
+
+impl ClusterReport {
+    /// Merge per-rank metrics reports (e.g. one parsed JSON per node)
+    /// into one cluster report. Rank ids must be disjoint across inputs.
+    pub fn from_reports(reports: &[MetricsReport]) -> Result<ClusterReport, String> {
+        let mut merged = MetricsReport {
+            ranks: Vec::new(),
+            virtual_time: reports.iter().any(|r| r.virtual_time),
+        };
+        for r in reports {
+            for t in &r.ranks {
+                if merged.ranks.iter().any(|m| m.rank == t.rank) {
+                    return Err(format!("rank {} appears in more than one report", t.rank));
+                }
+                merged.ranks.push(t.clone());
+            }
+        }
+        merged.ranks.sort_by_key(|t| t.rank);
+
+        let nranks = merged.ranks.len();
+        let mut phases = Vec::new();
+        let mut hist: BTreeMap<String, DurationHistogram> = BTreeMap::new();
+        if nranks > 0 {
+            let mut names: Vec<&String> = merged
+                .ranks
+                .iter()
+                .flat_map(|t| t.span_hist.keys())
+                .collect();
+            names.sort();
+            names.dedup();
+            let names: Vec<String> = names.into_iter().cloned().collect();
+            for name in &names {
+                let per_rank: Vec<f64> = merged
+                    .ranks
+                    .iter()
+                    .map(|t| {
+                        t.span_hist
+                            .get(name)
+                            .map_or(0.0, |h| h.sum_us() as f64 * 1e-6)
+                    })
+                    .collect();
+                phases.push(PhaseStat::from_values(name.clone(), &per_rank));
+                let mut h = DurationHistogram::new();
+                for t in &merged.ranks {
+                    if let Some(rh) = t.span_hist.get(name) {
+                        h.merge(rh);
+                    }
+                }
+                hist.insert(name.clone(), h);
+            }
+        }
+
+        let mut slowest_ranks: Vec<(usize, f64)> = merged
+            .ranks
+            .iter()
+            .map(|t| (t.rank, t.component_s.iter().sum()))
+            .collect();
+        slowest_ranks.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+
+        let mut slowest_workers: Vec<(usize, String, f64)> = merged
+            .ranks
+            .iter()
+            .flat_map(|t| {
+                t.worker_seconds
+                    .iter()
+                    .map(|(label, &s)| (t.rank, label.clone(), s))
+            })
+            .collect();
+        slowest_workers.sort_by(|a, b| {
+            b.2.partial_cmp(&a.2)
+                .unwrap()
+                .then(a.0.cmp(&b.0))
+                .then(a.1.cmp(&b.1))
+        });
+
+        let wall_s = merged
+            .ranks
+            .iter()
+            .map(|t| t.span_end_us)
+            .max()
+            .unwrap_or(0) as f64
+            * 1e-6;
+
+        Ok(ClusterReport {
+            merged,
+            phases,
+            hist,
+            slowest_ranks,
+            slowest_workers,
+            wall_s,
+        })
+    }
+
+    /// Aggregate a live session (equivalent to exporting every rank's
+    /// metrics and merging the files).
+    pub fn from_session(session: &TraceSession) -> ClusterReport {
+        ClusterReport::from_reports(&[MetricsReport::from_session(session)])
+            .expect("a single session cannot duplicate ranks")
+    }
+
+    /// Number of ranks merged.
+    pub fn nranks(&self) -> usize {
+        self.merged.ranks.len()
+    }
+
+    /// Cross-rank stats for a component's main-track seconds.
+    pub fn component(&self, c: Component) -> Option<ImbalanceStats> {
+        self.merged.component_imbalance(c)
+    }
+
+    /// Cross-rank stats for a named counter.
+    pub fn counter(&self, name: &str) -> Option<ImbalanceStats> {
+        self.merged.counter_imbalance(name)
+    }
+
+    /// The named phase's stats, if any rank recorded it.
+    pub fn phase(&self, name: &str) -> Option<&PhaseStat> {
+        self.phases.iter().find(|p| p.name == name)
+    }
+
+    /// The top-`k` slowest ranks by main-track busy seconds.
+    pub fn top_ranks(&self, k: usize) -> &[(usize, f64)] {
+        &self.slowest_ranks[..k.min(self.slowest_ranks.len())]
+    }
+
+    /// The top-`k` slowest worker tracks by busy seconds.
+    pub fn top_workers(&self, k: usize) -> &[(usize, String, f64)] {
+        &self.slowest_workers[..k.min(self.slowest_workers.len())]
+    }
+}
+
+/// Render a cluster report as the deterministic text block `pastis
+/// analyze` prints.
+pub fn render_cluster_report(r: &ClusterReport, top_k: usize) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Cluster report: {} rank(s){}",
+        r.nranks(),
+        if r.merged.virtual_time {
+            " [virtual time]"
+        } else {
+            ""
+        }
+    );
+    let _ = writeln!(out, "wall clock: {:.6} s", r.wall_s);
+
+    let _ = writeln!(
+        out,
+        "\n{:<24} {:>6} {:>12} {:>12} {:>7} {:>10} {:>10} {:>10}",
+        "phase", "n", "total_s", "max_s", "imb", "p50_ms", "p95_ms", "p99_ms"
+    );
+    for p in &r.phases {
+        let h = &r.hist[&p.name];
+        let _ = writeln!(
+            out,
+            "{:<24} {:>6} {:>12.6} {:>12.6} {:>7.3} {:>10.3} {:>10.3} {:>10.3}",
+            p.name,
+            h.count(),
+            p.total(),
+            p.stats.max,
+            p.imbalance_factor(),
+            h.p50_us() as f64 * 1e-3,
+            h.p95_us() as f64 * 1e-3,
+            h.p99_us() as f64 * 1e-3,
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "\n{:<24} {:>12} {:>12} {:>7}",
+        "component", "avg_s", "max_s", "imb"
+    );
+    for c in Component::ALL {
+        if let Some(s) = r.component(c) {
+            if s.max > 0.0 {
+                let _ = writeln!(
+                    out,
+                    "{:<24} {:>12.6} {:>12.6} {:>7.3}",
+                    c.label(),
+                    s.avg,
+                    s.max,
+                    s.imbalance_factor()
+                );
+            }
+        }
+    }
+
+    let _ = writeln!(
+        out,
+        "\ntop {} slowest ranks (main-track busy seconds):",
+        top_k
+    );
+    for (rank, s) in r.top_ranks(top_k) {
+        let _ = writeln!(out, "  rank {rank:<6} {s:.6} s");
+    }
+    if !r.slowest_workers.is_empty() {
+        let _ = writeln!(out, "top {} slowest workers (busy seconds):", top_k);
+        for (rank, label, s) in r.top_workers(top_k) {
+            let _ = writeln!(out, "  rank {rank} {label:<20} {s:.6} s");
+        }
+    }
+
+    let mut comm_lines = String::new();
+    for op in CommOp::ALL {
+        let count: u64 = r.merged.ranks.iter().map(|t| t.comm_totals(op).count).sum();
+        if count > 0 {
+            let _ = writeln!(
+                comm_lines,
+                "  {:<12} count {:>8}  bytes {:>12}  wait {:.6} s",
+                op.label(),
+                count,
+                r.merged.total_bytes(op),
+                r.merged.total_wait_s(op)
+            );
+        }
+    }
+    if !comm_lines.is_empty() {
+        let _ = writeln!(out, "comm totals (all ranks):");
+        out.push_str(&comm_lines);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{TraceSession, Track};
+
+    fn session() -> TraceSession {
+        let s = TraceSession::virtual_time();
+        for rank in 0..4usize {
+            let rec = s.recorder(rank);
+            rec.record_span_at(
+                Component::SpGemm,
+                "summa.block",
+                Track::Rank,
+                0.0,
+                1.0 + rank as f64 * 0.5,
+                &[],
+            );
+            rec.record_span_at(Component::Align, "align.batch", Track::Rank, 2.0, 2.0, &[]);
+            rec.record_span_at(
+                Component::Align,
+                "align.unit",
+                Track::PoolWorker(rank as u32),
+                2.0,
+                0.5 * (rank + 1) as f64,
+                &[],
+            );
+            rec.add_counter("aligned_pairs", 100.0 * (rank + 1) as f64);
+        }
+        s
+    }
+
+    #[test]
+    fn phase_stat_median_and_outliers() {
+        let p = PhaseStat::from_values("x", &[1.0, 1.0, 9.0, 1.0]);
+        assert_eq!(p.median(), 1.0);
+        assert_eq!(p.outliers(3.0, 1e-3), vec![2]);
+        assert!((p.imbalance_factor() - 3.0).abs() < 1e-12);
+        // The absolute floor suppresses noise-scale flags.
+        let tiny = PhaseStat::from_values("y", &[1e-7, 1e-7, 9e-7]);
+        assert!(tiny.outliers(3.0, 1e-3).is_empty());
+    }
+
+    #[test]
+    fn cluster_report_merges_phases_and_ranks() {
+        let r = ClusterReport::from_session(&session());
+        assert_eq!(r.nranks(), 4);
+        let block = r.phase("summa.block").unwrap();
+        assert_eq!(block.per_rank, vec![1.0, 1.5, 2.0, 2.5]);
+        assert!((block.imbalance_factor() - 2.5 / 1.75).abs() < 1e-12);
+        // Merged histogram counts every rank's spans.
+        assert_eq!(r.hist["summa.block"].count(), 4);
+        // Rank 3 is the busiest (2.5 + 2.0 main-track seconds).
+        assert_eq!(r.top_ranks(1), &[(3, 4.5)]);
+        // Its pool worker is also the busiest worker track.
+        let (rank, label, secs) = &r.top_workers(1)[0];
+        assert_eq!((*rank, label.as_str()), (3, "pool-worker 3"));
+        assert!((secs - 2.0).abs() < 1e-9);
+        // Last event ends at 4.0 s (align.batch / align.unit on rank 3).
+        assert!((r.wall_s - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregation_matches_metrics_report_views() {
+        let sess = session();
+        let cluster = ClusterReport::from_session(&sess);
+        let direct = MetricsReport::from_session(&sess);
+        assert_eq!(
+            cluster.component(Component::Align),
+            direct.component_imbalance(Component::Align)
+        );
+        assert_eq!(
+            cluster.counter("aligned_pairs"),
+            direct.counter_imbalance("aligned_pairs")
+        );
+    }
+
+    #[test]
+    fn merge_rejects_duplicate_ranks() {
+        let a = MetricsReport::from_session(&session());
+        assert!(ClusterReport::from_reports(&[a.clone(), a]).is_err());
+    }
+
+    #[test]
+    fn merge_of_split_reports_equals_single_report() {
+        // Split the 4-rank report into two 2-rank files and merge: every
+        // aggregate must match the unsplit path.
+        let full = MetricsReport::from_session(&session());
+        let mut lo = full.clone();
+        let mut hi = full.clone();
+        lo.ranks.retain(|t| t.rank < 2);
+        hi.ranks.retain(|t| t.rank >= 2);
+        let merged = ClusterReport::from_reports(&[hi, lo]).unwrap();
+        let whole = ClusterReport::from_reports(&[full]).unwrap();
+        assert_eq!(merged, whole);
+    }
+
+    #[test]
+    fn rendered_report_is_deterministic() {
+        let a = render_cluster_report(&ClusterReport::from_session(&session()), 3);
+        let b = render_cluster_report(&ClusterReport::from_session(&session()), 3);
+        assert_eq!(a, b);
+        assert!(a.contains("summa.block"));
+        assert!(a.contains("pool-worker 3"));
+    }
+}

@@ -61,13 +61,7 @@ fn write_rank_events(w: &mut JsonWriter, rec: &Recorder) {
     tids.sort_unstable();
     tids.dedup();
     for tid in tids {
-        let label = match tid {
-            0 => "main".to_string(),
-            1..=1024 => format!("align-worker {}", tid - 1),
-            1025..=2048 => format!("spgemm-worker {}", tid - 1025),
-            2049 => "comm-prefetch".to_string(),
-            _ => format!("pool-worker {}", tid - 2050),
-        };
+        let label = Track::tid_label(tid);
         w.begin_object()
             .field_str("name", "thread_name")
             .field_str("ph", "M")
@@ -120,9 +114,11 @@ fn write_rank_events(w: &mut JsonWriter, rec: &Recorder) {
             .begin_object()
             .field_u64("bytes", c.bytes)
             .field_u64("peers", c.peers as u64)
-            .field_u64("wait_us", (c.wait_s * 1e6).round().max(0.0) as u64)
-            .end_object()
-            .end_object();
+            .field_u64("wait_us", (c.wait_s * 1e6).round().max(0.0) as u64);
+        if let Some(peer) = c.peer {
+            w.field_u64("peer", peer as u64);
+        }
+        w.end_object().end_object();
     }
 }
 

@@ -1,0 +1,590 @@
+//! Critical-path extraction over the span DAG.
+//!
+//! Answers the question the predecessor paper (arXiv:2009.14467) asks
+//! before every optimization: *where does the end-to-end wall clock go?*
+//! The pipeline is bulk-synchronous — SUMMA broadcasts fence every block —
+//! so the run's critical path follows the rank that finishes last, and
+//! end-to-end time decomposes into that rank's main-track phases plus
+//! whatever nothing covers (startup, scheduling gaps). Attribution is
+//! *innermost-covering*: each instant of the critical rank's timeline is
+//! charged to the most deeply nested span covering it, so nested spans
+//! never double-count.
+//!
+//! Two signals the flat component totals cannot express fall out directly:
+//!
+//! * **Hidden communication** — the intersection of the comm-prefetch
+//!   track's `summa.bcast.prefetch` spans with main-track compute, i.e.
+//!   broadcast time the overlapped schedule actually hid (PR 6's win,
+//!   measured instead of inferred from cwait deltas).
+//! * **Comm edges** — `SendTo`/`RecvFrom` event pairs matched by peer
+//!   rank, the cross-rank dependency edges of the span DAG.
+//!
+//! Timelines come from a live [`TraceSession`] or a Chrome trace JSON
+//! written by `--trace-out`, so `pastis analyze` works offline.
+
+use std::collections::BTreeMap;
+
+use crate::json::{parse, JsonValue};
+use crate::names;
+use crate::recorder::Track;
+use crate::TraceSession;
+
+/// One closed interval on a rank's timeline (owned form of
+/// [`crate::SpanEvent`], buildable from a parsed trace file).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineSpan {
+    /// Span name.
+    pub name: String,
+    /// Chrome `tid` of the track ([`Track::tid`] mapping).
+    pub tid: u64,
+    /// Start, µs since the session epoch.
+    pub start_us: u64,
+    /// End, µs since the session epoch.
+    pub end_us: u64,
+}
+
+/// One communication event on a rank's timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineComm {
+    /// Operation label (`broadcast`, `send_to`, ...).
+    pub op: String,
+    /// Timestamp, µs since the session epoch.
+    pub ts_us: u64,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Concrete peer rank for point-to-point operations.
+    pub peer: Option<u32>,
+    /// Time spent inside the operation, µs.
+    pub wait_us: u64,
+}
+
+/// Everything one rank recorded, in recording order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RankTimeline {
+    /// The rank id.
+    pub rank: usize,
+    /// Spans across all tracks.
+    pub spans: Vec<TimelineSpan>,
+    /// Communication events.
+    pub comms: Vec<TimelineComm>,
+}
+
+/// Extract per-rank timelines from a live session.
+pub fn timelines_from_session(session: &TraceSession) -> Vec<RankTimeline> {
+    session
+        .recorders()
+        .iter()
+        .map(|rec| RankTimeline {
+            rank: rec.rank(),
+            spans: rec
+                .snapshot_spans()
+                .iter()
+                .map(|s| TimelineSpan {
+                    name: s.name.to_owned(),
+                    tid: s.track.tid(),
+                    start_us: s.start_us,
+                    end_us: s.end_us(),
+                })
+                .collect(),
+            comms: rec
+                .snapshot_comms()
+                .iter()
+                .map(|c| TimelineComm {
+                    op: c.op.label().to_owned(),
+                    ts_us: c.ts_us,
+                    bytes: c.bytes,
+                    peer: c.peer,
+                    wait_us: (c.wait_s * 1e6).round().max(0.0) as u64,
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Extract per-rank timelines from Chrome trace JSON (the `--trace-out`
+/// format): `"ph":"X"` complete events become spans, `"ph":"i"` instants
+/// in the `comm` category become communication events.
+pub fn timelines_from_chrome_json(text: &str) -> Result<Vec<RankTimeline>, String> {
+    let v = parse(text)?;
+    let events = v
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing traceEvents array")?;
+    let mut by_rank: BTreeMap<usize, RankTimeline> = BTreeMap::new();
+    for e in events {
+        let ph = e.get("ph").and_then(JsonValue::as_str).unwrap_or("");
+        let pid = e.get("pid").and_then(JsonValue::as_u64).unwrap_or(0) as usize;
+        let name = e.get("name").and_then(JsonValue::as_str).unwrap_or("");
+        let tl = by_rank.entry(pid).or_insert_with(|| RankTimeline {
+            rank: pid,
+            ..RankTimeline::default()
+        });
+        match ph {
+            "X" => {
+                let ts = e
+                    .get("ts")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or("X event missing ts")?;
+                let dur = e.get("dur").and_then(JsonValue::as_u64).unwrap_or(0);
+                tl.spans.push(TimelineSpan {
+                    name: name.to_owned(),
+                    tid: e.get("tid").and_then(JsonValue::as_u64).unwrap_or(0),
+                    start_us: ts,
+                    end_us: ts + dur,
+                });
+            }
+            "i" if e.get("cat").and_then(JsonValue::as_str) == Some("comm") => {
+                let args = e.get("args").ok_or("comm instant missing args")?;
+                tl.comms.push(TimelineComm {
+                    op: name.strip_prefix("comm.").unwrap_or(name).to_owned(),
+                    ts_us: e.get("ts").and_then(JsonValue::as_u64).unwrap_or(0),
+                    bytes: args.get("bytes").and_then(JsonValue::as_u64).unwrap_or(0),
+                    peer: args
+                        .get("peer")
+                        .and_then(JsonValue::as_u64)
+                        .map(|p| p as u32),
+                    wait_us: args.get("wait_us").and_then(JsonValue::as_u64).unwrap_or(0),
+                });
+            }
+            _ => {}
+        }
+    }
+    Ok(by_rank.into_values().collect())
+}
+
+/// Seconds attributed to one phase of the critical rank's timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseShare {
+    /// Span name the time is attributed to.
+    pub name: String,
+    /// Microseconds attributed.
+    pub us: u64,
+}
+
+/// One matched point-to-point transfer: a `SendTo` on `src` paired with
+/// the corresponding `RecvFrom` on `dst`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommEdge {
+    /// Sending rank.
+    pub src: usize,
+    /// Receiving rank.
+    pub dst: usize,
+    /// Payload bytes (sender-side accounting).
+    pub bytes: u64,
+    /// Send timestamp, µs.
+    pub send_ts_us: u64,
+    /// Receive completion, µs (receive timestamp + wait).
+    pub recv_end_us: u64,
+}
+
+/// The extracted critical path and its wall-clock attribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPath {
+    /// Ranks in the trace.
+    pub nranks: usize,
+    /// The rank that finishes last — the bulk-synchronous critical rank.
+    pub critical_rank: usize,
+    /// Earliest main-track activity across ranks, µs since epoch.
+    pub t0_us: u64,
+    /// End-to-end wall clock: latest main-track end minus `t0_us`.
+    pub wall_us: u64,
+    /// Wall-clock attribution on the critical rank, in pipeline order
+    /// ([`names::CRITICAL_PHASES`] first, then other names
+    /// alphabetically). Only phases with nonzero time appear.
+    pub phases: Vec<PhaseShare>,
+    /// Wall-clock no span covers (startup, scheduling gaps).
+    pub unattributed_us: u64,
+    /// Per-rank broadcast-prefetch time overlapped with main-track
+    /// compute — communication the schedule hid, `(rank, µs)`.
+    pub hidden_comm_us: Vec<(usize, u64)>,
+    /// Matched point-to-point transfers.
+    pub edges: Vec<CommEdge>,
+}
+
+impl CriticalPath {
+    /// Extract the critical path. Returns `None` when no rank recorded a
+    /// main-track span.
+    pub fn extract(timelines: &[RankTimeline]) -> Option<CriticalPath> {
+        let main = |tl: &RankTimeline| -> Vec<(u64, u64, String)> {
+            tl.spans
+                .iter()
+                .filter(|s| s.tid == Track::Rank.tid())
+                .map(|s| (s.start_us, s.end_us, s.name.clone()))
+                .collect()
+        };
+
+        // Global window and the last-finishing rank.
+        let mut t0 = u64::MAX;
+        let mut t1 = 0u64;
+        let mut critical_rank = None;
+        for tl in timelines {
+            for s in tl.spans.iter().filter(|s| s.tid == Track::Rank.tid()) {
+                t0 = t0.min(s.start_us);
+                if s.end_us > t1 || (s.end_us == t1 && critical_rank.is_none()) {
+                    t1 = s.end_us;
+                    critical_rank = Some(tl.rank);
+                }
+            }
+        }
+        let critical_rank = critical_rank?;
+        let wall_us = t1 - t0;
+
+        // Innermost-covering attribution over the critical rank's main
+        // track: split [t0, t1] at every span boundary and charge each
+        // segment to the latest-starting (most nested) covering span.
+        let crit = timelines.iter().find(|tl| tl.rank == critical_rank)?;
+        let spans = main(crit);
+        let mut bounds: Vec<u64> = vec![t0, t1];
+        for (s, e, _) in &spans {
+            bounds.push((*s).clamp(t0, t1));
+            bounds.push((*e).clamp(t0, t1));
+        }
+        bounds.sort_unstable();
+        bounds.dedup();
+        let mut attributed: BTreeMap<&str, u64> = BTreeMap::new();
+        let mut unattributed_us = 0u64;
+        for w in bounds.windows(2) {
+            let (seg_start, seg_end) = (w[0], w[1]);
+            let len = seg_end - seg_start;
+            let covering = spans
+                .iter()
+                .filter(|(s, e, _)| *s <= seg_start && *e >= seg_end)
+                .max_by_key(|(s, e, _)| (*s, std::cmp::Reverse(*e)));
+            match covering {
+                Some((_, _, name)) => *attributed.entry(name).or_insert(0) += len,
+                None => unattributed_us += len,
+            }
+        }
+
+        // Stable phase order: the pipeline phases first, then the rest.
+        let mut phases = Vec::new();
+        for p in names::CRITICAL_PHASES {
+            if let Some(&us) = attributed.get(*p) {
+                phases.push(PhaseShare {
+                    name: (*p).to_owned(),
+                    us,
+                });
+            }
+        }
+        for (name, &us) in &attributed {
+            if !names::CRITICAL_PHASES.contains(name) {
+                phases.push(PhaseShare {
+                    name: (*name).to_owned(),
+                    us,
+                });
+            }
+        }
+
+        // Hidden communication: prefetch-track spans intersected with the
+        // union of the same rank's main-track spans.
+        let mut hidden_comm_us = Vec::new();
+        for tl in timelines {
+            let compute = interval_union(&main(tl));
+            let hidden: u64 = tl
+                .spans
+                .iter()
+                .filter(|s| s.tid == Track::CommPath.tid())
+                .map(|s| intersect_len(s.start_us, s.end_us, &compute))
+                .sum();
+            hidden_comm_us.push((tl.rank, hidden));
+        }
+
+        Some(CriticalPath {
+            nranks: timelines.len(),
+            critical_rank,
+            t0_us: t0,
+            wall_us,
+            phases,
+            unattributed_us,
+            hidden_comm_us,
+            edges: comm_edges(timelines),
+        })
+    }
+
+    /// Fraction of the end-to-end wall clock attributed to named phases
+    /// (1.0 when everything is covered).
+    pub fn attributed_fraction(&self) -> f64 {
+        if self.wall_us == 0 {
+            return 1.0;
+        }
+        1.0 - self.unattributed_us as f64 / self.wall_us as f64
+    }
+
+    /// Hidden (overlapped) broadcast-prefetch µs on the critical rank.
+    pub fn hidden_comm_critical_us(&self) -> u64 {
+        self.hidden_comm_us
+            .iter()
+            .find(|(r, _)| *r == self.critical_rank)
+            .map_or(0, |(_, us)| *us)
+    }
+
+    /// Hidden broadcast-prefetch µs summed over all ranks.
+    pub fn hidden_comm_total_us(&self) -> u64 {
+        self.hidden_comm_us.iter().map(|(_, us)| *us).sum()
+    }
+}
+
+/// Merge possibly-overlapping intervals into a disjoint sorted union.
+fn interval_union(spans: &[(u64, u64, String)]) -> Vec<(u64, u64)> {
+    let mut iv: Vec<(u64, u64)> = spans
+        .iter()
+        .filter(|(s, e, _)| e > s)
+        .map(|(s, e, _)| (*s, *e))
+        .collect();
+    iv.sort_unstable();
+    let mut out: Vec<(u64, u64)> = Vec::new();
+    for (s, e) in iv {
+        match out.last_mut() {
+            Some((_, le)) if s <= *le => *le = (*le).max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+/// Length of `[s, e)` ∩ the disjoint sorted `union`.
+fn intersect_len(s: u64, e: u64, union: &[(u64, u64)]) -> u64 {
+    union
+        .iter()
+        .map(|(us, ue)| e.min(*ue).saturating_sub(s.max(*us)))
+        .sum()
+}
+
+/// Pair `send_to` events with their matching `recv_from` events by peer
+/// rank: the k-th send from `src` to `dst` matches the k-th receive on
+/// `dst` naming peer `src` (the mailbox preserves per-pair FIFO order).
+/// Unmatched events (e.g. a crashed peer) are dropped.
+pub fn comm_edges(timelines: &[RankTimeline]) -> Vec<CommEdge> {
+    let mut recvs: BTreeMap<(usize, usize), Vec<&TimelineComm>> = BTreeMap::new();
+    for tl in timelines {
+        for c in &tl.comms {
+            if c.op == "recv_from" {
+                if let Some(peer) = c.peer {
+                    recvs.entry((peer as usize, tl.rank)).or_default().push(c);
+                }
+            }
+        }
+    }
+    let mut cursor: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    let mut edges = Vec::new();
+    for tl in timelines {
+        for c in &tl.comms {
+            if c.op == "send_to" {
+                if let Some(peer) = c.peer {
+                    let key = (tl.rank, peer as usize);
+                    let k = cursor.entry(key).or_insert(0);
+                    if let Some(r) = recvs.get(&key).and_then(|v| v.get(*k)) {
+                        edges.push(CommEdge {
+                            src: tl.rank,
+                            dst: peer as usize,
+                            bytes: c.bytes,
+                            send_ts_us: c.ts_us,
+                            recv_end_us: r.ts_us + r.wait_us,
+                        });
+                    }
+                    *k += 1;
+                }
+            }
+        }
+    }
+    edges.sort_by_key(|e| (e.send_ts_us, e.src, e.dst));
+    edges
+}
+
+/// Render the critical path as the deterministic text block `pastis
+/// analyze` prints.
+pub fn render_critical_path(cp: &CriticalPath) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let wall_s = cp.wall_us as f64 * 1e-6;
+    let _ = writeln!(
+        out,
+        "Critical path: rank {} of {} finishes last, wall {:.6} s",
+        cp.critical_rank, cp.nranks, wall_s
+    );
+    let _ = writeln!(out, "{:<24} {:>12} {:>8}", "phase", "seconds", "share");
+    let share = |us: u64| {
+        if cp.wall_us == 0 {
+            0.0
+        } else {
+            100.0 * us as f64 / cp.wall_us as f64
+        }
+    };
+    for p in &cp.phases {
+        let _ = writeln!(
+            out,
+            "{:<24} {:>12.6} {:>7.2}%",
+            p.name,
+            p.us as f64 * 1e-6,
+            share(p.us)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<24} {:>12.6} {:>7.2}%",
+        "(unattributed)",
+        cp.unattributed_us as f64 * 1e-6,
+        share(cp.unattributed_us)
+    );
+    let _ = writeln!(
+        out,
+        "attributed: {:.2}% of end-to-end wall clock",
+        100.0 * cp.attributed_fraction()
+    );
+    let _ = writeln!(
+        out,
+        "hidden comm (bcast prefetch overlapped with compute): {:.6} s critical rank, {:.6} s cluster-wide",
+        cp.hidden_comm_critical_us() as f64 * 1e-6,
+        cp.hidden_comm_total_us() as f64 * 1e-6
+    );
+    let _ = writeln!(
+        out,
+        "p2p comm edges: {} transfers, {} bytes",
+        cp.edges.len(),
+        cp.edges.iter().map(|e| e.bytes).sum::<u64>()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{CommOp, TraceSession};
+    use crate::Component;
+
+    /// A deterministic 2-rank virtual-time session: rank 1 finishes last,
+    /// with an outer block span containing a nested stage span, and a
+    /// prefetch span overlapping compute.
+    fn session() -> TraceSession {
+        let s = TraceSession::virtual_time();
+        let r0 = s.recorder(0);
+        r0.record_span_at(
+            Component::SparseOther,
+            "kmer_matrix",
+            Track::Rank,
+            0.0,
+            1.0,
+            &[],
+        );
+        r0.record_span_at(Component::SpGemm, "summa.block", Track::Rank, 1.0, 2.0, &[]);
+        let r1 = s.recorder(1);
+        r1.record_span_at(
+            Component::SparseOther,
+            "kmer_matrix",
+            Track::Rank,
+            0.0,
+            1.5,
+            &[],
+        );
+        r1.record_span_at(Component::SpGemm, "summa.block", Track::Rank, 1.5, 2.0, &[]);
+        // Nested (innermost-covering must charge this slice to the inner
+        // span, not double-count it).
+        r1.record_span_at(Component::Align, "align.batch", Track::Rank, 3.5, 1.0, &[]);
+        // Prefetch overlapping [1.5, 3.5] compute for 0.75 s.
+        r1.record_span_at(
+            Component::CommWait,
+            "summa.bcast.prefetch",
+            Track::CommPath,
+            2.0,
+            0.75,
+            &[],
+        );
+        s
+    }
+
+    #[test]
+    fn attribution_covers_the_wall_clock() {
+        let tl = timelines_from_session(&session());
+        let cp = CriticalPath::extract(&tl).unwrap();
+        assert_eq!(cp.critical_rank, 1);
+        assert_eq!(cp.wall_us, 4_500_000);
+        assert_eq!(cp.unattributed_us, 0);
+        assert!((cp.attributed_fraction() - 1.0).abs() < 1e-12);
+        let us: BTreeMap<&str, u64> = cp.phases.iter().map(|p| (p.name.as_str(), p.us)).collect();
+        assert_eq!(us["kmer_matrix"], 1_500_000);
+        assert_eq!(us["summa.block"], 2_000_000);
+        assert_eq!(us["align.batch"], 1_000_000);
+        // Pipeline order is preserved in the rendering.
+        let names: Vec<&str> = cp.phases.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, vec!["kmer_matrix", "summa.block", "align.batch"]);
+    }
+
+    #[test]
+    fn nested_spans_attribute_to_the_innermost() {
+        let s = TraceSession::virtual_time();
+        let r = s.recorder(0);
+        r.record_span_at(Component::SpGemm, "summa.block", Track::Rank, 0.0, 4.0, &[]);
+        r.record_span_at(Component::Align, "align.batch", Track::Rank, 1.0, 2.0, &[]);
+        let cp = CriticalPath::extract(&timelines_from_session(&s)).unwrap();
+        let us: BTreeMap<&str, u64> = cp.phases.iter().map(|p| (p.name.as_str(), p.us)).collect();
+        assert_eq!(us["summa.block"], 2_000_000); // 4 s minus the nested 2 s
+        assert_eq!(us["align.batch"], 2_000_000);
+        assert_eq!(cp.unattributed_us, 0);
+    }
+
+    #[test]
+    fn gaps_are_reported_not_hidden() {
+        let s = TraceSession::virtual_time();
+        let r = s.recorder(0);
+        r.record_span_at(Component::Io, "io.read", Track::Rank, 0.0, 1.0, &[]);
+        r.record_span_at(Component::Io, "io.write", Track::Rank, 2.0, 1.0, &[]);
+        let cp = CriticalPath::extract(&timelines_from_session(&s)).unwrap();
+        assert_eq!(cp.wall_us, 3_000_000);
+        assert_eq!(cp.unattributed_us, 1_000_000);
+        assert!((cp.attributed_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hidden_comm_is_the_prefetch_compute_intersection() {
+        let tl = timelines_from_session(&session());
+        let cp = CriticalPath::extract(&tl).unwrap();
+        assert_eq!(cp.hidden_comm_us, vec![(0, 0), (1, 750_000)]);
+        assert_eq!(cp.hidden_comm_critical_us(), 750_000);
+        assert_eq!(cp.hidden_comm_total_us(), 750_000);
+    }
+
+    #[test]
+    fn chrome_round_trip_preserves_the_critical_path() {
+        let sess = session();
+        let from_live = CriticalPath::extract(&timelines_from_session(&sess)).unwrap();
+        let json = crate::chrome_trace_json(&sess);
+        let from_file = CriticalPath::extract(&timelines_from_chrome_json(&json).unwrap()).unwrap();
+        assert_eq!(from_live, from_file);
+    }
+
+    #[test]
+    fn p2p_edges_pair_sends_with_receives() {
+        let s = TraceSession::new();
+        let r0 = s.recorder(0);
+        let r1 = s.recorder(1);
+        r0.record_comm_p2p(CommOp::SendTo, 100, 1, 0.0);
+        r0.record_comm_p2p(CommOp::SendTo, 200, 1, 0.0);
+        r1.record_comm_p2p(CommOp::RecvFrom, 0, 0, 0.01);
+        r1.record_comm_p2p(CommOp::RecvFrom, 0, 0, 0.02);
+        // An unmatched send (peer never received) produces no edge.
+        r0.record_comm_p2p(CommOp::SendTo, 300, 3, 0.0);
+        let edges = comm_edges(&timelines_from_session(&s));
+        assert_eq!(edges.len(), 2);
+        assert_eq!(edges[0].src, 0);
+        assert_eq!(edges[0].dst, 1);
+        assert_eq!(edges.iter().map(|e| e.bytes).sum::<u64>(), 300);
+    }
+
+    #[test]
+    fn empty_timeline_yields_none() {
+        assert!(CriticalPath::extract(&[]).is_none());
+        let s = TraceSession::new();
+        s.recorder(0); // registered but recorded nothing
+        assert!(CriticalPath::extract(&timelines_from_session(&s)).is_none());
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let tl = timelines_from_session(&session());
+        let cp = CriticalPath::extract(&tl).unwrap();
+        let a = render_critical_path(&cp);
+        assert_eq!(a, render_critical_path(&cp));
+        assert!(a.contains("Critical path: rank 1 of 2"));
+        assert!(a.contains("attributed: 100.00%"));
+    }
+}

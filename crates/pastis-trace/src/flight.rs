@@ -1,0 +1,414 @@
+//! Flight recorder: a bounded in-memory ring of progress breadcrumbs,
+//! periodic heartbeat snapshots, and a crash dump.
+//!
+//! Long many-against-many runs fail in the worst possible place: hours
+//! in, on a rank whose stdout nobody was watching. The flight recorder
+//! keeps the last [`FlightRecorder::capacity`] breadcrumbs (phase
+//! transitions, heartbeats, fault-plan events) in a fixed-size ring —
+//! recording is a mutex push, nothing is written anywhere until asked —
+//! and on demand serializes the ring *plus a tail sample of every rank's
+//! trace* to JSON. Sampling happens at dump time, so the recording hot
+//! path pays nothing for the feature.
+//!
+//! Two consumers:
+//!
+//! * `pastis --progress` starts a [`heartbeat`] thread that prints a
+//!   one-line cluster snapshot (per-rank span counts and the span each
+//!   rank is furthest into) every period.
+//! * [`install_crash_dump`] chains a panic hook that writes the dump
+//!   JSON next to the run's outputs when any rank thread panics (e.g. a
+//!   seeded `FaultPlan` crash), preserving the last moments of every
+//!   rank for post-mortem analysis.
+
+use std::collections::VecDeque;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::json::JsonWriter;
+use crate::recorder::Track;
+use crate::TraceSession;
+
+/// Default ring capacity: enough for hours of heartbeats at the default
+/// period while staying trivially bounded in memory.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 512;
+
+/// How many trailing spans / comm events per rank a dump samples.
+const DUMP_TAIL: usize = 32;
+
+/// Version tag on the crash-dump JSON document.
+pub const FLIGHT_DUMP_SCHEMA_VERSION: u32 = 1;
+
+/// One breadcrumb in the ring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEntry {
+    /// Monotonic sequence number (never wraps; survives ring eviction so
+    /// dumps show how many breadcrumbs were dropped).
+    pub seq: u64,
+    /// Microseconds since the flight recorder was created.
+    pub ts_us: u64,
+    /// Entry kind: `note`, `heartbeat`, `panic`, ...
+    pub kind: String,
+    /// Free-form payload.
+    pub what: String,
+}
+
+/// The bounded breadcrumb ring. Cheap to share (`Arc`), safe to record
+/// to from any thread.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    epoch: Instant,
+    cap: usize,
+    seq: AtomicU64,
+    entries: Mutex<VecDeque<FlightEntry>>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> FlightRecorder {
+        FlightRecorder::new(DEFAULT_FLIGHT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// A ring holding at most `capacity` breadcrumbs (oldest evicted
+    /// first). `capacity` is clamped to at least 1.
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            epoch: Instant::now(),
+            cap: capacity.max(1),
+            seq: AtomicU64::new(0),
+            entries: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// The ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Total breadcrumbs ever recorded (including evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Push a breadcrumb, evicting the oldest when the ring is full.
+    pub fn note(&self, kind: &str, what: impl Into<String>) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let entry = FlightEntry {
+            seq,
+            ts_us: self.epoch.elapsed().as_micros() as u64,
+            kind: kind.to_owned(),
+            what: what.into(),
+        };
+        let mut ring = self.entries.lock().unwrap();
+        if ring.len() == self.cap {
+            ring.pop_front();
+        }
+        ring.push_back(entry);
+    }
+
+    /// Snapshot the ring, oldest first.
+    pub fn entries(&self) -> Vec<FlightEntry> {
+        self.entries.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Record a heartbeat breadcrumb summarizing the session and return
+    /// the one-line progress string (what `--progress` prints).
+    pub fn heartbeat(&self, session: &TraceSession) -> String {
+        let mut parts = Vec::new();
+        for rec in session.recorders() {
+            let spans = rec.snapshot_spans();
+            let last_main = spans
+                .iter()
+                .filter(|s| s.track == Track::Rank)
+                .max_by_key(|s| (s.end_us(), s.start_us))
+                .map_or("-", |s| s.name);
+            parts.push(format!(
+                "r{}: {} spans, in {}",
+                rec.rank(),
+                spans.len(),
+                last_main
+            ));
+        }
+        let line = if parts.is_empty() {
+            "no ranks registered yet".to_owned()
+        } else {
+            parts.join("; ")
+        };
+        self.note("heartbeat", &line);
+        line
+    }
+
+    /// Serialize the ring — plus, when a session is given, a per-rank tail
+    /// sample of recent spans, comm events, and all counters — to JSON.
+    /// All trace sampling happens here, at dump time.
+    pub fn dump_json(&self, session: Option<&TraceSession>, reason: Option<&str>) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object()
+            .field_u64("schema", FLIGHT_DUMP_SCHEMA_VERSION as u64)
+            .field_str("reason", reason.unwrap_or("requested"))
+            .field_u64("recorded", self.recorded())
+            .key("ring")
+            .begin_array();
+        for e in self.entries() {
+            w.begin_object()
+                .field_u64("seq", e.seq)
+                .field_u64("ts_us", e.ts_us)
+                .field_str("kind", &e.kind)
+                .field_str("what", &e.what)
+                .end_object();
+        }
+        w.end_array();
+        if let Some(session) = session {
+            w.key("ranks").begin_array();
+            for rec in session.recorders() {
+                w.begin_object().field_u64("rank", rec.rank() as u64);
+                let spans = rec.snapshot_spans();
+                w.key("recent_spans").begin_array();
+                for s in spans.iter().rev().take(DUMP_TAIL).rev() {
+                    w.begin_object()
+                        .field_str("name", s.name)
+                        .field_str("track", &s.track.label())
+                        .field_u64("start_us", s.start_us)
+                        .field_u64("dur_us", s.dur_us)
+                        .end_object();
+                }
+                w.end_array();
+                let comms = rec.snapshot_comms();
+                w.key("recent_comms").begin_array();
+                for c in comms.iter().rev().take(DUMP_TAIL).rev() {
+                    w.begin_object()
+                        .field_str("op", c.op.label())
+                        .field_u64("ts_us", c.ts_us)
+                        .field_u64("bytes", c.bytes);
+                    if let Some(peer) = c.peer {
+                        w.field_u64("peer", peer as u64);
+                    }
+                    w.end_object();
+                }
+                w.end_array();
+                w.key("counters").begin_object();
+                for (k, v) in rec.counters() {
+                    w.field_f64(k, v);
+                }
+                w.end_object().end_object();
+            }
+            w.end_array();
+        }
+        w.end_object();
+        w.finish()
+    }
+
+    /// Write [`FlightRecorder::dump_json`] to `path`.
+    pub fn write_dump(
+        &self,
+        path: &Path,
+        session: Option<&TraceSession>,
+        reason: Option<&str>,
+    ) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.dump_json(session, reason).as_bytes())?;
+        f.write_all(b"\n")
+    }
+}
+
+/// Chain a panic hook that writes a crash dump to `path` the first time
+/// any thread panics (subsequent panics fall through to the previous
+/// hook only). The hook records the panic message as the dump reason and
+/// samples the session's per-rank tails at dump time.
+pub fn install_crash_dump(flight: Arc<FlightRecorder>, session: Arc<TraceSession>, path: PathBuf) {
+    let fired = AtomicBool::new(false);
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if !fired.swap(true, Ordering::SeqCst) {
+            let msg = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic".to_owned());
+            let reason = format!("panic: {msg}");
+            flight.note("panic", &reason);
+            let _ = flight.write_dump(&path, Some(&session), Some(&reason));
+        }
+        prev(info);
+    }));
+}
+
+/// Handle for a running heartbeat thread; [`HeartbeatHandle::stop`] joins
+/// it.
+#[derive(Debug)]
+pub struct HeartbeatHandle {
+    stop: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HeartbeatHandle {
+    /// Signal the thread and wait for it to exit.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for HeartbeatHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+/// Start a background thread that records a heartbeat every `period` and
+/// passes the progress line to `on_line` (e.g. `|l| eprintln!("[hb] {l}")`).
+/// The thread polls its stop flag every 25 ms, so stopping is prompt even
+/// with long periods.
+pub fn start_heartbeat(
+    flight: Arc<FlightRecorder>,
+    session: Arc<TraceSession>,
+    period: Duration,
+    on_line: impl Fn(&str) + Send + 'static,
+) -> HeartbeatHandle {
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let join = std::thread::spawn(move || {
+        let tick = Duration::from_millis(25);
+        let mut next = Instant::now() + period;
+        while !stop2.load(Ordering::SeqCst) {
+            std::thread::sleep(tick.min(period));
+            if Instant::now() >= next {
+                on_line(&flight.heartbeat(&session));
+                next += period;
+            }
+        }
+    });
+    HeartbeatHandle {
+        stop,
+        join: Some(join),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use crate::recorder::CommOp;
+    use crate::Component;
+
+    #[test]
+    fn ring_is_bounded_and_keeps_the_newest() {
+        let fr = FlightRecorder::new(3);
+        for i in 0..10 {
+            fr.note("note", format!("step {i}"));
+        }
+        let e = fr.entries();
+        assert_eq!(e.len(), 3);
+        assert_eq!(fr.recorded(), 10);
+        assert_eq!(e[0].what, "step 7");
+        assert_eq!(e[2].what, "step 9");
+        assert_eq!(e[2].seq, 9);
+    }
+
+    #[test]
+    fn heartbeat_names_the_current_span_per_rank() {
+        let s = TraceSession::virtual_time();
+        let r0 = s.recorder(0);
+        r0.record_span_at(
+            Component::SparseOther,
+            "kmer_matrix",
+            Track::Rank,
+            0.0,
+            1.0,
+            &[],
+        );
+        r0.record_span_at(Component::SpGemm, "summa.block", Track::Rank, 1.0, 1.0, &[]);
+        s.recorder(1)
+            .record_span_at(Component::Io, "io.read", Track::Rank, 0.0, 0.5, &[]);
+        let fr = FlightRecorder::default();
+        let line = fr.heartbeat(&s);
+        assert_eq!(line, "r0: 2 spans, in summa.block; r1: 1 spans, in io.read");
+        assert_eq!(fr.entries().len(), 1);
+        assert_eq!(fr.entries()[0].kind, "heartbeat");
+    }
+
+    #[test]
+    fn dump_samples_rank_tails_at_dump_time() {
+        let s = TraceSession::virtual_time();
+        let r = s.recorder(0);
+        for i in 0..(DUMP_TAIL + 5) {
+            r.record_span_at(
+                Component::Align,
+                "align.batch",
+                Track::Rank,
+                i as f64,
+                0.5,
+                &[],
+            );
+        }
+        r.record_comm_p2p(CommOp::SendTo, 64, 1, 0.0);
+        r.add_counter("aligned_pairs", 7.0);
+        let fr = FlightRecorder::new(8);
+        fr.note("note", "phase: align");
+        let doc = parse(&fr.dump_json(Some(&s), Some("test"))).unwrap();
+        assert_eq!(doc.get("schema").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("reason").unwrap().as_str(), Some("test"));
+        let ranks = doc.get("ranks").unwrap().as_array().unwrap();
+        assert_eq!(ranks.len(), 1);
+        let spans = ranks[0].get("recent_spans").unwrap().as_array().unwrap();
+        assert_eq!(spans.len(), DUMP_TAIL); // tail-truncated
+                                            // The tail keeps the *latest* spans.
+        let last = spans.last().unwrap();
+        assert_eq!(
+            last.get("start_us").unwrap().as_u64(),
+            Some((DUMP_TAIL as u64 + 4) * 1_000_000)
+        );
+        let comms = ranks[0].get("recent_comms").unwrap().as_array().unwrap();
+        assert_eq!(comms[0].get("peer").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            ranks[0]
+                .get("counters")
+                .unwrap()
+                .get("aligned_pairs")
+                .unwrap()
+                .as_f64(),
+            Some(7.0)
+        );
+    }
+
+    #[test]
+    fn dump_without_session_has_no_ranks_section() {
+        let fr = FlightRecorder::default();
+        fr.note("note", "hello");
+        let doc = parse(&fr.dump_json(None, None)).unwrap();
+        assert_eq!(doc.get("reason").unwrap().as_str(), Some("requested"));
+        assert!(doc.get("ranks").is_none());
+        let ring = doc.get("ring").unwrap().as_array().unwrap();
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring[0].get("what").unwrap().as_str(), Some("hello"));
+    }
+
+    #[test]
+    fn heartbeat_thread_ticks_and_stops() {
+        let fr = Arc::new(FlightRecorder::default());
+        let s = Arc::new(TraceSession::new());
+        s.recorder(0);
+        let lines = Arc::new(Mutex::new(Vec::new()));
+        let lines2 = Arc::clone(&lines);
+        let h = start_heartbeat(
+            Arc::clone(&fr),
+            Arc::clone(&s),
+            Duration::from_millis(30),
+            move |l| lines2.lock().unwrap().push(l.to_owned()),
+        );
+        std::thread::sleep(Duration::from_millis(120));
+        h.stop();
+        let n = lines.lock().unwrap().len();
+        assert!(n >= 1, "expected at least one heartbeat, got {n}");
+        assert!(fr.recorded() >= n as u64);
+    }
+}

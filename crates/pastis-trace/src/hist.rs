@@ -1,0 +1,407 @@
+//! Log-bucketed duration histograms with mergeable state.
+//!
+//! The analytics primitive behind per-span-kind latency reporting: each
+//! histogram buckets microsecond durations into power-of-two bins, so the
+//! state is a fixed 65-slot count vector that merges across workers,
+//! ranks, and runs by element-wise addition (associative and commutative —
+//! pinned by a proptest). Percentile queries walk the cumulative counts
+//! and answer within one bucket of the true order statistic: the p-th
+//! percentile estimate and the true value always share a bucket, so the
+//! error is bounded by that bucket's width.
+//!
+//! Histograms are built at *export* time from recorded span snapshots
+//! ([`span_histograms`]), never on the recording path, so enabling them
+//! adds nothing to the per-span recording cost.
+
+use std::collections::BTreeMap;
+
+use crate::json::{JsonValue, JsonWriter};
+use crate::recorder::Recorder;
+
+/// Number of buckets: slot 0 holds zero-length durations, slot `i ≥ 1`
+/// holds durations in `[2^(i-1), 2^i)` µs — 64 slots cover the full
+/// `u64` microsecond range.
+pub const NUM_BUCKETS: usize = 65;
+
+/// A mergeable histogram of durations in microseconds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurationHistogram {
+    counts: [u64; NUM_BUCKETS],
+    count: u64,
+    sum_us: u64,
+    min_us: u64,
+    max_us: u64,
+}
+
+impl Default for DurationHistogram {
+    fn default() -> DurationHistogram {
+        DurationHistogram::new()
+    }
+}
+
+/// Bucket index for a duration: 0 for 0 µs, else `floor(log2(us)) + 1`.
+pub fn bucket_index(us: u64) -> usize {
+    (64 - us.leading_zeros()) as usize
+}
+
+/// Inclusive `[lo, hi]` µs range covered by bucket `i`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    assert!(i < NUM_BUCKETS, "bucket index {i} out of range");
+    if i == 0 {
+        (0, 0)
+    } else if i == NUM_BUCKETS - 1 {
+        (1u64 << (i - 1), u64::MAX)
+    } else {
+        (1u64 << (i - 1), (1u64 << i) - 1)
+    }
+}
+
+impl DurationHistogram {
+    /// An empty histogram.
+    pub fn new() -> DurationHistogram {
+        DurationHistogram {
+            counts: [0; NUM_BUCKETS],
+            count: 0,
+            sum_us: 0,
+            min_us: u64::MAX,
+            max_us: 0,
+        }
+    }
+
+    /// Record one duration in microseconds.
+    pub fn record_us(&mut self, us: u64) {
+        self.counts[bucket_index(us)] += 1;
+        self.count += 1;
+        self.sum_us = self.sum_us.saturating_add(us);
+        self.min_us = self.min_us.min(us);
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Record one duration in seconds (negative values clamp to 0).
+    pub fn record_secs(&mut self, s: f64) {
+        self.record_us((s * 1e6).round().max(0.0) as u64);
+    }
+
+    /// Fold `other` into `self`. Merging is associative and commutative,
+    /// and merging an empty histogram is the identity.
+    pub fn merge(&mut self, other: &DurationHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_us = self.sum_us.saturating_add(other.sum_us);
+        self.min_us = self.min_us.min(other.min_us);
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
+    /// Number of recorded durations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded durations (µs, saturating).
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us
+    }
+
+    /// Smallest recorded duration (0 when empty).
+    pub fn min_us(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min_us
+        }
+    }
+
+    /// Largest recorded duration (0 when empty).
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// Mean recorded duration in µs (0.0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+
+    /// Per-bucket counts (index via [`bucket_bounds`]).
+    pub fn bucket_counts(&self) -> &[u64; NUM_BUCKETS] {
+        &self.counts
+    }
+
+    /// The `q`-quantile duration estimate in µs, `q ∈ [0, 1]`. Returns the
+    /// upper bound of the bucket holding the order statistic, clamped to
+    /// the observed `[min, max]` — so the estimate never errs by more than
+    /// the width of that shared bucket. 0 when empty.
+    pub fn percentile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 1-based rank of the order statistic: ceil(q * count), at least 1.
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                // The order statistic lies in bucket i, i.e. in
+                // [lo, hi] ∩ [min, max]; hi.min(max) is inside that range.
+                let (_, hi) = bucket_bounds(i);
+                return hi.min(self.max_us);
+            }
+        }
+        self.max_us
+    }
+
+    /// Median estimate (µs).
+    pub fn p50_us(&self) -> u64 {
+        self.percentile_us(0.50)
+    }
+
+    /// 95th-percentile estimate (µs).
+    pub fn p95_us(&self) -> u64 {
+        self.percentile_us(0.95)
+    }
+
+    /// 99th-percentile estimate (µs).
+    pub fn p99_us(&self) -> u64 {
+        self.percentile_us(0.99)
+    }
+
+    /// Write this histogram as a JSON object: summary fields plus the
+    /// non-empty buckets as `[index, count]` pairs in index order.
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object()
+            .field_u64("count", self.count)
+            .field_u64("sum_us", self.sum_us)
+            .field_u64("min_us", self.min_us())
+            .field_u64("max_us", self.max_us)
+            .field_u64("p50_us", self.p50_us())
+            .field_u64("p95_us", self.p95_us())
+            .field_u64("p99_us", self.p99_us())
+            .key("buckets")
+            .begin_array();
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > 0 {
+                w.begin_array().u64(i as u64).u64(c).end_array();
+            }
+        }
+        w.end_array().end_object();
+    }
+
+    /// Parse a histogram object produced by [`DurationHistogram::write_json`],
+    /// validating the invariants `trace-check` enforces: bucket indices
+    /// strictly increasing and in range, bucket counts summing to `count`,
+    /// and percentile monotonicity `p50 ≤ p95 ≤ p99 ≤ max`.
+    pub fn from_json(v: &JsonValue) -> Result<DurationHistogram, String> {
+        let field = |k: &str| {
+            v.get(k)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("histogram missing {k}"))
+        };
+        let count = field("count")?;
+        let sum_us = field("sum_us")?;
+        let min_us = field("min_us")?;
+        let max_us = field("max_us")?;
+        let (p50, p95, p99) = (field("p50_us")?, field("p95_us")?, field("p99_us")?);
+        if !(p50 <= p95 && p95 <= p99 && p99 <= max_us) {
+            return Err(format!(
+                "histogram percentiles not monotone: p50={p50} p95={p95} p99={p99} max={max_us}"
+            ));
+        }
+        let buckets = v
+            .get("buckets")
+            .and_then(JsonValue::as_array)
+            .ok_or("histogram missing buckets")?;
+        let mut h = DurationHistogram::new();
+        let mut last: Option<usize> = None;
+        let mut total = 0u64;
+        for b in buckets {
+            let pair = b.as_array().ok_or("bucket entry is not a pair")?;
+            let (i, c) = match pair {
+                [i, c] => (
+                    i.as_u64().ok_or("bucket index not an integer")? as usize,
+                    c.as_u64().ok_or("bucket count not an integer")?,
+                ),
+                _ => return Err("bucket entry is not a pair".into()),
+            };
+            if i >= NUM_BUCKETS {
+                return Err(format!("bucket index {i} out of range"));
+            }
+            if last.is_some_and(|l| i <= l) {
+                return Err(format!("bucket indices not strictly increasing at {i}"));
+            }
+            if c == 0 {
+                return Err(format!("empty bucket {i} serialized"));
+            }
+            last = Some(i);
+            h.counts[i] = c;
+            total += c;
+        }
+        if total != count {
+            return Err(format!(
+                "bucket counts sum to {total}, declared count is {count}"
+            ));
+        }
+        h.count = count;
+        h.sum_us = sum_us;
+        h.min_us = if count == 0 { u64::MAX } else { min_us };
+        h.max_us = max_us;
+        Ok(h)
+    }
+}
+
+/// Build one histogram per span *name* from everything `rec` has recorded
+/// so far, across all tracks. Keys are owned so histograms parsed back
+/// from JSON compare against live ones.
+pub fn span_histograms(rec: &Recorder) -> BTreeMap<String, DurationHistogram> {
+    let mut out: BTreeMap<String, DurationHistogram> = BTreeMap::new();
+    for s in rec.snapshot_spans() {
+        out.entry(s.name.to_owned())
+            .or_default()
+            .record_us(s.dur_us);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_inert() {
+        let h = DurationHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min_us(), 0);
+        assert_eq!(h.max_us(), 0);
+        assert_eq!(h.p50_us(), 0);
+        assert_eq!(h.mean_us(), 0.0);
+    }
+
+    #[test]
+    fn bucket_indexing_is_logarithmic() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 0..NUM_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_index(lo), i);
+            assert_eq!(bucket_index(hi), i);
+            assert!(lo <= hi);
+        }
+    }
+
+    #[test]
+    fn percentiles_share_a_bucket_with_the_true_order_statistic() {
+        let mut h = DurationHistogram::new();
+        let mut values = vec![3u64, 7, 8, 100, 150, 1000, 1200, 5000, 9000, 40_000];
+        for &v in &values {
+            h.record_us(v);
+        }
+        values.sort_unstable();
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let truth = values[rank - 1];
+            let est = h.percentile_us(q);
+            assert_eq!(
+                bucket_index(est),
+                bucket_index(truth),
+                "q={q}: est {est} vs truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn percentile_clamps_to_observed_range() {
+        let mut h = DurationHistogram::new();
+        h.record_us(700); // bucket [512, 1023]
+        assert_eq!(h.p50_us(), 700);
+        assert_eq!(h.p99_us(), 700);
+    }
+
+    #[test]
+    fn merge_equals_bulk_recording() {
+        let mut a = DurationHistogram::new();
+        let mut b = DurationHistogram::new();
+        let mut all = DurationHistogram::new();
+        for v in [1u64, 5, 9, 2000] {
+            a.record_us(v);
+            all.record_us(v);
+        }
+        for v in [0u64, 7, 300, 80_000] {
+            b.record_us(v);
+            all.record_us(v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged, all);
+        // Commutativity.
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ba, merged);
+        // Identity.
+        let mut id = all.clone();
+        id.merge(&DurationHistogram::new());
+        assert_eq!(id, all);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let mut h = DurationHistogram::new();
+        for v in [0u64, 1, 3, 900, 1_000_000] {
+            h.record_us(v);
+        }
+        let mut w = JsonWriter::new();
+        h.write_json(&mut w);
+        let text = w.finish();
+        let parsed = DurationHistogram::from_json(&crate::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed, h);
+    }
+
+    #[test]
+    fn json_validation_rejects_broken_invariants() {
+        let mut h = DurationHistogram::new();
+        h.record_us(10);
+        h.record_us(500);
+        let mut w = JsonWriter::new();
+        h.write_json(&mut w);
+        let good = w.finish();
+        // Declared count disagrees with bucket sum.
+        let bad = good.replace("\"count\":2", "\"count\":3");
+        assert!(DurationHistogram::from_json(&crate::json::parse(&bad).unwrap()).is_err());
+        // Percentiles out of order.
+        let bad = good.replace("\"p50_us\":", "\"p50_us\":9999999,\"x\":");
+        assert!(DurationHistogram::from_json(&crate::json::parse(&bad).unwrap()).is_err());
+    }
+
+    #[test]
+    fn span_histograms_group_by_name_across_tracks() {
+        use crate::recorder::{TraceSession, Track};
+        use crate::Component;
+        let session = TraceSession::virtual_time();
+        let rec = session.recorder(0);
+        rec.record_span_at(Component::Align, "align.batch", Track::Rank, 0.0, 0.5, &[]);
+        rec.record_span_at(Component::Align, "align.batch", Track::Rank, 1.0, 0.25, &[]);
+        rec.record_span_at(
+            Component::Align,
+            "align.unit",
+            Track::PoolWorker(1),
+            0.0,
+            0.1,
+            &[],
+        );
+        let hists = span_histograms(&rec);
+        assert_eq!(hists.len(), 2);
+        assert_eq!(hists["align.batch"].count(), 2);
+        assert_eq!(hists["align.batch"].max_us(), 500_000);
+        assert_eq!(hists["align.unit"].count(), 1);
+    }
+}

@@ -29,15 +29,27 @@
 
 #![warn(missing_docs)]
 
+pub mod aggregate;
 pub mod chrome;
 pub mod component;
+pub mod critical;
+pub mod flight;
+pub mod hist;
 pub mod json;
 pub mod metrics;
+pub mod names;
 pub mod recorder;
 pub mod report;
 
+pub use aggregate::{render_cluster_report, ClusterReport, PhaseStat};
 pub use chrome::chrome_trace_json;
 pub use component::{Component, ImbalanceStats};
+pub use critical::{render_critical_path, timelines_from_chrome_json, CriticalPath, RankTimeline};
+pub use flight::{
+    install_crash_dump, start_heartbeat, FlightRecorder, HeartbeatHandle,
+    FLIGHT_DUMP_SCHEMA_VERSION,
+};
+pub use hist::DurationHistogram;
 pub use metrics::{CommTotals, MetricsReport, RankTelemetry, METRICS_SCHEMA_VERSION};
 pub use recorder::{CommEvent, CommOp, Recorder, SpanEvent, SpanGuard, TraceSession, Track};
 pub use report::render_report;

@@ -16,12 +16,18 @@
 use std::collections::BTreeMap;
 
 use crate::component::{Component, ImbalanceStats};
+use crate::hist::{span_histograms, DurationHistogram};
 use crate::json::{JsonValue, JsonWriter};
 use crate::recorder::{CommOp, Recorder, Track};
 use crate::TraceSession;
 
 /// Version of the metrics-JSON schema; bump on breaking shape changes.
-pub const METRICS_SCHEMA_VERSION: u32 = 1;
+///
+/// * v1 — component seconds, per-op comm totals, counters.
+/// * v2 — adds per-span-name duration histograms (`span_hist`) and
+///   per-worker-track busy seconds (`worker_seconds`). v1 documents still
+///   parse (the new sections read back empty).
+pub const METRICS_SCHEMA_VERSION: u32 = 2;
 
 /// Per-operation communication totals for one rank.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -44,8 +50,14 @@ pub struct RankTelemetry {
     pub component_s: [f64; Component::ALL.len()],
     /// Per-collective traffic totals, indexed by [`CommOp::index`].
     pub comm: [CommTotals; CommOp::ALL.len()],
-    /// Named pipeline counters (aligned pairs, cells, ...).
-    pub counters: BTreeMap<&'static str, f64>,
+    /// Named pipeline counters (aligned pairs, cells, ...). Owned keys so
+    /// a report parsed back from JSON compares equal to a live one.
+    pub counters: BTreeMap<String, f64>,
+    /// Duration histogram per span name, over **all** tracks (schema v2).
+    pub span_hist: BTreeMap<String, DurationHistogram>,
+    /// Busy seconds per off-main track (worker occupancy), keyed by the
+    /// track's display label (schema v2).
+    pub worker_seconds: BTreeMap<String, f64>,
     /// End of the last event on this rank, µs since the session epoch.
     pub span_end_us: u64,
 }
@@ -74,6 +86,8 @@ impl RankTelemetry {
         for s in rec.snapshot_spans() {
             if s.track == Track::Rank {
                 t.component_s[s.component.index()] += s.dur_us as f64 * 1e-6;
+            } else {
+                *t.worker_seconds.entry(s.track.label()).or_insert(0.0) += s.dur_us as f64 * 1e-6;
             }
             t.span_end_us = t.span_end_us.max(s.end_us());
         }
@@ -83,7 +97,12 @@ impl RankTelemetry {
             slot.bytes += c.bytes;
             slot.wait_s += c.wait_s;
         }
-        t.counters = rec.counters();
+        t.counters = rec
+            .counters()
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect();
+        t.span_hist = span_histograms(rec);
         t
     }
 }
@@ -178,6 +197,17 @@ impl MetricsReport {
                 w.field_f64(k, *v);
             }
             w.end_object();
+            w.key("span_hist").begin_object();
+            for (name, h) in &r.span_hist {
+                w.key(name);
+                h.write_json(&mut w);
+            }
+            w.end_object();
+            w.key("worker_seconds").begin_object();
+            for (label, secs) in &r.worker_seconds {
+                w.field_f64(label, *secs);
+            }
+            w.end_object();
             w.field_u64("span_end_us", r.span_end_us);
             w.end_object();
         }
@@ -185,52 +215,145 @@ impl MetricsReport {
         w.finish()
     }
 
-    /// Validate a metrics JSON document produced by
-    /// [`MetricsReport::to_json`]: checks the schema version and the
-    /// per-rank shape, returning the declared ranks. Used by the CLI
-    /// `trace-check` subcommand and CI.
-    pub fn parse_json(text: &str) -> Result<ParsedMetrics, String> {
+    /// Reconstruct a full report from its [`MetricsReport::to_json`] form.
+    /// Accepts schema v1 (the new sections read back empty) and v2; on v2
+    /// every histogram's invariants are validated. The round trip is exact:
+    /// `from_json(to_json(r)) == r` up to float formatting.
+    pub fn from_json(text: &str) -> Result<MetricsReport, String> {
         let v = crate::json::parse(text)?;
         let schema = v
             .get("schema_version")
             .and_then(JsonValue::as_u64)
             .ok_or("missing schema_version")?;
-        if schema != METRICS_SCHEMA_VERSION as u64 {
+        if schema == 0 || schema > METRICS_SCHEMA_VERSION as u64 {
             return Err(format!("unsupported schema_version {schema}"));
         }
         let ranks = v
             .get("ranks")
             .and_then(JsonValue::as_array)
             .ok_or("missing ranks array")?;
-        let mut out = ParsedMetrics {
-            nranks: v.get("nranks").and_then(JsonValue::as_u64).unwrap_or(0) as usize,
-            rank_ids: Vec::new(),
-            phase_names: Vec::new(),
+        let mut report = MetricsReport {
+            ranks: Vec::with_capacity(ranks.len()),
+            virtual_time: matches!(v.get("virtual_time"), Some(JsonValue::Bool(true))),
         };
         for r in ranks {
-            out.rank_ids.push(
-                r.get("rank")
+            let mut t = RankTelemetry {
+                rank: r
+                    .get("rank")
                     .and_then(JsonValue::as_u64)
                     .ok_or("rank entry missing rank id")? as usize,
-            );
+                ..RankTelemetry::default()
+            };
             let comp = r
                 .get("component_seconds")
                 .ok_or("rank entry missing component_seconds")?;
-            if r.get("comm").is_none() {
-                return Err("rank entry missing comm".into());
-            }
             for c in Component::ALL {
-                if comp
+                t.component_s[c.index()] = comp
                     .get(c.label())
                     .and_then(JsonValue::as_f64)
-                    .unwrap_or(0.0)
-                    > 0.0
-                    && !out.phase_names.iter().any(|p| p == c.label())
-                {
+                    .ok_or_else(|| format!("missing component_seconds.{}", c.label()))?;
+            }
+            let comm = r.get("comm").ok_or("rank entry missing comm")?;
+            for op in CommOp::ALL {
+                let o = comm
+                    .get(op.label())
+                    .ok_or_else(|| format!("missing comm.{}", op.label()))?;
+                t.comm[op.index()] = CommTotals {
+                    count: o.get("count").and_then(JsonValue::as_u64).unwrap_or(0),
+                    bytes: o.get("bytes").and_then(JsonValue::as_u64).unwrap_or(0),
+                    wait_s: o
+                        .get("wait_seconds")
+                        .and_then(JsonValue::as_f64)
+                        .unwrap_or(0.0),
+                };
+            }
+            if let Some(JsonValue::Object(m)) = r.get("counters") {
+                for (k, val) in m {
+                    t.counters.insert(
+                        k.clone(),
+                        val.as_f64()
+                            .ok_or_else(|| format!("counter {k} not a number"))?,
+                    );
+                }
+            } else {
+                return Err("rank entry missing counters".into());
+            }
+            match r.get("span_hist") {
+                Some(JsonValue::Object(m)) => {
+                    for (name, hv) in m {
+                        let h = DurationHistogram::from_json(hv)
+                            .map_err(|e| format!("span_hist.{name}: {e}"))?;
+                        t.span_hist.insert(name.clone(), h);
+                    }
+                }
+                Some(_) => return Err("span_hist is not an object".into()),
+                None if schema >= 2 => return Err("schema v2 rank missing span_hist".into()),
+                None => {}
+            }
+            match r.get("worker_seconds") {
+                Some(JsonValue::Object(m)) => {
+                    for (label, sv) in m {
+                        t.worker_seconds.insert(
+                            label.clone(),
+                            sv.as_f64()
+                                .ok_or_else(|| format!("worker_seconds.{label} not a number"))?,
+                        );
+                    }
+                }
+                Some(_) => return Err("worker_seconds is not an object".into()),
+                None if schema >= 2 => return Err("schema v2 rank missing worker_seconds".into()),
+                None => {}
+            }
+            t.span_end_us = r
+                .get("span_end_us")
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(0);
+            report.ranks.push(t);
+        }
+        Ok(report)
+    }
+
+    /// Validate a metrics JSON document produced by
+    /// [`MetricsReport::to_json`]: checks the schema version (v1 and v2
+    /// both parse), the per-rank shape, and — on v2 — every histogram's
+    /// invariants (bucket indices monotone and summing to the declared
+    /// count, percentiles `p50 ≤ p95 ≤ p99 ≤ max`). Returns a shallow
+    /// summary for the CLI `trace-check` subcommand and CI.
+    pub fn parse_json(text: &str) -> Result<ParsedMetrics, String> {
+        let v = crate::json::parse(text)?;
+        let schema = v
+            .get("schema_version")
+            .and_then(JsonValue::as_u64)
+            .ok_or("missing schema_version")? as u32;
+        let report = MetricsReport::from_json(text)?;
+        let declared = v.get("nranks").and_then(JsonValue::as_u64).unwrap_or(0) as usize;
+        if declared != report.ranks.len() {
+            return Err(format!(
+                "nranks declares {declared} ranks, document has {}",
+                report.ranks.len()
+            ));
+        }
+        let mut out = ParsedMetrics {
+            schema,
+            nranks: declared,
+            rank_ids: Vec::new(),
+            phase_names: Vec::new(),
+            hist_names: Vec::new(),
+        };
+        for r in &report.ranks {
+            out.rank_ids.push(r.rank);
+            for c in Component::ALL {
+                if r.component_secs(c) > 0.0 && !out.phase_names.iter().any(|p| p == c.label()) {
                     out.phase_names.push(c.label().to_owned());
                 }
             }
+            for name in r.span_hist.keys() {
+                if !out.hist_names.contains(name) {
+                    out.hist_names.push(name.clone());
+                }
+            }
         }
+        out.hist_names.sort();
         Ok(out)
     }
 }
@@ -239,6 +362,8 @@ impl MetricsReport {
 /// the CLI `trace-check` subcommand and CI).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ParsedMetrics {
+    /// Schema version the document declared (1 or 2).
+    pub schema: u32,
     /// Declared rank count.
     pub nranks: usize,
     /// Rank ids present in the `ranks` array.
@@ -246,6 +371,8 @@ pub struct ParsedMetrics {
     /// Component labels with nonzero recorded seconds on at least one
     /// rank — the pipeline phases the document covers.
     pub phase_names: Vec<String>,
+    /// Span names carrying a duration histogram (schema v2; sorted).
+    pub hist_names: Vec<String>,
 }
 
 #[cfg(test)]
@@ -343,6 +470,64 @@ mod tests {
     fn schema_version_is_enforced() {
         let bad = r#"{"schema_version":999,"nranks":0,"ranks":[]}"#;
         assert!(MetricsReport::parse_json(bad).is_err());
+    }
+
+    #[test]
+    fn full_report_round_trips_through_json() {
+        let report = MetricsReport::from_session(&sample_session());
+        let back = MetricsReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn v2_documents_carry_histograms_and_worker_seconds() {
+        let report = MetricsReport::from_session(&sample_session());
+        let parsed = MetricsReport::parse_json(&report.to_json()).unwrap();
+        assert_eq!(parsed.schema, METRICS_SCHEMA_VERSION);
+        assert_eq!(
+            parsed.hist_names,
+            vec!["align.worker".to_string(), "summa.block".to_string()]
+        );
+        let back = MetricsReport::from_json(&report.to_json()).unwrap();
+        let r1 = &back.ranks[1];
+        assert_eq!(r1.span_hist["summa.block"].count(), 1);
+        assert_eq!(r1.span_hist["summa.block"].max_us(), 2_000_000);
+        // The worker sub-track's busy seconds are reported per label.
+        assert!((r1.worker_seconds["align-worker 0"] - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn v1_documents_still_parse() {
+        // A v1 document has no span_hist / worker_seconds sections.
+        let v1 = r#"{"schema_version":1,"virtual_time":true,"nranks":1,"ranks":[{"rank":0,
+            "component_seconds":{"align":1.0,"spgemm":2.0,"sparse-other":0.0,"io":0.0,
+            "cwait":0.5,"other":0.0},
+            "comm":{"broadcast":{"count":1,"bytes":10,"wait_seconds":0.1},
+            "all_gather":{"count":0,"bytes":0,"wait_seconds":0.0},
+            "gather":{"count":0,"bytes":0,"wait_seconds":0.0},
+            "all_to_allv":{"count":0,"bytes":0,"wait_seconds":0.0},
+            "all_reduce":{"count":0,"bytes":0,"wait_seconds":0.0},
+            "barrier":{"count":0,"bytes":0,"wait_seconds":0.0},
+            "send_to":{"count":0,"bytes":0,"wait_seconds":0.0},
+            "recv_from":{"count":0,"bytes":0,"wait_seconds":0.0}},
+            "counters":{"aligned_pairs":7.0},"span_end_us":3000000}]}"#;
+        let parsed = MetricsReport::parse_json(v1).unwrap();
+        assert_eq!(parsed.schema, 1);
+        assert_eq!(parsed.nranks, 1);
+        assert!(parsed.hist_names.is_empty());
+        let report = MetricsReport::from_json(v1).unwrap();
+        assert_eq!(report.ranks[0].counter("aligned_pairs"), 7.0);
+        assert!(report.ranks[0].span_hist.is_empty());
+    }
+
+    #[test]
+    fn broken_histogram_invariants_fail_validation() {
+        let report = MetricsReport::from_session(&sample_session());
+        let text = report.to_json();
+        // Corrupt one histogram's declared count.
+        let bad = text.replacen("\"count\":1,", "\"count\":4,", 1);
+        assert_ne!(bad, text);
+        assert!(MetricsReport::parse_json(&bad).is_err());
     }
 
     #[test]

@@ -121,6 +121,22 @@ impl Track {
             Track::PoolWorker(w) => 2050 + w as u64,
         }
     }
+
+    /// Human-readable display label (also the Chrome `thread_name`).
+    pub fn label(self) -> String {
+        Track::tid_label(self.tid())
+    }
+
+    /// Display label for a Chrome `tid` produced by [`Track::tid`].
+    pub fn tid_label(tid: u64) -> String {
+        match tid {
+            0 => "main".to_string(),
+            1..=1024 => format!("align-worker {}", tid - 1),
+            1025..=2048 => format!("spgemm-worker {}", tid - 1025),
+            2049 => "comm-prefetch".to_string(),
+            _ => format!("pool-worker {}", tid - 2050),
+        }
+    }
 }
 
 /// One closed span: a named interval attributed to a [`Component`].
@@ -160,6 +176,12 @@ pub struct CommEvent {
     pub bytes: u64,
     /// Number of peer ranks involved besides this one.
     pub peers: u32,
+    /// For point-to-point operations, the concrete peer rank (the
+    /// destination of a send, the source of a receive) — the information
+    /// the critical-path extractor needs to pair a `SendTo` with its
+    /// matching `RecvFrom` into a cross-rank comm edge. `None` for
+    /// collectives, where the whole team participates.
+    pub peer: Option<u32>,
     /// Seconds this rank spent inside the operation (wait + transfer).
     pub wait_s: f64,
 }
@@ -268,6 +290,24 @@ impl Recorder {
         self.record_comm_at(op, bytes, peers, wait_s, ts as f64 * 1e-6);
     }
 
+    /// Record a just-completed point-to-point operation against a concrete
+    /// `peer` rank (send destination / receive source), so the analytics
+    /// layer can pair both sides into a comm edge.
+    pub fn record_comm_p2p(&self, op: CommOp, bytes: u64, peer: usize, wait_s: f64) {
+        let Some(inner) = self.inner.as_deref() else {
+            return;
+        };
+        let ts_us = self.now_us().saturating_sub(secs_to_us(wait_s));
+        inner.events.lock().unwrap().comms.push(CommEvent {
+            op,
+            ts_us,
+            bytes,
+            peers: 1,
+            peer: Some(peer as u32),
+            wait_s,
+        });
+    }
+
     /// Record a communication operation with an explicit timestamp.
     pub fn record_comm_at(&self, op: CommOp, bytes: u64, peers: usize, wait_s: f64, ts_s: f64) {
         let Some(inner) = self.inner.as_deref() else {
@@ -278,6 +318,7 @@ impl Recorder {
             ts_us: secs_to_us(ts_s),
             bytes,
             peers: peers as u32,
+            peer: None,
             wait_s,
         });
     }

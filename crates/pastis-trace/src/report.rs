@@ -86,7 +86,7 @@ pub fn render_report(report: &MetricsReport) -> String {
     let mut names: Vec<&str> = report
         .ranks
         .iter()
-        .flat_map(|r| r.counters.keys().copied())
+        .flat_map(|r| r.counters.keys().map(String::as_str))
         .collect();
     names.sort_unstable();
     names.dedup();

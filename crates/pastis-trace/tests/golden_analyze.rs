@@ -1,0 +1,180 @@
+//! Golden-file test for the `pastis analyze` critical-path report.
+//!
+//! A fixed four-rank virtual-time session — overlapped prefetch, one
+//! straggling rank, a deliberate attribution gap, and a cross-rank
+//! send/recv pair — is exported to Chrome JSON and re-imported through
+//! the exact path `pastis analyze --trace` uses
+//! ([`timelines_from_chrome_json`] → [`CriticalPath::extract`] →
+//! [`render_critical_path`]); the rendered report must match
+//! `tests/golden/critical_path.txt` byte-for-byte.
+//!
+//! Regenerate with `TRACE_BLESS=1 cargo test -p pastis-trace --test
+//! golden_analyze` after an intentional format change.
+
+use pastis_trace::{
+    chrome_trace_json, names, render_critical_path, timelines_from_chrome_json, CommOp, Component,
+    CriticalPath, TraceSession, Track,
+};
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/critical_path.txt"
+);
+
+/// Four ranks through the full pipeline shape. Rank 2 straggles in the
+/// align phase and finishes last; every rank overlaps a broadcast
+/// prefetch with its SUMMA block (hidden comm); the critical rank has a
+/// 50 ms unattributed scheduling gap before output assembly; rank 0
+/// sends one exchange frame to rank 1.
+fn fixture_session() -> TraceSession {
+    let session = TraceSession::virtual_time();
+    for rank in 0..4usize {
+        let rec = session.recorder(rank);
+        let r = rank as f64;
+        rec.record_span_at(
+            Component::Io,
+            names::SPAN_IO_READ,
+            Track::Rank,
+            0.0,
+            0.2,
+            &[],
+        );
+        rec.record_span_at(
+            Component::SparseOther,
+            names::SPAN_KMER_MATRIX,
+            Track::Rank,
+            0.2,
+            0.5,
+            &[("nnz", 4096 + rank as u64)],
+        );
+        rec.record_span_at(
+            Component::CommWait,
+            names::SPAN_SEQ_EXCHANGE_RECV,
+            Track::Rank,
+            0.7,
+            0.2,
+            &[],
+        );
+        rec.record_span_at(
+            Component::SpGemm,
+            names::SPAN_SUMMA_BLOCK,
+            Track::Rank,
+            0.9,
+            1.2 + 0.1 * r,
+            &[("stage", rank as u64)],
+        );
+        // The overlapped broadcast prefetch rides the comm track entirely
+        // under the SUMMA block above: fully hidden communication.
+        rec.record_span_at(
+            Component::CommWait,
+            names::SPAN_SUMMA_BCAST_PREFETCH,
+            Track::CommPath,
+            1.0,
+            0.4,
+            &[("bytes", 1 << 20)],
+        );
+        let align_start = 2.1 + 0.1 * r;
+        let align_dur = if rank == 2 { 2.4 } else { 1.5 };
+        rec.record_span_at(
+            Component::Align,
+            names::SPAN_ALIGN_BATCH,
+            Track::Rank,
+            align_start,
+            align_dur,
+            &[("pairs", 128)],
+        );
+        // 50 ms gap no span covers — shows up as unattributed time on the
+        // critical rank.
+        let tail = align_start + align_dur + 0.05;
+        rec.record_span_at(
+            Component::SparseOther,
+            names::SPAN_OUTPUT_ASSEMBLY,
+            Track::Rank,
+            tail,
+            0.2,
+            &[],
+        );
+        rec.record_span_at(
+            Component::Io,
+            names::SPAN_IO_WRITE,
+            Track::Rank,
+            tail + 0.2,
+            0.1,
+            &[("edges", 777)],
+        );
+    }
+    // One sequence-exchange frame crossing ranks: the analytics layer
+    // pairs both sides into a comm edge.
+    session
+        .recorder(0)
+        .record_comm_p2p(CommOp::SendTo, 8192, 1, 0.002);
+    session
+        .recorder(1)
+        .record_comm_p2p(CommOp::RecvFrom, 0, 0, 0.004);
+    session
+        .recorder(1)
+        .record_comm_at(CommOp::Broadcast, 512, 3, 0.001, 0.9);
+    session
+}
+
+fn rendered_report() -> (CriticalPath, String) {
+    let chrome = chrome_trace_json(&fixture_session());
+    let timelines = timelines_from_chrome_json(&chrome).expect("fixture export must re-import");
+    let cp = CriticalPath::extract(&timelines).expect("fixture has main-track spans");
+    let text = render_critical_path(&cp);
+    (cp, text)
+}
+
+#[test]
+fn analyze_critical_path_matches_golden_file() {
+    let (_, text) = rendered_report();
+    if std::env::var_os("TRACE_BLESS").is_some() {
+        std::fs::create_dir_all(std::path::Path::new(GOLDEN_PATH).parent().unwrap()).unwrap();
+        std::fs::write(GOLDEN_PATH, &text).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file missing; regenerate with TRACE_BLESS=1");
+    assert_eq!(
+        text, golden,
+        "critical-path report drifted from the golden file; \
+         if intentional, regenerate with TRACE_BLESS=1"
+    );
+}
+
+#[test]
+fn critical_path_attributes_the_wall_clock() {
+    let (cp, _) = rendered_report();
+    assert_eq!(cp.nranks, 4);
+    assert_eq!(
+        cp.critical_rank, 2,
+        "rank 2's long align phase loses the race"
+    );
+    // The only uncovered window on the critical rank is the 50 ms gap, so
+    // attribution clears the PR's ≥95% acceptance bar with margin.
+    assert!(
+        cp.attributed_fraction() >= 0.95,
+        "attributed only {:.2}% of wall clock",
+        cp.attributed_fraction() * 100.0
+    );
+    // align.batch dominates the critical path.
+    let top = cp.phases.first().map(|p| p.name.as_str());
+    let align_us = cp
+        .phases
+        .iter()
+        .find(|p| p.name == names::SPAN_ALIGN_BATCH)
+        .map_or(0, |p| p.us);
+    assert!(
+        cp.phases.iter().all(|p| p.us <= align_us),
+        "align.batch must dominate, top phase was {top:?}"
+    );
+    // Every rank fully hides its 0.4 s prefetch under the SUMMA block.
+    assert_eq!(cp.hidden_comm_us.len(), 4);
+    for &(_, us) in &cp.hidden_comm_us {
+        assert_eq!(us, 400_000);
+    }
+    // The send/recv pair becomes exactly one cross-rank edge.
+    assert_eq!(cp.edges.len(), 1);
+    assert_eq!((cp.edges[0].src, cp.edges[0].dst), (0, 1));
+    assert_eq!(cp.edges[0].bytes, 8192);
+}

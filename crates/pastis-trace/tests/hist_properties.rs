@@ -1,0 +1,126 @@
+//! Property tests for [`DurationHistogram`]: merging is a commutative
+//! monoid over arbitrary recordings, merge equals bulk recording, and
+//! percentile estimates always land in the same log-bucket as the true
+//! order statistic (error bounded by one bucket width).
+
+use pastis_trace::hist::{bucket_index, DurationHistogram};
+use proptest::prelude::*;
+
+/// Raw samples spanning every bucket regime: a base value plus a shift
+/// up to 2^24 reaches durations from 0 µs to ~2^40 µs (~13 days).
+fn shifted(raw: &[(u64, u32)]) -> Vec<u64> {
+    raw.iter().map(|&(v, s)| v << s).collect()
+}
+
+fn hist_of(values: &[u64]) -> DurationHistogram {
+    let mut h = DurationHistogram::new();
+    for &v in values {
+        h.record_us(v);
+    }
+    h
+}
+
+fn samples() -> proptest::collection::VecStrategy<(std::ops::Range<u64>, std::ops::Range<u32>)> {
+    proptest::collection::vec((0u64..1 << 16, 0u32..25), 0..64)
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(a in samples(), b in samples()) {
+        let (ha, hb) = (hist_of(&shifted(&a)), hist_of(&shifted(&b)));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative(a in samples(), b in samples(), c in samples()) {
+        let (ha, hb, hc) = (
+            hist_of(&shifted(&a)),
+            hist_of(&shifted(&b)),
+            hist_of(&shifted(&c)),
+        );
+        let mut left = ha.clone(); // (a ⊕ b) ⊕ c
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone(); // a ⊕ (b ⊕ c)
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn empty_is_the_identity(a in samples()) {
+        let ha = hist_of(&shifted(&a));
+        let mut merged = ha.clone();
+        merged.merge(&DurationHistogram::new());
+        prop_assert_eq!(&merged, &ha);
+        let mut from_empty = DurationHistogram::new();
+        from_empty.merge(&ha);
+        prop_assert_eq!(&from_empty, &ha);
+    }
+
+    #[test]
+    fn merge_equals_bulk_recording(a in samples(), b in samples()) {
+        let (va, vb) = (shifted(&a), shifted(&b));
+        let mut merged = hist_of(&va);
+        merged.merge(&hist_of(&vb));
+        let all: Vec<u64> = va.iter().chain(vb.iter()).copied().collect();
+        prop_assert_eq!(merged, hist_of(&all));
+    }
+
+    /// The q-quantile estimate shares a bucket with the true order
+    /// statistic, so the estimate's error never exceeds the width of
+    /// that bucket — and the estimate stays within the observed range.
+    #[test]
+    fn percentile_error_is_within_one_bucket(
+        raw in proptest::collection::vec((0u64..1 << 16, 0u32..25), 1..64),
+        q in 0.0f64..1.001,
+    ) {
+        let q = q.min(1.0);
+        let values = shifted(&raw);
+        let h = hist_of(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let truth = sorted[rank - 1];
+        let est = h.percentile_us(q);
+        prop_assert_eq!(
+            bucket_index(est), bucket_index(truth),
+            "q={}: estimate {} and truth {} in different buckets", q, est, truth
+        );
+        prop_assert!(est >= h.min_us() && est <= h.max_us());
+    }
+
+    /// Merged summaries stay consistent (count/sum add, max extremizes)
+    /// and percentile queries are monotone in q.
+    #[test]
+    fn summaries_stay_consistent_under_merge(a in samples(), b in samples()) {
+        let (ha, hb) = (hist_of(&shifted(&a)), hist_of(&shifted(&b)));
+        let mut m = ha.clone();
+        m.merge(&hb);
+        prop_assert_eq!(m.count(), ha.count() + hb.count());
+        prop_assert_eq!(m.sum_us(), ha.sum_us().saturating_add(hb.sum_us()));
+        prop_assert!(m.p50_us() <= m.p95_us());
+        prop_assert!(m.p95_us() <= m.p99_us());
+        prop_assert!(m.p99_us() <= m.max_us());
+        if m.count() > 0 {
+            prop_assert_eq!(m.max_us(), ha.max_us().max(hb.max_us()));
+        }
+    }
+
+    /// JSON round-trip preserves the full mergeable state, not just the
+    /// summary fields.
+    #[test]
+    fn json_round_trip_is_lossless(a in samples()) {
+        let h = hist_of(&shifted(&a));
+        let mut w = pastis_trace::json::JsonWriter::new();
+        h.write_json(&mut w);
+        let text = w.finish();
+        let back = DurationHistogram::from_json(&pastis_trace::json::parse(&text).unwrap()).unwrap();
+        prop_assert_eq!(back, h);
+    }
+}

@@ -32,7 +32,11 @@ use pastis::seqio::fasta::{parse_fasta, write_fasta, SeqStore};
 use pastis::seqio::{ReducedAlphabet, SyntheticConfig, SyntheticDataset};
 use pastis::sparse::SpGemmKind;
 use pastis::trace::json::JsonValue;
-use pastis::trace::{chrome_trace_json, render_report, MetricsReport, Recorder, TraceSession};
+use pastis::trace::{
+    chrome_trace_json, install_crash_dump, names, render_cluster_report, render_critical_path,
+    render_report, start_heartbeat, ClusterReport, CriticalPath, FlightRecorder, MetricsReport,
+    Recorder, TraceSession,
+};
 
 const USAGE: &str = "\
 pastis — many-against-many protein similarity search via sparse matrices
@@ -46,6 +50,7 @@ COMMANDS:
     generate <output.fasta>              emit a synthetic protein dataset
     stats <input.fasta>                  dataset statistics
     trace-check <telemetry.json>...      validate emitted telemetry JSON
+    analyze <metrics.json>...            cluster-wide trace analytics
     help                                 show this message
 
 SEARCH/CLUSTER OPTIONS:
@@ -94,6 +99,11 @@ SEARCH/CLUSTER OPTIONS:
                               (load in Perfetto or chrome://tracing)
     --metrics-json <FILE>     write schema-versioned per-rank metrics JSON
     --no-telemetry            disable span/counter recording entirely
+    --progress                print a one-line per-rank progress heartbeat
+                              every 2 s (requires telemetry)
+    --flight-dump <FILE>      keep a bounded flight-recorder ring and write
+                              it (plus per-rank trace tails) to FILE on
+                              panic or at exit (requires telemetry)
 
 ROBUSTNESS OPTIONS (search/cluster):
     --fault-plan <SPEC>       deterministically inject comm faults; SPEC is
@@ -118,6 +128,16 @@ ROBUSTNESS OPTIONS (search/cluster):
 TRACE-CHECK OPTIONS:
     --expect-ranks <INT>      fail unless the file covers exactly N ranks
     --expect-phases <LIST>    comma-separated phase names that must appear
+
+ANALYZE OPTIONS:
+    analyze merges per-rank metrics JSONs (--metrics-json output; several
+    single-rank files or one multi-rank file) into one cluster report:
+    per-phase totals, imbalance factors, latency percentiles, slowest
+    ranks/workers. With --trace it also extracts the critical path from a
+    Chrome trace (--trace-out output) and attributes end-to-end wall
+    clock to pipeline phases, reporting overlap-hidden comm time.
+    --trace <FILE>            Chrome trace JSON for critical-path analysis
+    --top <INT>               slowest ranks/workers to list  [default: 5]
 
 GENERATE OPTIONS:
     --n <INT>                 number of sequences                [default: 1000]
@@ -150,6 +170,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "generate" => cmd_generate(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
         "trace-check" => cmd_trace_check(&args[1..]),
+        "analyze" => cmd_analyze(&args[1..]),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -234,6 +255,7 @@ const SEARCH_VALUE_FLAGS: &[&str] = &[
     "checkpoint-dir",
     "halt-after-blocks",
     "straggler-factor",
+    "flight-dump",
 ];
 
 fn parse_search_params(opts: &Opts) -> Result<SearchParams, String> {
@@ -348,6 +370,8 @@ fn do_search(
     ranks: usize,
     telemetry: bool,
     fault: &FaultPlan,
+    progress: bool,
+    flight_dump: Option<&Path>,
 ) -> Result<(SeqStore, SearchResult, Option<Arc<TraceSession>>), String> {
     let store = load_store(input)?;
     eprintln!(
@@ -357,6 +381,26 @@ fn do_search(
         input.display()
     );
     let session = telemetry.then(|| Arc::new(TraceSession::new()));
+
+    // Flight recorder: a bounded breadcrumb ring. The crash-dump hook
+    // samples per-rank trace tails only when a panic actually fires, so
+    // the run itself pays one ring push per heartbeat and nothing more.
+    let flight = (progress || flight_dump.is_some()).then(|| Arc::new(FlightRecorder::default()));
+    if let (Some(flight), Some(session), Some(path)) = (&flight, &session, flight_dump) {
+        install_crash_dump(Arc::clone(flight), Arc::clone(session), path.to_path_buf());
+    }
+    let _heartbeat = match (&flight, &session, progress) {
+        (Some(flight), Some(session), true) => {
+            flight.note("run", format!("search start: {} ranks", ranks));
+            Some(start_heartbeat(
+                Arc::clone(flight),
+                Arc::clone(session),
+                Duration::from_secs(2),
+                |line| eprintln!("[progress] {line}"),
+            ))
+        }
+        _ => None,
+    };
     // The --op-timeout-ms deadline bounds both the pipeline's explicit
     // receive waits (via params) and every blocking wait inside the
     // threaded communicator itself.
@@ -421,6 +465,13 @@ fn do_search(
             backend.lanes()
         );
     }
+    if let (Some(flight), Some(path)) = (&flight, flight_dump) {
+        flight.note("run", "search complete");
+        flight
+            .write_dump(path, session.as_deref(), Some("completed"))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        eprintln!("wrote flight-recorder dump to {}", path.display());
+    }
     Ok((store, result, session))
 }
 
@@ -440,6 +491,11 @@ fn cmd_search(args: &[String], cluster: bool) -> Result<(), String> {
     if !telemetry && (trace_out.is_some() || metrics_out.is_some()) {
         return Err("--trace-out/--metrics-json require telemetry (drop --no-telemetry)".into());
     }
+    let progress = opts.has("progress");
+    let flight_dump = opts.get("flight-dump").map(PathBuf::from);
+    if !telemetry && (progress || flight_dump.is_some()) {
+        return Err("--progress/--flight-dump require telemetry (drop --no-telemetry)".into());
+    }
     let fault = match opts.get("fault-plan") {
         Some(spec) => FaultPlan::parse(spec)?,
         None => FaultPlan::none(),
@@ -447,7 +503,15 @@ fn cmd_search(args: &[String], cluster: bool) -> Result<(), String> {
     if !fault.is_noop() {
         eprintln!("fault injection active: {}", fault.to_spec());
     }
-    let (store, result, session) = do_search(Path::new(input), &params, ranks, telemetry, &fault)?;
+    let (store, result, session) = do_search(
+        Path::new(input),
+        &params,
+        ranks,
+        telemetry,
+        &fault,
+        progress,
+        flight_dump.as_deref(),
+    )?;
     if let Some(k) = result.resumed_from_block {
         eprintln!("resumed from checkpoint: blocks 0..{k} restored");
     }
@@ -606,6 +670,37 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Merge per-rank metrics JSONs into one cluster report (per-phase
+/// totals, imbalance, percentiles, slowest ranks/workers) and, given a
+/// Chrome trace, extract the critical path and attribute end-to-end wall
+/// clock to pipeline phases.
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &["trace", "top"])?;
+    if opts.positional.is_empty() && opts.get("trace").is_none() {
+        return Err("expected: analyze <metrics.json>... [--trace <trace.json>] [--top K]".into());
+    }
+    let top: usize = opts.num("top", 5)?;
+    let mut reports = Vec::new();
+    for path in &opts.positional {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        reports.push(MetricsReport::from_json(&text).map_err(|e| format!("{path}: {e}"))?);
+    }
+    if !reports.is_empty() {
+        let cluster = ClusterReport::from_reports(&reports)?;
+        print!("{}", render_cluster_report(&cluster, top));
+    }
+    if let Some(path) = opts.get("trace") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let timelines =
+            pastis::trace::timelines_from_chrome_json(&text).map_err(|e| format!("{path}: {e}"))?;
+        match CriticalPath::extract(&timelines) {
+            Some(cp) => print!("{}", render_critical_path(&cp)),
+            None => eprintln!("{path}: no main-track spans; skipping critical path"),
+        }
+    }
+    Ok(())
+}
+
 /// Validate telemetry JSON emitted by `--trace-out` / `--metrics-json`:
 /// the file must parse, carry the expected structure, and (optionally)
 /// cover an exact rank count and a set of phase names. Exits non-zero on
@@ -663,8 +758,10 @@ fn cmd_trace_check(args: &[String]) -> Result<(), String> {
 
 /// Parse one telemetry file, returning its kind, the rank ids it covers,
 /// and the phase names present (span names for Chrome traces, nonzero
-/// component labels for metrics documents).
-fn validate_telemetry_file(text: &str) -> Result<(&'static str, Vec<usize>, Vec<String>), String> {
+/// component labels for metrics documents). Every span and counter name
+/// must come from the workspace registry (`pastis::trace::names`) — a
+/// name outside it is a typo'd emit site creating an orphan series.
+fn validate_telemetry_file(text: &str) -> Result<(String, Vec<usize>, Vec<String>), String> {
     let v = pastis::trace::json::parse(text)?;
     if let Some(events) = v.get("traceEvents") {
         let events = events.as_array().ok_or("traceEvents is not an array")?;
@@ -692,19 +789,48 @@ fn validate_telemetry_file(text: &str) -> Result<(&'static str, Vec<usize>, Vec<
                         return Err(format!("span '{name}' missing '{key}'"));
                     }
                 }
+                if !names::is_known_span(name) {
+                    return Err(format!(
+                        "unknown span name '{name}' (not in the pastis::trace::names registry)"
+                    ));
+                }
                 if !phases.iter().any(|p| p == name) {
                     phases.push(name.to_owned());
                 }
             }
         }
         ranks.sort_unstable();
-        Ok(("chrome-trace", ranks, phases))
+        Ok(("chrome-trace".to_owned(), ranks, phases))
     } else {
         let parsed = MetricsReport::parse_json(text)?;
+        let report = MetricsReport::from_json(text)?;
+        for rank in &report.ranks {
+            for name in rank.counters.keys() {
+                if !names::is_known_counter(name) {
+                    return Err(format!(
+                        "rank {}: unknown counter '{name}' (not in the registry)",
+                        rank.rank
+                    ));
+                }
+            }
+            for name in rank.span_hist.keys() {
+                if !names::is_known_span(name) {
+                    return Err(format!(
+                        "rank {}: histogram for unknown span '{name}' (not in the registry)",
+                        rank.rank
+                    ));
+                }
+            }
+        }
         let mut ranks = parsed.rank_ids;
         ranks.sort_unstable();
         ranks.dedup();
-        Ok(("metrics", ranks, parsed.phase_names))
+        let kind = format!(
+            "metrics v{}, {} span histograms",
+            parsed.schema,
+            parsed.hist_names.len()
+        );
+        Ok((kind, ranks, parsed.phase_names))
     }
 }
 

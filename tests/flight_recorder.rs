@@ -1,0 +1,147 @@
+//! Flight-recorder end-to-end: a run killed by a seeded [`FaultPlan`]
+//! crash must leave a crash dump behind, and a healthy run with
+//! `--flight-dump` must leave a "completed" dump.
+//!
+//! Drives the real `pastis` binary (not in-process calls) because the
+//! crash dump is written by a process-global panic hook: the test's
+//! contract is "when a rank dies, the dump file exists on disk with the
+//! last events of every rank", which only the binary exercises.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn pastis() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pastis"))
+}
+
+/// Per-test scratch directory (unique per test name, cleaned on entry).
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pastis_flight_{}_{}", name, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn generate_input(dir: &Path) -> PathBuf {
+    let fasta = dir.join("in.fasta");
+    let out = pastis()
+        .args(["generate"])
+        .arg(&fasta)
+        .args(["--n", "150", "--seed", "9"])
+        .output()
+        .expect("spawn pastis generate");
+    assert!(out.status.success(), "generate failed: {out:?}");
+    fasta
+}
+
+fn dump_json(path: &Path) -> pastis::trace::json::JsonValue {
+    let text = std::fs::read_to_string(path).expect("dump file must exist");
+    pastis::trace::json::parse(&text).expect("dump must be valid JSON")
+}
+
+fn str_field<'a>(v: &'a pastis::trace::json::JsonValue, k: &str) -> &'a str {
+    v.get(k)
+        .and_then(pastis::trace::json::JsonValue::as_str)
+        .unwrap_or_else(|| panic!("dump missing string field {k}"))
+}
+
+#[test]
+fn injected_crash_writes_a_flight_dump() {
+    let dir = scratch("crash");
+    let fasta = generate_input(&dir);
+    let dump = dir.join("crash_dump.json");
+
+    // Rank 2 dies at its 5th comm op, mid-pipeline, on a 4-rank run.
+    let out = pastis()
+        .arg("search")
+        .arg(&fasta)
+        .arg(dir.join("out.tsv"))
+        .args(["--k", "5", "--ranks", "4", "--blocks", "2x2"])
+        .args(["--fault-plan", "crash=2@5"])
+        .arg("--flight-dump")
+        .arg(&dump)
+        .output()
+        .expect("spawn pastis search");
+    assert!(
+        !out.status.success(),
+        "a crashed rank must fail the run: {out:?}"
+    );
+
+    let v = dump_json(&dump);
+    assert_eq!(
+        v.get("schema")
+            .and_then(pastis::trace::json::JsonValue::as_u64),
+        Some(pastis::trace::FLIGHT_DUMP_SCHEMA_VERSION as u64)
+    );
+    let reason = str_field(&v, "reason");
+    assert!(
+        reason.starts_with("panic:") && reason.contains("injected crash: rank 2"),
+        "unexpected dump reason: {reason}"
+    );
+    // The dump samples every rank's recent telemetry, not just the dead one.
+    let ranks = v
+        .get("ranks")
+        .and_then(pastis::trace::json::JsonValue::as_array)
+        .expect("dump must carry per-rank sections");
+    assert_eq!(ranks.len(), 4);
+    for r in ranks {
+        assert!(r.get("recent_spans").is_some());
+        assert!(r.get("counters").is_some());
+    }
+    // The bounded ring holds the panic note as its trailing entry.
+    let ring = v
+        .get("ring")
+        .and_then(pastis::trace::json::JsonValue::as_array)
+        .expect("dump must carry the flight ring");
+    assert!(
+        ring.iter().any(|e| e
+            .get("kind")
+            .and_then(pastis::trace::json::JsonValue::as_str)
+            == Some("panic")),
+        "flight ring must record the panic"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn healthy_run_writes_a_completed_dump_and_identical_output() {
+    let dir = scratch("healthy");
+    let fasta = generate_input(&dir);
+    let dump = dir.join("final_dump.json");
+
+    let plain = dir.join("plain.tsv");
+    let out = pastis()
+        .arg("search")
+        .arg(&fasta)
+        .arg(&plain)
+        .args(["--k", "5", "--ranks", "4", "--blocks", "2x2"])
+        .output()
+        .expect("spawn pastis search");
+    assert!(out.status.success(), "baseline search failed: {out:?}");
+
+    let flight = dir.join("flight.tsv");
+    let out = pastis()
+        .arg("search")
+        .arg(&fasta)
+        .arg(&flight)
+        .args(["--k", "5", "--ranks", "4", "--blocks", "2x2", "--progress"])
+        .arg("--flight-dump")
+        .arg(&dump)
+        .output()
+        .expect("spawn pastis search");
+    assert!(
+        out.status.success(),
+        "flight-recorded search failed: {out:?}"
+    );
+
+    let v = dump_json(&dump);
+    assert_eq!(str_field(&v, "reason"), "completed");
+    // The flight recorder is observation-only: the similarity graph is
+    // byte-identical with and without it.
+    assert_eq!(
+        std::fs::read(&plain).unwrap(),
+        std::fs::read(&flight).unwrap(),
+        "flight recorder must not perturb results"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
