@@ -339,9 +339,12 @@ fn run_inner(
                 edges: graph.edges().to_vec(),
             };
             if let Err(e) = ckpt::save(dir, &ck) {
-                // Best-effort: losing a restart point must not fail the run.
+                // Best-effort: losing a restart point must not fail the
+                // run. The fault family mirror puts a warning in the
+                // end-of-run report.
                 rec.add_counter(names::CTR_CHECKPOINT_WRITE_FAILED, 1.0);
-                let _ = e;
+                rec.add_counter(names::CTR_FAULT_CKPT_SAVE_FAILED, 1.0);
+                eprintln!("warning: baseline checkpoint save failed (chunk {chunk_idx}): {e}");
             } else {
                 rec.add_counter(names::CTR_CHECKPOINT_UNITS_WRITTEN, 1.0);
             }

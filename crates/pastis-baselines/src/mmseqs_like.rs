@@ -326,9 +326,11 @@ fn run_inner(
             };
             if let Err(e) = ckpt::save(dir, &ck) {
                 // Checkpointing is best-effort: a full disk degrades to
-                // "no restart point", never to a failed search.
+                // "no restart point", never to a failed search. The fault
+                // family mirror puts a warning in the end-of-run report.
                 rec.add_counter(names::CTR_CHECKPOINT_WRITE_FAILED, 1.0);
-                let _ = e;
+                rec.add_counter(names::CTR_FAULT_CKPT_SAVE_FAILED, 1.0);
+                eprintln!("warning: baseline checkpoint save failed (unit {rank}): {e}");
             } else {
                 rec.add_counter(names::CTR_CHECKPOINT_UNITS_WRITTEN, 1.0);
             }
@@ -586,6 +588,46 @@ mod tests {
         );
         assert!(foreign.resumed_ranks.is_none());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_checkpoint_saves_are_counted_and_warned_not_fatal() {
+        let store = tiny_store();
+        let base = run_mmseqs_like(&store, &cfg(), 3);
+        // A regular file where the checkpoint directory should be makes
+        // every save fail; the search must still complete identically.
+        let dir =
+            std::env::temp_dir().join(format!("pastis-mmseqs-badckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::write(&dir, b"not a directory").unwrap();
+        let session = TraceSession::new();
+        let broken = run_mmseqs_like_traced(
+            &store,
+            &MmseqsLikeConfig {
+                checkpoint_dir: Some(dir.clone()),
+                ..cfg()
+            },
+            3,
+            &session,
+        );
+        assert_eq!(broken.graph.edges(), base.graph.edges());
+        let failed: f64 = session
+            .recorders()
+            .iter()
+            .map(|r| {
+                r.counters()
+                    .get(names::CTR_FAULT_CKPT_SAVE_FAILED)
+                    .copied()
+                    .unwrap_or(0.0)
+            })
+            .sum();
+        assert!(failed >= 3.0, "every unit's save should fail: {failed}");
+        // The end-of-run report surfaces it as a warning line.
+        let text =
+            pastis_trace::render_report(&pastis_trace::MetricsReport::from_session(&session));
+        assert!(text.contains("-- warnings --"), "{text}");
+        assert!(text.contains("checkpoint save(s) failed"), "{text}");
+        let _ = std::fs::remove_file(&dir);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Emit the perf-regression ledger (`BENCH_pr7.json`).
+//! Emit the perf-regression ledger (`BENCH_pr8.json`).
 //!
 //! Measures a fixed set of kernel and end-to-end workloads — the hot
 //! paths every PR is most likely to disturb — and writes them as a
@@ -12,7 +12,7 @@
 //! absolute numbers vary by host.
 //!
 //! Usage: `bench_ledger [n_seqs] [reps] [out.json]`
-//! (defaults 800, 3, `results/BENCH_pr7.json`).
+//! (defaults 800, 3, `results/BENCH_pr8.json`).
 
 use std::collections::HashMap;
 use std::time::Instant;
@@ -53,7 +53,7 @@ fn main() {
     let reps: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
     let out_path = args
         .next()
-        .unwrap_or_else(|| "results/BENCH_pr7.json".to_owned());
+        .unwrap_or_else(|| "results/BENCH_pr8.json".to_owned());
 
     let ds = bench_dataset(n_seqs);
     let mut ledger = BenchLedger::new();
@@ -167,6 +167,44 @@ fn main() {
         "e2e",
         e2e_s,
         &[("n_seqs", e2e_n as f64), ("reps", reps as f64)],
+    );
+
+    // e2e/search_budgeted: the same pipeline blocked 3x3 under a hard
+    // memory budget at 3/4 of its own unconstrained peak, so completed
+    // output blocks and index stripes spill through the accountant and
+    // stream back at assembly. The delta against e2e/search_serial is
+    // the spill overhead the ledger tracks.
+    let budgeted_params = bench_params().with_blocking(3, 3);
+    let spill = std::env::temp_dir().join(format!("pastis-bench-spill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&spill);
+    let high = run_search_serial(
+        &e2e_ds.store,
+        &budgeted_params
+            .clone()
+            .with_mem_budget(1 << 30)
+            .with_spill_dir(&spill),
+    )
+    .expect("loose budget cannot fail")
+    .mem_high_water
+    .expect("budgeted runs report their high water");
+    let budget = high * 3 / 4;
+    let budgeted_params = budgeted_params
+        .with_mem_budget(budget)
+        .with_spill_dir(&spill);
+    let budgeted_s = best_of(reps, || {
+        let _ = std::fs::remove_dir_all(&spill);
+        run_search_serial(&e2e_ds.store, &budgeted_params).unwrap()
+    });
+    let _ = std::fs::remove_dir_all(&spill);
+    ledger.push(
+        "e2e/search_budgeted",
+        "e2e",
+        budgeted_s,
+        &[
+            ("n_seqs", e2e_n as f64),
+            ("budget_bytes", budget as f64),
+            ("reps", reps as f64),
+        ],
     );
 
     let json = ledger.to_json();

@@ -17,7 +17,7 @@
 //! are separable.
 
 use pastis_bench::*;
-use pastis_core::{simulate, LoadBalance};
+use pastis_core::{blocking_for_budget, simulate, LoadBalance};
 
 fn main() {
     let ds = bench_dataset(12_000);
@@ -78,4 +78,70 @@ fn main() {
     for (b, peak) in peaks {
         println!("  {:>3} blocks: ~{}", b, fmt_count(peak));
     }
+
+    // The sweep in reverse: given a per-rank memory budget, how many
+    // blocks does the cost model choose, and what does the extra blocking
+    // cost in runtime? This is the planning face of the runtime
+    // `--mem-budget` accountant: the model picks a blocking that avoids
+    // spills entirely, where the accountant spills to survive a blocking
+    // that does not fit.
+    let unblocked = simulate(&ds.store, &params_ref, &scale_config(&machine, nodes));
+    let peak = unblocked.memory.total_bytes();
+    let floor = unblocked.memory.inputs_bytes + unblocked.memory.sequences_bytes;
+    println!("\nblocks chosen to fit a per-rank budget (model-side --mem-budget):");
+    println!(
+        "unblocked peak {:.2} MB, blocking-invariant floor {:.2} MB",
+        peak / 1e6,
+        floor / 1e6
+    );
+    rule(66);
+    println!(
+        "{:>12} | {:>9} | {:>12} | {:>10} | {:>8}",
+        "budget", "br x bc", "peak fits", "total(s)", "total x"
+    );
+    rule(66);
+    for frac in [1.0, 0.8, 0.6, 0.45, 0.35] {
+        let budget = peak * frac;
+        match blocking_for_budget(
+            &ds.store,
+            &params_ref,
+            &scale_config(&machine, nodes),
+            budget,
+            64,
+        ) {
+            Some((br, bc, r)) => println!(
+                "{:>9.2} MB | {:>4} x {:<4} | {:>9.2} MB | {:>10.1} | {:>8.2}",
+                budget / 1e6,
+                br,
+                bc,
+                r.memory.total_bytes() / 1e6,
+                r.total_without_pb,
+                r.total_without_pb / unblocked.total_without_pb
+            ),
+            None => println!(
+                "{:>9.2} MB | {:>9} | {:>12} | {:>10} | {:>8}",
+                budget / 1e6,
+                "-",
+                "below floor",
+                "-",
+                "-"
+            ),
+        }
+    }
+    rule(66);
+    println!(
+        "the model trades ~{:.0}% runtime for a peak bounded at 35% of the unblocked\n\
+         need — Figure 5's \"could not be performed on fewer nodes\" note, inverted.",
+        (blocking_for_budget(
+            &ds.store,
+            &params_ref,
+            &scale_config(&machine, nodes),
+            peak * 0.35,
+            64
+        )
+        .map(|(_, _, r)| r.total_without_pb / unblocked.total_without_pb)
+        .unwrap_or(1.0)
+            - 1.0)
+            * 100.0
+    );
 }

@@ -17,7 +17,7 @@
 //! one.
 
 use pastis_bench::*;
-use pastis_core::{simulate, LoadBalance};
+use pastis_core::{blocking_for_budget, simulate, LoadBalance};
 
 fn main() {
     let ds = bench_dataset(12_000);
@@ -101,5 +101,34 @@ fn main() {
     println!(
         "\npaper: the 20M-sequence search needed all 100 nodes with one block; blocking\n\
          lets the same search run on far fewer nodes by bounding the in-flight output."
+    );
+
+    // The dual question, answered by the cost model's budget planner: at a
+    // *fixed* node count, which blocking fits a given per-rank budget?
+    // (The runtime pairs this with the `--mem-budget` accountant, which
+    // spills to disk when the chosen blocking still overshoots.)
+    let floor = r1.memory.inputs_bytes + r1.memory.sequences_bytes;
+    println!("\nblocks chosen to fit a per-rank budget at 25 nodes:");
+    for frac in [0.9, 0.6, 0.4] {
+        let budget = unblocked_total * frac;
+        match blocking_for_budget(
+            &ds.store,
+            &bench_params(),
+            &scale_config(&machine, 25),
+            budget,
+            64,
+        ) {
+            Some((br, bc, r)) => println!(
+                "  {:>7.2} MB budget: {br} x {bc} blocks (peak {:.2} MB)",
+                budget / 1e6,
+                r.memory.total_bytes() / 1e6
+            ),
+            None => println!("  {:>7.2} MB budget: no blocking fits", budget / 1e6),
+        }
+    }
+    println!(
+        "  blocking-invariant floor (inputs + sequences): {:.2} MB —\n\
+         below it only the runtime accountant's disk spill helps.",
+        floor / 1e6
     );
 }

@@ -35,6 +35,7 @@
 //! `fault.stalls`) so they appear in the metrics JSON next to the span and
 //! comm telemetry.
 
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
@@ -69,6 +70,13 @@ const SALT_DELAY: u64 = 1;
 const SALT_DELAY_FRAC: u64 = 2;
 const SALT_DROP: u64 = 3;
 const SALT_CORRUPT: u64 = 4;
+const SALT_SPILL_CORRUPT: u64 = 5;
+const SALT_SPILL_CORRUPT_POS: u64 = 6;
+const SALT_SPILL_DISK_FULL: u64 = 7;
+const SALT_SPILL_SHORT: u64 = 8;
+const SALT_SPILL_SHORT_FRAC: u64 = 9;
+const SALT_SPILL_STALL: u64 = 10;
+const SALT_SPILL_STALL_FRAC: u64 = 11;
 
 // ---------------------------------------------------------------------------
 // CRC framing
@@ -176,6 +184,21 @@ pub struct FaultPlan {
     pub stall: Option<StallFault>,
     /// Optional hard crash.
     pub crash: Option<CrashFault>,
+    /// Per-spill-write probability of an injected single-byte corruption
+    /// ([`FaultyStore`] only).
+    pub spill_corrupt_p: f64,
+    /// Per-spill-write probability of an injected disk-full failure
+    /// ([`FaultyStore`] only).
+    pub spill_disk_full_p: f64,
+    /// Per-spill-write probability of an injected short (truncated) write
+    /// ([`FaultyStore`] only).
+    pub spill_short_p: f64,
+    /// Per-spill-write probability of an injected stall
+    /// ([`FaultyStore`] only).
+    pub spill_stall_p: f64,
+    /// Maximum injected spill-write stall in microseconds (actual stall is
+    /// a deterministic fraction of this).
+    pub spill_stall_us: u64,
 }
 
 impl Default for FaultPlan {
@@ -196,11 +219,16 @@ impl FaultPlan {
             corrupt_p: 0.0,
             stall: None,
             crash: None,
+            spill_corrupt_p: 0.0,
+            spill_disk_full_p: 0.0,
+            spill_short_p: 0.0,
+            spill_stall_p: 0.0,
+            spill_stall_us: 0,
         }
     }
 
     /// A representative chaos preset: 20% delays up to 2 ms, 10% drops,
-    /// 10% corruptions, no stall/crash.
+    /// 10% corruptions, no stall/crash, no spill faults.
     pub fn chaos(seed: u64) -> FaultPlan {
         FaultPlan {
             seed,
@@ -208,8 +236,7 @@ impl FaultPlan {
             max_delay_us: 2000,
             drop_p: 0.1,
             corrupt_p: 0.1,
-            stall: None,
-            crash: None,
+            ..FaultPlan::none()
         }
     }
 
@@ -220,6 +247,16 @@ impl FaultPlan {
             && self.corrupt_p <= 0.0
             && self.stall.is_none()
             && self.crash.is_none()
+            && !self.has_spill_faults()
+    }
+
+    /// `true` when the plan can inject spill-write faults
+    /// (the [`FaultyStore`] family).
+    pub fn has_spill_faults(&self) -> bool {
+        self.spill_corrupt_p > 0.0
+            || self.spill_disk_full_p > 0.0
+            || self.spill_short_p > 0.0
+            || (self.spill_stall_p > 0.0 && self.spill_stall_us > 0)
     }
 
     /// Parse a plan from its compact CLI spec, e.g.
@@ -266,6 +303,18 @@ impl FaultPlan {
                 }
                 "drop" => plan.drop_p = parse_prob("drop", val)?,
                 "corrupt" => plan.corrupt_p = parse_prob("corrupt", val)?,
+                "spill_corrupt" => plan.spill_corrupt_p = parse_prob("spill_corrupt", val)?,
+                "spill_disk_full" => plan.spill_disk_full_p = parse_prob("spill_disk_full", val)?,
+                "spill_short" => plan.spill_short_p = parse_prob("spill_short", val)?,
+                "spill_stall" => {
+                    let (p, us) = val
+                        .split_once(':')
+                        .ok_or_else(|| format!("bad spill_stall (want P:MAX_US): {val:?}"))?;
+                    plan.spill_stall_p = parse_prob("spill_stall", p)?;
+                    plan.spill_stall_us = us
+                        .parse()
+                        .map_err(|_| format!("bad spill_stall microseconds: {us:?}"))?;
+                }
                 "stall" => {
                     let (rank, rest) = val
                         .split_once('@')
@@ -319,6 +368,21 @@ impl FaultPlan {
         }
         if let Some(c) = self.crash {
             out.push_str(&format!(",crash={}@{}", c.rank, c.at_op));
+        }
+        if self.spill_corrupt_p > 0.0 {
+            out.push_str(&format!(",spill_corrupt={}", self.spill_corrupt_p));
+        }
+        if self.spill_disk_full_p > 0.0 {
+            out.push_str(&format!(",spill_disk_full={}", self.spill_disk_full_p));
+        }
+        if self.spill_short_p > 0.0 {
+            out.push_str(&format!(",spill_short={}", self.spill_short_p));
+        }
+        if self.spill_stall_p > 0.0 && self.spill_stall_us > 0 {
+            out.push_str(&format!(
+                ",spill_stall={}:{}",
+                self.spill_stall_p, self.spill_stall_us
+            ));
         }
         out
     }
@@ -685,6 +749,198 @@ impl<C: Communicator> Communicator for FaultyComm<C> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// The spill-store wrapper
+// ---------------------------------------------------------------------------
+
+/// Counters of injected spill-write faults ([`FaultyStore`]).
+#[derive(Debug, Default)]
+pub struct StoreFaultStats {
+    /// Single-byte corruptions injected into written shards.
+    pub corrupts: AtomicU64,
+    /// Writes failed with an injected disk-full error.
+    pub disk_full: AtomicU64,
+    /// Writes truncated by an injected short write.
+    pub short_writes: AtomicU64,
+    /// Injected write stalls executed.
+    pub stalls: AtomicU64,
+}
+
+/// Plain-value snapshot of [`StoreFaultStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreFaultStatsSnapshot {
+    /// Single-byte corruptions injected.
+    pub corrupts: u64,
+    /// Injected disk-full failures.
+    pub disk_full: u64,
+    /// Injected short writes.
+    pub short_writes: u64,
+    /// Injected stalls executed.
+    pub stalls: u64,
+}
+
+impl StoreFaultStatsSnapshot {
+    /// `true` when no spill fault fired.
+    pub fn is_clean(&self) -> bool {
+        *self == StoreFaultStatsSnapshot::default()
+    }
+}
+
+impl StoreFaultStats {
+    /// Snapshot into a plain struct.
+    pub fn snapshot(&self) -> StoreFaultStatsSnapshot {
+        StoreFaultStatsSnapshot {
+            corrupts: self.corrupts.load(Ordering::Relaxed),
+            disk_full: self.disk_full.load(Ordering::Relaxed),
+            short_writes: self.short_writes.load(Ordering::Relaxed),
+            stalls: self.stalls.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// [`FaultyComm`]'s sibling for spill I/O: a file store that
+/// deterministically injects disk-full, short-write, corruption, and stall
+/// faults into atomic writes, per the `spill_*` fields of a [`FaultPlan`].
+///
+/// Fault decisions are keyed on `(seed, home rank, write index, kind)` via
+/// the same splitmix64 draws as the communicator faults, but on an
+/// independent op stream — a plan injects the same spill schedule whether
+/// or not comm faults also fire. Reads are never perturbed: damage is
+/// discovered the honest way, by the caller's CRC check on readback.
+///
+/// Injected damage is always *detectable*: a corrupted or truncated shard
+/// fails its CRC frame on readback, and a disk-full write surfaces as an
+/// `Err` the caller keeps the data in memory over. Counters are mirrored
+/// into the [`Recorder`] as `fault.spill.*`.
+pub struct FaultyStore {
+    plan: Arc<FaultPlan>,
+    home_rank: usize,
+    writes: AtomicU64,
+    stats: Arc<StoreFaultStats>,
+    recorder: Recorder,
+}
+
+impl FaultyStore {
+    /// A store injecting faults per `plan`, keyed on `home_rank`.
+    pub fn new(plan: FaultPlan, home_rank: usize) -> FaultyStore {
+        FaultyStore {
+            plan: Arc::new(plan),
+            home_rank,
+            writes: AtomicU64::new(0),
+            stats: Arc::new(StoreFaultStats::default()),
+            recorder: Recorder::disabled(),
+        }
+    }
+
+    /// Mirror spill-fault counters into `recorder` (`fault.spill.*`).
+    pub fn with_recorder(mut self, recorder: Recorder) -> FaultyStore {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The active fault plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Snapshot of the spill-fault counters.
+    pub fn fault_stats(&self) -> StoreFaultStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    fn bump(&self, ctr: &AtomicU64, name: &'static str) {
+        ctr.fetch_add(1, Ordering::Relaxed);
+        self.recorder.add_counter(name, 1.0);
+    }
+
+    fn draw(&self, op: u64, salt: u64) -> f64 {
+        unit_draw(self.plan.seed, self.home_rank as u64, op, salt)
+    }
+
+    /// Write `content` to `path` atomically (sibling `.tmp` + rename),
+    /// applying the plan's spill faults to this write.
+    ///
+    /// # Errors
+    ///
+    /// Real I/O failures and injected disk-full failures, with the path in
+    /// the message. An `Err` means nothing replaced `path`; the caller
+    /// keeps its in-memory copy. Injected corruption and short writes
+    /// *succeed* — the damage is caught by the caller's CRC on readback.
+    pub fn write_atomic(&self, path: &Path, content: &str) -> Result<(), String> {
+        let op = self.writes.fetch_add(1, Ordering::Relaxed);
+        let mut bytes = content.as_bytes().to_vec();
+        if !self.plan.has_spill_faults() {
+            return write_file_atomic(path, &bytes);
+        }
+        if self.plan.spill_stall_p > 0.0
+            && self.plan.spill_stall_us > 0
+            && self.draw(op, SALT_SPILL_STALL) < self.plan.spill_stall_p
+        {
+            self.bump(&self.stats.stalls, names::CTR_FAULT_SPILL_STALLS);
+            let frac = self.draw(op, SALT_SPILL_STALL_FRAC);
+            thread::sleep(Duration::from_micros(
+                1 + (frac * self.plan.spill_stall_us as f64) as u64,
+            ));
+        }
+        if self.plan.spill_disk_full_p > 0.0
+            && self.draw(op, SALT_SPILL_DISK_FULL) < self.plan.spill_disk_full_p
+        {
+            self.bump(&self.stats.disk_full, names::CTR_FAULT_SPILL_DISK_FULL);
+            return Err(format!(
+                "injected disk-full writing {} (spill write {op})",
+                path.display()
+            ));
+        }
+        if !bytes.is_empty()
+            && self.plan.spill_short_p > 0.0
+            && self.draw(op, SALT_SPILL_SHORT) < self.plan.spill_short_p
+        {
+            self.bump(
+                &self.stats.short_writes,
+                names::CTR_FAULT_SPILL_SHORT_WRITES,
+            );
+            let keep = (self.draw(op, SALT_SPILL_SHORT_FRAC) * bytes.len() as f64) as usize;
+            bytes.truncate(keep.min(bytes.len().saturating_sub(1)));
+        }
+        if !bytes.is_empty()
+            && self.plan.spill_corrupt_p > 0.0
+            && self.draw(op, SALT_SPILL_CORRUPT) < self.plan.spill_corrupt_p
+        {
+            self.bump(&self.stats.corrupts, names::CTR_FAULT_SPILL_CORRUPTS);
+            let pos = (self.draw(op, SALT_SPILL_CORRUPT_POS) * bytes.len() as f64) as usize;
+            let pos = pos.min(bytes.len() - 1);
+            bytes[pos] ^= 0x01;
+        }
+        write_file_atomic(path, &bytes)
+    }
+
+    /// Read a shard back. Never fault-injected: spilled damage is caught by
+    /// the caller's CRC check, exactly like a real torn disk.
+    ///
+    /// # Errors
+    ///
+    /// Real I/O failures, with the path in the message.
+    pub fn read_to_string(&self, path: &Path) -> Result<String, String> {
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))
+    }
+}
+
+/// Write `bytes` to `path` via a sibling `.tmp` + rename, creating parent
+/// directories. A killed process leaves the old file or a stray `.tmp`,
+/// never a torn target.
+fn write_file_atomic(path: &Path, bytes: &[u8]) -> Result<(), String> {
+    let parent = path
+        .parent()
+        .ok_or_else(|| format!("spill path has no parent: {}", path.display()))?;
+    std::fs::create_dir_all(parent).map_err(|e| format!("creating {}: {e}", parent.display()))?;
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, bytes).map_err(|e| format!("writing {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path)
+        .map_err(|e| format!("renaming {} -> {}: {e}", tmp.display(), path.display()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -728,6 +984,16 @@ mod tests {
                     millis: 50,
                 }),
                 crash: Some(CrashFault { rank: 2, at_op: 40 }),
+                ..FaultPlan::none()
+            },
+            FaultPlan {
+                seed: 8,
+                spill_corrupt_p: 0.5,
+                spill_disk_full_p: 0.25,
+                spill_short_p: 0.125,
+                spill_stall_p: 0.5,
+                spill_stall_us: 300,
+                ..FaultPlan::none()
             },
         ];
         for p in plans {
@@ -744,6 +1010,8 @@ mod tests {
         assert!(FaultPlan::parse("drop=1.5").is_err());
         assert!(FaultPlan::parse("bogus=1").is_err());
         assert!(FaultPlan::parse("stall=1@2").is_err());
+        assert!(FaultPlan::parse("spill_corrupt=2.0").is_err());
+        assert!(FaultPlan::parse("spill_stall=0.5").is_err());
     }
 
     #[test]
@@ -803,7 +1071,7 @@ mod tests {
                     at_op: 3,
                     millis: 5,
                 }),
-                crash: None,
+                ..FaultPlan::none()
             };
             let out = run_threaded(4, move |c| {
                 let f = FaultyComm::new(c.split(0, c.rank()), plan.clone());
@@ -847,10 +1115,7 @@ mod tests {
                 seed,
                 delay_p: 1.0,
                 max_delay_us: 3000,
-                drop_p: 0.0,
-                corrupt_p: 0.0,
-                stall: None,
-                crash: None,
+                ..FaultPlan::none()
             };
             let out = run_threaded(4, move |c| {
                 let f = FaultyComm::new(c.split(0, c.rank()), plan.clone());
@@ -871,13 +1136,8 @@ mod tests {
     fn injected_crash_surfaces_as_timeout_on_survivor() {
         let handles = ThreadedComm::world_with(2, CommConfig::bounded(Duration::from_millis(50)));
         let plan = FaultPlan {
-            seed: 0,
-            delay_p: 0.0,
-            max_delay_us: 0,
-            drop_p: 0.0,
-            corrupt_p: 0.0,
-            stall: None,
             crash: Some(CrashFault { rank: 1, at_op: 0 }),
+            ..FaultPlan::none()
         };
         let joins: Vec<_> = handles
             .into_iter()
@@ -928,5 +1188,97 @@ mod tests {
     fn run_threaded_with_unbounded_still_works() {
         let out = run_threaded_with(2, CommConfig::unbounded(), |c| c.all_gather(c.rank()));
         assert_eq!(out[0], vec![0, 1]);
+    }
+
+    fn store_test_dir(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("pastis-store-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn clean_store_writes_faithfully_and_atomically() {
+        let dir = store_test_dir("clean");
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = FaultyStore::new(FaultPlan::none(), 0);
+        let path = dir.join("nested/shard.spill");
+        store.write_atomic(&path, "payload\n").unwrap();
+        assert_eq!(store.read_to_string(&path).unwrap(), "payload\n");
+        assert!(store.fault_stats().is_clean());
+        // No stray tmp left behind.
+        assert!(!dir.join("nested/shard.spill.tmp").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_faults_are_deterministic_and_detectable() {
+        let dir = store_test_dir("faulty");
+        let _ = std::fs::remove_dir_all(&dir);
+        let plan = FaultPlan {
+            seed: 13,
+            spill_corrupt_p: 0.5,
+            spill_disk_full_p: 0.25,
+            spill_short_p: 0.25,
+            ..FaultPlan::none()
+        };
+        let run = |tag: &str| {
+            let store = FaultyStore::new(plan.clone(), 2);
+            let mut outcomes = Vec::new();
+            for i in 0..64 {
+                let path = dir.join(format!("{tag}/shard{i}.spill"));
+                let content = format!("shard {i} body body body\n");
+                match store.write_atomic(&path, &content) {
+                    Err(_) => outcomes.push("disk_full".to_string()),
+                    Ok(()) => {
+                        let back = store.read_to_string(&path).unwrap();
+                        outcomes.push(if back == content {
+                            "intact".into()
+                        } else {
+                            "damaged".into()
+                        });
+                    }
+                }
+            }
+            (outcomes, store.fault_stats())
+        };
+        let (a, sa) = run("a");
+        let (b, sb) = run("b");
+        assert_eq!(a, b, "spill fault schedule must be reproducible");
+        assert_eq!(sa, sb);
+        // With these probabilities over 64 writes, every kind fires.
+        assert!(sa.corrupts > 0 && sa.disk_full > 0 && sa.short_writes > 0);
+        // Every non-failed damaged write is visibly damaged (CRC would
+        // catch it); intact writes round-trip exactly.
+        assert!(a.iter().any(|o| o == "damaged"));
+        assert!(a.iter().any(|o| o == "intact"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_faults_ride_an_independent_op_stream() {
+        // The same plan drives FaultyComm draws and FaultyStore draws from
+        // disjoint salts, so comm traffic cannot shift the spill schedule.
+        let plan = FaultPlan {
+            seed: 5,
+            spill_disk_full_p: 0.5,
+            ..FaultPlan::none()
+        };
+        let dir = store_test_dir("stream");
+        let _ = std::fs::remove_dir_all(&dir);
+        let schedule = |with_comm: bool| {
+            let store = FaultyStore::new(plan.clone(), 0);
+            if with_comm {
+                let f = FaultyComm::new(SelfComm::new(), plan.clone());
+                f.send_to(0, 1u8, 1);
+                let _ = f.recv_from::<u8>(0);
+            }
+            (0..32)
+                .map(|i| {
+                    store
+                        .write_atomic(&dir.join(format!("s{i}.spill")), "x\n")
+                        .is_ok()
+                })
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(schedule(false), schedule(true));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

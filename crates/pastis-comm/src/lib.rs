@@ -46,7 +46,10 @@ pub mod vclock;
 
 pub use communicator::{CommError, CommStats, Communicator, ReduceOp};
 pub use costmodel::{AlphaBeta, CollectiveAlgo, MachineModel};
-pub use fault::{CrashFault, FaultPlan, FaultStats, FaultStatsSnapshot, FaultyComm, StallFault};
+pub use fault::{
+    CrashFault, FaultPlan, FaultStats, FaultStatsSnapshot, FaultyComm, FaultyStore, StallFault,
+    StoreFaultStats, StoreFaultStatsSnapshot,
+};
 pub use grid::ProcessGrid;
 pub use local::SelfComm;
 pub use threaded::{run_threaded, run_threaded_with, CommConfig, ThreadedComm};

@@ -439,6 +439,383 @@ pub fn latest_valid(
     None
 }
 
+// ---------------------------------------------------------------------------
+// Spill shards (memory-budgeted execution)
+// ---------------------------------------------------------------------------
+
+/// Version stamp of the on-disk spill-shard format.
+pub const SPILL_SCHEMA_VERSION: u32 = 1;
+
+/// One completed output block's edges, evicted to disk under memory
+/// pressure. The format is the checkpoint family's little sibling — same
+/// hand-rolled text serialization, same bit-exact `edge` lines, same CRC
+/// trailer — but holds exactly one block so eviction and readback stay
+/// proportional to the block, not the run:
+///
+/// ```text
+/// PASTIS-SPILL 1
+/// fingerprint <hex64>
+/// rank <r>
+/// block <k>                      # scheduled block index
+/// edge <i> <j> <score> <ani_bits> <cov_bits> <common>   # ×edges
+/// end <crc32-hex>
+/// ```
+///
+/// A shard that fails its CRC on readback is not an error: the block is
+/// simply recomputed, and the final `normalize` makes the result
+/// bit-identical either way.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpillShard {
+    /// Run identity ([`run_fingerprint`]).
+    pub fingerprint: u64,
+    /// Writing rank.
+    pub rank: usize,
+    /// Scheduled block index this shard holds the edges of.
+    pub block: usize,
+    /// The block's edges in insertion order, pre-`normalize`.
+    pub edges: Vec<SimilarityEdge>,
+}
+
+impl SpillShard {
+    /// Serialize to the schema-v1 text format (CRC trailer included).
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(64 + self.edges.len() * 48);
+        let _ = writeln!(s, "PASTIS-SPILL {SPILL_SCHEMA_VERSION}");
+        let _ = writeln!(s, "fingerprint {:016x}", self.fingerprint);
+        let _ = writeln!(s, "rank {}", self.rank);
+        let _ = writeln!(s, "block {}", self.block);
+        for e in &self.edges {
+            let _ = writeln!(
+                s,
+                "edge {} {} {} {:08x} {:08x} {}",
+                e.i,
+                e.j,
+                e.score,
+                e.ani.to_bits(),
+                e.coverage.to_bits(),
+                e.common_kmers
+            );
+        }
+        let crc = crc32(s.as_bytes());
+        let _ = writeln!(s, "end {crc:08x}");
+        s
+    }
+
+    /// Parse and CRC-check a schema-v1 spill shard.
+    ///
+    /// # Errors
+    ///
+    /// Any structural problem — bad magic, wrong schema version, CRC
+    /// mismatch (torn/corrupted write), malformed line — is an `Err`; the
+    /// caller recomputes the block instead.
+    pub fn parse(text: &str) -> Result<SpillShard, String> {
+        let body_end = text
+            .rfind("end ")
+            .ok_or_else(|| "spill shard missing end trailer".to_string())?;
+        let trailer = text[body_end..].strip_prefix("end ").unwrap().trim();
+        let want_crc = u32::from_str_radix(trailer, 16)
+            .map_err(|_| format!("bad spill shard crc trailer: {trailer:?}"))?;
+        let body = &text[..body_end];
+        let got_crc = crc32(body.as_bytes());
+        if got_crc != want_crc {
+            return Err(format!(
+                "spill shard crc mismatch: file says {want_crc:08x}, content is {got_crc:08x}"
+            ));
+        }
+
+        let mut lines = body.lines();
+        let magic = lines.next().unwrap_or_default();
+        let version: u32 = magic
+            .strip_prefix("PASTIS-SPILL ")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| format!("bad spill shard magic: {magic:?}"))?;
+        if version != SPILL_SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported spill shard schema version {version} (this build reads {SPILL_SCHEMA_VERSION})"
+            ));
+        }
+
+        fn keyed<'a>(line: Option<&'a str>, key: &str) -> Result<&'a str, String> {
+            let line = line.ok_or_else(|| format!("spill shard truncated before {key:?}"))?;
+            line.strip_prefix(key)
+                .map(str::trim)
+                .ok_or_else(|| format!("expected {key:?} line, got {line:?}"))
+        }
+
+        let fingerprint = u64::from_str_radix(keyed(lines.next(), "fingerprint ")?, 16)
+            .map_err(|_| "bad fingerprint in spill shard".to_string())?;
+        let rank: usize = keyed(lines.next(), "rank ")?
+            .parse()
+            .map_err(|_| "bad rank in spill shard".to_string())?;
+        let block: usize = keyed(lines.next(), "block ")?
+            .parse()
+            .map_err(|_| "bad block in spill shard".to_string())?;
+
+        let mut edges = Vec::new();
+        for line in lines {
+            let rest = line
+                .strip_prefix("edge ")
+                .ok_or_else(|| format!("unexpected spill shard line: {line:?}"))?;
+            let mut it = rest.split_whitespace();
+            let mut num = |what: &str| -> Result<&str, String> {
+                it.next()
+                    .ok_or_else(|| format!("spill edge line missing {what}"))
+            };
+            let i: u32 = num("i")?
+                .parse()
+                .map_err(|_| "bad edge i in spill shard".to_string())?;
+            let j: u32 = num("j")?
+                .parse()
+                .map_err(|_| "bad edge j in spill shard".to_string())?;
+            let score: i32 = num("score")?
+                .parse()
+                .map_err(|_| "bad edge score in spill shard".to_string())?;
+            let ani = u32::from_str_radix(num("ani")?, 16)
+                .map(f32::from_bits)
+                .map_err(|_| "bad ani bits in spill shard".to_string())?;
+            let coverage = u32::from_str_radix(num("coverage")?, 16)
+                .map(f32::from_bits)
+                .map_err(|_| "bad coverage bits in spill shard".to_string())?;
+            let common_kmers: u32 = num("common_kmers")?
+                .parse()
+                .map_err(|_| "bad edge common_kmers in spill shard".to_string())?;
+            edges.push(SimilarityEdge {
+                i,
+                j,
+                score,
+                ani,
+                coverage,
+                common_kmers,
+            });
+        }
+        Ok(SpillShard {
+            fingerprint,
+            rank,
+            block,
+            edges,
+        })
+    }
+}
+
+/// The file a rank's spilled edges for scheduled block `block` live in.
+pub fn spill_path(dir: &Path, rank: usize, block: usize) -> PathBuf {
+    dir.join(format!("rank{rank}"))
+        .join(format!("block{block:06}.spill"))
+}
+
+/// One rank's local CSR block of an inactive k-mer index stripe, evicted
+/// to disk under memory pressure. Same CRC-framed text family as
+/// [`Checkpoint`] / [`SpillShard`]; the CSR arrays are stored verbatim so
+/// restore is bit-exact:
+///
+/// ```text
+/// PASTIS-IDX 1
+/// fingerprint <hex64>
+/// rank <r>
+/// stripe <a|b> <idx>
+/// dims <nrows> <ncols> <nnz>
+/// rowptr <v0> <v1> ... <v_nrows>
+/// cols <c0> ... <c_{nnz-1}>
+/// vals <v0> ... <v_{nnz-1}>
+/// end <crc32-hex>
+/// ```
+///
+/// Unlike output-block shards, a stripe shard that fails its CRC is
+/// unrecoverable in place (the stripe's triples are gone) — so the
+/// pipeline only drops a stripe from memory *after* a verified read-back
+/// of what it wrote, falling back to keeping the stripe resident.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexShard {
+    /// Run identity ([`run_fingerprint`]).
+    pub fingerprint: u64,
+    /// Writing rank.
+    pub rank: usize,
+    /// `true` for an A (row) stripe, `false` for a B (column) stripe.
+    pub is_a: bool,
+    /// Stripe index within its blocking dimension.
+    pub stripe: usize,
+    /// Local row count.
+    pub nrows: usize,
+    /// Local column count.
+    pub ncols: usize,
+    /// CSR row pointers (`nrows + 1` entries).
+    pub rowptr: Vec<usize>,
+    /// CSR column indices.
+    pub cols: Vec<u32>,
+    /// Stored values (the pipeline's index stripes carry `u32` seed
+    /// positions).
+    pub vals: Vec<u32>,
+}
+
+impl IndexShard {
+    /// Serialize to the schema-v1 text format (CRC trailer included).
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(96 + self.cols.len() * 16 + self.rowptr.len() * 8);
+        let _ = writeln!(s, "PASTIS-IDX {SPILL_SCHEMA_VERSION}");
+        let _ = writeln!(s, "fingerprint {:016x}", self.fingerprint);
+        let _ = writeln!(s, "rank {}", self.rank);
+        let _ = writeln!(
+            s,
+            "stripe {} {}",
+            if self.is_a { "a" } else { "b" },
+            self.stripe
+        );
+        let _ = writeln!(s, "dims {} {} {}", self.nrows, self.ncols, self.cols.len());
+        s.push_str("rowptr");
+        for v in &self.rowptr {
+            let _ = write!(s, " {v}");
+        }
+        s.push('\n');
+        s.push_str("cols");
+        for v in &self.cols {
+            let _ = write!(s, " {v}");
+        }
+        s.push('\n');
+        s.push_str("vals");
+        for v in &self.vals {
+            let _ = write!(s, " {v}");
+        }
+        s.push('\n');
+        let crc = crc32(s.as_bytes());
+        let _ = writeln!(s, "end {crc:08x}");
+        s
+    }
+
+    /// Parse, CRC-check, and structurally validate a schema-v1 index shard.
+    /// The CSR invariants (monotone row pointers ending at `nnz`, sorted
+    /// unique in-bounds columns) are re-checked so even a CRC-colliding
+    /// forgery yields `Err`, never a panic downstream.
+    ///
+    /// # Errors
+    ///
+    /// Any structural problem is an `Err`; the caller keeps (or rebuilds)
+    /// the in-memory stripe instead.
+    pub fn parse(text: &str) -> Result<IndexShard, String> {
+        let body_end = text
+            .rfind("end ")
+            .ok_or_else(|| "index shard missing end trailer".to_string())?;
+        let trailer = text[body_end..].strip_prefix("end ").unwrap().trim();
+        let want_crc = u32::from_str_radix(trailer, 16)
+            .map_err(|_| format!("bad index shard crc trailer: {trailer:?}"))?;
+        let body = &text[..body_end];
+        let got_crc = crc32(body.as_bytes());
+        if got_crc != want_crc {
+            return Err(format!(
+                "index shard crc mismatch: file says {want_crc:08x}, content is {got_crc:08x}"
+            ));
+        }
+
+        let mut lines = body.lines();
+        let magic = lines.next().unwrap_or_default();
+        let version: u32 = magic
+            .strip_prefix("PASTIS-IDX ")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| format!("bad index shard magic: {magic:?}"))?;
+        if version != SPILL_SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported index shard schema version {version} (this build reads {SPILL_SCHEMA_VERSION})"
+            ));
+        }
+
+        fn keyed<'a>(line: Option<&'a str>, key: &str) -> Result<&'a str, String> {
+            let line = line.ok_or_else(|| format!("index shard truncated before {key:?}"))?;
+            line.strip_prefix(key)
+                .ok_or_else(|| format!("expected {key:?} line, got {line:?}"))
+        }
+        fn vec_of<T: std::str::FromStr>(rest: &str, what: &str) -> Result<Vec<T>, String> {
+            rest.split_whitespace()
+                .map(|t| {
+                    t.parse()
+                        .map_err(|_| format!("bad {what} entry in index shard: {t:?}"))
+                })
+                .collect()
+        }
+
+        let fingerprint = u64::from_str_radix(keyed(lines.next(), "fingerprint ")?.trim(), 16)
+            .map_err(|_| "bad fingerprint in index shard".to_string())?;
+        let rank: usize = keyed(lines.next(), "rank ")?
+            .trim()
+            .parse()
+            .map_err(|_| "bad rank in index shard".to_string())?;
+        let mut it = keyed(lines.next(), "stripe ")?.split_whitespace();
+        let is_a = match it.next() {
+            Some("a") => true,
+            Some("b") => false,
+            other => return Err(format!("bad stripe side in index shard: {other:?}")),
+        };
+        let stripe: usize = it
+            .next()
+            .ok_or("index shard stripe line missing index")?
+            .parse()
+            .map_err(|_| "bad stripe index in index shard".to_string())?;
+        let mut it = keyed(lines.next(), "dims ")?.split_whitespace();
+        let mut dim = |what: &str| -> Result<usize, String> {
+            it.next()
+                .ok_or_else(|| format!("index shard dims line missing {what}"))?
+                .parse()
+                .map_err(|_| format!("bad {what} in index shard"))
+        };
+        let nrows = dim("nrows")?;
+        let ncols = dim("ncols")?;
+        let nnz = dim("nnz")?;
+
+        let rowptr: Vec<usize> = vec_of(keyed(lines.next(), "rowptr")?, "rowptr")?;
+        let cols: Vec<u32> = vec_of(keyed(lines.next(), "cols")?, "cols")?;
+        let vals: Vec<u32> = vec_of(keyed(lines.next(), "vals")?, "vals")?;
+        if lines.next().is_some() {
+            return Err("trailing lines in index shard".to_string());
+        }
+
+        // CSR invariants, checked here so downstream from_parts can't panic.
+        if rowptr.len() != nrows + 1 {
+            return Err(format!(
+                "index shard rowptr has {} entries for {nrows} rows",
+                rowptr.len()
+            ));
+        }
+        if cols.len() != nnz || vals.len() != nnz {
+            return Err(format!(
+                "index shard nnz mismatch: dims say {nnz}, got {} cols / {} vals",
+                cols.len(),
+                vals.len()
+            ));
+        }
+        if rowptr.first() != Some(&0) || rowptr.last() != Some(&nnz) {
+            return Err("index shard rowptr does not span [0, nnz]".to_string());
+        }
+        if rowptr.windows(2).any(|w| w[0] > w[1]) {
+            return Err("index shard rowptr not monotone".to_string());
+        }
+        for i in 0..nrows {
+            let r = &cols[rowptr[i]..rowptr[i + 1]];
+            if r.windows(2).any(|w| w[0] >= w[1]) || r.iter().any(|&c| (c as usize) >= ncols) {
+                return Err(format!("index shard row {i} columns not sorted/in-bounds"));
+            }
+        }
+        Ok(IndexShard {
+            fingerprint,
+            rank,
+            is_a,
+            stripe,
+            nrows,
+            ncols,
+            rowptr,
+            cols,
+            vals,
+        })
+    }
+}
+
+/// The file a rank's evicted index stripe lives in.
+pub fn index_spill_path(dir: &Path, rank: usize, is_a: bool, stripe: usize) -> PathBuf {
+    dir.join(format!("rank{rank}")).join(format!(
+        "idx_{}{stripe:04}.spill",
+        if is_a { "a" } else { "b" }
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -585,6 +962,19 @@ mod tests {
             fp,
             run_fingerprint(&base.clone().with_align_threads(8), &store)
         );
+        // Neither does a memory budget: a budgeted run spills and streams
+        // back bit-exact shards, so its checkpoints stay interchangeable
+        // with an unbudgeted run's.
+        assert_eq!(
+            fp,
+            run_fingerprint(
+                &base
+                    .clone()
+                    .with_mem_budget(1 << 20)
+                    .with_spill_dir("/tmp/spill"),
+                &store
+            )
+        );
         // Neither do the local SpGEMM kernel knobs (bit-identical kernels).
         assert_eq!(
             fp,
@@ -616,6 +1006,136 @@ mod tests {
         store2.push("a".into(), encode("MKVLAWYHEE").unwrap());
         store2.push("b".into(), encode("GGSTPNQRCE").unwrap());
         assert_ne!(fp, run_fingerprint(&base, &store2));
+    }
+
+    #[test]
+    fn spill_shard_round_trip_is_bit_exact() {
+        let shard = SpillShard {
+            fingerprint: 0xFEED_F00D_1234_5678,
+            rank: 3,
+            block: 41,
+            edges: sample_checkpoint().edges,
+        };
+        let parsed = SpillShard::parse(&shard.to_text()).unwrap();
+        assert_eq!(parsed, shard);
+        assert_eq!(parsed.to_text(), shard.to_text());
+        // Empty shards (a block with no surviving edges) round-trip too.
+        let empty = SpillShard {
+            edges: Vec::new(),
+            ..shard
+        };
+        assert_eq!(SpillShard::parse(&empty.to_text()).unwrap(), empty);
+    }
+
+    #[test]
+    fn spill_shard_crc_catches_flips_and_truncation() {
+        let shard = SpillShard {
+            fingerprint: 1,
+            rank: 0,
+            block: 7,
+            edges: sample_checkpoint().edges,
+        };
+        let text = shard.to_text();
+        // Flip one byte anywhere in the body.
+        let mut bytes = text.clone().into_bytes();
+        bytes[text.len() / 3] ^= 0x01;
+        let flipped = String::from_utf8(bytes).unwrap();
+        assert!(SpillShard::parse(&flipped).is_err());
+        // Torn write.
+        assert!(SpillShard::parse(&text[..text.len() / 2]).is_err());
+        // Wrong schema version with a self-consistent CRC.
+        let v2 = text.replacen("PASTIS-SPILL 1", "PASTIS-SPILL 2", 1);
+        let body_end = v2.rfind("end ").unwrap();
+        let body = &v2[..body_end];
+        let fixed = format!("{body}end {:08x}\n", crc32(body.as_bytes()));
+        assert!(SpillShard::parse(&fixed)
+            .unwrap_err()
+            .contains("schema version 2"));
+    }
+
+    #[test]
+    fn spill_paths_are_per_rank_per_block() {
+        let dir = Path::new("/tmp/spill");
+        assert_eq!(
+            spill_path(dir, 2, 41),
+            Path::new("/tmp/spill/rank2/block000041.spill")
+        );
+        assert_ne!(spill_path(dir, 2, 41), spill_path(dir, 1, 41));
+        assert_ne!(spill_path(dir, 2, 41), spill_path(dir, 2, 40));
+    }
+
+    fn sample_index_shard() -> IndexShard {
+        // 3x5 CSR: row0 = {1:7, 4:9}, row1 = {}, row2 = {0:1, 2:2, 3:3}
+        IndexShard {
+            fingerprint: 0xABCD_EF01_2345_6789,
+            rank: 2,
+            is_a: true,
+            stripe: 5,
+            nrows: 3,
+            ncols: 5,
+            rowptr: vec![0, 2, 2, 5],
+            cols: vec![1, 4, 0, 2, 3],
+            vals: vec![7, 9, 1, 2, 3],
+        }
+    }
+
+    #[test]
+    fn index_shard_round_trip_is_bit_exact() {
+        let shard = sample_index_shard();
+        let parsed = IndexShard::parse(&shard.to_text()).unwrap();
+        assert_eq!(parsed, shard);
+        assert_eq!(parsed.to_text(), shard.to_text());
+        // An empty stripe (all rows empty) round-trips too.
+        let empty = IndexShard {
+            is_a: false,
+            nrows: 2,
+            rowptr: vec![0, 0, 0],
+            cols: Vec::new(),
+            vals: Vec::new(),
+            ..shard
+        };
+        assert_eq!(IndexShard::parse(&empty.to_text()).unwrap(), empty);
+    }
+
+    #[test]
+    fn index_shard_rejects_corruption_and_forged_structure() {
+        let shard = sample_index_shard();
+        let text = shard.to_text();
+        // Bit flip anywhere in the body.
+        let mut bytes = text.clone().into_bytes();
+        bytes[text.len() / 2] ^= 0x01;
+        assert!(IndexShard::parse(&String::from_utf8(bytes).unwrap()).is_err());
+        // Torn write.
+        assert!(IndexShard::parse(&text[..text.len() / 2]).is_err());
+        // A shard whose CRC is valid but whose CSR invariants are broken
+        // (out-of-bounds column) must parse to Err, not panic downstream.
+        let forged_body = text[..text.rfind("end ").unwrap()].replacen("cols 1 4", "cols 1 9", 1);
+        let forged = format!("{forged_body}end {:08x}\n", crc32(forged_body.as_bytes()));
+        assert!(IndexShard::parse(&forged)
+            .unwrap_err()
+            .contains("not sorted/in-bounds"));
+        // Non-monotone rowptr, again with a self-consistent CRC.
+        let forged_body =
+            text[..text.rfind("end ").unwrap()].replacen("rowptr 0 2 2 5", "rowptr 0 3 2 5", 1);
+        let forged = format!("{forged_body}end {:08x}\n", crc32(forged_body.as_bytes()));
+        assert!(IndexShard::parse(&forged).is_err());
+    }
+
+    #[test]
+    fn index_spill_paths_separate_sides_and_stripes() {
+        let dir = Path::new("/tmp/spill");
+        assert_eq!(
+            index_spill_path(dir, 1, true, 3),
+            Path::new("/tmp/spill/rank1/idx_a0003.spill")
+        );
+        assert_ne!(
+            index_spill_path(dir, 1, true, 3),
+            index_spill_path(dir, 1, false, 3)
+        );
+        assert_ne!(
+            index_spill_path(dir, 1, true, 3),
+            index_spill_path(dir, 1, true, 4)
+        );
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod filter;
 pub mod kmer;
 pub mod loadbalance;
 pub mod mcl;
+pub mod membudget;
 pub mod overlap;
 pub mod params;
 pub mod perfmodel;
@@ -46,15 +47,19 @@ pub mod stats;
 pub mod straggler;
 pub mod subkmers;
 
-pub use checkpoint::{run_fingerprint, Checkpoint, CHECKPOINT_SCHEMA_VERSION};
+pub use checkpoint::{
+    run_fingerprint, Checkpoint, IndexShard, SpillShard, CHECKPOINT_SCHEMA_VERSION,
+    SPILL_SCHEMA_VERSION,
+};
 pub use distcc::distributed_components;
 pub use filter::EdgeFilter;
 pub use kmer::kmer_matrix_triples;
 pub use loadbalance::{BlockClass, BlockPlan, BlockTask, LoadBalance};
 pub use mcl::{mcl, MclParams, MclResult};
+pub use membudget::{BudgetExceeded, MemBudget};
 pub use overlap::{CommonKmers, OverlapSemiring};
 pub use params::SearchParams;
-pub use perfmodel::{simulate, simulate_traced, ScaleConfig, ScaleReport};
+pub use perfmodel::{blocking_for_budget, simulate, simulate_traced, ScaleConfig, ScaleReport};
 pub use pipeline::{run_search, run_search_traced, SearchResult};
 pub use simgraph::{SimilarityEdge, SimilarityGraph};
 pub use stats::SearchStats;

@@ -128,6 +128,24 @@ pub struct SearchParams {
     /// Flag ranks whose block seconds exceed `factor × median` at the end
     /// of the run (`None` disables the scan). Must exceed 1.0.
     pub straggler_factor: Option<f64>,
+    /// Per-rank memory budget in bytes (`--mem-budget`). `None` runs
+    /// unbudgeted. With a budget, the pipeline charges sequences, k-mer
+    /// matrix stripes, staged SUMMA broadcast buffers, and completed
+    /// output blocks to a [`crate::MemBudget`] accountant, spilling the
+    /// coldest completed blocks and inactive index stripes to
+    /// [`SearchParams::spill_dir`] under pressure. Robustness knob — the
+    /// similarity graph stays bit-identical for every budget large enough
+    /// to complete.
+    pub mem_budget: Option<u64>,
+    /// Directory for spilled shards. Required when `mem_budget` is set
+    /// (spilling is the budget's relief valve). Robustness knob — never
+    /// affects the output.
+    pub spill_dir: Option<PathBuf>,
+    /// Seeded fault-injection plan applied to spill-shard writes (the
+    /// `spill_*` keys of the `--fault` spec). Reads verify CRCs and fall
+    /// back to recomputing the affected block, so the output stays
+    /// bit-identical under any survivable plan.
+    pub spill_faults: Option<pastis_comm::FaultPlan>,
 }
 
 impl Default for SearchParams {
@@ -158,6 +176,9 @@ impl Default for SearchParams {
             resume: false,
             halt_after_blocks: None,
             straggler_factor: Some(3.0),
+            mem_budget: None,
+            spill_dir: None,
+            spill_faults: None,
         }
     }
 }
@@ -272,6 +293,24 @@ impl SearchParams {
         self
     }
 
+    /// Set the per-rank memory budget in bytes, builder style.
+    pub fn with_mem_budget(mut self, bytes: u64) -> SearchParams {
+        self.mem_budget = Some(bytes);
+        self
+    }
+
+    /// Set the spill directory, builder style.
+    pub fn with_spill_dir(mut self, dir: impl Into<PathBuf>) -> SearchParams {
+        self.spill_dir = Some(dir.into());
+        self
+    }
+
+    /// Set the spill-write fault-injection plan, builder style.
+    pub fn with_spill_faults(mut self, plan: pastis_comm::FaultPlan) -> SearchParams {
+        self.spill_faults = Some(plan);
+        self
+    }
+
     /// Number of k-mer columns of the sequences-by-k-mers matrix.
     pub fn kmer_space(&self) -> usize {
         self.alphabet.kmer_space(self.k)
@@ -317,6 +356,30 @@ impl SearchParams {
             if f.is_nan() || f <= 1.0 {
                 return Err(format!("straggler factor must exceed 1.0, got {f}"));
             }
+        }
+        if let Some(b) = self.mem_budget {
+            if b == 0 {
+                return Err("memory budget must be positive".into());
+            }
+            if self.spill_dir.is_none() {
+                return Err("--mem-budget requires a spill directory".into());
+            }
+            if self.checkpoint_dir.is_some() {
+                return Err(
+                    "--mem-budget cannot be combined with checkpointing: spill shards \
+                     already persist completed blocks, and a checkpoint written under \
+                     a budget would omit the spilled ones"
+                        .into(),
+                );
+            }
+        }
+        if self
+            .spill_faults
+            .as_ref()
+            .is_some_and(|p| p.has_spill_faults())
+            && self.spill_dir.is_none()
+        {
+            return Err("spill fault injection requires a spill directory".into());
         }
         Ok(())
     }
@@ -418,6 +481,47 @@ mod tests {
             ..SearchParams::default()
         };
         assert!(off.validate().is_ok());
+    }
+
+    #[test]
+    fn mem_budget_knobs_validate() {
+        // Budget defaults off.
+        let p = SearchParams::default();
+        assert_eq!(p.mem_budget, None);
+        assert_eq!(p.spill_dir, None);
+        assert!(p.spill_faults.is_none());
+        // A budget with nowhere to spill is a contradiction.
+        let bad = SearchParams::default().with_mem_budget(1 << 20);
+        assert!(bad.validate().is_err());
+        let zero = SearchParams::default()
+            .with_mem_budget(0)
+            .with_spill_dir("/tmp/spill");
+        assert!(zero.validate().is_err());
+        let ok = SearchParams::default()
+            .with_mem_budget(1 << 20)
+            .with_spill_dir("/tmp/spill");
+        assert!(ok.validate().is_ok());
+        // Spill faults without a spill directory can never fire.
+        let plan = pastis_comm::FaultPlan::parse("seed=1,spill_corrupt=0.5").unwrap();
+        let bad = SearchParams::default().with_spill_faults(plan.clone());
+        assert!(bad.validate().is_err());
+        let ok = SearchParams::default()
+            .with_spill_faults(plan)
+            .with_spill_dir("/tmp/spill");
+        assert!(ok.validate().is_ok());
+        // A comm-only plan carried in spill_faults is harmless without a dir.
+        let comm_only = pastis_comm::FaultPlan::parse("seed=1,delay=0.1:10").unwrap();
+        assert!(SearchParams::default()
+            .with_spill_faults(comm_only)
+            .validate()
+            .is_ok());
+        // A checkpoint written under a budget would omit spilled blocks —
+        // the combination is rejected outright.
+        let conflict = SearchParams::default()
+            .with_mem_budget(1 << 20)
+            .with_spill_dir("/tmp/spill")
+            .with_checkpoint_dir("/tmp/ckpt");
+        assert!(conflict.validate().unwrap_err().contains("checkpoint"));
     }
 
     #[test]

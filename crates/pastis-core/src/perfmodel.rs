@@ -835,6 +835,59 @@ fn simulate_inner(
     }
 }
 
+/// Factor a total block count into the `br × bc` pair closest to square,
+/// matching the paper's usage (its production run reports "a total of 676
+/// blocks" on a 26×26 grid).
+fn near_square_factors(total: usize) -> (usize, usize) {
+    let mut best = (total, 1);
+    for d in 1..=total {
+        if total % d == 0 {
+            let (a, b) = (total / d, d);
+            if a >= b && a - b < best.0 - best.1 {
+                best = (a, b);
+            }
+        }
+    }
+    best
+}
+
+/// Choose the smallest block count whose modeled per-rank peak memory fits
+/// `budget_bytes` — the planning face of the runtime `--mem-budget`
+/// accountant. Sweeps total block counts `1..=max_blocks`, factoring each
+/// into the near-square `br × bc` the paper uses, and replays the schedule
+/// through [`simulate`]; the first blocking whose
+/// [`MemoryFootprint::total_bytes`] fits is returned with its report.
+///
+/// Returns `None` when no tested blocking fits — in particular when the
+/// budget is below the blocking-invariant floor (input stripes plus the
+/// sequence store), the same irreducible working set that makes the
+/// runtime accountant fail with a typed out-of-memory instead of spilling.
+///
+/// # Panics
+///
+/// Panics if `cfg.nodes` is not a perfect square, `params` are invalid, or
+/// `max_blocks` is zero.
+pub fn blocking_for_budget(
+    store: &SeqStore,
+    params: &SearchParams,
+    cfg: &ScaleConfig,
+    budget_bytes: f64,
+    max_blocks: usize,
+) -> Option<(usize, usize, ScaleReport)> {
+    assert!(max_blocks > 0, "max_blocks must be positive");
+    for total in 1..=max_blocks {
+        let (br, bc) = near_square_factors(total);
+        let mut p = params.clone();
+        p.block_rows = br;
+        p.block_cols = bc;
+        let r = simulate(store, &p, cfg);
+        if r.memory.total_bytes() <= budget_bytes {
+            return Some((br, bc, r));
+        }
+    }
+    None
+}
+
 /// Number of strictly-upper positions (`j > i`) in the rectangle
 /// `[r0, r1) × [c0, c1)` of global coordinates.
 fn count_upper(r0: usize, r1: usize, c0: usize, c1: usize) -> u64 {
@@ -1288,6 +1341,39 @@ mod tests {
         // Inputs and sequences are blocking-invariant.
         assert!((many.memory.inputs_bytes - one.memory.inputs_bytes).abs() < 1.0);
         assert!(one.memory.total_bytes() > 0.0);
+    }
+
+    #[test]
+    fn blocking_for_budget_picks_smallest_fitting_blocking() {
+        let store = dataset(60);
+        let p = SearchParams::test_defaults();
+        let cfg = test_config(4);
+        let one = simulate(&store, &p.clone().with_blocking(1, 1), &cfg);
+        // A budget at the unblocked peak is satisfied without blocking.
+        let (br, bc, r) =
+            blocking_for_budget(&store, &p, &cfg, one.memory.total_bytes(), 64).unwrap();
+        assert_eq!((br, bc), (1, 1));
+        assert_eq!(r.memory.total_bytes(), one.memory.total_bytes());
+        // A budget between the invariant floor and the unblocked peak
+        // forces a finer blocking, and the chosen one actually fits.
+        let floor = one.memory.inputs_bytes + one.memory.sequences_bytes;
+        let budget = floor + 0.25 * one.memory.blocked_portion_bytes();
+        let (br, bc, r) = blocking_for_budget(&store, &p, &cfg, budget, 64)
+            .expect("a finer blocking should fit this budget");
+        assert!(br * bc > 1, "budget below the unblocked peak needs blocks");
+        assert!(r.memory.total_bytes() <= budget);
+        // Below the blocking-invariant floor no blocking helps — the same
+        // irreducible working set the runtime accountant reports as OOM.
+        assert!(blocking_for_budget(&store, &p, &cfg, floor * 0.5, 64).is_none());
+    }
+
+    #[test]
+    fn near_square_factors_match_paper_usage() {
+        assert_eq!(near_square_factors(1), (1, 1));
+        assert_eq!(near_square_factors(25), (5, 5));
+        assert_eq!(near_square_factors(50), (10, 5));
+        assert_eq!(near_square_factors(676), (26, 26));
+        assert_eq!(near_square_factors(7), (7, 1));
     }
 
     #[test]

@@ -42,6 +42,13 @@ pub enum FastaError {
         /// The offending byte.
         byte: u8,
     },
+    /// A record exceeded the streaming reader's per-record byte bound.
+    RecordTooLarge {
+        /// The record id.
+        id: String,
+        /// The configured bound in bytes.
+        limit: usize,
+    },
     /// Underlying I/O failure.
     Io(String),
 }
@@ -58,6 +65,9 @@ impl fmt::Display for FastaError {
                 "invalid residue byte 0x{byte:02x} ('{}') in record '{id}'",
                 *byte as char
             ),
+            FastaError::RecordTooLarge { id, limit } => {
+                write!(f, "record '{id}' exceeds the {limit}-byte record bound")
+            }
             FastaError::Io(e) => write!(f, "I/O error: {e}"),
         }
     }
@@ -71,50 +81,139 @@ impl From<std::io::Error> for FastaError {
     }
 }
 
+/// Streaming FASTA reader: an iterator yielding one [`FastaRecord`] at a
+/// time, so ingestion memory is bounded by the largest single record (plus
+/// one line buffer) instead of the whole file. Handles multi-line
+/// sequences, CRLF line endings, blank lines, and lowercase residues —
+/// identical accept/reject behavior to [`parse_fasta`], which is now a
+/// `collect()` over this stream.
+///
+/// An optional per-record byte bound ([`FastaStream::with_record_bound`])
+/// turns a pathologically large record into a typed
+/// [`FastaError::RecordTooLarge`] instead of unbounded growth — the
+/// ingestion guard for `--mem-budget` runs.
+pub struct FastaStream<R: BufRead> {
+    reader: R,
+    line: String,
+    lineno: usize,
+    /// Header of the next record, already consumed from the reader.
+    pending: Option<(String, Option<String>)>,
+    record_bound: Option<usize>,
+    /// Set after an error or EOF: the stream yields nothing further.
+    done: bool,
+}
+
+fn split_header(header: &str) -> (String, Option<String>) {
+    let mut parts = header.splitn(2, char::is_whitespace);
+    let id = parts.next().unwrap_or("").to_owned();
+    let desc = parts
+        .next()
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_owned);
+    (id, desc)
+}
+
+impl<R: BufRead> FastaStream<R> {
+    /// Stream records from `reader` with no per-record bound.
+    pub fn new(reader: R) -> FastaStream<R> {
+        FastaStream {
+            reader,
+            line: String::new(),
+            lineno: 0,
+            pending: None,
+            record_bound: None,
+            done: false,
+        }
+    }
+
+    /// Fail any record whose accumulated residue letters exceed `bytes`.
+    pub fn with_record_bound(mut self, bytes: usize) -> FastaStream<R> {
+        self.record_bound = Some(bytes);
+        self
+    }
+
+    /// Read the next line into the reused buffer; `Ok(None)` at EOF.
+    fn read_line(&mut self) -> Result<Option<&str>, FastaError> {
+        self.line.clear();
+        if self.reader.read_line(&mut self.line)? == 0 {
+            return Ok(None);
+        }
+        self.lineno += 1;
+        Ok(Some(self.line.trim_end_matches(['\r', '\n'])))
+    }
+
+    fn next_record(&mut self) -> Result<Option<FastaRecord>, FastaError> {
+        // Find this record's header: carried over from the previous call,
+        // or the first non-blank line of the stream.
+        let (id, desc) = match self.pending.take() {
+            Some(h) => h,
+            None => loop {
+                match self.read_line()? {
+                    None => return Ok(None),
+                    Some("") => continue,
+                    Some(line) => match line.strip_prefix('>') {
+                        Some(h) => break split_header(h),
+                        None => return Err(FastaError::DataBeforeHeader { line: self.lineno }),
+                    },
+                }
+            },
+        };
+        // Accumulate sequence lines until the next header or EOF.
+        let mut seq = String::new();
+        loop {
+            match self.read_line()? {
+                None => break,
+                Some("") => continue,
+                Some(line) => match line.strip_prefix('>') {
+                    Some(h) => {
+                        self.pending = Some(split_header(h));
+                        break;
+                    }
+                    None => {
+                        seq.push_str(line.trim());
+                        if self.record_bound.is_some_and(|b| seq.len() > b) {
+                            return Err(FastaError::RecordTooLarge {
+                                id,
+                                limit: self.record_bound.unwrap(),
+                            });
+                        }
+                    }
+                },
+            }
+        }
+        if seq.is_empty() {
+            return Err(FastaError::EmptyRecord { id });
+        }
+        Ok(Some(FastaRecord { id, desc, seq }))
+    }
+}
+
+impl<R: BufRead> Iterator for FastaStream<R> {
+    type Item = Result<FastaRecord, FastaError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        match self.next_record() {
+            Ok(Some(rec)) => Some(Ok(rec)),
+            Ok(None) => {
+                self.done = true;
+                None
+            }
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
 /// Parse all records from a reader. Handles multi-line sequences, CRLF
 /// line endings, blank lines, and lowercase residues.
 pub fn parse_fasta<R: BufRead>(reader: R) -> Result<Vec<FastaRecord>, FastaError> {
-    let mut records: Vec<FastaRecord> = Vec::new();
-    let mut current: Option<FastaRecord> = None;
-    for (lineno, line) in reader.lines().enumerate() {
-        let line = line?;
-        let line = line.trim_end_matches(['\r', '\n']);
-        if line.is_empty() {
-            continue;
-        }
-        if let Some(header) = line.strip_prefix('>') {
-            if let Some(rec) = current.take() {
-                if rec.seq.is_empty() {
-                    return Err(FastaError::EmptyRecord { id: rec.id });
-                }
-                records.push(rec);
-            }
-            let mut parts = header.splitn(2, char::is_whitespace);
-            let id = parts.next().unwrap_or("").to_owned();
-            let desc = parts
-                .next()
-                .map(str::trim)
-                .filter(|s| !s.is_empty())
-                .map(str::to_owned);
-            current = Some(FastaRecord {
-                id,
-                desc,
-                seq: String::new(),
-            });
-        } else {
-            match current.as_mut() {
-                Some(rec) => rec.seq.push_str(line.trim()),
-                None => return Err(FastaError::DataBeforeHeader { line: lineno + 1 }),
-            }
-        }
-    }
-    if let Some(rec) = current {
-        if rec.seq.is_empty() {
-            return Err(FastaError::EmptyRecord { id: rec.id });
-        }
-        records.push(rec);
-    }
-    Ok(records)
+    FastaStream::new(reader).collect()
 }
 
 /// Write records in FASTA format, wrapping sequence lines at `width`
@@ -141,6 +240,22 @@ pub fn write_fasta<W: Write>(
     Ok(())
 }
 
+fn encode_residues(id: &str, seq: &str) -> Result<Vec<u8>, FastaError> {
+    let mut codes = Vec::with_capacity(seq.len());
+    for b in seq.bytes() {
+        match aa_code(b) {
+            Some(c) => codes.push(c),
+            None => {
+                return Err(FastaError::InvalidResidue {
+                    id: id.to_owned(),
+                    byte: b,
+                })
+            }
+        }
+    }
+    Ok(codes)
+}
+
 /// The in-memory dataset: residue-coded sequences plus their ids.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SeqStore {
@@ -158,19 +273,22 @@ impl SeqStore {
     pub fn from_records(records: &[FastaRecord]) -> Result<SeqStore, FastaError> {
         let mut store = SeqStore::new();
         for rec in records {
-            let mut codes = Vec::with_capacity(rec.seq.len());
-            for b in rec.seq.bytes() {
-                match aa_code(b) {
-                    Some(c) => codes.push(c),
-                    None => {
-                        return Err(FastaError::InvalidResidue {
-                            id: rec.id.clone(),
-                            byte: b,
-                        })
-                    }
-                }
-            }
+            let codes = encode_residues(&rec.id, &rec.seq)?;
             store.push(rec.id.clone(), codes);
+        }
+        Ok(store)
+    }
+
+    /// Build by draining a record stream, encoding each record as it
+    /// arrives and dropping its letters immediately — at any moment the
+    /// transient footprint beyond the store itself is one record. This is
+    /// the bounded ingestion path behind `--mem-budget`.
+    pub fn from_fasta_stream<R: BufRead>(stream: FastaStream<R>) -> Result<SeqStore, FastaError> {
+        let mut store = SeqStore::new();
+        for rec in stream {
+            let rec = rec?;
+            let codes = encode_residues(&rec.id, &rec.seq)?;
+            store.push(rec.id, codes);
         }
         Ok(store)
     }
@@ -347,5 +465,59 @@ mod tests {
     #[test]
     fn mean_len_empty_store() {
         assert_eq!(SeqStore::new().mean_len(), 0.0);
+    }
+
+    #[test]
+    fn stream_yields_records_one_at_a_time() {
+        let mut stream = FastaStream::new(Cursor::new(SAMPLE));
+        let r1 = stream.next().unwrap().unwrap();
+        assert_eq!(r1.id, "seq1");
+        assert_eq!(r1.seq, "MKVLAWYHEE");
+        let r2 = stream.next().unwrap().unwrap();
+        assert_eq!(r2.id, "seq2");
+        assert!(stream.next().is_none());
+        // Fused: keeps returning None.
+        assert!(stream.next().is_none());
+    }
+
+    #[test]
+    fn stream_matches_batch_parser_on_errors() {
+        for input in ["MKV\n>a\nMKV\n", ">a\n>b\nMKV\n", ">a\nMKV\n>b\n"] {
+            let batch = parse_fasta(Cursor::new(input)).unwrap_err();
+            let streamed = FastaStream::new(Cursor::new(input))
+                .collect::<Result<Vec<_>, _>>()
+                .unwrap_err();
+            assert_eq!(batch, streamed, "input {input:?}");
+        }
+        // Errors fuse the stream too.
+        let mut s = FastaStream::new(Cursor::new("MKV\n>a\nMKV\n"));
+        assert!(s.next().unwrap().is_err());
+        assert!(s.next().is_none());
+    }
+
+    #[test]
+    fn stream_record_bound_rejects_oversized_records() {
+        let input = ">big\nMKVLAW\nYHEE\n>small\nMKV\n";
+        let err = FastaStream::new(Cursor::new(input))
+            .with_record_bound(8)
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap_err();
+        assert!(
+            matches!(&err, FastaError::RecordTooLarge { id, limit: 8 } if id == "big"),
+            "{err:?}"
+        );
+        // A bound at least as large as every record accepts the input.
+        let recs = FastaStream::new(Cursor::new(input))
+            .with_record_bound(10)
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap();
+        assert_eq!(recs.len(), 2);
+    }
+
+    #[test]
+    fn store_from_stream_matches_batch_path() {
+        let batch = SeqStore::from_records(&parse_fasta(Cursor::new(SAMPLE)).unwrap()).unwrap();
+        let streamed = SeqStore::from_fasta_stream(FastaStream::new(Cursor::new(SAMPLE))).unwrap();
+        assert_eq!(batch, streamed);
     }
 }

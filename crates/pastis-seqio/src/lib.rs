@@ -32,5 +32,5 @@ pub mod synth;
 
 pub use alphabet::ReducedAlphabet;
 pub use faidx::{FaiEntry, FastaIndex};
-pub use fasta::{FastaError, FastaRecord, SeqStore};
+pub use fasta::{FastaError, FastaRecord, FastaStream, SeqStore};
 pub use synth::{SyntheticConfig, SyntheticDataset};

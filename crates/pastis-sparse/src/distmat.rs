@@ -220,6 +220,38 @@ impl<T: DistElem> DistSparseMatrix<T> {
         })
     }
 
+    /// Approximate in-memory footprint of the local block in bytes.
+    pub fn local_payload_bytes(&self) -> usize {
+        self.local.payload_bytes()
+    }
+
+    /// Take the local block out, leaving an empty block of the same local
+    /// dimensions — the eviction half of spill-to-disk. The caller owns
+    /// serializing the returned CSR; [`DistSparseMatrix::restore_local`]
+    /// puts an identical block back. Purely local (no communication), so
+    /// ranks may evict independently.
+    pub fn evict_local(&mut self) -> CsrMatrix<T> {
+        let empty = Arc::new(CsrMatrix::empty(self.local.nrows(), self.local.ncols()));
+        let old = std::mem::replace(&mut self.local, empty);
+        // After the collectives that shared this Arc complete, this rank is
+        // the only holder; a still-shared handle (mid-broadcast) falls back
+        // to a copy rather than corrupting a peer's view.
+        Arc::try_unwrap(old).unwrap_or_else(|arc| (*arc).clone())
+    }
+
+    /// Put an evicted local block back. Must match the local dimensions
+    /// (asserted) — the round trip through
+    /// [`DistSparseMatrix::evict_local`] and a bit-exact serializer leaves
+    /// the matrix indistinguishable from one that never spilled.
+    pub fn restore_local(&mut self, block: CsrMatrix<T>) {
+        assert_eq!(
+            (block.nrows(), block.ncols()),
+            (self.local.nrows(), self.local.ncols()),
+            "restored block dimensions disagree with the eviction"
+        );
+        self.local = Arc::new(block);
+    }
+
     /// Apply a pruning predicate in global coordinates, locally.
     pub fn prune_global(
         &self,

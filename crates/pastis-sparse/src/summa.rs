@@ -94,6 +94,24 @@ type StagePair<S> = (
     Arc<CsrMatrix<<S as Semiring>::B>>,
 );
 
+/// Observer of the staged broadcast buffers' lifetimes, so a memory
+/// accountant (the pipeline's `--mem-budget` ledger) can charge the bytes
+/// a SUMMA stage holds resident between receiving its blocks and folding
+/// the stage partial.
+///
+/// Both callbacks fire on the rank's comm-issuing thread, in deterministic
+/// stage order; implementations must not block on the communicator (a
+/// collective inside the hook would deadlock the SPMD schedule). The hook
+/// observes and accounts — it never changes what SUMMA computes, so the
+/// output is bit-identical with or without one attached.
+pub trait StageMemHook: Send + Sync {
+    /// A stage's received broadcast buffers became resident (`bytes` =
+    /// payload bytes of the received A and B blocks).
+    fn on_stage_alloc(&self, bytes: u64);
+    /// The same stage's buffers were dropped after accumulation.
+    fn on_stage_free(&self, bytes: u64);
+}
+
 /// [`summa_with`] with optional **double-buffered broadcasts**: while
 /// stage `k`'s local multiply runs on a scoped compute thread, the calling
 /// thread — the rank's single comm-issuing thread — posts stage `k+1`'s
@@ -120,6 +138,31 @@ pub fn summa_with_overlap<S, C>(
     b: &DistSparseMatrix<S::B>,
     pool: &SpGemmPool,
     overlap: bool,
+) -> (DistSparseMatrix<S::C>, SpGemmStats)
+where
+    S: Semiring + Sync,
+    S::A: DistElem,
+    S::B: DistElem,
+    S::C: DistElem,
+    C: Communicator,
+{
+    summa_with_overlap_hooked(grid, sr, a, b, pool, overlap, None)
+}
+
+/// [`summa_with_overlap`] with an optional [`StageMemHook`] observing the
+/// staged broadcast buffers: `alloc` fires when a stage's received blocks
+/// become resident (including prefetched stages, which is exactly when the
+/// double buffer holds *two* stages' bytes at once), `free` when they are
+/// dropped after accumulation. Pass `None` for the unhooked behavior; the
+/// output is bit-identical either way.
+pub fn summa_with_overlap_hooked<S, C>(
+    grid: &ProcessGrid<C>,
+    sr: &S,
+    a: &DistSparseMatrix<S::A>,
+    b: &DistSparseMatrix<S::B>,
+    pool: &SpGemmPool,
+    overlap: bool,
+    hook: Option<&dyn StageMemHook>,
 ) -> (DistSparseMatrix<S::C>, SpGemmStats)
 where
     S: Semiring + Sync,
@@ -159,7 +202,7 @@ where
     // block along grid columns (root: grid row k). The roots send their
     // resident blocks as Arc handles — a pointer clone, not a deep copy;
     // receivers only read the block.
-    let issue = |k: usize| -> StagePair<S> {
+    let issue = |k: usize| -> (StagePair<S>, u64) {
         let (a_send, a_bytes) = if my_col == k {
             (a.local_arc(), a.local().payload_bytes())
         } else {
@@ -173,7 +216,14 @@ where
             (Arc::new(CsrMatrix::empty(inner.part_len(k), c_cols)), 0)
         };
         let b_recv = grid.col_comm().broadcast(k, b_send, b_bytes);
-        (a_recv, b_recv)
+        // Charge the *received* blocks: what this rank actually holds
+        // resident for the stage (roots included — their local block is the
+        // received block).
+        let stage_bytes = (a_recv.payload_bytes() + b_recv.payload_bytes()) as u64;
+        if let Some(h) = hook {
+            h.on_stage_alloc(stage_bytes);
+        }
+        ((a_recv, b_recv), stage_bytes)
     };
 
     let recorder = pool.recorder();
@@ -181,9 +231,9 @@ where
     // computed. `None` whenever the broadcasts still have to run on the
     // critical path (always, with overlap off — that branch is exactly the
     // phased loop).
-    let mut staged: Option<StagePair<S>> = None;
+    let mut staged: Option<(StagePair<S>, u64)> = None;
     for k in 0..q {
-        let (a_recv, b_recv) = staged.take().unwrap_or_else(|| issue(k));
+        let ((a_recv, b_recv), stage_bytes) = staged.take().unwrap_or_else(|| issue(k));
         let (partial, pstats) = if overlap && k + 1 < q {
             // Open the compute span on this thread *before* spawning, so
             // its start provably precedes the prefetch span's start — the
@@ -215,6 +265,9 @@ where
             pool.multiply(sr, &a_recv, &b_recv)
         };
         stats.merge(pstats);
+        if let Some(h) = hook {
+            h.on_stage_free(stage_bytes);
+        }
         // Stage partials arrive in ascending inner-index order, so this
         // accumulation preserves the serial combine order; the move-based
         // merge never clones the accumulated values.
@@ -352,6 +405,39 @@ impl<A: DistElem, B: DistElem> BlockedSumma<A, B> {
         &self.b_stripes[c]
     }
 
+    /// Local footprint in bytes of this rank's block of A stripe `r`.
+    pub fn a_stripe_bytes(&self, r: usize) -> u64 {
+        self.a_stripes[r].local_payload_bytes() as u64
+    }
+
+    /// Local footprint in bytes of this rank's block of B stripe `c`.
+    pub fn b_stripe_bytes(&self, c: usize) -> u64 {
+        self.b_stripes[c].local_payload_bytes() as u64
+    }
+
+    /// Evict this rank's local block of A stripe `r` (for spill-to-disk);
+    /// see [`DistSparseMatrix::evict_local`]. The stripe multiplies as
+    /// all-zero until [`BlockedSumma::restore_a_stripe`] puts the block
+    /// back, so callers must restore before the stripe's next block.
+    pub fn evict_a_stripe(&mut self, r: usize) -> CsrMatrix<A> {
+        self.a_stripes[r].evict_local()
+    }
+
+    /// Restore an evicted A stripe block.
+    pub fn restore_a_stripe(&mut self, r: usize, block: CsrMatrix<A>) {
+        self.a_stripes[r].restore_local(block);
+    }
+
+    /// Evict this rank's local block of B stripe `c`.
+    pub fn evict_b_stripe(&mut self, c: usize) -> CsrMatrix<B> {
+        self.b_stripes[c].evict_local()
+    }
+
+    /// Restore an evicted B stripe block.
+    pub fn restore_b_stripe(&mut self, c: usize, block: CsrMatrix<B>) {
+        self.b_stripes[c].restore_local(block);
+    }
+
     /// Compute output block `C(r, c) = A(r,·) ⊗ B(·,c)` with one full
     /// SUMMA (collective). The result is a `stripe_r × stripe_c` matrix
     /// distributed over the grid; its global position is given by
@@ -416,6 +502,37 @@ impl<A: DistElem, B: DistElem> BlockedSumma<A, B> {
             &self.b_stripes[c],
             pool,
             overlap,
+        )
+    }
+
+    /// [`BlockedSumma::multiply_block_overlapped`] with an optional
+    /// [`StageMemHook`] charging the staged broadcast buffers to a memory
+    /// accountant; see [`summa_with_overlap_hooked`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn multiply_block_hooked<S, C>(
+        &self,
+        grid: &ProcessGrid<C>,
+        sr: &S,
+        r: usize,
+        c: usize,
+        pool: &SpGemmPool,
+        overlap: bool,
+        hook: Option<&dyn StageMemHook>,
+    ) -> (DistSparseMatrix<S::C>, SpGemmStats)
+    where
+        S: Semiring<A = A, B = B> + Sync,
+        S::C: DistElem,
+        C: Communicator,
+    {
+        assert!(r < self.br() && c < self.bc(), "block index out of range");
+        summa_with_overlap_hooked(
+            grid,
+            sr,
+            &self.a_stripes[r],
+            &self.b_stripes[c],
+            pool,
+            overlap,
+            hook,
         )
     }
 }
@@ -962,6 +1079,114 @@ mod tests {
                 s.start_us,
                 s.end_us()
             );
+        }
+    }
+
+    /// A ledger hook recording alloc/free balance and the peak.
+    #[derive(Default)]
+    struct LedgerHook {
+        live: std::sync::atomic::AtomicU64,
+        peak: std::sync::atomic::AtomicU64,
+        allocs: std::sync::atomic::AtomicU64,
+        frees: std::sync::atomic::AtomicU64,
+    }
+    impl StageMemHook for LedgerHook {
+        fn on_stage_alloc(&self, bytes: u64) {
+            use std::sync::atomic::Ordering::Relaxed;
+            let now = self.live.fetch_add(bytes, Relaxed) + bytes;
+            self.peak.fetch_max(now, Relaxed);
+            self.allocs.fetch_add(1, Relaxed);
+        }
+        fn on_stage_free(&self, bytes: u64) {
+            use std::sync::atomic::Ordering::Relaxed;
+            self.live.fetch_sub(bytes, Relaxed);
+            self.frees.fetch_add(1, Relaxed);
+        }
+    }
+
+    #[test]
+    fn stage_hook_balances_and_leaves_output_bit_identical() {
+        let (n, m, l) = (12usize, 10usize, 11usize);
+        let a = random_triples(n, m, 40, 51);
+        let b = random_triples(m, l, 35, 52);
+        let want = serial_product(&a, &b);
+        for overlap in [false, true] {
+            let a = a.clone();
+            let b = b.clone();
+            let out = run_threaded(4, move |c| {
+                let world = c.split(0, c.rank());
+                let grid = ProcessGrid::square(world);
+                let (ta, tb) = if c.rank() == 0 {
+                    (a.clone(), b.clone())
+                } else {
+                    (Triples::new(n, m), Triples::new(m, l))
+                };
+                let da = DistSparseMatrix::from_global_triples(&grid, n, m, ta, |_, _| {});
+                let db = DistSparseMatrix::from_global_triples(&grid, m, l, tb, |_, _| {});
+                let hook = LedgerHook::default();
+                let (cm, _) = summa_with_overlap_hooked(
+                    &grid,
+                    &PlusTimes::new(),
+                    &da,
+                    &db,
+                    &SpGemmPool::serial(),
+                    overlap,
+                    Some(&hook),
+                );
+                use std::sync::atomic::Ordering::Relaxed;
+                (
+                    cm.gather_global(&grid).to_sorted_tuples(),
+                    hook.live.load(Relaxed),
+                    hook.peak.load(Relaxed),
+                    hook.allocs.load(Relaxed),
+                    hook.frees.load(Relaxed),
+                )
+            });
+            for (got, live, peak, allocs, frees) in out {
+                assert_eq!(got, want, "overlap={overlap}");
+                assert_eq!(live, 0, "every stage alloc must be freed");
+                assert!(peak > 0, "stages with nonzero payload were charged");
+                // 2x2 grid → 2 stages.
+                assert_eq!(allocs, 2);
+                assert_eq!(frees, 2);
+            }
+        }
+    }
+
+    #[test]
+    fn stripe_evict_restore_round_trips_bit_exactly() {
+        let (n, m) = (14usize, 9usize);
+        let a = random_triples(n, m, 40, 61);
+        let at = a.clone().transpose();
+        let grid = ProcessGrid::square(SelfComm::new());
+        let mut bs =
+            BlockedSumma::from_triples(&grid, a.clone(), at.clone(), 3, 2, |_, _| {}, |_, _| {});
+        let reference = BlockedSumma::from_triples(&grid, a, at, 3, 2, |_, _| {}, |_, _| {});
+        // Evict every stripe, then restore, then verify every block matches
+        // the never-spilled driver bit-for-bit.
+        let before_a: Vec<u64> = (0..3).map(|r| bs.a_stripe_bytes(r)).collect();
+        let a_blocks: Vec<_> = (0..3).map(|r| bs.evict_a_stripe(r)).collect();
+        let b_blocks: Vec<_> = (0..2).map(|c| bs.evict_b_stripe(c)).collect();
+        for r in 0..3 {
+            assert_eq!(bs.a_stripe(r).nnz_local(), 0, "evicted stripe is empty");
+        }
+        for (r, blk) in a_blocks.into_iter().enumerate() {
+            bs.restore_a_stripe(r, blk);
+            assert_eq!(bs.a_stripe_bytes(r), before_a[r]);
+        }
+        for (c, blk) in b_blocks.into_iter().enumerate() {
+            bs.restore_b_stripe(c, blk);
+        }
+        for r in 0..3 {
+            for c in 0..2 {
+                let (got, _) = bs.multiply_block(&grid, &PlusTimes::new(), r, c);
+                let (want, _) = reference.multiply_block(&grid, &PlusTimes::new(), r, c);
+                assert_eq!(
+                    got.gather_global(&grid).to_sorted_tuples(),
+                    want.gather_global(&grid).to_sorted_tuples(),
+                    "block ({r},{c}) after spill round trip"
+                );
+            }
         }
     }
 

@@ -46,6 +46,14 @@ pub const SPAN_ALIGN_UNIT: &str = "align.unit";
 /// One alignment-pool worker's whole-batch occupancy span.
 pub const SPAN_ALIGN_WORKER: &str = "align.worker";
 
+// --- Spill spans (memory-budgeted execution). ---
+
+/// Writing one completed output block (or index shard) to the spill
+/// directory as a CRC-framed shard.
+pub const SPAN_SPILL_WRITE: &str = "spill.write";
+/// Streaming a spilled shard back from disk (CRC-verified).
+pub const SPAN_SPILL_READ: &str = "spill.read";
+
 // --- Baseline pipeline spans. ---
 
 /// MMseqs2-like baseline: k-mer index build.
@@ -71,6 +79,8 @@ pub const KNOWN_SPANS: &[&str] = &[
     SPAN_SPGEMM_ROW_CHUNK,
     SPAN_ALIGN_UNIT,
     SPAN_ALIGN_WORKER,
+    SPAN_SPILL_WRITE,
+    SPAN_SPILL_READ,
     SPAN_INDEX_BUILD,
     SPAN_PREFILTER,
     SPAN_PACKAGE_SEED_JOIN,
@@ -151,6 +161,42 @@ pub const CTR_FAULT_CRC_REJECTS: &str = "fault.crc_rejects";
 pub const CTR_FAULT_RETRIES: &str = "fault.retries";
 /// Injected op stalls taken.
 pub const CTR_FAULT_STALLS: &str = "fault.stalls";
+/// Baseline best-effort checkpoint saves that hit an I/O error
+/// (mirrors [`CTR_CHECKPOINT_WRITE_FAILED`] into the fault family so the
+/// end-of-run report can warn about degraded restartability).
+pub const CTR_FAULT_CKPT_SAVE_FAILED: &str = "fault.ckpt_save_failed";
+
+// --- Memory budget / spill counters. ---
+
+/// Bytes of completed output blocks and index shards written to spill.
+pub const CTR_SPILL_BYTES_OUT: &str = "spill.bytes_out";
+/// Bytes streamed back from spill on demand.
+pub const CTR_SPILL_BYTES_IN: &str = "spill.bytes_in";
+/// Shards written to the spill directory.
+pub const CTR_SPILL_BLOCKS_OUT: &str = "spill.blocks_out";
+/// Shards streamed back (CRC-verified) from the spill directory.
+pub const CTR_SPILL_BLOCKS_IN: &str = "spill.blocks_in";
+/// Spilled shards rejected by CRC validation on readback.
+pub const CTR_SPILL_CRC_REJECTS: &str = "spill.crc_rejects";
+/// Output blocks recomputed because their spilled shard was unreadable.
+pub const CTR_SPILL_RECOMPUTES: &str = "spill.recomputes";
+/// Peak live bytes the memory accountant observed on this rank.
+pub const CTR_MEM_HIGH_WATER: &str = "mem.high_water";
+/// Blocks run with broadcast prefetch paused under budget pressure.
+pub const CTR_MEM_BACKPRESSURE_PREFETCH_PAUSED: &str = "mem.backpressure.prefetch_paused";
+/// Align batches split into smaller sequential slices under pressure.
+pub const CTR_MEM_BACKPRESSURE_BATCH_SHRUNK: &str = "mem.backpressure.batch_shrunk";
+
+// --- Spill fault-injection counters (`FaultyStore`). ---
+
+/// Injected spill-write corruptions.
+pub const CTR_FAULT_SPILL_CORRUPTS: &str = "fault.spill.corrupts";
+/// Injected spill-write disk-full failures.
+pub const CTR_FAULT_SPILL_DISK_FULL: &str = "fault.spill.disk_full";
+/// Injected spill-write short (truncated) writes.
+pub const CTR_FAULT_SPILL_SHORT_WRITES: &str = "fault.spill.short_writes";
+/// Injected spill-write stalls taken.
+pub const CTR_FAULT_SPILL_STALLS: &str = "fault.spill.stalls";
 
 /// Every counter name the workspace emits, in display order.
 pub const KNOWN_COUNTERS: &[&str] = &[
@@ -183,6 +229,20 @@ pub const KNOWN_COUNTERS: &[&str] = &[
     CTR_FAULT_CRC_REJECTS,
     CTR_FAULT_RETRIES,
     CTR_FAULT_STALLS,
+    CTR_FAULT_CKPT_SAVE_FAILED,
+    CTR_SPILL_BYTES_OUT,
+    CTR_SPILL_BYTES_IN,
+    CTR_SPILL_BLOCKS_OUT,
+    CTR_SPILL_BLOCKS_IN,
+    CTR_SPILL_CRC_REJECTS,
+    CTR_SPILL_RECOMPUTES,
+    CTR_MEM_HIGH_WATER,
+    CTR_MEM_BACKPRESSURE_PREFETCH_PAUSED,
+    CTR_MEM_BACKPRESSURE_BATCH_SHRUNK,
+    CTR_FAULT_SPILL_CORRUPTS,
+    CTR_FAULT_SPILL_DISK_FULL,
+    CTR_FAULT_SPILL_SHORT_WRITES,
+    CTR_FAULT_SPILL_STALLS,
 ];
 
 /// Whether `name` is a registered span name.

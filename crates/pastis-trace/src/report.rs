@@ -112,6 +112,19 @@ pub fn render_report(report: &MetricsReport) -> String {
             );
         }
     }
+
+    // Degraded-but-survived conditions the operator should see without
+    // scanning the counter table.
+    let total_of = |name: &str| -> f64 { report.ranks.iter().map(|r| r.counter(name)).sum() };
+    let ckpt_failed = total_of(crate::names::CTR_FAULT_CKPT_SAVE_FAILED);
+    if ckpt_failed > 0.0 {
+        out.push_str("-- warnings --\n");
+        let _ = writeln!(
+            out,
+            "warning: {ckpt_failed:.0} best-effort checkpoint save(s) failed; the run \
+             completed but a restart would lose the unsaved progress"
+        );
+    }
     out
 }
 
@@ -146,6 +159,24 @@ mod tests {
         assert!(text.contains("84"));
         // Components with no recorded time are omitted.
         assert!(!text.contains("cwait"));
+    }
+
+    #[test]
+    fn failed_checkpoint_saves_surface_as_warning() {
+        let session = TraceSession::virtual_time();
+        let rec = session.recorder(0);
+        rec.add_counter(crate::names::CTR_FAULT_CKPT_SAVE_FAILED, 2.0);
+        let text = render_report(&MetricsReport::from_session(&session));
+        assert!(text.contains("-- warnings --"), "{text}");
+        assert!(
+            text.contains("warning: 2 best-effort checkpoint save(s) failed"),
+            "{text}"
+        );
+        // No warning section when nothing failed.
+        let clean = TraceSession::virtual_time();
+        clean.recorder(0).add_counter("similar_pairs", 1.0);
+        let text = render_report(&MetricsReport::from_session(&clean));
+        assert!(!text.contains("warnings"), "{text}");
     }
 
     #[test]

@@ -28,7 +28,7 @@ use pastis::comm::{
 use pastis::core::params::AlignKind;
 use pastis::core::pipeline::{run_search_traced, SearchResult};
 use pastis::core::{LoadBalance, SearchParams};
-use pastis::seqio::fasta::{parse_fasta, write_fasta, SeqStore};
+use pastis::seqio::fasta::{write_fasta, FastaStream, SeqStore};
 use pastis::seqio::{ReducedAlphabet, SyntheticConfig, SyntheticDataset};
 use pastis::sparse::SpGemmKind;
 use pastis::trace::json::JsonValue;
@@ -110,7 +110,19 @@ ROBUSTNESS OPTIONS (search/cluster):
                               'chaos[:SEED]', 'none', or a spec like
                               'seed=42,delay=0.2:2000,drop=0.1,corrupt=0.1
                               [,stall=RANK@OP:MS][,crash=RANK@OP]'.
-                              Output is bit-identical to the fault-free run
+                              Spill-fault keys (spill_corrupt=P,
+                              spill_disk_full=P, spill_short=P,
+                              spill_stall=P:US) exercise the --mem-budget
+                              spill store the same way. Output is
+                              bit-identical to the fault-free run
+    --mem-budget <BYTES>      hard per-rank memory budget (K/M/G suffixes
+                              accepted); completed output blocks and idle
+                              index shards spill to --spill-dir under
+                              pressure; the graph is bit-identical to an
+                              unbudgeted run
+    --spill-dir <DIR>         where budgeted runs spill CRC-framed shards
+                              [default: a per-run dir under the system
+                              temp directory]
     --op-timeout-ms <INT>     deadline on blocking comm waits — a lost peer
                               becomes a typed error, not a hang
                                                      [default: 120000]
@@ -256,7 +268,25 @@ const SEARCH_VALUE_FLAGS: &[&str] = &[
     "halt-after-blocks",
     "straggler-factor",
     "flight-dump",
+    "mem-budget",
+    "spill-dir",
 ];
+
+/// Parse a byte count with optional K/M/G (binary) suffix.
+fn parse_bytes(v: &str) -> Result<u64, String> {
+    let (digits, shift) = match v.as_bytes().last() {
+        Some(b'K' | b'k') => (&v[..v.len() - 1], 10),
+        Some(b'M' | b'm') => (&v[..v.len() - 1], 20),
+        Some(b'G' | b'g') => (&v[..v.len() - 1], 30),
+        _ => (v, 0),
+    };
+    let n: u64 = digits
+        .parse()
+        .map_err(|_| format!("cannot parse byte count '{v}'"))?;
+    n.checked_shl(shift)
+        .filter(|&b| shift == 0 || b >> shift == n)
+        .ok_or_else(|| format!("byte count '{v}' overflows"))
+}
 
 fn parse_search_params(opts: &Opts) -> Result<SearchParams, String> {
     let mut p = SearchParams {
@@ -353,15 +383,42 @@ fn parse_search_params(opts: &Opts) -> Result<SearchParams, String> {
             )
         };
     }
+    if let Some(b) = opts.get("mem-budget") {
+        p.mem_budget = Some(parse_bytes(b).map_err(|e| format!("--mem-budget: {e}"))?);
+    }
+    if let Some(dir) = opts.get("spill-dir") {
+        p.spill_dir = Some(PathBuf::from(dir));
+    }
+    if let Some(spec) = opts.get("fault-plan") {
+        // The comm layer gets the same plan in cmd_search; the spill store
+        // draws from an independent deterministic op stream.
+        let plan = FaultPlan::parse(spec)?;
+        if plan.has_spill_faults() {
+            p.spill_faults = Some(plan);
+        }
+    }
+    if (p.mem_budget.is_some() || p.spill_faults.is_some()) && p.spill_dir.is_none() {
+        // Budgeted runs must spill somewhere; default to a per-process
+        // directory under the system temp dir so --mem-budget works out
+        // of the box.
+        p.spill_dir =
+            Some(std::env::temp_dir().join(format!("pastis-spill-{}", std::process::id())));
+    }
     p.validate()?;
     Ok(p)
 }
 
 fn load_store(path: &Path) -> Result<SeqStore, String> {
-    let data = std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-    let records =
-        parse_fasta(std::io::Cursor::new(data)).map_err(|e| format!("{}: {e}", path.display()))?;
-    SeqStore::from_records(&records).map_err(|e| format!("{}: {e}", path.display()))
+    // Bounded streaming ingestion: records are encoded one at a time off
+    // a buffered reader, so peak memory is the encoded store plus a
+    // single record — never the raw file — and a pathological record
+    // fails typed instead of ballooning (the --mem-budget ingestion
+    // guard).
+    const RECORD_BOUND: usize = 1 << 30;
+    let file =
+        std::fs::File::open(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let stream = FastaStream::new(std::io::BufReader::new(file)).with_record_bound(RECORD_BOUND);
+    SeqStore::from_fasta_stream(stream).map_err(|e| format!("{}: {e}", path.display()))
 }
 
 fn do_search(
@@ -407,7 +464,7 @@ fn do_search(
     let comm_config = params.op_timeout_ms.map_or_else(CommConfig::default, |ms| {
         CommConfig::bounded(Duration::from_millis(ms))
     });
-    let result = if ranks <= 1 {
+    let result: Result<SearchResult, String> = if ranks <= 1 {
         let rec = session
             .as_ref()
             .map_or_else(Recorder::disabled, |s| s.recorder(0));
@@ -415,14 +472,14 @@ fn do_search(
         // fault layer absorbs never pollute the comm trace.
         let faulty = FaultyComm::new(SelfComm::new(), fault.clone()).with_recorder(rec.clone());
         let grid = ProcessGrid::square(TracedComm::new(faulty, rec.clone()));
-        run_search_traced(&grid, &store, params, &rec)?
+        run_search_traced(&grid, &store, params, &rec)
     } else {
         let q = (ranks as f64).sqrt().round() as usize;
         if q * q != ranks {
             return Err(format!("--ranks must be a perfect square, got {ranks}"));
         }
         let store = Arc::new(store.clone());
-        let params = Arc::new(params.clone());
+        let params_arc = Arc::new(params.clone());
         let session = session.clone();
         let fault = fault.clone();
         let outs = run_threaded_with(ranks, comm_config, move |c| {
@@ -433,22 +490,77 @@ fn do_search(
                 FaultyComm::new(c.split(0, c.rank()), fault.clone()).with_recorder(rec.clone());
             let comm = TracedComm::new(faulty, rec.clone());
             let grid = ProcessGrid::square(comm);
-            let mut res = run_search_traced(&grid, &store, &params, &rec)?;
+            let mut res = run_search_traced(&grid, &store, &params_arc, &rec).inspect_err(|e| {
+                // Per-rank failure line: in a collective abort every rank
+                // reports, but a unilateral error (a rank leaving the SPMD
+                // schedule alone) is visible here even if the survivors
+                // then die in a comm timeout.
+                eprintln!("rank {} failed: {e}", grid.world().rank());
+            })?;
             // Assemble the global result on every rank; rank 0's copy is
             // the one reported.
             res.graph = res.gather_graph(grid.world());
             res.stats = res.stats.all_reduce(grid.world());
             Ok::<(usize, SearchResult), String>((grid.world().rank(), res))
         });
-        let mut global = None;
+        let mut global: Option<SearchResult> = None;
+        let mut hw_max: Option<u64> = None;
+        let mut first_err: Option<String> = None;
         for out in outs {
-            let (rank, res) = out?;
-            if rank == 0 {
-                global = Some(res);
+            match out {
+                Ok((rank, res)) => {
+                    if let Some(h) = res.mem_high_water {
+                        hw_max = Some(hw_max.map_or(h, |m| m.max(h)));
+                    }
+                    if rank == 0 {
+                        global = Some(res);
+                    }
+                }
+                Err(e) => first_err = first_err.or(Some(e)),
             }
         }
-        global.ok_or("rank 0 produced no result")?
+        match first_err {
+            Some(e) => Err(e),
+            None => global
+                .ok_or_else(|| "rank 0 produced no result".to_owned())
+                .map(|mut g| {
+                    // Report the worst rank's accounted peak, not rank 0's.
+                    g.mem_high_water = hw_max;
+                    g
+                }),
+        }
     };
+    let result = match result {
+        Ok(r) => r,
+        Err(e) => {
+            // Graceful degradation on a genuine OOM: the error names the
+            // oversized phase; capture it in the flight-recorder dump so
+            // post-mortems see which reservation could not be satisfied.
+            if e.contains("out of memory in phase") {
+                if let Some(flight) = &flight {
+                    flight.note("mem", e.clone());
+                    if let Some(path) = flight_dump {
+                        if flight
+                            .write_dump(path, session.as_deref(), Some("out-of-memory"))
+                            .is_ok()
+                        {
+                            eprintln!(
+                                "wrote flight-recorder dump to {} (out of memory)",
+                                path.display()
+                            );
+                        }
+                    }
+                }
+            }
+            return Err(e);
+        }
+    };
+    if let (Some(hw), Some(budget)) = (result.mem_high_water, params.mem_budget) {
+        eprintln!(
+            "memory budget: high water {hw} of {budget} bytes ({:.0}%)",
+            100.0 * hw as f64 / budget as f64
+        );
+    }
     eprintln!(
         "search done in {:.2}s: {} candidates, {} alignments, {} similar pairs",
         result.wall_seconds,
@@ -1208,6 +1320,154 @@ mod tests {
         assert!(FaultPlan::parse("chaos:7").is_ok());
         assert!(FaultPlan::parse("seed=1,delay=0.5:100,drop=0.2").is_ok());
         assert!(FaultPlan::parse("warp=9").is_err());
+    }
+
+    #[test]
+    fn mem_budget_flags_parse() {
+        assert_eq!(parse_bytes("1024").unwrap(), 1024);
+        assert_eq!(parse_bytes("64K").unwrap(), 64 << 10);
+        assert_eq!(parse_bytes("3m").unwrap(), 3 << 20);
+        assert_eq!(parse_bytes("2G").unwrap(), 2 << 30);
+        assert!(parse_bytes("lots").is_err());
+        assert!(parse_bytes("999999999999G").is_err());
+
+        let o = Opts::parse(
+            &s(&["--mem-budget", "32M", "--spill-dir", "/tmp/sp"]),
+            SEARCH_VALUE_FLAGS,
+        )
+        .unwrap();
+        let p = parse_search_params(&o).unwrap();
+        assert_eq!(p.mem_budget, Some(32 << 20));
+        assert_eq!(p.spill_dir.as_deref(), Some(Path::new("/tmp/sp")));
+        // Without --spill-dir a temp-dir default is derived so the budget
+        // works out of the box.
+        let o = Opts::parse(&s(&["--mem-budget", "32M"]), SEARCH_VALUE_FLAGS).unwrap();
+        let p = parse_search_params(&o).unwrap();
+        assert!(p.spill_dir.is_some());
+        // Spill-fault keys in --fault-plan route into params (and pull in
+        // the default spill dir too).
+        let o = Opts::parse(
+            &s(&["--fault-plan", "seed=5,spill_corrupt=0.3"]),
+            SEARCH_VALUE_FLAGS,
+        )
+        .unwrap();
+        let p = parse_search_params(&o).unwrap();
+        assert!(p
+            .spill_faults
+            .as_ref()
+            .is_some_and(|f| f.has_spill_faults()));
+        assert!(p.spill_dir.is_some());
+        // Comm-only plans do not.
+        let o = Opts::parse(&s(&["--fault-plan", "seed=5,drop=0.1"]), SEARCH_VALUE_FLAGS).unwrap();
+        assert!(parse_search_params(&o).unwrap().spill_faults.is_none());
+        // Budget + checkpointing is rejected.
+        let o = Opts::parse(
+            &s(&["--mem-budget", "32M", "--checkpoint-dir", "/tmp/ck"]),
+            SEARCH_VALUE_FLAGS,
+        )
+        .unwrap();
+        assert!(parse_search_params(&o).is_err());
+    }
+
+    #[test]
+    fn budgeted_search_emits_byte_identical_tsv() {
+        // The CLI face of the memory-budget contract: a run forced to
+        // spill (and one whose every spill write is corrupted in flight)
+        // writes the exact same TSV bytes as the unbudgeted run.
+        let dir = std::env::temp_dir().join(format!("pastis-cli-budget-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let fa = dir.join("s.fa");
+        run(&s(&[
+            "generate",
+            fa.to_str().unwrap(),
+            "--n",
+            "70",
+            "--mean-len",
+            "90",
+            "--seed",
+            "23",
+        ]))
+        .unwrap();
+        let run_with = |extra: &[&str], out: &Path| -> Result<Vec<u8>, String> {
+            let mut argv = s(&[
+                "search",
+                fa.to_str().unwrap(),
+                out.to_str().unwrap(),
+                "--k",
+                "5",
+                "--blocks",
+                "3x3",
+                "--ani",
+                "0.4",
+                "--coverage",
+                "0.5",
+            ]);
+            argv.extend(extra.iter().map(|x| x.to_string()));
+            run(&argv)?;
+            Ok(std::fs::read(out).unwrap())
+        };
+        let base = run_with(&[], &dir.join("base.tsv")).unwrap();
+        assert!(!base.is_empty(), "baseline run produced no edges");
+        // Budgets descending until one forces spills; every run that
+        // completes must be byte-identical, and budgets below the
+        // irreducible working set must fail with a typed OOM.
+        let spill = dir.join("spill");
+        let spill_str = spill.to_str().unwrap().to_owned();
+        let mut one_spilled = false;
+        for budget in ["4M", "600K", "200K", "150K"] {
+            let _ = std::fs::remove_dir_all(&spill);
+            let out = dir.join(format!("b{budget}.tsv"));
+            match run_with(&["--mem-budget", budget, "--spill-dir", &spill_str], &out) {
+                Ok(tsv) => {
+                    assert_eq!(tsv, base, "--mem-budget {budget} changed the TSV");
+                    if spill.exists()
+                        && std::fs::read_dir(&spill)
+                            .map(|d| d.count() > 0)
+                            .unwrap_or(false)
+                    {
+                        one_spilled = true;
+                    }
+                }
+                Err(e) => assert!(e.contains("out of memory in phase"), "{e}"),
+            }
+        }
+        assert!(one_spilled, "no tested budget spilled");
+        // Under a seeded corrupt-every-spill plan the CRC check rejects
+        // each shard on readback and the blocks are recomputed — still
+        // byte-identical.
+        let _ = std::fs::remove_dir_all(&spill);
+        match run_with(
+            &[
+                "--mem-budget",
+                "200K",
+                "--spill-dir",
+                &spill_str,
+                "--fault-plan",
+                "seed=7,spill_corrupt=1.0",
+            ],
+            &dir.join("corrupt.tsv"),
+        ) {
+            Ok(tsv) => assert_eq!(tsv, base, "corrupt spill plan changed the TSV"),
+            Err(e) => assert!(e.contains("out of memory in phase"), "{e}"),
+        }
+        // Disk-full faults drop half the spill writes; the run still
+        // completes under budget because the accountant retries other
+        // victims, and the TSV stays byte-identical.
+        let _ = std::fs::remove_dir_all(&spill);
+        let tsv = run_with(
+            &[
+                "--mem-budget",
+                "200K",
+                "--spill-dir",
+                &spill_str,
+                "--fault-plan",
+                "seed=9,spill_disk_full=0.5",
+            ],
+            &dir.join("diskfull.tsv"),
+        )
+        .expect("disk-full spill plan should complete");
+        assert_eq!(tsv, base, "disk-full spill plan changed the TSV");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -285,6 +285,179 @@ fn kill_and_resume_is_bit_identical_and_reported() {
 }
 
 #[test]
+fn tampered_checkpoint_shards_are_rejected_and_recomputed_bit_identically() {
+    // Truncation and bit flips on checkpoint shards: the CRC check must
+    // reject the damaged file, the resume point must fall back only as far
+    // as the newest *valid* checkpoint (recomputing just the affected
+    // blocks), and the final graph must stay bit-identical.
+    let ds = dataset(9, 36);
+    let params = SearchParams::test_defaults().with_blocking(3, 3);
+    let p = 4;
+    let dir = std::env::temp_dir().join(format!("pastis-chaos-tamper-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let (want, _s) = run_chaos(&ds.store, &params, p, FaultPlan::none());
+    assert!(!want.is_empty());
+
+    // Phase 1: checkpoint two blocks, then halt.
+    {
+        let params = Arc::new(
+            params
+                .clone()
+                .with_checkpoint_dir(&dir)
+                .with_halt_after_blocks(2),
+        );
+        let store = Arc::new(ds.store.clone());
+        run_threaded(p, move |c| {
+            let grid = ProcessGrid::square(c.split(0, c.rank()));
+            pastis::core::run_search(&grid, &store, &params).unwrap();
+        });
+    }
+
+    // Phase 2: damage the newest shard of two ranks — rank 0 truncated
+    // (torn write), rank 1 bit-flipped (media corruption). Both must fail
+    // the CRC check and push those ranks back to their blocks_done=1
+    // shard; the collective Min then resumes the whole world from 1.
+    let victim0 = pastis::core::checkpoint::checkpoint_path(&dir, 0, 2);
+    let text = std::fs::read_to_string(&victim0).expect("rank 0 checkpoint exists");
+    std::fs::write(&victim0, &text[..text.len() * 3 / 5]).unwrap();
+    let victim1 = pastis::core::checkpoint::checkpoint_path(&dir, 1, 2);
+    let mut bytes = std::fs::read(&victim1).expect("rank 1 checkpoint exists");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01; // ASCII stays ASCII: still valid UTF-8
+    std::fs::write(&victim1, &bytes).unwrap();
+
+    let resumed = {
+        let params = Arc::new(params.clone().with_checkpoint_dir(&dir).with_resume(true));
+        let store = Arc::new(ds.store.clone());
+        let outs = run_threaded(p, move |c| {
+            let grid = ProcessGrid::square(c.split(0, c.rank()));
+            let mut res = pastis::core::run_search(&grid, &store, &params).unwrap();
+            res.graph = res.gather_graph(grid.world());
+            (grid.world().rank(), res)
+        });
+        outs.into_iter()
+            .find(|(r, _)| *r == 0)
+            .map(|(_, res)| res)
+            .unwrap()
+    };
+    assert_eq!(
+        resumed.resumed_from_block,
+        Some(1),
+        "damaged shards must push the resume point back to the newest valid checkpoint"
+    );
+    assert_eq!(graph_bits(&resumed), want);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn spill_fault_plans_keep_budgeted_runs_bit_identical() {
+    // The spill mirror of the chaos contract: a 4-rank run under a hard
+    // memory budget, with seeded faults injected into every spill write
+    // (corruption, disk-full, short writes), must either converge to the
+    // bit-identical unbudgeted graph or fail with the typed OOM — never
+    // silently diverge. Corrupt/short shards are caught by the readback
+    // CRC and the affected blocks recomputed; disk-full evictions retry
+    // other victims.
+    let ds = dataset(42, 36);
+    let params = SearchParams::test_defaults().with_blocking(3, 3);
+    let p = 4;
+    let (want, _s) = run_chaos(&ds.store, &params, p, FaultPlan::none());
+    assert!(!want.is_empty());
+
+    let tmp = std::env::temp_dir();
+    let run_budgeted = |budget: u64, plan: Option<&str>, tag: &str| {
+        let spill = tmp.join(format!("pastis-chaos-spill-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&spill);
+        let mut prm = params
+            .clone()
+            .with_mem_budget(budget)
+            .with_spill_dir(&spill);
+        if let Some(spec) = plan {
+            prm.spill_faults = Some(FaultPlan::parse(spec).unwrap());
+        }
+        let session = Arc::new(TraceSession::new());
+        let prm = Arc::new(prm);
+        let store = Arc::new(ds.store.clone());
+        let sess = Arc::clone(&session);
+        let outs = run_threaded_with(
+            p,
+            CommConfig::bounded(std::time::Duration::from_secs(120)),
+            move |c| {
+                let rec = sess.recorder(c.rank());
+                let grid = ProcessGrid::square(TracedComm::new(c.split(0, c.rank()), rec.clone()));
+                let res = run_search_traced(&grid, &store, &prm, &rec);
+                let res = res.map(|mut r| {
+                    r.graph = r.gather_graph(grid.world());
+                    r
+                });
+                (grid.world().rank(), res)
+            },
+        );
+        let _ = std::fs::remove_dir_all(&spill);
+        let rank0 = outs
+            .into_iter()
+            .find(|(r, _)| *r == 0)
+            .map(|(_, res)| res)
+            .expect("rank 0 result");
+        (rank0, session)
+    };
+
+    // Measure the per-rank peak with a loose budget (nothing spills).
+    let (loose, _) = run_budgeted(1 << 30, None, "loose");
+    let loose = loose.expect("loose budget cannot fail");
+    assert_eq!(graph_bits(&loose), want);
+    let budget = loose
+        .mem_high_water
+        .expect("budgeted runs report high water")
+        * 7
+        / 8;
+
+    let counter_total = |session: &TraceSession, name: &str| -> f64 {
+        session
+            .recorders()
+            .iter()
+            .map(|r| r.counters().get(name).copied().unwrap_or(0.0))
+            .sum()
+    };
+    for (tag, spec) in [
+        ("corrupt", "seed=7,spill_corrupt=0.4"),
+        ("diskfull", "seed=9,spill_disk_full=0.5"),
+        ("short", "seed=13,spill_short=0.5"),
+    ] {
+        let (res, session) = run_budgeted(budget, Some(spec), tag);
+        match res {
+            Ok(res) => {
+                assert_eq!(
+                    graph_bits(&res),
+                    want,
+                    "spill plan '{tag}' changed the graph"
+                );
+                let hw = res.mem_high_water.expect("high water reported");
+                assert!(hw <= budget, "plan '{tag}' overshot: {hw} > {budget}");
+            }
+            Err(e) => assert!(
+                e.contains("out of memory in phase"),
+                "plan '{tag}' failed outside the typed OOM path: {e}"
+            ),
+        }
+        // Whatever the outcome, injected spill faults must be mirrored as
+        // fault.spill.* counters whenever any spill writes happened.
+        let spilled = counter_total(&session, "spill.blocks_out")
+            + counter_total(&session, "fault.spill.disk_full");
+        if spilled > 0.0 {
+            let injected = counter_total(&session, "fault.spill.corrupts")
+                + counter_total(&session, "fault.spill.disk_full")
+                + counter_total(&session, "fault.spill.short_writes");
+            assert!(
+                injected > 0.0,
+                "plan '{tag}' spilled {spilled} shards but injected nothing"
+            );
+        }
+    }
+}
+
+#[test]
 fn chaos_with_checkpoints_still_converges() {
     // Checkpointing during a faulted run must not perturb the output
     // either: the full matrix — faults × checkpoints — converges.

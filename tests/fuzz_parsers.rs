@@ -1,0 +1,289 @@
+//! Structure-aware fuzzing of every strict parser in the workspace
+//! (ROADMAP #4, the rusteomics dedicated-fuzz-target pattern).
+//!
+//! The robustness contract for each text format — FASTA, the `FaultPlan`
+//! CLI spec, and the CRC-framed checkpoint / spill / index-shard headers —
+//! is the same: arbitrary bytes must yield `Err`, never a panic, and a
+//! mutated (truncated or byte-flipped) valid document must either fail
+//! parsing or decode to the exact original value. The CRC trailer makes
+//! the second half a hard guarantee rather than a hope: any accepted
+//! mutant must re-render byte-identically.
+//!
+//! Two input regimes per parser:
+//! * **unstructured** — arbitrary bytes/text, asserting totality;
+//! * **structured** — a valid document generated from an arbitrary value,
+//!   round-tripped, then mutated one byte (or cut) at a time.
+
+use proptest::prelude::*;
+
+use pastis::baselines::BaselineCheckpoint;
+use pastis::comm::FaultPlan;
+use pastis::core::checkpoint::{Checkpoint, IndexShard, SpillShard};
+use pastis::core::pipeline::BlockTiming;
+use pastis::core::{SearchStats, SimilarityEdge};
+use pastis::seqio::fasta::{parse_fasta, FastaStream, SeqStore};
+
+// --- Builders from primitive draws (the vendored proptest generates
+// --- primitives; structure is assembled here). ---
+
+type EdgeRaw = (u32, u32, i32, u32, u32, u32);
+
+fn edges_from(raw: &[EdgeRaw]) -> Vec<SimilarityEdge> {
+    raw.iter()
+        .map(|&(i, j, score, ani, cov, common_kmers)| SimilarityEdge {
+            i,
+            j,
+            score,
+            ani: ani as f32 / 1000.0,
+            coverage: cov as f32 / 1000.0,
+            common_kmers,
+        })
+        .collect()
+}
+
+fn name_from(raw: &[u8]) -> String {
+    raw.iter().map(|&b| (b'a' + b % 26) as char).collect()
+}
+
+/// Truncate a (pure-ASCII) document at `cut % len` bytes.
+fn truncated(doc: &str, cut: usize) -> &str {
+    &doc[..cut % doc.len()]
+}
+
+/// Overwrite one byte of a (pure-ASCII) document with a printable char.
+fn flipped(doc: &str, idx: usize, ch: u8) -> String {
+    let mut bytes = doc.as_bytes().to_vec();
+    let idx = idx % bytes.len();
+    bytes[idx] = ch;
+    String::from_utf8(bytes).expect("printable-ASCII flip keeps UTF-8")
+}
+
+/// The mutation contract for a CRC-framed format: a mutant either fails to
+/// parse, or re-renders byte-identically to the original document.
+macro_rules! assert_mutation_safe {
+    ($parse:path, $doc:expr, $cut:expr, $idx:expr, $ch:expr) => {{
+        let doc: &str = $doc;
+        if let Ok(p) = $parse(truncated(doc, $cut)) {
+            prop_assert_eq!(p.to_text(), doc);
+        }
+        if let Ok(p) = $parse(&flipped(doc, $idx, $ch)) {
+            prop_assert_eq!(p.to_text(), doc);
+        }
+    }};
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // --- Unstructured: totality over arbitrary input. ---
+
+    #[test]
+    fn fasta_parsers_never_panic_on_arbitrary_bytes(bytes in proptest::collection::vec(0u8..=255, 0..512)) {
+        let _ = parse_fasta(&bytes[..]);
+        // The streaming reader must agree and also never panic, including
+        // with a tiny per-record bound engaged.
+        let _ = FastaStream::new(&bytes[..]).collect::<Result<Vec<_>, _>>();
+        let _ = FastaStream::new(&bytes[..]).with_record_bound(16).collect::<Result<Vec<_>, _>>();
+        let _ = SeqStore::from_fasta_stream(FastaStream::new(&bytes[..]));
+    }
+
+    #[test]
+    fn header_parsers_never_panic_on_arbitrary_text(bytes in proptest::collection::vec(9u8..127, 0..300)) {
+        let s = String::from_utf8(bytes).expect("ASCII bytes");
+        let _ = FaultPlan::parse(&s);
+        let _ = Checkpoint::parse(&s);
+        let _ = SpillShard::parse(&s);
+        let _ = IndexShard::parse(&s);
+        let _ = BaselineCheckpoint::parse(&s);
+    }
+
+    #[test]
+    fn header_parsers_never_panic_on_structured_noise(
+        prefix_idx in 0usize..6, key_raw in proptest::collection::vec(0u8..26, 0..14),
+        val_raw in proptest::collection::vec(0u8..16, 0..24),
+    ) {
+        // Noise biased toward the grammars: magic lines, key=value
+        // fields, hex digits, and trailers, in arbitrary combination.
+        const PREFIXES: [&str; 6] =
+            ["", "PASTIS-CKPT 1\n", "PASTIS-SPILL 1\n", "PASTIS-IDX 1\n", "end ", "chaos"];
+        let key = name_from(&key_raw);
+        let val: String = val_raw.iter().map(|&b| char::from_digit(b as u32, 16).unwrap()).collect();
+        let s = format!("{}{key}={val}\nend {val}", PREFIXES[prefix_idx]);
+        let _ = FaultPlan::parse(&s);
+        let _ = Checkpoint::parse(&s);
+        let _ = SpillShard::parse(&s);
+        let _ = IndexShard::parse(&s);
+        let _ = BaselineCheckpoint::parse(&s);
+    }
+
+    // --- Structured: round-trip + one-byte mutations. ---
+
+    #[test]
+    fn checkpoint_mutations_err_or_decode_identically(
+        fingerprint in 0u64..=u64::MAX, rank in 0usize..8, nranks in 1usize..8,
+        blocks_raw in proptest::collection::vec(
+            (0usize..8, 0usize..8, 0.0f64..100.0, 0.0f64..100.0, 0u64..=u64::MAX, 0u64..=u64::MAX),
+            0..4,
+        ),
+        edges_raw in proptest::collection::vec((0u32..500, 500u32..1000, -1000i32..1000, 0u32..1000, 0u32..1000, 0u32..=u32::MAX), 0..6),
+        counters in (0u64..=u64::MAX, 0u64..=u64::MAX, 0u64..=u64::MAX, 0u64..=u64::MAX, 0u64..=u64::MAX),
+        secs in (0.0f64..100.0, 0.0f64..100.0, 0.0f64..100.0),
+        cut in 0usize..1_000_000, idx in 0usize..1_000_000, ch in 0x20u8..0x7f,
+    ) {
+        let per_block: Vec<BlockTiming> = blocks_raw
+            .iter()
+            .map(|&(r, c, sparse_seconds, align_seconds, candidates, aligned_pairs)| BlockTiming {
+                r, c, sparse_seconds, align_seconds, candidates, aligned_pairs,
+            })
+            .collect();
+        let stats = SearchStats {
+            candidates: counters.0,
+            aligned_pairs: counters.1,
+            cells: counters.2,
+            similar_pairs: counters.3,
+            spgemm_products: counters.4,
+            total_seconds: secs.0,
+            align_kernel_seconds: secs.1,
+            align_cpu_seconds: secs.2,
+        };
+        let ck = Checkpoint {
+            fingerprint,
+            rank,
+            nranks,
+            n_vertices: 1000,
+            blocks_done: per_block.len(),
+            stats,
+            times: Default::default(),
+            per_block,
+            edges: edges_from(&edges_raw),
+        };
+        let doc = ck.to_text();
+        prop_assert_eq!(Checkpoint::parse(&doc).expect("valid doc").to_text(), doc.clone());
+        assert_mutation_safe!(Checkpoint::parse, &doc, cut, idx, ch);
+    }
+
+    #[test]
+    fn spill_shard_mutations_err_or_decode_identically(
+        fingerprint in 0u64..=u64::MAX, rank in 0usize..8, block in 0usize..64,
+        edges_raw in proptest::collection::vec((0u32..500, 500u32..1000, -1000i32..1000, 0u32..1000, 0u32..1000, 0u32..=u32::MAX), 0..6),
+        cut in 0usize..1_000_000, idx in 0usize..1_000_000, ch in 0x20u8..0x7f,
+    ) {
+        let sh = SpillShard { fingerprint, rank, block, edges: edges_from(&edges_raw) };
+        let doc = sh.to_text();
+        prop_assert_eq!(SpillShard::parse(&doc).expect("valid doc").to_text(), doc.clone());
+        assert_mutation_safe!(SpillShard::parse, &doc, cut, idx, ch);
+    }
+
+    #[test]
+    fn index_shard_mutations_err_or_decode_identically(
+        fingerprint in 0u64..=u64::MAX, rank in 0usize..6, side in 0u8..2, stripe in 0usize..6,
+        nrows in 0usize..4, ncols in 1u32..8,
+        row_masks in proptest::collection::vec(0u64..=u64::MAX, 4),
+        vals_raw in proptest::collection::vec(0u32..=u32::MAX, 1..32),
+        cut in 0usize..1_000_000, idx in 0usize..1_000_000, ch in 0x20u8..0x7f,
+    ) {
+        // Assemble a CSR that satisfies the invariants IndexShard::parse
+        // enforces: sorted unique in-bounds columns per row.
+        let mut rowptr = vec![0usize];
+        let mut cols: Vec<u32> = Vec::new();
+        for mask in row_masks.iter().take(nrows) {
+            cols.extend((0..ncols).filter(|c| mask & (1u64 << c) != 0));
+            rowptr.push(cols.len());
+        }
+        let vals: Vec<u32> = (0..cols.len()).map(|k| vals_raw[k % vals_raw.len()]).collect();
+        let sh = IndexShard {
+            fingerprint,
+            rank,
+            is_a: side == 0,
+            stripe,
+            nrows,
+            ncols: ncols as usize,
+            rowptr,
+            cols,
+            vals,
+        };
+        let doc = sh.to_text();
+        prop_assert_eq!(IndexShard::parse(&doc).expect("valid doc").to_text(), doc.clone());
+        assert_mutation_safe!(IndexShard::parse, &doc, cut, idx, ch);
+    }
+
+    #[test]
+    fn baseline_ckpt_mutations_err_or_decode_identically(
+        fingerprint in 0u64..=u64::MAX, units in 1usize..10, done_raw in 0usize..10,
+        counters_raw in proptest::collection::vec((proptest::collection::vec(0u8..26, 1..12), 0u64..=u64::MAX), 0..4),
+        edges_raw in proptest::collection::vec((0u32..500, 500u32..1000, -1000i32..1000, 0u32..1000, 0u32..1000, 0u32..=u32::MAX), 0..6),
+        cut in 0usize..1_000_000, idx in 0usize..1_000_000, ch in 0x20u8..0x7f,
+    ) {
+        let ck = BaselineCheckpoint {
+            fingerprint,
+            units_done: done_raw % (units + 1),
+            units,
+            counters: counters_raw.iter().map(|(n, v)| (name_from(n), *v)).collect(),
+            edges: edges_from(&edges_raw),
+        };
+        let doc = ck.to_text();
+        prop_assert_eq!(BaselineCheckpoint::parse(&doc).expect("valid doc").to_text(), doc.clone());
+        assert_mutation_safe!(BaselineCheckpoint::parse, &doc, cut, idx, ch);
+    }
+
+    #[test]
+    fn fault_plan_valid_specs_parse_and_mutants_never_panic(
+        seed in 0u64..=u64::MAX, p1 in 0.0f64..1.0, p2 in 0.0f64..1.0, us in 0u64..5000,
+        idx in 0usize..1_000_000, ch in 0x20u8..0x7f,
+    ) {
+        let spec = format!(
+            "seed={seed},drop={p1:.3},spill_corrupt={p2:.3},spill_disk_full={p1:.3},spill_stall={p2:.3}:{us}"
+        );
+        let plan = FaultPlan::parse(&spec).expect("valid spec");
+        prop_assert_eq!(plan.seed, seed);
+        // A one-char mutant must parse or fail cleanly, never panic.
+        let _ = FaultPlan::parse(&flipped(&spec, idx, ch));
+        let _ = FaultPlan::parse(truncated(&spec, idx));
+    }
+
+    #[test]
+    fn fasta_valid_docs_roundtrip_and_mutants_never_panic(
+        records_raw in proptest::collection::vec(
+            (proptest::collection::vec(0u8..26, 1..10), 0u8..2, proptest::collection::vec(0u8..20, 1..40)),
+            1..5,
+        ),
+        idx in 0usize..1_000_000, ch in 0u8..=255,
+    ) {
+        const RESIDUES: &[u8] = b"ACDEFGHIKLMNPQRSTVWY";
+        let records: Vec<(String, bool, String)> = records_raw
+            .iter()
+            .map(|(id, desc, seq)| {
+                (
+                    name_from(id),
+                    *desc == 1,
+                    seq.iter().map(|&b| RESIDUES[b as usize] as char).collect(),
+                )
+            })
+            .collect();
+        let mut doc = String::new();
+        for (id, with_desc, seq) in &records {
+            if *with_desc {
+                doc.push_str(&format!(">{id} some description\n{seq}\n"));
+            } else {
+                doc.push_str(&format!(">{id}\n{seq}\n"));
+            }
+        }
+        let parsed = parse_fasta(doc.as_bytes()).expect("valid FASTA");
+        prop_assert_eq!(parsed.len(), records.len());
+        for (rec, (id, _, seq)) in parsed.iter().zip(&records) {
+            prop_assert_eq!(&rec.id, id);
+            prop_assert_eq!(&rec.seq, seq);
+        }
+        // Streaming parser sees the same records.
+        let streamed: Vec<_> = FastaStream::new(doc.as_bytes())
+            .collect::<Result<Vec<_>, _>>()
+            .expect("valid FASTA streams");
+        prop_assert_eq!(streamed, parsed);
+        // One flipped byte: any outcome but a panic.
+        let mut bytes = doc.into_bytes();
+        let i = idx % bytes.len();
+        bytes[i] = ch;
+        let _ = parse_fasta(&bytes[..]);
+        let _ = FastaStream::new(&bytes[..]).collect::<Result<Vec<_>, _>>();
+    }
+}
