@@ -17,7 +17,7 @@ use pastis_align::batch::{AlignTask, BatchAligner};
 use pastis_align::matrices::Blosum62;
 use pastis_align::sw::GapPenalties;
 use pastis_comm::grid::BlockDist1D;
-use pastis_core::checkpoint::{digest_bytes, digest_u64};
+use pastis_core::checkpoint::{digest_bytes, digest_u64, write_atomic};
 use pastis_core::filter::EdgeFilter;
 use pastis_core::kmer::distinct_kmers;
 use pastis_core::simgraph::{SimilarityEdge, SimilarityGraph};
@@ -68,6 +68,14 @@ pub struct MmseqsLikeConfig {
     /// skipping already-searched ranks; the final graph is bit-identical
     /// to an uninterrupted run.
     pub resume: bool,
+    /// Directory holding persisted per-rank prefilter indexes. When set,
+    /// each simulated rank loads its CRC-framed, fingerprint-bound
+    /// postings file instead of rebuilding the index — and writes one
+    /// (best-effort) after building when none is valid. Real MMseqs2
+    /// persists its prefilter index the same way; rebuilding it every run
+    /// was this module's historical behavior. Never affects the output:
+    /// a loaded index is bit-identical to a rebuilt one.
+    pub index_dir: Option<PathBuf>,
 }
 
 impl Default for MmseqsLikeConfig {
@@ -84,6 +92,7 @@ impl Default for MmseqsLikeConfig {
             prefilter_threads: 1,
             checkpoint_dir: None,
             resume: false,
+            index_dir: None,
         }
     }
 }
@@ -110,6 +119,7 @@ pub struct MmseqsLikeReport {
 }
 
 /// The replicated inverted index: k-mer id → (sequence, position) list.
+#[derive(Debug)]
 struct KmerIndex {
     map: HashMap<u32, Vec<(u32, u32)>>,
     bytes: u64,
@@ -134,6 +144,139 @@ impl KmerIndex {
         let bytes = postings * 8 + map.len() as u64 * 16;
         KmerIndex { map, bytes }
     }
+
+    /// Serialize as the versioned, CRC-framed `PASTIS-PFIDX 1` text:
+    /// fingerprint-bound, one sorted postings line per k-mer, posting
+    /// order preserved so a reload is bit-identical to the build.
+    fn to_text(&self, fingerprint: u64, rank: usize) -> String {
+        let mut postings = 0u64;
+        let mut kmers: Vec<&u32> = self.map.keys().collect();
+        kmers.sort_unstable();
+        let mut body = format!("PASTIS-PFIDX {PFIDX_SCHEMA_VERSION}\n");
+        body.push_str(&format!("fingerprint {fingerprint:016x}\n"));
+        body.push_str(&format!("rank {rank}\n"));
+        let mut lines = String::new();
+        for k in kmers {
+            let posting = &self.map[k];
+            postings += posting.len() as u64;
+            lines.push_str(&k.to_string());
+            for (id, pos) in posting {
+                lines.push_str(&format!(" {id},{pos}"));
+            }
+            lines.push('\n');
+        }
+        body.push_str(&format!("dims {} {postings}\n", self.map.len()));
+        body.push_str(&lines);
+        let crc = pastis_comm::fault::crc32(body.as_bytes());
+        body.push_str(&format!("end {crc:08x}\n"));
+        body
+    }
+
+    /// Parse a persisted postings file, validating the CRC frame, schema
+    /// version, fingerprint, and rank binding, and the declared counts.
+    fn parse(text: &str, fingerprint: u64, rank: usize) -> Result<KmerIndex, String> {
+        let body = text
+            .strip_suffix('\n')
+            .and_then(|t| t.rsplit_once('\n'))
+            .map(|(body, _)| &text[..body.len() + 1])
+            .ok_or("prefilter index: truncated file")?;
+        let end_line = text[body.len()..]
+            .trim_end()
+            .strip_prefix("end ")
+            .ok_or("prefilter index: missing end frame")?;
+        let want = u32::from_str_radix(end_line, 16)
+            .map_err(|_| "prefilter index: malformed end crc".to_owned())?;
+        let got = pastis_comm::fault::crc32(body.as_bytes());
+        if got != want {
+            return Err(format!(
+                "prefilter index: crc mismatch (stored {want:08x}, computed {got:08x})"
+            ));
+        }
+        let mut lines = body.lines();
+        let header = lines.next().ok_or("prefilter index: empty file")?;
+        let version = header
+            .strip_prefix("PASTIS-PFIDX ")
+            .ok_or("prefilter index: bad magic")?;
+        if version != PFIDX_SCHEMA_VERSION.to_string() {
+            return Err(format!("prefilter index: unknown schema version {version}"));
+        }
+        let keyed = |line: Option<&str>, key: &str| -> Result<String, String> {
+            line.and_then(|l| l.strip_prefix(key))
+                .and_then(|l| l.strip_prefix(' '))
+                .map(str::to_owned)
+                .ok_or_else(|| format!("prefilter index: missing '{key}' line"))
+        };
+        let fp = u64::from_str_radix(&keyed(lines.next(), "fingerprint")?, 16)
+            .map_err(|_| "prefilter index: malformed fingerprint".to_owned())?;
+        if fp != fingerprint {
+            return Err("prefilter index: fingerprint mismatch (stale index)".into());
+        }
+        let r: usize = keyed(lines.next(), "rank")?
+            .parse()
+            .map_err(|_| "prefilter index: malformed rank".to_owned())?;
+        if r != rank {
+            return Err(format!("prefilter index: file is for rank {r}, not {rank}"));
+        }
+        let dims = keyed(lines.next(), "dims")?;
+        let (nk, np) = dims
+            .split_once(' ')
+            .ok_or("prefilter index: malformed dims")?;
+        let n_kmers: usize = nk
+            .parse()
+            .map_err(|_| "prefilter index: malformed dims".to_owned())?;
+        let n_postings: u64 = np
+            .parse()
+            .map_err(|_| "prefilter index: malformed dims".to_owned())?;
+        let mut map: HashMap<u32, Vec<(u32, u32)>> = HashMap::with_capacity(n_kmers);
+        let mut postings = 0u64;
+        let mut prev: Option<u32> = None;
+        for line in lines {
+            let mut parts = line.split(' ');
+            let kmer: u32 = parts
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or("prefilter index: malformed postings line")?;
+            if prev.is_some_and(|p| p >= kmer) {
+                return Err("prefilter index: k-mers out of order".into());
+            }
+            prev = Some(kmer);
+            let mut posting = Vec::new();
+            for p in parts {
+                let (id, pos) = p
+                    .split_once(',')
+                    .ok_or("prefilter index: malformed posting")?;
+                let id: u32 = id
+                    .parse()
+                    .map_err(|_| "prefilter index: malformed posting".to_owned())?;
+                let pos: u32 = pos
+                    .parse()
+                    .map_err(|_| "prefilter index: malformed posting".to_owned())?;
+                posting.push((id, pos));
+            }
+            if posting.is_empty() {
+                return Err("prefilter index: empty postings line".into());
+            }
+            postings += posting.len() as u64;
+            map.insert(kmer, posting);
+        }
+        if map.len() != n_kmers || postings != n_postings {
+            return Err(format!(
+                "prefilter index: dims mismatch (declared {n_kmers} k-mers/{n_postings} \
+                 postings, found {}/{postings})",
+                map.len()
+            ));
+        }
+        let bytes = postings * 8 + map.len() as u64 * 16;
+        Ok(KmerIndex { map, bytes })
+    }
+}
+
+/// Schema version of the persisted prefilter-index format.
+const PFIDX_SCHEMA_VERSION: u32 = 1;
+
+/// Per-rank postings file under the configured index directory.
+fn pfidx_path(dir: &std::path::Path, rank: usize) -> PathBuf {
+    dir.join(format!("pfidx_r{rank:04}.idx"))
 }
 
 /// Run the many-against-many search over `nranks` simulated ranks
@@ -184,7 +327,7 @@ fn run_inner(
 
     // One checkpoint unit = one simulated rank (they execute serially).
     let ckpt_dir = cfg.checkpoint_dir.as_deref();
-    let fp = if ckpt_dir.is_some() {
+    let fp = if ckpt_dir.is_some() || cfg.index_dir.is_some() {
         fingerprint(store, cfg, nranks)
     } else {
         0
@@ -214,9 +357,39 @@ fn run_inner(
         // set and scans its chunk. Either way one side of the pairing is
         // all `n` sequences; the replicated structure differs.
         let mut build_span = span!(rec, Component::SparseOther, names::SPAN_INDEX_BUILD);
+        // With an index directory, load the rank's persisted postings
+        // (fingerprint- and rank-bound, CRC-checked) instead of
+        // rebuilding; on a miss or any validation failure, rebuild and
+        // persist best-effort. A loaded index is bit-identical to a
+        // rebuilt one, so the output never depends on this path.
+        let obtain = |ids: std::ops::Range<usize>| -> KmerIndex {
+            let Some(dir) = cfg.index_dir.as_deref() else {
+                return KmerIndex::build(store, ids, cfg);
+            };
+            let path = pfidx_path(dir, rank);
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                match KmerIndex::parse(&text, fp, rank) {
+                    Ok(idx) => {
+                        rec.add_counter(names::CTR_INDEX_PREFILTER_REUSED, 1.0);
+                        return idx;
+                    }
+                    Err(e) => {
+                        eprintln!("warning: rebuilding prefilter index (unit {rank}): {e}");
+                    }
+                }
+            }
+            let idx = KmerIndex::build(store, ids, cfg);
+            let _ = std::fs::create_dir_all(dir);
+            if let Err(e) = write_atomic(&path, &idx.to_text(fp, rank)) {
+                // Best-effort, like checkpoints: a full disk degrades to
+                // "rebuild next run", never to a failed search.
+                eprintln!("warning: prefilter index save failed (unit {rank}): {e}");
+            }
+            idx
+        };
         let (index, scan): (KmerIndex, Box<dyn Iterator<Item = usize>>) = match cfg.mode {
-            SplitMode::TargetSplit => (KmerIndex::build(store, c0..c1, cfg), Box::new(0..n)),
-            SplitMode::QuerySplit => (KmerIndex::build(store, 0..n, cfg), Box::new(c0..c1)),
+            SplitMode::TargetSplit => (obtain(c0..c1), Box::new(0..n)),
+            SplitMode::QuerySplit => (obtain(0..n), Box::new(c0..c1)),
         };
         build_span.push_arg("bytes", index.bytes);
         drop(build_span);
@@ -588,6 +761,110 @@ mod tests {
         );
         assert!(foreign.resumed_ranks.is_none());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persisted_prefilter_index_is_reused_and_output_invariant() {
+        let store = tiny_store();
+        let dir = std::env::temp_dir().join(format!("pastis-mmseqs-pfidx-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let base = run_mmseqs_like(&store, &cfg(), 3);
+        let icfg = MmseqsLikeConfig {
+            index_dir: Some(dir.clone()),
+            ..cfg()
+        };
+        // First run builds and persists — nothing to reuse yet.
+        let session = TraceSession::new();
+        let built = run_mmseqs_like_traced(&store, &icfg, 3, &session);
+        assert_eq!(built.graph.edges(), base.graph.edges());
+        let reused: f64 = session
+            .recorders()
+            .iter()
+            .map(|r| {
+                r.counters()
+                    .get(names::CTR_INDEX_PREFILTER_REUSED)
+                    .copied()
+                    .unwrap_or(0.0)
+            })
+            .sum();
+        assert_eq!(reused as u64, 0);
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 3);
+        // Second run loads every rank's postings; output identical.
+        let session = TraceSession::new();
+        let loaded = run_mmseqs_like_traced(&store, &icfg, 3, &session);
+        assert_eq!(loaded.graph.edges(), base.graph.edges());
+        assert_eq!(loaded.prefilter_candidates, base.prefilter_candidates);
+        assert_eq!(loaded.aligned_pairs, base.aligned_pairs);
+        assert_eq!(loaded.index_bytes_per_rank, base.index_bytes_per_rank);
+        let reused: f64 = session
+            .recorders()
+            .iter()
+            .map(|r| {
+                r.counters()
+                    .get(names::CTR_INDEX_PREFILTER_REUSED)
+                    .copied()
+                    .unwrap_or(0.0)
+            })
+            .sum();
+        assert_eq!(reused as u64, 3);
+        // A config change (different k) invalidates the fingerprint: the
+        // stale files are rebuilt, not served, and the output still
+        // matches a from-scratch run at the new k.
+        let k5 = MmseqsLikeConfig { k: 5, ..icfg };
+        let session = TraceSession::new();
+        let fresh_k5 = run_mmseqs_like_traced(&store, &k5, 3, &session);
+        assert_eq!(
+            fresh_k5.graph.edges(),
+            run_mmseqs_like(&store, &MmseqsLikeConfig { k: 5, ..cfg() }, 3)
+                .graph
+                .edges()
+        );
+        let reused: f64 = session
+            .recorders()
+            .iter()
+            .map(|r| {
+                r.counters()
+                    .get(names::CTR_INDEX_PREFILTER_REUSED)
+                    .copied()
+                    .unwrap_or(0.0)
+            })
+            .sum();
+        assert_eq!(reused as u64, 0);
+        // A corrupted postings file is rejected and rebuilt, never parsed
+        // into a wrong index.
+        let path = pfidx_path(&dir, 0);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replace("dims", "dIms")).unwrap();
+        let recovered = run_mmseqs_like(&store, &k5, 3);
+        assert_eq!(recovered.graph.edges(), fresh_k5.graph.edges());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prefilter_index_round_trips_and_rejects_mutations() {
+        let store = tiny_store();
+        let idx = KmerIndex::build(&store, 0..store.len(), &cfg());
+        let text = idx.to_text(0xDEAD_BEEF, 2);
+        let back = KmerIndex::parse(&text, 0xDEAD_BEEF, 2).unwrap();
+        assert_eq!(back.bytes, idx.bytes);
+        assert_eq!(back.map.len(), idx.map.len());
+        for (k, v) in &idx.map {
+            assert_eq!(back.map.get(k), Some(v), "postings for k-mer {k}");
+        }
+        // Reserialization is bit-identical (deterministic ordering).
+        assert_eq!(back.to_text(0xDEAD_BEEF, 2), text);
+        // Wrong binding, truncation, and bit flips are all typed errors.
+        assert!(KmerIndex::parse(&text, 0xDEAD_BEE0, 2)
+            .unwrap_err()
+            .contains("stale"));
+        assert!(KmerIndex::parse(&text, 0xDEAD_BEEF, 1)
+            .unwrap_err()
+            .contains("rank"));
+        assert!(KmerIndex::parse(&text[..text.len() / 2], 0xDEAD_BEEF, 2).is_err());
+        let mut flipped = text.clone().into_bytes();
+        let mid = flipped.len() / 2;
+        flipped[mid] = flipped[mid].wrapping_add(1);
+        assert!(KmerIndex::parse(&String::from_utf8_lossy(&flipped), 0xDEAD_BEEF, 2).is_err());
     }
 
     #[test]

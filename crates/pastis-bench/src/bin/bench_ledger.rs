@@ -1,4 +1,4 @@
-//! Emit the perf-regression ledger (`BENCH_pr8.json`).
+//! Emit the perf-regression ledger (`BENCH_pr9.json`).
 //!
 //! Measures a fixed set of kernel and end-to-end workloads — the hot
 //! paths every PR is most likely to disturb — and writes them as a
@@ -12,7 +12,7 @@
 //! absolute numbers vary by host.
 //!
 //! Usage: `bench_ledger [n_seqs] [reps] [out.json]`
-//! (defaults 800, 3, `results/BENCH_pr8.json`).
+//! (defaults 800, 3, `results/BENCH_pr9.json`).
 
 use std::collections::HashMap;
 use std::time::Instant;
@@ -53,7 +53,7 @@ fn main() {
     let reps: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
     let out_path = args
         .next()
-        .unwrap_or_else(|| "results/BENCH_pr8.json".to_owned());
+        .unwrap_or_else(|| "results/BENCH_pr9.json".to_owned());
 
     let ds = bench_dataset(n_seqs);
     let mut ledger = BenchLedger::new();
@@ -205,6 +205,43 @@ fn main() {
             ("budget_bytes", budget as f64),
             ("reps", reps as f64),
         ],
+    );
+
+    // e2e/serve: the query-serving path — persisted index opened once,
+    // the reference set streamed back as queries through admission
+    // batching, cache, stripe loads, SpGEMM, and alignment. The delta
+    // against e2e/search_serial is the serving-layer overhead.
+    let idx_dir = std::env::temp_dir().join(format!("pastis-bench-idx-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&idx_dir);
+    pastis_core::build_index(
+        &e2e_ds.store,
+        &pastis_core::IndexBuildConfig {
+            k: params.k,
+            alphabet: params.alphabet,
+            substitute_kmers: params.substitute_kmers,
+            stripe_cols: 256,
+            mem_budget: None,
+        },
+        &idx_dir,
+        &pastis_trace::Recorder::disabled(),
+    )
+    .expect("index build");
+    let serve_cfg = pastis_core::ServeConfig {
+        params: params.clone(),
+        max_batch: 0, // cost-model sizing, as the CLI default
+        max_wait_us: 1_000_000,
+        cache_entries: 1024,
+    };
+    let serve_s = best_of(reps, || {
+        let idx = pastis_core::PersistedIndex::open(&idx_dir).expect("open index");
+        pastis_core::serve_queries(&idx, &e2e_ds.store, &serve_cfg).unwrap()
+    });
+    let _ = std::fs::remove_dir_all(&idx_dir);
+    ledger.push(
+        "e2e/serve",
+        "e2e",
+        serve_s,
+        &[("n_seqs", e2e_n as f64), ("reps", reps as f64)],
     );
 
     let json = ledger.to_json();

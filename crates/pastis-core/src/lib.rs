@@ -34,6 +34,7 @@
 pub mod checkpoint;
 pub mod distcc;
 pub mod filter;
+pub mod index;
 pub mod kmer;
 pub mod loadbalance;
 pub mod mcl;
@@ -42,6 +43,7 @@ pub mod overlap;
 pub mod params;
 pub mod perfmodel;
 pub mod pipeline;
+pub mod serve;
 pub mod simgraph;
 pub mod stats;
 pub mod straggler;
@@ -53,6 +55,10 @@ pub use checkpoint::{
 };
 pub use distcc::distributed_components;
 pub use filter::EdgeFilter;
+pub use index::{
+    build_index, index_fingerprint, store_digest, IndexBuildConfig, IndexBuildReport,
+    IndexManifest, PersistedIndex, INDEX_MANIFEST_SCHEMA_VERSION,
+};
 pub use kmer::kmer_matrix_triples;
 pub use loadbalance::{BlockClass, BlockPlan, BlockTask, LoadBalance};
 pub use mcl::{mcl, MclParams, MclResult};
@@ -61,6 +67,10 @@ pub use overlap::{CommonKmers, OverlapSemiring};
 pub use params::SearchParams;
 pub use perfmodel::{blocking_for_budget, simulate, simulate_traced, ScaleConfig, ScaleReport};
 pub use pipeline::{run_search, run_search_traced, SearchResult};
+pub use serve::{
+    serve_queries, serve_queries_traced, AdmissionBatcher, BatcherConfig, ResultCache, ServeConfig,
+    ServeHit, ServeOutcome, ServeStats,
+};
 pub use simgraph::{SimilarityEdge, SimilarityGraph};
 pub use stats::SearchStats;
 pub use straggler::{detect_stragglers, StragglerReport};

@@ -888,6 +888,87 @@ pub fn blocking_for_budget(
     None
 }
 
+/// Modeled CPU cell-update rate of the scalar score-only kernel,
+/// cells/second/thread — the base the SIMD lane factor multiplies when
+/// sizing serve batches.
+const SERVE_CPU_CELLS_PER_SEC: f64 = 2.0e8;
+
+/// Target share of a serve batch's time allowed to go to the fixed
+/// per-batch overhead (launch/packing); batches are sized so overhead is
+/// amortized to at most this fraction of useful work.
+const SERVE_BATCH_OVERHEAD_FRACTION: f64 = 0.1;
+
+/// Recommended admission-batch size for `pastis serve`: the smallest
+/// SIMD-lane-aligned batch whose modeled useful work amortizes the
+/// machine's fixed per-batch overhead ([`MachineModel::align_batch_overhead_s`])
+/// to at most 10%, clamped to `[lanes, cap]` and rounded down to a lane
+/// multiple. Latency is bounded separately by the batcher's flush
+/// deadline, so the cap (not this model) is what keeps tail latency sane.
+pub fn recommended_serve_batch(
+    m: &MachineModel,
+    lanes: usize,
+    mean_query_len: f64,
+    cap: usize,
+) -> usize {
+    let lanes = lanes.max(1);
+    let cap = cap.max(lanes);
+    // Modeled per-query compute: score-only DP over an average-length pair
+    // plus the per-pair driver overhead, on the CPU vector kernel.
+    let len = mean_query_len.max(1.0);
+    let per_query_s = len * len / (SERVE_CPU_CELLS_PER_SEC * m.simd_lane_speedup.max(1.0))
+        + m.align_overhead_per_pair;
+    let n = (m.align_batch_overhead_s / (SERVE_BATCH_OVERHEAD_FRACTION * per_query_s)).ceil();
+    let n = if n.is_finite() { n as usize } else { cap };
+    let n = n.clamp(lanes, cap);
+    n - n % lanes
+}
+
+/// The economics of persisting the reference k-mer matrix: what one index
+/// build costs, what each serving process pays to load it back, and after
+/// how many runs the build has paid for itself against re-deriving the
+/// matrix from FASTA every time (what batch `pastis search` does).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IndexAmortization {
+    /// One-time build cost, seconds: k-mer matrix formation plus writing
+    /// the shards through the filesystem.
+    pub build_seconds: f64,
+    /// Per-process load cost, seconds: reading the shards back.
+    pub load_seconds: f64,
+    /// What every indexless run pays instead, seconds: re-deriving the
+    /// k-mer matrix from the reference residues.
+    pub rebuild_seconds: f64,
+    /// Runs until the build breaks even:
+    /// `build / (rebuild - load)`; infinite when loading is no cheaper
+    /// than rebuilding (tiny references on slow disks).
+    pub break_even_runs: f64,
+}
+
+/// Evaluate [`IndexAmortization`] for a reference set of
+/// `total_residues` whose persisted index occupies `index_bytes`, under
+/// machine model `m` (single node: `kmer_residues_per_sec` and
+/// `io_bw_per_node` are the governing rates).
+pub fn index_amortization(
+    m: &MachineModel,
+    total_residues: u64,
+    index_bytes: u64,
+) -> IndexAmortization {
+    let rebuild_seconds = total_residues as f64 / m.kmer_residues_per_sec;
+    let load_seconds = index_bytes as f64 / m.io_bw_per_node;
+    let build_seconds = rebuild_seconds + load_seconds;
+    let saved = rebuild_seconds - load_seconds;
+    let break_even_runs = if saved > 0.0 {
+        build_seconds / saved
+    } else {
+        f64::INFINITY
+    };
+    IndexAmortization {
+        build_seconds,
+        load_seconds,
+        rebuild_seconds,
+        break_even_runs,
+    }
+}
+
 /// Number of strictly-upper positions (`j > i`) in the rectangle
 /// `[r0, r1) × [c0, c1)` of global coordinates.
 fn count_upper(r0: usize, r1: usize, c0: usize, c1: usize) -> u64 {
@@ -1374,6 +1455,49 @@ mod tests {
         assert_eq!(near_square_factors(50), (10, 5));
         assert_eq!(near_square_factors(676), (26, 26));
         assert_eq!(near_square_factors(7), (7, 1));
+    }
+
+    #[test]
+    fn recommended_serve_batch_is_lane_aligned_bounded_and_monotone() {
+        let m = MachineModel::commodity();
+        for lanes in [1usize, 4, 16] {
+            for len in [10.0f64, 100.0, 1000.0] {
+                for cap in [8usize, 256, 4096] {
+                    let n = recommended_serve_batch(&m, lanes, len, cap);
+                    assert_eq!(n % lanes, 0, "lanes={lanes} len={len} cap={cap}");
+                    assert!(n >= lanes && n <= cap.max(lanes));
+                }
+            }
+        }
+        // More per-batch overhead never shrinks the recommendation.
+        let mut costly = MachineModel::commodity();
+        costly.align_batch_overhead_s *= 10.0;
+        assert!(
+            recommended_serve_batch(&costly, 16, 200.0, 1 << 20)
+                >= recommended_serve_batch(&m, 16, 200.0, 1 << 20)
+        );
+        // Longer queries amortize the overhead in fewer of them.
+        assert!(
+            recommended_serve_batch(&m, 16, 2000.0, 1 << 20)
+                <= recommended_serve_batch(&m, 16, 20.0, 1 << 20)
+        );
+    }
+
+    #[test]
+    fn index_amortization_breaks_even_when_loading_beats_rebuilding() {
+        let m = MachineModel::commodity();
+        // A compact index: shard bytes well under the residue count's
+        // k-mer formation cost on this machine's disk.
+        let a = index_amortization(&m, 1_000_000_000, 100_000_000);
+        assert!(a.build_seconds > 0.0 && a.load_seconds > 0.0);
+        assert!(a.rebuild_seconds > a.load_seconds, "{a:?}");
+        assert!(a.break_even_runs.is_finite() && a.break_even_runs > 1.0);
+        // A bloated index on the same disk never pays for itself.
+        let never = index_amortization(&m, 1_000, u64::MAX);
+        assert!(never.break_even_runs.is_infinite());
+        // Bigger index ⇒ later break-even.
+        let b = index_amortization(&m, 1_000_000_000, 150_000_000);
+        assert!(b.break_even_runs >= a.break_even_runs);
     }
 
     #[test]

@@ -148,14 +148,16 @@ impl SeqSlice {
     }
 }
 
-/// One candidate pair to align (global sequence ids).
+/// One candidate pair to align (global sequence ids). Shared with the
+/// serving path ([`crate::serve`]), whose edge construction must be
+/// expression-for-expression identical to the batch pipeline's.
 #[derive(Debug, Clone, Copy)]
-struct PairTask {
-    i: u32,
-    j: u32,
-    seed_q: u32,
-    seed_r: u32,
-    count: u32,
+pub(crate) struct PairTask {
+    pub(crate) i: u32,
+    pub(crate) j: u32,
+    pub(crate) seed_q: u32,
+    pub(crate) seed_r: u32,
+    pub(crate) count: u32,
 }
 
 /// The sparse phase's product for one block.
@@ -818,13 +820,37 @@ pub fn run_search_traced<C: Communicator + Sync>(
                 continue;
             }
             let (sq, srr) = ck.first_seed().unwrap_or((0, 0));
-            pairs.push(PairTask {
-                i: (li as usize + row_offset) as u32,
-                j: (lj as usize + col_offset) as u32,
-                seed_q: sq,
-                seed_r: srr,
-                count: ck.count,
-            });
+            let (gi, gj) = (
+                (li as usize + row_offset) as u32,
+                (lj as usize + col_offset) as u32,
+            );
+            // Canonical alignment orientation: always query = lower id.
+            // The parity scheme keeps some pairs as their lower-triangle
+            // entry (gi > gj); traceback tie-breaking is not symmetric
+            // under swapping the sequences, so without this both
+            // load-balance schemes — and the serving path, which always
+            // aligns (query, reference) — could disagree on the identity
+            // of a tie-sensitive pair. `C(j,i)`'s combined seed is
+            // `C(i,j)`'s with the positions swapped (both orientations
+            // pick the same minimum k-mer id), so the swap is exact.
+            let pt = if gi <= gj {
+                PairTask {
+                    i: gi,
+                    j: gj,
+                    seed_q: sq,
+                    seed_r: srr,
+                    count: ck.count,
+                }
+            } else {
+                PairTask {
+                    i: gj,
+                    j: gi,
+                    seed_q: srr,
+                    seed_r: sq,
+                    count: ck.count,
+                }
+            };
+            pairs.push(pt);
         }
         let other_seconds = t_other.elapsed().as_secs_f64();
         block_span.push_arg(names::CTR_CANDIDATES, candidates);
@@ -1404,7 +1430,8 @@ pub fn run_search_traced<C: Communicator + Sync>(
 /// Edge construction for the banded (score-only) kernel: the ANI threshold
 /// applies to the score normalized by the shorter sequence's self-score,
 /// and coverage is not measurable (reported as the normalized score too).
-fn banded_edge(
+/// Shared with [`crate::serve`] so both paths compute identical edges.
+pub(crate) fn banded_edge(
     pt: &PairTask,
     score: i32,
     q: &[u8],

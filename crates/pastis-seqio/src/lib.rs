@@ -28,9 +28,11 @@ pub mod alphabet;
 pub mod faidx;
 pub mod fasta;
 pub mod parallel_io;
+pub mod qstream;
 pub mod synth;
 
 pub use alphabet::ReducedAlphabet;
 pub use faidx::{FaiEntry, FastaIndex};
 pub use fasta::{FastaError, FastaRecord, FastaStream, SeqStore};
+pub use qstream::QueryBatchReader;
 pub use synth::{SyntheticConfig, SyntheticDataset};

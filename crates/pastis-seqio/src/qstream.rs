@@ -1,0 +1,119 @@
+//! Streaming query reader for the serving mode.
+//!
+//! `pastis serve` consumes queries as a FASTA *stream* (a file, a pipe,
+//! stdin) rather than a fully materialized store: the admission layer
+//! wants records in arrival order, a batch at a time, without waiting for
+//! end-of-file. [`QueryBatchReader`] wraps [`FastaStream`] and hands out
+//! bounded batches of records, preserving the stream's per-record bound
+//! against malformed giant records.
+
+use std::io::BufRead;
+
+use crate::fasta::{FastaError, FastaRecord, FastaStream};
+
+/// Pulls query records off a FASTA stream in bounded batches.
+///
+/// Errors are sticky: after the underlying stream yields a parse error,
+/// the reader reports it once and then behaves as exhausted — a serving
+/// process refuses the rest of a malformed stream instead of resyncing
+/// on guesswork.
+pub struct QueryBatchReader<R: BufRead> {
+    stream: FastaStream<R>,
+    max_batch: usize,
+    done: bool,
+}
+
+impl<R: BufRead> QueryBatchReader<R> {
+    /// A reader emitting at most `max_batch` records per call (clamped to
+    /// ≥ 1).
+    pub fn new(reader: R, max_batch: usize) -> QueryBatchReader<R> {
+        QueryBatchReader {
+            stream: FastaStream::new(reader),
+            max_batch: max_batch.max(1),
+            done: false,
+        }
+    }
+
+    /// Cap the in-memory size of a single record (defends against
+    /// unterminated garbage); forwarded to [`FastaStream::with_record_bound`].
+    pub fn with_record_bound(mut self, bytes: usize) -> QueryBatchReader<R> {
+        self.stream = self.stream.with_record_bound(bytes);
+        self
+    }
+
+    /// The next batch of records, in stream order: `Ok(batch)` with
+    /// 1..=`max_batch` records, `Ok(vec![])` at end of stream, or the
+    /// first parse error (after which the reader is exhausted).
+    pub fn next_batch(&mut self) -> Result<Vec<FastaRecord>, FastaError> {
+        let mut batch = Vec::new();
+        if self.done {
+            return Ok(batch);
+        }
+        while batch.len() < self.max_batch {
+            match self.stream.next() {
+                Some(Ok(rec)) => batch.push(rec),
+                Some(Err(e)) => {
+                    self.done = true;
+                    return Err(e);
+                }
+                None => {
+                    self.done = true;
+                    break;
+                }
+            }
+        }
+        Ok(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn doc() -> String {
+        (0..7)
+            .map(|i| format!(">q{i} desc\nMKVLAW\nYHEE\n"))
+            .collect()
+    }
+
+    #[test]
+    fn batches_preserve_stream_order_and_bound() {
+        let mut r = QueryBatchReader::new(Cursor::new(doc()), 3);
+        let mut seen = Vec::new();
+        loop {
+            let b = r.next_batch().unwrap();
+            if b.is_empty() {
+                break;
+            }
+            assert!(b.len() <= 3);
+            seen.extend(b.into_iter().map(|rec| rec.id));
+        }
+        let want: Vec<String> = (0..7).map(|i| format!("q{i}")).collect();
+        assert_eq!(seen, want);
+        // Exhausted stays exhausted.
+        assert!(r.next_batch().unwrap().is_empty());
+    }
+
+    #[test]
+    fn zero_batch_clamps_to_one() {
+        let mut r = QueryBatchReader::new(Cursor::new(doc()), 0);
+        assert_eq!(r.next_batch().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn errors_are_sticky() {
+        // A record body with no header is a parse error.
+        let mut r = QueryBatchReader::new(Cursor::new("MKVLAW\n>ok\nMKV\n"), 8);
+        assert!(r.next_batch().is_err());
+        // After the error the reader is exhausted, not resynced.
+        assert!(r.next_batch().unwrap().is_empty());
+    }
+
+    #[test]
+    fn record_bound_is_enforced() {
+        let big = format!(">huge\n{}\n", "M".repeat(64));
+        let mut r = QueryBatchReader::new(Cursor::new(big), 4).with_record_bound(16);
+        assert!(r.next_batch().is_err());
+    }
+}

@@ -421,6 +421,75 @@ impl SpGemmPool {
             SpGemmKind::Auto => unreachable!("select() never returns Auto"),
         }
     }
+
+    /// The serving path's transpose-product entry point: multiply one
+    /// query-block matrix against `B = Aᵀ` stored as column stripes (the
+    /// persisted index layout — each stripe holds a contiguous range of
+    /// reference columns, rows renumbered to the stripe), and stitch the
+    /// per-stripe products back into one `a.nrows() × Σ stripe widths`
+    /// matrix with globally ascending column ids.
+    ///
+    /// Each per-stripe product goes through [`SpGemmPool::multiply`], so
+    /// per-entry combine order is the serial Gustavson order for every
+    /// kernel and worker count — the stitched output is bit-identical to
+    /// multiplying against the unstriped `B`, per stripe decomposition
+    /// (pinned by this module's tests).
+    pub fn multiply_striped<'b, S>(
+        &self,
+        sr: &S,
+        a: &CsrMatrix<S::A>,
+        stripes: impl IntoIterator<Item = &'b CsrMatrix<S::B>>,
+    ) -> (CsrMatrix<S::C>, SpGemmStats)
+    where
+        S: Semiring + Sync,
+        S::A: Sync,
+        S::B: Sync + 'b,
+        S::C: Send,
+    {
+        // (global column offset, rowptr, colind, vals) of one stripe product.
+        type StripePart<V> = (usize, Vec<usize>, Vec<Index>, Vec<V>);
+        let nrows = a.nrows();
+        let mut stats = SpGemmStats::default();
+        let mut parts: Vec<StripePart<S::C>> = Vec::new();
+        let mut total_cols = 0usize;
+        for b in stripes {
+            let (c, st) = self.multiply(sr, a, b);
+            stats.products += st.products;
+            stats.merged_nnz += st.merged_nnz;
+            let (_, ncols, rowptr, colind, vals) = c.into_parts();
+            parts.push((total_cols, rowptr, colind, vals));
+            total_cols += ncols;
+        }
+        let total_nnz: usize = parts.iter().map(|p| p.2.len()).sum();
+        let mut rowptr = Vec::with_capacity(nrows + 1);
+        rowptr.push(0usize);
+        let mut colind: Vec<Index> = Vec::with_capacity(total_nnz);
+        let mut vals: Vec<S::C> = Vec::with_capacity(total_nnz);
+        // Stitch row-major: per output row, each stripe's run of columns is
+        // shifted by the stripe's global offset; stripe order is ascending,
+        // so each stitched row stays sorted.
+        let mut out: Vec<Vec<(Index, S::C)>> = (0..nrows).map(|_| Vec::new()).collect();
+        for (offset, p_rowptr, p_colind, p_vals) in parts {
+            let mut entries = p_colind.into_iter().zip(p_vals);
+            for (i, w) in p_rowptr.windows(2).enumerate() {
+                for _ in w[0]..w[1] {
+                    let (c, v) = entries.next().expect("rowptr spans nnz");
+                    out[i].push((c + offset as Index, v));
+                }
+            }
+        }
+        for row in out {
+            for (c, v) in row {
+                colind.push(c);
+                vals.push(v);
+            }
+            rowptr.push(colind.len());
+        }
+        (
+            CsrMatrix::from_parts(nrows, total_cols, rowptr, colind, vals),
+            stats,
+        )
+    }
 }
 
 impl Default for SpGemmPool {
@@ -464,6 +533,32 @@ mod tests {
         }
         let empty: Vec<usize> = run_units(4, 0, |_, u| u);
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn striped_product_matches_unstriped_for_any_decomposition() {
+        let a = random_matrix(40, 30, 0.2, 7);
+        let b = random_matrix(30, 53, 0.15, 8);
+        let sr = PlusTimes::<u32>::new();
+        let pool = SpGemmPool::new(3);
+        let (want, want_stats) = spgemm_hash(&sr, &a, &b);
+        for width in [1usize, 7, 16, 53, 60] {
+            let mut stripes = Vec::new();
+            let mut lo = 0;
+            while lo < b.ncols() {
+                let hi = (lo + width).min(b.ncols());
+                stripes.push(b.extract_cols(lo, hi));
+                lo = hi;
+            }
+            let (got, stats) = pool.multiply_striped(&sr, &a, stripes.iter());
+            assert_eq!(got, want, "width {width}");
+            assert_eq!(stats.merged_nnz, want_stats.merged_nnz, "width {width}");
+        }
+        // No stripes at all: an empty product with zero columns.
+        let (empty, _) = pool.multiply_striped(&sr, &a, std::iter::empty());
+        assert_eq!(empty.nrows(), a.nrows());
+        assert_eq!(empty.ncols(), 0);
+        assert_eq!(empty.nnz(), 0);
     }
 
     #[test]

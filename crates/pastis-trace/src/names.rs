@@ -54,6 +54,18 @@ pub const SPAN_SPILL_WRITE: &str = "spill.write";
 /// Streaming a spilled shard back from disk (CRC-verified).
 pub const SPAN_SPILL_READ: &str = "spill.read";
 
+// --- Serving-mode spans (`pastis serve`). ---
+
+/// One serve request's admission-to-result latency (opened when the
+/// query is admitted, closed when its result is ready) — the series
+/// behind the serve p50/p95/p99 report.
+pub const SPAN_SERVE_REQUEST: &str = "serve.request";
+/// One admission batch's compute: query matrix formation, striped
+/// SpGEMM against the loaded index, batch alignment.
+pub const SPAN_SERVE_BATCH: &str = "serve.batch";
+/// Loading (and CRC-verifying) one persisted index stripe from disk.
+pub const SPAN_INDEX_LOAD: &str = "index.load";
+
 // --- Baseline pipeline spans. ---
 
 /// MMseqs2-like baseline: k-mer index build.
@@ -81,6 +93,9 @@ pub const KNOWN_SPANS: &[&str] = &[
     SPAN_ALIGN_WORKER,
     SPAN_SPILL_WRITE,
     SPAN_SPILL_READ,
+    SPAN_SERVE_REQUEST,
+    SPAN_SERVE_BATCH,
+    SPAN_INDEX_LOAD,
     SPAN_INDEX_BUILD,
     SPAN_PREFILTER,
     SPAN_PACKAGE_SEED_JOIN,
@@ -105,6 +120,24 @@ pub const CTR_SPARSE_SECONDS: &str = "sparse_seconds";
 pub const CTR_ALIGN_CPU_SECONDS: &str = "align_cpu_seconds";
 /// MMseqs2-like baseline: candidates emitted by the prefilter.
 pub const CTR_PREFILTER_CANDIDATES: &str = "prefilter_candidates";
+
+// --- Serving-mode counters (`pastis serve`). ---
+
+/// Queries admitted to the serving loop.
+pub const CTR_SERVE_REQUESTS: &str = "serve.requests";
+/// Admission batches executed.
+pub const CTR_SERVE_BATCHES: &str = "serve.batches";
+/// Queries answered from the content-keyed result cache.
+pub const CTR_SERVE_CACHE_HIT: &str = "serve.cache.hit";
+/// Queries that missed the result cache (computed fresh).
+pub const CTR_SERVE_CACHE_MISS: &str = "serve.cache.miss";
+/// Cache entries evicted to respect the LRU bound.
+pub const CTR_SERVE_CACHE_EVICTIONS: &str = "serve.cache.evictions";
+/// Persisted index stripes loaded from disk.
+pub const CTR_INDEX_STRIPES_LOADED: &str = "index.stripes_loaded";
+/// MMseqs2-like baseline: prefilter tables reused from a persisted
+/// index directory instead of being rebuilt.
+pub const CTR_INDEX_PREFILTER_REUSED: &str = "index.prefilter_reused";
 
 // --- Engine counters. ---
 
@@ -208,6 +241,13 @@ pub const KNOWN_COUNTERS: &[&str] = &[
     CTR_SPARSE_SECONDS,
     CTR_ALIGN_CPU_SECONDS,
     CTR_PREFILTER_CANDIDATES,
+    CTR_SERVE_REQUESTS,
+    CTR_SERVE_BATCHES,
+    CTR_SERVE_CACHE_HIT,
+    CTR_SERVE_CACHE_MISS,
+    CTR_SERVE_CACHE_EVICTIONS,
+    CTR_INDEX_STRIPES_LOADED,
+    CTR_INDEX_PREFILTER_REUSED,
     CTR_POOL_STEALS,
     CTR_ALIGN_SIMD_BACKEND,
     CTR_ALIGN_LANE_PROMOTIONS,

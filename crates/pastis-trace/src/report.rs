@@ -56,6 +56,46 @@ pub fn render_report(report: &MetricsReport) -> String {
         );
     }
 
+    // Serving-mode latency percentiles, merged across ranks — only when
+    // the run actually served (the spans exist).
+    let serve_names = [
+        crate::names::SPAN_SERVE_REQUEST,
+        crate::names::SPAN_SERVE_BATCH,
+        crate::names::SPAN_INDEX_LOAD,
+    ];
+    let mut serve_rows = Vec::new();
+    for name in serve_names {
+        let mut merged = crate::hist::DurationHistogram::new();
+        for r in &report.ranks {
+            if let Some(h) = r.span_hist.get(name) {
+                merged.merge(h);
+            }
+        }
+        if merged.count() > 0 {
+            serve_rows.push((name, merged));
+        }
+    }
+    if !serve_rows.is_empty() {
+        out.push_str("-- serve latency (ms, merged over ranks) --\n");
+        let _ = writeln!(
+            out,
+            "{:<14} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            "span", "count", "p50", "p95", "p99", "max"
+        );
+        for (name, h) in serve_rows {
+            let _ = writeln!(
+                out,
+                "{:<14} {:>8} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+                name,
+                h.count(),
+                h.p50_us() as f64 / 1e3,
+                h.p95_us() as f64 / 1e3,
+                h.p99_us() as f64 / 1e3,
+                h.max_us() as f64 / 1e3,
+            );
+        }
+    }
+
     let any_comm = CommOp::ALL
         .iter()
         .any(|&op| report.ranks.iter().any(|r| r.comm_totals(op).count > 0));
@@ -159,6 +199,59 @@ mod tests {
         assert!(text.contains("84"));
         // Components with no recorded time are omitted.
         assert!(!text.contains("cwait"));
+    }
+
+    #[test]
+    fn serve_latency_section_appears_only_for_serving_runs() {
+        let session = TraceSession::virtual_time();
+        for rank in 0..2usize {
+            let rec = session.recorder(rank);
+            // 1 ms and 3 ms requests on rank 0, 2 ms on rank 1.
+            let end = 0.001 * (1.0 + 2.0 * rank as f64);
+            rec.record_span_at(
+                Component::SparseOther,
+                crate::names::SPAN_SERVE_REQUEST,
+                Track::Rank,
+                0.0,
+                end,
+                &[],
+            );
+            rec.record_span_at(
+                Component::SparseOther,
+                crate::names::SPAN_SERVE_BATCH,
+                Track::Rank,
+                0.0,
+                0.004,
+                &[],
+            );
+        }
+        session.recorder(0).record_span_at(
+            Component::SparseOther,
+            crate::names::SPAN_SERVE_REQUEST,
+            Track::Rank,
+            0.0,
+            0.003,
+            &[],
+        );
+        let text = render_report(&MetricsReport::from_session(&session));
+        assert!(text.contains("-- serve latency"), "{text}");
+        assert!(text.contains("serve.request"), "{text}");
+        assert!(text.contains("serve.batch"), "{text}");
+        // index.load was never recorded — its row is omitted.
+        assert!(!text.contains("index.load"), "{text}");
+
+        // A batch run without serve spans has no serve section at all.
+        let batch = TraceSession::virtual_time();
+        batch.recorder(0).record_span_at(
+            Component::Align,
+            "align.batch",
+            Track::Rank,
+            0.0,
+            1.0,
+            &[],
+        );
+        let text = render_report(&MetricsReport::from_session(&batch));
+        assert!(!text.contains("serve latency"), "{text}");
     }
 
     #[test]

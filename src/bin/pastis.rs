@@ -27,9 +27,11 @@ use pastis::comm::{
 };
 use pastis::core::params::AlignKind;
 use pastis::core::pipeline::{run_search_traced, SearchResult};
-use pastis::core::{LoadBalance, SearchParams};
+use pastis::core::{
+    build_index, IndexBuildConfig, LoadBalance, PersistedIndex, SearchParams, ServeConfig,
+};
 use pastis::seqio::fasta::{write_fasta, FastaStream, SeqStore};
-use pastis::seqio::{ReducedAlphabet, SyntheticConfig, SyntheticDataset};
+use pastis::seqio::{QueryBatchReader, ReducedAlphabet, SyntheticConfig, SyntheticDataset};
 use pastis::sparse::SpGemmKind;
 use pastis::trace::json::JsonValue;
 use pastis::trace::{
@@ -47,6 +49,8 @@ USAGE:
 COMMANDS:
     search <input.fasta> <output.tsv>    run the similarity search
     cluster <input.fasta> <output.tsv>   search + connected-component clustering
+    index build <ref.fasta>              persist the reference k-mer index
+    serve                                answer query streams from a persisted index
     generate <output.fasta>              emit a synthetic protein dataset
     stats <input.fasta>                  dataset statistics
     trace-check <telemetry.json>...      validate emitted telemetry JSON
@@ -137,6 +141,32 @@ ROBUSTNESS OPTIONS (search/cluster):
                               seconds via telemetry; 'off' disables
                                                      [default: 3.0]
 
+INDEX BUILD OPTIONS (pastis index build <ref.fasta> --index-dir <DIR>):
+    --index-dir <DIR>         where to persist the index (required)
+    --k <INT>                 k-mer length                       [default: 6]
+    --alphabet <NAME>         full20 | murphy10 | dayhoff6       [default: full20]
+    --substitute-kmers <INT>  m-nearest substitute k-mers        [default: 0]
+    --stripe-cols <INT>       reference columns per shard        [default: 512]
+    --mem-budget <BYTES>      hard build memory budget (K/M/G suffixes)
+
+SERVE OPTIONS (pastis serve --index-dir <DIR> --queries <FASTA>):
+    --index-dir <DIR>         persisted index to serve from (required)
+    --queries <FILE>          query FASTA stream; '-' reads stdin (required)
+    --output <FILE>           result TSV; '-' (default) writes stdout
+    --batch <INT>             admission batch cap; 0 = cost-model size
+                              (SIMD-lane-aligned)                [default: 0]
+    --max-wait-ms <INT>       flush deadline for partial batches [default: 10]
+    --cache-entries <INT>     result-cache capacity              [default: 1024]
+    --no-cache                disable the result cache
+    Search knobs (--common-kmers, --ani, --coverage, --gap-*, --banded,
+    --score-only, --simd, --threads, --align-threads, --spgemm*) apply as
+    in search; --k/--alphabet/--substitute-kmers default to the index's
+    own parameters and must match them if given. Output is byte-identical
+    to batch search when the query stream is the reference set itself,
+    for any batch split, thread count, SIMD backend, and cache setting.
+    --trace-out/--metrics-json/--no-telemetry as in search; the run
+    report includes serve latency percentiles (p50/p95/p99).
+
 TRACE-CHECK OPTIONS:
     --expect-ranks <INT>      fail unless the file covers exactly N ranks
     --expect-phases <LIST>    comma-separated phase names that must appear
@@ -179,6 +209,8 @@ fn run(args: &[String]) -> Result<(), String> {
     match cmd.as_str() {
         "search" => cmd_search(&args[1..], false),
         "cluster" => cmd_search(&args[1..], true),
+        "index" => cmd_index(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         "generate" => cmd_generate(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
         "trace-check" => cmd_trace_check(&args[1..]),
@@ -692,6 +724,228 @@ fn cmd_search(args: &[String], cluster: bool) -> Result<(), String> {
         }
         std::fs::write(&out, lines).map_err(|e| format!("cannot write {output}: {e}"))?;
         eprintln!("wrote {} edges to {output}", result.graph.n_edges());
+    }
+    Ok(())
+}
+
+const INDEX_VALUE_FLAGS: &[&str] = &[
+    "index-dir",
+    "k",
+    "alphabet",
+    "substitute-kmers",
+    "stripe-cols",
+    "mem-budget",
+];
+
+fn cmd_index(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("build") => cmd_index_build(&args[1..]),
+        Some(other) => Err(format!(
+            "unknown index subcommand '{other}' (expected: pastis index build <ref.fasta> --index-dir <DIR>)"
+        )),
+        None => Err("expected: pastis index build <ref.fasta> --index-dir <DIR>".into()),
+    }
+}
+
+fn cmd_index_build(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, INDEX_VALUE_FLAGS)?;
+    let [input] = opts.positional.as_slice() else {
+        return Err("expected: pastis index build <ref.fasta> --index-dir <DIR>".into());
+    };
+    let dir = PathBuf::from(opts.get("index-dir").ok_or("--index-dir is required")?);
+    let mut cfg = IndexBuildConfig {
+        k: opts.num("k", 6)?,
+        substitute_kmers: opts.num("substitute-kmers", 0)?,
+        stripe_cols: opts.num("stripe-cols", 512)?,
+        ..IndexBuildConfig::default()
+    };
+    cfg.alphabet = match opts.get("alphabet").unwrap_or("full20") {
+        "full20" => ReducedAlphabet::Full20,
+        "murphy10" => ReducedAlphabet::Murphy10,
+        "dayhoff6" => ReducedAlphabet::Dayhoff6,
+        other => return Err(format!("unknown alphabet '{other}'")),
+    };
+    if let Some(b) = opts.get("mem-budget") {
+        cfg.mem_budget = Some(parse_bytes(b).map_err(|e| format!("--mem-budget: {e}"))?);
+    }
+    let store = load_store(Path::new(input))?;
+    eprintln!(
+        "loaded {} sequences ({} residues) from {input}",
+        store.len(),
+        store.total_residues()
+    );
+    let t0 = std::time::Instant::now();
+    let report = build_index(&store, &cfg, &dir, &Recorder::disabled())?;
+    eprintln!(
+        "built index in {:.2}s: {} refs, {} stripes ({} cols each), {} nnz, {} bytes at {}",
+        t0.elapsed().as_secs_f64(),
+        report.manifest.n_refs,
+        report.manifest.n_stripes,
+        report.manifest.stripe_cols,
+        report.nnz,
+        report.shard_bytes,
+        dir.display()
+    );
+    if report.mem_high_water > 0 {
+        eprintln!("build high water: {} bytes", report.mem_high_water);
+    }
+    // The cost-model verdict on whether persisting pays off.
+    let amo = pastis::core::perfmodel::index_amortization(
+        &pastis::comm::MachineModel::commodity(),
+        store.total_residues() as u64,
+        report.shard_bytes,
+    );
+    if amo.break_even_runs.is_finite() {
+        eprintln!(
+            "modeled amortization (commodity preset): load {:.3}s vs {:.3}s k-mer rebuild \
+             per run; the build pays for itself after {:.1} runs",
+            amo.load_seconds, amo.rebuild_seconds, amo.break_even_runs
+        );
+    } else {
+        eprintln!(
+            "modeled amortization (commodity preset): loading ({:.3}s) is no faster than \
+             rebuilding ({:.3}s) — persist for serving, not for speed",
+            amo.load_seconds, amo.rebuild_seconds
+        );
+    }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut value_flags = SEARCH_VALUE_FLAGS.to_vec();
+    value_flags.extend_from_slice(&[
+        "index-dir",
+        "queries",
+        "output",
+        "batch",
+        "max-wait-ms",
+        "cache-entries",
+    ]);
+    let opts = Opts::parse(args, &value_flags)?;
+    let dir = PathBuf::from(opts.get("index-dir").ok_or("--index-dir is required")?);
+    let queries_path = opts
+        .get("queries")
+        .ok_or("--queries is required (a FASTA file, or '-' for stdin)")?
+        .to_owned();
+    let output = opts.get("output").unwrap_or("-").to_owned();
+    let telemetry = !opts.has("no-telemetry");
+    let trace_out = opts.get("trace-out").map(PathBuf::from);
+    let metrics_out = opts.get("metrics-json").map(PathBuf::from);
+    if !telemetry && (trace_out.is_some() || metrics_out.is_some()) {
+        return Err("--trace-out/--metrics-json require telemetry (drop --no-telemetry)".into());
+    }
+
+    let index = PersistedIndex::open(&dir)?;
+    let mut params = parse_search_params(&opts)?;
+    // The k-mer knobs belong to the index; default to its own parameters
+    // so a plain `pastis serve` always matches. Explicitly passed values
+    // are honored and checked — a mismatch is the "stale index" refusal.
+    if opts.get("k").is_none() {
+        params.k = index.manifest.k;
+    }
+    if opts.get("alphabet").is_none() {
+        params.alphabet = index.manifest.alphabet;
+    }
+    if opts.get("substitute-kmers").is_none() {
+        params.substitute_kmers = index.manifest.substitute_kmers;
+    }
+    let mut cfg = ServeConfig::from_params(params);
+    cfg.max_batch = opts.num("batch", 0usize)?;
+    cfg.max_wait_us = opts.num::<u64>("max-wait-ms", 10)?.saturating_mul(1000);
+    cfg.cache_entries = if opts.has("no-cache") {
+        0
+    } else {
+        opts.num("cache-entries", 1024)?
+    };
+
+    // Stream the queries in bounded batches off a file or stdin.
+    const RECORD_BOUND: usize = 1 << 30;
+    let mut queries = SeqStore::new();
+    let mut ingest =
+        |reader: &mut QueryBatchReader<Box<dyn std::io::BufRead>>| -> Result<(), String> {
+            loop {
+                let batch = reader
+                    .next_batch()
+                    .map_err(|e| format!("{queries_path}: {e}"))?;
+                if batch.is_empty() {
+                    return Ok(());
+                }
+                let encoded =
+                    SeqStore::from_records(&batch).map_err(|e| format!("{queries_path}: {e}"))?;
+                for i in 0..encoded.len() {
+                    queries.push(encoded.id(i).to_owned(), encoded.seq(i).to_vec());
+                }
+            }
+        };
+    let reader: Box<dyn std::io::BufRead> = if queries_path == "-" {
+        Box::new(std::io::BufReader::new(std::io::stdin()))
+    } else {
+        let f = std::fs::File::open(&queries_path)
+            .map_err(|e| format!("cannot read {queries_path}: {e}"))?;
+        Box::new(std::io::BufReader::new(f))
+    };
+    let mut reader = QueryBatchReader::new(reader, 4096).with_record_bound(RECORD_BOUND);
+    ingest(&mut reader)?;
+    eprintln!(
+        "serving {} queries against {} indexed references from {}",
+        queries.len(),
+        index.manifest.n_refs,
+        dir.display()
+    );
+
+    let session = telemetry.then(TraceSession::new);
+    let rec = session
+        .as_ref()
+        .map_or_else(Recorder::disabled, |s| s.recorder(0));
+    let t0 = std::time::Instant::now();
+    let out = pastis::core::serve_queries_traced(&index, &queries, &cfg, &rec)?;
+    let s = &out.stats;
+    eprintln!(
+        "served {} requests in {} batches in {:.2}s: {} candidates, {} alignments, \
+         {} rows; cache {} hits / {} misses; {} stripes loaded{}",
+        s.requests,
+        s.batches,
+        t0.elapsed().as_secs_f64(),
+        s.candidates,
+        s.aligned_pairs,
+        s.emitted,
+        s.cache_hits,
+        s.cache_misses,
+        s.stripes_loaded,
+        if s.self_mode {
+            "; self mode (queries are the reference set)"
+        } else {
+            ""
+        }
+    );
+    if let Some(session) = &session {
+        let report = MetricsReport::from_session(session);
+        eprint!("{}", render_report(&report));
+        if let Some(p) = &trace_out {
+            std::fs::write(p, chrome_trace_json(session))
+                .map_err(|e| format!("cannot write {}: {e}", p.display()))?;
+            eprintln!("wrote Chrome trace to {}", p.display());
+        }
+        if let Some(p) = &metrics_out {
+            std::fs::write(p, report.to_json())
+                .map_err(|e| format!("cannot write {}: {e}", p.display()))?;
+            eprintln!("wrote metrics JSON to {}", p.display());
+        }
+    }
+
+    let mut text = String::with_capacity(out.lines.len() * 32);
+    for l in &out.lines {
+        text.push_str(l);
+        text.push('\n');
+    }
+    if output == "-" {
+        use std::io::Write as _;
+        std::io::stdout()
+            .write_all(text.as_bytes())
+            .map_err(|e| format!("cannot write stdout: {e}"))?;
+    } else {
+        std::fs::write(&output, text).map_err(|e| format!("cannot write {output}: {e}"))?;
+        eprintln!("wrote {} rows to {output}", out.lines.len());
     }
     Ok(())
 }

@@ -20,8 +20,9 @@ use pastis::baselines::BaselineCheckpoint;
 use pastis::comm::FaultPlan;
 use pastis::core::checkpoint::{Checkpoint, IndexShard, SpillShard};
 use pastis::core::pipeline::BlockTiming;
-use pastis::core::{SearchStats, SimilarityEdge};
+use pastis::core::{IndexManifest, SearchStats, SimilarityEdge};
 use pastis::seqio::fasta::{parse_fasta, FastaStream, SeqStore};
+use pastis::seqio::ReducedAlphabet;
 
 // --- Builders from primitive draws (the vendored proptest generates
 // --- primitives; structure is assembled here). ---
@@ -94,18 +95,21 @@ proptest! {
         let _ = Checkpoint::parse(&s);
         let _ = SpillShard::parse(&s);
         let _ = IndexShard::parse(&s);
+        let _ = IndexManifest::parse(&s);
         let _ = BaselineCheckpoint::parse(&s);
     }
 
     #[test]
     fn header_parsers_never_panic_on_structured_noise(
-        prefix_idx in 0usize..6, key_raw in proptest::collection::vec(0u8..26, 0..14),
+        prefix_idx in 0usize..8, key_raw in proptest::collection::vec(0u8..26, 0..14),
         val_raw in proptest::collection::vec(0u8..16, 0..24),
     ) {
         // Noise biased toward the grammars: magic lines, key=value
         // fields, hex digits, and trailers, in arbitrary combination.
-        const PREFIXES: [&str; 6] =
-            ["", "PASTIS-CKPT 1\n", "PASTIS-SPILL 1\n", "PASTIS-IDX 1\n", "end ", "chaos"];
+        const PREFIXES: [&str; 8] = [
+            "", "PASTIS-CKPT 1\n", "PASTIS-SPILL 1\n", "PASTIS-IDX 1\n",
+            "PASTIS-IDXMAN 1\n", "PASTIS-PFIDX 1\n", "end ", "chaos",
+        ];
         let key = name_from(&key_raw);
         let val: String = val_raw.iter().map(|&b| char::from_digit(b as u32, 16).unwrap()).collect();
         let s = format!("{}{key}={val}\nend {val}", PREFIXES[prefix_idx]);
@@ -113,6 +117,7 @@ proptest! {
         let _ = Checkpoint::parse(&s);
         let _ = SpillShard::parse(&s);
         let _ = IndexShard::parse(&s);
+        let _ = IndexManifest::parse(&s);
         let _ = BaselineCheckpoint::parse(&s);
     }
 
@@ -205,6 +210,39 @@ proptest! {
         let doc = sh.to_text();
         prop_assert_eq!(IndexShard::parse(&doc).expect("valid doc").to_text(), doc.clone());
         assert_mutation_safe!(IndexShard::parse, &doc, cut, idx, ch);
+    }
+
+    #[test]
+    fn index_manifest_mutations_err_or_decode_identically(
+        fingerprint in 0u64..=u64::MAX, refs_digest in 0u64..=u64::MAX,
+        k in 1usize..=12, alphabet_idx in 0u8..3, substitute_kmers in 0usize..3,
+        n_refs in 1usize..2000, stripe_cols in 1usize..300,
+        col_steps in proptest::collection::vec(1u32..5000, 0..24),
+        cut in 0usize..1_000_000, idx in 0usize..1_000_000, ch in 0x20u8..0x7f,
+    ) {
+        // Strictly-increasing column map from positive increments; stripe
+        // arithmetic derived so the document satisfies parse's invariants.
+        let mut acc = 0u32;
+        let col_map: Vec<u32> = col_steps.iter().map(|&s| { acc += s; acc - 1 }).collect();
+        let alphabet = [
+            ReducedAlphabet::Full20,
+            ReducedAlphabet::Murphy10,
+            ReducedAlphabet::Dayhoff6,
+        ][alphabet_idx as usize];
+        let m = IndexManifest {
+            fingerprint,
+            k,
+            alphabet,
+            substitute_kmers,
+            n_refs,
+            refs_digest,
+            stripe_cols,
+            n_stripes: n_refs.div_ceil(stripe_cols),
+            col_map,
+        };
+        let doc = m.to_text();
+        prop_assert_eq!(IndexManifest::parse(&doc).expect("valid doc").to_text(), doc.clone());
+        assert_mutation_safe!(IndexManifest::parse, &doc, cut, idx, ch);
     }
 
     #[test]
