@@ -1,4 +1,4 @@
-//! Emit the perf-regression ledger (`BENCH_pr9.json`).
+//! Emit the perf-regression ledger (`BENCH_pr10.json`).
 //!
 //! Measures a fixed set of kernel and end-to-end workloads — the hot
 //! paths every PR is most likely to disturb — and writes them as a
@@ -12,7 +12,7 @@
 //! absolute numbers vary by host.
 //!
 //! Usage: `bench_ledger [n_seqs] [reps] [out.json]`
-//! (defaults 800, 3, `results/BENCH_pr9.json`).
+//! (defaults 800, 3, `results/BENCH_pr10.json`).
 
 use std::collections::HashMap;
 use std::time::Instant;
@@ -53,7 +53,7 @@ fn main() {
     let reps: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
     let out_path = args
         .next()
-        .unwrap_or_else(|| "results/BENCH_pr9.json".to_owned());
+        .unwrap_or_else(|| "results/BENCH_pr10.json".to_owned());
 
     let ds = bench_dataset(n_seqs);
     let mut ledger = BenchLedger::new();
@@ -166,6 +166,24 @@ fn main() {
         "e2e/search_serial",
         "e2e",
         e2e_s,
+        &[("n_seqs", e2e_n as f64), ("reps", reps as f64)],
+    );
+
+    // e2e/search_tuned: the pipeline on a 2-thread unified pool with the
+    // self-tuning loop closed (`--tune auto`: cost-model seed + telemetry
+    // re-splits between stages). The delta against e2e/search_serial
+    // bundles the pool and the tuner; the ledger tracks that it stays flat.
+    let tuned_params = bench_params()
+        .with_blocking(2, 2)
+        .with_threads(2)
+        .with_tune(pastis_core::TunePolicy::Auto);
+    let tuned_s = best_of(reps, || {
+        run_search_serial(&e2e_ds.store, &tuned_params).unwrap()
+    });
+    ledger.push(
+        "e2e/search_tuned",
+        "e2e",
+        tuned_s,
         &[("n_seqs", e2e_n as f64), ("reps", reps as f64)],
     );
 

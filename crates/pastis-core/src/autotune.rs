@@ -1,0 +1,580 @@
+//! Self-tuning runtime: the telemetry→cost-model feedback loop.
+//!
+//! The paper's production runs hand-pick blocking, thread splits, and
+//! batch sizes per machine. This module closes that loop (ROADMAP item
+//! 5): the α–β cost model ([`crate::perfmodel`]) seeds the initial
+//! configuration, and live telemetry — per-block sparse/align seconds,
+//! cross-rank imbalance, serve-batch latency — adapts it while the run
+//! is in flight.
+//!
+//! # What may move mid-run, and why it is safe
+//!
+//! The tuner only touches knobs the test suite already proves
+//! *schedule-invariant* (the similarity graph and the TSV are
+//! bit-identical for every value):
+//!
+//! - **per-engine worker caps** of the unified pool
+//!   ([`pastis_pool::WorkPool::set_cap`]) — purely local scheduling;
+//! - **serve admission-batch size** — the serve conformance tests prove
+//!   output independence for every `max_batch`;
+//! - **pre-blocking lookahead depth** — same mechanism as the memory
+//!   accountant's `prefetch_paused`, which already varies it.
+//!
+//! Blocking (`block_rows × block_cols`) is part of the checkpoint
+//! fingerprint and shapes the collective schedule, so it is chosen
+//! *once, up front*, from the budget-aware cost model
+//! ([`crate::perfmodel::blocking_for_budget`]) and never moved again.
+//!
+//! # The collective-decision protocol
+//!
+//! The lookahead depth shapes the collective schedule, so — exactly like
+//! the memory accountant's backpressure flags — every adaptation must be
+//! world-uniform. The pipeline all-reduces each rank's window telemetry
+//! (integer microsecond sums, so the reduction is exact and
+//! order-independent) at the top of the block loop, then every rank runs
+//! the same *pure* [`decide`] on the identical reduced
+//! [`TuneSnapshot`]. Same snapshot in, same knobs out, on every rank —
+//! no rank ever diverges. A property test pins this purity down.
+
+use std::fmt;
+
+use pastis_comm::MachineModel;
+
+/// How the runtime picks its scheduling knobs (`--tune`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum TunePolicy {
+    /// Leave every knob exactly as the user passed it (the default).
+    #[default]
+    Off,
+    /// Seed from the cost model, then adapt between SUMMA stages and
+    /// serve batches from live telemetry. Explicit user knobs
+    /// (`--align-threads`/`--spgemm-threads` under `--threads`, serve
+    /// `--batch`) still win as the starting point.
+    Auto,
+    /// Apply the spec's knobs once at startup and never adapt — the
+    /// reproducible "hand-tuned" configuration the `kernel_autotune`
+    /// gate compares `Auto` against.
+    Fixed(FixedSpec),
+}
+
+/// The knob assignments of `--tune fixed:<spec>`: a comma-separated list
+/// of `key=value` pairs, e.g. `fixed:spgemm=2,align=6,batch=512`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FixedSpec {
+    /// Cap on concurrent SpGEMM workers of the unified pool.
+    pub spgemm_cap: Option<usize>,
+    /// Cap on concurrent alignment workers of the unified pool.
+    pub align_cap: Option<usize>,
+    /// Serve admission-batch size (`pastis serve`).
+    pub batch: Option<usize>,
+    /// Pre-blocking lookahead depth (0 disables the software pipeline).
+    pub lookahead: Option<usize>,
+}
+
+impl TunePolicy {
+    /// Parse a `--tune` argument: `auto`, `off`, or `fixed:<k=v,...>`.
+    pub fn parse(s: &str) -> Result<TunePolicy, String> {
+        match s {
+            "auto" => Ok(TunePolicy::Auto),
+            "off" => Ok(TunePolicy::Off),
+            _ => match s.strip_prefix("fixed:") {
+                Some(spec) => FixedSpec::parse(spec).map(TunePolicy::Fixed),
+                None => Err(format!(
+                    "unknown --tune policy '{s}' (expected auto, off, or fixed:<spec>)"
+                )),
+            },
+        }
+    }
+
+    /// Whether this policy adapts mid-run.
+    pub fn is_auto(&self) -> bool {
+        matches!(self, TunePolicy::Auto)
+    }
+}
+
+impl fmt::Display for TunePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TunePolicy::Off => write!(f, "off"),
+            TunePolicy::Auto => write!(f, "auto"),
+            TunePolicy::Fixed(spec) => {
+                write!(f, "fixed:")?;
+                let mut sep = "";
+                for (k, v) in [
+                    ("spgemm", spec.spgemm_cap),
+                    ("align", spec.align_cap),
+                    ("batch", spec.batch),
+                    ("lookahead", spec.lookahead),
+                ] {
+                    if let Some(v) = v {
+                        write!(f, "{sep}{k}={v}")?;
+                        sep = ",";
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl FixedSpec {
+    /// Parse the `key=value` list after `fixed:`.
+    pub fn parse(s: &str) -> Result<FixedSpec, String> {
+        let mut spec = FixedSpec::default();
+        if s.is_empty() {
+            return Err("empty fixed: spec (expected key=value pairs)".into());
+        }
+        for part in s.split(',') {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("malformed fixed: entry '{part}' (expected key=value)"))?;
+            let n: usize = value
+                .parse()
+                .map_err(|_| format!("fixed: value '{value}' for '{key}' is not a number"))?;
+            match key {
+                "spgemm" => spec.spgemm_cap = Some(n),
+                "align" => spec.align_cap = Some(n),
+                "batch" => spec.batch = Some(n),
+                "lookahead" => spec.lookahead = Some(n),
+                _ => {
+                    return Err(format!(
+                        "unknown fixed: key '{key}' (expected spgemm, align, batch, lookahead)"
+                    ))
+                }
+            }
+        }
+        // A 0-sized cap or batch is a silent no-progress configuration —
+        // the same class of bug the cost model's sizing clamp guards
+        // against — so reject it at parse time.
+        for (k, v) in [
+            ("spgemm", spec.spgemm_cap),
+            ("align", spec.align_cap),
+            ("batch", spec.batch),
+        ] {
+            if v == Some(0) {
+                return Err(format!("fixed: {k}=0 would make no progress"));
+            }
+        }
+        Ok(spec)
+    }
+}
+
+/// The world-agreed telemetry a tuning decision is derived from. On a
+/// multi-rank run every field is the result of a collective reduction
+/// (integer microsecond sums / maxima, so the values are identical on
+/// every rank); on one rank they are the local sums.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TuneSnapshot {
+    /// Unified-pool size (world-uniform by construction: `--threads` is
+    /// part of the params every rank shares).
+    pub threads: usize,
+    /// Cluster-total sparse seconds of the window, in microseconds.
+    pub sparse_us: u64,
+    /// Cluster-total align seconds of the window, in microseconds.
+    pub align_us: u64,
+    /// Slowest rank's total block seconds of the window, in microseconds.
+    pub max_rank_us: u64,
+    /// Sum of all ranks' block seconds of the window, in microseconds.
+    pub sum_rank_us: u64,
+    /// World size.
+    pub ranks: u32,
+}
+
+impl TuneSnapshot {
+    /// Cross-rank `max/avg` imbalance factor of the window, ×1000 and
+    /// truncated — integer so every rank computes the identical value.
+    /// Defined as 1000 (perfectly balanced) when the window carries no
+    /// measurable work, mirroring the hardened
+    /// `ImbalanceStats::imbalance_factor`.
+    pub fn imbalance_milli(&self) -> u64 {
+        if self.sum_rank_us == 0 || self.ranks == 0 {
+            return 1000;
+        }
+        // factor = max / (sum / ranks) = max * ranks / sum.
+        (self.max_rank_us as u128 * self.ranks as u128 * 1000 / self.sum_rank_us as u128) as u64
+    }
+}
+
+/// The knob vector a decision produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TuneKnobs {
+    /// Cap on concurrent SpGEMM workers of the unified pool.
+    pub spgemm_cap: usize,
+    /// Cap on concurrent alignment workers of the unified pool.
+    pub align_cap: usize,
+    /// Pre-blocking lookahead depth currently in effect.
+    pub lookahead: usize,
+}
+
+/// Split `threads` workers between the align and sparse engines
+/// proportionally to the given cost weights, each side clamped to at
+/// least one worker (every sizing recommendation is ≥ 1 by
+/// construction). Returns `(spgemm_cap, align_cap)`.
+pub fn split_threads(threads: usize, align_weight: f64, sparse_weight: f64) -> (usize, usize) {
+    if threads < 2 {
+        // Nothing to split: the single thread serves both engines.
+        return (1.max(threads), 1.max(threads));
+    }
+    let total = align_weight + sparse_weight;
+    let share = if total > 0.0 && align_weight.is_finite() && total.is_finite() {
+        (align_weight / total).clamp(0.0, 1.0)
+    } else {
+        0.5
+    };
+    let align = ((threads as f64 * share).round() as usize).clamp(1, threads - 1);
+    (threads - align, align)
+}
+
+/// Seed the initial engine split from the α–β cost model: the modeled
+/// per-candidate alignment cost (O(len²) cell updates plus the per-pair
+/// driver overhead) against the modeled per-candidate sparse cost
+/// (O(len) k-mer products and merges). Identical inputs on every rank —
+/// machine constants and the globally-exchanged mean sequence length —
+/// give an identical split on every rank.
+pub fn seed_split(threads: usize, m: &MachineModel, mean_len: f64) -> (usize, usize) {
+    let len = if mean_len.is_finite() && mean_len >= 1.0 {
+        mean_len
+    } else {
+        1.0
+    };
+    let align_cost =
+        len * len / (m.gcups_per_gpu.max(1e-9) * 1e9) + m.align_overhead_per_pair.max(0.0);
+    let sparse_cost = len / m.spgemm_products_per_sec.max(1.0) + len / m.merge_nnz_per_sec.max(1.0);
+    split_threads(threads, align_cost, sparse_cost)
+}
+
+/// One adaptation step: re-split the engine caps toward the observed
+/// sparse/align time ratio and gate the lookahead depth on cross-rank
+/// imbalance. **Pure**: the output depends only on the arguments, so
+/// ranks holding the same broadcast snapshot always agree (the property
+/// test in this module generates random snapshots and checks exactly
+/// this).
+///
+/// Damping: the split moves at most one worker per decision toward the
+/// proportional target, so a single noisy window cannot flip the
+/// schedule; the target itself is recomputed every window.
+///
+/// `max_lookahead` is the configured depth (`--pre-blocking`); the tuner
+/// only ever *lowers* it — under heavy cross-rank imbalance (factor over
+/// 2x) prefetching ahead of a straggler-stretched schedule holds extra
+/// memory for no hiding benefit — and restores it when balance returns.
+pub fn decide(cur: &TuneKnobs, snap: &TuneSnapshot, max_lookahead: usize) -> TuneKnobs {
+    let mut next = *cur;
+    // Lookahead: world-uniform because the snapshot is.
+    next.lookahead = if snap.imbalance_milli() > 2000 {
+        0
+    } else {
+        max_lookahead
+    };
+    let t = snap.threads;
+    let total = snap.sparse_us + snap.align_us;
+    if t < 2 || total == 0 {
+        return next;
+    }
+    // Integer proportional target: round(t * align / total), in [1, t-1].
+    let target_align =
+        ((snap.align_us as u128 * t as u128 + (total / 2) as u128) / total as u128) as usize;
+    let target_align = target_align.clamp(1, t - 1);
+    let cur_align = cur.align_cap.clamp(1, t - 1);
+    let align = match target_align.cmp(&cur_align) {
+        std::cmp::Ordering::Greater => cur_align + 1,
+        std::cmp::Ordering::Less => cur_align - 1,
+        std::cmp::Ordering::Equal => cur_align,
+    };
+    next.align_cap = align;
+    next.spgemm_cap = t - align;
+    next
+}
+
+/// Modeled target wall time of one serve batch, microseconds: the batch
+/// is sized so the fixed per-batch overhead amortizes to ≤10% of useful
+/// work, so the useful work should take about 10× the overhead.
+pub fn serve_batch_target_us(m: &MachineModel) -> u64 {
+    let us = m.align_batch_overhead_s * 10.0 * 1e6;
+    if us.is_finite() && us >= 1.0 {
+        us as u64
+    } else {
+        1
+    }
+}
+
+/// One serve-side adaptation step: resize the admission batch from the
+/// last batch's observed wall time. **Pure** — serving is single-process
+/// so no collective is needed, but purity keeps the decision replayable
+/// and testable. The batch doubles when a *full* batch still finished in
+/// under a quarter of the target (admission, not compute, is the
+/// bottleneck) and halves when it overshot 4× (tail latency), always
+/// staying lane-aligned within `[lanes, cap]` and never 0.
+pub fn adapt_serve_batch(
+    cur: usize,
+    lanes: usize,
+    cap: usize,
+    batch_len: usize,
+    batch_wall_us: u64,
+    target_us: u64,
+) -> usize {
+    let lanes = lanes.max(1);
+    let cap = cap.max(lanes);
+    let cur = cur.clamp(lanes, cap);
+    let target = target_us.max(1);
+    let next = if batch_wall_us > target.saturating_mul(4) {
+        cur / 2
+    } else if batch_len >= cur && batch_wall_us.saturating_mul(4) < target {
+        cur.saturating_mul(2)
+    } else {
+        cur
+    };
+    let next = next.clamp(lanes, cap);
+    (next - next % lanes).max(lanes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn policy_parses_and_round_trips() {
+        assert_eq!(TunePolicy::parse("auto").unwrap(), TunePolicy::Auto);
+        assert_eq!(TunePolicy::parse("off").unwrap(), TunePolicy::Off);
+        let fixed = TunePolicy::parse("fixed:spgemm=2,align=6,batch=512,lookahead=1").unwrap();
+        match &fixed {
+            TunePolicy::Fixed(s) => {
+                assert_eq!(s.spgemm_cap, Some(2));
+                assert_eq!(s.align_cap, Some(6));
+                assert_eq!(s.batch, Some(512));
+                assert_eq!(s.lookahead, Some(1));
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        // Display round-trips through parse.
+        assert_eq!(TunePolicy::parse(&fixed.to_string()).unwrap(), fixed);
+        assert_eq!(TunePolicy::default(), TunePolicy::Off);
+    }
+
+    #[test]
+    fn policy_rejects_nonsense() {
+        assert!(TunePolicy::parse("on").is_err());
+        assert!(TunePolicy::parse("fixed:").is_err());
+        assert!(TunePolicy::parse("fixed:spgemm").is_err());
+        assert!(TunePolicy::parse("fixed:spgemm=x").is_err());
+        assert!(TunePolicy::parse("fixed:warp=9").is_err());
+        // 0-sized knobs are the no-progress class the sizing clamp
+        // exists for; rejected up front.
+        assert!(TunePolicy::parse("fixed:batch=0").is_err());
+        assert!(TunePolicy::parse("fixed:align=0").is_err());
+        assert!(TunePolicy::parse("fixed:spgemm=0").is_err());
+        // lookahead=0 is a legitimate "disable pre-blocking".
+        assert!(TunePolicy::parse("fixed:lookahead=0").is_ok());
+    }
+
+    #[test]
+    fn split_is_proportional_clamped_and_total_preserving() {
+        // Balanced weights on 4 threads: 2/2.
+        assert_eq!(split_threads(4, 1.0, 1.0), (2, 2));
+        // Align-dominated: align side grows but sparse keeps ≥ 1.
+        assert_eq!(split_threads(4, 100.0, 1.0), (1, 3));
+        assert_eq!(split_threads(8, 1.0, 100.0), (7, 1));
+        // Degenerate weights fall back to an even split, never 0.
+        for (a, s) in [(0.0, 0.0), (f64::NAN, 1.0), (f64::INFINITY, 1.0)] {
+            let (sp, al) = split_threads(4, a, s);
+            assert!(sp >= 1 && al >= 1, "weights ({a},{s}) -> ({sp},{al})");
+            assert_eq!(sp + al, 4);
+        }
+        // 1 thread (or a degenerate 0): both engines share one worker —
+        // every sizing recommendation is ≥ 1, never 0.
+        assert_eq!(split_threads(1, 5.0, 1.0), (1, 1));
+        assert_eq!(split_threads(0, 1.0, 1.0), (1, 1));
+    }
+
+    #[test]
+    fn seed_split_tracks_the_cost_model() {
+        let m = MachineModel::commodity();
+        // Long sequences: O(len²) alignment dwarfs O(len) sparse work.
+        let (sp_long, al_long) = seed_split(8, &m, 5000.0);
+        // Short sequences shift weight back toward the sparse side.
+        let (_sp_short, al_short) = seed_split(8, &m, 10.0);
+        assert!(al_long >= al_short);
+        assert!(sp_long >= 1 && al_long >= 1);
+        // Degenerate mean lengths never panic or return 0.
+        for len in [0.0, -3.0, f64::NAN, f64::INFINITY] {
+            let (sp, al) = seed_split(4, &m, len);
+            assert!(sp >= 1 && al >= 1);
+        }
+    }
+
+    #[test]
+    fn decide_moves_one_worker_toward_the_observed_ratio() {
+        let cur = TuneKnobs {
+            spgemm_cap: 2,
+            align_cap: 2,
+            lookahead: 1,
+        };
+        // Align-dominated window: one worker moves align-ward.
+        let snap = TuneSnapshot {
+            threads: 4,
+            sparse_us: 100,
+            align_us: 900,
+            max_rank_us: 1000,
+            sum_rank_us: 1000,
+            ranks: 1,
+        };
+        let next = decide(&cur, &snap, 1);
+        assert_eq!((next.spgemm_cap, next.align_cap), (1, 3));
+        assert_eq!(next.lookahead, 1);
+        // Converged: a second identical window holds the split.
+        let again = decide(&next, &snap, 1);
+        assert_eq!(again, next);
+        // Sparse-dominated window moves back.
+        let sparse_heavy = TuneSnapshot {
+            sparse_us: 900,
+            align_us: 100,
+            ..snap
+        };
+        let back = decide(&next, &sparse_heavy, 1);
+        assert_eq!((back.spgemm_cap, back.align_cap), (2, 2));
+    }
+
+    #[test]
+    fn decide_is_inert_without_signal_or_threads() {
+        let cur = TuneKnobs {
+            spgemm_cap: 3,
+            align_cap: 1,
+            lookahead: 1,
+        };
+        // Empty window: caps untouched.
+        let empty = TuneSnapshot {
+            threads: 4,
+            sparse_us: 0,
+            align_us: 0,
+            max_rank_us: 0,
+            sum_rank_us: 0,
+            ranks: 4,
+        };
+        let next = decide(&cur, &empty, 1);
+        assert_eq!((next.spgemm_cap, next.align_cap), (3, 1));
+        // Single thread: nothing to split.
+        let one = TuneSnapshot {
+            threads: 1,
+            sparse_us: 500,
+            align_us: 500,
+            max_rank_us: 1000,
+            sum_rank_us: 1000,
+            ranks: 1,
+        };
+        let next = decide(&cur, &one, 1);
+        assert_eq!((next.spgemm_cap, next.align_cap), (3, 1));
+    }
+
+    #[test]
+    fn lookahead_drops_under_heavy_imbalance_and_recovers() {
+        let cur = TuneKnobs {
+            spgemm_cap: 2,
+            align_cap: 2,
+            lookahead: 1,
+        };
+        // One rank 3× the average: factor 3000 milli > 2000.
+        let skewed = TuneSnapshot {
+            threads: 4,
+            sparse_us: 500,
+            align_us: 500,
+            max_rank_us: 750,
+            sum_rank_us: 1000,
+            ranks: 4,
+        };
+        assert_eq!(skewed.imbalance_milli(), 3000);
+        assert_eq!(decide(&cur, &skewed, 1).lookahead, 0);
+        // Balance restored: the configured depth comes back.
+        let balanced = TuneSnapshot {
+            max_rank_us: 260,
+            ..skewed
+        };
+        assert_eq!(decide(&cur, &balanced, 1).lookahead, 1);
+        // The tuner never raises lookahead above the configured depth.
+        assert_eq!(decide(&cur, &balanced, 0).lookahead, 0);
+    }
+
+    #[test]
+    fn imbalance_milli_is_defined_on_empty_windows() {
+        let empty = TuneSnapshot {
+            threads: 4,
+            sparse_us: 0,
+            align_us: 0,
+            max_rank_us: 0,
+            sum_rank_us: 0,
+            ranks: 0,
+        };
+        assert_eq!(empty.imbalance_milli(), 1000);
+    }
+
+    #[test]
+    fn serve_batch_adaptation_is_bounded_and_lane_aligned() {
+        let target = 10_000u64;
+        // Fast full batch doubles.
+        assert_eq!(adapt_serve_batch(64, 4, 1024, 64, 100, target), 128);
+        // Slow batch halves.
+        assert_eq!(adapt_serve_batch(64, 4, 1024, 64, 100_000, target), 32);
+        // Partial fast batch holds (admission-bound, not size-bound).
+        assert_eq!(adapt_serve_batch(64, 4, 1024, 7, 100, target), 64);
+        // Never leaves [lanes, cap], never 0, always lane-aligned.
+        assert_eq!(adapt_serve_batch(4, 4, 1024, 4, 100_000, target), 4);
+        assert_eq!(adapt_serve_batch(1024, 4, 1024, 1024, 1, target), 1024);
+        for cur in [0usize, 1, 3, 5, 1000] {
+            let n = adapt_serve_batch(cur, 8, 256, cur, 1, target);
+            assert!((8..=256).contains(&n) && n % 8 == 0);
+        }
+        // Degenerate target from a broken model is clamped, not divided by.
+        assert!(adapt_serve_batch(64, 4, 1024, 64, 1, 0) >= 4);
+        assert!(serve_batch_target_us(&MachineModel::commodity()) >= 1);
+        let mut broken = MachineModel::commodity();
+        broken.align_batch_overhead_s = f64::NAN;
+        assert_eq!(serve_batch_target_us(&broken), 1);
+    }
+
+    proptest! {
+        /// The collective-decision contract: a tuning decision is a pure
+        /// function of the broadcast snapshot — two ranks holding the
+        /// same snapshot (and current knobs) always compute the same
+        /// next knobs, and those knobs are always a sane partition.
+        #[test]
+        fn decision_is_pure_and_sane(
+            threads in 1usize..64,
+            sparse_us in 0u64..1_000_000_000,
+            align_us in 0u64..1_000_000_000,
+            max_frac in 0u64..4000,
+            ranks in 1u32..4096,
+            cur_align in 1usize..64,
+            lookahead in 0usize..3,
+        ) {
+            let sum_rank_us = sparse_us + align_us;
+            // max ≤ sum, scaled deterministically from the fraction.
+            let max_rank_us = (sum_rank_us as u128 * max_frac as u128 / 4000) as u64;
+            let snap = TuneSnapshot {
+                threads, sparse_us, align_us, max_rank_us, sum_rank_us, ranks,
+            };
+            let cur = TuneKnobs {
+                spgemm_cap: threads.saturating_sub(cur_align).max(1),
+                align_cap: cur_align,
+                lookahead,
+            };
+            // Purity: every "rank" recomputes the identical decision.
+            let a = decide(&cur, &snap, lookahead);
+            let b = decide(&cur.clone(), &snap.clone(), lookahead);
+            prop_assert_eq!(a, b);
+            // Sanity: caps stay ≥ 1 and partition the pool when there is
+            // anything to split.
+            prop_assert!(a.align_cap >= 1);
+            prop_assert!(a.spgemm_cap >= 1);
+            if threads >= 2 && sparse_us + align_us > 0 {
+                prop_assert_eq!(a.align_cap + a.spgemm_cap, threads);
+                prop_assert!(a.align_cap < threads);
+            }
+            prop_assert!(a.lookahead <= lookahead);
+            // The serve-side decision is pure too.
+            let x = adapt_serve_batch(cur_align, 4, 256, cur_align, sparse_us, 10_000);
+            let y = adapt_serve_batch(cur_align, 4, 256, cur_align, sparse_us, 10_000);
+            prop_assert_eq!(x, y);
+            prop_assert!(x >= 1);
+        }
+    }
+}

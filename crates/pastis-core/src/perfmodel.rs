@@ -662,6 +662,9 @@ fn simulate_inner(
         let passed = sampled
             .iter()
             .filter(|&&(i, j)| {
+                // `i`/`j` are u32 store ids (dense, ≤ u32::MAX by
+                // `SeqStore::push`'s checked constructor); widening them
+                // back to usize store indices is always exact.
                 let (qs, rs) = (store.seq(i as usize), store.seq(j as usize));
                 filter.passes(&aligner.align_pair(qs, rs), qs.len(), rs.len())
             })
@@ -918,7 +921,16 @@ pub fn recommended_serve_batch(
     let per_query_s = len * len / (SERVE_CPU_CELLS_PER_SEC * m.simd_lane_speedup.max(1.0))
         + m.align_overhead_per_pair;
     let n = (m.align_batch_overhead_s / (SERVE_BATCH_OVERHEAD_FRACTION * per_query_s)).ceil();
-    let n = if n.is_finite() { n as usize } else { cap };
+    // Degenerate calibration constants (zero/negative overhead, NaN/inf
+    // rates) must never surface as a 0-sized batch: `n as usize` saturates
+    // a small or negative finite float at 0, and a 0-sized recommendation
+    // fed to the batcher is a silent no-progress loop. Anything that is
+    // not a finite count of at least one query falls back to the cap.
+    let n = if n.is_finite() && n >= 1.0 {
+        n as usize
+    } else {
+        cap
+    };
     let n = n.clamp(lanes, cap);
     n - n % lanes
 }
@@ -1389,6 +1401,9 @@ mod tests {
         ] {
             let brute = (r0..r1)
                 .flat_map(|i| (c0..c1).map(move |j| (i, j)))
+                // Test-local narrowing over rectangles far below the
+                // u32 edge; production ids stay ≤ u32::MAX via
+                // `SeqStore::push`'s checked constructor.
                 .filter(|&(i, j)| parity_keep(i as u32, j as u32))
                 .count() as u64;
             assert_eq!(
@@ -1481,6 +1496,43 @@ mod tests {
             recommended_serve_batch(&m, 16, 2000.0, 1 << 20)
                 <= recommended_serve_batch(&m, 16, 20.0, 1 << 20)
         );
+    }
+
+    #[test]
+    fn recommended_serve_batch_survives_degenerate_calibration() {
+        // Degenerate calibration constants used to cast a small/negative
+        // finite recommendation to 0 (`n as usize` saturates at 0) before
+        // the clamp; every combination here must still yield a positive,
+        // lane-aligned batch within [lanes, cap].
+        let degenerate = [
+            0.0,               // zero overhead -> n = 0.0
+            -1.0e-3,           // negative overhead -> negative finite n
+            f64::NAN,          // NaN propagates through the division
+            f64::INFINITY,     // inf overhead -> inf n
+            -f64::INFINITY,    // -inf overhead -> -inf n
+            f64::MIN_POSITIVE, // subnormal-adjacent -> n rounds to 1
+        ];
+        for overhead in degenerate {
+            for speedup in [1.0, 0.0, f64::NAN] {
+                let mut m = MachineModel::commodity();
+                m.align_batch_overhead_s = overhead;
+                m.simd_lane_speedup = speedup;
+                for (lanes, cap) in [(1usize, 1usize), (4, 8), (16, 256)] {
+                    let n = recommended_serve_batch(&m, lanes, 150.0, cap);
+                    assert!(
+                        n >= 1,
+                        "zero-sized batch for overhead={overhead} speedup={speedup} \
+                         lanes={lanes} cap={cap}"
+                    );
+                    assert!(n >= lanes && n <= cap.max(lanes));
+                    assert_eq!(n % lanes, 0);
+                }
+            }
+        }
+        // Zero-length / NaN mean query length is also survivable.
+        let m = MachineModel::commodity();
+        assert!(recommended_serve_batch(&m, 4, 0.0, 64) >= 4);
+        assert!(recommended_serve_batch(&m, 4, f64::NAN, 64) >= 4);
     }
 
     #[test]

@@ -132,6 +132,28 @@ mod tests {
     }
 
     #[test]
+    fn zero_and_nan_medians_yield_defined_factors() {
+        // All-zero block seconds (degenerate fixture, every block pruned):
+        // no div-by-zero, factor pinned at the balanced identity, nothing
+        // flagged.
+        let z = detect_stragglers(&[0.0, 0.0, 0.0, 0.0], 3.0);
+        assert!(z.is_healthy());
+        assert_eq!(z.median_seconds, 0.0);
+        assert_eq!(z.imbalance_factor, 1.0);
+        assert!(z.imbalance_factor.is_finite());
+        // One rank at zero, the rest trivially small: the near-zero median
+        // stays under the absolute floor and the factor stays finite.
+        let near = detect_stragglers(&[0.0, f64::MIN_POSITIVE, 1e-9, 4e-9], 3.0);
+        assert!(near.is_healthy());
+        assert!(near.imbalance_factor.is_finite());
+        // A rank reporting NaN seconds must not panic the scan, and the
+        // exported factor must stay defined.
+        let nan = detect_stragglers(&[1.0, f64::NAN, 1.0], 3.0);
+        assert!(nan.imbalance_factor.is_finite());
+        assert_eq!(nan.imbalance_factor, 1.0);
+    }
+
+    #[test]
     fn imbalance_factor_matches_max_over_avg() {
         let r = detect_stragglers(&[1.0, 1.0, 1.0, 9.0], 3.0);
         // avg = 3.0, max = 9.0.

@@ -257,10 +257,30 @@ fn encode_residues(id: &str, seq: &str) -> Result<Vec<u8>, FastaError> {
 }
 
 /// The in-memory dataset: residue-coded sequences plus their ids.
+///
+/// Sequence ids are dense `0..len()` and travel the rest of the pipeline
+/// as `u32` (block-local SUMMA coordinates, pair tasks, similarity edges,
+/// TSV dedup keys). [`SeqStore::push`] therefore refuses to grow a store
+/// past `u32::MAX + 1` sequences, which makes every downstream
+/// `as u32` narrowing of a store index provably lossless.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SeqStore {
     ids: Vec<String>,
     seqs: Vec<Vec<u8>>,
+}
+
+/// The id the next pushed sequence would get, checked against the `u32`
+/// id space the pipeline uses. Factored out of [`SeqStore::push`] so the
+/// 2³²-edge boundary can be tested directly: a real store at the edge
+/// carries ~2³² heap vectors of bookkeeping, far past what a test can
+/// allocate, but every `push` routes through this seam unconditionally.
+#[inline]
+fn checked_seq_id(next: usize) -> u32 {
+    u32::try_from(next).expect(
+        "sequence id overflows u32: the pipeline's pair tasks, similarity \
+         edges, and load-balance parity all carry u32 ids — shard the input \
+         across ranks instead of growing one store past 2^32 sequences",
+    )
 }
 
 impl SeqStore {
@@ -293,10 +313,17 @@ impl SeqStore {
         Ok(store)
     }
 
-    /// Append a sequence.
-    pub fn push(&mut self, id: String, codes: Vec<u8>) {
+    /// Append a sequence, returning the dense id it was assigned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new sequence's id would not fit in `u32` — the id
+    /// type the rest of the pipeline narrows to.
+    pub fn push(&mut self, id: String, codes: Vec<u8>) -> u32 {
+        let seq_id = checked_seq_id(self.ids.len());
         self.ids.push(id);
         self.seqs.push(codes);
+        seq_id
     }
 
     /// Number of sequences.
@@ -366,6 +393,30 @@ mod tests {
     use std::io::Cursor;
 
     const SAMPLE: &str = ">seq1 first protein\nMKVLAW\nYHEE\n\n>seq2\nPAWHEAE\n";
+
+    #[test]
+    fn push_assigns_dense_u32_ids() {
+        let mut s = SeqStore::new();
+        assert_eq!(s.push("a".into(), vec![0]), 0);
+        assert_eq!(s.push("b".into(), vec![1]), 1);
+        assert_eq!(s.push("c".into(), vec![2]), 2);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn seq_id_boundary_holds_at_the_u32_edge() {
+        // Largest valid id: exactly u32::MAX (a store of 2^32 sequences).
+        assert_eq!(checked_seq_id(u32::MAX as usize), u32::MAX);
+        assert_eq!(checked_seq_id(0), 0);
+    }
+
+    #[test]
+    #[cfg(target_pointer_width = "64")]
+    #[should_panic(expected = "sequence id overflows u32")]
+    fn seq_id_past_the_u32_edge_is_rejected() {
+        // The 2^32-th id (index 2^32) is the first that cannot narrow.
+        let _ = checked_seq_id(u32::MAX as usize + 1);
+    }
 
     #[test]
     fn parse_multiline_and_descriptions() {

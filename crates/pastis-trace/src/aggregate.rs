@@ -44,10 +44,12 @@ impl PhaseStat {
     }
 
     /// Median of the per-rank values (average of the middle two when the
-    /// rank count is even).
+    /// rank count is even). Uses the IEEE total order so a NaN value
+    /// (a rank that recorded garbage) sorts last instead of panicking
+    /// mid-aggregation; downstream consumers guard against a NaN result.
     pub fn median(&self) -> f64 {
         let mut sorted = self.per_rank.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN phase value"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let n = sorted.len();
         if n % 2 == 1 {
             sorted[n / 2]
@@ -365,6 +367,27 @@ mod tests {
         // The absolute floor suppresses noise-scale flags.
         let tiny = PhaseStat::from_values("y", &[1e-7, 1e-7, 9e-7]);
         assert!(tiny.outliers(3.0, 1e-3).is_empty());
+    }
+
+    #[test]
+    fn phase_stat_tolerates_nan_and_zero_medians() {
+        // A NaN per-rank value must not panic the aggregation: it sorts
+        // last under the IEEE total order, the median stays finite when
+        // the healthy majority is, and the imbalance factor is defined.
+        let p = PhaseStat::from_values("x", &[1.0, f64::NAN, 1.0]);
+        assert_eq!(p.median(), 1.0);
+        assert_eq!(p.imbalance_factor(), 1.0);
+        // All-NaN: median is NaN but outliers degrade to "none flagged"
+        // (NaN threshold comparisons are false) instead of panicking.
+        let all_nan = PhaseStat::from_values("y", &[f64::NAN, f64::NAN]);
+        assert!(all_nan.median().is_nan());
+        assert!(all_nan.outliers(3.0, 1e-3).is_empty());
+        assert_eq!(all_nan.imbalance_factor(), 1.0);
+        // Zero median (empty phase on every rank): factor 1.0, no inf.
+        let zero = PhaseStat::from_values("z", &[0.0, 0.0, 0.0]);
+        assert_eq!(zero.median(), 0.0);
+        assert_eq!(zero.imbalance_factor(), 1.0);
+        assert!(zero.outliers(3.0, 1e-3).is_empty());
     }
 
     #[test]

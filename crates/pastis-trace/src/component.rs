@@ -98,22 +98,30 @@ impl ImbalanceStats {
     }
 
     /// Load imbalance as the paper reports it: `(max/avg − 1) × 100` %.
-    /// Zero for perfectly balanced work; 0 when avg is 0.
+    /// Zero for perfectly balanced work; 0 when the ratio is undefined
+    /// (zero, near-zero, or NaN average — empty or trivially small phases).
     pub fn imbalance_pct(&self) -> f64 {
-        if self.avg <= 0.0 {
-            0.0
-        } else {
-            (self.max / self.avg - 1.0) * 100.0
-        }
+        (self.imbalance_factor() - 1.0) * 100.0
     }
 
     /// Figure 7's y-axis metric: the `max/avg` load-imbalance factor
-    /// (1.0 = perfectly balanced; also 1.0 when avg is 0).
+    /// (1.0 = perfectly balanced). Defined as 1.0 whenever the ratio is
+    /// not a finite number: a zero or NaN average (empty phases, ranks
+    /// that recorded nothing) and a subnormal near-zero average whose
+    /// quotient overflows to infinity all mean "no measurable work", not
+    /// "infinitely imbalanced", and must not propagate inf/NaN into the
+    /// straggler counters or the analyze report.
     pub fn imbalance_factor(&self) -> f64 {
-        if self.avg <= 0.0 {
-            1.0
+        // Anything but a strictly-positive average — zero, negative, or
+        // NaN (incomparable) — routes to the defined fallback.
+        if self.avg.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return 1.0;
+        }
+        let f = self.max / self.avg;
+        if f.is_finite() {
+            f
         } else {
-            self.max / self.avg
+            1.0
         }
     }
 
@@ -177,6 +185,40 @@ mod tests {
         let half = ImbalanceStats::from_values(&[0.0, 2.0]);
         assert_eq!(half.spread(), f64::INFINITY);
         assert_eq!(half.stddev, 1.0);
+    }
+
+    #[test]
+    fn imbalance_factor_is_defined_for_pathological_averages() {
+        // NaN average (a rank reported NaN seconds) must not escape `<= 0`
+        // guards: the factor and pct stay at their balanced identities.
+        let nan = ImbalanceStats {
+            min: 0.0,
+            avg: f64::NAN,
+            max: 1.0,
+            stddev: 0.0,
+        };
+        assert_eq!(nan.imbalance_factor(), 1.0);
+        assert_eq!(nan.imbalance_pct(), 0.0);
+        // Subnormal near-zero average: max/avg overflows to inf; a
+        // trivially small phase is "no measurable work", factor 1.0.
+        let tiny = ImbalanceStats {
+            min: 0.0,
+            avg: f64::MIN_POSITIVE,
+            max: 1.0e300,
+            stddev: 0.0,
+        };
+        assert_eq!(tiny.imbalance_factor(), 1.0);
+        // NaN max with a healthy average also stays defined.
+        let nan_max = ImbalanceStats {
+            min: 0.0,
+            avg: 1.0,
+            max: f64::NAN,
+            stddev: 0.0,
+        };
+        assert_eq!(nan_max.imbalance_factor(), 1.0);
+        // A genuinely imbalanced phase is untouched by the guards.
+        let real = ImbalanceStats::from_values(&[1.0, 3.0]);
+        assert_eq!(real.imbalance_factor(), 1.5);
     }
 
     #[test]
